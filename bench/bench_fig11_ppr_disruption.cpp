@@ -1,0 +1,122 @@
+// Figure 11: fraction of POST requests disrupted by App. Server
+// restarts, with and without Partial Post Replay.
+// Paper: over 7 days (~70 web-tier restarts), the disrupted fraction
+// with PPR sits around 1e-3 % at the median; without PPR every POST
+// in flight on a restarting server fails.
+//
+// Includes the §4.4 ablation: replay retries when the first replay
+// target is itself restarting.
+#include "bench_util.h"
+#include "core/testbed.h"
+#include "core/workload.h"
+
+using namespace zdr;
+
+namespace {
+
+struct RunResult {
+  uint64_t ok = 0;
+  uint64_t disrupted = 0;  // 5xx or transport failure or timeout
+  uint64_t errHttp = 0;
+  uint64_t errTransport = 0;
+  uint64_t errTimeout = 0;
+  uint64_t origin502 = 0;
+  uint64_t origin503 = 0;
+  uint64_t replays = 0;
+  uint64_t retriesExhausted = 0;
+};
+
+RunResult runReleaseCycle(bool ppr, int restartRounds) {
+  core::TestbedOptions opts;
+  opts.edges = 1;
+  opts.origins = 1;
+  opts.appServers = 4;
+  opts.enableMqtt = false;
+  opts.pprEnabled = ppr;
+  opts.appDrainPeriod = Duration{120};
+  core::Testbed bed(opts);
+
+  core::UploadGen::Options uo;
+  uo.concurrency = 6;
+  uo.chunks = 12;
+  uo.chunkBytes = 1024;
+  uo.chunkInterval = Duration{15};  // ≈180 ms per upload
+  uo.pauseBetween = Duration{5};
+  core::UploadGen uploads(bed.httpEntry(), uo, bed.metrics(), "up");
+  uploads.start();
+  bench::waitUntil([&] { return uploads.completed() >= 10; }, 10000);
+
+  // Rolling app-tier releases, one host at a time (the tier restarts
+  // tens of times a day, §2.4).
+  for (int round = 0; round < restartRounds; ++round) {
+    size_t victim = static_cast<size_t>(round) % bed.appCount();
+    bed.app(victim).beginRestart(release::Strategy::kHardRestart);
+    bed.app(victim).waitRestart();
+    bench::sleepMs(50);
+  }
+  bench::sleepMs(300);
+  uploads.stop();
+
+  RunResult r;
+  r.ok = bed.metrics().counter("up.ok").value();
+  r.errHttp = bed.metrics().counter("up.err_http").value();
+  r.errTransport = bed.metrics().counter("up.err_transport").value();
+  r.errTimeout = bed.metrics().counter("up.err_timeout").value();
+  r.disrupted = r.errHttp + r.errTransport + r.errTimeout;
+  r.origin502 = bed.metrics().counter("origin0.err.502").value();
+  r.origin503 = bed.metrics().counter("origin0.err.503").value();
+  r.replays = bed.metrics().counter("origin0.ppr_replays").value();
+  r.retriesExhausted =
+      bed.metrics().counter("origin0.ppr_retries_exhausted").value();
+  return r;
+}
+
+void printRun(const RunResult& r) {
+  double total = static_cast<double>(r.ok + r.disrupted);
+  bench::row("uploads completed", static_cast<double>(r.ok), "");
+  bench::row("uploads disrupted", static_cast<double>(r.disrupted), "");
+  bench::row("disrupted fraction",
+             total > 0 ? 100.0 * static_cast<double>(r.disrupted) / total
+                       : 0.0,
+             "%");
+  bench::row("PPR replays performed", static_cast<double>(r.replays), "");
+  bench::row("  - HTTP 5xx seen by clients", static_cast<double>(r.errHttp),
+             "");
+  bench::row("  - transport failures", static_cast<double>(r.errTransport),
+             "");
+  bench::row("  - timeouts", static_cast<double>(r.errTimeout), "");
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 11 — POST requests disrupted by app restarts",
+                "PPR keeps the disrupted fraction near zero across ~70 "
+                "restarts; without PPR every in-flight POST on a "
+                "restarting server fails");
+
+  constexpr int kRestarts = 12;  // scaled-down stand-in for 70
+
+  bench::section("WITH Partial Post Replay");
+  auto with = runReleaseCycle(true, kRestarts);
+  printRun(with);
+
+  bench::section("WITHOUT Partial Post Replay");
+  auto without = runReleaseCycle(false, kRestarts);
+  printRun(without);
+
+  bench::section("verdict");
+  double withFrac =
+      static_cast<double>(with.disrupted) /
+      std::max<double>(1.0, static_cast<double>(with.ok + with.disrupted));
+  double withoutFrac =
+      static_cast<double>(without.disrupted) /
+      std::max<double>(1.0,
+                       static_cast<double>(without.ok + without.disrupted));
+  bench::row("disrupted fraction (PPR)", withFrac * 100, "%");
+  bench::row("disrupted fraction (no PPR)", withoutFrac * 100, "%");
+  bench::row("retry exhaustion events (§4.4, expect 0)",
+             static_cast<double>(with.retriesExhausted), "");
+  std::printf("(paper shape: PPR ≪ no-PPR; production median 0.0008%%)\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Shared helpers for the figure-reproduction benches. Each bench binary
+// regenerates one table/figure of the paper and prints the same
+// rows/series the paper reports (paper-vs-measured is recorded in
+// EXPERIMENTS.md).
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace zdr::bench {
+
+inline void banner(const std::string& figure, const std::string& claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", figure.c_str());
+  std::printf("paper claim: %s\n", claim.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void section(const std::string& title) {
+  std::printf("\n--- %s ---\n", title.c_str());
+}
+
+inline void row(const std::string& label, double value,
+                const std::string& unit = "") {
+  std::printf("%-44s %12.4f %s\n", label.c_str(), value, unit.c_str());
+}
+
+inline void sleepMs(long ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+// Polls `pred` until true or timeout; returns whether it became true.
+inline bool waitUntil(const std::function<bool()>& pred, long timeoutMs,
+                      long stepMs = 5) {
+  for (long t = 0; t < timeoutMs; t += stepMs) {
+    if (pred()) {
+      return true;
+    }
+    sleepMs(stepMs);
+  }
+  return pred();
+}
+
+// Samples `fn` every intervalMs for durationMs; returns (tSec, value).
+inline std::vector<std::pair<double, double>> sampleTimeline(
+    const std::function<double()>& fn, long durationMs, long intervalMs) {
+  std::vector<std::pair<double, double>> out;
+  auto start = std::chrono::steady_clock::now();
+  while (true) {
+    auto now = std::chrono::steady_clock::now();
+    double t = std::chrono::duration<double>(now - start).count();
+    if (t * 1000 > static_cast<double>(durationMs)) {
+      break;
+    }
+    out.emplace_back(t, fn());
+    sleepMs(intervalMs);
+  }
+  return out;
+}
+
+}  // namespace zdr::bench

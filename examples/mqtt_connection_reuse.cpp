@@ -1,0 +1,100 @@
+// Downstream Connection Reuse demo (§4.2): persistent MQTT clients are
+// tunneled Edge → Origin → broker. When the Origin proxy restarts, DCR
+// re-attaches each tunnel through the other healthy Origin; clients
+// never lose their connection and the publish stream continues.
+//
+//   ./build/examples/mqtt_connection_reuse
+#include <cstdio>
+
+#include "core/testbed.h"
+#include "core/workload.h"
+
+using namespace zdr;
+
+namespace {
+
+struct Outcome {
+  uint64_t drops = 0;
+  uint64_t reconnects = 0;
+  uint64_t resumed = 0;
+  uint64_t publishesAfter = 0;
+};
+
+Outcome runScenario(bool dcrEnabled) {
+  core::TestbedOptions opts;
+  opts.edges = 1;
+  opts.origins = 2;
+  opts.appServers = 1;
+  opts.enableMqtt = true;
+  opts.dcrEnabled = dcrEnabled;
+  opts.proxyDrainPeriod = Duration{500};
+  core::Testbed bed(opts);
+
+  core::MqttFleet::Options fo;
+  fo.clients = 10;
+  core::MqttFleet fleet(bed.mqttEntry(), fo, bed.metrics(), "fleet");
+  fleet.start();
+  while (fleet.connectedCount() < 10) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  core::MqttPublisher::Options po;
+  po.fleetSize = 10;
+  po.interval = Duration{5};
+  core::MqttPublisher publisher(bed.broker(0).addr(), po, bed.metrics(),
+                                "pub");
+  publisher.start();
+  while (fleet.publishesReceived() < 50) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  std::printf("   %zu clients connected, publish stream flowing\n",
+              fleet.connectedCount());
+  std::printf("   restarting origin0 (Zero Downtime, DCR %s)...\n",
+              dcrEnabled ? "ON" : "OFF");
+  bed.origin(0).beginRestart(release::Strategy::kZeroDowntime);
+  bed.origin(0).waitRestart();
+
+  uint64_t mark = fleet.publishesReceived();
+  // Give the stream time to (re)settle after the restart.
+  for (int i = 0; i < 2000 && fleet.publishesReceived() < mark + 50; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  publisher.stop();
+
+  Outcome out;
+  out.drops = bed.metrics().counter("fleet.drops").value();
+  out.reconnects = bed.metrics().counter("fleet.reconnects").value();
+  out.resumed = bed.metrics().counter("edge.dcr_resumed").value();
+  out.publishesAfter = fleet.publishesReceived() - mark;
+  fleet.stop();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Downstream Connection Reuse (MQTT) demo ==\n\n");
+
+  std::printf("1) Origin restart WITH DCR:\n");
+  Outcome with = runScenario(true);
+  std::printf("   tunnels resumed through healthy origin: %llu\n",
+              static_cast<unsigned long long>(with.resumed));
+  std::printf("   client connections dropped: %llu\n",
+              static_cast<unsigned long long>(with.drops));
+  std::printf("   publishes delivered after restart: %llu\n\n",
+              static_cast<unsigned long long>(with.publishesAfter));
+
+  std::printf("2) Origin restart WITHOUT DCR:\n");
+  Outcome without = runScenario(false);
+  std::printf("   client connections dropped: %llu\n",
+              static_cast<unsigned long long>(without.drops));
+  std::printf("   client reconnect storm: %llu re-connects\n\n",
+              static_cast<unsigned long long>(without.reconnects));
+
+  std::printf("DCR drops:     %llu (expected 0)\n",
+              static_cast<unsigned long long>(with.drops));
+  std::printf("no-DCR drops:  %llu (the disruption DCR masks)\n",
+              static_cast<unsigned long long>(without.drops));
+  return with.drops == 0 ? 0 : 1;
+}

@@ -1,0 +1,135 @@
+// Fleet release drills: rolling releases across a whole edge tier with
+// live traffic, under three regimes —
+//   1. Zero Downtime Release (socket takeover per host),
+//   2. traditional HardRestart,
+//   3. a canary-gated release that detects a "bad binary" from client
+//      error counters and rolls back automatically (§5.1's mitigation
+//      practice).
+//
+//   ./build/examples/release_fleet
+#include <cstdio>
+
+#include "core/testbed.h"
+#include "core/workload.h"
+#include "release/monitored_release.h"
+
+using namespace zdr;
+
+namespace {
+
+struct Drill {
+  uint64_t completed = 0;
+  uint64_t failures = 0;
+  double seconds = 0;
+};
+
+Drill runRolling(release::Strategy strategy) {
+  core::TestbedOptions opts;
+  opts.edges = 4;
+  opts.origins = 2;
+  opts.appServers = 2;
+  opts.enableMqtt = false;
+  opts.proxyDrainPeriod = Duration{300};
+  core::Testbed bed(opts);
+
+  std::vector<std::unique_ptr<core::HttpLoadGen>> loads;
+  for (size_t e = 0; e < bed.edgeCount(); ++e) {
+    core::HttpLoadGen::Options lo;
+    lo.concurrency = 3;
+    lo.thinkTime = Duration{2};
+    lo.timeout = Duration{1200};
+    loads.push_back(std::make_unique<core::HttpLoadGen>(
+        bed.httpEntry(e), lo, bed.metrics(), "load" + std::to_string(e)));
+    loads.back()->start();
+  }
+  while (loads[0]->completed() < 50) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  release::RollingReleaseOptions ro;
+  ro.strategy = strategy;
+  ro.batchFraction = 0.25;
+  auto report = release::runRollingRelease(bed.edgeHosts(), ro);
+
+  for (auto& l : loads) {
+    l->stop();
+  }
+  Drill d;
+  d.seconds = report.totalSeconds;
+  for (size_t e = 0; e < bed.edgeCount(); ++e) {
+    d.completed +=
+        bed.metrics().counter("load" + std::to_string(e) + ".ok").value();
+    for (const char* kind : {".err_http", ".err_timeout", ".err_transport"}) {
+      d.failures += bed.metrics()
+                        .counter("load" + std::to_string(e) + kind)
+                        .value();
+    }
+  }
+  return d;
+}
+
+void runCanaryDrill() {
+  core::TestbedOptions opts;
+  opts.edges = 4;
+  opts.origins = 1;
+  opts.appServers = 2;
+  opts.enableMqtt = false;
+  opts.proxyDrainPeriod = Duration{200};
+  core::Testbed bed(opts);
+
+  // The "bad binary": pretend the canary's health gate sees client
+  // errors after the first batch (we simulate the regression signal —
+  // in production it comes from exactly the counters this testbed
+  // already collects).
+  std::atomic<int> gateCalls{0};
+  release::MonitoredReleaseOptions mo;
+  mo.batchFraction = 0.25;
+  mo.canarySoak = std::chrono::milliseconds(50);
+  mo.healthGate = [&] { return gateCalls.fetch_add(1) != 0; };  // canary fails
+  std::vector<std::string> events;
+  mo.onEvent = [&](const std::string& e) { events.push_back(e); };
+
+  auto report = release::runMonitoredRelease(bed.edgeHosts(), mo);
+  std::printf("  canary outcome: %s\n",
+              report.outcome == release::ReleaseOutcome::kRolledBack
+                  ? "ROLLED BACK"
+                  : "completed");
+  std::printf("  hosts released before detection: %zu\n",
+              report.hostsReleased);
+  std::printf("  hosts rolled back:               %zu\n",
+              report.hostsRolledBack);
+  std::printf("  blast radius contained to the canary batch: %s\n",
+              report.hostsReleased == 1 ? "yes" : "no");
+  std::printf("  events: ");
+  for (const auto& e : events) {
+    std::printf("[%s] ", e.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Fleet release drills (4-edge tier, live traffic) ==\n\n");
+
+  std::printf("1) Rolling Zero Downtime Release, 25%% batches:\n");
+  Drill zdr = runRolling(release::Strategy::kZeroDowntime);
+  std::printf("  completed=%llu failures=%llu in %.1fs\n\n",
+              static_cast<unsigned long long>(zdr.completed),
+              static_cast<unsigned long long>(zdr.failures), zdr.seconds);
+
+  std::printf("2) Rolling HardRestart, 25%% batches:\n");
+  Drill hard = runRolling(release::Strategy::kHardRestart);
+  std::printf("  completed=%llu failures=%llu in %.1fs\n\n",
+              static_cast<unsigned long long>(hard.completed),
+              static_cast<unsigned long long>(hard.failures), hard.seconds);
+
+  std::printf("3) Canary release of a bad binary (auto-rollback):\n");
+  runCanaryDrill();
+
+  std::printf("\nZDR failures:  %llu (expected 0)\n",
+              static_cast<unsigned long long>(zdr.failures));
+  std::printf("Hard failures: %llu (the cost of the old way)\n",
+              static_cast<unsigned long long>(hard.failures));
+  return zdr.failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Regenerates every paper figure: one bench binary per table/figure.
+# Usage: scripts/run_benches.sh [build-dir]   (default: ./build)
+set -u
+BUILD="${1:-build}"
+for b in "$BUILD"/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo
+  echo "########## $(basename "$b") ##########"
+  "$b"
+done

@@ -1,0 +1,295 @@
+#include "appserver/app_server.h"
+
+#include <algorithm>
+
+namespace zdr::appserver {
+
+namespace {
+
+// Headers that describe the 379 response itself rather than the echoed
+// request; never copied back during reconstruction.
+bool isResponseOwnHeader(std::string_view name) {
+  return http::Headers::nameEquals(name, "Content-Length") ||
+         http::Headers::nameEquals(name, "Transfer-Encoding") ||
+         http::Headers::nameEquals(name, "Connection");
+}
+
+}  // namespace
+
+struct AppServer::ConnState
+    : std::enable_shared_from_this<AppServer::ConnState> {
+  ConnectionPtr conn;
+  http::RequestParser parser;
+  bool closing = false;
+};
+
+AppServer::AppServer(EventLoop& loop, const SocketAddr& addr, Options opts,
+                     MetricsRegistry* metrics)
+    : loop_(loop), opts_(opts), metrics_(metrics) {
+  handler_ = [](const http::Request& req, http::Response& res) {
+    res.status = 200;
+    res.body = "ok:" + req.path;
+  };
+  acceptor_ = std::make_unique<Acceptor>(
+      loop_, TcpListener(addr),
+      [this](TcpSocket sock) { onAccept(std::move(sock)); });
+}
+
+AppServer::~AppServer() { terminate(); }
+
+void AppServer::bump(const std::string& name) {
+  if (metrics_) {
+    metrics_->counter(opts_.name + "." + name).add();
+  }
+}
+
+size_t AppServer::inFlightPosts() const {
+  size_t n = 0;
+  for (const auto& cs : conns_) {
+    if (cs->parser.headersComplete() && !cs->parser.messageComplete() &&
+        cs->parser.message().isPost()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void AppServer::onAccept(TcpSocket sock) {
+  if (draining_) {
+    // Draining servers take no new connections (§2.3).
+    bump("conn_refused_draining");
+    return;  // socket closes via RAII
+  }
+  bump("conn_accepted");
+  if (opts_.handshakeCpuUnits > 0) {
+    burnCpu(opts_.handshakeCpuUnits);  // TLS/TCP state rebuild model
+  }
+
+  auto cs = std::make_shared<ConnState>();
+  cs->conn = Connection::make(loop_, std::move(sock));
+  conns_.insert(cs);
+
+  auto self = cs;
+  cs->conn->setDataCallback([this, self](Buffer& in) {
+    while (!in.empty() && !self->closing) {
+      auto st = self->parser.feed(in);
+      if (st == http::ParseStatus::kError) {
+        bump("parse_error");
+        self->conn->close(std::make_error_code(std::errc::protocol_error));
+        return;
+      }
+      if (self->parser.messageComplete()) {
+        onRequestComplete(self);
+        if (self->closing) {
+          return;
+        }
+        self->parser.reset();  // keep-alive: next request
+        continue;
+      }
+      // A POST whose headers land while we are already draining will
+      // not finish before termination — bounce it with 379 right away
+      // (it was not yet in flight when the drain sweep ran).
+      if (draining_ && opts_.pprEnabled && self->parser.headersComplete() &&
+          self->parser.message().isPost()) {
+        respondPartialPost(self);
+        return;
+      }
+      break;  // need more bytes
+    }
+  });
+  cs->conn->setCloseCallback(
+      [this, self](std::error_code) { conns_.erase(self); });
+  cs->conn->start();
+}
+
+void AppServer::onRequestComplete(const std::shared_ptr<ConnState>& cs) {
+  const http::Request& req = cs->parser.message();
+  http::Response res;
+
+  if (req.path == "/__health") {
+    res.status = draining_ ? 503 : 200;
+    res.body = draining_ ? "draining" : "ok";
+  } else if (draining_ && opts_.pprEnabled && req.isPost()) {
+    // A complete POST that raced the drain start: hand it back whole —
+    // cheaper than processing on a dying server, and the proxy replays
+    // it losslessly.
+    res = buildPartialPostResponse(req, req.body);
+    bump("ppr_379_sent");
+    Buffer out;
+    http::serialize(res, out);
+    cs->conn->send(out.readable());
+    cs->closing = true;  // see respondPartialPost: proxy closes, not us
+    return;
+  } else {
+    if (opts_.requestCpuUnits > 0) {
+      burnCpu(opts_.requestCpuUnits);
+    }
+    handler_(req, res);
+    bump("requests_served");
+    if (req.isPost()) {
+      bump("posts_served");
+    }
+  }
+  res.reason = std::string(http::defaultReason(res.status));
+  Buffer out;
+  http::serialize(res, out);
+  cs->conn->send(out.readable());
+}
+
+void AppServer::startDrain() {
+  if (draining_) {
+    return;
+  }
+  draining_ = true;
+  bump("drain_started");
+
+  // Stop listening: a SYN must be REFUSED, not accepted-and-dropped —
+  // the downstream proxy turns a refused connect into a clean retry
+  // against a healthy peer, whereas an accepted-then-reset connection
+  // looks like a mid-request failure it cannot safely retry.
+  if (acceptor_) {
+    acceptor_->close();
+  }
+
+  // Answer every in-flight incomplete POST now — these cannot finish
+  // within the brief drain period (§4.3).
+  std::vector<std::shared_ptr<ConnState>> pending(conns_.begin(),
+                                                  conns_.end());
+  for (const auto& cs : pending) {
+    // First account for every byte the kernel has already delivered:
+    // the 379 must echo everything the proxy managed to send us.
+    if (!cs->closing && cs->conn->open()) {
+      cs->conn->drainPending();
+    }
+  }
+  for (const auto& cs : pending) {
+    if (cs->closing || !cs->parser.headersComplete() ||
+        cs->parser.messageComplete()) {
+      continue;
+    }
+    if (cs->parser.message().isPost()) {
+      if (opts_.pprEnabled) {
+        respondPartialPost(cs);
+      } else {
+        respond500(cs);
+      }
+    }
+  }
+}
+
+void AppServer::respondPartialPost(const std::shared_ptr<ConnState>& cs) {
+  const http::Request& partial = cs->parser.message();
+  http::Response res = buildPartialPostResponse(partial, partial.body);
+  bump("ppr_379_sent");
+  Buffer out;
+  http::serialize(res, out);
+  cs->conn->send(out.readable());
+  // Deliberately no close: the downstream proxy may still be writing
+  // body chunks, and a full close would RST the unread 379 away. The
+  // proxy closes the connection once it has read the response; anything
+  // left is reset at terminate().
+  cs->closing = true;
+}
+
+void AppServer::respond500(const std::shared_ptr<ConnState>& cs) {
+  http::Response res;
+  res.status = 500;
+  res.reason = "Internal Server Error";
+  res.body = "server restarting";
+  bump("500_sent");
+  Buffer out;
+  http::serialize(res, out);
+  cs->conn->send(out.readable());
+  cs->closing = true;  // same RST hazard as the 379 path
+}
+
+void AppServer::terminate() {
+  bump("terminated");
+  // Remaining connections are reset — this is what produces TCP RSTs
+  // and user-visible disruption in the HardRestart baseline.
+  std::vector<std::shared_ptr<ConnState>> remaining(conns_.begin(),
+                                                    conns_.end());
+  for (const auto& cs : remaining) {
+    bump("conn_reset");
+    cs->conn->close(std::make_error_code(std::errc::connection_reset));
+  }
+  conns_.clear();
+  if (acceptor_) {
+    acceptor_->close();
+  }
+}
+
+http::Response buildPartialPostResponse(const http::Request& partial,
+                                        std::string partialBody) {
+  http::Response res;
+  res.status = http::kPartialPostStatus;
+  res.reason = std::string(http::kPartialPostReason);
+
+  // Echo the request line.
+  res.headers.add(std::string(http::kEchoHeaderPrefix) + "method",
+                  partial.method);
+  res.headers.add(std::string(http::kEchoHeaderPrefix) + "path",
+                  partial.path);
+
+  // Echo every request header. HTTP/2+ pseudo-headers (":path" etc.)
+  // get the "pseudo-echo-" prefix per §5.2.
+  for (const auto& [name, value] : partial.headers.all()) {
+    if (!name.empty() && name[0] == ':') {
+      res.headers.add(std::string(http::kPseudoEchoPrefix) + name.substr(1),
+                      value);
+    } else {
+      res.headers.add(std::string(http::kEchoHeaderPrefix) + name, value);
+    }
+  }
+  res.body = std::move(partialBody);
+  return res;
+}
+
+std::optional<http::Request> reconstructRequestFrom379(
+    const http::Response& res) {
+  if (!res.isPartialPostReplay()) {
+    // §5.2: a bare 379 without the exact status message must be
+    // treated as an ordinary (buggy) response, never replayed.
+    return std::nullopt;
+  }
+  http::Request req;
+  bool haveMethod = false;
+  bool havePath = false;
+  for (const auto& [name, value] : res.headers.all()) {
+    std::string_view n(name);
+    if (n.rfind(http::kPseudoEchoPrefix, 0) == 0) {
+      std::string orig = ":" + name.substr(http::kPseudoEchoPrefix.size());
+      if (orig == ":method") {
+        req.method = value;
+        haveMethod = true;
+      } else if (orig == ":path") {
+        req.path = value;
+        havePath = true;
+      } else {
+        req.headers.add(orig, value);
+      }
+      continue;
+    }
+    if (n.rfind(http::kEchoHeaderPrefix, 0) == 0) {
+      std::string orig = name.substr(http::kEchoHeaderPrefix.size());
+      if (http::Headers::nameEquals(orig, "method")) {
+        req.method = value;
+        haveMethod = true;
+      } else if (http::Headers::nameEquals(orig, "path")) {
+        req.path = value;
+        havePath = true;
+      } else if (!isResponseOwnHeader(orig)) {
+        req.headers.add(orig, value);
+      }
+      continue;
+    }
+    // Headers belonging to the 379 response itself are skipped.
+  }
+  if (!haveMethod || !havePath) {
+    return std::nullopt;
+  }
+  req.body = res.body;  // the partial body received so far
+  return req;
+}
+
+}  // namespace zdr::appserver

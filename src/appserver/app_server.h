@@ -1,0 +1,100 @@
+// App. Server tier (HHVM model) with Partial Post Replay server side.
+//
+// Paper properties reproduced (§2.1, §4.3, §4.4):
+//  * workload dominated by short-lived API requests, plus long-lived
+//    HTTP POST uploads;
+//  * very brief draining period (10–15 s in production; scaled down in
+//    tests) — too short for large uploads to finish organically;
+//  * too memory/CPU-constrained to run two instances in parallel, so
+//    Socket Takeover is NOT used here; instead, a restarting server
+//    answers each unfinished POST with status 379 ("Partial POST
+//    Replay") carrying the partial body and echoed request context so
+//    the downstream proxy can replay it to a healthy peer.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "http/codec.h"
+#include "metrics/metrics.h"
+#include "netcore/connection.h"
+
+namespace zdr::appserver {
+
+class AppServer {
+ public:
+  struct Options {
+    std::string name = "appserver";
+    // Whether this build implements the PPR server side. Off ⇒ a
+    // restart fails unfinished POSTs with 500 (§4.3 option i).
+    bool pprEnabled = true;
+    // Synthetic per-new-connection CPU (TLS/TCP state rebuild model,
+    // §2.5). Zero disables.
+    uint64_t handshakeCpuUnits = 0;
+    // Synthetic per-request CPU.
+    uint64_t requestCpuUnits = 0;
+  };
+
+  // App logic: fills `res` from a fully received request.
+  using Handler = std::function<void(const http::Request&, http::Response&)>;
+
+  AppServer(EventLoop& loop, const SocketAddr& addr, Options opts,
+            MetricsRegistry* metrics = nullptr);
+  ~AppServer();
+  AppServer(const AppServer&) = delete;
+  AppServer& operator=(const AppServer&) = delete;
+
+  [[nodiscard]] SocketAddr localAddr() const { return acceptor_->localAddr(); }
+  void setHandler(Handler h) { handler_ = std::move(h); }
+
+  // --- release workflow ---
+  // Enters draining: health checks fail, no new connections are
+  // accepted, and every in-flight incomplete POST is answered with 379
+  // (PPR on) or 500 (PPR off).
+  void startDrain();
+  // End of the drain period: remaining connections are reset.
+  void terminate();
+
+  [[nodiscard]] bool draining() const noexcept { return draining_; }
+  [[nodiscard]] const std::string& name() const noexcept {
+    return opts_.name;
+  }
+  [[nodiscard]] size_t activeConnections() const noexcept {
+    return conns_.size();
+  }
+  [[nodiscard]] size_t inFlightPosts() const;
+
+ private:
+  struct ConnState;
+
+  void onAccept(TcpSocket sock);
+  void onRequestComplete(const std::shared_ptr<ConnState>& cs);
+  void respondPartialPost(const std::shared_ptr<ConnState>& cs);
+  void respond500(const std::shared_ptr<ConnState>& cs);
+  void bump(const std::string& name);
+
+  EventLoop& loop_;
+  Options opts_;
+  MetricsRegistry* metrics_;
+  Handler handler_;
+  std::unique_ptr<Acceptor> acceptor_;
+  std::set<std::shared_ptr<ConnState>> conns_;
+  bool draining_ = false;
+};
+
+// Builds the 379 response for an incomplete request: echoes the
+// request line and headers (prefixed per §5.2: ':'-pseudo-headers get
+// "pseudo-echo-", the rest "echo-") and carries the partial body.
+[[nodiscard]] http::Response buildPartialPostResponse(
+    const http::Request& partial, std::string partialBody);
+
+// Reverses buildPartialPostResponse at the proxy: reconstructs the
+// original request from a 379 response. Returns nullopt if the
+// response is not a genuine PPR response (wrong code OR wrong status
+// message — both are required, §5.2).
+[[nodiscard]] std::optional<http::Request> reconstructRequestFrom379(
+    const http::Response& res);
+
+}  // namespace zdr::appserver

@@ -1,0 +1,175 @@
+// Host wrappers: one event-loop thread per simulated machine, plus the
+// restart choreography for each tier.
+//
+//  * ProxyHost — runs a Proxygen instance; restarts either via Socket
+//    Takeover (two instances overlap on the host, §4.1) or the
+//    traditional HardRestart (drain, die, boot).
+//  * AppHost — runs an App. Server; always restarts the traditional
+//    way because the tier cannot afford two parallel instances
+//    (§4.4); Partial Post Replay covers its in-flight POSTs.
+//  * BrokerHost — runs an MQTT broker (not restarted in experiments).
+//  * L4Host — runs Katran-model balancers fronting the edge.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "appserver/app_server.h"
+#include "l4lb/balancer.h"
+#include "l4lb/udp_forwarder.h"
+#include "metrics/metrics.h"
+#include "mqtt/broker.h"
+#include "netcore/event_loop.h"
+#include "proxygen/proxy.h"
+#include "release/release.h"
+
+namespace zdr::core {
+
+class ProxyHost final : public release::RestartableHost {
+ public:
+  struct Options {
+    // Wall-clock delay modelling the new binary's boot (HardRestart
+    // leaves the host dark for drain + boot).
+    Duration bootDelay = Duration{100};
+  };
+
+  ProxyHost(std::string name, proxygen::Proxy::Config config,
+            MetricsRegistry* metrics, Options opts);
+  ProxyHost(std::string name, proxygen::Proxy::Config config,
+            MetricsRegistry* metrics)
+      : ProxyHost(std::move(name), std::move(config), metrics, Options{}) {}
+  ~ProxyHost() override;
+
+  [[nodiscard]] std::string hostName() const override { return name_; }
+  void beginRestart(release::Strategy strategy) override;
+  [[nodiscard]] bool restartComplete() const override {
+    return !restartInProgress_.load(std::memory_order_acquire);
+  }
+  // Blocks until an in-progress restart finishes.
+  void waitRestart();
+
+  // Resolved addresses (stable across restarts).
+  [[nodiscard]] SocketAddr httpVip() const { return httpVip_; }
+  [[nodiscard]] SocketAddr mqttVip() const { return mqttVip_; }
+  [[nodiscard]] SocketAddr quicVip() const { return quicVip_; }
+  [[nodiscard]] SocketAddr trunkAddr() const { return trunkAddr_; }
+
+  [[nodiscard]] EventLoop& loop() { return thread_.loop(); }
+  // Runs `fn` on the host's loop with the active proxy (may be null
+  // mid-HardRestart).
+  void withActiveProxy(const std::function<void(proxygen::Proxy*)>& fn);
+  // CPU seconds consumed by this host's loop thread.
+  [[nodiscard]] double hostCpuSeconds();
+  [[nodiscard]] bool serving();
+
+ private:
+  void runZdrRestart();
+  void runHardRestart();
+  void joinRestartThread();
+
+  std::string name_;
+  proxygen::Proxy::Config config_;
+  MetricsRegistry* metrics_;
+  Options opts_;
+  EventLoopThread thread_;
+
+  mutable std::mutex mutex_;
+  std::unique_ptr<proxygen::Proxy> active_;
+  std::unique_ptr<proxygen::Proxy> draining_;
+
+  std::atomic<bool> restartInProgress_{false};
+  std::thread restartThread_;
+
+  SocketAddr httpVip_{};
+  SocketAddr mqttVip_{};
+  SocketAddr quicVip_{};
+  SocketAddr trunkAddr_{};
+};
+
+class AppHost final : public release::RestartableHost {
+ public:
+  struct Options {
+    appserver::AppServer::Options server{};
+    Duration drainPeriod = Duration{300};  // 10–15 s in production
+    Duration bootDelay = Duration{50};
+  };
+
+  AppHost(std::string name, const SocketAddr& addr, MetricsRegistry* metrics,
+          Options opts);
+  ~AppHost() override;
+
+  [[nodiscard]] std::string hostName() const override { return name_; }
+  // App servers restart the traditional way regardless of strategy;
+  // disruption avoidance comes from PPR, not Socket Takeover (§4.4).
+  void beginRestart(release::Strategy strategy) override;
+  [[nodiscard]] bool restartComplete() const override {
+    return !restartInProgress_.load(std::memory_order_acquire);
+  }
+  void waitRestart();
+
+  [[nodiscard]] SocketAddr addr() const { return addr_; }
+  [[nodiscard]] EventLoop& loop() { return thread_.loop(); }
+  void withServer(const std::function<void(appserver::AppServer*)>& fn);
+
+ private:
+  void runRestart();
+  void joinRestartThread();
+
+  std::string name_;
+  MetricsRegistry* metrics_;
+  Options opts_;
+  EventLoopThread thread_;
+  mutable std::mutex mutex_;
+  std::unique_ptr<appserver::AppServer> server_;
+  std::atomic<bool> restartInProgress_{false};
+  std::thread restartThread_;
+  SocketAddr addr_{};
+};
+
+class BrokerHost {
+ public:
+  BrokerHost(std::string name, MetricsRegistry* metrics,
+             mqtt::Broker::Options opts = {});
+  ~BrokerHost();
+  [[nodiscard]] SocketAddr addr() const { return addr_; }
+  [[nodiscard]] const std::string& hostName() const { return name_; }
+  void withBroker(const std::function<void(mqtt::Broker&)>& fn);
+
+ private:
+  std::string name_;
+  EventLoopThread thread_;
+  std::unique_ptr<mqtt::Broker> broker_;
+  SocketAddr addr_{};
+};
+
+class L4Host {
+ public:
+  // One balancer per fronted VIP (e.g. "http", "mqtt").
+  L4Host(std::string name, MetricsRegistry* metrics);
+  ~L4Host();
+  // Adds a balanced TCP VIP over `backends`; returns the VIP address.
+  SocketAddr addVip(const std::string& vipName,
+                    std::vector<l4lb::BackendTarget> backends,
+                    l4lb::L4Balancer::Options opts);
+  // Adds a UDP VIP forwarded Katran-style (4-tuple consistent hash).
+  SocketAddr addUdpVip(const std::string& vipName,
+                       std::vector<l4lb::UdpForwarder::Backend> backends,
+                       l4lb::UdpForwarder::Options opts);
+  void withBalancer(const std::string& vipName,
+                    const std::function<void(l4lb::L4Balancer&)>& fn);
+  void withUdpForwarder(const std::string& vipName,
+                        const std::function<void(l4lb::UdpForwarder&)>& fn);
+
+ private:
+  std::string name_;
+  MetricsRegistry* metrics_;
+  EventLoopThread thread_;
+  std::map<std::string, std::unique_ptr<l4lb::L4Balancer>> balancers_;
+  std::map<std::string, std::unique_ptr<l4lb::UdpForwarder>> forwarders_;
+};
+
+}  // namespace zdr::core

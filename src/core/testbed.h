@@ -1,0 +1,90 @@
+// Testbed: a miniature of Figure 1's end-to-end infrastructure, built
+// from real sockets on loopback — L4LB → Edge Proxygen → trunks →
+// Origin Proxygen → { App. Servers, MQTT brokers }.
+//
+// This is the main entry point of the library: experiments construct a
+// Testbed, attach workload generators, then drive releases against
+// individual tiers and read the metrics registry.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/hosts.h"
+
+namespace zdr::core {
+
+struct TestbedOptions {
+  size_t edges = 2;
+  size_t origins = 2;
+  size_t appServers = 3;
+  size_t brokers = 1;
+
+  bool enableMqtt = true;
+  bool enableQuic = false;
+  bool enableL4 = false;
+
+  // Scaled-down drain periods (production: 20 min proxy, 10–15 s app).
+  Duration proxyDrainPeriod = Duration{800};
+  Duration appDrainPeriod = Duration{300};
+  Duration requestTimeout = Duration{3000};
+
+  bool pprEnabled = true;
+  // Overrides the app tier's PPR support independently of the proxy's
+  // (for testing the §5.2 expectation gate: proxy-off + server-on).
+  std::optional<bool> appPprOverride;
+  bool dcrEnabled = true;
+  bool udpUserSpaceRouting = true;
+
+  appserver::AppServer::Options appOptions{};
+  l4lb::L4Balancer::Options l4Options{};
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedOptions opts);
+  ~Testbed();
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const TestbedOptions& options() const noexcept {
+    return opts_;
+  }
+
+  [[nodiscard]] ProxyHost& edge(size_t i) { return *edges_.at(i); }
+  [[nodiscard]] ProxyHost& origin(size_t i) { return *origins_.at(i); }
+  [[nodiscard]] AppHost& app(size_t i) { return *apps_.at(i); }
+  [[nodiscard]] BrokerHost& broker(size_t i) { return *brokers_.at(i); }
+  [[nodiscard]] size_t edgeCount() const { return edges_.size(); }
+  [[nodiscard]] size_t originCount() const { return origins_.size(); }
+  [[nodiscard]] size_t appCount() const { return apps_.size(); }
+
+  // Where clients connect (L4 VIP when enabled, else edge 0).
+  [[nodiscard]] SocketAddr httpEntry() const;
+  [[nodiscard]] SocketAddr mqttEntry() const;
+  [[nodiscard]] SocketAddr httpEntry(size_t edgeIdx) const;
+  [[nodiscard]] SocketAddr mqttEntry(size_t edgeIdx) const;
+
+  [[nodiscard]] std::vector<release::RestartableHost*> edgeHosts();
+  [[nodiscard]] std::vector<release::RestartableHost*> originHosts();
+  [[nodiscard]] std::vector<release::RestartableHost*> appHosts();
+
+  // Blocks until every edge has live trunks to every origin.
+  void waitForTrunks(Duration timeout = Duration{5000});
+
+ private:
+  TestbedOptions opts_;
+  MetricsRegistry metrics_;
+  std::vector<std::unique_ptr<BrokerHost>> brokers_;
+  std::vector<std::unique_ptr<AppHost>> apps_;
+  std::vector<std::unique_ptr<ProxyHost>> origins_;
+  std::vector<std::unique_ptr<ProxyHost>> edges_;
+  std::unique_ptr<L4Host> l4_;
+  SocketAddr l4HttpVip_{};
+  SocketAddr l4MqttVip_{};
+};
+
+}  // namespace zdr::core

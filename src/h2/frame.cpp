@@ -1,0 +1,125 @@
+#include "h2/frame.h"
+
+namespace zdr::h2 {
+
+std::string_view frameTypeName(FrameType t) noexcept {
+  switch (t) {
+    case FrameType::kData: return "DATA";
+    case FrameType::kHeaders: return "HEADERS";
+    case FrameType::kRstStream: return "RST_STREAM";
+    case FrameType::kSettings: return "SETTINGS";
+    case FrameType::kPing: return "PING";
+    case FrameType::kGoaway: return "GOAWAY";
+    case FrameType::kWindowUpdate: return "WINDOW_UPDATE";
+    case FrameType::kReconnectSolicitation: return "RECONNECT_SOLICITATION";
+    case FrameType::kReconnect: return "RECONNECT";
+    case FrameType::kConnectAck: return "CONNECT_ACK";
+    case FrameType::kConnectRefuse: return "CONNECT_REFUSE";
+  }
+  return "UNKNOWN";
+}
+
+void encodeFrame(const Frame& f, Buffer& out) {
+  out.appendU32(static_cast<uint32_t>(f.payload.size()));
+  out.appendU8(static_cast<uint8_t>(f.type));
+  out.appendU8(f.flags);
+  out.appendU32(f.streamId);
+  out.append(f.payload);
+}
+
+std::optional<Frame> decodeFrame(Buffer& in, bool& malformed) {
+  malformed = false;
+  constexpr size_t kHeaderLen = 10;
+  if (in.size() < kHeaderLen) {
+    return std::nullopt;
+  }
+  uint32_t len = in.peekU32(0);
+  if (len > kMaxFramePayload) {
+    malformed = true;
+    return std::nullopt;
+  }
+  if (in.size() < kHeaderLen + len) {
+    return std::nullopt;
+  }
+  Frame f;
+  f.type = static_cast<FrameType>(in.peekU8(4));
+  f.flags = in.peekU8(5);
+  f.streamId = in.peekU32(6);
+  in.consume(kHeaderLen);
+  f.payload = in.toString(len);
+  in.consume(len);
+  return f;
+}
+
+std::string encodeHeaderBlock(const HeaderList& headers) {
+  Buffer buf;
+  buf.appendU16(static_cast<uint16_t>(headers.size()));
+  for (const auto& [name, value] : headers) {
+    buf.appendU16(static_cast<uint16_t>(name.size()));
+    buf.append(name);
+    buf.appendU16(static_cast<uint16_t>(value.size()));
+    buf.append(value);
+  }
+  return std::string(buf.view());
+}
+
+std::optional<HeaderList> decodeHeaderBlock(std::string_view payload) {
+  HeaderList out;
+  size_t pos = 0;
+  auto readU16 = [&](uint16_t& v) {
+    if (pos + 2 > payload.size()) {
+      return false;
+    }
+    v = static_cast<uint16_t>(
+        (static_cast<uint8_t>(payload[pos]) << 8) |
+        static_cast<uint8_t>(payload[pos + 1]));
+    pos += 2;
+    return true;
+  };
+  auto readStr = [&](std::string& s) {
+    uint16_t len = 0;
+    if (!readU16(len) || pos + len > payload.size()) {
+      return false;
+    }
+    s.assign(payload.substr(pos, len));
+    pos += len;
+    return true;
+  };
+  uint16_t count = 0;
+  if (!readU16(count)) {
+    return std::nullopt;
+  }
+  out.reserve(count);
+  for (uint16_t i = 0; i < count; ++i) {
+    std::string name;
+    std::string value;
+    if (!readStr(name) || !readStr(value)) {
+      return std::nullopt;
+    }
+    out.emplace_back(std::move(name), std::move(value));
+  }
+  return out;
+}
+
+std::string encodeGoaway(const GoawayInfo& info) {
+  Buffer buf;
+  buf.appendU32(info.lastStreamId);
+  buf.append(info.debug);
+  return std::string(buf.view());
+}
+
+std::optional<GoawayInfo> decodeGoaway(std::string_view payload) {
+  if (payload.size() < 4) {
+    return std::nullopt;
+  }
+  GoawayInfo info;
+  info.lastStreamId =
+      (static_cast<uint32_t>(static_cast<uint8_t>(payload[0])) << 24) |
+      (static_cast<uint32_t>(static_cast<uint8_t>(payload[1])) << 16) |
+      (static_cast<uint32_t>(static_cast<uint8_t>(payload[2])) << 8) |
+      static_cast<uint32_t>(static_cast<uint8_t>(payload[3]));
+  info.debug.assign(payload.substr(4));
+  return info;
+}
+
+}  // namespace zdr::h2

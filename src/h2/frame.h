@@ -1,0 +1,84 @@
+// Frame layer of the Edge↔Origin trunk protocol.
+//
+// A simplified HTTP/2-style framing: length-prefixed typed frames
+// multiplexing many streams over one TCP connection, with GOAWAY for
+// graceful drain. Header compression (HPACK) is replaced by plain
+// length-prefixed key/value pairs — compression is irrelevant to the
+// release mechanics this project reproduces.
+//
+// The trunk also carries the Downstream Connection Reuse control
+// messages (§4.2): reconnect_solicitation, re_connect, connect_ack and
+// connect_refuse, as first-class frame types.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "netcore/buffer.h"
+
+namespace zdr::h2 {
+
+enum class FrameType : uint8_t {
+  kData = 0x0,
+  kHeaders = 0x1,
+  kRstStream = 0x3,
+  kSettings = 0x4,
+  kPing = 0x6,
+  kGoaway = 0x7,
+  kWindowUpdate = 0x8,
+  // --- Zero Downtime Release extensions (DCR §4.2) ---
+  kReconnectSolicitation = 0x10,  // restarting Origin → Edge
+  kReconnect = 0x11,              // Edge → healthy Origin (user-id)
+  kConnectAck = 0x12,             // broker accepted the re-attach
+  kConnectRefuse = 0x13,          // no context; client must reconnect
+};
+
+[[nodiscard]] std::string_view frameTypeName(FrameType t) noexcept;
+
+// Frame flags.
+inline constexpr uint8_t kFlagEndStream = 0x1;
+inline constexpr uint8_t kFlagAck = 0x1;  // PING/SETTINGS ack
+
+struct Frame {
+  FrameType type = FrameType::kData;
+  uint8_t flags = 0;
+  uint32_t streamId = 0;
+  std::string payload;
+
+  [[nodiscard]] bool endStream() const noexcept {
+    return (type == FrameType::kData || type == FrameType::kHeaders) &&
+           (flags & kFlagEndStream);
+  }
+};
+
+// Maximum payload accepted from a peer (1 MiB); larger frames indicate
+// corruption and kill the session.
+inline constexpr uint32_t kMaxFramePayload = 1 << 20;
+
+// Wire format: u32 payloadLen | u8 type | u8 flags | u32 streamId | payload.
+void encodeFrame(const Frame& f, Buffer& out);
+
+// Decodes one frame if fully buffered; consumes it and returns it.
+// Returns nullopt if incomplete. Sets `malformed` on protocol error.
+std::optional<Frame> decodeFrame(Buffer& in, bool& malformed);
+
+// ---- header-block payload ----
+using HeaderList = std::vector<std::pair<std::string, std::string>>;
+
+std::string encodeHeaderBlock(const HeaderList& headers);
+// Returns nullopt on malformed input.
+std::optional<HeaderList> decodeHeaderBlock(std::string_view payload);
+
+// ---- GOAWAY payload ----
+struct GoawayInfo {
+  uint32_t lastStreamId = 0;
+  std::string debug;
+};
+std::string encodeGoaway(const GoawayInfo& info);
+std::optional<GoawayInfo> decodeGoaway(std::string_view payload);
+
+}  // namespace zdr::h2

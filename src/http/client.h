@@ -1,0 +1,90 @@
+// Asynchronous HTTP/1.1 client used as the end-user workload driver.
+//
+// Records exactly the failure classes the paper's evaluation counts
+// (Fig 12): transport resets, timeouts, and HTTP error codes. Supports
+// paced chunked uploads so POST requests can be made to straddle a
+// server restart (the Partial Post Replay scenario).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "http/codec.h"
+#include "netcore/connection.h"
+
+namespace zdr::http {
+
+class Client : public std::enable_shared_from_this<Client> {
+ public:
+  struct Result {
+    bool ok = false;             // complete non-5xx response received
+    bool timedOut = false;
+    std::error_code transportError;
+    Response response;           // valid when a response arrived
+    double latencySec = 0;
+  };
+  using Callback = std::function<void(Result)>;
+
+  static std::shared_ptr<Client> make(EventLoop& loop,
+                                      const SocketAddr& server) {
+    return std::shared_ptr<Client>(new Client(loop, server));
+  }
+
+  // One request; the connection is kept alive and reused.
+  void request(Request req, Callback cb, Duration timeout = Duration{5000});
+
+  // Chunked POST upload paced over time: `chunks` chunks of
+  // `chunkBytes`, one every `interval`. The request straddles
+  // chunks × interval of wall time.
+  void pacedPost(const std::string& path, size_t chunks, size_t chunkBytes,
+                 Duration interval, Callback cb,
+                 Duration timeout = Duration{30000});
+
+  void close();
+  [[nodiscard]] bool busy() const noexcept { return busy_; }
+
+ private:
+  Client(EventLoop& loop, const SocketAddr& server)
+      : loop_(loop), server_(server) {}
+
+  void ensureConnected(std::function<void(std::error_code)> next);
+  void beginRequest(Callback cb, Duration timeout);
+  void finish(Result r);
+  void sendNextChunk();
+
+  EventLoop& loop_;
+  SocketAddr server_;
+  ConnectionPtr conn_;
+  bool connecting_ = false;
+  bool busy_ = false;
+  ResponseParser parser_;
+  Callback cb_;
+  EventLoop::TimerId timeoutTimer_ = 0;
+  TimePoint requestStart_{};
+
+  // paced-post state
+  size_t chunksLeft_ = 0;
+  size_t chunkBytes_ = 0;
+  Duration chunkInterval_{0};
+  EventLoop::TimerId chunkTimer_ = 0;
+  // False while a request body is still being streamed. A response
+  // that arrives before the body finishes (379 relays, early 5xx)
+  // leaves the connection desynchronized — it must not be reused.
+  bool bodyFullySent_ = true;
+
+  // Keep-alive retry (RFC 7230 §6.3.1): a request written to a REUSED
+  // connection that dies before any response bytes is retried once on
+  // a fresh connection — the server may have closed the idle
+  // connection concurrently (exactly what a draining proxy's
+  // `Connection: close` migration produces).
+  bool sentOnReusedConn_ = false;
+  bool retriedOnce_ = false;
+  bool retryable_ = false;  // simple request()s only, never paced posts
+  Request retryRequest_;
+  Duration retryTimeout_{0};
+
+  void resendAfterStaleConn();
+};
+
+}  // namespace zdr::http

@@ -1,0 +1,367 @@
+#include "http/codec.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace zdr::http {
+
+namespace {
+
+// Finds a CRLF-terminated line at the front of `in`; returns the line
+// without the terminator and consumes it, or nullopt if incomplete.
+std::optional<std::string> takeLine(Buffer& in) {
+  std::string_view v = in.view();
+  size_t pos = v.find("\r\n");
+  if (pos == std::string_view::npos) {
+    return std::nullopt;
+  }
+  std::string line(v.substr(0, pos));
+  in.consume(pos + 2);
+  return line;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+template <typename Message>
+ParseStatus Parser<Message>::parseStartLine(std::string_view line) {
+  if constexpr (std::is_same_v<Message, Request>) {
+    // METHOD SP path SP version
+    size_t sp1 = line.find(' ');
+    size_t sp2 = line.rfind(' ');
+    if (sp1 == std::string_view::npos || sp2 == sp1) {
+      phase_ = detail::Phase::kError;
+      return ParseStatus::kError;
+    }
+    msg_.method = std::string(line.substr(0, sp1));
+    msg_.path = std::string(trim(line.substr(sp1 + 1, sp2 - sp1 - 1)));
+    msg_.version = std::string(line.substr(sp2 + 1));
+  } else {
+    // version SP status SP reason
+    size_t sp1 = line.find(' ');
+    if (sp1 == std::string_view::npos) {
+      phase_ = detail::Phase::kError;
+      return ParseStatus::kError;
+    }
+    msg_.version = std::string(line.substr(0, sp1));
+    std::string_view rest = line.substr(sp1 + 1);
+    size_t sp2 = rest.find(' ');
+    std::string_view statusStr =
+        sp2 == std::string_view::npos ? rest : rest.substr(0, sp2);
+    int status = 0;
+    auto [p, ec] = std::from_chars(statusStr.data(),
+                                   statusStr.data() + statusStr.size(), status);
+    if (ec != std::errc{} || status < 100 || status > 999) {
+      phase_ = detail::Phase::kError;
+      return ParseStatus::kError;
+    }
+    msg_.status = status;
+    msg_.reason = sp2 == std::string_view::npos
+                      ? std::string()
+                      : std::string(rest.substr(sp2 + 1));
+  }
+  phase_ = detail::Phase::kHeaders;
+  return ParseStatus::kNeedMore;
+}
+
+template <typename Message>
+ParseStatus Parser<Message>::parseHeaderLine(std::string_view line) {
+  size_t colon = line.find(':');
+  if (colon == std::string_view::npos) {
+    phase_ = detail::Phase::kError;
+    return ParseStatus::kError;
+  }
+  msg_.headers.add(std::string(trim(line.substr(0, colon))),
+                   std::string(trim(line.substr(colon + 1))));
+  return ParseStatus::kNeedMore;
+}
+
+template <typename Message>
+void Parser<Message>::onHeadersComplete() {
+  headersDone_ = true;
+  if (auto te = msg_.headers.get("Transfer-Encoding");
+      te && te->find("chunked") != std::string_view::npos) {
+    chunked_ = true;
+    phase_ = detail::Phase::kBodyChunkSize;
+    return;
+  }
+  if (auto cl = msg_.headers.get("Content-Length")) {
+    uint64_t len = 0;
+    std::from_chars(cl->data(), cl->data() + cl->size(), len);
+    hasLength_ = true;
+    bodyLeft_ = len;
+    phase_ = len == 0 ? detail::Phase::kDone : detail::Phase::kBodyFixed;
+    return;
+  }
+  // No body signalled. (Responses that end at connection close are not
+  // used by this codebase — every peer sends explicit framing.)
+  phase_ = detail::Phase::kDone;
+}
+
+template <typename Message>
+void Parser<Message>::deliverBody(std::string_view fragment) {
+  bodySeen_ += fragment.size();
+  if (bodyCb_) {
+    bodyCb_(fragment);
+  } else {
+    msg_.body.append(fragment);
+  }
+}
+
+template <typename Message>
+ParseStatus Parser<Message>::feed(Buffer& in) {
+  bool headersJustDone = false;
+  while (true) {
+    switch (phase_) {
+      case detail::Phase::kStartLine: {
+        auto line = takeLine(in);
+        if (!line) {
+          return ParseStatus::kNeedMore;
+        }
+        if (line->empty()) {
+          continue;  // tolerate leading blank lines (robustness)
+        }
+        if (parseStartLine(*line) == ParseStatus::kError) {
+          return ParseStatus::kError;
+        }
+        break;
+      }
+      case detail::Phase::kHeaders: {
+        auto line = takeLine(in);
+        if (!line) {
+          return ParseStatus::kNeedMore;
+        }
+        if (line->empty()) {
+          onHeadersComplete();
+          headersJustDone = true;
+          break;
+        }
+        if (parseHeaderLine(*line) == ParseStatus::kError) {
+          return ParseStatus::kError;
+        }
+        break;
+      }
+      case detail::Phase::kBodyFixed: {
+        if (in.empty()) {
+          return headersJustDone ? ParseStatus::kHeadersDone
+                                 : ParseStatus::kNeedMore;
+        }
+        size_t take = static_cast<size_t>(
+            std::min<uint64_t>(bodyLeft_, in.size()));
+        deliverBody(in.view().substr(0, take));
+        in.consume(take);
+        bodyLeft_ -= take;
+        if (bodyLeft_ == 0) {
+          phase_ = detail::Phase::kDone;
+        }
+        break;
+      }
+      case detail::Phase::kBodyChunkSize: {
+        auto line = takeLine(in);
+        if (!line) {
+          return headersJustDone ? ParseStatus::kHeadersDone
+                                 : ParseStatus::kNeedMore;
+        }
+        // Chunk extensions (";…") are permitted and ignored.
+        std::string_view sizeStr(*line);
+        if (size_t semi = sizeStr.find(';'); semi != std::string_view::npos) {
+          sizeStr = sizeStr.substr(0, semi);
+        }
+        sizeStr = trim(sizeStr);
+        uint64_t sz = 0;
+        auto [p, ec] = std::from_chars(sizeStr.data(),
+                                       sizeStr.data() + sizeStr.size(), sz, 16);
+        if (ec != std::errc{} || p != sizeStr.data() + sizeStr.size()) {
+          phase_ = detail::Phase::kError;
+          return ParseStatus::kError;
+        }
+        chunkLeft_ = sz;
+        phase_ = sz == 0 ? detail::Phase::kBodyTrailer
+                         : detail::Phase::kBodyChunkData;
+        break;
+      }
+      case detail::Phase::kBodyChunkData: {
+        if (in.empty()) {
+          return headersJustDone ? ParseStatus::kHeadersDone
+                                 : ParseStatus::kNeedMore;
+        }
+        size_t take = static_cast<size_t>(
+            std::min<uint64_t>(chunkLeft_, in.size()));
+        deliverBody(in.view().substr(0, take));
+        in.consume(take);
+        chunkLeft_ -= take;
+        if (chunkLeft_ == 0) {
+          phase_ = detail::Phase::kBodyChunkDataEnd;
+        }
+        break;
+      }
+      case detail::Phase::kBodyChunkDataEnd: {
+        if (in.size() < 2) {
+          return ParseStatus::kNeedMore;
+        }
+        if (in.view().substr(0, 2) != "\r\n") {
+          phase_ = detail::Phase::kError;
+          return ParseStatus::kError;
+        }
+        in.consume(2);
+        phase_ = detail::Phase::kBodyChunkSize;
+        break;
+      }
+      case detail::Phase::kBodyTrailer: {
+        auto line = takeLine(in);
+        if (!line) {
+          return ParseStatus::kNeedMore;
+        }
+        if (line->empty()) {
+          phase_ = detail::Phase::kDone;
+          break;
+        }
+        // Trailer headers are parsed into the normal header set.
+        if (parseHeaderLine(*line) == ParseStatus::kError) {
+          return ParseStatus::kError;
+        }
+        break;
+      }
+      case detail::Phase::kDone:
+        return ParseStatus::kDone;
+      case detail::Phase::kError:
+        return ParseStatus::kError;
+    }
+    if (phase_ == detail::Phase::kDone) {
+      return ParseStatus::kDone;
+    }
+    if (headersJustDone && in.empty()) {
+      return ParseStatus::kHeadersDone;
+    }
+  }
+}
+
+template <typename Message>
+ChunkState Parser<Message>::chunkState() const noexcept {
+  ChunkState cs;
+  cs.chunked = chunked_;
+  cs.atChunkBoundary = phase_ == detail::Phase::kBodyChunkSize ||
+                       phase_ == detail::Phase::kBodyChunkDataEnd ||
+                       phase_ == detail::Phase::kDone ||
+                       phase_ == detail::Phase::kBodyTrailer;
+  cs.chunkBytesLeft = chunkLeft_;
+  return cs;
+}
+
+template <typename Message>
+void Parser<Message>::reset() {
+  msg_ = Message{};
+  phase_ = detail::Phase::kStartLine;
+  headersDone_ = false;
+  headersDoneReported_ = false;
+  chunked_ = false;
+  hasLength_ = false;
+  bodyLeft_ = 0;
+  chunkLeft_ = 0;
+  bodySeen_ = 0;
+}
+
+template class Parser<Request>;
+template class Parser<Response>;
+
+// ------------------------------------------------------------ serializers
+
+namespace {
+
+bool hasExplicitFraming(const Headers& h) {
+  return h.has("Content-Length") || h.has("Transfer-Encoding");
+}
+
+void writeHeaders(const Headers& h, Buffer& out) {
+  for (const auto& [name, value] : h.all()) {
+    out.append(name);
+    out.append(": ");
+    out.append(value);
+    out.append("\r\n");
+  }
+  out.append("\r\n");
+}
+
+}  // namespace
+
+void serializeHead(const Request& req, Buffer& out) {
+  out.append(req.method);
+  out.append(" ");
+  out.append(req.path);
+  out.append(" ");
+  out.append(req.version);
+  out.append("\r\n");
+  writeHeaders(req.headers, out);
+}
+
+void serializeHead(const Response& res, Buffer& out) {
+  out.append(res.version);
+  out.append(" ");
+  out.append(std::to_string(res.status));
+  out.append(" ");
+  out.append(res.reason.empty() ? std::string(defaultReason(res.status))
+                                : res.reason);
+  out.append("\r\n");
+  writeHeaders(res.headers, out);
+}
+
+void serialize(const Request& req, Buffer& out) {
+  Request copy = req;
+  if (!hasExplicitFraming(copy.headers) && !copy.body.empty()) {
+    copy.headers.set("Content-Length", std::to_string(copy.body.size()));
+  } else if (!hasExplicitFraming(copy.headers) && copy.isPost()) {
+    copy.headers.set("Content-Length", "0");
+  }
+  serializeHead(copy, out);
+  if (auto te = copy.headers.get("Transfer-Encoding");
+      te && te->find("chunked") != std::string_view::npos) {
+    if (!copy.body.empty()) {
+      appendChunk(out, copy.body);
+    }
+    appendFinalChunk(out);
+  } else {
+    out.append(copy.body);
+  }
+}
+
+void serialize(const Response& res, Buffer& out) {
+  Response copy = res;
+  if (!hasExplicitFraming(copy.headers)) {
+    copy.headers.set("Content-Length", std::to_string(copy.body.size()));
+  }
+  serializeHead(copy, out);
+  if (auto te = copy.headers.get("Transfer-Encoding");
+      te && te->find("chunked") != std::string_view::npos) {
+    if (!copy.body.empty()) {
+      appendChunk(out, copy.body);
+    }
+    appendFinalChunk(out);
+  } else {
+    out.append(copy.body);
+  }
+}
+
+void appendChunk(Buffer& out, std::string_view data) {
+  if (data.empty()) {
+    return;  // a zero-length chunk would terminate the body
+  }
+  char size[32];
+  int n = std::snprintf(size, sizeof(size), "%zx\r\n", data.size());
+  out.append(std::string_view(size, static_cast<size_t>(n)));
+  out.append(data);
+  out.append("\r\n");
+}
+
+void appendFinalChunk(Buffer& out) { out.append("0\r\n\r\n"); }
+
+}  // namespace zdr::http

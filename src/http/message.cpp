@@ -1,0 +1,68 @@
+#include "http/message.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace zdr::http {
+
+bool Headers::nameEquals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Headers::set(std::string_view name, std::string value) {
+  for (auto& [n, v] : entries_) {
+    if (nameEquals(n, name)) {
+      v = std::move(value);
+      return;
+    }
+  }
+  entries_.emplace_back(std::string(name), std::move(value));
+}
+
+void Headers::remove(std::string_view name) {
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const auto& e) {
+                                  return nameEquals(e.first, name);
+                                }),
+                 entries_.end());
+}
+
+std::optional<std::string_view> Headers::get(std::string_view name) const {
+  for (const auto& [n, v] : entries_) {
+    if (nameEquals(n, name)) {
+      return std::string_view(v);
+    }
+  }
+  return std::nullopt;
+}
+
+std::string_view defaultReason(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 301: return "Moved Permanently";
+    case 302: return "Found";
+    case 307: return "Temporary Redirect";
+    case 379: return kPartialPostReason;
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 408: return "Request Timeout";
+    case 500: return "Internal Server Error";
+    case 502: return "Bad Gateway";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+}  // namespace zdr::http

@@ -1,0 +1,77 @@
+// HTTP message model shared by clients, proxies and servers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace zdr::http {
+
+// Status code 379 is the Partial Post Replay signal (§4.3). It was
+// deliberately picked from the IANA-unreserved range, so peers gate on
+// the status *message* too (§5.2): only "Partial POST Replay" enables
+// the feature.
+inline constexpr int kPartialPostStatus = 379;
+inline constexpr std::string_view kPartialPostReason = "Partial POST Replay";
+
+// Headers used by the PPR implementation to echo request context back
+// to the downstream proxy so it can rebuild the original request.
+inline constexpr std::string_view kEchoHeaderPrefix = "echo-";
+inline constexpr std::string_view kPseudoEchoPrefix = "pseudo-echo-";
+
+// Case-insensitive header collection preserving insertion order.
+class Headers {
+ public:
+  void add(std::string name, std::string value) {
+    entries_.emplace_back(std::move(name), std::move(value));
+  }
+  void set(std::string_view name, std::string value);
+  void remove(std::string_view name);
+  [[nodiscard]] std::optional<std::string_view> get(std::string_view name) const;
+  [[nodiscard]] bool has(std::string_view name) const {
+    return get(name).has_value();
+  }
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>& all()
+      const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] size_t size() const noexcept { return entries_.size(); }
+  void clear() noexcept { entries_.clear(); }
+
+  static bool nameEquals(std::string_view a, std::string_view b) noexcept;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+struct Request {
+  std::string method = "GET";
+  std::string path = "/";
+  std::string version = "HTTP/1.1";
+  Headers headers;
+  std::string body;
+
+  [[nodiscard]] bool isPost() const noexcept { return method == "POST"; }
+};
+
+struct Response {
+  int status = 200;
+  std::string reason = "OK";
+  std::string version = "HTTP/1.1";
+  Headers headers;
+  std::string body;
+
+  // True only for a genuine PPR response: code 379 AND the exact
+  // status message — the double check added after the production
+  // incident with a buggy upstream randomizing status codes (§5.2).
+  [[nodiscard]] bool isPartialPostReplay() const noexcept {
+    return status == kPartialPostStatus && reason == kPartialPostReason;
+  }
+};
+
+[[nodiscard]] std::string_view defaultReason(int status) noexcept;
+
+}  // namespace zdr::http

@@ -1,0 +1,70 @@
+// Katran-model L4 load balancer (userspace reproduction).
+//
+// Accepts flows on a VIP and forwards them to L7 backends chosen by
+// consistent hashing over the *healthy* set, optionally pinned by the
+// LRU connection table so momentary health flaps do not re-route
+// established flows (§5.1). Operates at connection granularity — the
+// userspace analogue of Katran's per-packet XDP forwarding.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "l4lb/conn_table.h"
+#include "l4lb/consistent_hash.h"
+#include "l4lb/health.h"
+#include "metrics/metrics.h"
+#include "netcore/connection.h"
+
+namespace zdr::l4lb {
+
+class L4Balancer {
+ public:
+  enum class HashKind : uint8_t { kMaglev, kRing };
+
+  struct Options {
+    HashKind hash = HashKind::kMaglev;
+    bool useConnTable = true;
+    size_t connTableCapacity = 4096;
+    HealthChecker::Options health{};
+  };
+
+  L4Balancer(EventLoop& loop, const SocketAddr& vip,
+             std::vector<BackendTarget> backends, Options opts,
+             MetricsRegistry* metrics = nullptr);
+  ~L4Balancer();
+  L4Balancer(const L4Balancer&) = delete;
+  L4Balancer& operator=(const L4Balancer&) = delete;
+
+  [[nodiscard]] SocketAddr vip() const { return acceptor_->localAddr(); }
+  [[nodiscard]] HealthChecker& health() noexcept { return *health_; }
+  [[nodiscard]] ConnTable& connTable() noexcept { return connTable_; }
+  [[nodiscard]] size_t activeFlows() const noexcept { return flows_.size(); }
+
+  // Replaces the backend set (e.g. cluster resize in experiments).
+  void setBackends(std::vector<BackendTarget> backends);
+
+ private:
+  struct Flow;
+
+  void onAccept(TcpSocket sock);
+  void rebuildHealthySet();
+  [[nodiscard]] const BackendTarget* chooseBackend(uint64_t flowKey);
+  void removeFlow(const std::shared_ptr<Flow>& flow);
+  void bump(const std::string& name);
+
+  EventLoop& loop_;
+  Options opts_;
+  MetricsRegistry* metrics_;
+  std::vector<BackendTarget> backends_;
+  std::unique_ptr<ConsistentHash> hash_;
+  std::vector<BackendTarget> healthy_;
+  ConnTable connTable_;
+  std::unique_ptr<HealthChecker> health_;
+  std::unique_ptr<Acceptor> acceptor_;
+  std::set<std::shared_ptr<Flow>> flows_;
+};
+
+}  // namespace zdr::l4lb

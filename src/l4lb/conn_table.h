@@ -1,0 +1,77 @@
+// LRU connection table.
+//
+// §5.1 remediation: "we recommend adopting a connection table cache
+// for the most recent flows … a Least Recently Used (LRU) cache in
+// Katran to absorb such momentary shuffles and facilitate connections
+// to be routed consistently to the same end server."
+//
+// Keys are flow hashes (4-tuple derived); values are backend names so
+// an entry stays valid across consistent-hash rebuilds.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace zdr::l4lb {
+
+class ConnTable {
+ public:
+  explicit ConnTable(size_t capacity) : capacity_(capacity) {}
+
+  // Returns the pinned backend, refreshing recency.
+  std::optional<std::string> lookup(uint64_t flowKey) {
+    auto it = index_.find(flowKey);
+    if (it == index_.end()) {
+      ++misses_;
+      return std::nullopt;
+    }
+    ++hits_;
+    order_.splice(order_.begin(), order_, it->second);
+    return it->second->second;
+  }
+
+  void insert(uint64_t flowKey, std::string backend) {
+    auto it = index_.find(flowKey);
+    if (it != index_.end()) {
+      it->second->second = std::move(backend);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    if (index_.size() >= capacity_ && !order_.empty()) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+      ++evictions_;
+    }
+    order_.emplace_front(flowKey, std::move(backend));
+    index_[flowKey] = order_.begin();
+  }
+
+  void erase(uint64_t flowKey) {
+    auto it = index_.find(flowKey);
+    if (it != index_.end()) {
+      order_.erase(it->second);
+      index_.erase(it);
+    }
+  }
+
+  [[nodiscard]] size_t size() const noexcept { return index_.size(); }
+  [[nodiscard]] size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] uint64_t evictions() const noexcept { return evictions_; }
+
+ private:
+  size_t capacity_;
+  std::list<std::pair<uint64_t, std::string>> order_;  // MRU at front
+  std::unordered_map<uint64_t,
+                     std::list<std::pair<uint64_t, std::string>>::iterator>
+      index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace zdr::l4lb

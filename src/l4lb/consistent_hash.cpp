@@ -1,0 +1,104 @@
+#include "l4lb/consistent_hash.h"
+
+#include <algorithm>
+
+#include "l4lb/hashing.h"
+
+namespace zdr::l4lb {
+
+// --------------------------------------------------------------- RingHash
+
+void RingHash::rebuild(const std::vector<std::string>& backends) {
+  ring_.clear();
+  count_ = backends.size();
+  ring_.reserve(backends.size() * vnodes_);
+  for (size_t i = 0; i < backends.size(); ++i) {
+    uint64_t base = hashBytes(backends[i]);
+    for (size_t v = 0; v < vnodes_; ++v) {
+      ring_.emplace_back(hashCombine(base, v), i);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+std::optional<size_t> RingHash::pick(uint64_t key) const {
+  if (ring_.empty()) {
+    return std::nullopt;
+  }
+  uint64_t h = mix64(key);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), std::make_pair(h, size_t{0}),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (it == ring_.end()) {
+    it = ring_.begin();  // wrap
+  }
+  return it->second;
+}
+
+// -------------------------------------------------------------- MaglevHash
+
+void MaglevHash::rebuild(const std::vector<std::string>& backends) {
+  count_ = backends.size();
+  table_.assign(tableSize_, -1);
+  if (backends.empty()) {
+    return;
+  }
+
+  // Each backend gets a permutation of table slots derived from two
+  // independent hashes (offset, skip) — Maglev §3.4.
+  const size_t n = backends.size();
+  std::vector<uint64_t> offset(n);
+  std::vector<uint64_t> skip(n);
+  std::vector<size_t> next(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t h1 = hashBytes(backends[i]);
+    uint64_t h2 = hashCombine(h1, 0x5bd1e995);
+    offset[i] = h1 % tableSize_;
+    skip[i] = (h2 % (tableSize_ - 1)) + 1;
+  }
+
+  size_t filled = 0;
+  while (filled < tableSize_) {
+    for (size_t i = 0; i < n && filled < tableSize_; ++i) {
+      // Find this backend's next preferred empty slot.
+      size_t c = (offset[i] + next[i] * skip[i]) % tableSize_;
+      while (table_[c] >= 0) {
+        ++next[i];
+        c = (offset[i] + next[i] * skip[i]) % tableSize_;
+      }
+      table_[c] = static_cast<int32_t>(i);
+      ++next[i];
+      ++filled;
+    }
+  }
+}
+
+std::optional<size_t> MaglevHash::pick(uint64_t key) const {
+  if (count_ == 0 || table_.empty()) {
+    return std::nullopt;
+  }
+  int32_t idx = table_[mix64(key) % tableSize_];
+  if (idx < 0) {
+    return std::nullopt;
+  }
+  return static_cast<size_t>(idx);
+}
+
+// ------------------------------------------------------------------ utils
+
+double remapFraction(const ConsistentHash& a, const ConsistentHash& b,
+                     size_t samples) {
+  if (samples == 0) {
+    return 0.0;
+  }
+  size_t moved = 0;
+  for (size_t i = 0; i < samples; ++i) {
+    uint64_t key = mix64(i * 0x9e3779b97f4a7c15ULL + 1);
+    if (a.pick(key) != b.pick(key)) {
+      ++moved;
+    }
+  }
+  return static_cast<double>(moved) / static_cast<double>(samples);
+}
+
+}  // namespace zdr::l4lb

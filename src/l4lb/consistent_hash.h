@@ -1,0 +1,69 @@
+// Consistent-hash backend selection, as used by Katran to spread flows
+// across the L7LB fleet (§2.1). Two implementations:
+//
+//  * RingHash — classic consistent hashing with virtual nodes, and
+//  * MaglevHash — Google's Maglev lookup-table algorithm [26],
+//
+// ablated against each other for mapping stability when the backend
+// set churns (the paper's §5.1 discusses how momentary health flaps
+// shuffle the routing topology).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace zdr::l4lb {
+
+class ConsistentHash {
+ public:
+  virtual ~ConsistentHash() = default;
+
+  // Replaces the backend set. Order defines the indices `pick` returns.
+  virtual void rebuild(const std::vector<std::string>& backends) = 0;
+
+  // Maps a flow key to a backend index; nullopt when no backends.
+  [[nodiscard]] virtual std::optional<size_t> pick(uint64_t key) const = 0;
+
+  [[nodiscard]] virtual size_t backendCount() const = 0;
+};
+
+class RingHash final : public ConsistentHash {
+ public:
+  explicit RingHash(size_t vnodesPerBackend = 100)
+      : vnodes_(vnodesPerBackend) {}
+
+  void rebuild(const std::vector<std::string>& backends) override;
+  [[nodiscard]] std::optional<size_t> pick(uint64_t key) const override;
+  [[nodiscard]] size_t backendCount() const override { return count_; }
+
+ private:
+  size_t vnodes_;
+  size_t count_ = 0;
+  std::vector<std::pair<uint64_t, size_t>> ring_;  // sorted by hash
+};
+
+class MaglevHash final : public ConsistentHash {
+ public:
+  // `tableSize` must be prime and > ~2× max backends; 2039 suits tests,
+  // 65537 matches production-scale tables.
+  explicit MaglevHash(size_t tableSize = 2039) : tableSize_(tableSize) {}
+
+  void rebuild(const std::vector<std::string>& backends) override;
+  [[nodiscard]] std::optional<size_t> pick(uint64_t key) const override;
+  [[nodiscard]] size_t backendCount() const override { return count_; }
+
+ private:
+  size_t tableSize_;
+  size_t count_ = 0;
+  std::vector<int32_t> table_;  // backend index per slot; -1 when empty
+};
+
+// Fraction of `samples` keys whose mapping differs between `a` and `b`
+// (both already rebuilt). Used to quantify remap disruption.
+[[nodiscard]] double remapFraction(const ConsistentHash& a,
+                                   const ConsistentHash& b, size_t samples);
+
+}  // namespace zdr::l4lb

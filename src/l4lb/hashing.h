@@ -1,0 +1,32 @@
+// Hash primitives shared by the consistent-hash implementations.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace zdr::l4lb {
+
+// splitmix64: fast, well-distributed 64-bit mixer.
+[[nodiscard]] constexpr uint64_t mix64(uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// FNV-1a over bytes, then mixed.
+[[nodiscard]] inline uint64_t hashBytes(std::string_view s) noexcept {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return mix64(h);
+}
+
+// Combines two hashes (for (name, vnode) or (name, seed) pairs).
+[[nodiscard]] constexpr uint64_t hashCombine(uint64_t a, uint64_t b) noexcept {
+  return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+}  // namespace zdr::l4lb

@@ -1,0 +1,175 @@
+#include "l4lb/health.h"
+
+#include "http/codec.h"
+
+namespace zdr::l4lb {
+
+HealthChecker::HealthChecker(EventLoop& loop,
+                             std::vector<BackendTarget> targets, Options opts,
+                             ChangeCallback onChange, MetricsRegistry* metrics)
+    : loop_(loop),
+      opts_(opts),
+      onChange_(std::move(onChange)),
+      metrics_(metrics),
+      alive_(std::make_shared<bool>(true)) {
+  states_.reserve(targets.size());
+  for (auto& t : targets) {
+    states_.push_back(State{std::move(t), false, 0, 0, false});
+  }
+  timer_ = loop_.runEvery(opts_.interval, [this] { probeAll(); });
+  probeAll();
+}
+
+HealthChecker::~HealthChecker() {
+  *alive_ = false;
+  loop_.cancelTimer(timer_);
+  for (const auto& conn : std::set<ConnectionPtr>(probes_)) {
+    conn->close({});
+  }
+  probes_.clear();
+}
+
+bool HealthChecker::isHealthy(const std::string& name) const {
+  for (const auto& s : states_) {
+    if (s.target.name == name) {
+      return s.healthy;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> HealthChecker::healthyNames() const {
+  std::vector<std::string> out;
+  for (const auto& s : states_) {
+    if (s.healthy) {
+      out.push_back(s.target.name);
+    }
+  }
+  return out;
+}
+
+std::vector<BackendTarget> HealthChecker::healthyTargets() const {
+  std::vector<BackendTarget> out;
+  for (const auto& s : states_) {
+    if (s.healthy) {
+      out.push_back(s.target);
+    }
+  }
+  return out;
+}
+
+size_t HealthChecker::healthyCount() const {
+  size_t n = 0;
+  for (const auto& s : states_) {
+    if (s.healthy) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void HealthChecker::assumeAllHealthy() {
+  bool changed = false;
+  for (auto& s : states_) {
+    changed |= !s.healthy;
+    s.healthy = true;
+    s.consecutiveFails = 0;
+  }
+  if (changed && onChange_) {
+    onChange_();
+  }
+}
+
+void HealthChecker::probeAll() {
+  for (size_t i = 0; i < states_.size(); ++i) {
+    if (!states_[i].probeInFlight) {
+      probeOne(i);
+    }
+  }
+}
+
+void HealthChecker::probeOne(size_t idx) {
+  states_[idx].probeInFlight = true;
+  auto alive = alive_;
+  auto addr = states_[idx].target.addr;
+  auto path = opts_.path;
+  auto timeout = opts_.probeTimeout;
+  Connector::connect(
+      loop_, addr,
+      [this, alive, idx, path, timeout](TcpSocket sock, std::error_code ec) {
+        if (!*alive) {
+          return;
+        }
+        if (ec) {
+          onProbeResult(idx, false);
+          return;
+        }
+        // Send the probe request and await a 200.
+        auto conn = Connection::make(loop_, std::move(sock));
+        if (*alive) {
+          probes_.insert(conn);
+        }
+        auto parser = std::make_shared<http::ResponseParser>();
+        auto done = std::make_shared<bool>(false);
+        auto finish = [this, alive, idx, conn, done](bool pass) {
+          if (*done) {
+            return;
+          }
+          *done = true;
+          conn->close({});
+          if (*alive) {
+            probes_.erase(conn);
+            onProbeResult(idx, pass);
+          }
+        };
+        conn->setDataCallback([parser, finish](Buffer& in) {
+          auto st = parser->feed(in);
+          if (st == http::ParseStatus::kError) {
+            finish(false);
+          } else if (parser->messageComplete()) {
+            finish(parser->message().status == 200);
+          }
+        });
+        conn->setCloseCallback(
+            [finish](std::error_code) { finish(false); });
+        conn->start();
+        http::Request req;
+        req.method = "GET";
+        req.path = path;
+        req.headers.set("Host", "healthcheck");
+        Buffer out;
+        http::serialize(req, out);
+        conn->send(out.readable());
+        loop_.runAfter(timeout, [finish] { finish(false); });
+      },
+      timeout);
+}
+
+void HealthChecker::onProbeResult(size_t idx, bool pass) {
+  auto& s = states_[idx];
+  s.probeInFlight = false;
+  bool was = s.healthy;
+  if (pass) {
+    s.consecutiveFails = 0;
+    ++s.consecutivePasses;
+    if (!s.healthy && s.consecutivePasses >= opts_.riseThreshold) {
+      s.healthy = true;
+    }
+  } else {
+    s.consecutivePasses = 0;
+    ++s.consecutiveFails;
+    if (s.healthy && s.consecutiveFails >= opts_.failThreshold) {
+      s.healthy = false;
+    }
+  }
+  if (was != s.healthy) {
+    if (metrics_) {
+      metrics_->counter("l4.hc_transitions").add();
+    }
+    if (onChange_) {
+      onChange_();
+    }
+  }
+}
+
+}  // namespace zdr::l4lb

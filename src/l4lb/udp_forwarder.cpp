@@ -1,0 +1,158 @@
+#include "l4lb/udp_forwarder.h"
+
+#include <sys/epoll.h>
+
+#include <array>
+
+#include "l4lb/hashing.h"
+
+namespace zdr::l4lb {
+
+UdpForwarder::UdpForwarder(EventLoop& loop, const SocketAddr& vip,
+                           std::vector<Backend> backends, Options opts,
+                           MetricsRegistry* metrics)
+    : loop_(loop),
+      opts_(opts),
+      metrics_(metrics),
+      backends_(std::move(backends)),
+      table_(opts.connTableCapacity),
+      vipSock_(vip) {
+  std::vector<std::string> names;
+  names.reserve(backends_.size());
+  for (const auto& b : backends_) {
+    names.push_back(b.name);
+  }
+  hash_.rebuild(names);
+  loop_.addFd(vipSock_.fd(), EPOLLIN, [this](uint32_t) { onVipReadable(); });
+  reapTimer_ = loop_.runEvery(Duration{1000}, [this] { reapIdle(); });
+}
+
+UdpForwarder::~UdpForwarder() {
+  loop_.cancelTimer(reapTimer_);
+  if (vipSock_.valid() && loop_.watching(vipSock_.fd())) {
+    loop_.removeFd(vipSock_.fd());
+  }
+  for (auto& [key, flow] : flows_) {
+    if (flow->natSock.valid() && loop_.watching(flow->natSock.fd())) {
+      loop_.removeFd(flow->natSock.fd());
+    }
+  }
+}
+
+void UdpForwarder::setBackends(std::vector<Backend> backends) {
+  backends_ = std::move(backends);
+  std::vector<std::string> names;
+  names.reserve(backends_.size());
+  for (const auto& b : backends_) {
+    names.push_back(b.name);
+  }
+  hash_.rebuild(names);
+}
+
+UdpForwarder::Flow* UdpForwarder::flowFor(const SocketAddr& client) {
+  uint64_t key = mix64(client.hashKey());
+  auto it = flows_.find(key);
+  if (it != flows_.end()) {
+    return it->second.get();
+  }
+
+  // Resolve the backend: LRU pin first, then consistent hash.
+  const Backend* target = nullptr;
+  if (opts_.useConnTable) {
+    if (auto pinned = table_.lookup(key)) {
+      for (const auto& b : backends_) {
+        if (b.name == *pinned) {
+          target = &b;
+          break;
+        }
+      }
+    }
+  }
+  if (target == nullptr) {
+    auto idx = hash_.pick(key);
+    if (!idx) {
+      return nullptr;
+    }
+    target = &backends_[*idx];
+    if (opts_.useConnTable) {
+      table_.insert(key, target->name);
+    }
+  }
+
+  auto flow = std::make_unique<Flow>();
+  flow->client = client;
+  flow->backend = target->addr;
+  flow->natSock = UdpSocket(SocketAddr::loopback(0));
+  flow->lastActive = Clock::now();
+  loop_.addFd(flow->natSock.fd(), EPOLLIN,
+              [this, key](uint32_t) { onNatReadable(key); });
+  Flow* raw = flow.get();
+  flows_[key] = std::move(flow);
+  if (metrics_) {
+    metrics_->counter("l4udp.flows_opened").add();
+  }
+  return raw;
+}
+
+void UdpForwarder::onVipReadable() {
+  std::array<std::byte, 2048> buf;
+  while (true) {
+    SocketAddr from;
+    std::error_code ec;
+    size_t n = vipSock_.recvFrom(buf, from, ec);
+    if (ec) {
+      return;
+    }
+    Flow* flow = flowFor(from);
+    if (flow == nullptr) {
+      continue;  // no backends
+    }
+    flow->lastActive = Clock::now();
+    flow->natSock.sendTo(std::span(buf.data(), n), flow->backend, ec);
+    if (!ec) {
+      ++forwarded_;
+    }
+  }
+}
+
+void UdpForwarder::onNatReadable(uint64_t flowKey) {
+  auto it = flows_.find(flowKey);
+  if (it == flows_.end()) {
+    return;
+  }
+  Flow* flow = it->second.get();
+  std::array<std::byte, 2048> buf;
+  while (true) {
+    SocketAddr from;
+    std::error_code ec;
+    size_t n = flow->natSock.recvFrom(buf, from, ec);
+    if (ec) {
+      return;
+    }
+    flow->lastActive = Clock::now();
+    vipSock_.sendTo(std::span(buf.data(), n), flow->client, ec);
+    if (!ec) {
+      ++returned_;
+    }
+  }
+}
+
+void UdpForwarder::reapIdle() {
+  TimePoint now = Clock::now();
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (now - it->second->lastActive > opts_.flowIdleTimeout) {
+      if (loop_.watching(it->second->natSock.fd())) {
+        loop_.removeFd(it->second->natSock.fd());
+      }
+      table_.erase(it->first);
+      it = flows_.erase(it);
+      if (metrics_) {
+        metrics_->counter("l4udp.flows_reaped").add();
+      }
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace zdr::l4lb

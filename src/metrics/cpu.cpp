@@ -1,0 +1,32 @@
+#include <ctime>
+
+#include "metrics/metrics.h"
+
+namespace zdr {
+
+namespace {
+double clockSeconds(clockid_t id) {
+  timespec ts{};
+  if (clock_gettime(id, &ts) != 0) {
+    return 0.0;
+  }
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+}  // namespace
+
+double threadCpuSeconds() { return clockSeconds(CLOCK_THREAD_CPUTIME_ID); }
+double processCpuSeconds() { return clockSeconds(CLOCK_PROCESS_CPUTIME_ID); }
+
+void burnCpu(uint64_t units) {
+  // ~1µs of work per unit on a modern core; volatile defeats the
+  // optimizer without touching memory.
+  volatile uint64_t acc = 0;
+  for (uint64_t u = 0; u < units; ++u) {
+    for (int i = 0; i < 400; ++i) {
+      acc += static_cast<uint64_t>(i) * 2654435761u;
+    }
+  }
+}
+
+}  // namespace zdr

@@ -1,0 +1,249 @@
+// Lightweight metrics: counters, gauges, histograms, time series.
+//
+// The paper's evaluation (§6) is driven by exactly this kind of
+// instrumentation: per-instance counters (HTTP status codes sent, TCP
+// RSTs, MQTT connects/ACKs), gauges (CPU, RPS), and timelines
+// normalized to the value right before a restart. Every experiment
+// binary reads its series out of a MetricsRegistry snapshot.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace zdr {
+
+// Monotonic event counter; thread-safe.
+class Counter {
+ public:
+  void add(uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Last-write-wins instantaneous value; thread-safe.
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(double v) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + v,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+// Recorded-sample histogram with quantile queries. Samples are kept
+// exactly (experiments record at most a few million points).
+class Histogram {
+ public:
+  void record(double v) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    samples_.push_back(v);
+    sorted_ = false;
+  }
+
+  [[nodiscard]] size_t count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return samples_.size();
+  }
+
+  [[nodiscard]] double mean() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (samples_.empty()) {
+      return 0;
+    }
+    double sum = 0;
+    for (double v : samples_) {
+      sum += v;
+    }
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  // q in [0,1]; e.g. 0.5, 0.99, 0.999.
+  [[nodiscard]] double quantile(double q) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (samples_.empty()) {
+      return 0;
+    }
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+    double pos = q * static_cast<double>(samples_.size() - 1);
+    auto lo = static_cast<size_t>(pos);
+    size_t hi = std::min(lo + 1, samples_.size() - 1);
+    double frac = pos - static_cast<double>(lo);
+    return samples_[lo] * (1 - frac) + samples_[hi] * frac;
+  }
+
+  [[nodiscard]] double min() const { return quantile(0.0); }
+  [[nodiscard]] double max() const { return quantile(1.0); }
+
+  void reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    samples_.clear();
+    sorted_ = false;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+// Timestamped series of (t, value) points; thread-safe appends.
+class TimeSeries {
+ public:
+  struct Point {
+    double tSeconds;  // relative to an experiment-defined origin
+    double value;
+  };
+
+  void record(double tSeconds, double value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    points_.push_back({tSeconds, value});
+  }
+
+  [[nodiscard]] std::vector<Point> points() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return points_;
+  }
+
+  // Mean value over points with t in [t0, t1).
+  [[nodiscard]] double meanOver(double t0, double t1) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    double sum = 0;
+    size_t n = 0;
+    for (const auto& p : points_) {
+      if (p.tSeconds >= t0 && p.tSeconds < t1) {
+        sum += p.value;
+        ++n;
+      }
+    }
+    return n > 0 ? sum / static_cast<double>(n) : 0.0;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    points_.clear();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Point> points_;
+};
+
+// Named metric registry; instruments are created on first use and live
+// for the registry's lifetime (stable pointers).
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = counters_[name];
+    if (!slot) {
+      slot = std::make_unique<Counter>();
+    }
+    return *slot;
+  }
+  Gauge& gauge(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = gauges_[name];
+    if (!slot) {
+      slot = std::make_unique<Gauge>();
+    }
+    return *slot;
+  }
+  Histogram& histogram(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = histograms_[name];
+    if (!slot) {
+      slot = std::make_unique<Histogram>();
+    }
+    return *slot;
+  }
+  TimeSeries& series(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = series_[name];
+    if (!slot) {
+      slot = std::make_unique<TimeSeries>();
+    }
+    return *slot;
+  }
+
+  // Point-in-time copy of all counter/gauge values.
+  [[nodiscard]] std::map<std::string, double> snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::map<std::string, double> out;
+    for (const auto& [name, c] : counters_) {
+      out["counter." + name] = static_cast<double>(c->value());
+    }
+    for (const auto& [name, g] : gauges_) {
+      out["gauge." + name] = g->value();
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::vector<std::string> counterNames() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> names;
+    names.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) {
+      names.push_back(name);
+    }
+    return names;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<TimeSeries>> series_;
+};
+
+// CPU-time probes used by the §6.3 overhead experiments.
+double threadCpuSeconds();   // CLOCK_THREAD_CPUTIME_ID
+double processCpuSeconds();  // CLOCK_PROCESS_CPUTIME_ID
+
+// Burns roughly `units` abstract work units of CPU (calibrated to be
+// small); models TLS-handshake/state-rebuild cost (§2.5).
+void burnCpu(uint64_t units);
+
+// Wall-clock stopwatch for experiment timelines.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace zdr

@@ -1,0 +1,250 @@
+#include "mqtt/broker.h"
+
+namespace zdr::mqtt {
+
+// One accepted transport (either a direct client or a tunnel relayed by
+// an Origin proxy — the broker cannot and need not tell the difference).
+struct Broker::Session : std::enable_shared_from_this<Broker::Session> {
+  ConnectionPtr conn;
+  std::string userId;   // empty until CONNECT
+  bool connected = false;
+
+  void send(const Packet& p) {
+    Buffer out;
+    encode(p, out);
+    conn->send(out.readable());
+  }
+};
+
+Broker::Broker(EventLoop& loop, const SocketAddr& addr, Options opts,
+               MetricsRegistry* metrics)
+    : loop_(loop), opts_(opts), metrics_(metrics) {
+  acceptor_ = std::make_unique<Acceptor>(
+      loop, TcpListener(addr), [this](TcpSocket sock) {
+        onAccept(std::move(sock));
+      });
+  reapTimer_ =
+      loop_.runEvery(opts_.reapInterval, [this] { reapExpiredContexts(); });
+}
+
+Broker::~Broker() {
+  loop_.cancelTimer(reapTimer_);
+  for (const auto& sess : std::set<std::shared_ptr<Session>>(sessions_)) {
+    sess->conn->close({});
+  }
+}
+
+size_t Broker::attachedCount() const noexcept {
+  size_t n = 0;
+  for (const auto& [id, ctx] : contexts_) {
+    if (ctx.attached) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void Broker::bumpCounter(const std::string& name) {
+  if (metrics_) {
+    metrics_->counter(name).add();
+  }
+}
+
+void Broker::onAccept(TcpSocket sock) {
+  auto sess = std::make_shared<Session>();
+  sess->conn = Connection::make(loop_, std::move(sock));
+  sessions_.insert(sess);
+
+  auto self = sess;
+  sess->conn->setDataCallback([this, self](Buffer& in) {
+    while (true) {
+      bool malformed = false;
+      auto pkt = decode(in, malformed);
+      if (malformed) {
+        self->conn->close(std::make_error_code(std::errc::protocol_error));
+        return;
+      }
+      if (!pkt) {
+        return;
+      }
+      onPacket(self, *pkt);
+      if (!self->conn->open()) {
+        return;
+      }
+    }
+  });
+  sess->conn->setCloseCallback(
+      [this, self](std::error_code) { onSessionClosed(self); });
+  sess->conn->start();
+}
+
+void Broker::onPacket(const std::shared_ptr<Session>& sess, const Packet& p) {
+  switch (p.type) {
+    case PacketType::kConnect:
+      handleConnect(sess, p);
+      break;
+    case PacketType::kPublish:
+      bumpCounter("broker.publish_received");
+      handlePublish(p);
+      break;
+    case PacketType::kSubscribe: {
+      if (!sess->connected) {
+        sess->conn->close(std::make_error_code(std::errc::protocol_error));
+        return;
+      }
+      auto& ctx = contexts_[sess->userId];
+      Packet ack;
+      ack.type = PacketType::kSuback;
+      ack.packetId = p.packetId;
+      ack.topics = p.topics;
+      for (const auto& t : p.topics) {
+        ctx.subscriptions.insert(t);
+        topicSubs_[t].insert(sess->userId);
+      }
+      sess->send(ack);
+      break;
+    }
+    case PacketType::kPingreq: {
+      Packet pong;
+      pong.type = PacketType::kPingresp;
+      sess->send(pong);
+      break;
+    }
+    case PacketType::kDisconnect: {
+      // Clean shutdown: the user's context is discarded entirely.
+      if (!sess->userId.empty()) {
+        auto it = contexts_.find(sess->userId);
+        if (it != contexts_.end()) {
+          for (const auto& t : it->second.subscriptions) {
+            topicSubs_[t].erase(sess->userId);
+          }
+          contexts_.erase(it);
+        }
+      }
+      sess->conn->closeAfterFlush();
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void Broker::handleConnect(const std::shared_ptr<Session>& sess,
+                           const Packet& p) {
+  Packet ack;
+  ack.type = PacketType::kConnack;
+
+  auto it = contexts_.find(p.clientId);
+  if (!p.cleanSession) {
+    // Resume attempt — the DCR re_connect path.
+    if (it == contexts_.end()) {
+      // No context: refuse; the Edge will drop the tunnel and the end
+      // user re-initiates the connection the normal way (§4.2).
+      ack.sessionPresent = false;
+      ack.returnCode = kConnRefusedIdRejected;
+      bumpCounter("broker.connect_refused");
+      sess->send(ack);
+      sess->conn->closeAfterFlush();
+      return;
+    }
+    // Context found: displace any stale attachment and re-attach.
+    if (it->second.attached && it->second.attached != sess) {
+      it->second.attached->conn->close({});
+    }
+    sess->userId = p.clientId;
+    sess->connected = true;
+    it->second.attached = sess;
+    ack.sessionPresent = true;
+    ack.returnCode = kConnAccepted;
+    bumpCounter("broker.connect_resumed");
+    sess->send(ack);
+    // Flush publishes buffered while the user was detached.
+    auto queued = std::move(it->second.queued);
+    it->second.queued.clear();
+    for (const auto& pub : queued) {
+      sess->send(pub);
+      bumpCounter("broker.publish_delivered");
+    }
+    return;
+  }
+
+  // Fresh connect: (re)create the context.
+  if (it != contexts_.end()) {
+    for (const auto& t : it->second.subscriptions) {
+      topicSubs_[t].erase(p.clientId);
+    }
+    if (it->second.attached && it->second.attached != sess) {
+      it->second.attached->conn->close({});
+    }
+    contexts_.erase(it);
+  }
+  sess->userId = p.clientId;
+  sess->connected = true;
+  auto& ctx = contexts_[p.clientId];
+  ctx.attached = sess;
+  ack.sessionPresent = false;
+  ack.returnCode = kConnAccepted;
+  bumpCounter("broker.connack_new");
+  sess->send(ack);
+}
+
+void Broker::handlePublish(const Packet& p) {
+  auto subsIt = topicSubs_.find(p.topic);
+  if (subsIt == topicSubs_.end()) {
+    return;
+  }
+  for (const auto& userId : subsIt->second) {
+    auto ctxIt = contexts_.find(userId);
+    if (ctxIt != contexts_.end()) {
+      deliver(ctxIt->second, p);
+    }
+  }
+}
+
+void Broker::deliver(UserContext& ctx, const Packet& publish) {
+  if (ctx.attached && ctx.attached->conn->open()) {
+    ctx.attached->send(publish);
+    bumpCounter("broker.publish_delivered");
+    return;
+  }
+  // Detached (mid-handoff): buffer so the stream resumes seamlessly.
+  if (ctx.queued.size() >= opts_.maxQueuedPublishes) {
+    ctx.queued.pop_front();
+    bumpCounter("broker.publish_dropped");
+  }
+  ctx.queued.push_back(publish);
+  bumpCounter("broker.publish_queued");
+}
+
+void Broker::onSessionClosed(const std::shared_ptr<Session>& sess) {
+  sessions_.erase(sess);
+  if (sess->userId.empty()) {
+    return;
+  }
+  auto it = contexts_.find(sess->userId);
+  if (it != contexts_.end() && it->second.attached == sess) {
+    // Transport died but the context survives for contextTtl — this is
+    // exactly the window Downstream Connection Reuse exploits.
+    it->second.attached = nullptr;
+    it->second.detachedAt = Clock::now();
+    bumpCounter("broker.context_detached");
+  }
+}
+
+void Broker::reapExpiredContexts() {
+  TimePoint now = Clock::now();
+  for (auto it = contexts_.begin(); it != contexts_.end();) {
+    if (!it->second.attached &&
+        now - it->second.detachedAt > opts_.contextTtl) {
+      for (const auto& t : it->second.subscriptions) {
+        topicSubs_[t].erase(it->first);
+      }
+      bumpCounter("broker.context_reaped");
+      it = contexts_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace zdr::mqtt

@@ -1,0 +1,79 @@
+// MQTT back-end broker with persistent per-user connection contexts.
+//
+// The property Downstream Connection Reuse relies on (§4.2): the
+// broker holds the end-user's connection context keyed by the globally
+// unique user-id, so when a re_connect arrives through a *different*
+// Origin proxy it can re-attach the context ("accepts re_connect if
+// one exists") and the publish stream continues; otherwise it refuses
+// and the end user must reconnect from scratch.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "metrics/metrics.h"
+#include "mqtt/codec.h"
+#include "netcore/connection.h"
+
+namespace zdr::mqtt {
+
+class Broker {
+ public:
+  struct Options {
+    // How long a detached user context survives before being reaped.
+    Duration contextTtl = Duration{60000};
+    // Publishes buffered for a detached user (drops oldest beyond this).
+    size_t maxQueuedPublishes = 1024;
+    Duration reapInterval = Duration{1000};
+  };
+
+  // Binds on `addr` (port 0 ⇒ kernel-assigned; see localAddr()).
+  Broker(EventLoop& loop, const SocketAddr& addr, Options opts,
+         MetricsRegistry* metrics = nullptr);
+  Broker(EventLoop& loop, const SocketAddr& addr)
+      : Broker(loop, addr, Options{}, nullptr) {}
+  ~Broker();
+
+  [[nodiscard]] SocketAddr localAddr() const { return acceptor_->localAddr(); }
+
+  // Introspection for tests/experiments.
+  [[nodiscard]] size_t contextCount() const noexcept {
+    return contexts_.size();
+  }
+  [[nodiscard]] size_t attachedCount() const noexcept;
+  [[nodiscard]] bool hasContext(const std::string& userId) const {
+    return contexts_.count(userId) > 0;
+  }
+
+ private:
+  struct Session;  // one accepted transport connection
+  struct UserContext {
+    std::set<std::string> subscriptions;
+    std::deque<Packet> queued;
+    std::shared_ptr<Session> attached;  // null while detached
+    TimePoint detachedAt{};
+  };
+
+  void onAccept(TcpSocket sock);
+  void onPacket(const std::shared_ptr<Session>& sess, const Packet& p);
+  void onSessionClosed(const std::shared_ptr<Session>& sess);
+  void handleConnect(const std::shared_ptr<Session>& sess, const Packet& p);
+  void handlePublish(const Packet& p);
+  void deliver(UserContext& ctx, const Packet& publish);
+  void reapExpiredContexts();
+  void bumpCounter(const std::string& name);
+
+  EventLoop& loop_;
+  Options opts_;
+  MetricsRegistry* metrics_;
+  std::unique_ptr<Acceptor> acceptor_;
+  std::set<std::shared_ptr<Session>> sessions_;
+  std::map<std::string, UserContext> contexts_;
+  std::map<std::string, std::set<std::string>> topicSubs_;  // topic→userIds
+  EventLoop::TimerId reapTimer_ = 0;
+};
+
+}  // namespace zdr::mqtt

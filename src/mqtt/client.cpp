@@ -1,0 +1,154 @@
+#include "mqtt/client.h"
+
+namespace zdr::mqtt {
+
+void Client::connect(const SocketAddr& server, bool cleanSession,
+                     ConnackCallback onConnack) {
+  connackCb_ = std::move(onConnack);
+  auto self = shared_from_this();
+  Connector::connect(loop_, server,
+                     [self, cleanSession](TcpSocket sock, std::error_code ec) {
+                       if (ec) {
+                         if (self->closeCb_) {
+                           self->closeCb_(ec);
+                         }
+                         return;
+                       }
+                       self->onSocket(std::move(sock), cleanSession);
+                     });
+}
+
+void Client::onSocket(TcpSocket sock, bool cleanSession) {
+  conn_ = Connection::make(loop_, std::move(sock));
+  auto self = shared_from_this();
+  conn_->setDataCallback([self](Buffer& in) { self->onInput(in); });
+  conn_->setCloseCallback([self](std::error_code ec) {
+    self->connected_ = false;
+    self->connackCb_ = nullptr;  // drop potential self-references
+    // The keepalive timer holds a shared_ptr to this client; cancel it
+    // or the client (and its callbacks) would outlive the transport.
+    self->loop_.cancelTimer(self->keepAliveTimer_);
+    self->keepAliveTimer_ = 0;
+    if (self->closeCb_) {
+      self->closeCb_(ec);
+    }
+  });
+  conn_->start();
+
+  Packet p;
+  p.type = PacketType::kConnect;
+  p.clientId = clientId_;
+  p.cleanSession = cleanSession;
+  send(p);
+}
+
+void Client::onInput(Buffer& in) {
+  while (true) {
+    bool malformed = false;
+    auto pkt = decode(in, malformed);
+    if (malformed) {
+      conn_->close(std::make_error_code(std::errc::protocol_error));
+      return;
+    }
+    if (!pkt) {
+      return;
+    }
+    switch (pkt->type) {
+      case PacketType::kConnack: {
+        connected_ = pkt->returnCode == kConnAccepted;
+        // One-shot: release the callback after use (callers routinely
+        // capture shared_ptrs to this client in it).
+        auto cb = std::move(connackCb_);
+        connackCb_ = nullptr;
+        if (cb) {
+          cb(pkt->sessionPresent, pkt->returnCode);
+        }
+        break;
+      }
+      case PacketType::kPublish:
+        if (publishCb_) {
+          publishCb_(pkt->topic, pkt->payload);
+        }
+        break;
+      case PacketType::kPingresp:
+        awaitingPong_ = false;
+        missedPongs_ = 0;
+        break;
+      default:
+        break;
+    }
+    if (!conn_ || !conn_->open()) {
+      return;
+    }
+  }
+}
+
+void Client::send(const Packet& p) {
+  if (!conn_ || !conn_->open()) {
+    return;
+  }
+  Buffer out;
+  encode(p, out);
+  conn_->send(out.readable());
+}
+
+void Client::subscribe(std::vector<std::string> topics) {
+  Packet p;
+  p.type = PacketType::kSubscribe;
+  p.packetId = nextPacketId_++;
+  p.topics = std::move(topics);
+  send(p);
+}
+
+void Client::publish(const std::string& topic, const std::string& payload) {
+  Packet p;
+  p.type = PacketType::kPublish;
+  p.topic = topic;
+  p.payload = payload;
+  send(p);
+}
+
+void Client::ping() {
+  Packet p;
+  p.type = PacketType::kPingreq;
+  send(p);
+}
+
+void Client::enableKeepAlive(Duration interval, int maxMissedPongs) {
+  maxMissedPongs_ = maxMissedPongs;
+  loop_.cancelTimer(keepAliveTimer_);
+  auto self = shared_from_this();
+  keepAliveTimer_ = loop_.runEvery(interval, [self] {
+    if (!self->conn_ || !self->conn_->open()) {
+      return;
+    }
+    if (self->awaitingPong_) {
+      ++self->missedPongs_;
+      if (self->missedPongs_ >= self->maxMissedPongs_) {
+        // Transport is silently dead (e.g. a proxy died without FIN):
+        // declare it broken so the owner can reconnect.
+        self->conn_->close(std::make_error_code(std::errc::timed_out));
+        return;
+      }
+    }
+    self->awaitingPong_ = true;
+    self->ping();
+  });
+}
+
+void Client::disconnect() {
+  Packet p;
+  p.type = PacketType::kDisconnect;
+  send(p);
+  if (conn_) {
+    conn_->closeAfterFlush();
+  }
+}
+
+void Client::abort() {
+  if (conn_) {
+    conn_->close(std::make_error_code(std::errc::connection_aborted));
+  }
+}
+
+}  // namespace zdr::mqtt

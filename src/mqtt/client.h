@@ -1,0 +1,79 @@
+// Asynchronous MQTT client (QoS 0 subset).
+//
+// In the testbed this plays the end-user device: it connects to the
+// Edge VIP, subscribes to its notification topic, and measures the
+// publish stream continuity across restarts (Fig 9).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mqtt/codec.h"
+#include "netcore/connection.h"
+
+namespace zdr::mqtt {
+
+class Client : public std::enable_shared_from_this<Client> {
+ public:
+  using ConnackCallback = std::function<void(bool sessionPresent,
+                                             uint8_t returnCode)>;
+  using PublishCallback =
+      std::function<void(const std::string& topic, const std::string& payload)>;
+  using CloseCallback = std::function<void(std::error_code)>;
+
+  static std::shared_ptr<Client> make(EventLoop& loop, std::string clientId) {
+    return std::shared_ptr<Client>(new Client(loop, std::move(clientId)));
+  }
+
+  // Dials `server` and sends CONNECT (cleanSession as given).
+  void connect(const SocketAddr& server, bool cleanSession,
+               ConnackCallback onConnack);
+  void subscribe(std::vector<std::string> topics);
+  void publish(const std::string& topic, const std::string& payload);
+  void ping();
+
+  // Periodic PINGREQ keepalive (§4.2: "MQTT clients periodically
+  // exchange ping and initiate new connections as soon as transport
+  // layer sessions are broken"). If `maxMissedPongs` consecutive pings
+  // go unanswered, the transport is considered dead and closed — which
+  // triggers the close callback and, at the workload layer, a
+  // client-side reconnect.
+  void enableKeepAlive(Duration interval, int maxMissedPongs = 2);
+  void disconnect();  // graceful
+  void abort();       // slam the transport shut
+
+  void setPublishCallback(PublishCallback cb) { publishCb_ = std::move(cb); }
+  void setCloseCallback(CloseCallback cb) { closeCb_ = std::move(cb); }
+
+  [[nodiscard]] bool connected() const noexcept { return connected_; }
+  [[nodiscard]] const std::string& clientId() const noexcept {
+    return clientId_;
+  }
+
+ private:
+  Client(EventLoop& loop, std::string clientId)
+      : loop_(loop), clientId_(std::move(clientId)) {}
+
+  void onSocket(TcpSocket sock, bool cleanSession);
+  void onInput(Buffer& in);
+  void send(const Packet& p);
+
+  EventLoop& loop_;
+  std::string clientId_;
+  ConnectionPtr conn_;
+  ConnackCallback connackCb_;
+  PublishCallback publishCb_;
+  CloseCallback closeCb_;
+  bool connected_ = false;
+  uint16_t nextPacketId_ = 1;
+
+  // keepalive state
+  EventLoop::TimerId keepAliveTimer_ = 0;
+  int missedPongs_ = 0;
+  int maxMissedPongs_ = 2;
+  bool awaitingPong_ = false;
+};
+
+}  // namespace zdr::mqtt

@@ -1,0 +1,219 @@
+#include "mqtt/codec.h"
+
+namespace zdr::mqtt {
+
+namespace {
+
+constexpr size_t kMaxRemainingLength = 1 << 20;
+
+void appendString(Buffer& out, const std::string& s) {
+  out.appendU16(static_cast<uint16_t>(s.size()));
+  out.append(s);
+}
+
+// Variable-length "remaining length" (§2.2.3 of the MQTT spec).
+void appendRemainingLength(Buffer& out, size_t len) {
+  do {
+    auto digit = static_cast<uint8_t>(len % 128);
+    len /= 128;
+    if (len > 0) {
+      digit |= 0x80;
+    }
+    out.appendU8(digit);
+  } while (len > 0);
+}
+
+struct Cursor {
+  std::string_view data;
+  size_t pos = 0;
+
+  [[nodiscard]] bool readU8(uint8_t& v) {
+    if (pos + 1 > data.size()) {
+      return false;
+    }
+    v = static_cast<uint8_t>(data[pos++]);
+    return true;
+  }
+  [[nodiscard]] bool readU16(uint16_t& v) {
+    if (pos + 2 > data.size()) {
+      return false;
+    }
+    v = static_cast<uint16_t>((static_cast<uint8_t>(data[pos]) << 8) |
+                              static_cast<uint8_t>(data[pos + 1]));
+    pos += 2;
+    return true;
+  }
+  [[nodiscard]] bool readString(std::string& s) {
+    uint16_t len = 0;
+    if (!readU16(len) || pos + len > data.size()) {
+      return false;
+    }
+    s.assign(data.substr(pos, len));
+    pos += len;
+    return true;
+  }
+  [[nodiscard]] std::string rest() const {
+    return std::string(data.substr(pos));
+  }
+};
+
+}  // namespace
+
+void encode(const Packet& p, Buffer& out) {
+  Buffer body;
+  uint8_t flags = 0;
+  switch (p.type) {
+    case PacketType::kConnect: {
+      appendString(body, "MQTT");
+      body.appendU8(4);  // protocol level 3.1.1
+      body.appendU8(p.cleanSession ? 0x02 : 0x00);
+      body.appendU16(p.keepAliveSec);
+      appendString(body, p.clientId);
+      break;
+    }
+    case PacketType::kConnack: {
+      body.appendU8(p.sessionPresent ? 1 : 0);
+      body.appendU8(p.returnCode);
+      break;
+    }
+    case PacketType::kPublish: {
+      appendString(body, p.topic);
+      body.append(p.payload);
+      break;
+    }
+    case PacketType::kSubscribe: {
+      flags = 0x2;  // reserved bits mandated by the spec
+      body.appendU16(p.packetId);
+      for (const auto& t : p.topics) {
+        appendString(body, t);
+        body.appendU8(0);  // requested QoS 0
+      }
+      break;
+    }
+    case PacketType::kSuback: {
+      body.appendU16(p.packetId);
+      for (size_t i = 0; i < p.topics.size(); ++i) {
+        body.appendU8(0);  // granted QoS 0
+      }
+      break;
+    }
+    case PacketType::kPingreq:
+    case PacketType::kPingresp:
+    case PacketType::kDisconnect:
+      break;
+  }
+  out.appendU8(static_cast<uint8_t>((static_cast<uint8_t>(p.type) << 4) |
+                                    flags));
+  appendRemainingLength(out, body.size());
+  out.append(body.readable());
+}
+
+std::optional<Packet> decode(Buffer& in, bool& malformed) {
+  malformed = false;
+  if (in.size() < 2) {
+    return std::nullopt;
+  }
+  uint8_t first = in.peekU8(0);
+  auto type = static_cast<PacketType>(first >> 4);
+
+  // Decode the variable-length remaining length.
+  size_t remaining = 0;
+  size_t multiplier = 1;
+  size_t lenBytes = 0;
+  while (true) {
+    if (1 + lenBytes >= in.size()) {
+      return std::nullopt;  // length itself incomplete
+    }
+    uint8_t digit = in.peekU8(1 + lenBytes);
+    remaining += static_cast<size_t>(digit & 0x7F) * multiplier;
+    multiplier *= 128;
+    ++lenBytes;
+    if ((digit & 0x80) == 0) {
+      break;
+    }
+    if (lenBytes > 4) {
+      malformed = true;
+      return std::nullopt;
+    }
+  }
+  if (remaining > kMaxRemainingLength) {
+    malformed = true;
+    return std::nullopt;
+  }
+  size_t total = 1 + lenBytes + remaining;
+  if (in.size() < total) {
+    return std::nullopt;
+  }
+
+  std::string body = in.toString(total).substr(1 + lenBytes);
+  in.consume(total);
+
+  Packet p;
+  p.type = type;
+  Cursor cur{body};
+  switch (type) {
+    case PacketType::kConnect: {
+      std::string protoName;
+      uint8_t level = 0;
+      uint8_t connectFlags = 0;
+      if (!cur.readString(protoName) || !cur.readU8(level) ||
+          !cur.readU8(connectFlags) || !cur.readU16(p.keepAliveSec) ||
+          !cur.readString(p.clientId) || protoName != "MQTT") {
+        malformed = true;
+        return std::nullopt;
+      }
+      p.cleanSession = (connectFlags & 0x02) != 0;
+      break;
+    }
+    case PacketType::kConnack: {
+      uint8_t sp = 0;
+      if (!cur.readU8(sp) || !cur.readU8(p.returnCode)) {
+        malformed = true;
+        return std::nullopt;
+      }
+      p.sessionPresent = (sp & 1) != 0;
+      break;
+    }
+    case PacketType::kPublish: {
+      if (!cur.readString(p.topic)) {
+        malformed = true;
+        return std::nullopt;
+      }
+      p.payload = cur.rest();
+      break;
+    }
+    case PacketType::kSubscribe: {
+      if (!cur.readU16(p.packetId)) {
+        malformed = true;
+        return std::nullopt;
+      }
+      while (cur.pos < body.size()) {
+        std::string topic;
+        uint8_t qos = 0;
+        if (!cur.readString(topic) || !cur.readU8(qos)) {
+          malformed = true;
+          return std::nullopt;
+        }
+        p.topics.push_back(std::move(topic));
+      }
+      break;
+    }
+    case PacketType::kSuback: {
+      if (!cur.readU16(p.packetId)) {
+        malformed = true;
+        return std::nullopt;
+      }
+      break;
+    }
+    case PacketType::kPingreq:
+    case PacketType::kPingresp:
+    case PacketType::kDisconnect:
+      break;
+    default:
+      malformed = true;
+      return std::nullopt;
+  }
+  return p;
+}
+
+}  // namespace zdr::mqtt

@@ -1,0 +1,60 @@
+// MQTT 3.1.1-subset packet codec.
+//
+// The reproduction needs CONNECT/CONNACK (with session resumption so a
+// broker can re-attach a user context after Downstream Connection
+// Reuse), PUBLISH (QoS 0), SUBSCRIBE/SUBACK, PING and DISCONNECT.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netcore/buffer.h"
+
+namespace zdr::mqtt {
+
+enum class PacketType : uint8_t {
+  kConnect = 1,
+  kConnack = 2,
+  kPublish = 3,
+  kSubscribe = 8,
+  kSuback = 9,
+  kPingreq = 12,
+  kPingresp = 13,
+  kDisconnect = 14,
+};
+
+// CONNACK return codes (3.1.1 table 3.1).
+inline constexpr uint8_t kConnAccepted = 0;
+inline constexpr uint8_t kConnRefusedIdRejected = 2;
+
+struct Packet {
+  PacketType type = PacketType::kPingreq;
+
+  // CONNECT
+  std::string clientId;     // the paper's globally-unique user-id
+  bool cleanSession = true; // false ⇒ resume existing context (DCR)
+  uint16_t keepAliveSec = 60;
+
+  // CONNACK
+  bool sessionPresent = false;
+  uint8_t returnCode = kConnAccepted;
+
+  // PUBLISH
+  std::string topic;
+  std::string payload;
+
+  // SUBSCRIBE / SUBACK
+  uint16_t packetId = 0;
+  std::vector<std::string> topics;
+};
+
+// Serializes `p` onto `out`.
+void encode(const Packet& p, Buffer& out);
+
+// Decodes one packet if fully buffered (consuming it); nullopt if
+// incomplete. Sets `malformed` on protocol violation.
+std::optional<Packet> decode(Buffer& in, bool& malformed);
+
+}  // namespace zdr::mqtt

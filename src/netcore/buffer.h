@@ -1,0 +1,98 @@
+// Growable byte queue used for per-connection read/write buffering.
+//
+// Modeled loosely on a flattened folly::IOBuf: a contiguous vector with
+// a consumed prefix that is compacted lazily.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace zdr {
+
+class Buffer {
+ public:
+  Buffer() = default;
+
+  [[nodiscard]] size_t size() const noexcept { return data_.size() - head_; }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+  // Readable region.
+  [[nodiscard]] std::span<const std::byte> readable() const noexcept {
+    return {data_.data() + head_, size()};
+  }
+  [[nodiscard]] std::string_view view() const noexcept {
+    return {reinterpret_cast<const char*>(data_.data() + head_), size()};
+  }
+
+  void append(std::span<const std::byte> bytes) {
+    data_.insert(data_.end(), bytes.begin(), bytes.end());
+  }
+  void append(std::string_view s) {
+    append(std::as_bytes(std::span(s.data(), s.size())));
+  }
+  void appendU8(uint8_t v) { data_.push_back(static_cast<std::byte>(v)); }
+  void appendU16(uint16_t v) {  // big-endian
+    appendU8(static_cast<uint8_t>(v >> 8));
+    appendU8(static_cast<uint8_t>(v));
+  }
+  void appendU32(uint32_t v) {
+    appendU16(static_cast<uint16_t>(v >> 16));
+    appendU16(static_cast<uint16_t>(v));
+  }
+  void appendU64(uint64_t v) {
+    appendU32(static_cast<uint32_t>(v >> 32));
+    appendU32(static_cast<uint32_t>(v));
+  }
+
+  // Consumes `n` bytes from the front (n must be ≤ size()).
+  void consume(size_t n) {
+    head_ += n;
+    // Compact once the dead prefix dominates, to bound memory.
+    if (head_ > 4096 && head_ > data_.size() / 2) {
+      data_.erase(data_.begin(),
+                  data_.begin() + static_cast<ptrdiff_t>(head_));
+      head_ = 0;
+    }
+    if (head_ == data_.size()) {
+      data_.clear();
+      head_ = 0;
+    }
+  }
+
+  void clear() noexcept {
+    data_.clear();
+    head_ = 0;
+  }
+
+  // Big-endian peeks (offset relative to readable front). Caller must
+  // check size() first.
+  [[nodiscard]] uint8_t peekU8(size_t off = 0) const {
+    return static_cast<uint8_t>(data_[head_ + off]);
+  }
+  [[nodiscard]] uint16_t peekU16(size_t off = 0) const {
+    return static_cast<uint16_t>((peekU8(off) << 8) | peekU8(off + 1));
+  }
+  [[nodiscard]] uint32_t peekU32(size_t off = 0) const {
+    return (static_cast<uint32_t>(peekU16(off)) << 16) | peekU16(off + 2);
+  }
+  [[nodiscard]] uint64_t peekU64(size_t off = 0) const {
+    return (static_cast<uint64_t>(peekU32(off)) << 32) | peekU32(off + 4);
+  }
+
+  // Copies the first n readable bytes into a string.
+  [[nodiscard]] std::string toString(size_t n) const {
+    n = std::min(n, size());
+    return std::string(view().substr(0, n));
+  }
+
+ private:
+  std::vector<std::byte> data_;
+  size_t head_ = 0;
+};
+
+}  // namespace zdr

@@ -1,0 +1,260 @@
+#include "netcore/connection.h"
+
+#include <sys/epoll.h>
+
+#include <array>
+
+#include "netcore/result.h"
+
+namespace zdr {
+
+Connection::Connection(EventLoop& loop, TcpSocket sock)
+    : loop_(loop), sock_(std::move(sock)) {}
+
+Connection::~Connection() {
+  if (registered_ && sock_.valid()) {
+    loop_.removeFd(sock_.fd());
+  }
+}
+
+void Connection::start() {
+  auto self = shared_from_this();
+  loop_.addFd(sock_.fd(), EPOLLIN,
+              [self](uint32_t events) { self->handleEvents(events); });
+  registered_ = true;
+}
+
+void Connection::handleEvents(uint32_t events) {
+  if (events & (EPOLLERR | EPOLLHUP)) {
+    // Pull any final bytes first so data racing a reset is not lost.
+    handleReadable();
+    if (!closed_) {
+      close(std::make_error_code(std::errc::connection_reset));
+    }
+    return;
+  }
+  if (events & EPOLLIN) {
+    handleReadable();
+  }
+  if (closed_) {
+    return;
+  }
+  if (events & EPOLLOUT) {
+    handleWritable();
+  }
+}
+
+void Connection::handleReadable() {
+  std::array<std::byte, 16384> chunk;
+  while (sock_.valid()) {
+    std::error_code ec;
+    size_t n = sock_.read(chunk, ec);
+    if (ec) {
+      if (ec == std::errc::operation_would_block ||
+          ec == std::errc::resource_unavailable_try_again) {
+        break;
+      }
+      if (ec == std::errc::interrupted) {
+        continue;
+      }
+      close(ec);
+      return;
+    }
+    if (n == 0) {  // orderly EOF
+      close({});
+      return;
+    }
+    in_.append(std::span(chunk.data(), n));
+    if (n < chunk.size()) {
+      break;  // drained the socket
+    }
+  }
+  if (dataCb_ && !in_.empty()) {
+    // Invoke through a copy: the callback may close() this connection,
+    // which drops dataCb_ — destroying the lambda mid-execution.
+    auto cb = dataCb_;
+    cb(in_);
+  }
+}
+
+void Connection::handleWritable() {
+  if (!out_.empty()) {
+    std::error_code ec;
+    size_t n = sock_.write(out_.readable(), ec);
+    if (ec && ec != std::errc::operation_would_block &&
+        ec != std::errc::resource_unavailable_try_again) {
+      close(ec);
+      return;
+    }
+    out_.consume(n);
+  }
+  if (out_.empty()) {
+    if (drainCb_) {
+      auto cb = drainCb_;  // same self-close hazard as dataCb_
+      cb();
+    }
+    if (closeOnDrain_) {
+      close({});
+      return;
+    }
+  }
+  updateInterest();
+}
+
+void Connection::send(std::span<const std::byte> bytes) {
+  if (closed_ || !sock_.valid()) {
+    return;
+  }
+  // Fast path: try a direct write when nothing is queued.
+  size_t written = 0;
+  if (out_.empty()) {
+    std::error_code ec;
+    written = sock_.write(bytes, ec);
+    if (ec && ec != std::errc::operation_would_block &&
+        ec != std::errc::resource_unavailable_try_again) {
+      close(ec);
+      return;
+    }
+  }
+  if (written < bytes.size()) {
+    out_.append(bytes.subspan(written));
+    updateInterest();
+  } else if (closeOnDrain_ && out_.empty()) {
+    close({});
+  }
+}
+
+void Connection::updateInterest() {
+  bool want = !out_.empty();
+  if (want != wantWrite_ && sock_.valid() && registered_) {
+    wantWrite_ = want;
+    loop_.modifyFd(sock_.fd(),
+                   EPOLLIN | (want ? static_cast<uint32_t>(EPOLLOUT) : 0u));
+  }
+}
+
+void Connection::close(std::error_code reason) {
+  if (closed_) {
+    return;
+  }
+  closed_ = true;
+  if (registered_ && sock_.valid()) {
+    loop_.removeFd(sock_.fd());
+    registered_ = false;
+  }
+  sock_.close();
+  // Callbacks routinely capture shared_ptrs to the object that owns
+  // this connection; dropping them here breaks the reference cycle the
+  // moment the connection dies.
+  dataCb_ = nullptr;
+  drainCb_ = nullptr;
+  if (closeCb_) {
+    // Detach first: callbacks may destroy this object's owner.
+    auto cb = std::move(closeCb_);
+    closeCb_ = nullptr;
+    cb(reason);
+  }
+}
+
+void Connection::closeAfterFlush() {
+  if (out_.empty()) {
+    close({});
+  } else {
+    closeOnDrain_ = true;
+  }
+}
+
+// ----------------------------------------------------------------- Acceptor
+
+Acceptor::Acceptor(EventLoop& loop, TcpListener listener, AcceptCallback cb)
+    : loop_(loop), listener_(std::move(listener)), cb_(std::move(cb)) {
+  loop_.addFd(listener_.fd(), EPOLLIN,
+              [this](uint32_t) { handleReadable(); });
+}
+
+Acceptor::~Acceptor() { close(); }
+
+void Acceptor::handleReadable() {
+  while (true) {
+    std::error_code ec;
+    auto sock = listener_.accept(ec);
+    if (!sock) {
+      break;  // EAGAIN or transient error; either way, wait for epoll
+    }
+    cb_(std::move(*sock));
+  }
+}
+
+FdGuard Acceptor::detach() {
+  if (!listener_.valid()) {
+    return {};
+  }
+  loop_.removeFd(listener_.fd());
+  return listener_.takeFd();
+}
+
+void Acceptor::close() {
+  if (listener_.valid()) {
+    loop_.removeFd(listener_.fd());
+    listener_.close();
+  }
+}
+
+// ---------------------------------------------------------------- Connector
+
+namespace {
+
+// Holds connect-in-progress state until writability or timeout.
+struct PendingConnect : std::enable_shared_from_this<PendingConnect> {
+  EventLoop& loop;
+  TcpSocket sock;
+  Connector::ConnectCallback cb;
+  EventLoop::TimerId timer = 0;
+  bool done = false;
+
+  PendingConnect(EventLoop& l, TcpSocket s, Connector::ConnectCallback c)
+      : loop(l), sock(std::move(s)), cb(std::move(c)) {}
+
+  void finish(std::error_code ec) {
+    if (done) {
+      return;
+    }
+    done = true;
+    loop.removeFd(sock.fd());
+    loop.cancelTimer(timer);
+    if (ec) {
+      cb(TcpSocket{}, ec);
+    } else {
+      cb(std::move(sock), {});
+    }
+  }
+};
+
+}  // namespace
+
+void Connector::connect(EventLoop& loop, const SocketAddr& peer,
+                        ConnectCallback cb, Duration timeout) {
+  std::error_code ec;
+  TcpSocket sock = TcpSocket::connect(peer, ec);
+  if (ec) {
+    cb(TcpSocket{}, ec);
+    return;
+  }
+  auto pending =
+      std::make_shared<PendingConnect>(loop, std::move(sock), std::move(cb));
+  loop.addFd(pending->sock.fd(), EPOLLOUT, [pending](uint32_t events) {
+    if (events & (EPOLLERR | EPOLLHUP)) {
+      std::error_code soErr = pending->sock.connectError();
+      pending->finish(soErr ? soErr
+                            : std::make_error_code(
+                                  std::errc::connection_refused));
+      return;
+    }
+    pending->finish(pending->sock.connectError());
+  });
+  pending->timer = loop.runAfter(timeout, [pending] {
+    pending->finish(std::make_error_code(std::errc::timed_out));
+  });
+}
+
+}  // namespace zdr

@@ -1,0 +1,220 @@
+#include "netcore/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <array>
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+
+#include "netcore/result.h"
+
+namespace zdr {
+
+EventLoop::EventLoop() {
+  epollFd_.reset(::epoll_create1(EPOLL_CLOEXEC));
+  if (!epollFd_) {
+    throwErrno("epoll_create1");
+  }
+  wakeFd_.reset(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC));
+  if (!wakeFd_) {
+    throwErrno("eventfd");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wakeFd_.get();
+  if (::epoll_ctl(epollFd_.get(), EPOLL_CTL_ADD, wakeFd_.get(), &ev) < 0) {
+    throwErrno("epoll_ctl(wakeFd)");
+  }
+  // loopThreadId_ stays unset until run()/poll(): see the header note.
+}
+
+EventLoop::~EventLoop() = default;
+
+void EventLoop::addFd(int fd, uint32_t events, IoCallback cb) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epollFd_.get(), EPOLL_CTL_ADD, fd, &ev) < 0) {
+    throwErrno("epoll_ctl(ADD)");
+  }
+  handlers_[fd] = std::make_shared<IoCallback>(std::move(cb));
+}
+
+void EventLoop::modifyFd(int fd, uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epollFd_.get(), EPOLL_CTL_MOD, fd, &ev) < 0) {
+    throwErrno("epoll_ctl(MOD)");
+  }
+}
+
+void EventLoop::removeFd(int fd) {
+  if (handlers_.erase(fd) > 0) {
+    ::epoll_ctl(epollFd_.get(), EPOLL_CTL_DEL, fd, nullptr);
+  }
+}
+
+EventLoop::TimerId EventLoop::runAfter(Duration delay, Callback cb) {
+  TimerId id = nextTimerId_++;
+  timers_.push(Timer{Clock::now() + delay, Duration{0}, id, std::move(cb)});
+  timerAlive_[id] = true;
+  return id;
+}
+
+EventLoop::TimerId EventLoop::runEvery(Duration period, Callback cb) {
+  TimerId id = nextTimerId_++;
+  timers_.push(Timer{Clock::now() + period, period, id, std::move(cb)});
+  timerAlive_[id] = true;
+  return id;
+}
+
+void EventLoop::cancelTimer(TimerId id) {
+  auto it = timerAlive_.find(id);
+  if (it != timerAlive_.end()) {
+    it->second = false;
+  }
+}
+
+void EventLoop::runInLoop(Callback cb) {
+  {
+    std::lock_guard<std::mutex> lock(postedMutex_);
+    posted_.push_back(std::move(cb));
+  }
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wakeFd_.get(), &one, sizeof(one));
+}
+
+void EventLoop::stop() {
+  stopped_.store(true, std::memory_order_release);
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wakeFd_.get(), &one, sizeof(one));
+}
+
+int EventLoop::msUntilNextTimer() const {
+  if (timers_.empty()) {
+    return 100;  // idle tick: bounded so stop() latency stays low
+  }
+  auto dt = timers_.top().deadline - Clock::now();
+  auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(dt).count();
+  if (ms < 0) {
+    return 0;
+  }
+  return static_cast<int>(std::min<long long>(ms, 100));
+}
+
+void EventLoop::run() {
+  loopThreadId_ = std::this_thread::get_id();
+  // Note: stopped_ is deliberately NOT reset here — a stop() that
+  // raced ahead of thread startup must still win, or the owning
+  // thread's join() would hang forever.
+  while (!stopped_.load(std::memory_order_acquire)) {
+    iterate(msUntilNextTimer());
+  }
+  drainPosted();  // honour posts raced with stop()
+}
+
+void EventLoop::poll(Duration maxWait) {
+  loopThreadId_ = std::this_thread::get_id();
+  iterate(static_cast<int>(maxWait.count()));
+}
+
+void EventLoop::iterate(int timeoutMs) {
+  std::array<epoll_event, 128> events;
+  int n = ::epoll_wait(epollFd_.get(), events.data(),
+                       static_cast<int>(events.size()), timeoutMs);
+  if (n < 0 && errno != EINTR) {
+    throwErrno("epoll_wait");
+  }
+  for (int i = 0; i < n; ++i) {
+    int fd = events[static_cast<size_t>(i)].data.fd;
+    uint32_t mask = events[static_cast<size_t>(i)].events;
+    if (fd == wakeFd_.get()) {
+      uint64_t drained = 0;
+      [[maybe_unused]] ssize_t r =
+          ::read(wakeFd_.get(), &drained, sizeof(drained));
+      continue;
+    }
+    auto it = handlers_.find(fd);
+    if (it == handlers_.end()) {
+      continue;  // removed by an earlier callback this iteration
+    }
+    auto cb = it->second;  // keep alive across possible removeFd()
+    (*cb)(mask);
+  }
+  drainPosted();
+  fireTimers();
+}
+
+void EventLoop::drainPosted() {
+  std::vector<Callback> batch;
+  {
+    std::lock_guard<std::mutex> lock(postedMutex_);
+    batch.swap(posted_);
+  }
+  for (auto& cb : batch) {
+    cb();
+  }
+}
+
+void EventLoop::fireTimers() {
+  TimePoint now = Clock::now();
+  while (!timers_.empty() && timers_.top().deadline <= now) {
+    Timer t = timers_.top();
+    timers_.pop();
+    auto it = timerAlive_.find(t.id);
+    if (it == timerAlive_.end() || !it->second) {
+      timerAlive_.erase(t.id);
+      continue;
+    }
+    if (t.period.count() > 0) {
+      Timer next = t;
+      next.deadline = now + t.period;
+      timers_.push(next);
+      t.cb();
+    } else {
+      timerAlive_.erase(t.id);
+      t.cb();
+    }
+  }
+}
+
+// ------------------------------------------------------------ loop thread
+
+EventLoopThread::EventLoopThread(std::string name)
+    : name_(std::move(name)), loop_(std::make_unique<EventLoop>()) {
+  thread_ = std::thread([this] { loop_->run(); });
+}
+
+EventLoopThread::~EventLoopThread() {
+  loop_->stop();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void EventLoopThread::runSync(EventLoop::Callback fn) {
+  if (loop_->isInLoopThread()) {
+    fn();
+    return;
+  }
+  std::mutex m;
+  std::condition_variable cv;
+  bool done = false;
+  loop_->runInLoop([&] {
+    fn();
+    // Notify while holding the mutex: if the waiter woke spuriously and
+    // saw `done`, it could otherwise destroy `cv` (stack unwind) while
+    // notify_one() is still touching it.
+    std::lock_guard<std::mutex> lock(m);
+    done = true;
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(m);
+  cv.wait(lock, [&] { return done; });
+}
+
+}  // namespace zdr

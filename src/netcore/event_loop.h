@@ -1,0 +1,126 @@
+// Single-threaded epoll event loop with timers and cross-thread posts.
+//
+// Each simulated tier instance (Proxygen, app server, broker, L4LB…)
+// owns one EventLoop running on its own thread; all of its sockets and
+// state are confined to that thread (Core Guidelines CP: avoid data
+// races by confinement).
+#pragma once
+
+#include <sys/epoll.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "netcore/fd_guard.h"
+
+namespace zdr {
+
+using Clock = std::chrono::steady_clock;
+using TimePoint = Clock::time_point;
+using Duration = std::chrono::milliseconds;
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+  // `events` is the epoll event mask (EPOLLIN / EPOLLOUT / EPOLLERR…).
+  using IoCallback = std::function<void(uint32_t events)>;
+  using TimerId = uint64_t;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // --- fd interest (loop thread only) ---
+  void addFd(int fd, uint32_t events, IoCallback cb);
+  void modifyFd(int fd, uint32_t events);
+  void removeFd(int fd);
+  [[nodiscard]] bool watching(int fd) const { return handlers_.count(fd) > 0; }
+
+  // --- timers (loop thread only) ---
+  TimerId runAfter(Duration delay, Callback cb);
+  TimerId runEvery(Duration period, Callback cb);
+  void cancelTimer(TimerId id);
+
+  // --- cross-thread ---
+  // Enqueues `cb` to run on the loop thread; safe from any thread.
+  void runInLoop(Callback cb);
+  void stop();  // safe from any thread
+
+  // Runs until stop(); dispatches io, timers and posted callbacks.
+  void run();
+  // Single non-blocking (or bounded) iteration; for tests.
+  void poll(Duration maxWait = Duration{0});
+
+  [[nodiscard]] bool isInLoopThread() const noexcept {
+    return std::this_thread::get_id() ==
+           loopThreadId_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Timer {
+    TimePoint deadline;
+    Duration period{0};  // zero ⇒ one-shot
+    TimerId id;
+    Callback cb;
+  };
+  struct TimerOrder {
+    bool operator()(const Timer& a, const Timer& b) const {
+      return a.deadline > b.deadline;  // min-heap
+    }
+  };
+
+  void iterate(int timeoutMs);
+  void drainPosted();
+  void fireTimers();
+  [[nodiscard]] int msUntilNextTimer() const;
+
+  FdGuard epollFd_;
+  FdGuard wakeFd_;  // eventfd for cross-thread wakeups
+  // shared_ptr so a handler erased mid-dispatch stays alive for the call.
+  std::map<int, std::shared_ptr<IoCallback>> handlers_;
+
+  std::priority_queue<Timer, std::vector<Timer>, TimerOrder> timers_;
+  std::map<TimerId, bool> timerAlive_;
+  TimerId nextTimerId_ = 1;
+
+  std::mutex postedMutex_;
+  std::vector<Callback> posted_;
+
+  std::atomic<bool> stopped_{false};
+  // Identity of the thread running run()/poll(). Deliberately NOT the
+  // constructing thread: before the loop runs, nobody is "in" it, so
+  // cross-thread posts (runSync during startup) queue instead of
+  // executing on the wrong thread.
+  std::atomic<std::thread::id> loopThreadId_{};
+};
+
+// Owns a thread running an EventLoop; joins + stops on destruction.
+class EventLoopThread {
+ public:
+  explicit EventLoopThread(std::string name = "loop");
+  ~EventLoopThread();
+  EventLoopThread(const EventLoopThread&) = delete;
+  EventLoopThread& operator=(const EventLoopThread&) = delete;
+
+  [[nodiscard]] EventLoop& loop() noexcept { return *loop_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  // Runs `fn` on the loop thread and waits for it to finish.
+  void runSync(EventLoop::Callback fn);
+
+ private:
+  std::string name_;
+  std::unique_ptr<EventLoop> loop_;
+  std::thread thread_;
+};
+
+}  // namespace zdr

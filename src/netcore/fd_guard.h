@@ -1,0 +1,56 @@
+// RAII ownership of a POSIX file descriptor.
+//
+// Every fd in this codebase is owned by exactly one FdGuard (Core
+// Guidelines R.1). Raw ints appear only at syscall boundaries.
+#pragma once
+
+#include <unistd.h>
+
+#include <utility>
+
+namespace zdr {
+
+class FdGuard {
+ public:
+  FdGuard() noexcept = default;
+  explicit FdGuard(int fd) noexcept : fd_(fd) {}
+
+  FdGuard(const FdGuard&) = delete;
+  FdGuard& operator=(const FdGuard&) = delete;
+
+  FdGuard(FdGuard&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  FdGuard& operator=(FdGuard&& other) noexcept {
+    if (this != &other) {
+      reset(std::exchange(other.fd_, -1));
+    }
+    return *this;
+  }
+
+  ~FdGuard() { reset(); }
+
+  // The wrapped descriptor, or -1 when empty.
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  explicit operator bool() const noexcept { return valid(); }
+
+  // Releases ownership without closing.
+  [[nodiscard]] int release() noexcept { return std::exchange(fd_, -1); }
+
+  // Closes the current fd (if any) and adopts `fd`.
+  void reset(int fd = -1) noexcept {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+    fd_ = fd;
+  }
+
+  // Duplicates the descriptor (dup(2)); returns an empty guard on error.
+  [[nodiscard]] FdGuard dup() const noexcept {
+    return fd_ >= 0 ? FdGuard(::dup(fd_)) : FdGuard();
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace zdr

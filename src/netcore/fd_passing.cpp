@@ -1,0 +1,125 @@
+#include "netcore/fd_passing.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "netcore/result.h"
+
+namespace zdr {
+
+std::error_code sendFds(int sockFd, std::span<const std::byte> payload,
+                        std::span<const int> fds) {
+  if (payload.empty()) {
+    return std::make_error_code(std::errc::invalid_argument);
+  }
+  if (fds.size() > kMaxFdsPerMessage) {
+    return std::make_error_code(std::errc::argument_list_too_long);
+  }
+
+  iovec iov{};
+  iov.iov_base = const_cast<std::byte*>(payload.data());
+  iov.iov_len = payload.size();
+
+  msghdr msg{};
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+
+  // Control-message buffer sized for the fd array.
+  alignas(cmsghdr) char cbuf[CMSG_SPACE(sizeof(int) * kMaxFdsPerMessage)];
+  if (!fds.empty()) {
+    std::memset(cbuf, 0, sizeof(cbuf));
+    msg.msg_control = cbuf;
+    msg.msg_controllen = CMSG_SPACE(sizeof(int) * fds.size());
+    cmsghdr* cmsg = CMSG_FIRSTHDR(&msg);
+    cmsg->cmsg_level = SOL_SOCKET;
+    cmsg->cmsg_type = SCM_RIGHTS;
+    cmsg->cmsg_len = CMSG_LEN(sizeof(int) * fds.size());
+    std::memcpy(CMSG_DATA(cmsg), fds.data(), sizeof(int) * fds.size());
+  }
+
+  ssize_t n;
+  do {
+    n = ::sendmsg(sockFd, &msg, MSG_NOSIGNAL);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) {
+    return errnoCode();
+  }
+  if (static_cast<size_t>(n) != payload.size()) {
+    // UNIX stream sockets deliver SCM_RIGHTS atomically with the first
+    // byte; a short write of the payload would desynchronize framing.
+    return std::make_error_code(std::errc::message_size);
+  }
+  return {};
+}
+
+std::error_code recvFds(int sockFd, std::vector<std::byte>& payload,
+                        std::vector<FdGuard>& fds, size_t maxPayload) {
+  payload.resize(maxPayload);
+
+  iovec iov{};
+  iov.iov_base = payload.data();
+  iov.iov_len = payload.size();
+
+  msghdr msg{};
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+
+  alignas(cmsghdr) char cbuf[CMSG_SPACE(sizeof(int) * kMaxFdsPerMessage)];
+  msg.msg_control = cbuf;
+  msg.msg_controllen = sizeof(cbuf);
+
+  ssize_t n;
+  do {
+    n = ::recvmsg(sockFd, &msg, MSG_CMSG_CLOEXEC);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) {
+    payload.clear();
+    return errnoCode();
+  }
+  payload.resize(static_cast<size_t>(n));
+
+  // Adopt any received descriptors immediately so they cannot leak —
+  // §5.1 warns that ignored takeover fds keep kernel sockets alive and
+  // silently black-hole their share of incoming connections.
+  for (cmsghdr* cmsg = CMSG_FIRSTHDR(&msg); cmsg != nullptr;
+       cmsg = CMSG_NXTHDR(&msg, cmsg)) {
+    if (cmsg->cmsg_level != SOL_SOCKET || cmsg->cmsg_type != SCM_RIGHTS) {
+      continue;
+    }
+    size_t bytes = cmsg->cmsg_len - CMSG_LEN(0);
+    size_t count = bytes / sizeof(int);
+    std::vector<int> raw(count);
+    std::memcpy(raw.data(), CMSG_DATA(cmsg), bytes);
+    for (int fd : raw) {
+      fds.emplace_back(fd);
+    }
+  }
+
+  if (n == 0 && fds.empty()) {
+    return std::make_error_code(std::errc::connection_aborted);  // EOF
+  }
+  if (msg.msg_flags & MSG_CTRUNC) {
+    return std::make_error_code(std::errc::message_size);
+  }
+  return {};
+}
+
+std::error_code sendFdsMsg(int sockFd, const std::string& payload,
+                           std::span<const int> fds) {
+  return sendFds(sockFd,
+                 std::as_bytes(std::span(payload.data(), payload.size())),
+                 fds);
+}
+
+std::error_code recvFdsMsg(int sockFd, std::string& payload,
+                           std::vector<FdGuard>& fds) {
+  std::vector<std::byte> buf;
+  auto ec = recvFds(sockFd, buf, fds);
+  payload.assign(reinterpret_cast<const char*>(buf.data()), buf.size());
+  return ec;
+}
+
+}  // namespace zdr

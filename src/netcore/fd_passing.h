@@ -1,0 +1,41 @@
+// File-descriptor passing over UNIX-domain sockets.
+//
+// This is the kernel primitive at the heart of Socket Takeover (§4.1):
+// sendmsg(2) with a SCM_RIGHTS control message transfers open fds to a
+// peer process; on receipt they behave as if created with dup(2) —
+// same file-table entry, so a passed listening socket keeps accepting
+// and a passed UDP socket keeps its slot in the SO_REUSEPORT ring.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <system_error>
+#include <vector>
+
+#include "netcore/fd_guard.h"
+
+namespace zdr {
+
+// Sends `payload` (must be non-empty) plus up to kMaxFdsPerMessage fds
+// in one sendmsg() call on UNIX socket `sockFd`.
+// Returns an error_code; fds remain owned by the caller either way.
+inline constexpr size_t kMaxFdsPerMessage = 64;
+
+std::error_code sendFds(int sockFd, std::span<const std::byte> payload,
+                        std::span<const int> fds);
+
+// Receives one message; fills `payload` (resized to bytes received) and
+// appends any received descriptors to `fds` as owned guards.
+// A 0-byte read with no fds reports std::errc::connection_reset-style
+// EOF via the returned error_code (end of stream).
+std::error_code recvFds(int sockFd, std::vector<std::byte>& payload,
+                        std::vector<FdGuard>& fds, size_t maxPayload = 65536);
+
+// Convenience: string payloads.
+std::error_code sendFdsMsg(int sockFd, const std::string& payload,
+                           std::span<const int> fds);
+std::error_code recvFdsMsg(int sockFd, std::string& payload,
+                           std::vector<FdGuard>& fds);
+
+}  // namespace zdr

@@ -1,0 +1,57 @@
+// Error-reporting conventions for the networking hot path.
+//
+// Per-I/O operations return std::error_code (or a small Result<T>);
+// constructors and configuration errors throw std::system_error.
+#pragma once
+
+#include <cerrno>
+#include <stdexcept>
+#include <string>
+#include <system_error>
+#include <utility>
+#include <variant>
+
+namespace zdr {
+
+// The current errno as a std::error_code.
+inline std::error_code errnoCode() noexcept {
+  return {errno, std::generic_category()};
+}
+
+inline std::error_code okCode() noexcept { return {}; }
+
+// Throws std::system_error built from errno; used for setup failures
+// where the object cannot be left half-constructed.
+[[noreturn]] inline void throwErrno(const std::string& what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+// Minimal expected-like holder for hot-path returns that carry a value.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}              // NOLINT
+  Result(std::error_code ec) : storage_(ec) {}                 // NOLINT
+
+  [[nodiscard]] bool ok() const noexcept {
+    return std::holds_alternative<T>(storage_);
+  }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] const T& value() const& { return std::get<T>(storage_); }
+  [[nodiscard]] T& value() & { return std::get<T>(storage_); }
+  [[nodiscard]] T&& value() && { return std::get<T>(std::move(storage_)); }
+
+  [[nodiscard]] std::error_code error() const {
+    return ok() ? std::error_code{} : std::get<std::error_code>(storage_);
+  }
+
+  [[nodiscard]] T valueOr(T fallback) const& {
+    return ok() ? std::get<T>(storage_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, std::error_code> storage_;
+};
+
+}  // namespace zdr

@@ -1,0 +1,295 @@
+#include "netcore/socket.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace zdr {
+
+namespace detail {
+
+void setNonBlocking(int fd, bool enabled) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) {
+    throwErrno("fcntl(F_GETFL)");
+  }
+  flags = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, flags) < 0) {
+    throwErrno("fcntl(F_SETFL)");
+  }
+}
+
+void setCloExec(int fd) {
+  int flags = ::fcntl(fd, F_GETFD, 0);
+  if (flags >= 0) {
+    ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+  }
+}
+
+int getSoError(int fd) {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+    return errno;
+  }
+  return err;
+}
+
+SocketAddr localAddrOf(int fd) {
+  sockaddr_in sa{};
+  socklen_t len = sizeof(sa);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &len) < 0) {
+    throwErrno("getsockname");
+  }
+  return SocketAddr(sa);
+}
+
+namespace {
+
+void applyBindOptions(int fd, const BindOptions& opts) {
+  int one = 1;
+  if (opts.reuseAddr &&
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) < 0) {
+    throwErrno("setsockopt(SO_REUSEADDR)");
+  }
+  if (opts.reusePort &&
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) < 0) {
+    throwErrno("setsockopt(SO_REUSEPORT)");
+  }
+  if (opts.nonBlocking) {
+    setNonBlocking(fd, true);
+  }
+}
+
+FdGuard makeSocket(int domain, int type) {
+  FdGuard fd(::socket(domain, type | SOCK_CLOEXEC, 0));
+  if (!fd) {
+    throwErrno("socket");
+  }
+  return fd;
+}
+
+size_t ioResult(ssize_t n, std::error_code& ec) {
+  if (n < 0) {
+    ec = errnoCode();
+    return 0;
+  }
+  ec.clear();
+  return static_cast<size_t>(n);
+}
+
+}  // namespace
+}  // namespace detail
+
+// ---------------------------------------------------------------- TcpSocket
+
+TcpSocket TcpSocket::fromFd(FdGuard fd) { return TcpSocket(std::move(fd)); }
+
+TcpSocket TcpSocket::connect(const SocketAddr& peer, std::error_code& ec) {
+  ec.clear();
+  FdGuard fd;
+  try {
+    fd = detail::makeSocket(AF_INET, SOCK_STREAM);
+    detail::setNonBlocking(fd.get(), true);
+  } catch (const std::system_error& e) {
+    ec = e.code();
+    return {};
+  }
+  sockaddr_in sa = peer.raw();
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) < 0 &&
+      errno != EINPROGRESS) {
+    ec = errnoCode();
+    return {};
+  }
+  return TcpSocket(std::move(fd));
+}
+
+size_t TcpSocket::read(std::span<std::byte> buf, std::error_code& ec) {
+  return detail::ioResult(::read(fd_.get(), buf.data(), buf.size()), ec);
+}
+
+size_t TcpSocket::write(std::span<const std::byte> buf, std::error_code& ec) {
+  // MSG_NOSIGNAL: a peer reset must surface as EPIPE, not kill the process.
+  return detail::ioResult(
+      ::send(fd_.get(), buf.data(), buf.size(), MSG_NOSIGNAL), ec);
+}
+
+std::error_code TcpSocket::connectError() const {
+  int err = detail::getSoError(fd_.get());
+  return {err, std::generic_category()};
+}
+
+void TcpSocket::shutdownWrite() noexcept { ::shutdown(fd_.get(), SHUT_WR); }
+
+void TcpSocket::setNoDelay(bool enabled) {
+  int v = enabled ? 1 : 0;
+  ::setsockopt(fd_.get(), IPPROTO_TCP, TCP_NODELAY, &v, sizeof(v));
+}
+
+SocketAddr TcpSocket::peerAddr() const {
+  sockaddr_in sa{};
+  socklen_t len = sizeof(sa);
+  if (::getpeername(fd_.get(), reinterpret_cast<sockaddr*>(&sa), &len) < 0) {
+    throwErrno("getpeername");
+  }
+  return SocketAddr(sa);
+}
+
+// -------------------------------------------------------------- TcpListener
+
+TcpListener::TcpListener(const SocketAddr& addr, const BindOptions& opts,
+                         int backlog) {
+  FdGuard fd = detail::makeSocket(AF_INET, SOCK_STREAM);
+  detail::applyBindOptions(fd.get(), opts);
+  sockaddr_in sa = addr.raw();
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) < 0) {
+    throwErrno("bind " + addr.str());
+  }
+  if (::listen(fd.get(), backlog) < 0) {
+    throwErrno("listen " + addr.str());
+  }
+  fd_ = std::move(fd);
+}
+
+TcpListener TcpListener::fromFd(FdGuard fd) {
+  return TcpListener(std::move(fd));
+}
+
+std::optional<TcpSocket> TcpListener::accept(std::error_code& ec) {
+  ec.clear();
+  int fd = ::accept4(fd_.get(), nullptr, nullptr,
+                     SOCK_NONBLOCK | SOCK_CLOEXEC);
+  if (fd < 0) {
+    if (errno != EAGAIN && errno != EWOULDBLOCK) {
+      ec = errnoCode();
+    }
+    return std::nullopt;
+  }
+  return TcpSocket::fromFd(FdGuard(fd));
+}
+
+// ---------------------------------------------------------------- UdpSocket
+
+UdpSocket::UdpSocket(const SocketAddr& addr, const BindOptions& opts) {
+  FdGuard fd = detail::makeSocket(AF_INET, SOCK_DGRAM);
+  detail::applyBindOptions(fd.get(), opts);
+  sockaddr_in sa = addr.raw();
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) < 0) {
+    throwErrno("bind(udp) " + addr.str());
+  }
+  fd_ = std::move(fd);
+}
+
+UdpSocket UdpSocket::unbound() {
+  FdGuard fd = detail::makeSocket(AF_INET, SOCK_DGRAM);
+  detail::setNonBlocking(fd.get(), true);
+  return UdpSocket(std::move(fd));
+}
+
+UdpSocket UdpSocket::fromFd(FdGuard fd) { return UdpSocket(std::move(fd)); }
+
+size_t UdpSocket::sendTo(std::span<const std::byte> buf,
+                         const SocketAddr& peer, std::error_code& ec) {
+  sockaddr_in sa = peer.raw();
+  return detail::ioResult(
+      ::sendto(fd_.get(), buf.data(), buf.size(), 0,
+               reinterpret_cast<sockaddr*>(&sa), sizeof(sa)),
+      ec);
+}
+
+size_t UdpSocket::recvFrom(std::span<std::byte> buf, SocketAddr& from,
+                           std::error_code& ec) {
+  sockaddr_in sa{};
+  socklen_t len = sizeof(sa);
+  size_t n = detail::ioResult(
+      ::recvfrom(fd_.get(), buf.data(), buf.size(), 0,
+                 reinterpret_cast<sockaddr*>(&sa), &len),
+      ec);
+  if (!ec) {
+    from = SocketAddr(sa);
+  }
+  return n;
+}
+
+// --------------------------------------------------------------- UnixSocket
+
+UnixSocket UnixSocket::fromFd(FdGuard fd) { return UnixSocket(std::move(fd)); }
+
+UnixSocket UnixSocket::connect(const std::string& path, std::error_code& ec) {
+  ec.clear();
+  FdGuard fd;
+  try {
+    fd = detail::makeSocket(AF_UNIX, SOCK_STREAM);
+  } catch (const std::system_error& e) {
+    ec = e.code();
+    return {};
+  }
+  sockaddr_un sa{};
+  sa.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(sa.sun_path)) {
+    ec = std::make_error_code(std::errc::filename_too_long);
+    return {};
+  }
+  std::memcpy(sa.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) < 0) {
+    ec = errnoCode();
+    return {};
+  }
+  return UnixSocket(std::move(fd));
+}
+
+size_t UnixSocket::read(std::span<std::byte> buf, std::error_code& ec) {
+  return detail::ioResult(::read(fd_.get(), buf.data(), buf.size()), ec);
+}
+
+size_t UnixSocket::write(std::span<const std::byte> buf, std::error_code& ec) {
+  return detail::ioResult(
+      ::send(fd_.get(), buf.data(), buf.size(), MSG_NOSIGNAL), ec);
+}
+
+// ------------------------------------------------------------- UnixListener
+
+UnixListener::UnixListener(const std::string& path, int backlog) : path_(path) {
+  ::unlink(path.c_str());
+  FdGuard fd = detail::makeSocket(AF_UNIX, SOCK_STREAM);
+  sockaddr_un sa{};
+  sa.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(sa.sun_path)) {
+    throw std::invalid_argument("UnixListener: path too long: " + path);
+  }
+  std::memcpy(sa.sun_path, path.c_str(), path.size() + 1);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) < 0) {
+    throwErrno("bind(unix) " + path);
+  }
+  if (::listen(fd.get(), backlog) < 0) {
+    throwErrno("listen(unix) " + path);
+  }
+  fd_ = std::move(fd);
+}
+
+std::optional<UnixSocket> UnixListener::accept(std::error_code& ec) {
+  ec.clear();
+  int fd = ::accept4(fd_.get(), nullptr, nullptr, SOCK_CLOEXEC);
+  if (fd < 0) {
+    if (errno != EAGAIN && errno != EWOULDBLOCK) {
+      ec = errnoCode();
+    }
+    return std::nullopt;
+  }
+  return UnixSocket::fromFd(FdGuard(fd));
+}
+
+std::pair<UnixSocket, UnixSocket> unixSocketPair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, fds) < 0) {
+    throwErrno("socketpair");
+  }
+  return {UnixSocket::fromFd(FdGuard(fds[0])),
+          UnixSocket::fromFd(FdGuard(fds[1]))};
+}
+
+}  // namespace zdr

@@ -1,0 +1,39 @@
+#include "netcore/socket_addr.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace zdr {
+
+SocketAddr::SocketAddr(const std::string& ip, uint16_t port) : port_(port) {
+  in_addr addr{};
+  if (::inet_pton(AF_INET, ip.c_str(), &addr) != 1) {
+    throw std::invalid_argument("SocketAddr: bad IPv4 literal: " + ip);
+  }
+  ip_ = ntohl(addr.s_addr);
+}
+
+SocketAddr::SocketAddr(const sockaddr_in& sa)
+    : ip_(ntohl(sa.sin_addr.s_addr)), port_(ntohs(sa.sin_port)) {}
+
+sockaddr_in SocketAddr::raw() const noexcept {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port_);
+  sa.sin_addr.s_addr = htonl(ip_);
+  return sa;
+}
+
+std::string SocketAddr::ipString() const {
+  char buf[INET_ADDRSTRLEN] = {};
+  in_addr addr{};
+  addr.s_addr = htonl(ip_);
+  ::inet_ntop(AF_INET, &addr, buf, sizeof(buf));
+  return buf;
+}
+
+std::string SocketAddr::str() const {
+  return ipString() + ":" + std::to_string(port_);
+}
+
+}  // namespace zdr

@@ -1,0 +1,42 @@
+// IPv4 socket address value type.
+#pragma once
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace zdr {
+
+// An IPv4 address + port. The testbed runs everything on loopback, so
+// IPv4 is sufficient; the type isolates sockaddr plumbing in one place.
+class SocketAddr {
+ public:
+  SocketAddr() = default;
+  SocketAddr(const std::string& ip, uint16_t port);
+  explicit SocketAddr(const sockaddr_in& sa);
+
+  static SocketAddr loopback(uint16_t port) { return {"127.0.0.1", port}; }
+  static SocketAddr any(uint16_t port) { return {"0.0.0.0", port}; }
+
+  [[nodiscard]] sockaddr_in raw() const noexcept;
+  [[nodiscard]] uint32_t ipHostOrder() const noexcept { return ip_; }
+  [[nodiscard]] uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] std::string ipString() const;
+  [[nodiscard]] std::string str() const;
+
+  // 4-tuple friendly hash of (ip, port).
+  [[nodiscard]] uint64_t hashKey() const noexcept {
+    return (static_cast<uint64_t>(ip_) << 16) | port_;
+  }
+
+  auto operator<=>(const SocketAddr&) const = default;
+
+ private:
+  uint32_t ip_ = 0;  // host byte order
+  uint16_t port_ = 0;
+};
+
+}  // namespace zdr

@@ -1,0 +1,88 @@
+// Edge response cache (the Direct-Server-Return serving path of §2.2:
+// "for cache-able content (e.g., web, videos etc.) it responds to the
+// user" directly at the Edge).
+//
+// Capacity-bounded LRU with per-entry TTL.
+#pragma once
+
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "http/message.h"
+#include "netcore/event_loop.h"
+
+namespace zdr::proxygen {
+
+class EdgeCache {
+ public:
+  explicit EdgeCache(size_t capacity = 1024, Duration ttl = Duration{30000})
+      : capacity_(capacity), ttl_(ttl) {}
+
+  std::optional<http::Response> get(const std::string& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return std::nullopt;
+    }
+    if (Clock::now() - it->second->insertedAt > ttl_) {
+      order_.erase(it->second);
+      index_.erase(it);
+      ++expirations_;
+      ++misses_;
+      return std::nullopt;
+    }
+    order_.splice(order_.begin(), order_, it->second);
+    ++hits_;
+    return it->second->response;
+  }
+
+  void put(const std::string& key, http::Response response) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->response = std::move(response);
+      it->second->insertedAt = Clock::now();
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    if (index_.size() >= capacity_ && !order_.empty()) {
+      index_.erase(order_.back().key);
+      order_.pop_back();
+      ++evictions_;
+    }
+    order_.push_front(Entry{key, std::move(response), Clock::now()});
+    index_[key] = order_.begin();
+  }
+
+  void clear() {
+    order_.clear();
+    index_.clear();
+  }
+
+  [[nodiscard]] size_t size() const noexcept { return index_.size(); }
+  [[nodiscard]] uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] uint64_t evictions() const noexcept { return evictions_; }
+  [[nodiscard]] uint64_t expirations() const noexcept {
+    return expirations_;
+  }
+
+ private:
+  struct Entry {
+    std::string key;
+    http::Response response;
+    TimePoint insertedAt;
+  };
+
+  size_t capacity_;
+  Duration ttl_;
+  std::list<Entry> order_;  // MRU first
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t expirations_ = 0;
+};
+
+}  // namespace zdr::proxygen

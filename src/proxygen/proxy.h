@@ -1,0 +1,232 @@
+// Proxygen-model L7 load balancer.
+//
+// One class serves both deployment roles (§2.1):
+//  * Edge  — terminates user TCP/UDP connections on VIPs, serves
+//            cacheable content locally (Direct-Server-Return model),
+//            forwards requests and MQTT tunnels to Origin over
+//            long-lived h2 trunks, and runs the Edge half of
+//            Downstream Connection Reuse;
+//  * Origin — accepts trunks from Edges, load-balances HTTP requests
+//            over the App. Server tier (with Partial Post Replay),
+//            relays MQTT tunnels to brokers chosen by consistent
+//            hashing on user-id, and runs the Origin half of DCR.
+//
+// Both roles restart via Socket Takeover (§4.1): the old instance
+// hands every listening socket fd to the freshly spun instance over a
+// UNIX socket (SCM_RIGHTS), then drains.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "h2/session.h"
+#include "http/codec.h"
+#include "l4lb/consistent_hash.h"
+#include "l4lb/health.h"
+#include "metrics/metrics.h"
+#include "mqtt/codec.h"
+#include "netcore/connection.h"
+#include "proxygen/edge_cache.h"
+#include "proxygen/upstream_pool.h"
+#include "quicish/server.h"
+#include "takeover/takeover.h"
+
+namespace zdr::proxygen {
+
+struct BackendRef {
+  std::string name;
+  SocketAddr addr;
+};
+
+class Proxy {
+ public:
+  enum class Role : uint8_t { kEdge, kOrigin };
+
+  struct Config {
+    std::string name = "proxy";
+    Role role = Role::kEdge;
+    uint32_t instanceId = 0;
+
+    // Edge VIPs (port 0 ⇒ kernel-assigned, resolved after start).
+    SocketAddr httpVip{};
+    SocketAddr mqttVip{};
+    SocketAddr quicVip{};
+    bool enableHttpVip = true;
+    bool enableMqttVip = false;
+    bool enableQuicVip = false;
+
+    // Origin trunk listener address.
+    SocketAddr trunkAddr{};
+
+    // Edge: upstream Origin proxies. Origin: App. Servers + brokers.
+    std::vector<BackendRef> origins;
+    std::vector<BackendRef> appServers;
+    std::vector<BackendRef> brokers;
+
+    Duration drainPeriod = Duration{2000};
+    Duration requestTimeout = Duration{5000};
+    std::string takeoverPath;  // UNIX path for the takeover server
+
+    bool pprEnabled = true;
+    int pprMaxRetries = 10;
+    bool dcrEnabled = true;
+    bool udpUserSpaceRouting = true;
+    size_t udpWorkers = 4;
+    bool edgeCacheEnabled = true;
+    // Probing of App. Servers (origin role).
+    l4lb::HealthChecker::Options appServerHealth{};
+  };
+
+  // Fresh start: binds all configured VIPs.
+  Proxy(EventLoop& loop, Config config, MetricsRegistry* metrics);
+  // Socket Takeover start: adopts the old instance's sockets.
+  Proxy(EventLoop& loop, Config config, MetricsRegistry* metrics,
+        takeover::TakeoverClient::Result handoff);
+  ~Proxy();
+  Proxy(const Proxy&) = delete;
+  Proxy& operator=(const Proxy&) = delete;
+
+  // --- addresses (resolved after construction) ---
+  [[nodiscard]] SocketAddr httpVip() const;
+  [[nodiscard]] SocketAddr mqttVip() const;
+  [[nodiscard]] SocketAddr quicVip() const;
+  [[nodiscard]] SocketAddr trunkAddr() const;
+
+  // --- release workflow ---
+  // Arms the takeover server so an updated instance can take over.
+  void armTakeoverServer();
+  // HardRestart-style drain: fail health checks, stop nothing else.
+  void startHardDrain();
+  // ZDR drain: called automatically once the takeover peer ACKs.
+  void enterDrain();
+  // End of drain period: reset whatever is still alive.
+  void terminate();
+
+  [[nodiscard]] bool draining() const noexcept { return draining_; }
+  [[nodiscard]] bool terminated() const noexcept { return terminated_; }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  [[nodiscard]] const std::string& name() const noexcept {
+    return config_.name;
+  }
+
+  // --- introspection for tests/experiments ---
+  [[nodiscard]] size_t userConnCount() const noexcept {
+    return userConns_.size();
+  }
+  [[nodiscard]] size_t mqttTunnelCount() const noexcept {
+    return mqttTunnels_.size();
+  }
+  [[nodiscard]] size_t trunkSessionCount() const noexcept {
+    return trunkServerSessions_.size();
+  }
+  [[nodiscard]] quicish::Server* quicServer() noexcept {
+    return quicServer_.get();
+  }
+  [[nodiscard]] l4lb::HealthChecker* appServerHealth() noexcept {
+    return appHealth_.get();
+  }
+  [[nodiscard]] UpstreamPool* upstreamPool() noexcept {
+    return appPool_.get();
+  }
+
+ private:
+  // ---------- shared ----------
+  struct UserHttpConn;     // edge: one user-facing HTTP connection
+  struct MqttTunnel;       // edge: one user MQTT connection + its stream
+  struct TrunkLink;        // edge: one trunk session to an origin
+  struct TrunkServerConn;  // origin: one accepted trunk session
+  struct OriginRequest;    // origin: one HTTP request being proxied
+  struct BrokerTunnel;     // origin: one MQTT tunnel to a broker
+
+  void initCommon();
+  void startFresh();
+  void startFromHandoff(takeover::TakeoverClient::Result handoff);
+  void bump(const std::string& counter, uint64_t n = 1);
+  takeover::Inventory buildInventory(std::vector<int>& fds);
+
+  // ---------- edge ----------
+  void edgeOnHttpAccept(TcpSocket sock);
+  void edgeOnHttpRequestHeaders(const std::shared_ptr<UserHttpConn>& uc);
+  void edgeOnHttpBody(const std::shared_ptr<UserHttpConn>& uc,
+                      std::string_view fragment, bool last);
+  void edgeServeLocal(const std::shared_ptr<UserHttpConn>& uc,
+                      const http::Response& res);
+  // Writes the buffered upstream response to the user and recycles or
+  // (when draining) retires the connection.
+  void edgeDeliverUpstreamResponse(const std::shared_ptr<UserHttpConn>& uc);
+  void edgeFinishUserRequest(const std::shared_ptr<UserHttpConn>& uc);
+  void edgeFailUserRequest(const std::shared_ptr<UserHttpConn>& uc,
+                           int status, const std::string& why);
+  TrunkLink* edgePickTrunk();
+  void edgeEnsureTrunk(size_t idx);
+  void edgeOnTrunkControl(TrunkLink* link, const h2::Frame& frame);
+  void edgeOnTrunkClosed(TrunkLink* link);
+  void edgeOnMqttAccept(TcpSocket sock);
+  void edgeOpenMqttTunnel(const std::shared_ptr<MqttTunnel>& tun,
+                          bool resume);
+  void edgeResumeMqttTunnels(TrunkLink* fromLink);
+  void edgeDropMqttTunnel(const std::shared_ptr<MqttTunnel>& tun,
+                          std::error_code why);
+
+  // ---------- origin ----------
+  void originOnTrunkAccept(TcpSocket sock);
+  void originOnStreamHeaders(const std::shared_ptr<TrunkServerConn>& tc,
+                             uint32_t streamId, const h2::HeaderList& headers,
+                             bool endStream);
+  void originOnStreamData(const std::shared_ptr<TrunkServerConn>& tc,
+                          uint32_t streamId, std::string_view data,
+                          bool endStream);
+  void originStartAppRequest(const std::shared_ptr<OriginRequest>& req);
+  void originConnectApp(const std::shared_ptr<OriginRequest>& req,
+                        const std::string& excludeName);
+  void originOnAppResponse(const std::shared_ptr<OriginRequest>& req);
+  void originReplayPartialPost(const std::shared_ptr<OriginRequest>& req,
+                               const http::Response& res379);
+  void originFinishRequest(const std::shared_ptr<OriginRequest>& req,
+                           const http::Response& res);
+  void originFailRequest(const std::shared_ptr<OriginRequest>& req,
+                         int status, const std::string& why);
+  void originOpenBrokerTunnel(const std::shared_ptr<TrunkServerConn>& tc,
+                              uint32_t streamId, const std::string& userId,
+                              bool resume);
+  const BackendRef* originPickAppServer(const std::string& excludeName);
+  const BackendRef* originBrokerFor(const std::string& userId);
+
+  EventLoop& loop_;
+  Config config_;
+  MetricsRegistry* metrics_;
+
+  // Listeners (either freshly bound or adopted via takeover).
+  std::unique_ptr<Acceptor> httpAcceptor_;
+  std::unique_ptr<Acceptor> mqttAcceptor_;
+  std::unique_ptr<Acceptor> trunkAcceptor_;
+  std::unique_ptr<quicish::Server> quicServer_;
+
+  std::unique_ptr<takeover::TakeoverServer> takeoverServer_;
+
+  // Edge state.
+  std::set<std::shared_ptr<UserHttpConn>> userConns_;
+  std::set<std::shared_ptr<MqttTunnel>> mqttTunnels_;
+  std::vector<std::unique_ptr<TrunkLink>> trunkLinks_;
+  size_t trunkRoundRobin_ = 0;
+  EdgeCache edgeCache_;
+
+  // Origin state.
+  std::set<std::shared_ptr<TrunkServerConn>> trunkServerSessions_;
+  std::unique_ptr<UpstreamPool> appPool_;
+  std::unique_ptr<l4lb::HealthChecker> appHealth_;
+  std::unique_ptr<l4lb::ConsistentHash> brokerHash_;
+  size_t appRoundRobin_ = 0;
+
+  bool draining_ = false;
+  bool hardDraining_ = false;
+  bool terminated_ = false;
+  EventLoop::TimerId drainTimer_ = 0;
+};
+
+}  // namespace zdr::proxygen

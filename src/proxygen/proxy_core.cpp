@@ -1,0 +1,309 @@
+// Proxy lifecycle: construction (fresh and via Socket Takeover),
+// takeover server, drain orchestration, teardown.
+#include "proxygen/proxy_detail.h"
+
+namespace zdr::proxygen {
+
+Proxy::Proxy(EventLoop& loop, Config config, MetricsRegistry* metrics)
+    : loop_(loop), config_(std::move(config)), metrics_(metrics) {
+  initCommon();
+  startFresh();
+}
+
+Proxy::Proxy(EventLoop& loop, Config config, MetricsRegistry* metrics,
+             takeover::TakeoverClient::Result handoff)
+    : loop_(loop), config_(std::move(config)), metrics_(metrics) {
+  initCommon();
+  startFromHandoff(std::move(handoff));
+}
+
+Proxy::~Proxy() {
+  if (!terminated_) {
+    terminate();
+  }
+}
+
+void Proxy::bump(const std::string& counter, uint64_t n) {
+  if (metrics_) {
+    metrics_->counter(counter).add(n);
+  }
+}
+
+void Proxy::initCommon() {
+  if (config_.role == Role::kOrigin) {
+    appPool_ = std::make_unique<UpstreamPool>(loop_, UpstreamPool::Options{},
+                                              metrics_);
+    if (!config_.appServers.empty()) {
+      std::vector<l4lb::BackendTarget> targets;
+      for (const auto& a : config_.appServers) {
+        targets.push_back({a.name, a.addr});
+      }
+      appHealth_ = std::make_unique<l4lb::HealthChecker>(
+          loop_, std::move(targets), config_.appServerHealth, nullptr,
+          metrics_);
+    }
+    brokerHash_ = std::make_unique<l4lb::MaglevHash>();
+    std::vector<std::string> brokerNames;
+    for (const auto& b : config_.brokers) {
+      brokerNames.push_back(b.name);
+    }
+    brokerHash_->rebuild(brokerNames);
+  }
+}
+
+void Proxy::startFresh() {
+  BindOptions opts;
+  if (config_.role == Role::kEdge) {
+    if (config_.enableHttpVip) {
+      httpAcceptor_ = std::make_unique<Acceptor>(
+          loop_, TcpListener(config_.httpVip, opts),
+          [this](TcpSocket s) { edgeOnHttpAccept(std::move(s)); });
+    }
+    if (config_.enableMqttVip) {
+      mqttAcceptor_ = std::make_unique<Acceptor>(
+          loop_, TcpListener(config_.mqttVip, opts),
+          [this](TcpSocket s) { edgeOnMqttAccept(std::move(s)); });
+    }
+    if (config_.enableQuicVip) {
+      quicish::Server::Options qo;
+      qo.instanceId = config_.instanceId;
+      qo.numWorkers = config_.udpWorkers;
+      qo.userSpaceRouting = config_.udpUserSpaceRouting;
+      quicServer_ = std::make_unique<quicish::Server>(loop_, config_.quicVip,
+                                                      qo, metrics_);
+    }
+    // Establish trunks to every configured origin.
+    for (size_t i = 0; i < config_.origins.size(); ++i) {
+      trunkLinks_.push_back(std::make_unique<TrunkLink>());
+      trunkLinks_.back()->origin = config_.origins[i];
+      trunkLinks_.back()->idx = i;
+      edgeEnsureTrunk(i);
+    }
+  } else {
+    trunkAcceptor_ = std::make_unique<Acceptor>(
+        loop_, TcpListener(config_.trunkAddr, opts),
+        [this](TcpSocket s) { originOnTrunkAccept(std::move(s)); });
+  }
+}
+
+void Proxy::startFromHandoff(takeover::TakeoverClient::Result handoff) {
+  // Adopt each passed socket by VIP name. Every descriptor must be
+  // consumed — an ignored fd would keep a kernel socket alive with
+  // nobody reading it, black-holing its share of traffic (§5.1).
+  std::vector<FdGuard> quicFds;
+  for (auto& taken : handoff.sockets) {
+    if (taken.desc.proto == takeover::Proto::kUdp) {
+      quicFds.push_back(std::move(taken.fd));
+      continue;
+    }
+    if (taken.desc.vipName == "http") {
+      httpAcceptor_ = std::make_unique<Acceptor>(
+          loop_, TcpListener::fromFd(std::move(taken.fd)),
+          [this](TcpSocket s) { edgeOnHttpAccept(std::move(s)); });
+    } else if (taken.desc.vipName == "mqtt") {
+      mqttAcceptor_ = std::make_unique<Acceptor>(
+          loop_, TcpListener::fromFd(std::move(taken.fd)),
+          [this](TcpSocket s) { edgeOnMqttAccept(std::move(s)); });
+    } else if (taken.desc.vipName == "trunk") {
+      trunkAcceptor_ = std::make_unique<Acceptor>(
+          loop_, TcpListener::fromFd(std::move(taken.fd)),
+          [this](TcpSocket s) { originOnTrunkAccept(std::move(s)); });
+    }
+    // Unknown names fall out of scope here and are closed — never
+    // silently leaked.
+  }
+  if (!quicFds.empty()) {
+    quicish::Server::Options qo;
+    qo.instanceId = config_.instanceId;
+    qo.numWorkers = quicFds.size();
+    qo.userSpaceRouting = config_.udpUserSpaceRouting;
+    quicServer_ = std::make_unique<quicish::Server>(loop_, std::move(quicFds),
+                                                    qo, metrics_);
+    if (handoff.inventory.hasUdpForwardAddr) {
+      quicServer_->setForwardPeer(handoff.inventory.udpForwardAddr);
+    }
+  }
+  if (config_.role == Role::kEdge) {
+    for (size_t i = 0; i < config_.origins.size(); ++i) {
+      trunkLinks_.push_back(std::make_unique<TrunkLink>());
+      trunkLinks_.back()->origin = config_.origins[i];
+      trunkLinks_.back()->idx = i;
+      edgeEnsureTrunk(i);
+    }
+  }
+  bump(config_.name + ".takeover_adopted");
+}
+
+takeover::Inventory Proxy::buildInventory(std::vector<int>& fds) {
+  takeover::Inventory inv;
+  auto addTcp = [&](const char* name, Acceptor* acc) {
+    if (acc == nullptr) {
+      return;
+    }
+    takeover::SocketDescriptor d;
+    d.vipName = name;
+    d.proto = takeover::Proto::kTcp;
+    d.addr = acc->localAddr();
+    inv.sockets.push_back(d);
+    fds.push_back(acc->fd());
+  };
+  addTcp("http", httpAcceptor_.get());
+  addTcp("mqtt", mqttAcceptor_.get());
+  addTcp("trunk", trunkAcceptor_.get());
+  if (quicServer_) {
+    size_t i = 0;
+    for (int fd : quicServer_->vipSocketFds()) {
+      takeover::SocketDescriptor d;
+      d.vipName = "quic" + std::to_string(i++);
+      d.proto = takeover::Proto::kUdp;
+      d.addr = quicServer_->vip();
+      inv.sockets.push_back(d);
+      fds.push_back(fd);
+    }
+    inv.hasUdpForwardAddr = true;
+    inv.udpForwardAddr = quicServer_->forwardAddr();
+  }
+  return inv;
+}
+
+void Proxy::armTakeoverServer() {
+  takeoverServer_ = std::make_unique<takeover::TakeoverServer>(
+      loop_, config_.takeoverPath,
+      [this](std::vector<int>& fds) { return buildInventory(fds); },
+      [this] { enterDrain(); });
+}
+
+SocketAddr Proxy::httpVip() const {
+  return httpAcceptor_ ? httpAcceptor_->localAddr() : SocketAddr{};
+}
+SocketAddr Proxy::mqttVip() const {
+  return mqttAcceptor_ ? mqttAcceptor_->localAddr() : SocketAddr{};
+}
+SocketAddr Proxy::quicVip() const {
+  return quicServer_ ? quicServer_->vip() : SocketAddr{};
+}
+SocketAddr Proxy::trunkAddr() const {
+  return trunkAcceptor_ ? trunkAcceptor_->localAddr() : SocketAddr{};
+}
+
+void Proxy::startHardDrain() {
+  // Traditional release (§2.3): fail health checks so the L4 layer
+  // pulls us from the ring, stop accepting, let existing connections
+  // run out the drain period, then reset whatever is left.
+  hardDraining_ = true;
+  draining_ = true;
+  bump(config_.name + ".hard_drain_started");
+  if (httpAcceptor_) {
+    // Keep the health endpoint answering (503) — close only the
+    // business of accepting *new user work* at the end. The acceptor
+    // keeps running; requests are still served during drain, which is
+    // exactly how production draining behaves (traffic moves away as
+    // health checks fail).
+  }
+  if (config_.role == Role::kOrigin) {
+    // Edge↔Origin trunks are HTTP/2: graceful GOAWAY is available even
+    // in the traditional flow (§2.2).
+    for (const auto& tc : trunkServerSessions_) {
+      tc->session->sendGoaway("hard-drain");
+    }
+  }
+  drainTimer_ = loop_.runAfter(config_.drainPeriod, [this] { terminate(); });
+}
+
+void Proxy::enterDrain() {
+  // ZDR drain (Fig 5 step E): the updated instance has ACKed and owns
+  // the listening sockets; we finish what we started and go away.
+  if (draining_) {
+    return;
+  }
+  draining_ = true;
+  bump(config_.name + ".zdr_drain_started");
+
+  // Stop accepting: close our dup of the listening fds (the updated
+  // instance keeps the sockets alive).
+  if (httpAcceptor_) {
+    httpAcceptor_->close();
+  }
+  if (mqttAcceptor_) {
+    mqttAcceptor_->close();
+  }
+  if (trunkAcceptor_) {
+    trunkAcceptor_->close();
+  }
+  if (quicServer_) {
+    quicServer_->enterDrain();
+  }
+
+  if (config_.role == Role::kOrigin) {
+    for (const auto& tc : trunkServerSessions_) {
+      tc->session->sendGoaway("zdr-drain");
+      if (config_.dcrEnabled) {
+        // §4.2: solicit the Edge to move MQTT tunnels to a healthy
+        // peer before we terminate.
+        tc->session->sendControl(h2::FrameType::kReconnectSolicitation);
+        bump(config_.name + ".dcr_solicitations_sent");
+      }
+    }
+  }
+
+  drainTimer_ = loop_.runAfter(config_.drainPeriod, [this] { terminate(); });
+}
+
+void Proxy::terminate() {
+  if (terminated_) {
+    return;
+  }
+  terminated_ = true;
+  loop_.cancelTimer(drainTimer_);
+  bump(config_.name + ".terminated");
+
+  // Whatever is still alive now is disrupted — this is the source of
+  // the TCP RSTs and errors the paper's Fig 12 counts.
+  for (const auto& uc : std::set<std::shared_ptr<UserHttpConn>>(userConns_)) {
+    if (uc->requestActive) {
+      bump("edge.err.conn_rst");
+    }
+    uc->conn->close(std::make_error_code(std::errc::connection_reset));
+  }
+  userConns_.clear();
+
+  for (const auto& tun :
+       std::set<std::shared_ptr<MqttTunnel>>(mqttTunnels_)) {
+    bump("edge.mqtt_tunnel_reset");
+    tun->userConn->close(std::make_error_code(std::errc::connection_reset));
+  }
+  mqttTunnels_.clear();
+
+  for (auto& link : trunkLinks_) {
+    if (link->session) {
+      link->session->closeNow();
+    }
+  }
+  trunkLinks_.clear();
+
+  for (const auto& tc :
+       std::set<std::shared_ptr<TrunkServerConn>>(trunkServerSessions_)) {
+    tc->session->closeNow(std::make_error_code(std::errc::connection_reset));
+  }
+  trunkServerSessions_.clear();
+
+  if (httpAcceptor_) {
+    httpAcceptor_->close();
+  }
+  if (mqttAcceptor_) {
+    mqttAcceptor_->close();
+  }
+  if (trunkAcceptor_) {
+    trunkAcceptor_->close();
+  }
+  if (quicServer_) {
+    quicServer_->shutdown();
+  }
+  takeoverServer_.reset();
+  appHealth_.reset();
+  if (appPool_) {
+    appPool_->closeAll();
+  }
+}
+
+}  // namespace zdr::proxygen

@@ -1,0 +1,136 @@
+// Private per-connection state of Proxy. Included only by proxy_*.cpp.
+#pragma once
+
+#include "proxygen/proxy.h"
+
+namespace zdr::proxygen {
+
+// Edge: one user-facing HTTP connection (keep-alive, one request at a
+// time — HTTP/1.1 without pipelining, as browsers behave).
+struct Proxy::UserHttpConn
+    : std::enable_shared_from_this<Proxy::UserHttpConn> {
+  ConnectionPtr conn;
+  http::RequestParser parser;
+  std::string bodyPending;  // decoded fragments awaiting forwarding
+
+  // Active request state.
+  bool requestActive = false;
+  bool headersHandled = false;
+  bool servedLocally = false;
+  TrunkLink* link = nullptr;
+  uint32_t streamId = 0;
+  bool upstreamEnded = false;   // we sent END_STREAM upstream
+  bool responseStarted = false;
+  http::Response upstreamResponse;
+  std::string cacheKey;  // non-empty ⇒ response is cacheable
+  EventLoop::TimerId timeoutTimer = 0;
+
+  void resetRequestState() {
+    requestActive = false;
+    headersHandled = false;
+    servedLocally = false;
+    link = nullptr;
+    streamId = 0;
+    upstreamEnded = false;
+    responseStarted = false;
+    upstreamResponse = http::Response{};
+    cacheKey.clear();
+    bodyPending.clear();
+  }
+};
+
+// Edge: one user MQTT connection relayed through a trunk stream.
+struct Proxy::MqttTunnel : std::enable_shared_from_this<Proxy::MqttTunnel> {
+  ConnectionPtr userConn;
+  std::string userId;
+  TrunkLink* link = nullptr;
+  uint32_t streamId = 0;
+  bool tunnelUp = false;
+  Buffer pendingToOrigin;  // user bytes buffered until the tunnel opens
+
+  // DCR resume in progress (§4.2).
+  bool resuming = false;
+  TrunkLink* resumeLink = nullptr;
+  uint32_t resumeStreamId = 0;
+};
+
+// Edge: one long-lived trunk session to an Origin proxy.
+struct Proxy::TrunkLink {
+  BackendRef origin;
+  size_t idx = 0;
+  h2::SessionPtr session;
+  bool connecting = false;
+  bool up = false;
+  bool peerDraining = false;  // origin sent GOAWAY
+  std::map<uint32_t, std::weak_ptr<UserHttpConn>> httpStreams;
+  std::map<uint32_t, std::weak_ptr<MqttTunnel>> mqttStreams;
+};
+
+// Origin: one accepted trunk session from an Edge.
+struct Proxy::TrunkServerConn
+    : std::enable_shared_from_this<Proxy::TrunkServerConn> {
+  h2::SessionPtr session;
+  std::map<uint32_t, std::shared_ptr<OriginRequest>> requests;
+  std::map<uint32_t, std::shared_ptr<BrokerTunnel>> brokerTunnels;
+};
+
+// Origin: one HTTP request being proxied to the App. Server tier.
+struct Proxy::OriginRequest
+    : std::enable_shared_from_this<Proxy::OriginRequest> {
+  std::weak_ptr<TrunkServerConn> tc;
+  uint32_t streamId = 0;
+  http::Request head;       // method/path/headers; body streams
+  bool isPost = false;
+  bool clientDone = false;  // END_STREAM received from the edge
+
+  ConnectionPtr appConn;
+  std::string appName;
+  http::ResponseParser resParser;
+  bool connected = false;
+  Buffer pendingBody;       // client body not yet written upstream
+  uint64_t bodyForwarded = 0;
+
+  // Partial Post Replay state (§4.3).
+  int attempts = 0;
+  std::set<std::string> excluded;  // app servers that already failed us
+  bool finished = false;
+  EventLoop::TimerId timer = 0;
+
+  // Bounded tail of body bytes already written to the current app
+  // server. A 379 echoes what the server *received*; bytes still in
+  // flight between our send() and its read() are recovered from this
+  // tail. Bounded so the proxy never buffers whole POSTs (the §4.3
+  // argument against option iii).
+  std::string sentTail;
+  void retainSent(std::string_view data) {
+    sentTail.append(data);
+    if (sentTail.size() > kSentTailLimit) {
+      sentTail.erase(0, sentTail.size() - kSentTailLimit);
+    }
+  }
+  static constexpr size_t kSentTailLimit = 256 * 1024;
+};
+
+// Origin: one MQTT tunnel stream relayed to a broker.
+struct Proxy::BrokerTunnel
+    : std::enable_shared_from_this<Proxy::BrokerTunnel> {
+  std::weak_ptr<TrunkServerConn> tc;
+  uint32_t streamId = 0;
+  std::string userId;
+  ConnectionPtr brokerConn;
+  bool up = false;       // piping both ways
+  bool resume = false;   // DCR re-attach; must CONNACK before piping
+  Buffer pendingToBroker;
+  Buffer resumeParseBuf;
+  bool closed = false;
+};
+
+// Pseudo-header names used on trunk streams.
+inline constexpr std::string_view kHdrMethod = ":method";
+inline constexpr std::string_view kHdrPath = ":path";
+inline constexpr std::string_view kHdrStatus = ":status";
+inline constexpr std::string_view kHdrTunnel = "x-zdr-tunnel";
+inline constexpr std::string_view kHdrUserId = "x-zdr-user-id";
+inline constexpr std::string_view kHdrResume = "x-zdr-resume";
+
+}  // namespace zdr::proxygen

@@ -1,0 +1,655 @@
+// Edge role: user-facing VIP handling, trunk-link management, local
+// cache serving, and the Edge half of Downstream Connection Reuse.
+#include "proxygen/proxy_detail.h"
+
+namespace zdr::proxygen {
+
+namespace {
+
+// Staging buffer pattern: each user connection drains socket bytes
+// into its own buffer so request processing can be re-triggered after
+// a response completes (keep-alive) without new socket activity.
+struct EdgeConnAdapter {
+  Buffer stage;
+};
+
+bool isCacheablePath(const std::string& path) {
+  return path.rfind("/cached/", 0) == 0;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- HTTP accept
+
+void Proxy::edgeOnHttpAccept(TcpSocket sock) {
+  if (terminated_) {
+    return;
+  }
+  bump(config_.name + ".http_conn_accepted");
+  auto uc = std::make_shared<UserHttpConn>();
+  uc->conn = Connection::make(loop_, std::move(sock));
+  userConns_.insert(uc);
+
+  // The parser's body callback captures a raw pointer: the parser is a
+  // member of *uc and cannot outlive it.
+  UserHttpConn* raw = uc.get();
+  uc->parser.setBodyCallback(
+      [raw](std::string_view frag) { raw->bodyPending.append(frag); });
+
+  auto stage = std::make_shared<Buffer>();
+  auto process = [this, uc, stage]() {
+    while (!stage->empty() || uc->parser.messageComplete()) {
+      if (uc->requestActive && uc->responseStarted) {
+        return;  // no pipelining: wait for the response to finish
+      }
+      auto st = uc->parser.feed(*stage);
+      if (st == http::ParseStatus::kError) {
+        bump("edge.err.bad_request");
+        uc->conn->close(std::make_error_code(std::errc::protocol_error));
+        return;
+      }
+      if (uc->parser.headersComplete() && !uc->headersHandled) {
+        uc->headersHandled = true;
+        uc->requestActive = true;
+        edgeOnHttpRequestHeaders(uc);
+        if (!uc->conn->open()) {
+          return;
+        }
+      }
+      if (!uc->bodyPending.empty()) {
+        edgeOnHttpBody(uc, uc->bodyPending, uc->parser.messageComplete());
+        uc->bodyPending.clear();
+      }
+      if (uc->parser.messageComplete()) {
+        if (!uc->servedLocally && uc->link != nullptr && !uc->upstreamEnded) {
+          uc->upstreamEnded = true;
+          uc->link->session->sendData(uc->streamId, {}, true);
+        }
+        if (uc->servedLocally) {
+          // Response already went out; recycle for the next request.
+          edgeFinishUserRequest(uc);
+          continue;
+        }
+        return;  // await upstream response
+      }
+      if (stage->empty()) {
+        return;
+      }
+    }
+  };
+
+  uc->conn->setDataCallback([process, stage](Buffer& in) {
+    stage->append(in.readable());
+    in.clear();
+    process();
+  });
+  // Re-run processing after a response completes (keep-alive turnover).
+  uc->parser.setBodyCallback(
+      [raw](std::string_view frag) { raw->bodyPending.append(frag); });
+  uc->conn->setCloseCallback([this, uc](std::error_code ec) {
+    if (uc->requestActive) {
+      if (ec && uc->responseStarted && uc->conn->pendingOutput() > 0) {
+        // The response could not be written out: the user experiences
+        // a write timeout (Fig 12's worst disruption class).
+        bump("edge.err.write_timeout");
+      } else if (ec) {
+        bump("edge.err.conn_rst");
+      }
+      if (uc->link != nullptr) {
+        if (uc->link->session) {
+          uc->link->session->sendReset(uc->streamId);
+        }
+        uc->link->httpStreams.erase(uc->streamId);
+      }
+      loop_.cancelTimer(uc->timeoutTimer);
+    }
+    userConns_.erase(uc);
+  });
+  uc->conn->start();
+}
+
+void Proxy::edgeOnHttpRequestHeaders(const std::shared_ptr<UserHttpConn>& uc) {
+  const http::Request& req = uc->parser.message();
+  bump(config_.name + ".requests");
+
+  // Local endpoints: L4 health checks.
+  if (req.path == "/__health") {
+    http::Response res;
+    res.status = hardDraining_ ? 503 : 200;
+    res.body = hardDraining_ ? "draining" : "ok";
+    edgeServeLocal(uc, res);
+    return;
+  }
+
+  // Edge cache (Direct-Server-Return model for cacheable content §2.2).
+  if (config_.edgeCacheEnabled && req.method == "GET" &&
+      isCacheablePath(req.path)) {
+    if (auto cached = edgeCache_.get(req.path)) {
+      bump("edge.cache_hit");
+      edgeServeLocal(uc, *cached);
+      return;
+    }
+    uc->cacheKey = req.path;
+    bump("edge.cache_miss");
+  }
+
+  TrunkLink* link = edgePickTrunk();
+  if (link == nullptr) {
+    bump("edge.err.no_origin");
+    edgeFailUserRequest(uc, 502, "no healthy origin");
+    return;
+  }
+  uint32_t sid = link->session->openStream();
+  if (sid == 0) {
+    bump("edge.err.no_origin");
+    edgeFailUserRequest(uc, 502, "trunk rejected stream");
+    return;
+  }
+  uc->link = link;
+  uc->streamId = sid;
+  link->httpStreams[sid] = uc;
+
+  h2::HeaderList headers;
+  headers.emplace_back(std::string(kHdrMethod), req.method);
+  headers.emplace_back(std::string(kHdrPath), req.path);
+  for (const auto& [n, v] : req.headers.all()) {
+    headers.emplace_back(n, v);
+  }
+  bool endNow = uc->parser.messageComplete() && uc->bodyPending.empty();
+  uc->upstreamEnded = endNow;
+  link->session->sendHeaders(sid, headers, endNow);
+
+  uc->timeoutTimer = loop_.runAfter(config_.requestTimeout, [this, uc] {
+    if (uc->requestActive && !uc->responseStarted && uc->conn->open()) {
+      bump("edge.err.timeout");
+      if (uc->link != nullptr) {
+        if (uc->link->session) {
+          uc->link->session->sendReset(uc->streamId);
+        }
+        uc->link->httpStreams.erase(uc->streamId);
+        uc->link = nullptr;
+      }
+      edgeFailUserRequest(uc, 504, "origin timeout");
+    }
+  });
+}
+
+void Proxy::edgeOnHttpBody(const std::shared_ptr<UserHttpConn>& uc,
+                           std::string_view fragment, bool last) {
+  if (uc->servedLocally || uc->link == nullptr || uc->upstreamEnded) {
+    return;  // locally-served or failed request: discard the body
+  }
+  uc->upstreamEnded = last;
+  uc->link->session->sendData(uc->streamId, fragment, last);
+}
+
+void Proxy::edgeServeLocal(const std::shared_ptr<UserHttpConn>& uc,
+                           const http::Response& res) {
+  uc->servedLocally = true;
+  Buffer out;
+  if (draining_) {
+    // Drain migration: tell keep-alive clients to reconnect; their next
+    // connection lands on the updated instance (§4.1).
+    http::Response copy = res;
+    copy.headers.set("Connection", "close");
+    http::serialize(copy, out);
+  } else {
+    http::serialize(res, out);
+  }
+  uc->conn->send(out.readable());
+  if (uc->parser.messageComplete()) {
+    edgeFinishUserRequest(uc);
+    if (draining_ && uc->conn->open()) {
+      uc->conn->closeAfterFlush();
+    }
+  }
+  // Otherwise the request body is still streaming in; it is discarded
+  // as it arrives and the request finishes once the parser completes.
+}
+
+void Proxy::edgeFailUserRequest(const std::shared_ptr<UserHttpConn>& uc,
+                                int status, const std::string& why) {
+  http::Response res;
+  res.status = status;
+  res.reason = std::string(http::defaultReason(status));
+  res.body = why;
+  edgeServeLocal(uc, res);
+}
+
+void Proxy::edgeDeliverUpstreamResponse(
+    const std::shared_ptr<UserHttpConn>& uc) {
+  if (!uc->cacheKey.empty() && uc->upstreamResponse.status == 200) {
+    edgeCache_.put(uc->cacheKey, uc->upstreamResponse);
+  }
+  if (draining_) {
+    uc->upstreamResponse.headers.set("Connection", "close");
+  }
+  Buffer out;
+  http::serialize(uc->upstreamResponse, out);
+  uc->conn->send(out.readable());
+  edgeFinishUserRequest(uc);
+  if (draining_ && uc->conn->open()) {
+    uc->conn->closeAfterFlush();  // migrate the client off this instance
+  }
+}
+
+void Proxy::edgeFinishUserRequest(const std::shared_ptr<UserHttpConn>& uc) {
+  loop_.cancelTimer(uc->timeoutTimer);
+  if (uc->link != nullptr) {
+    uc->link->httpStreams.erase(uc->streamId);
+  }
+  // A final response delivered before the request body finished (379
+  // replays surface this, as do early 5xx) leaves the connection
+  // unsynchronized: close it rather than parse stray body bytes as a
+  // new request.
+  bool early = !uc->parser.messageComplete();
+  uc->resetRequestState();
+  uc->parser.reset();
+  if (early) {
+    uc->conn->closeAfterFlush();
+  }
+}
+
+// ------------------------------------------------------------ trunk links
+
+Proxy::TrunkLink* Proxy::edgePickTrunk() {
+  // Round-robin over healthy links; links whose origin announced
+  // GOAWAY take no new work (§4.1).
+  auto usable = [](const TrunkLink& l) { return l.up && !l.peerDraining; };
+  for (size_t i = 0; i < trunkLinks_.size(); ++i) {
+    TrunkLink* link =
+        trunkLinks_[(trunkRoundRobin_ + i) % trunkLinks_.size()].get();
+    if (usable(*link)) {
+      trunkRoundRobin_ = (trunkRoundRobin_ + i + 1) % trunkLinks_.size();
+      return link;
+    }
+  }
+  // Degraded mode: accept a draining origin rather than failing.
+  for (auto& l : trunkLinks_) {
+    if (l->up) {
+      return l.get();
+    }
+  }
+  return nullptr;
+}
+
+void Proxy::edgeEnsureTrunk(size_t idx) {
+  TrunkLink* link = trunkLinks_[idx].get();
+  if (link->connecting || link->up || terminated_) {
+    return;
+  }
+  link->connecting = true;
+  Connector::connect(
+      loop_, link->origin.addr,
+      [this, idx](TcpSocket sock, std::error_code ec) {
+        if (terminated_) {
+          return;
+        }
+        TrunkLink* link = trunkLinks_[idx].get();
+        link->connecting = false;
+        if (ec) {
+          bump("edge.trunk_connect_failed");
+          if (!draining_) {
+            loop_.runAfter(Duration{200},
+                           [this, idx] { edgeEnsureTrunk(idx); });
+          }
+          return;
+        }
+        auto conn = Connection::make(loop_, std::move(sock));
+        link->session = h2::Session::make(conn, h2::Session::Role::kClient);
+        link->up = true;
+        link->peerDraining = false;
+
+        h2::Session::Callbacks cbs;
+        cbs.onHeaders = [this, link](uint32_t sid,
+                                     const h2::HeaderList& headers,
+                                     bool end) {
+          // HTTP response headers for one of our streams.
+          if (auto it = link->httpStreams.find(sid);
+              it != link->httpStreams.end()) {
+            auto uc = it->second.lock();
+            if (!uc) {
+              link->httpStreams.erase(it);
+              return;
+            }
+            uc->responseStarted = true;
+            for (const auto& [n, v] : headers) {
+              if (n == kHdrStatus) {
+                uc->upstreamResponse.status = std::stoi(v);
+                uc->upstreamResponse.reason = std::string(
+                    http::defaultReason(uc->upstreamResponse.status));
+              } else {
+                uc->upstreamResponse.headers.add(n, v);
+              }
+            }
+            if (end) {
+              edgeDeliverUpstreamResponse(uc);  // response with no body
+            }
+            return;
+          }
+          // MQTT tunnel responses (open ack / DCR resume verdict).
+          if (auto it = link->mqttStreams.find(sid);
+              it != link->mqttStreams.end()) {
+            auto tun = it->second.lock();
+            if (!tun) {
+              link->mqttStreams.erase(it);
+              return;
+            }
+            int status = 0;
+            for (const auto& [n, v] : headers) {
+              if (n == kHdrStatus) {
+                status = std::stoi(v);
+              }
+            }
+            if (tun->resuming && sid == tun->resumeStreamId) {
+              if (status == 200) {
+                // connect_ack (§4.2): swap to the new relay path.
+                if (tun->link != nullptr) {
+                  tun->link->mqttStreams.erase(tun->streamId);
+                  tun->link->session->sendReset(tun->streamId);
+                }
+                tun->link = link;
+                tun->streamId = sid;
+                tun->resuming = false;
+                tun->resumeLink = nullptr;
+                tun->tunnelUp = true;
+                bump("edge.dcr_resumed");
+              } else {
+                // connect_refuse: drop; the client reconnects normally.
+                bump("edge.dcr_refused");
+                link->mqttStreams.erase(sid);
+                edgeDropMqttTunnel(
+                    tun, std::make_error_code(std::errc::connection_reset));
+              }
+              return;
+            }
+            if (status != 0 && status != 200) {
+              bump("edge.mqtt_tunnel_open_failed");
+              edgeDropMqttTunnel(
+                  tun, std::make_error_code(std::errc::connection_refused));
+            }
+            return;
+          }
+        };
+        cbs.onData = [this, link](uint32_t sid, std::string_view data,
+                                  bool end) {
+          if (auto it = link->httpStreams.find(sid);
+              it != link->httpStreams.end()) {
+            auto uc = it->second.lock();
+            if (!uc) {
+              link->httpStreams.erase(it);
+              return;
+            }
+            uc->upstreamResponse.body.append(data);
+            if (end) {
+              bump(config_.name + ".responses_relayed");
+              edgeDeliverUpstreamResponse(uc);
+            }
+            return;
+          }
+          if (auto it = link->mqttStreams.find(sid);
+              it != link->mqttStreams.end()) {
+            auto tun = it->second.lock();
+            if (tun && tun->userConn->open()) {
+              tun->userConn->send(data);
+              bump(config_.name + ".mqtt_bytes_to_user", data.size());
+            }
+            if (end && tun) {
+              edgeDropMqttTunnel(tun, {});
+            }
+            return;
+          }
+        };
+        cbs.onReset = [this, link](uint32_t sid) {
+          if (auto it = link->httpStreams.find(sid);
+              it != link->httpStreams.end()) {
+            auto uc = it->second.lock();
+            link->httpStreams.erase(it);
+            if (uc && uc->requestActive) {
+              bump("edge.err.stream_abort");
+              uc->link = nullptr;
+              edgeFailUserRequest(uc, 502, "origin stream reset");
+            }
+            return;
+          }
+          if (auto it = link->mqttStreams.find(sid);
+              it != link->mqttStreams.end()) {
+            auto tun = it->second.lock();
+            link->mqttStreams.erase(it);
+            if (tun && !tun->resuming) {
+              edgeDropMqttTunnel(
+                  tun, std::make_error_code(std::errc::connection_reset));
+            }
+          }
+        };
+        cbs.onGoaway = [this, link](const h2::GoawayInfo&) {
+          link->peerDraining = true;
+          bump("edge.trunk_goaway_received");
+        };
+        cbs.onControl = [this, link](const h2::Frame& f) {
+          edgeOnTrunkControl(link, f);
+        };
+        cbs.onClose = [this, link](std::error_code) {
+          edgeOnTrunkClosed(link);
+        };
+        link->session->setCallbacks(std::move(cbs));
+        link->session->start();
+        bump("edge.trunk_established");
+      });
+}
+
+void Proxy::edgeOnTrunkControl(TrunkLink* link, const h2::Frame& frame) {
+  if (frame.type == h2::FrameType::kReconnectSolicitation &&
+      config_.dcrEnabled) {
+    bump("edge.dcr_solicitation_received");
+    edgeResumeMqttTunnels(link);
+  }
+}
+
+void Proxy::edgeOnTrunkClosed(TrunkLink* link) {
+  link->up = false;
+  link->connecting = false;
+  link->session = nullptr;
+  bump("edge.trunk_closed");
+
+  // In-flight HTTP requests on this trunk abort.
+  auto httpStreams = std::move(link->httpStreams);
+  link->httpStreams.clear();
+  for (auto& [sid, weakUc] : httpStreams) {
+    auto uc = weakUc.lock();
+    if (uc && uc->requestActive) {
+      bump("edge.err.stream_abort");
+      uc->link = nullptr;
+      edgeFailUserRequest(uc, 502, "trunk closed");
+    }
+  }
+  // MQTT tunnels on this trunk die (unless mid-resume to another link).
+  auto mqttStreams = std::move(link->mqttStreams);
+  link->mqttStreams.clear();
+  for (auto& [sid, weakTun] : mqttStreams) {
+    auto tun = weakTun.lock();
+    if (!tun) {
+      continue;
+    }
+    if (tun->resuming && tun->resumeLink != nullptr &&
+        tun->resumeLink != link) {
+      // Resume still in flight elsewhere; detach from the dead trunk.
+      if (tun->link == link) {
+        tun->link = nullptr;
+        tun->tunnelUp = false;
+      }
+      continue;
+    }
+    edgeDropMqttTunnel(tun,
+                       std::make_error_code(std::errc::connection_reset));
+  }
+
+  if (!draining_ && !terminated_) {
+    size_t idx = link->idx;
+    loop_.runAfter(Duration{200}, [this, idx] { edgeEnsureTrunk(idx); });
+  }
+}
+
+// -------------------------------------------------------------- MQTT edge
+
+void Proxy::edgeOnMqttAccept(TcpSocket sock) {
+  if (terminated_) {
+    return;
+  }
+  bump(config_.name + ".mqtt_conn_accepted");
+  auto tun = std::make_shared<MqttTunnel>();
+  tun->userConn = Connection::make(loop_, std::move(sock));
+  mqttTunnels_.insert(tun);
+
+  tun->userConn->setDataCallback([this, tun](Buffer& in) {
+    tun->pendingToOrigin.append(in.readable());
+    in.clear();
+    if (tun->userId.empty()) {
+      // Peek at the CONNECT packet for the user-id (the edge needs it
+      // for DCR routing; it otherwise relays bytes opaquely).
+      Buffer copy;
+      copy.append(tun->pendingToOrigin.readable());
+      bool malformed = false;
+      auto pkt = mqtt::decode(copy, malformed);
+      if (malformed ||
+          (pkt && pkt->type != mqtt::PacketType::kConnect)) {
+        edgeDropMqttTunnel(tun,
+                           std::make_error_code(std::errc::protocol_error));
+        return;
+      }
+      if (!pkt) {
+        return;  // CONNECT not fully buffered yet
+      }
+      tun->userId = pkt->clientId;
+      edgeOpenMqttTunnel(tun, /*resume=*/false);
+    }
+    if (tun->tunnelUp && tun->link != nullptr && tun->link->session &&
+        !tun->pendingToOrigin.empty()) {
+      tun->link->session->sendData(
+          tun->streamId, tun->pendingToOrigin.view(), false);
+      tun->pendingToOrigin.clear();
+    }
+  });
+  tun->userConn->setCloseCallback([this, tun](std::error_code) {
+    if (tun->link != nullptr) {
+      if (tun->link->session) {
+        tun->link->session->sendReset(tun->streamId);
+      }
+      tun->link->mqttStreams.erase(tun->streamId);
+      tun->link = nullptr;
+    }
+    if (tun->resumeLink != nullptr) {
+      if (tun->resumeLink->session) {
+        tun->resumeLink->session->sendReset(tun->resumeStreamId);
+      }
+      tun->resumeLink->mqttStreams.erase(tun->resumeStreamId);
+      tun->resumeLink = nullptr;
+    }
+    mqttTunnels_.erase(tun);
+  });
+  tun->userConn->start();
+}
+
+void Proxy::edgeOpenMqttTunnel(const std::shared_ptr<MqttTunnel>& tun,
+                               bool resume) {
+  TrunkLink* link = edgePickTrunk();
+  if (link == nullptr) {
+    bump("edge.err.no_origin");
+    edgeDropMqttTunnel(tun,
+                       std::make_error_code(std::errc::network_unreachable));
+    return;
+  }
+  uint32_t sid = link->session->openStream();
+  if (sid == 0) {
+    edgeDropMqttTunnel(tun,
+                       std::make_error_code(std::errc::network_unreachable));
+    return;
+  }
+  h2::HeaderList headers;
+  headers.emplace_back(std::string(kHdrTunnel), "mqtt");
+  headers.emplace_back(std::string(kHdrUserId), tun->userId);
+  if (resume) {
+    headers.emplace_back(std::string(kHdrResume), "1");
+  }
+  link->mqttStreams[sid] = tun;
+  link->session->sendHeaders(sid, headers, false);
+  if (resume) {
+    tun->resuming = true;
+    tun->resumeLink = link;
+    tun->resumeStreamId = sid;
+    bump("edge.dcr_reconnect_sent");  // the paper's re_connect message
+  } else {
+    tun->link = link;
+    tun->streamId = sid;
+    tun->tunnelUp = true;  // origin buffers until its broker leg is up
+    if (!tun->pendingToOrigin.empty()) {
+      link->session->sendData(sid, tun->pendingToOrigin.view(), false);
+      tun->pendingToOrigin.clear();
+    }
+  }
+}
+
+void Proxy::edgeResumeMqttTunnels(TrunkLink* fromLink) {
+  // §4.2 workflow step B: for every tunnel relayed via the restarting
+  // origin, ask a *different healthy* origin to take over the relay.
+  std::vector<std::shared_ptr<MqttTunnel>> affected;
+  for (auto& [sid, weakTun] : fromLink->mqttStreams) {
+    if (auto tun = weakTun.lock(); tun && !tun->resuming) {
+      affected.push_back(tun);
+    }
+  }
+  for (const auto& tun : affected) {
+    TrunkLink* other = nullptr;
+    for (size_t i = 0; i < trunkLinks_.size(); ++i) {
+      TrunkLink* cand =
+          trunkLinks_[(trunkRoundRobin_ + i) % trunkLinks_.size()].get();
+      if (cand != fromLink && cand->up && !cand->peerDraining) {
+        other = cand;
+        trunkRoundRobin_ = (trunkRoundRobin_ + i + 1) % trunkLinks_.size();
+        break;
+      }
+    }
+    if (other == nullptr) {
+      bump("edge.dcr_no_alternative");
+      continue;  // tunnel rides out the drain and dies with the origin
+    }
+    uint32_t sid = other->session->openStream();
+    if (sid == 0) {
+      continue;
+    }
+    h2::HeaderList headers;
+    headers.emplace_back(std::string(kHdrTunnel), "mqtt");
+    headers.emplace_back(std::string(kHdrUserId), tun->userId);
+    headers.emplace_back(std::string(kHdrResume), "1");
+    other->mqttStreams[sid] = tun;
+    other->session->sendHeaders(sid, headers, false);
+    tun->resuming = true;
+    tun->resumeLink = other;
+    tun->resumeStreamId = sid;
+    bump("edge.dcr_reconnect_sent");
+  }
+}
+
+void Proxy::edgeDropMqttTunnel(const std::shared_ptr<MqttTunnel>& tun,
+                               std::error_code why) {
+  if (tun->link != nullptr) {
+    tun->link->mqttStreams.erase(tun->streamId);
+    if (tun->link->session) {  // null once the trunk itself died
+      tun->link->session->sendReset(tun->streamId);
+    }
+    tun->link = nullptr;
+  }
+  if (tun->resumeLink != nullptr) {
+    tun->resumeLink->mqttStreams.erase(tun->resumeStreamId);
+    if (tun->resumeLink->session) {
+      tun->resumeLink->session->sendReset(tun->resumeStreamId);
+    }
+    tun->resumeLink = nullptr;
+  }
+  if (tun->userConn && tun->userConn->open()) {
+    tun->userConn->close(why);
+  }
+  mqttTunnels_.erase(tun);
+}
+
+}  // namespace zdr::proxygen

@@ -1,0 +1,114 @@
+#include "proxygen/upstream_pool.h"
+
+namespace zdr::proxygen {
+
+UpstreamPool::UpstreamPool(EventLoop& loop, Options opts,
+                           MetricsRegistry* metrics)
+    : loop_(loop), opts_(opts), metrics_(metrics) {
+  reapTimer_ = loop_.runEvery(Duration{1000}, [this] { reapIdle(); });
+}
+
+UpstreamPool::~UpstreamPool() {
+  loop_.cancelTimer(reapTimer_);
+  closeAll();
+}
+
+void UpstreamPool::acquire(const std::string& name, const SocketAddr& addr,
+                           Ready cb) {
+  auto it = idle_.find(name);
+  while (it != idle_.end() && !it->second.empty()) {
+    IdleEntry entry = std::move(it->second.front());
+    it->second.pop_front();
+    if (!entry.conn->open()) {
+      continue;  // died while parked; try the next one
+    }
+    // Hand out clean: whatever sentinel callbacks we parked it with
+    // must not fire into the new owner's traffic.
+    entry.conn->setDataCallback(nullptr);
+    entry.conn->setCloseCallback(nullptr);
+    ++hits_;
+    if (metrics_) {
+      metrics_->counter("pool.hits").add();
+    }
+    cb(std::move(entry.conn), {}, /*reused=*/true);
+    return;
+  }
+
+  ++misses_;
+  if (metrics_) {
+    metrics_->counter("pool.misses").add();
+  }
+  Connector::connect(
+      loop_, addr,
+      [this, cb](TcpSocket sock, std::error_code ec) {
+        if (ec) {
+          cb(nullptr, ec, false);
+          return;
+        }
+        cb(Connection::make(loop_, std::move(sock)), {}, false);
+      },
+      opts_.connectTimeout);
+}
+
+void UpstreamPool::release(const std::string& name, ConnectionPtr conn) {
+  if (!conn || !conn->open()) {
+    return;
+  }
+  auto& queue = idle_[name];
+  if (queue.size() >= opts_.maxIdlePerBackend) {
+    conn->close({});
+    return;
+  }
+  // Parked sentinel: any byte or close while idle invalidates the
+  // connection (server went away, or protocol desync).
+  ConnectionPtr raw = conn;
+  conn->setDataCallback([raw](Buffer& in) {
+    in.clear();
+    raw->close({});
+  });
+  conn->setCloseCallback([this, name, raw](std::error_code) {
+    auto it = idle_.find(name);
+    if (it == idle_.end()) {
+      return;
+    }
+    auto& q = it->second;
+    for (auto qi = q.begin(); qi != q.end(); ++qi) {
+      if (qi->conn == raw) {
+        q.erase(qi);
+        break;
+      }
+    }
+  });
+  queue.push_back(IdleEntry{std::move(conn), Clock::now()});
+}
+
+void UpstreamPool::closeAll() {
+  auto all = std::move(idle_);
+  idle_.clear();
+  for (auto& [name, queue] : all) {
+    for (auto& entry : queue) {
+      entry.conn->setCloseCallback(nullptr);
+      entry.conn->close({});
+    }
+  }
+}
+
+size_t UpstreamPool::idleCount(const std::string& name) const {
+  auto it = idle_.find(name);
+  return it == idle_.end() ? 0 : it->second.size();
+}
+
+void UpstreamPool::reapIdle() {
+  TimePoint now = Clock::now();
+  for (auto& [name, queue] : idle_) {
+    while (!queue.empty() &&
+           now - queue.front().since > opts_.idleTimeout) {
+      auto conn = queue.front().conn;
+      queue.pop_front();
+      conn->setCloseCallback(nullptr);
+      conn->close({});
+    }
+  }
+}
+
+}  // namespace zdr::proxygen

@@ -1,0 +1,71 @@
+// Keep-alive connection pool for the Origin → App. Server hop.
+//
+// Production proxies never pay a TCP handshake per request to their
+// upstreams; they pool keep-alive connections. The pool is also where
+// restart hygiene shows up: a connection that served a 379 belongs to
+// a restarting server and must never be reused.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "metrics/metrics.h"
+#include "netcore/connection.h"
+
+namespace zdr::proxygen {
+
+class UpstreamPool {
+ public:
+  struct Options {
+    size_t maxIdlePerBackend = 8;
+    Duration idleTimeout = Duration{10000};
+    Duration connectTimeout = Duration{3000};
+  };
+
+  // `reused` distinguishes pool hits from fresh connects (metrics and
+  // tests key off it).
+  using Ready =
+      std::function<void(ConnectionPtr conn, std::error_code ec, bool reused)>;
+
+  UpstreamPool(EventLoop& loop, Options opts,
+               MetricsRegistry* metrics = nullptr);
+  ~UpstreamPool();
+  UpstreamPool(const UpstreamPool&) = delete;
+  UpstreamPool& operator=(const UpstreamPool&) = delete;
+
+  // Hands out an idle pooled connection to `name`@`addr`, or dials a
+  // fresh one. The connection's callbacks are cleared before handout.
+  void acquire(const std::string& name, const SocketAddr& addr, Ready cb);
+
+  // Returns a healthy keep-alive connection for reuse. The pool owns
+  // it until the next acquire (or idle timeout / peer close).
+  void release(const std::string& name, ConnectionPtr conn);
+
+  // Drops every idle connection (drain/terminate path).
+  void closeAll();
+
+  [[nodiscard]] size_t idleCount(const std::string& name) const;
+  [[nodiscard]] uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] uint64_t misses() const noexcept { return misses_; }
+
+ private:
+  struct IdleEntry {
+    ConnectionPtr conn;
+    TimePoint since;
+  };
+
+  void reapIdle();
+
+  EventLoop& loop_;
+  Options opts_;
+  MetricsRegistry* metrics_;
+  std::map<std::string, std::deque<IdleEntry>> idle_;
+  EventLoop::TimerId reapTimer_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace zdr::proxygen

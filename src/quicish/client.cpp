@@ -1,0 +1,77 @@
+#include "quicish/client.h"
+
+#include <sys/epoll.h>
+
+#include <array>
+
+namespace zdr::quicish {
+
+ClientFlow::ClientFlow(EventLoop& loop, const SocketAddr& serverVip,
+                       uint64_t connId)
+    : loop_(loop),
+      server_(serverVip),
+      connId_(connId),
+      sock_(SocketAddr::loopback(0)) {
+  loop_.addFd(sock_.fd(), EPOLLIN, [this](uint32_t) { onReadable(); });
+}
+
+ClientFlow::~ClientFlow() {
+  if (sock_.valid() && loop_.watching(sock_.fd())) {
+    loop_.removeFd(sock_.fd());
+  }
+}
+
+void ClientFlow::send(const Packet& p) {
+  std::string bytes = encodeToString(p);
+  std::error_code ec;
+  sock_.sendTo(std::as_bytes(std::span(bytes.data(), bytes.size())), server_,
+               ec);
+}
+
+void ClientFlow::sendInitial() {
+  Packet p;
+  p.type = PacketType::kInitial;
+  p.connId = connId_;
+  p.seq = seq_++;
+  send(p);
+}
+
+void ClientFlow::sendData(size_t payloadBytes) {
+  Packet p;
+  p.type = PacketType::kData;
+  p.connId = connId_;
+  p.seq = seq_++;
+  p.payload.assign(payloadBytes, 'x');
+  send(p);
+}
+
+void ClientFlow::sendClose() {
+  Packet p;
+  p.type = PacketType::kClose;
+  p.connId = connId_;
+  send(p);
+}
+
+void ClientFlow::onReadable() {
+  std::array<std::byte, 2048> buf;
+  while (true) {
+    SocketAddr from;
+    std::error_code ec;
+    size_t n = sock_.recvFrom(buf, from, ec);
+    if (ec) {
+      return;
+    }
+    auto pkt = decode(std::span(buf.data(), n));
+    if (!pkt) {
+      continue;
+    }
+    if (pkt->type == PacketType::kAck) {
+      ++acks_;
+      lastAckInstance_ = pkt->instanceId;
+    } else if (pkt->type == PacketType::kReset) {
+      ++resets_;
+    }
+  }
+}
+
+}  // namespace zdr::quicish

@@ -1,0 +1,51 @@
+// Quicish client flow.
+//
+// Each flow owns its own UDP source port (so the kernel's REUSEPORT
+// 4-tuple hash spreads flows across server worker sockets, as in
+// production) and a fixed 64-bit connection ID.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "netcore/event_loop.h"
+#include "netcore/socket.h"
+#include "quicish/packet.h"
+
+namespace zdr::quicish {
+
+class ClientFlow {
+ public:
+  ClientFlow(EventLoop& loop, const SocketAddr& serverVip, uint64_t connId);
+  ~ClientFlow();
+  ClientFlow(const ClientFlow&) = delete;
+  ClientFlow& operator=(const ClientFlow&) = delete;
+
+  void sendInitial();
+  void sendData(size_t payloadBytes = 64);
+  void sendClose();
+
+  [[nodiscard]] uint64_t connId() const noexcept { return connId_; }
+  [[nodiscard]] uint64_t acks() const noexcept { return acks_; }
+  [[nodiscard]] uint64_t resets() const noexcept { return resets_; }
+  [[nodiscard]] uint32_t lastAckInstance() const noexcept {
+    return lastAckInstance_;
+  }
+  [[nodiscard]] uint32_t seq() const noexcept { return seq_; }
+
+ private:
+  void onReadable();
+  void send(const Packet& p);
+
+  EventLoop& loop_;
+  SocketAddr server_;
+  uint64_t connId_;
+  UdpSocket sock_;
+  uint32_t seq_ = 0;
+  uint64_t acks_ = 0;
+  uint64_t resets_ = 0;
+  uint32_t lastAckInstance_ = 0;
+};
+
+}  // namespace zdr::quicish

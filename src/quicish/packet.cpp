@@ -1,0 +1,75 @@
+#include "quicish/packet.h"
+
+namespace zdr::quicish {
+
+namespace {
+constexpr size_t kHeaderLen = 1 + 8 + 4 + 4;  // type + connId + seq + instId
+}
+
+void encode(const Packet& p, Buffer& out) {
+  out.appendU8(static_cast<uint8_t>(p.type));
+  out.appendU64(p.connId);
+  out.appendU32(p.seq);
+  out.appendU32(p.instanceId);
+  out.append(p.payload);
+}
+
+std::string encodeToString(const Packet& p) {
+  Buffer buf;
+  encode(p, buf);
+  return std::string(buf.view());
+}
+
+std::optional<Packet> decode(std::span<const std::byte> datagram) {
+  if (datagram.size() < kHeaderLen) {
+    return std::nullopt;
+  }
+  Buffer buf;
+  buf.append(datagram);
+  Packet p;
+  uint8_t type = buf.peekU8(0);
+  if (type > static_cast<uint8_t>(PacketType::kForwarded)) {
+    return std::nullopt;
+  }
+  p.type = static_cast<PacketType>(type);
+  p.connId = buf.peekU64(1);
+  p.seq = buf.peekU32(9);
+  p.instanceId = buf.peekU32(13);
+  p.payload.assign(buf.view().substr(kHeaderLen));
+  return p;
+}
+
+std::string wrapForwarded(std::span<const std::byte> inner,
+                          const SocketAddr& origSource) {
+  Buffer buf;
+  buf.appendU8(static_cast<uint8_t>(PacketType::kForwarded));
+  buf.appendU32(origSource.ipHostOrder());
+  buf.appendU16(origSource.port());
+  buf.append(inner);
+  return std::string(buf.view());
+}
+
+std::optional<ForwardedPacket> unwrapForwarded(
+    std::span<const std::byte> datagram) {
+  constexpr size_t kWrapLen = 1 + 4 + 2;
+  if (datagram.size() < kWrapLen) {
+    return std::nullopt;
+  }
+  Buffer buf;
+  buf.append(datagram);
+  if (buf.peekU8(0) != static_cast<uint8_t>(PacketType::kForwarded)) {
+    return std::nullopt;
+  }
+  uint32_t ip = buf.peekU32(1);
+  uint16_t port = buf.peekU16(5);
+  ForwardedPacket fp;
+  fp.inner.assign(buf.view().substr(kWrapLen));
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(ip);
+  sa.sin_port = htons(port);
+  fp.origSource = SocketAddr(sa);
+  return fp;
+}
+
+}  // namespace zdr::quicish

@@ -1,0 +1,62 @@
+// Wire format of the conn-ID datagram protocol ("quicish").
+//
+// A deliberately small stand-in for QUIC: every packet carries a
+// 64-bit connection ID in the clear, which is the one property the
+// paper's user-space UDP routing depends on — "decisions for
+// user-space routing of packets are made based on information present
+// in each UDP packet, such as connection ID" (§4.1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "netcore/buffer.h"
+#include "netcore/socket_addr.h"
+
+namespace zdr::quicish {
+
+enum class PacketType : uint8_t {
+  kInitial = 0,  // opens a flow
+  kData = 1,
+  kAck = 2,       // server → client: echoes seq; carries server instance id
+  kReset = 3,     // stateless reset: server has no state for this flow
+  kClose = 4,
+  kForwarded = 5, // inter-process wrapper used by user-space routing
+};
+
+struct Packet {
+  PacketType type = PacketType::kData;
+  uint64_t connId = 0;
+  uint32_t seq = 0;
+  // kAck: id of the serving instance; lets experiments attribute replies.
+  uint32_t instanceId = 0;
+  std::string payload;
+
+  // kForwarded only: the original client source address, preserved so
+  // the draining instance can reply to the right peer.
+  uint32_t origIp = 0;
+  uint16_t origPort = 0;
+};
+
+// Serializes into `out` (appends).
+void encode(const Packet& p, Buffer& out);
+[[nodiscard]] std::string encodeToString(const Packet& p);
+
+// Parses one datagram (datagrams are never fragmented across reads).
+std::optional<Packet> decode(std::span<const std::byte> datagram);
+
+// Wraps `inner` (raw datagram bytes) for forwarding to the draining
+// process, preserving the original source address.
+[[nodiscard]] std::string wrapForwarded(std::span<const std::byte> inner,
+                                        const SocketAddr& origSource);
+// Unwrap; returns inner bytes + original source.
+struct ForwardedPacket {
+  std::string inner;
+  SocketAddr origSource;
+};
+std::optional<ForwardedPacket> unwrapForwarded(
+    std::span<const std::byte> datagram);
+
+}  // namespace zdr::quicish

@@ -1,0 +1,228 @@
+#include "quicish/server.h"
+
+#include <sys/epoll.h>
+
+#include <array>
+
+namespace zdr::quicish {
+
+Server::Server(EventLoop& loop, const SocketAddr& vip, Options opts,
+               MetricsRegistry* metrics)
+    : loop_(loop), opts_(opts), metrics_(metrics), vip_(vip) {
+  BindOptions bo;
+  bo.reusePort = true;  // allow a parallel instance on the same VIP
+  for (size_t i = 0; i < opts_.numWorkers; ++i) {
+    vipSocks_.emplace_back(vip, bo);
+  }
+  vip_ = vipSocks_.front().localAddr();  // resolve port 0
+  // Re-bind remaining workers if the kernel picked the port (port 0):
+  // all REUSEPORT sockets must share the same concrete port.
+  if (vip.port() == 0 && opts_.numWorkers > 1) {
+    vipSocks_.resize(1);
+    for (size_t i = 1; i < opts_.numWorkers; ++i) {
+      vipSocks_.emplace_back(vip_, bo);
+    }
+  }
+  setupForwardSocket();
+  for (size_t i = 0; i < vipSocks_.size(); ++i) {
+    registerVipSocket(i);
+  }
+}
+
+Server::Server(EventLoop& loop, std::vector<FdGuard> vipSockets, Options opts,
+               MetricsRegistry* metrics)
+    : loop_(loop), opts_(opts), metrics_(metrics) {
+  for (auto& fd : vipSockets) {
+    detail::setNonBlocking(fd.get(), true);
+    vipSocks_.push_back(UdpSocket::fromFd(std::move(fd)));
+  }
+  if (!vipSocks_.empty()) {
+    vip_ = vipSocks_.front().localAddr();
+  }
+  setupForwardSocket();
+  for (size_t i = 0; i < vipSocks_.size(); ++i) {
+    registerVipSocket(i);
+  }
+}
+
+Server::~Server() { shutdown(); }
+
+void Server::setupForwardSocket() {
+  forwardSock_ = UdpSocket(SocketAddr::loopback(0));
+  loop_.addFd(forwardSock_.fd(), EPOLLIN,
+              [this](uint32_t) { onForwardReadable(); });
+}
+
+void Server::registerVipSocket(size_t idx) {
+  loop_.addFd(vipSocks_[idx].fd(), EPOLLIN,
+              [this, idx](uint32_t) { onVipReadable(idx); });
+}
+
+std::vector<int> Server::vipSocketFds() const {
+  std::vector<int> fds;
+  fds.reserve(vipSocks_.size());
+  for (const auto& s : vipSocks_) {
+    fds.push_back(s.fd());
+  }
+  return fds;
+}
+
+void Server::enterDrain() {
+  draining_ = true;
+  // Stop reading the shared VIP sockets; the updated instance owns
+  // them now. Keep the fds open: replies to our flows still go out on
+  // them, exactly as the paper's draining process does.
+  for (auto& s : vipSocks_) {
+    if (s.valid() && loop_.watching(s.fd())) {
+      loop_.removeFd(s.fd());
+    }
+  }
+}
+
+void Server::shutdown() {
+  for (auto& s : vipSocks_) {
+    if (s.valid()) {
+      if (loop_.watching(s.fd())) {
+        loop_.removeFd(s.fd());
+      }
+      s.close();
+    }
+  }
+  vipSocks_.clear();
+  if (forwardSock_.valid()) {
+    if (loop_.watching(forwardSock_.fd())) {
+      loop_.removeFd(forwardSock_.fd());
+    }
+    forwardSock_.close();
+  }
+}
+
+void Server::bump(const char* name) {
+  if (metrics_) {
+    metrics_->counter(std::string("quicish.") + std::to_string(opts_.instanceId) +
+                      "." + name)
+        .add();
+  }
+}
+
+void Server::onVipReadable(size_t idx) {
+  std::array<std::byte, 2048> buf;
+  while (true) {
+    SocketAddr from;
+    std::error_code ec;
+    size_t n = vipSocks_[idx].recvFrom(buf, from, ec);
+    if (ec) {
+      return;  // EAGAIN or transient
+    }
+    processDatagram(std::span(buf.data(), n), from, idx);
+  }
+}
+
+void Server::onForwardReadable() {
+  std::array<std::byte, 2048> buf;
+  while (true) {
+    SocketAddr from;
+    std::error_code ec;
+    size_t n = forwardSock_.recvFrom(buf, from, ec);
+    if (ec) {
+      return;
+    }
+    auto fwd = unwrapForwarded(std::span(buf.data(), n));
+    if (!fwd) {
+      continue;
+    }
+    auto bytes = std::as_bytes(
+        std::span(fwd->inner.data(), fwd->inner.size()));
+    processDatagram(bytes, fwd->origSource, 0);
+  }
+}
+
+void Server::processDatagram(std::span<const std::byte> data,
+                             const SocketAddr& from, size_t viaSocket) {
+  auto pkt = decode(data);
+  if (!pkt) {
+    return;
+  }
+  ++packetsProcessed_;
+  bump("packets");
+
+  switch (pkt->type) {
+    case PacketType::kInitial: {
+      if (draining_) {
+        // A draining instance must not take new flows; this can only
+        // be a forwarded stray. Reset it.
+        Packet rst;
+        rst.type = PacketType::kReset;
+        rst.connId = pkt->connId;
+        rst.instanceId = opts_.instanceId;
+        reply(rst, from);
+        return;
+      }
+      flows_[pkt->connId] = Flow{};
+      Packet ack;
+      ack.type = PacketType::kAck;
+      ack.connId = pkt->connId;
+      ack.seq = pkt->seq;
+      ack.instanceId = opts_.instanceId;
+      reply(ack, from);
+      bump("flows_opened");
+      break;
+    }
+    case PacketType::kData: {
+      auto it = flows_.find(pkt->connId);
+      if (it == flows_.end()) {
+        // Packet for a flow we do not own: either user-space-route it
+        // to the draining peer, or count a mis-route (Fig 2d / Fig 10).
+        if (opts_.userSpaceRouting && haveForwardPeer_) {
+          std::string wrapped = wrapForwarded(data, from);
+          std::error_code ec;
+          forwardSock_.sendTo(
+              std::as_bytes(std::span(wrapped.data(), wrapped.size())),
+              forwardPeer_, ec);
+          ++forwardedCnt_;
+          bump("forwarded");
+          return;
+        }
+        ++misrouted_;
+        bump("misrouted");
+        Packet rst;
+        rst.type = PacketType::kReset;
+        rst.connId = pkt->connId;
+        rst.seq = pkt->seq;
+        rst.instanceId = opts_.instanceId;
+        reply(rst, from);
+        return;
+      }
+      it->second.lastSeq = pkt->seq;
+      ++it->second.packets;
+      Packet ack;
+      ack.type = PacketType::kAck;
+      ack.connId = pkt->connId;
+      ack.seq = pkt->seq;
+      ack.instanceId = opts_.instanceId;
+      reply(ack, from);
+      break;
+    }
+    case PacketType::kClose: {
+      flows_.erase(pkt->connId);
+      break;
+    }
+    default:
+      break;
+  }
+  (void)viaSocket;
+}
+
+void Server::reply(const Packet& p, const SocketAddr& to) {
+  std::string bytes = encodeToString(p);
+  std::error_code ec;
+  if (!vipSocks_.empty() && vipSocks_.front().valid()) {
+    vipSocks_.front().sendTo(
+        std::as_bytes(std::span(bytes.data(), bytes.size())), to, ec);
+  } else {
+    forwardSock_.sendTo(
+        std::as_bytes(std::span(bytes.data(), bytes.size())), to, ec);
+  }
+}
+
+}  // namespace zdr::quicish

@@ -1,0 +1,108 @@
+#include "release/monitored_release.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+namespace zdr::release {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+// Restarts `hosts` and waits for completion; returns false on timeout.
+bool restartAndWait(const std::vector<RestartableHost*>& hosts,
+                    Strategy strategy,
+                    std::chrono::milliseconds timeout) {
+  for (auto* h : hosts) {
+    h->beginRestart(strategy);
+  }
+  auto start = SteadyClock::now();
+  while (true) {
+    bool allDone = true;
+    for (auto* h : hosts) {
+      if (!h->restartComplete()) {
+        allDone = false;
+        break;
+      }
+    }
+    if (allDone) {
+      return true;
+    }
+    if (SteadyClock::now() - start > timeout) {
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+}  // namespace
+
+MonitoredReleaseReport runMonitoredRelease(
+    const std::vector<RestartableHost*>& hosts,
+    const MonitoredReleaseOptions& options) {
+  MonitoredReleaseReport report;
+  if (hosts.empty()) {
+    return report;
+  }
+  auto emit = [&](const std::string& e) {
+    if (options.onEvent) {
+      options.onEvent(e);
+    }
+  };
+  auto healthy = [&] {
+    return !options.healthGate || options.healthGate();
+  };
+  auto start = SteadyClock::now();
+  auto finish = [&](ReleaseOutcome outcome) {
+    report.outcome = outcome;
+    report.totalSeconds =
+        std::chrono::duration<double>(SteadyClock::now() - start).count();
+    return report;
+  };
+
+  size_t batchSize = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(
+             options.batchFraction * static_cast<double>(hosts.size()))));
+
+  std::vector<RestartableHost*> released;
+  for (size_t offset = 0; offset < hosts.size(); offset += batchSize) {
+    size_t end = std::min(hosts.size(), offset + batchSize);
+    std::vector<RestartableHost*> batch(hosts.begin() + offset,
+                                        hosts.begin() + end);
+    bool canary = offset == 0;
+    emit(std::string(canary ? "canary_start" : "batch_start") + " " +
+         std::to_string(report.batchesCompleted + 1));
+
+    if (!restartAndWait(batch, options.strategy, options.perBatchTimeout)) {
+      emit("batch_timeout");
+      return finish(ReleaseOutcome::kAborted);
+    }
+    released.insert(released.end(), batch.begin(), batch.end());
+    ++report.batchesCompleted;
+    report.hostsReleased += batch.size();
+
+    std::this_thread::sleep_for(options.canarySoak);
+    if (!healthy()) {
+      // Regression: roll every released host back to the known-good
+      // binary (modelled as one more restart).
+      emit("health_regression_rollback");
+      if (!restartAndWait(released, options.strategy,
+                          options.perBatchTimeout)) {
+        return finish(ReleaseOutcome::kAborted);
+      }
+      report.hostsRolledBack = released.size();
+      return finish(ReleaseOutcome::kRolledBack);
+    }
+    emit("batch_healthy " + std::to_string(report.batchesCompleted));
+
+    if (end < hosts.size() && options.interBatchGap.count() > 0) {
+      std::this_thread::sleep_for(options.interBatchGap);
+    }
+  }
+  emit("release_done");
+  return finish(ReleaseOutcome::kCompleted);
+}
+
+}  // namespace zdr::release

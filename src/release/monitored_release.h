@@ -1,0 +1,59 @@
+// Canary-gated rolling release with automatic rollback.
+//
+// §5.1: "It is a common practice to roll back the newly released
+// software to a last known version to mitigate ongoing issues" and
+// "degradation in the health of a service being released even at a
+// micro level … can escalate to a system wide availability risk".
+// Production releases therefore canary the first batch and watch
+// health signals before (and while) proceeding.
+//
+// MonitoredRelease wraps the plain rolling release with:
+//  * a canary phase: the first batch restarts alone, then a health
+//    probe decides whether the rollout continues;
+//  * per-batch health gates: any regression halts the release and
+//    triggers rollback (restarting the affected hosts again, which in
+//    this model reverts them to the known-good binary).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "release/release.h"
+
+namespace zdr::release {
+
+enum class ReleaseOutcome : uint8_t {
+  kCompleted,       // all batches rolled out, health stayed green
+  kRolledBack,      // regression detected; affected hosts re-restarted
+  kAborted,         // regression detected; rollback itself failed
+};
+
+struct MonitoredReleaseOptions {
+  Strategy strategy = Strategy::kZeroDowntime;
+  double batchFraction = 0.2;
+  std::chrono::milliseconds interBatchGap{0};
+  std::chrono::milliseconds perBatchTimeout{30000};
+  // Settle time between a batch finishing and its health evaluation
+  // (metrics need a beat to reflect the new binary).
+  std::chrono::milliseconds canarySoak{100};
+  // Health gate: return false to declare the release regressing.
+  // Called after the canary batch and after every subsequent batch.
+  std::function<bool()> healthGate;
+  std::function<void(const std::string& event)> onEvent;
+};
+
+struct MonitoredReleaseReport {
+  ReleaseOutcome outcome = ReleaseOutcome::kCompleted;
+  size_t batchesCompleted = 0;
+  size_t hostsReleased = 0;
+  size_t hostsRolledBack = 0;
+  double totalSeconds = 0;
+};
+
+// Blocking; call from a driver thread.
+MonitoredReleaseReport runMonitoredRelease(
+    const std::vector<RestartableHost*>& hosts,
+    const MonitoredReleaseOptions& options);
+
+}  // namespace zdr::release

@@ -1,0 +1,77 @@
+#include "release/release.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+namespace zdr::release {
+
+namespace {
+using SteadyClock = std::chrono::steady_clock;
+}
+
+RollingReleaseReport runRollingRelease(
+    const std::vector<RestartableHost*>& hosts,
+    const RollingReleaseOptions& options) {
+  RollingReleaseReport report;
+  report.hosts = hosts.size();
+  if (hosts.empty()) {
+    return report;
+  }
+  auto emit = [&](const std::string& e) {
+    if (options.onEvent) {
+      options.onEvent(e);
+    }
+  };
+
+  size_t batchSize = std::max<size_t>(
+      1, static_cast<size_t>(
+             std::ceil(options.batchFraction *
+                       static_cast<double>(hosts.size()))));
+  auto start = SteadyClock::now();
+
+  for (size_t offset = 0; offset < hosts.size(); offset += batchSize) {
+    size_t end = std::min(hosts.size(), offset + batchSize);
+    ++report.batches;
+    emit("batch_start " + std::to_string(report.batches));
+
+    for (size_t i = offset; i < end; ++i) {
+      emit("restart_begin " + hosts[i]->hostName());
+      hosts[i]->beginRestart(options.strategy);
+    }
+
+    auto batchStart = SteadyClock::now();
+    while (true) {
+      bool allDone = true;
+      for (size_t i = offset; i < end; ++i) {
+        if (!hosts[i]->restartComplete()) {
+          allDone = false;
+          break;
+        }
+      }
+      if (allDone) {
+        break;
+      }
+      if (SteadyClock::now() - batchStart > options.perBatchTimeout) {
+        report.timedOut = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    emit("batch_done " + std::to_string(report.batches));
+    if (report.timedOut) {
+      break;
+    }
+    if (end < hosts.size() && options.interBatchGap.count() > 0) {
+      std::this_thread::sleep_for(options.interBatchGap);
+    }
+  }
+
+  report.totalSeconds =
+      std::chrono::duration<double>(SteadyClock::now() - start).count();
+  emit("release_done");
+  return report;
+}
+
+}  // namespace zdr::release

@@ -1,0 +1,63 @@
+// Rolling-release orchestration (§2.3, §6.1).
+//
+// Operators roll updates in batches: each batch of instances enters
+// draining, and once drained (or after the drain period) restarts with
+// the new code. The two strategies compared throughout the paper:
+//
+//  * HardRestart — the traditional flow: the instance fails health
+//    checks, takes no new connections, drains, then terminates; the
+//    host contributes nothing until the new instance boots.
+//  * Zero Downtime Release — Socket Takeover spins the updated
+//    instance in parallel; the host keeps serving throughout.
+//
+// The controller runs on a driver thread and blocks; hosts expose an
+// asynchronous restart that reports completion.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace zdr::release {
+
+enum class Strategy : uint8_t { kHardRestart, kZeroDowntime };
+
+// Anything the rolling release can restart (proxy host, app host).
+class RestartableHost {
+ public:
+  virtual ~RestartableHost() = default;
+  [[nodiscard]] virtual std::string hostName() const = 0;
+  // Kicks off a restart with the given strategy. Non-blocking.
+  virtual void beginRestart(Strategy strategy) = 0;
+  // True once the restart has fully completed (old instance gone, new
+  // instance serving).
+  [[nodiscard]] virtual bool restartComplete() const = 0;
+};
+
+struct RollingReleaseOptions {
+  Strategy strategy = Strategy::kZeroDowntime;
+  // Fraction of hosts restarted per batch (paper tests 5% and 20%).
+  double batchFraction = 0.2;
+  // Pause between batches (the "minutes 57 and 80–83" gaps of Fig 3a).
+  std::chrono::milliseconds interBatchGap{0};
+  // Safety valve for a stuck host.
+  std::chrono::milliseconds perBatchTimeout{30000};
+  // Observer invoked as the release progresses (for timelines).
+  std::function<void(const std::string& event)> onEvent;
+};
+
+struct RollingReleaseReport {
+  size_t hosts = 0;
+  size_t batches = 0;
+  double totalSeconds = 0;
+  bool timedOut = false;
+};
+
+// Blocking: rolls the update across `hosts` in batches. Call from a
+// driver thread, never from an event-loop thread.
+RollingReleaseReport runRollingRelease(
+    const std::vector<RestartableHost*>& hosts,
+    const RollingReleaseOptions& options);
+
+}  // namespace zdr::release

@@ -1,0 +1,90 @@
+#include "takeover/protocol.h"
+
+#include <sstream>
+
+namespace zdr::takeover {
+
+std::string encodeRequest() {
+  return std::string(kMsgRequest) + " v" + std::to_string(kProtocolVersion);
+}
+
+bool isRequest(std::string_view payload) {
+  return payload.rfind(kMsgRequest, 0) == 0;
+}
+
+std::string encodeInventory(const Inventory& inv) {
+  std::ostringstream out;
+  out << "TAKEOVER_INVENTORY v" << inv.version << "\n";
+  out << "count " << inv.sockets.size() << "\n";
+  for (const auto& s : inv.sockets) {
+    out << (s.proto == Proto::kTcp ? "tcp" : "udp") << " " << s.vipName << " "
+        << s.addr.ipString() << " " << s.addr.port() << "\n";
+  }
+  if (inv.hasUdpForwardAddr) {
+    out << "udp_forward " << inv.udpForwardAddr.ipString() << " "
+        << inv.udpForwardAddr.port() << "\n";
+  }
+  return out.str();
+}
+
+std::optional<Inventory> decodeInventory(std::string_view payload) {
+  std::istringstream in{std::string(payload)};
+  std::string tag;
+  std::string ver;
+  if (!(in >> tag >> ver) || tag != "TAKEOVER_INVENTORY") {
+    return std::nullopt;
+  }
+  Inventory inv;
+  if (ver.size() < 2 || ver[0] != 'v') {
+    return std::nullopt;
+  }
+  inv.version = static_cast<uint32_t>(std::stoul(ver.substr(1)));
+
+  std::string key;
+  size_t count = 0;
+  if (!(in >> key >> count) || key != "count") {
+    return std::nullopt;
+  }
+  for (size_t i = 0; i < count; ++i) {
+    std::string proto;
+    std::string name;
+    std::string ip;
+    uint16_t port = 0;
+    if (!(in >> proto >> name >> ip >> port)) {
+      return std::nullopt;
+    }
+    SocketDescriptor d;
+    d.vipName = name;
+    d.proto = proto == "udp" ? Proto::kUdp : Proto::kTcp;
+    try {
+      d.addr = SocketAddr(ip, port);
+    } catch (const std::invalid_argument&) {
+      return std::nullopt;
+    }
+    inv.sockets.push_back(std::move(d));
+  }
+  while (in >> key) {
+    if (key == "udp_forward") {
+      std::string ip;
+      uint16_t port = 0;
+      if (!(in >> ip >> port)) {
+        return std::nullopt;
+      }
+      inv.hasUdpForwardAddr = true;
+      try {
+        inv.udpForwardAddr = SocketAddr(ip, port);
+      } catch (const std::invalid_argument&) {
+        return std::nullopt;
+      }
+    }
+  }
+  return inv;
+}
+
+std::string encodeAck() { return std::string(kMsgAck); }
+
+bool isAck(std::string_view payload) {
+  return payload.rfind(kMsgAck, 0) == 0;
+}
+
+}  // namespace zdr::takeover

@@ -1,0 +1,61 @@
+// Socket Takeover wire protocol (§4.1, Figure 5).
+//
+// The restarting ("old") Proxygen runs a takeover server on a
+// pre-specified UNIX-domain path. The freshly spun ("new") instance
+// connects and the following strictly-alternating exchange happens:
+//
+//   new → old : REQUEST (protocol version)
+//   old → new : INVENTORY + SCM_RIGHTS fds  (one descriptor per entry,
+//               in order: all listening/VIP sockets, TCP and UDP)
+//   new → old : ACK        (new instance is listening; old may drain)
+//
+// After ACK the old instance stops accepting new connections and
+// drains; the new instance answers health checks from the L4 layer.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netcore/socket_addr.h"
+
+namespace zdr::takeover {
+
+inline constexpr uint32_t kProtocolVersion = 1;
+
+enum class Proto : uint8_t { kTcp = 0, kUdp = 1 };
+
+// Describes one passed socket; fds ride alongside in SCM_RIGHTS, in
+// the same order as these entries.
+struct SocketDescriptor {
+  std::string vipName;  // e.g. "https443", "quic443"
+  Proto proto = Proto::kTcp;
+  SocketAddr addr;
+};
+
+struct Inventory {
+  uint32_t version = kProtocolVersion;
+  std::vector<SocketDescriptor> sockets;
+  // Host-local address where the draining instance accepts user-space
+  // routed UDP packets for flows it still owns (§4.1).
+  bool hasUdpForwardAddr = false;
+  SocketAddr udpForwardAddr;
+};
+
+// Control messages.
+inline constexpr std::string_view kMsgRequest = "TAKEOVER_REQUEST";
+inline constexpr std::string_view kMsgAck = "TAKEOVER_ACK";
+inline constexpr std::string_view kMsgNack = "TAKEOVER_NACK";
+
+[[nodiscard]] std::string encodeRequest();
+[[nodiscard]] bool isRequest(std::string_view payload);
+
+[[nodiscard]] std::string encodeInventory(const Inventory& inv);
+[[nodiscard]] std::optional<Inventory> decodeInventory(
+    std::string_view payload);
+
+[[nodiscard]] std::string encodeAck();
+[[nodiscard]] bool isAck(std::string_view payload);
+
+}  // namespace zdr::takeover

@@ -1,0 +1,188 @@
+#include "takeover/takeover.h"
+
+#include <sys/epoll.h>
+
+#include "netcore/fd_passing.h"
+
+namespace zdr::takeover {
+
+TakeoverServer::TakeoverServer(EventLoop& loop, std::string path,
+                               InventoryProvider provider,
+                               DrainTrigger onDrain, Options opts)
+    : loop_(loop),
+      path_(std::move(path)),
+      provider_(std::move(provider)),
+      onDrain_(std::move(onDrain)),
+      opts_(opts),
+      listener_(path_) {
+  loop_.addFd(listener_.fd(), EPOLLIN, [this](uint32_t) {
+    std::error_code ec;
+    auto peer = listener_.accept(ec);
+    if (peer) {
+      onAccept(std::move(*peer));
+    }
+  });
+}
+
+TakeoverServer::~TakeoverServer() {
+  if (peer_.valid() && loop_.watching(peer_.fd())) {
+    loop_.removeFd(peer_.fd());
+  }
+  for (auto& r : rejected_) {
+    if (loop_.watching(r.fd())) {
+      loop_.removeFd(r.fd());
+    }
+  }
+  if (listener_.valid() && loop_.watching(listener_.fd())) {
+    loop_.removeFd(listener_.fd());
+  }
+}
+
+void TakeoverServer::onAccept(UnixSocket peer) {
+  if (peer_.valid()) {
+    // A handoff is already in progress; refuse a second suitor. The
+    // socket lingers until the suitor reads the NACK and disconnects.
+    std::string nack(kMsgNack);
+    std::error_code ec = sendFdsMsg(peer.fd(), nack, {});
+    (void)ec;
+    peer.setNonBlocking(true);
+    rejected_.push_back(std::move(peer));
+    UnixSocket& stored = rejected_.back();
+    loop_.addFd(stored.fd(), EPOLLIN | EPOLLHUP, [this, fd = stored.fd()](
+                                                     uint32_t) {
+      // Any activity (data or hangup): drain and drop.
+      for (auto it = rejected_.begin(); it != rejected_.end(); ++it) {
+        if (it->fd() == fd) {
+          std::array<std::byte, 256> sink;
+          std::error_code readEc;
+          size_t got = it->read(sink, readEc);
+          if (got == 0 || (readEc && readEc != std::errc::operation_would_block &&
+                           readEc != std::errc::resource_unavailable_try_again)) {
+            loop_.removeFd(fd);
+            rejected_.erase(it);
+          }
+          return;
+        }
+      }
+    });
+    return;
+  }
+  peer_ = std::move(peer);
+  peer_.setNonBlocking(true);
+  loop_.addFd(peer_.fd(), EPOLLIN, [this](uint32_t) { onPeerMessage(); });
+}
+
+void TakeoverServer::onPeerMessage() {
+  std::string payload;
+  std::vector<FdGuard> unusedFds;
+  std::error_code ec = recvFdsMsg(peer_.fd(), payload, unusedFds);
+  if (ec == std::errc::operation_would_block ||
+      ec == std::errc::resource_unavailable_try_again) {
+    return;
+  }
+  if (ec || payload.empty()) {
+    abortHandoff(ec ? ec : std::make_error_code(std::errc::connection_reset));
+    return;
+  }
+
+  if (!inventorySent_ && isRequest(payload)) {
+    std::vector<int> fds;
+    Inventory inv = provider_(fds);
+    std::string msg = encodeInventory(inv);
+    std::error_code sendEc = sendFdsMsg(peer_.fd(), msg, fds);
+    if (sendEc) {
+      abortHandoff(sendEc);
+      return;
+    }
+    inventorySent_ = true;
+    ackTimer_ = loop_.runAfter(opts_.ackTimeout, [this] {
+      if (!handoffComplete_) {
+        abortHandoff(std::make_error_code(std::errc::timed_out));
+      }
+    });
+    return;
+  }
+
+  if (inventorySent_ && isAck(payload)) {
+    // Step E: new instance confirmed — stop taking new connections and
+    // drain the existing ones.
+    handoffComplete_ = true;
+    loop_.cancelTimer(ackTimer_);
+    if (onDrain_) {
+      onDrain_();
+    }
+    return;
+  }
+
+  abortHandoff(std::make_error_code(std::errc::protocol_error));
+}
+
+void TakeoverServer::abortHandoff(std::error_code) {
+  // The peer misbehaved or vanished. The old instance keeps ownership
+  // of its sockets and continues serving — a failed release must not
+  // reduce availability (§5.1 "health of the service being updated
+  // must remain consistent for an external observer").
+  handoffAborted_ = true;
+  if (peer_.valid()) {
+    if (loop_.watching(peer_.fd())) {
+      loop_.removeFd(peer_.fd());
+    }
+    peer_.close();
+  }
+  inventorySent_ = false;
+  loop_.cancelTimer(ackTimer_);
+}
+
+std::optional<TakeoverClient::Result> TakeoverClient::takeover(
+    const std::string& path, std::error_code& ec) {
+  UnixSocket sock = UnixSocket::connect(path, ec);
+  if (ec) {
+    return std::nullopt;
+  }
+
+  std::string req = encodeRequest();
+  ec = sendFdsMsg(sock.fd(), req, {});
+  if (ec) {
+    return std::nullopt;
+  }
+
+  std::string payload;
+  std::vector<FdGuard> fds;  // guards close everything on early return
+  ec = recvFdsMsg(sock.fd(), payload, fds);
+  if (ec) {
+    return std::nullopt;
+  }
+  if (payload.rfind(kMsgNack, 0) == 0) {
+    ec = std::make_error_code(std::errc::device_or_resource_busy);
+    return std::nullopt;
+  }
+
+  auto inv = decodeInventory(payload);
+  if (!inv) {
+    ec = std::make_error_code(std::errc::protocol_error);
+    return std::nullopt;
+  }
+  if (inv->sockets.size() != fds.size()) {
+    // Descriptor/fd count mismatch: adopting ambiguous sockets risks
+    // exactly the orphaned-socket black-hole of §5.1 — refuse.
+    ec = std::make_error_code(std::errc::protocol_error);
+    return std::nullopt;
+  }
+
+  Result result;
+  result.inventory = *inv;
+  result.sockets.reserve(fds.size());
+  for (size_t i = 0; i < fds.size(); ++i) {
+    result.sockets.push_back(
+        TakenSocket{inv->sockets[i], std::move(fds[i])});
+  }
+
+  std::string ack = encodeAck();
+  ec = sendFdsMsg(sock.fd(), ack, {});
+  if (ec) {
+    return std::nullopt;
+  }
+  return result;
+}
+
+}  // namespace zdr::takeover

@@ -1,0 +1,100 @@
+// Socket Takeover server (old instance) and client (new instance).
+//
+// The server side runs inside the old instance's event loop; the
+// client side is a blocking call made by the new instance during
+// startup, before it begins serving — mirroring production, where the
+// updated Proxygen boots, takes the sockets, and only then assumes
+// health-check duty.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <system_error>
+#include <vector>
+
+#include "netcore/event_loop.h"
+#include "netcore/fd_guard.h"
+#include "netcore/socket.h"
+#include "takeover/protocol.h"
+
+namespace zdr::takeover {
+
+// One passed socket with its adopted descriptor.
+struct TakenSocket {
+  SocketDescriptor desc;
+  FdGuard fd;
+};
+
+class TakeoverServer {
+ public:
+  // Returns the inventory to hand over; must push one raw fd per
+  // descriptor into `fds` (same order). Ownership of the fds is NOT
+  // transferred — SCM_RIGHTS dup()s them into the peer.
+  using InventoryProvider =
+      std::function<Inventory(std::vector<int>& fds)>;
+  // Called once the new instance has ACKed: begin draining (Fig 5,
+  // step E).
+  using DrainTrigger = std::function<void()>;
+
+  struct Options {
+    // Abort the handoff if the peer does not ACK in time; the old
+    // instance then keeps full ownership (release is rolled back).
+    Duration ackTimeout = Duration{5000};
+  };
+
+  TakeoverServer(EventLoop& loop, std::string path,
+                 InventoryProvider provider, DrainTrigger onDrain,
+                 Options opts);
+  TakeoverServer(EventLoop& loop, std::string path,
+                 InventoryProvider provider, DrainTrigger onDrain)
+      : TakeoverServer(loop, std::move(path), std::move(provider),
+                       std::move(onDrain), Options{}) {}
+  ~TakeoverServer();
+  TakeoverServer(const TakeoverServer&) = delete;
+  TakeoverServer& operator=(const TakeoverServer&) = delete;
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] bool handoffComplete() const noexcept {
+    return handoffComplete_;
+  }
+  [[nodiscard]] bool handoffAborted() const noexcept {
+    return handoffAborted_;
+  }
+
+ private:
+  void onAccept(UnixSocket peer);
+  void onPeerMessage();
+  void abortHandoff(std::error_code why);
+
+  EventLoop& loop_;
+  std::string path_;
+  InventoryProvider provider_;
+  DrainTrigger onDrain_;
+  Options opts_;
+  UnixListener listener_;
+  UnixSocket peer_;
+  // NACKed suitors: kept open until they read the NACK and hang up —
+  // closing immediately would RST the unread reply away.
+  std::vector<UnixSocket> rejected_;
+  bool inventorySent_ = false;
+  bool handoffComplete_ = false;
+  bool handoffAborted_ = false;
+  EventLoop::TimerId ackTimer_ = 0;
+};
+
+class TakeoverClient {
+ public:
+  struct Result {
+    Inventory inventory;
+    std::vector<TakenSocket> sockets;
+  };
+
+  // Blocking exchange: connect to `path`, request, receive inventory +
+  // fds, ACK. On any failure returns nullopt with `ec` set and closes
+  // every received fd (never leaks orphaned sockets — §5.1).
+  static std::optional<Result> takeover(const std::string& path,
+                                        std::error_code& ec);
+};
+
+}  // namespace zdr::takeover

@@ -1,0 +1,190 @@
+// App. Server drain corner cases beyond the basics in appserver_test:
+// requests racing drain boundaries, whole-body 379 hand-back, and
+// keep-alive sequencing.
+#include <atomic>
+#include <gtest/gtest.h>
+
+#include "appserver/app_server.h"
+#include "http/client.h"
+
+namespace zdr::appserver {
+namespace {
+
+void waitFor(const std::function<bool()>& pred, int ms = 5000) {
+  for (int i = 0; i < ms && !pred(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(pred());
+}
+
+class AppServerDrainTest : public ::testing::Test {
+ protected:
+  void makeServer(AppServer::Options opts = {}) {
+    serverLoop_.runSync([&] {
+      server_ = std::make_unique<AppServer>(
+          serverLoop_.loop(), SocketAddr::loopback(0), opts, &metrics_);
+      addr_ = server_->localAddr();
+    });
+  }
+  void TearDown() override {
+    clientLoop_.runSync([&] {
+      for (auto& c : clients_) {
+        c->close();
+      }
+      clients_.clear();
+    });
+    serverLoop_.runSync([&] { server_.reset(); });
+  }
+  std::shared_ptr<http::Client> makeClient() {
+    std::shared_ptr<http::Client> c;
+    clientLoop_.runSync(
+        [&] { c = http::Client::make(clientLoop_.loop(), addr_); });
+    clients_.push_back(c);
+    return c;
+  }
+
+  EventLoopThread serverLoop_{"server"};
+  EventLoopThread clientLoop_{"client"};
+  MetricsRegistry metrics_;
+  std::unique_ptr<AppServer> server_;
+  std::vector<std::shared_ptr<http::Client>> clients_;
+  SocketAddr addr_;
+};
+
+TEST_F(AppServerDrainTest, CompletePostArrivingDuringDrainGets379WholeBody) {
+  makeServer();
+  auto client = makeClient();
+  // Open the connection with a first request BEFORE the drain so the
+  // transport survives the drain's accept-stop.
+  std::atomic<bool> warm{false};
+  clientLoop_.runSync([&] {
+    http::Request req;
+    req.path = "/warm";
+    client->request(req, [&](http::Client::Result r) {
+      EXPECT_EQ(r.response.status, 200);
+      warm.store(true);
+    });
+  });
+  waitFor([&] { return warm.load(); });
+
+  serverLoop_.runSync([&] { server_->startDrain(); });
+
+  // A complete POST on the surviving keep-alive connection: the server
+  // must hand the WHOLE body back as a 379 rather than process it.
+  std::atomic<bool> done{false};
+  http::Client::Result result;
+  clientLoop_.runSync([&] {
+    http::Request req;
+    req.method = "POST";
+    req.path = "/upload";
+    req.body = "entire-body";
+    client->request(req, [&](http::Client::Result r) {
+      result = r;
+      done.store(true);
+    });
+  });
+  waitFor([&] { return done.load(); });
+  EXPECT_TRUE(result.response.isPartialPostReplay());
+  EXPECT_EQ(result.response.body, "entire-body");
+}
+
+TEST_F(AppServerDrainTest, GetDuringDrainStillServed) {
+  makeServer();
+  auto client = makeClient();
+  std::atomic<bool> warm{false};
+  clientLoop_.runSync([&] {
+    http::Request req;
+    req.path = "/warm";
+    client->request(req,
+                    [&](http::Client::Result) { warm.store(true); });
+  });
+  waitFor([&] { return warm.load(); });
+  serverLoop_.runSync([&] { server_->startDrain(); });
+
+  // Short-lived GETs drain organically: they are served, not bounced.
+  std::atomic<bool> done{false};
+  http::Client::Result result;
+  clientLoop_.runSync([&] {
+    http::Request req;
+    req.path = "/api/x";
+    client->request(req, [&](http::Client::Result r) {
+      result = r;
+      done.store(true);
+    });
+  });
+  waitFor([&] { return done.load(); });
+  EXPECT_EQ(result.response.status, 200);
+}
+
+TEST_F(AppServerDrainTest, HeadersArrivingMidDrainBounceImmediately) {
+  makeServer();
+  auto client = makeClient();
+  std::atomic<bool> warm{false};
+  clientLoop_.runSync([&] {
+    http::Request req;
+    req.path = "/warm";
+    client->request(req,
+                    [&](http::Client::Result) { warm.store(true); });
+  });
+  waitFor([&] { return warm.load(); });
+  serverLoop_.runSync([&] { server_->startDrain(); });
+
+  // Paced POST STARTED after the drain: headers + first chunk arrive on
+  // the surviving connection; server must 379 without waiting for the
+  // (long) rest of the body.
+  std::atomic<bool> done{false};
+  http::Client::Result result;
+  Stopwatch sw;
+  clientLoop_.runSync([&] {
+    client->pacedPost("/upload/late", 100, 256, Duration{50},
+                      [&](http::Client::Result r) {
+                        result = r;
+                        done.store(true);
+                      });
+  });
+  waitFor([&] { return done.load(); });
+  EXPECT_TRUE(result.response.isPartialPostReplay());
+  EXPECT_LT(sw.seconds(), 2.0);  // did not wait out 100×50 ms of chunks
+}
+
+TEST_F(AppServerDrainTest, DrainIsIdempotent) {
+  makeServer();
+  serverLoop_.runSync([&] {
+    server_->startDrain();
+    server_->startDrain();  // second call must be harmless
+    EXPECT_TRUE(server_->draining());
+  });
+  EXPECT_EQ(metrics_.counter("appserver.drain_started").value(), 1u);
+}
+
+TEST_F(AppServerDrainTest, MultiplePostsAllBouncedAtDrain) {
+  makeServer();
+  constexpr int kUploads = 4;
+  std::atomic<int> done{0};
+  std::atomic<int> got379{0};
+  for (int i = 0; i < kUploads; ++i) {
+    auto client = makeClient();
+    clientLoop_.runSync([&] {
+      client->pacedPost("/upload/" + std::to_string(i), 200, 128,
+                        Duration{20}, [&](http::Client::Result r) {
+                          if (r.response.isPartialPostReplay()) {
+                            got379.fetch_add(1);
+                          }
+                          done.fetch_add(1);
+                        });
+    });
+  }
+  waitFor([&] {
+    size_t inflight = 0;
+    serverLoop_.runSync([&] { inflight = server_->inFlightPosts(); });
+    return inflight == kUploads;
+  });
+  serverLoop_.runSync([&] { server_->startDrain(); });
+  waitFor([&] { return done.load() == kUploads; });
+  EXPECT_EQ(got379.load(), kUploads);
+  EXPECT_EQ(metrics_.counter("appserver.ppr_379_sent").value(),
+            static_cast<uint64_t>(kUploads));
+}
+
+}  // namespace
+}  // namespace zdr::appserver

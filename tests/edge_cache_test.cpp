@@ -1,0 +1,78 @@
+// EdgeCache: LRU + TTL semantics backing the Edge's DSR serving path.
+#include <gtest/gtest.h>
+
+#include "proxygen/edge_cache.h"
+
+namespace zdr::proxygen {
+namespace {
+
+http::Response res(int status, const std::string& body) {
+  http::Response r;
+  r.status = status;
+  r.body = body;
+  return r;
+}
+
+TEST(EdgeCacheTest, MissThenHit) {
+  EdgeCache cache(4, Duration{60000});
+  EXPECT_FALSE(cache.get("/a").has_value());
+  cache.put("/a", res(200, "A"));
+  auto hit = cache.get("/a");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->body, "A");
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(EdgeCacheTest, PutOverwrites) {
+  EdgeCache cache(4, Duration{60000});
+  cache.put("/a", res(200, "v1"));
+  cache.put("/a", res(200, "v2"));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.get("/a")->body, "v2");
+}
+
+TEST(EdgeCacheTest, LruEviction) {
+  EdgeCache cache(3, Duration{60000});
+  cache.put("/a", res(200, "A"));
+  cache.put("/b", res(200, "B"));
+  cache.put("/c", res(200, "C"));
+  (void)cache.get("/a");            // /a now most-recently used
+  cache.put("/d", res(200, "D"));   // evicts /b
+  EXPECT_TRUE(cache.get("/a").has_value());
+  EXPECT_FALSE(cache.get("/b").has_value());
+  EXPECT_TRUE(cache.get("/c").has_value());
+  EXPECT_TRUE(cache.get("/d").has_value());
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(EdgeCacheTest, TtlExpiry) {
+  EdgeCache cache(4, Duration{30});
+  cache.put("/a", res(200, "A"));
+  EXPECT_TRUE(cache.get("/a").has_value());
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_FALSE(cache.get("/a").has_value());
+  EXPECT_EQ(cache.expirations(), 1u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(EdgeCacheTest, ClearEmpties) {
+  EdgeCache cache(4, Duration{60000});
+  cache.put("/a", res(200, "A"));
+  cache.put("/b", res(200, "B"));
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.get("/a").has_value());
+}
+
+TEST(EdgeCacheTest, CapacityOneBehaves) {
+  EdgeCache cache(1, Duration{60000});
+  cache.put("/a", res(200, "A"));
+  cache.put("/b", res(200, "B"));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_FALSE(cache.get("/a").has_value());
+  EXPECT_TRUE(cache.get("/b").has_value());
+}
+
+}  // namespace
+}  // namespace zdr::proxygen

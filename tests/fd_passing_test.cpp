@@ -1,0 +1,173 @@
+// SCM_RIGHTS fd passing — the kernel primitive behind Socket Takeover.
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "netcore/fd_passing.h"
+#include "netcore/socket.h"
+
+namespace zdr {
+namespace {
+
+TEST(FdPassingTest, PayloadOnlyRoundTrip) {
+  auto [a, b] = unixSocketPair();
+  ASSERT_FALSE(sendFdsMsg(a.fd(), "hello", {}));
+  std::string payload;
+  std::vector<FdGuard> fds;
+  ASSERT_FALSE(recvFdsMsg(b.fd(), payload, fds));
+  EXPECT_EQ(payload, "hello");
+  EXPECT_TRUE(fds.empty());
+}
+
+TEST(FdPassingTest, EmptyPayloadRejected) {
+  auto [a, b] = unixSocketPair();
+  auto ec = sendFdsMsg(a.fd(), "", {});
+  EXPECT_EQ(ec, std::errc::invalid_argument);
+}
+
+TEST(FdPassingTest, PassedFdBehavesLikeDup) {
+  auto [a, b] = unixSocketPair();
+  // Create a pipe and pass its read end.
+  int pipefds[2];
+  ASSERT_EQ(::pipe(pipefds), 0);
+  FdGuard readEnd(pipefds[0]);
+  FdGuard writeEnd(pipefds[1]);
+
+  int toPass[] = {readEnd.get()};
+  ASSERT_FALSE(sendFdsMsg(a.fd(), "fd", toPass));
+
+  std::string payload;
+  std::vector<FdGuard> received;
+  ASSERT_FALSE(recvFdsMsg(b.fd(), payload, received));
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_NE(received[0].get(), readEnd.get());  // new descriptor number
+
+  // The original can even be closed; the passed copy still works.
+  readEnd.reset();
+  ASSERT_EQ(::write(writeEnd.get(), "z", 1), 1);
+  char c = 0;
+  EXPECT_EQ(::read(received[0].get(), &c, 1), 1);
+  EXPECT_EQ(c, 'z');
+}
+
+TEST(FdPassingTest, MultipleFdsPreserveOrder) {
+  auto [a, b] = unixSocketPair();
+  // Three pipes; pass all read ends, write a distinct byte into each.
+  std::vector<FdGuard> readEnds;
+  std::vector<FdGuard> writeEnds;
+  std::vector<int> raw;
+  for (int i = 0; i < 3; ++i) {
+    int p[2];
+    ASSERT_EQ(::pipe(p), 0);
+    readEnds.emplace_back(p[0]);
+    writeEnds.emplace_back(p[1]);
+    raw.push_back(p[0]);
+  }
+  ASSERT_FALSE(sendFdsMsg(a.fd(), "three", raw));
+  for (int i = 0; i < 3; ++i) {
+    char c = static_cast<char>('0' + i);
+    ASSERT_EQ(::write(writeEnds[static_cast<size_t>(i)].get(), &c, 1), 1);
+  }
+  std::string payload;
+  std::vector<FdGuard> received;
+  ASSERT_FALSE(recvFdsMsg(b.fd(), payload, received));
+  ASSERT_EQ(received.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    char c = 0;
+    ASSERT_EQ(::read(received[static_cast<size_t>(i)].get(), &c, 1), 1);
+    EXPECT_EQ(c, static_cast<char>('0' + i));
+  }
+}
+
+TEST(FdPassingTest, TooManyFdsRejected) {
+  auto [a, b] = unixSocketPair();
+  std::vector<int> fds(kMaxFdsPerMessage + 1, 0);
+  auto ec = sendFdsMsg(a.fd(), "x", fds);
+  EXPECT_EQ(ec, std::errc::argument_list_too_long);
+}
+
+TEST(FdPassingTest, EofReportedAsError) {
+  auto [a, b] = unixSocketPair();
+  a.close();
+  std::string payload;
+  std::vector<FdGuard> fds;
+  auto ec = recvFdsMsg(b.fd(), payload, fds);
+  EXPECT_TRUE(ec);
+}
+
+// The Socket Takeover core property: a *listening* TCP socket passed to
+// another holder keeps accepting connections, because both fds point at
+// the same kernel socket.
+TEST(FdPassingTest, PassedListeningSocketStillAccepts) {
+  TcpListener listener(SocketAddr::loopback(0));
+  SocketAddr addr = listener.localAddr();
+
+  auto [a, b] = unixSocketPair();
+  int raw[] = {listener.fd()};
+  ASSERT_FALSE(sendFdsMsg(a.fd(), "listener", raw));
+
+  std::string payload;
+  std::vector<FdGuard> received;
+  ASSERT_FALSE(recvFdsMsg(b.fd(), payload, received));
+  ASSERT_EQ(received.size(), 1u);
+
+  // Old holder closes its fd — the "old process" exits.
+  listener.close();
+
+  TcpListener adopted = TcpListener::fromFd(std::move(received[0]));
+  std::error_code ec;
+  TcpSocket client = TcpSocket::connect(addr, ec);
+  ASSERT_FALSE(ec);
+
+  std::optional<TcpSocket> accepted;
+  for (int i = 0; i < 500 && !accepted; ++i) {
+    accepted = adopted.accept(ec);
+    if (!accepted) {
+      usleep(1000);
+    }
+  }
+  EXPECT_TRUE(accepted.has_value());
+}
+
+// The UDP variant: passing the socket preserves the SO_REUSEPORT ring
+// slot, so datagrams flow to the new holder uninterrupted (§4.1).
+TEST(FdPassingTest, PassedUdpSocketKeepsReceiving) {
+  BindOptions opts;
+  opts.reusePort = true;
+  UdpSocket sock(SocketAddr::loopback(0), opts);
+  SocketAddr vip = sock.localAddr();
+
+  auto [a, b] = unixSocketPair();
+  int raw[] = {sock.fd()};
+  ASSERT_FALSE(sendFdsMsg(a.fd(), "udp", raw));
+  std::string payload;
+  std::vector<FdGuard> received;
+  ASSERT_FALSE(recvFdsMsg(b.fd(), payload, received));
+  ASSERT_EQ(received.size(), 1u);
+
+  sock.close();  // old process exits
+  UdpSocket adopted = UdpSocket::fromFd(std::move(received[0]));
+
+  UdpSocket client(SocketAddr::loopback(0));
+  std::string msg = "dgram";
+  std::error_code ec;
+  client.sendTo(std::as_bytes(std::span(msg.data(), msg.size())), vip, ec);
+  ASSERT_FALSE(ec);
+
+  std::array<std::byte, 64> buf;
+  SocketAddr from;
+  size_t n = 0;
+  for (int i = 0; i < 500; ++i) {
+    n = adopted.recvFrom(buf, from, ec);
+    if (!ec) {
+      break;
+    }
+    usleep(1000);
+  }
+  ASSERT_FALSE(ec);
+  EXPECT_EQ(n, 5u);
+}
+
+}  // namespace
+}  // namespace zdr

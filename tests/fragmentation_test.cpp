@@ -1,0 +1,138 @@
+// Property-style fragmentation sweeps: every codec must decode
+// identically no matter how the byte stream is sliced (TCP gives no
+// framing guarantees). Parameterized over fragment sizes.
+#include <gtest/gtest.h>
+
+#include "h2/frame.h"
+#include "http/codec.h"
+#include "mqtt/codec.h"
+
+namespace zdr {
+namespace {
+
+class FragmentationTest : public ::testing::TestWithParam<size_t> {};
+
+// Feeds `wire` into `buf` in GetParam()-sized slices, invoking `step`
+// after every slice.
+template <typename Step>
+void feedSliced(const std::string& wire, size_t sliceSize, Buffer& buf,
+                Step step) {
+  for (size_t pos = 0; pos < wire.size(); pos += sliceSize) {
+    buf.append(std::string_view(wire).substr(pos, sliceSize));
+    step();
+  }
+}
+
+TEST_P(FragmentationTest, HttpRequestAnySlicing) {
+  std::string wire =
+      "POST /upload/photo HTTP/1.1\r\n"
+      "Host: example\r\n"
+      "Transfer-Encoding: chunked\r\n"
+      "\r\n"
+      "6\r\nchunk1\r\n"
+      "6\r\nchunk2\r\n"
+      "0\r\n\r\n";
+  http::RequestParser parser;
+  Buffer buf;
+  feedSliced(wire, GetParam(), buf, [&] {
+    ASSERT_NE(parser.feed(buf), http::ParseStatus::kError);
+  });
+  ASSERT_TRUE(parser.messageComplete());
+  EXPECT_EQ(parser.message().method, "POST");
+  EXPECT_EQ(parser.message().body, "chunk1chunk2");
+}
+
+TEST_P(FragmentationTest, HttpResponse379AnySlicing) {
+  std::string wire =
+      "HTTP/1.1 379 Partial POST Replay\r\n"
+      "echo-method: POST\r\n"
+      "echo-path: /upload\r\n"
+      "Content-Length: 11\r\n"
+      "\r\n"
+      "partialdata";
+  http::ResponseParser parser;
+  Buffer buf;
+  feedSliced(wire, GetParam(), buf, [&] {
+    ASSERT_NE(parser.feed(buf), http::ParseStatus::kError);
+  });
+  ASSERT_TRUE(parser.messageComplete());
+  EXPECT_TRUE(parser.message().isPartialPostReplay());
+  EXPECT_EQ(parser.message().body, "partialdata");
+}
+
+TEST_P(FragmentationTest, H2FramesAnySlicing) {
+  Buffer wireBuf;
+  for (int i = 0; i < 5; ++i) {
+    h2::Frame f;
+    f.type = i % 2 == 0 ? h2::FrameType::kHeaders : h2::FrameType::kData;
+    f.streamId = static_cast<uint32_t>(1 + 2 * i);
+    f.payload = i % 2 == 0
+                    ? h2::encodeHeaderBlock({{":method", "GET"}})
+                    : std::string(17 * static_cast<size_t>(i) + 1, 'p');
+    h2::encodeFrame(f, wireBuf);
+  }
+  std::string wire(wireBuf.view());
+
+  Buffer buf;
+  std::vector<h2::Frame> decoded;
+  feedSliced(wire, GetParam(), buf, [&] {
+    while (true) {
+      bool malformed = false;
+      auto f = h2::decodeFrame(buf, malformed);
+      ASSERT_FALSE(malformed);
+      if (!f) {
+        break;
+      }
+      decoded.push_back(*f);
+    }
+  });
+  ASSERT_EQ(decoded.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(decoded[static_cast<size_t>(i)].streamId,
+              static_cast<uint32_t>(1 + 2 * i));
+  }
+}
+
+TEST_P(FragmentationTest, MqttPacketsAnySlicing) {
+  Buffer wireBuf;
+  mqtt::Packet connect;
+  connect.type = mqtt::PacketType::kConnect;
+  connect.clientId = "user-frag";
+  mqtt::encode(connect, wireBuf);
+  mqtt::Packet pub;
+  pub.type = mqtt::PacketType::kPublish;
+  pub.topic = "t/x";
+  pub.payload = std::string(300, 'q');  // multi-byte remaining length
+  mqtt::encode(pub, wireBuf);
+  mqtt::Packet ping;
+  ping.type = mqtt::PacketType::kPingreq;
+  mqtt::encode(ping, wireBuf);
+  std::string wire(wireBuf.view());
+
+  Buffer buf;
+  std::vector<mqtt::Packet> decoded;
+  feedSliced(wire, GetParam(), buf, [&] {
+    while (true) {
+      bool malformed = false;
+      auto p = mqtt::decode(buf, malformed);
+      ASSERT_FALSE(malformed);
+      if (!p) {
+        break;
+      }
+      decoded.push_back(*p);
+    }
+  });
+  ASSERT_EQ(decoded.size(), 3u);
+  EXPECT_EQ(decoded[0].clientId, "user-frag");
+  EXPECT_EQ(decoded[1].payload.size(), 300u);
+  EXPECT_EQ(decoded[2].type, mqtt::PacketType::kPingreq);
+}
+
+INSTANTIATE_TEST_SUITE_P(SliceSizes, FragmentationTest,
+                         ::testing::Values(1, 2, 3, 5, 7, 16, 64, 1024),
+                         [](const auto& info) {
+                           return "slice" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace zdr

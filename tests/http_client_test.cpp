@@ -1,0 +1,187 @@
+// Direct tests of the async HTTP client: keep-alive reuse, timeout,
+// transport-failure reporting, paced-upload semantics.
+#include <atomic>
+#include <gtest/gtest.h>
+
+#include "appserver/app_server.h"
+#include "http/client.h"
+
+namespace zdr::http {
+namespace {
+
+void waitFor(const std::function<bool()>& pred, int ms = 5000) {
+  for (int i = 0; i < ms && !pred(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(pred());
+}
+
+class HttpClientTest : public ::testing::Test {
+ protected:
+  HttpClientTest() {
+    serverLoop_.runSync([&] {
+      server_ = std::make_unique<appserver::AppServer>(
+          serverLoop_.loop(), SocketAddr::loopback(0),
+          appserver::AppServer::Options{}, &metrics_);
+      addr_ = server_->localAddr();
+    });
+  }
+  ~HttpClientTest() override {
+    clientLoop_.runSync([&] {
+      if (client_) {
+        client_->close();
+      }
+    });
+    serverLoop_.runSync([&] { server_.reset(); });
+  }
+
+  Client::Result doRequest(Request req, Duration timeout = Duration{3000}) {
+    std::atomic<bool> done{false};
+    Client::Result result;
+    clientLoop_.runSync([&] {
+      if (!client_) {
+        client_ = Client::make(clientLoop_.loop(), addr_);
+      }
+      client_->request(std::move(req),
+                       [&](Client::Result r) {
+                         result = r;
+                         done.store(true);
+                       },
+                       timeout);
+    });
+    waitFor([&] { return done.load(); });
+    return result;
+  }
+
+  EventLoopThread serverLoop_{"server"};
+  EventLoopThread clientLoop_{"client"};
+  MetricsRegistry metrics_;
+  std::unique_ptr<appserver::AppServer> server_;
+  std::shared_ptr<Client> client_;
+  SocketAddr addr_;
+};
+
+TEST_F(HttpClientTest, SimpleRequestResponse) {
+  Request req;
+  req.path = "/x";
+  auto r = doRequest(std::move(req));
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.response.status, 200);
+  EXPECT_GT(r.latencySec, 0);
+}
+
+TEST_F(HttpClientTest, KeepAliveReusesConnection) {
+  Request a;
+  a.path = "/a";
+  doRequest(std::move(a));
+  uint64_t connsAfterFirst =
+      metrics_.counter("appserver.conn_accepted").value();
+  Request b;
+  b.path = "/b";
+  auto r = doRequest(std::move(b));
+  EXPECT_TRUE(r.ok);
+  // Same TCP connection served both requests.
+  EXPECT_EQ(metrics_.counter("appserver.conn_accepted").value(),
+            connsAfterFirst);
+}
+
+TEST_F(HttpClientTest, ConnectFailureReportsTransportError) {
+  uint16_t deadPort;
+  {
+    TcpListener tmp(SocketAddr::loopback(0));
+    deadPort = tmp.localAddr().port();
+  }
+  std::atomic<bool> done{false};
+  Client::Result result;
+  clientLoop_.runSync([&] {
+    auto c = Client::make(clientLoop_.loop(), SocketAddr::loopback(deadPort));
+    Request req;
+    c->request(req, [&, c](Client::Result r) {
+      result = r;
+      done.store(true);
+    });
+  });
+  waitFor([&] { return done.load(); });
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(result.transportError);
+}
+
+TEST_F(HttpClientTest, TimeoutFiresWhenServerSilent) {
+  // A server that never answers: raw listener with no accept handling.
+  TcpListener mute(SocketAddr::loopback(0));
+  std::atomic<bool> done{false};
+  Client::Result result;
+  clientLoop_.runSync([&] {
+    auto c = Client::make(clientLoop_.loop(), mute.localAddr());
+    Request req;
+    c->request(req,
+               [&, c](Client::Result r) {
+                 result = r;
+                 done.store(true);
+               },
+               Duration{150});
+  });
+  waitFor([&] { return done.load(); });
+  EXPECT_TRUE(result.timedOut);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST_F(HttpClientTest, PacedPostDeliversFullBody) {
+  serverLoop_.runSync([&] {
+    server_->setHandler([](const Request& req, Response& res) {
+      res.status = 200;
+      res.body = std::to_string(req.body.size());
+    });
+  });
+  std::atomic<bool> done{false};
+  Client::Result result;
+  clientLoop_.runSync([&] {
+    client_ = Client::make(clientLoop_.loop(), addr_);
+    client_->pacedPost("/u", 5, 333, Duration{5},
+                       [&](Client::Result r) {
+                         result = r;
+                         done.store(true);
+                       });
+  });
+  waitFor([&] { return done.load(); });
+  EXPECT_EQ(result.response.body, std::to_string(5 * 333));
+}
+
+TEST_F(HttpClientTest, FiveHundredIsNotOk) {
+  serverLoop_.runSync([&] {
+    server_->setHandler([](const Request&, Response& res) {
+      res.status = 503;
+      res.body = "overloaded";
+    });
+  });
+  Request req;
+  auto r = doRequest(std::move(req));
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.response.status, 503);
+}
+
+TEST_F(HttpClientTest, ServerResetMidRequestReported) {
+  std::atomic<bool> done{false};
+  Client::Result result;
+  clientLoop_.runSync([&] {
+    client_ = Client::make(clientLoop_.loop(), addr_);
+    // Long paced upload, then slam the server.
+    client_->pacedPost("/u", 100, 128, Duration{20},
+                       [&](Client::Result r) {
+                         result = r;
+                         done.store(true);
+                       });
+  });
+  waitFor([&] {
+    size_t n = 0;
+    serverLoop_.runSync([&] { n = server_->activeConnections(); });
+    return n == 1;
+  });
+  serverLoop_.runSync([&] { server_->terminate(); });
+  waitFor([&] { return done.load(); });
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(result.transportError || result.timedOut);
+}
+
+}  // namespace
+}  // namespace zdr::http

@@ -1,0 +1,269 @@
+// HTTP/1.1 codec: incremental parsing, chunked bodies, 379 semantics.
+#include <gtest/gtest.h>
+
+#include "appserver/app_server.h"
+#include "http/codec.h"
+#include "http/message.h"
+
+namespace zdr::http {
+namespace {
+
+TEST(HeadersTest, CaseInsensitiveLookup) {
+  Headers h;
+  h.add("Content-Type", "text/plain");
+  EXPECT_TRUE(h.has("content-type"));
+  EXPECT_EQ(h.get("CONTENT-TYPE"), "text/plain");
+  h.set("content-type", "json");
+  EXPECT_EQ(h.get("Content-Type"), "json");
+  EXPECT_EQ(h.size(), 1u);
+  h.remove("CoNtEnT-tYpE");
+  EXPECT_FALSE(h.has("content-type"));
+}
+
+TEST(RequestParserTest, SimpleGet) {
+  RequestParser p;
+  Buffer in;
+  in.append("GET /index.html HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_EQ(p.feed(in), ParseStatus::kDone);
+  EXPECT_EQ(p.message().method, "GET");
+  EXPECT_EQ(p.message().path, "/index.html");
+  EXPECT_EQ(p.message().version, "HTTP/1.1");
+  EXPECT_EQ(p.message().headers.get("Host"), "x");
+}
+
+TEST(RequestParserTest, ContentLengthBody) {
+  RequestParser p;
+  Buffer in;
+  in.append("POST /u HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello");
+  EXPECT_EQ(p.feed(in), ParseStatus::kDone);
+  EXPECT_EQ(p.message().body, "hello");
+  EXPECT_EQ(p.bodyBytesSeen(), 5u);
+}
+
+TEST(RequestParserTest, ByteAtATime) {
+  std::string wire =
+      "POST /a HTTP/1.1\r\nContent-Length: 3\r\nX-K: v\r\n\r\nabc";
+  RequestParser p;
+  Buffer in;
+  for (size_t i = 0; i < wire.size(); ++i) {
+    in.append(std::string_view(&wire[i], 1));
+    auto st = p.feed(in);
+    ASSERT_NE(st, ParseStatus::kError) << "at byte " << i;
+  }
+  EXPECT_TRUE(p.messageComplete());
+  EXPECT_EQ(p.message().body, "abc");
+  EXPECT_EQ(p.message().headers.get("X-K"), "v");
+}
+
+TEST(RequestParserTest, ChunkedBody) {
+  RequestParser p;
+  Buffer in;
+  in.append(
+      "POST /u HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n");
+  EXPECT_EQ(p.feed(in), ParseStatus::kDone);
+  EXPECT_EQ(p.message().body, "hello world");
+}
+
+TEST(RequestParserTest, ChunkedWithExtensionsAndTrailers) {
+  RequestParser p;
+  Buffer in;
+  in.append(
+      "POST /u HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "5;ext=1\r\nhello\r\n0\r\nX-Trailer: t\r\n\r\n");
+  EXPECT_EQ(p.feed(in), ParseStatus::kDone);
+  EXPECT_EQ(p.message().body, "hello");
+  EXPECT_EQ(p.message().headers.get("X-Trailer"), "t");
+}
+
+TEST(RequestParserTest, ChunkStateMidChunk) {
+  // The §5.2 requirement: a proxy must know whether it is mid-chunk.
+  RequestParser p;
+  Buffer in;
+  in.append(
+      "POST /u HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "a\r\nhel");
+  p.feed(in);
+  ChunkState cs = p.chunkState();
+  EXPECT_TRUE(cs.chunked);
+  EXPECT_FALSE(cs.atChunkBoundary);
+  EXPECT_EQ(cs.chunkBytesLeft, 7u);  // 10 - 3 received
+
+  in.append("lo-more");
+  p.feed(in);
+  cs = p.chunkState();
+  EXPECT_TRUE(cs.atChunkBoundary);  // chunk fully consumed
+  EXPECT_EQ(cs.chunkBytesLeft, 0u);
+}
+
+TEST(RequestParserTest, StreamingBodyCallback) {
+  RequestParser p;
+  std::string streamed;
+  p.setBodyCallback([&](std::string_view f) { streamed.append(f); });
+  Buffer in;
+  in.append("POST /u HTTP/1.1\r\nContent-Length: 4\r\n\r\nab");
+  p.feed(in);
+  EXPECT_EQ(streamed, "ab");
+  EXPECT_TRUE(p.message().body.empty());  // streamed, not accumulated
+  in.append("cd");
+  p.feed(in);
+  EXPECT_EQ(streamed, "abcd");
+  EXPECT_TRUE(p.messageComplete());
+}
+
+TEST(RequestParserTest, KeepAliveReset) {
+  RequestParser p;
+  Buffer in;
+  in.append("GET /1 HTTP/1.1\r\n\r\nGET /2 HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(p.feed(in), ParseStatus::kDone);
+  EXPECT_EQ(p.message().path, "/1");
+  p.reset();
+  EXPECT_EQ(p.feed(in), ParseStatus::kDone);
+  EXPECT_EQ(p.message().path, "/2");
+}
+
+TEST(RequestParserTest, MalformedStartLine) {
+  RequestParser p;
+  Buffer in;
+  in.append("NONSENSE\r\n\r\n");
+  EXPECT_EQ(p.feed(in), ParseStatus::kError);
+  EXPECT_TRUE(p.failed());
+}
+
+TEST(RequestParserTest, MalformedChunkSize) {
+  RequestParser p;
+  Buffer in;
+  in.append(
+      "POST /u HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n");
+  EXPECT_EQ(p.feed(in), ParseStatus::kError);
+}
+
+TEST(ResponseParserTest, StatusLine) {
+  ResponseParser p;
+  Buffer in;
+  in.append("HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n");
+  EXPECT_EQ(p.feed(in), ParseStatus::kDone);
+  EXPECT_EQ(p.message().status, 404);
+  EXPECT_EQ(p.message().reason, "Not Found");
+}
+
+TEST(ResponseParserTest, Response379WithStatusMessage) {
+  ResponseParser p;
+  Buffer in;
+  in.append("HTTP/1.1 379 Partial POST Replay\r\nContent-Length: 4\r\n\r\nbody");
+  EXPECT_EQ(p.feed(in), ParseStatus::kDone);
+  EXPECT_TRUE(p.message().isPartialPostReplay());
+}
+
+TEST(ResponseParserTest, Bare379IsNotPpr) {
+  // §5.2: 379 is unreserved; only the exact status message enables PPR.
+  ResponseParser p;
+  Buffer in;
+  in.append("HTTP/1.1 379 Something Else\r\nContent-Length: 0\r\n\r\n");
+  EXPECT_EQ(p.feed(in), ParseStatus::kDone);
+  EXPECT_FALSE(p.message().isPartialPostReplay());
+}
+
+TEST(SerializeTest, RequestRoundTrip) {
+  Request req;
+  req.method = "POST";
+  req.path = "/data";
+  req.headers.add("X-A", "1");
+  req.body = "payload";
+  Buffer out;
+  serialize(req, out);
+
+  RequestParser p;
+  EXPECT_EQ(p.feed(out), ParseStatus::kDone);
+  EXPECT_EQ(p.message().method, "POST");
+  EXPECT_EQ(p.message().body, "payload");
+  EXPECT_EQ(p.message().headers.get("Content-Length"), "7");
+}
+
+TEST(SerializeTest, ResponseRoundTrip) {
+  Response res;
+  res.status = 200;
+  res.body = "ok";
+  Buffer out;
+  serialize(res, out);
+  ResponseParser p;
+  EXPECT_EQ(p.feed(out), ParseStatus::kDone);
+  EXPECT_EQ(p.message().status, 200);
+  EXPECT_EQ(p.message().body, "ok");
+}
+
+TEST(SerializeTest, ChunkWriterMatchesParser) {
+  Buffer out;
+  out.append("POST /u HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+  appendChunk(out, "first");
+  appendChunk(out, "second");
+  appendFinalChunk(out);
+  RequestParser p;
+  EXPECT_EQ(p.feed(out), ParseStatus::kDone);
+  EXPECT_EQ(p.message().body, "firstsecond");
+}
+
+TEST(SerializeTest, EmptyChunkSkipped) {
+  Buffer out;
+  appendChunk(out, "");  // must not emit a terminating 0-chunk
+  EXPECT_TRUE(out.empty());
+}
+
+// ----- PPR build/reconstruct (§4.3, §5.2) -----
+
+TEST(PprTest, BuildAndReconstruct) {
+  Request original;
+  original.method = "POST";
+  original.path = "/upload/video";
+  original.headers.add("Host", "fb");
+  original.headers.add("Content-Length", "100000");
+  original.headers.add("X-Custom", "v");
+
+  Response res = appserver::buildPartialPostResponse(original, "partial-data");
+  EXPECT_EQ(res.status, kPartialPostStatus);
+  EXPECT_EQ(res.reason, kPartialPostReason);
+  EXPECT_EQ(res.body, "partial-data");
+
+  auto rebuilt = appserver::reconstructRequestFrom379(res);
+  ASSERT_TRUE(rebuilt.has_value());
+  EXPECT_EQ(rebuilt->method, "POST");
+  EXPECT_EQ(rebuilt->path, "/upload/video");
+  EXPECT_EQ(rebuilt->headers.get("Host"), "fb");
+  EXPECT_EQ(rebuilt->headers.get("X-Custom"), "v");
+  // Framing headers are rebuilt by the replaying proxy, not echoed.
+  EXPECT_FALSE(rebuilt->headers.has("Content-Length"));
+  EXPECT_EQ(rebuilt->body, "partial-data");
+}
+
+TEST(PprTest, PseudoHeadersEchoedWithPseudoPrefix) {
+  Request original;
+  original.method = "POST";
+  original.path = "/u";
+  original.headers.add(":authority", "fb.com");
+
+  Response res = appserver::buildPartialPostResponse(original, "");
+  EXPECT_EQ(res.headers.get("pseudo-echo-authority"), "fb.com");
+
+  auto rebuilt = appserver::reconstructRequestFrom379(res);
+  ASSERT_TRUE(rebuilt.has_value());
+  EXPECT_EQ(rebuilt->headers.get(":authority"), "fb.com");
+}
+
+TEST(PprTest, ReconstructRejectsWrongStatusMessage) {
+  Request original;
+  original.method = "POST";
+  original.path = "/u";
+  Response res = appserver::buildPartialPostResponse(original, "d");
+  res.reason = "Randomized";  // the buggy-upstream case from §5.2
+  EXPECT_FALSE(appserver::reconstructRequestFrom379(res).has_value());
+}
+
+TEST(PprTest, ReconstructRejectsMissingEcho) {
+  Response res;
+  res.status = kPartialPostStatus;
+  res.reason = std::string(kPartialPostReason);
+  EXPECT_FALSE(appserver::reconstructRequestFrom379(res).has_value());
+}
+
+}  // namespace
+}  // namespace zdr::http

@@ -1,0 +1,292 @@
+// Cross-module integration: QUIC VIP takeover through the testbed,
+// L4-fronted clusters, and full rolling releases under load.
+#include <atomic>
+#include <gtest/gtest.h>
+
+#include "core/testbed.h"
+#include "core/workload.h"
+
+namespace zdr::core {
+namespace {
+
+void waitFor(const std::function<bool()>& pred, int ms = 8000) {
+  for (int i = 0; i < ms && !pred(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(pred());
+}
+
+TEST(IntegrationTest, QuicFlowsSurviveEdgeZdrRestart) {
+  TestbedOptions opts;
+  opts.edges = 1;
+  opts.origins = 1;
+  opts.appServers = 1;
+  opts.enableMqtt = false;
+  opts.enableQuic = true;
+  opts.udpUserSpaceRouting = true;
+  opts.proxyDrainPeriod = Duration{600};
+  Testbed bed(opts);
+
+  SocketAddr quicVip = bed.edge(0).quicVip();
+  ASSERT_GT(quicVip.port(), 0);
+
+  QuicFlowGen::Options qo;
+  qo.flows = 16;
+  qo.sendInterval = Duration{5};
+  QuicFlowGen flows(quicVip, qo, bed.metrics(), "quic");
+  flows.start();
+  waitFor([&] { return flows.totalAcks() >= 16 * 5; });
+
+  // During the drain, established flows are served by the draining
+  // instance via conn-ID user-space routing: acks continue, zero
+  // stateless resets (§4.1, Fig 10). (Once the drain period ends the
+  // old process exits and surviving flows reset organically — the
+  // paper sizes the drain to outlive QUIC connection lifetimes.)
+  uint64_t resetsBefore = flows.totalResets();
+  bed.edge(0).beginRestart(release::Strategy::kZeroDowntime);
+  uint64_t acksMark = flows.totalAcks();
+  waitFor([&] { return flows.totalAcks() >= acksMark + 16 * 3; }, 3000);
+  EXPECT_EQ(flows.totalResets(), resetsBefore);
+  flows.stop();
+  bed.edge(0).waitRestart();
+}
+
+TEST(IntegrationTest, QuicFlowsResetWithoutUserSpaceRouting) {
+  TestbedOptions opts;
+  opts.edges = 1;
+  opts.origins = 1;
+  opts.appServers = 1;
+  opts.enableMqtt = false;
+  opts.enableQuic = true;
+  opts.udpUserSpaceRouting = false;  // the Fig 10 "traditional" mode
+  opts.proxyDrainPeriod = Duration{600};
+  Testbed bed(opts);
+
+  QuicFlowGen::Options qo;
+  qo.flows = 16;
+  QuicFlowGen flows(bed.edge(0).quicVip(), qo, bed.metrics(), "quic");
+  flows.start();
+  waitFor([&] { return flows.totalAcks() >= 16 * 3; });
+
+  bed.edge(0).beginRestart(release::Strategy::kZeroDowntime);
+  bed.edge(0).waitRestart();
+  // Established flows now land on the updated instance, which has no
+  // state for them and answers with stateless resets.
+  waitFor([&] { return flows.totalResets() > 0; });
+  flows.stop();
+}
+
+TEST(IntegrationTest, L4FrontedClusterRoutesAndFailsOver) {
+  TestbedOptions opts;
+  opts.edges = 2;
+  opts.origins = 1;
+  opts.appServers = 2;
+  opts.enableMqtt = false;
+  opts.enableL4 = true;
+  opts.proxyDrainPeriod = Duration{300};
+  opts.l4Options.health.interval = Duration{50};
+  opts.l4Options.health.failThreshold = 2;
+  Testbed bed(opts);
+
+  HttpLoadGen::Options lo;
+  lo.concurrency = 4;
+  lo.thinkTime = Duration{2};
+  lo.timeout = Duration{1500};
+  HttpLoadGen load(bed.httpEntry(), lo, bed.metrics(), "load");
+  load.start();
+  waitFor([&] { return load.completed() >= 50; });
+
+  // Hard-drain edge0: it fails L4 health checks and is pulled from the
+  // ring while edge1 absorbs the traffic.
+  bed.edge(0).beginRestart(release::Strategy::kHardRestart);
+  bed.edge(0).waitRestart();
+  uint64_t mark = load.completed();
+  waitFor([&] { return load.completed() >= mark + 50; });
+  load.stop();
+
+  // Traffic reached both edges over the experiment.
+  EXPECT_GT(bed.metrics().counter("edge0.requests").value(), 0u);
+  EXPECT_GT(bed.metrics().counter("edge1.requests").value(), 0u);
+  EXPECT_GE(bed.metrics().counter("l4.hc_transitions").value(), 1u);
+}
+
+TEST(IntegrationTest, QuicThroughL4UdpForwarderSurvivesZdrRestart) {
+  // Full UDP datapath: client → Katran-model UdpForwarder → edge QUIC
+  // VIP, then a Socket Takeover release of the edge. Flows must keep
+  // flowing through the drain with zero resets.
+  TestbedOptions opts;
+  opts.edges = 2;
+  opts.origins = 1;
+  opts.appServers = 1;
+  opts.enableMqtt = false;
+  opts.enableQuic = true;
+  opts.proxyDrainPeriod = Duration{600};
+  Testbed bed(opts);
+
+  L4Host l4("l4udp", &bed.metrics());
+  l4lb::UdpForwarder::Options fo;
+  SocketAddr vip = l4.addUdpVip(
+      "quic",
+      {{"edge0", bed.edge(0).quicVip()}, {"edge1", bed.edge(1).quicVip()}},
+      fo);
+
+  QuicFlowGen::Options qo;
+  qo.flows = 24;
+  qo.sendInterval = Duration{5};
+  QuicFlowGen flows(vip, qo, bed.metrics(), "quic");
+  flows.start();
+  waitFor([&] { return flows.totalAcks() >= 24 * 4; });
+  EXPECT_EQ(flows.totalResets(), 0u);
+
+  // Release edge0; its flows (pinned by the forwarder's conn table)
+  // ride the draining instance via user-space routing.
+  bed.edge(0).beginRestart(release::Strategy::kZeroDowntime);
+  uint64_t mark = flows.totalAcks();
+  waitFor([&] { return flows.totalAcks() >= mark + 24 * 3; }, 3000);
+  EXPECT_EQ(flows.totalResets(), 0u);
+  flows.stop();
+  bed.edge(0).waitRestart();
+}
+
+TEST(IntegrationTest, L4StaysBlindToZdrRestart) {
+  // §4.1 "View from L4 as L7 restarts": the health-check table must not
+  // change at all during a Socket Takeover release.
+  TestbedOptions opts;
+  opts.edges = 2;
+  opts.origins = 1;
+  opts.appServers = 1;
+  opts.enableMqtt = false;
+  opts.enableL4 = true;
+  opts.proxyDrainPeriod = Duration{400};
+  opts.l4Options.health.interval = Duration{50};
+  Testbed bed(opts);
+
+  // Let health checks settle to all-up.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  uint64_t transitionsBefore =
+      bed.metrics().counter("l4.hc_transitions").value();
+
+  bed.edge(0).beginRestart(release::Strategy::kZeroDowntime);
+  bed.edge(0).waitRestart();
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  // Zero transitions: the updated instance answered every probe.
+  EXPECT_EQ(bed.metrics().counter("l4.hc_transitions").value(),
+            transitionsBefore);
+
+  // And traffic through the L4 VIP still works.
+  EventLoopThread clientLoop("client");
+  std::atomic<bool> done{false};
+  int status = 0;
+  std::shared_ptr<http::Client> client;
+  clientLoop.runSync([&] {
+    client = http::Client::make(clientLoop.loop(), bed.httpEntry());
+    http::Request req;
+    req.path = "/api/after";
+    client->request(req, [&](http::Client::Result r) {
+      status = r.response.status;
+      done.store(true);
+    });
+  });
+  waitFor([&] { return done.load(); });
+  EXPECT_EQ(status, 200);
+  clientLoop.runSync([&] { client->close(); });
+}
+
+TEST(IntegrationTest, RollingZdrReleaseOfEdgeTierUnderLoad) {
+  TestbedOptions opts;
+  opts.edges = 4;
+  opts.origins = 2;
+  opts.appServers = 2;
+  opts.enableMqtt = false;
+  opts.proxyDrainPeriod = Duration{300};
+  Testbed bed(opts);
+
+  std::vector<std::unique_ptr<HttpLoadGen>> loads;
+  for (size_t e = 0; e < bed.edgeCount(); ++e) {
+    HttpLoadGen::Options lo;
+    lo.concurrency = 2;
+    lo.thinkTime = Duration{2};
+    loads.push_back(std::make_unique<HttpLoadGen>(
+        bed.httpEntry(e), lo, bed.metrics(), "load" + std::to_string(e)));
+    loads.back()->start();
+  }
+  waitFor([&] {
+    uint64_t total = 0;
+    for (auto& l : loads) {
+      total += l->completed();
+    }
+    return total >= 200;
+  });
+
+  release::RollingReleaseOptions ro;
+  ro.strategy = release::Strategy::kZeroDowntime;
+  ro.batchFraction = 0.25;  // 4 batches of 1
+  auto report = release::runRollingRelease(bed.edgeHosts(), ro);
+  EXPECT_EQ(report.batches, 4u);
+  EXPECT_FALSE(report.timedOut);
+
+  for (auto& l : loads) {
+    l->stop();
+  }
+  uint64_t errors = 0;
+  for (size_t e = 0; e < bed.edgeCount(); ++e) {
+    errors += bed.metrics()
+                  .counter("load" + std::to_string(e) + ".err_http")
+                  .value();
+    errors += bed.metrics()
+                  .counter("load" + std::to_string(e) + ".err_timeout")
+                  .value();
+  }
+  EXPECT_EQ(errors, 0u);  // the whole tier restarted invisibly
+  uint64_t restarts = 0;
+  for (size_t e = 0; e < bed.edgeCount(); ++e) {
+    restarts += bed.metrics()
+                    .counter("edge" + std::to_string(e) + ".zdr_restarts")
+                    .value();
+  }
+  EXPECT_EQ(restarts, 4u);
+}
+
+TEST(IntegrationTest, RollingHardReleaseCompletesButDisrupts) {
+  TestbedOptions opts;
+  opts.edges = 3;
+  opts.origins = 1;
+  opts.appServers = 2;
+  opts.enableMqtt = false;
+  opts.proxyDrainPeriod = Duration{200};
+  Testbed bed(opts);
+
+  std::vector<std::unique_ptr<HttpLoadGen>> loads;
+  for (size_t e = 0; e < bed.edgeCount(); ++e) {
+    HttpLoadGen::Options lo;
+    lo.concurrency = 2;
+    lo.thinkTime = Duration{2};
+    lo.timeout = Duration{1000};
+    loads.push_back(std::make_unique<HttpLoadGen>(
+        bed.httpEntry(e), lo, bed.metrics(), "load" + std::to_string(e)));
+    loads.back()->start();
+  }
+  waitFor([&] { return loads[0]->completed() >= 30; });
+
+  release::RollingReleaseOptions ro;
+  ro.strategy = release::Strategy::kHardRestart;
+  ro.batchFraction = 0.34;
+  auto report = release::runRollingRelease(bed.edgeHosts(), ro);
+  EXPECT_FALSE(report.timedOut);
+  for (auto& l : loads) {
+    l->stop();
+  }
+  uint64_t failures = 0;
+  for (size_t e = 0; e < bed.edgeCount(); ++e) {
+    for (const char* kind : {".err_http", ".err_timeout", ".err_transport"}) {
+      failures += bed.metrics()
+                      .counter("load" + std::to_string(e) + kind)
+                      .value();
+    }
+  }
+  EXPECT_GE(failures, 1u);  // hard restarts leak to clients
+}
+
+}  // namespace
+}  // namespace zdr::core

@@ -1,0 +1,312 @@
+// L4LB: consistent hashing properties, LRU connection table, health
+// checking, and the TCP forwarder.
+#include <atomic>
+#include <gtest/gtest.h>
+
+#include "appserver/app_server.h"
+#include "http/client.h"
+#include "l4lb/balancer.h"
+#include "l4lb/conn_table.h"
+#include "l4lb/consistent_hash.h"
+#include "l4lb/hashing.h"
+
+namespace zdr::l4lb {
+namespace {
+
+std::vector<std::string> makeBackends(size_t n, const std::string& prefix) {
+  std::vector<std::string> out;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(prefix + std::to_string(i));
+  }
+  return out;
+}
+
+// ---- parameterized over both hash implementations ----
+
+enum class HashImpl { kRing, kMaglev };
+
+std::unique_ptr<ConsistentHash> makeHash(HashImpl impl) {
+  if (impl == HashImpl::kRing) {
+    return std::make_unique<RingHash>();
+  }
+  return std::make_unique<MaglevHash>();
+}
+
+class ConsistentHashParamTest : public ::testing::TestWithParam<HashImpl> {};
+
+TEST_P(ConsistentHashParamTest, EmptyReturnsNullopt) {
+  auto hash = makeHash(GetParam());
+  hash->rebuild({});
+  EXPECT_FALSE(hash->pick(123).has_value());
+}
+
+TEST_P(ConsistentHashParamTest, SingleBackendTakesAll) {
+  auto hash = makeHash(GetParam());
+  hash->rebuild({"only"});
+  for (uint64_t k = 0; k < 100; ++k) {
+    EXPECT_EQ(hash->pick(k), 0u);
+  }
+}
+
+TEST_P(ConsistentHashParamTest, Deterministic) {
+  auto a = makeHash(GetParam());
+  auto b = makeHash(GetParam());
+  auto backends = makeBackends(10, "b");
+  a->rebuild(backends);
+  b->rebuild(backends);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    EXPECT_EQ(a->pick(k), b->pick(k));
+  }
+}
+
+TEST_P(ConsistentHashParamTest, ReasonablyBalanced) {
+  auto hash = makeHash(GetParam());
+  constexpr size_t kBackends = 10;
+  constexpr size_t kKeys = 20000;
+  hash->rebuild(makeBackends(kBackends, "b"));
+  std::vector<size_t> counts(kBackends, 0);
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    auto idx = hash->pick(mix64(k));
+    ASSERT_TRUE(idx.has_value());
+    counts[*idx]++;
+  }
+  double expected = static_cast<double>(kKeys) / kBackends;
+  for (size_t c : counts) {
+    EXPECT_GT(static_cast<double>(c), expected * 0.5);
+    EXPECT_LT(static_cast<double>(c), expected * 1.7);
+  }
+}
+
+TEST_P(ConsistentHashParamTest, RemovalOnlyMovesVictimKeys) {
+  // Consistency property: removing one backend must not remap keys that
+  // were on other backends (ring: exact; maglev: near-exact).
+  auto before = makeHash(GetParam());
+  auto after = makeHash(GetParam());
+  auto backends = makeBackends(10, "b");
+  before->rebuild(backends);
+  auto reduced = backends;
+  reduced.erase(reduced.begin() + 3);
+  after->rebuild(reduced);
+
+  size_t moved = 0;
+  size_t total = 20000;
+  for (uint64_t k = 0; k < total; ++k) {
+    uint64_t key = mix64(k);
+    auto b1 = before->pick(key);
+    auto a1 = after->pick(key);
+    std::string nameBefore = backends[*b1];
+    std::string nameAfter = reduced[*a1];
+    if (nameBefore != nameAfter) {
+      ++moved;
+      // Keys may only move off the removed backend (plus Maglev's
+      // small table-reshuffle tolerance checked below).
+    }
+  }
+  // ~1/10 of keys lived on the removed backend; allow 2x slack for
+  // Maglev's minimal-disruption property being approximate.
+  EXPECT_LT(moved, total / 5);
+  EXPECT_GT(moved, total / 25);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllHashes, ConsistentHashParamTest,
+                         ::testing::Values(HashImpl::kRing,
+                                           HashImpl::kMaglev),
+                         [](const auto& info) {
+                           return info.param == HashImpl::kRing ? "Ring"
+                                                                : "Maglev";
+                         });
+
+TEST(MaglevTest, FillsWholeTable) {
+  MaglevHash hash(2039);
+  hash.rebuild(makeBackends(7, "x"));
+  for (uint64_t k = 0; k < 4096; ++k) {
+    EXPECT_TRUE(hash.pick(k).has_value());
+  }
+}
+
+TEST(ConsistentHashTest, RemapFractionRingVsMaglev) {
+  // Ablation hook: both should remap ~1/n keys on single-host removal.
+  auto backends = makeBackends(20, "b");
+  auto reduced = backends;
+  reduced.pop_back();
+
+  for (auto impl : {HashImpl::kRing, HashImpl::kMaglev}) {
+    auto a = makeHash(impl);
+    auto b = makeHash(impl);
+    a->rebuild(backends);
+    b->rebuild(backends);
+    EXPECT_EQ(remapFraction(*a, *b, 5000), 0.0);
+    b->rebuild(reduced);
+    double frac = remapFraction(*a, *b, 5000);
+    EXPECT_GT(frac, 0.01);
+    EXPECT_LT(frac, 0.25);
+  }
+}
+
+// -------------------------------------------------------------- ConnTable
+
+TEST(ConnTableTest, InsertLookup) {
+  ConnTable table(4);
+  EXPECT_FALSE(table.lookup(1).has_value());
+  table.insert(1, "b0");
+  EXPECT_EQ(table.lookup(1), "b0");
+  EXPECT_EQ(table.hits(), 1u);
+  EXPECT_EQ(table.misses(), 1u);
+}
+
+TEST(ConnTableTest, EvictsLeastRecentlyUsed) {
+  ConnTable table(3);
+  table.insert(1, "a");
+  table.insert(2, "b");
+  table.insert(3, "c");
+  (void)table.lookup(1);     // 1 is now most recent
+  table.insert(4, "d");      // evicts 2
+  EXPECT_TRUE(table.lookup(1).has_value());
+  EXPECT_FALSE(table.lookup(2).has_value());
+  EXPECT_TRUE(table.lookup(3).has_value());
+  EXPECT_TRUE(table.lookup(4).has_value());
+  EXPECT_EQ(table.evictions(), 1u);
+}
+
+TEST(ConnTableTest, InsertUpdatesExisting) {
+  ConnTable table(2);
+  table.insert(1, "a");
+  table.insert(1, "b");
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.lookup(1), "b");
+}
+
+TEST(ConnTableTest, EraseRemoves) {
+  ConnTable table(2);
+  table.insert(1, "a");
+  table.erase(1);
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_FALSE(table.lookup(1).has_value());
+}
+
+// The §5.1 scenario: a momentary health flap shuffles the hash ring;
+// the LRU table keeps established flows pinned to their old backend.
+TEST(ConnTableTest, AbsorbsHealthFlap) {
+  MaglevHash hash;
+  auto backends = makeBackends(10, "b");
+  hash.rebuild(backends);
+  ConnTable table(1024);
+
+  // Establish 200 flows.
+  std::vector<std::pair<uint64_t, std::string>> flows;
+  for (uint64_t k = 0; k < 200; ++k) {
+    uint64_t key = mix64(k + 7);
+    auto idx = hash.pick(key);
+    table.insert(key, backends[*idx]);
+    flows.emplace_back(key, backends[*idx]);
+  }
+  // Flap: b4 drops out and returns.
+  auto flapped = backends;
+  flapped.erase(flapped.begin() + 4);
+  hash.rebuild(flapped);
+  size_t movedWithTable = 0;
+  for (auto& [key, oldBackend] : flows) {
+    auto pinned = table.lookup(key);
+    std::string now = pinned ? *pinned : flapped[*hash.pick(key)];
+    if (now != oldBackend) {
+      ++movedWithTable;
+    }
+  }
+  EXPECT_EQ(movedWithTable, 0u);  // table pins every established flow
+}
+
+// ------------------------------------------------- balancer end-to-end
+
+TEST(L4BalancerTest, ForwardsToHealthyBackendAndFailsOver) {
+  MetricsRegistry metrics;
+  EventLoopThread serverLoop("servers");
+  EventLoopThread lbLoop("lb");
+  EventLoopThread clientLoop("client");
+
+  // Two app servers as backends.
+  std::unique_ptr<appserver::AppServer> s1;
+  std::unique_ptr<appserver::AppServer> s2;
+  serverLoop.runSync([&] {
+    appserver::AppServer::Options opts;
+    opts.name = "s1";
+    s1 = std::make_unique<appserver::AppServer>(
+        serverLoop.loop(), SocketAddr::loopback(0), opts, &metrics);
+    opts.name = "s2";
+    s2 = std::make_unique<appserver::AppServer>(
+        serverLoop.loop(), SocketAddr::loopback(0), opts, &metrics);
+  });
+
+  std::unique_ptr<L4Balancer> lb;
+  lbLoop.runSync([&] {
+    L4Balancer::Options opts;
+    opts.health.interval = Duration{50};
+    opts.health.failThreshold = 2;
+    lb = std::make_unique<L4Balancer>(
+        lbLoop.loop(), SocketAddr::loopback(0),
+        std::vector<BackendTarget>{{"s1", s1->localAddr()},
+                                   {"s2", s2->localAddr()}},
+        opts, &metrics);
+  });
+  SocketAddr vip;
+  lbLoop.runSync([&] { vip = lb->vip(); });
+
+  // Wait until health checks mark both up.
+  for (int i = 0; i < 3000; ++i) {
+    size_t healthy = 0;
+    lbLoop.runSync([&] { healthy = lb->health().healthyCount(); });
+    if (healthy == 2) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  auto doRequest = [&](int& status) {
+    std::atomic<bool> done{false};
+    std::shared_ptr<http::Client> client;
+    clientLoop.runSync([&] {
+      client = http::Client::make(clientLoop.loop(), vip);
+      http::Request req;
+      req.path = "/api";
+      client->request(req, [&](http::Client::Result r) {
+        status = r.response.status;
+        done.store(true);
+      });
+    });
+    for (int i = 0; i < 3000 && !done.load(); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_TRUE(done.load());
+    clientLoop.runSync([&] { client->close(); });
+  };
+
+  int status = 0;
+  doRequest(status);
+  EXPECT_EQ(status, 200);
+
+  // Drain s1 (health goes 503) — traffic must shift to s2.
+  serverLoop.runSync([&] { s1->startDrain(); });
+  for (int i = 0; i < 3000; ++i) {
+    size_t healthy = 2;
+    lbLoop.runSync([&] { healthy = lb->health().healthyCount(); });
+    if (healthy == 1) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  size_t healthyNow = 0;
+  lbLoop.runSync([&] { healthyNow = lb->health().healthyCount(); });
+  EXPECT_EQ(healthyNow, 1u);
+
+  int status2 = 0;
+  doRequest(status2);
+  EXPECT_EQ(status2, 200);  // served by s2
+
+  lbLoop.runSync([&] { lb.reset(); });
+  serverLoop.runSync([&] {
+    s1.reset();
+    s2.reset();
+  });
+}
+
+}  // namespace
+}  // namespace zdr::l4lb

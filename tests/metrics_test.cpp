@@ -1,0 +1,139 @@
+// Metrics instrumentation: counters, gauges, histograms, time series,
+// registry, CPU probes.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "metrics/metrics.h"
+
+namespace zdr {
+namespace {
+
+TEST(CounterTest, AddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentAddsAreLossless) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kAdds; ++i) {
+        c.add();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(c.value(), static_cast<uint64_t>(kThreads) * kAdds);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.set(10.5);
+  EXPECT_DOUBLE_EQ(g.value(), 10.5);
+  g.add(-0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 10.0);
+}
+
+TEST(HistogramTest, QuantilesOfKnownDistribution) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) {
+    h.record(i);
+  }
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.min(), 1);
+  EXPECT_DOUBLE_EQ(h.max(), 100);
+  EXPECT_NEAR(h.quantile(0.5), 50.5, 1.0);
+  EXPECT_NEAR(h.quantile(0.99), 99, 1.0);
+  EXPECT_NEAR(h.mean(), 50.5, 1e-9);
+}
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0);
+  EXPECT_EQ(h.mean(), 0);
+}
+
+TEST(HistogramTest, RecordAfterQuantileStillSorted) {
+  Histogram h;
+  h.record(10);
+  EXPECT_EQ(h.quantile(1.0), 10);
+  h.record(5);  // must re-sort lazily
+  EXPECT_EQ(h.quantile(0.0), 5);
+  EXPECT_EQ(h.quantile(1.0), 10);
+}
+
+TEST(TimeSeriesTest, MeanOverWindow) {
+  TimeSeries ts;
+  ts.record(0.0, 10);
+  ts.record(1.0, 20);
+  ts.record(2.0, 30);
+  ts.record(3.0, 40);
+  EXPECT_DOUBLE_EQ(ts.meanOver(1.0, 3.0), 25.0);  // [1,3) → 20, 30
+  EXPECT_DOUBLE_EQ(ts.meanOver(10.0, 20.0), 0.0);
+  EXPECT_EQ(ts.points().size(), 4u);
+}
+
+TEST(RegistryTest, StableInstrumentIdentity) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  a.add(3);
+  EXPECT_EQ(reg.counter("x").value(), 3u);  // same instrument
+  EXPECT_EQ(&reg.counter("x"), &a);
+}
+
+TEST(RegistryTest, SnapshotCoversCountersAndGauges) {
+  MetricsRegistry reg;
+  reg.counter("reqs").add(7);
+  reg.gauge("cpu").set(0.5);
+  auto snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(snap.at("counter.reqs"), 7.0);
+  EXPECT_DOUBLE_EQ(snap.at("gauge.cpu"), 0.5);
+}
+
+TEST(RegistryTest, CounterNamesEnumerated) {
+  MetricsRegistry reg;
+  reg.counter("a").add();
+  reg.counter("b").add();
+  auto names = reg.counterNames();
+  EXPECT_EQ(names.size(), 2u);
+}
+
+TEST(CpuProbeTest, ThreadCpuAdvancesUnderWork) {
+  double before = threadCpuSeconds();
+  burnCpu(20000);
+  double after = threadCpuSeconds();
+  EXPECT_GT(after, before);
+}
+
+TEST(CpuProbeTest, BurnScalesRoughlyLinearly) {
+  double t0 = threadCpuSeconds();
+  burnCpu(5000);
+  double small = threadCpuSeconds() - t0;
+  t0 = threadCpuSeconds();
+  burnCpu(50000);
+  double large = threadCpuSeconds() - t0;
+  EXPECT_GT(large, small * 3);  // generous: schedulers add noise
+}
+
+TEST(StopwatchTest, MeasuresElapsed) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_GE(sw.seconds(), 0.025);
+  sw.restart();
+  EXPECT_LT(sw.seconds(), 0.02);
+}
+
+}  // namespace
+}  // namespace zdr

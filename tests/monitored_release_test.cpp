@@ -1,0 +1,145 @@
+// Canary-gated release: §5.1's rollback practice.
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "release/monitored_release.h"
+
+namespace zdr::release {
+namespace {
+
+class CountingHost : public RestartableHost {
+ public:
+  explicit CountingHost(std::string name) : name_(std::move(name)) {}
+  ~CountingHost() override {
+    if (worker_.joinable()) {
+      worker_.join();
+    }
+  }
+  [[nodiscard]] std::string hostName() const override { return name_; }
+  void beginRestart(Strategy) override {
+    inProgress_.store(true);
+    if (worker_.joinable()) {
+      worker_.join();
+    }
+    worker_ = std::thread([this] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      restarts_.fetch_add(1);
+      inProgress_.store(false);
+    });
+  }
+  [[nodiscard]] bool restartComplete() const override {
+    return !inProgress_.load();
+  }
+  [[nodiscard]] int restarts() const { return restarts_.load(); }
+
+ private:
+  std::string name_;
+  std::thread worker_;
+  std::atomic<bool> inProgress_{false};
+  std::atomic<int> restarts_{0};
+};
+
+std::vector<std::unique_ptr<CountingHost>> makeHosts(int n) {
+  std::vector<std::unique_ptr<CountingHost>> hosts;
+  for (int i = 0; i < n; ++i) {
+    hosts.push_back(
+        std::make_unique<CountingHost>("h" + std::to_string(i)));
+  }
+  return hosts;
+}
+
+std::vector<RestartableHost*> raw(
+    const std::vector<std::unique_ptr<CountingHost>>& hosts) {
+  std::vector<RestartableHost*> out;
+  for (auto& h : hosts) {
+    out.push_back(h.get());
+  }
+  return out;
+}
+
+TEST(MonitoredReleaseTest, HealthyReleaseCompletes) {
+  auto hosts = makeHosts(4);
+  MonitoredReleaseOptions opts;
+  opts.batchFraction = 0.25;
+  opts.canarySoak = std::chrono::milliseconds(5);
+  opts.healthGate = [] { return true; };
+  auto report = runMonitoredRelease(raw(hosts), opts);
+  EXPECT_EQ(report.outcome, ReleaseOutcome::kCompleted);
+  EXPECT_EQ(report.batchesCompleted, 4u);
+  EXPECT_EQ(report.hostsReleased, 4u);
+  EXPECT_EQ(report.hostsRolledBack, 0u);
+  for (auto& h : hosts) {
+    EXPECT_EQ(h->restarts(), 1);
+  }
+}
+
+TEST(MonitoredReleaseTest, CanaryRegressionRollsBackOnlyCanary) {
+  auto hosts = makeHosts(5);
+  MonitoredReleaseOptions opts;
+  opts.batchFraction = 0.2;  // canary = 1 host
+  opts.canarySoak = std::chrono::milliseconds(5);
+  opts.healthGate = [] { return false; };  // regress immediately
+  auto report = runMonitoredRelease(raw(hosts), opts);
+  EXPECT_EQ(report.outcome, ReleaseOutcome::kRolledBack);
+  EXPECT_EQ(report.batchesCompleted, 1u);
+  EXPECT_EQ(report.hostsReleased, 1u);
+  EXPECT_EQ(report.hostsRolledBack, 1u);
+  EXPECT_EQ(hosts[0]->restarts(), 2);  // release + rollback
+  for (size_t i = 1; i < hosts.size(); ++i) {
+    EXPECT_EQ(hosts[i]->restarts(), 0);  // blast radius contained
+  }
+}
+
+TEST(MonitoredReleaseTest, MidReleaseRegressionRollsBackReleasedSet) {
+  auto hosts = makeHosts(4);
+  std::atomic<int> gateCalls{0};
+  MonitoredReleaseOptions opts;
+  opts.batchFraction = 0.25;
+  opts.canarySoak = std::chrono::milliseconds(5);
+  // Healthy for canary + batch 2; regress on batch 3.
+  opts.healthGate = [&] { return gateCalls.fetch_add(1) < 2; };
+  auto report = runMonitoredRelease(raw(hosts), opts);
+  EXPECT_EQ(report.outcome, ReleaseOutcome::kRolledBack);
+  EXPECT_EQ(report.batchesCompleted, 3u);
+  EXPECT_EQ(report.hostsRolledBack, 3u);
+  EXPECT_EQ(hosts[0]->restarts(), 2);
+  EXPECT_EQ(hosts[1]->restarts(), 2);
+  EXPECT_EQ(hosts[2]->restarts(), 2);
+  EXPECT_EQ(hosts[3]->restarts(), 0);
+}
+
+TEST(MonitoredReleaseTest, NoGateMeansAlwaysHealthy) {
+  auto hosts = makeHosts(2);
+  MonitoredReleaseOptions opts;
+  opts.batchFraction = 0.5;
+  opts.canarySoak = std::chrono::milliseconds(1);
+  auto report = runMonitoredRelease(raw(hosts), opts);
+  EXPECT_EQ(report.outcome, ReleaseOutcome::kCompleted);
+}
+
+TEST(MonitoredReleaseTest, EmitsCanaryEvents) {
+  auto hosts = makeHosts(2);
+  std::vector<std::string> events;
+  MonitoredReleaseOptions opts;
+  opts.batchFraction = 0.5;
+  opts.canarySoak = std::chrono::milliseconds(1);
+  opts.healthGate = [] { return true; };
+  opts.onEvent = [&](const std::string& e) { events.push_back(e); };
+  runMonitoredRelease(raw(hosts), opts);
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.front(), "canary_start 1");
+  EXPECT_EQ(events.back(), "release_done");
+}
+
+TEST(MonitoredReleaseTest, EmptyHostsNoop) {
+  MonitoredReleaseOptions opts;
+  auto report = runMonitoredRelease({}, opts);
+  EXPECT_EQ(report.outcome, ReleaseOutcome::kCompleted);
+  EXPECT_EQ(report.hostsReleased, 0u);
+}
+
+}  // namespace
+}  // namespace zdr::release

@@ -1,0 +1,100 @@
+// MQTT keepalive: ping/pong liveness and dead-transport detection.
+#include <atomic>
+#include <gtest/gtest.h>
+
+#include "mqtt/broker.h"
+#include "mqtt/client.h"
+
+namespace zdr::mqtt {
+namespace {
+
+void waitFor(const std::function<bool()>& pred, int ms = 3000) {
+  for (int i = 0; i < ms && !pred(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(pred());
+}
+
+TEST(MqttKeepAliveTest, PingsKeepHealthyConnectionAlive) {
+  EventLoopThread loop;
+  MetricsRegistry metrics;
+  std::unique_ptr<Broker> broker;
+  SocketAddr addr;
+  loop.runSync([&] {
+    broker = std::make_unique<Broker>(loop.loop(), SocketAddr::loopback(0),
+                                      Broker::Options{}, &metrics);
+    addr = broker->localAddr();
+  });
+
+  auto client = [&] {
+    std::shared_ptr<Client> c;
+    loop.runSync([&] { c = Client::make(loop.loop(), "ka-user"); });
+    return c;
+  }();
+  std::atomic<bool> connected{false};
+  std::atomic<bool> dropped{false};
+  loop.runSync([&] {
+    client->setCloseCallback([&](std::error_code) { dropped.store(true); });
+    client->connect(addr, true, [&](bool, uint8_t) {
+      connected.store(true);
+      client->enableKeepAlive(Duration{20}, 2);
+    });
+  });
+  waitFor([&] { return connected.load(); });
+  // Several keepalive periods elapse; PINGRESPs keep the session up.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_FALSE(dropped.load());
+  EXPECT_TRUE(client->connected());
+  loop.runSync([&] {
+    client->abort();
+    broker.reset();
+  });
+}
+
+TEST(MqttKeepAliveTest, SilentPeerIsDeclaredDead) {
+  EventLoopThread loop;
+  // A TCP listener that accepts and then never answers anything.
+  TcpListener listener(SocketAddr::loopback(0));
+  SocketAddr addr = listener.localAddr();
+  std::unique_ptr<Acceptor> acceptor;
+  std::vector<ConnectionPtr> muteConns;
+  loop.runSync([&] {
+    acceptor = std::make_unique<Acceptor>(
+        loop.loop(), std::move(listener), [&](TcpSocket sock) {
+          auto conn = Connection::make(loop.loop(), std::move(sock));
+          conn->setDataCallback([](Buffer& in) { in.clear(); });  // mute
+          conn->start();
+          muteConns.push_back(conn);
+        });
+  });
+
+  std::shared_ptr<Client> client;
+  std::atomic<bool> dropped{false};
+  std::error_code dropReason;
+  loop.runSync([&] {
+    client = Client::make(loop.loop(), "mute-user");
+    client->setCloseCallback([&](std::error_code ec) {
+      dropReason = ec;
+      dropped.store(true);
+    });
+    client->connect(addr, true, [](bool, uint8_t) {});
+    // The CONNACK never arrives; arm keepalive regardless.
+    client->enableKeepAlive(Duration{20}, 2);
+  });
+
+  // 2 missed pongs × 20ms + slack ⇒ the client declares the transport
+  // dead on its own.
+  waitFor([&] { return dropped.load(); }, 2000);
+  EXPECT_EQ(dropReason, std::errc::timed_out);
+
+  loop.runSync([&] {
+    for (auto& c : muteConns) {
+      c->close({});
+    }
+    muteConns.clear();
+    acceptor.reset();
+  });
+}
+
+}  // namespace
+}  // namespace zdr::mqtt

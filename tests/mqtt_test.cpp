@@ -1,0 +1,324 @@
+// MQTT codec, broker context persistence (the DCR substrate), client.
+#include <atomic>
+#include <gtest/gtest.h>
+
+#include "metrics/metrics.h"
+#include "mqtt/broker.h"
+#include "mqtt/client.h"
+#include "mqtt/codec.h"
+
+namespace zdr::mqtt {
+namespace {
+
+void waitFor(const std::function<bool()>& pred, int ms = 3000) {
+  for (int i = 0; i < ms && !pred(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(pred());
+}
+
+// ------------------------------------------------------------- codec
+
+TEST(MqttCodecTest, ConnectRoundTrip) {
+  Packet p;
+  p.type = PacketType::kConnect;
+  p.clientId = "user42";
+  p.cleanSession = false;
+  p.keepAliveSec = 30;
+  Buffer buf;
+  encode(p, buf);
+  bool malformed = false;
+  auto d = decode(buf, malformed);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->type, PacketType::kConnect);
+  EXPECT_EQ(d->clientId, "user42");
+  EXPECT_FALSE(d->cleanSession);
+  EXPECT_EQ(d->keepAliveSec, 30);
+}
+
+TEST(MqttCodecTest, ConnackRoundTrip) {
+  Packet p;
+  p.type = PacketType::kConnack;
+  p.sessionPresent = true;
+  p.returnCode = kConnRefusedIdRejected;
+  Buffer buf;
+  encode(p, buf);
+  bool malformed = false;
+  auto d = decode(buf, malformed);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->sessionPresent);
+  EXPECT_EQ(d->returnCode, kConnRefusedIdRejected);
+}
+
+TEST(MqttCodecTest, PublishRoundTrip) {
+  Packet p;
+  p.type = PacketType::kPublish;
+  p.topic = "t/user1";
+  p.payload = "notification-payload";
+  Buffer buf;
+  encode(p, buf);
+  bool malformed = false;
+  auto d = decode(buf, malformed);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->topic, "t/user1");
+  EXPECT_EQ(d->payload, "notification-payload");
+}
+
+TEST(MqttCodecTest, SubscribeRoundTrip) {
+  Packet p;
+  p.type = PacketType::kSubscribe;
+  p.packetId = 9;
+  p.topics = {"a", "b/c"};
+  Buffer buf;
+  encode(p, buf);
+  bool malformed = false;
+  auto d = decode(buf, malformed);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->packetId, 9);
+  EXPECT_EQ(d->topics, (std::vector<std::string>{"a", "b/c"}));
+}
+
+TEST(MqttCodecTest, IncompletePacketReturnsNullopt) {
+  Packet p;
+  p.type = PacketType::kPublish;
+  p.topic = "topic";
+  p.payload = std::string(300, 'x');  // 2-byte remaining length
+  Buffer buf;
+  encode(p, buf);
+  Buffer partial;
+  partial.append(buf.view().substr(0, 5));
+  bool malformed = false;
+  EXPECT_FALSE(decode(partial, malformed).has_value());
+  EXPECT_FALSE(malformed);
+}
+
+TEST(MqttCodecTest, PingPongEmptyPackets) {
+  for (auto type : {PacketType::kPingreq, PacketType::kPingresp,
+                    PacketType::kDisconnect}) {
+    Packet p;
+    p.type = type;
+    Buffer buf;
+    encode(p, buf);
+    EXPECT_EQ(buf.size(), 2u);  // fixed header only
+    bool malformed = false;
+    auto d = decode(buf, malformed);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->type, type);
+  }
+}
+
+TEST(MqttCodecTest, MultiBytesRemainingLength) {
+  Packet p;
+  p.type = PacketType::kPublish;
+  p.topic = "t";
+  p.payload = std::string(20000, 'y');
+  Buffer buf;
+  encode(p, buf);
+  bool malformed = false;
+  auto d = decode(buf, malformed);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->payload.size(), 20000u);
+  EXPECT_TRUE(buf.empty());
+}
+
+// ------------------------------------------------------------- broker
+
+class BrokerTest : public ::testing::Test {
+ protected:
+  BrokerTest() {
+    loop_.runSync([&] {
+      Broker::Options opts;
+      opts.contextTtl = Duration{2000};
+      broker_ = std::make_unique<Broker>(loop_.loop(),
+                                         SocketAddr::loopback(0), opts,
+                                         &metrics_);
+      addr_ = broker_->localAddr();
+    });
+  }
+  ~BrokerTest() override {
+    loop_.runSync([&] { broker_.reset(); });
+  }
+
+  std::shared_ptr<Client> makeClient(const std::string& id) {
+    std::shared_ptr<Client> c;
+    loop_.runSync([&] { c = Client::make(loop_.loop(), id); });
+    return c;
+  }
+
+  EventLoopThread loop_;
+  MetricsRegistry metrics_;
+  std::unique_ptr<Broker> broker_;
+  SocketAddr addr_;
+};
+
+TEST_F(BrokerTest, ConnectSubscribePublish) {
+  auto sub = makeClient("user1");
+  auto pub = makeClient("pub");
+  std::atomic<bool> subConnected{false};
+  std::atomic<bool> gotPublish{false};
+
+  loop_.runSync([&] {
+    sub->connect(addr_, true, [&](bool sp, uint8_t rc) {
+      EXPECT_FALSE(sp);
+      EXPECT_EQ(rc, kConnAccepted);
+      sub->subscribe({"t/user1"});
+      subConnected.store(true);
+    });
+    sub->setPublishCallback([&](const std::string& topic,
+                                const std::string& payload) {
+      EXPECT_EQ(topic, "t/user1");
+      EXPECT_EQ(payload, "hi");
+      gotPublish.store(true);
+    });
+  });
+  waitFor([&] { return subConnected.load(); });
+
+  std::atomic<bool> pubConnected{false};
+  loop_.runSync([&] {
+    pub->connect(addr_, true,
+                 [&](bool, uint8_t) { pubConnected.store(true); });
+  });
+  waitFor([&] { return pubConnected.load(); });
+  // Subscription registration races the publish; poke until delivered.
+  for (int i = 0; i < 50 && !gotPublish.load(); ++i) {
+    loop_.runSync([&] { pub->publish("t/user1", "hi"); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  waitFor([&] { return gotPublish.load(); });
+}
+
+TEST_F(BrokerTest, ContextSurvivesDisconnectAndResume) {
+  auto c1 = makeClient("user7");
+  std::atomic<bool> connected{false};
+  loop_.runSync([&] {
+    c1->connect(addr_, true, [&](bool, uint8_t) {
+      c1->subscribe({"t/user7"});
+      connected.store(true);
+    });
+  });
+  waitFor([&] { return connected.load(); });
+  waitFor([&] {
+    size_t n = 0;
+    loop_.runSync([&] { n = broker_->contextCount(); });
+    return n == 1;
+  });
+
+  // Transport dies (the origin restart analogue) — context persists.
+  loop_.runSync([&] { c1->abort(); });
+  waitFor([&] {
+    bool has = false;
+    loop_.runSync([&] {
+      has = broker_->hasContext("user7") && broker_->attachedCount() == 0;
+    });
+    return has;
+  });
+
+  // Resume with cleanSession=false — the DCR re_connect.
+  auto c2 = makeClient("user7");
+  std::atomic<bool> resumed{false};
+  loop_.runSync([&] {
+    c2->connect(addr_, false, [&](bool sessionPresent, uint8_t rc) {
+      EXPECT_TRUE(sessionPresent);  // connect_ack
+      EXPECT_EQ(rc, kConnAccepted);
+      resumed.store(true);
+    });
+  });
+  waitFor([&] { return resumed.load(); });
+  EXPECT_GE(metrics_.counter("broker.connect_resumed").value(), 1u);
+}
+
+TEST_F(BrokerTest, ResumeWithoutContextRefused) {
+  auto c = makeClient("ghost");
+  std::atomic<bool> answered{false};
+  uint8_t code = 0;
+  loop_.runSync([&] {
+    c->connect(addr_, false, [&](bool sp, uint8_t rc) {
+      EXPECT_FALSE(sp);
+      code = rc;
+      answered.store(true);
+    });
+  });
+  waitFor([&] { return answered.load(); });
+  EXPECT_EQ(code, kConnRefusedIdRejected);  // connect_refuse
+  EXPECT_GE(metrics_.counter("broker.connect_refused").value(), 1u);
+}
+
+TEST_F(BrokerTest, PublishesQueuedWhileDetachedFlushOnResume) {
+  auto c1 = makeClient("user9");
+  auto pub = makeClient("pub");
+  std::atomic<bool> ready{false};
+  loop_.runSync([&] {
+    c1->connect(addr_, true, [&](bool, uint8_t) {
+      c1->subscribe({"t/user9"});
+      ready.store(true);
+    });
+  });
+  waitFor([&] { return ready.load(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  loop_.runSync([&] { c1->abort(); });
+  waitFor([&] {
+    size_t attached = 1;
+    loop_.runSync([&] { attached = broker_->attachedCount(); });
+    return attached == 0;
+  });
+
+  std::atomic<bool> pubReady{false};
+  loop_.runSync([&] {
+    pub->connect(addr_, true, [&](bool, uint8_t) { pubReady.store(true); });
+  });
+  waitFor([&] { return pubReady.load(); });
+  loop_.runSync([&] { pub->publish("t/user9", "missed-1"); });
+  waitFor([&] {
+    return metrics_.counter("broker.publish_queued").value() >= 1;
+  });
+
+  // Resume: the queued publish must be delivered.
+  auto c2 = makeClient("user9");
+  std::atomic<int> got{0};
+  loop_.runSync([&] {
+    c2->setPublishCallback(
+        [&](const std::string&, const std::string& payload) {
+          EXPECT_EQ(payload, "missed-1");
+          got.fetch_add(1);
+        });
+    c2->connect(addr_, false, [](bool, uint8_t) {});
+  });
+  waitFor([&] { return got.load() >= 1; });
+}
+
+TEST_F(BrokerTest, DetachedContextReapedAfterTtl) {
+  auto c = makeClient("user-ttl");
+  std::atomic<bool> connected{false};
+  loop_.runSync([&] {
+    c->connect(addr_, true, [&](bool, uint8_t) { connected.store(true); });
+  });
+  waitFor([&] { return connected.load(); });
+  loop_.runSync([&] { c->abort(); });
+  // contextTtl is 2000ms in this fixture.
+  waitFor(
+      [&] {
+        bool has = true;
+        loop_.runSync([&] { has = broker_->hasContext("user-ttl"); });
+        return !has;
+      },
+      5000);
+}
+
+TEST_F(BrokerTest, CleanDisconnectDiscardsContext) {
+  auto c = makeClient("user-bye");
+  std::atomic<bool> connected{false};
+  loop_.runSync([&] {
+    c->connect(addr_, true, [&](bool, uint8_t) { connected.store(true); });
+  });
+  waitFor([&] { return connected.load(); });
+  loop_.runSync([&] { c->disconnect(); });
+  waitFor([&] {
+    bool has = true;
+    loop_.runSync([&] { has = broker_->hasContext("user-bye"); });
+    return !has;
+  });
+}
+
+}  // namespace
+}  // namespace zdr::mqtt

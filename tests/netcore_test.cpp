@@ -1,0 +1,210 @@
+// Unit tests for the netcore substrate: fd ownership, addresses,
+// buffers, sockets.
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "netcore/buffer.h"
+#include "netcore/fd_guard.h"
+#include "netcore/result.h"
+#include "netcore/socket.h"
+#include "netcore/socket_addr.h"
+
+namespace zdr {
+namespace {
+
+bool fdIsOpen(int fd) { return ::fcntl(fd, F_GETFD) != -1; }
+
+TEST(FdGuardTest, ClosesOnDestruction) {
+  int raw = -1;
+  {
+    FdGuard guard(::open("/dev/null", O_RDONLY));
+    ASSERT_TRUE(guard.valid());
+    raw = guard.get();
+    EXPECT_TRUE(fdIsOpen(raw));
+  }
+  EXPECT_FALSE(fdIsOpen(raw));
+}
+
+TEST(FdGuardTest, MoveTransfersOwnership) {
+  FdGuard a(::open("/dev/null", O_RDONLY));
+  int raw = a.get();
+  FdGuard b(std::move(a));
+  EXPECT_FALSE(a.valid());
+  EXPECT_EQ(b.get(), raw);
+  EXPECT_TRUE(fdIsOpen(raw));
+}
+
+TEST(FdGuardTest, MoveAssignClosesPrevious) {
+  FdGuard a(::open("/dev/null", O_RDONLY));
+  FdGuard b(::open("/dev/null", O_RDONLY));
+  int oldB = b.get();
+  b = std::move(a);
+  EXPECT_FALSE(fdIsOpen(oldB));
+  EXPECT_TRUE(b.valid());
+}
+
+TEST(FdGuardTest, ReleaseDisownsWithoutClosing) {
+  FdGuard a(::open("/dev/null", O_RDONLY));
+  int raw = a.release();
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(fdIsOpen(raw));
+  ::close(raw);
+}
+
+TEST(FdGuardTest, DupSharesFileTableEntry) {
+  FdGuard a(::open("/dev/null", O_RDONLY));
+  FdGuard b = a.dup();
+  ASSERT_TRUE(b.valid());
+  EXPECT_NE(a.get(), b.get());
+  a.reset();
+  EXPECT_TRUE(fdIsOpen(b.get()));  // dup keeps the description alive
+}
+
+TEST(SocketAddrTest, RoundTrip) {
+  SocketAddr addr("127.0.0.1", 8080);
+  EXPECT_EQ(addr.ipString(), "127.0.0.1");
+  EXPECT_EQ(addr.port(), 8080);
+  EXPECT_EQ(addr.str(), "127.0.0.1:8080");
+  SocketAddr copy(addr.raw());
+  EXPECT_EQ(copy, addr);
+}
+
+TEST(SocketAddrTest, RejectsBadLiteral) {
+  EXPECT_THROW(SocketAddr("not-an-ip", 1), std::invalid_argument);
+  EXPECT_THROW(SocketAddr("256.0.0.1", 1), std::invalid_argument);
+}
+
+TEST(SocketAddrTest, HashKeyDistinguishesPorts) {
+  SocketAddr a("127.0.0.1", 1000);
+  SocketAddr b("127.0.0.1", 1001);
+  EXPECT_NE(a.hashKey(), b.hashKey());
+}
+
+TEST(BufferTest, AppendConsumeView) {
+  Buffer buf;
+  EXPECT_TRUE(buf.empty());
+  buf.append("hello ");
+  buf.append("world");
+  EXPECT_EQ(buf.view(), "hello world");
+  buf.consume(6);
+  EXPECT_EQ(buf.view(), "world");
+  buf.consume(5);
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(BufferTest, BigEndianIntegers) {
+  Buffer buf;
+  buf.appendU8(0xAB);
+  buf.appendU16(0x1234);
+  buf.appendU32(0xDEADBEEF);
+  buf.appendU64(0x0102030405060708ULL);
+  EXPECT_EQ(buf.peekU8(0), 0xAB);
+  EXPECT_EQ(buf.peekU16(1), 0x1234);
+  EXPECT_EQ(buf.peekU32(3), 0xDEADBEEF);
+  EXPECT_EQ(buf.peekU64(7), 0x0102030405060708ULL);
+}
+
+TEST(BufferTest, CompactionPreservesContent) {
+  Buffer buf;
+  std::string big(10000, 'x');
+  buf.append(big);
+  buf.append("tail");
+  buf.consume(10000);  // forces compaction path
+  EXPECT_EQ(buf.view(), "tail");
+}
+
+TEST(BufferTest, ToStringBounded) {
+  Buffer buf;
+  buf.append("abcdef");
+  EXPECT_EQ(buf.toString(3), "abc");
+  EXPECT_EQ(buf.toString(100), "abcdef");
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_FALSE(ok.error());
+
+  Result<int> err(std::make_error_code(std::errc::timed_out));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.error(), std::errc::timed_out);
+  EXPECT_EQ(err.valueOr(-1), -1);
+}
+
+TEST(SocketTest, TcpListenerResolvesPortZero) {
+  TcpListener listener(SocketAddr::loopback(0));
+  EXPECT_GT(listener.localAddr().port(), 0);
+}
+
+TEST(SocketTest, UdpReusePortAllowsTwoBinds) {
+  BindOptions opts;
+  opts.reusePort = true;
+  UdpSocket a(SocketAddr::loopback(0), opts);
+  UdpSocket b(a.localAddr(), opts);  // second bind on same port
+  EXPECT_EQ(a.localAddr().port(), b.localAddr().port());
+}
+
+TEST(SocketTest, UdpWithoutReusePortConflicts) {
+  // Without SO_REUSEADDR/SO_REUSEPORT a second bind on the same UDP
+  // address must fail — this is the "flux" precondition of §4.1.
+  BindOptions strict;
+  strict.reuseAddr = false;
+  UdpSocket a(SocketAddr::loopback(0), strict);
+  EXPECT_THROW(UdpSocket b(a.localAddr(), strict), std::system_error);
+}
+
+TEST(SocketTest, UdpSendRecvLoopback) {
+  UdpSocket server(SocketAddr::loopback(0));
+  UdpSocket client(SocketAddr::loopback(0));
+  std::string msg = "ping";
+  std::error_code ec;
+  client.sendTo(std::as_bytes(std::span(msg.data(), msg.size())),
+                server.localAddr(), ec);
+  ASSERT_FALSE(ec);
+  // Loopback delivery is immediate but give the kernel a beat.
+  std::array<std::byte, 64> buf;
+  SocketAddr from;
+  size_t n = 0;
+  for (int i = 0; i < 100; ++i) {
+    n = server.recvFrom(buf, from, ec);
+    if (!ec) {
+      break;
+    }
+    usleep(1000);
+  }
+  ASSERT_FALSE(ec);
+  EXPECT_EQ(n, 4u);
+  EXPECT_EQ(from.port(), client.localAddr().port());
+}
+
+TEST(SocketTest, UnixListenerAcceptsConnection) {
+  std::string path = "/tmp/zdr_test_unix_" + std::to_string(::getpid());
+  UnixListener listener(path);
+  std::error_code ec;
+  UnixSocket client = UnixSocket::connect(path, ec);
+  ASSERT_FALSE(ec);
+  auto accepted = listener.accept(ec);
+  ASSERT_TRUE(accepted.has_value());
+  std::string msg = "hi";
+  client.write(std::as_bytes(std::span(msg.data(), msg.size())), ec);
+  ASSERT_FALSE(ec);
+  std::array<std::byte, 16> buf;
+  size_t n = accepted->read(buf, ec);
+  EXPECT_EQ(n, 2u);
+  ::unlink(path.c_str());
+}
+
+TEST(SocketTest, SocketPairBidirectional) {
+  auto [a, b] = unixSocketPair();
+  std::error_code ec;
+  std::string msg = "x";
+  a.write(std::as_bytes(std::span(msg.data(), msg.size())), ec);
+  std::array<std::byte, 4> buf;
+  EXPECT_EQ(b.read(buf, ec), 1u);
+}
+
+}  // namespace
+}  // namespace zdr

@@ -1,0 +1,258 @@
+// Focused proxy behaviours: pooling, rerouting, timeouts, repeated
+// releases — the operational corners the headline e2e tests skip.
+#include <atomic>
+#include <gtest/gtest.h>
+
+#include "core/testbed.h"
+#include "core/workload.h"
+#include "http/client.h"
+
+namespace zdr::core {
+namespace {
+
+void waitFor(const std::function<bool()>& pred, int ms = 8000) {
+  for (int i = 0; i < ms && !pred(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(pred());
+}
+
+http::Client::Result doRequest(EventLoopThread& loop, const SocketAddr& addr,
+                               http::Request req,
+                               Duration timeout = Duration{3000}) {
+  std::atomic<bool> done{false};
+  http::Client::Result result;
+  std::shared_ptr<http::Client> client;
+  loop.runSync([&] {
+    client = http::Client::make(loop.loop(), addr);
+    client->request(std::move(req),
+                    [&](http::Client::Result r) {
+                      result = r;
+                      done.store(true);
+                    },
+                    timeout);
+  });
+  for (int i = 0; i < 10000 && !done.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(done.load());
+  loop.runSync([&] { client->close(); });
+  return result;
+}
+
+TEST(ProxyBehaviorTest, UpstreamPoolReusesAppConnections) {
+  TestbedOptions opts;
+  opts.edges = 1;
+  opts.origins = 1;
+  opts.appServers = 1;
+  opts.enableMqtt = false;
+  Testbed bed(opts);
+
+  EventLoopThread clientLoop("client");
+  for (int i = 0; i < 6; ++i) {
+    http::Request req;
+    req.path = "/api/" + std::to_string(i);
+    auto r = doRequest(clientLoop, bed.httpEntry(), req);
+    ASSERT_EQ(r.response.status, 200);
+  }
+  uint64_t hits = 0;
+  bed.origin(0).withActiveProxy([&](proxygen::Proxy* p) {
+    ASSERT_NE(p, nullptr);
+    ASSERT_NE(p->upstreamPool(), nullptr);
+    hits = p->upstreamPool()->hits();
+  });
+  EXPECT_GE(hits, 4u);  // after warmup every request reuses
+}
+
+TEST(ProxyBehaviorTest, EdgeReroutesWhenOneOriginDies) {
+  TestbedOptions opts;
+  opts.edges = 1;
+  opts.origins = 2;
+  opts.appServers = 2;
+  opts.enableMqtt = false;
+  opts.proxyDrainPeriod = Duration{200};
+  Testbed bed(opts);
+
+  EventLoopThread clientLoop("client");
+  // Hard-restart origin0; requests must keep succeeding via origin1.
+  bed.origin(0).beginRestart(release::Strategy::kHardRestart);
+  int failures = 0;
+  for (int i = 0; i < 20; ++i) {
+    http::Request req;
+    req.path = "/api/failover";
+    auto r = doRequest(clientLoop, bed.httpEntry(), req);
+    if (!r.ok || r.response.status != 200) {
+      ++failures;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  bed.origin(0).waitRestart();
+  // GOAWAY + rerouting keep this near-zero; allow a raced request.
+  EXPECT_LE(failures, 1);
+}
+
+TEST(ProxyBehaviorTest, RequestTimeoutProduces504) {
+  TestbedOptions opts;
+  opts.edges = 1;
+  opts.origins = 1;
+  opts.appServers = 1;
+  opts.enableMqtt = false;
+  opts.requestTimeout = Duration{250};
+  Testbed bed(opts);
+  // A handler that never responds within the proxy timeout: simulate
+  // by burning a long sleep via a handler that just... cannot sleep on
+  // the loop. Instead: point the origin at a black-hole app server by
+  // draining it mid-request is racy; simplest deterministic stall is a
+  // handler that requires a body the client never finishes.
+  EventLoopThread clientLoop("client");
+  std::atomic<bool> done{false};
+  http::Client::Result result;
+  std::shared_ptr<http::Client> client;
+  clientLoop.runSync([&] {
+    client = http::Client::make(clientLoop.loop(), bed.httpEntry());
+    // Chunked POST that sends one chunk and then stalls forever.
+    client->pacedPost("/upload/stall", 10000, 64, Duration{60000},
+                      [&](http::Client::Result r) {
+                        result = r;
+                        done.store(true);
+                      },
+                      Duration{10000});
+  });
+  waitFor([&] { return done.load(); }, 12000);
+  // The edge gives up on the origin after requestTimeout and answers
+  // 504 (the "timeouts" class of Fig 12).
+  ASSERT_FALSE(result.timedOut);
+  EXPECT_EQ(result.response.status, 504);
+  EXPECT_GE(bed.metrics().counter("edge.err.timeout").value(), 1u);
+  clientLoop.runSync([&] { client->close(); });
+}
+
+TEST(ProxyBehaviorTest, BackToBackZdrRestartsOfSameEdge) {
+  TestbedOptions opts;
+  opts.edges = 1;
+  opts.origins = 1;
+  opts.appServers = 1;
+  opts.enableMqtt = false;
+  opts.proxyDrainPeriod = Duration{250};
+  Testbed bed(opts);
+
+  EventLoopThread clientLoop("client");
+  for (int round = 0; round < 3; ++round) {
+    bed.edge(0).beginRestart(release::Strategy::kZeroDowntime);
+    bed.edge(0).waitRestart();
+    http::Request req;
+    req.path = "/api/round" + std::to_string(round);
+    auto r = doRequest(clientLoop, bed.httpEntry(), req);
+    ASSERT_EQ(r.response.status, 200) << "round " << round;
+  }
+  EXPECT_EQ(bed.metrics().counter("edge0.zdr_restarts").value(), 3u);
+}
+
+TEST(ProxyBehaviorTest, OriginZdrRestartInvisibleToHttpClients) {
+  TestbedOptions opts;
+  opts.edges = 1;
+  opts.origins = 2;
+  opts.appServers = 2;
+  opts.enableMqtt = false;
+  opts.proxyDrainPeriod = Duration{400};
+  Testbed bed(opts);
+
+  HttpLoadGen::Options lo;
+  lo.concurrency = 4;
+  lo.thinkTime = Duration{2};
+  HttpLoadGen load(bed.httpEntry(), lo, bed.metrics(), "load");
+  load.start();
+  waitFor([&] { return load.completed() >= 50; });
+
+  bed.origin(0).beginRestart(release::Strategy::kZeroDowntime);
+  bed.origin(0).waitRestart();
+  uint64_t mark = load.completed();
+  waitFor([&] { return load.completed() >= mark + 50; });
+  load.stop();
+
+  EXPECT_EQ(bed.metrics().counter("load.err_http").value(), 0u);
+  EXPECT_EQ(bed.metrics().counter("load.err_timeout").value(), 0u);
+  EXPECT_EQ(bed.metrics().counter("load.err_transport").value(), 0u);
+}
+
+TEST(ProxyBehaviorTest, UnexpectedPpr379IsGatedTo500) {
+  // §5.2 expectation gate: server speaks PPR, proxy does not expect it.
+  // The 379 must NOT be replayed and must NOT leak to the user; the
+  // user sees a plain 500.
+  TestbedOptions opts;
+  opts.edges = 1;
+  opts.origins = 1;
+  opts.appServers = 2;
+  opts.enableMqtt = false;
+  opts.pprEnabled = false;       // proxy side: not expecting 379
+  opts.appPprOverride = true;    // server side: emits 379 on drain
+  opts.appDrainPeriod = Duration{200};
+  Testbed bed(opts);
+
+  EventLoopThread clientLoop("client");
+  std::atomic<bool> done{false};
+  http::Client::Result result;
+  std::shared_ptr<http::Client> client;
+  clientLoop.runSync([&] {
+    client = http::Client::make(clientLoop.loop(), bed.httpEntry());
+    client->pacedPost("/upload", 40, 512, Duration{25},
+                      [&](http::Client::Result r) {
+                        result = r;
+                        done.store(true);
+                      },
+                      Duration{15000});
+  });
+  waitFor([&] {
+    size_t posts = 0;
+    for (size_t i = 0; i < bed.appCount(); ++i) {
+      bed.app(i).withServer([&](appserver::AppServer* s) {
+        if (s != nullptr) {
+          posts += s->inFlightPosts();
+        }
+      });
+    }
+    return posts == 1;
+  });
+  for (size_t i = 0; i < bed.appCount(); ++i) {
+    bed.app(i).withServer([&](appserver::AppServer* s) {
+      if (s != nullptr && s->inFlightPosts() > 0) {
+        s->startDrain();  // emits the 379 toward the unexpecting proxy
+      }
+    });
+  }
+  waitFor([&] { return done.load(); }, 20000);
+  clientLoop.runSync([&] { client->close(); });
+
+  EXPECT_EQ(result.response.status, 500);
+  EXPECT_NE(result.response.status, http::kPartialPostStatus);
+  EXPECT_GE(bed.metrics().counter("origin0.ppr_gate_rejected").value(), 1u);
+  EXPECT_EQ(bed.metrics().counter("origin0.ppr_replays").value(), 0u);
+}
+
+TEST(ProxyBehaviorTest, EdgeCacheExpiresAndRefetches) {
+  TestbedOptions opts;
+  opts.edges = 1;
+  opts.origins = 1;
+  opts.appServers = 1;
+  opts.enableMqtt = false;
+  Testbed bed(opts);
+  std::atomic<int> appServes{0};
+  bed.app(0).withServer([&](appserver::AppServer* s) {
+    s->setHandler([&](const http::Request& req, http::Response& res) {
+      appServes.fetch_add(1);
+      res.status = 200;
+      res.body = "gen" + std::to_string(appServes.load()) + req.path;
+    });
+  });
+  EventLoopThread clientLoop("client");
+  http::Request req;
+  req.path = "/cached/asset";
+  auto r1 = doRequest(clientLoop, bed.httpEntry(), req);
+  EXPECT_EQ(r1.response.status, 200);
+  auto r2 = doRequest(clientLoop, bed.httpEntry(), req);
+  EXPECT_EQ(r2.response.body, r1.response.body);  // cache hit
+  EXPECT_EQ(appServes.load(), 1);
+}
+
+}  // namespace
+}  // namespace zdr::core

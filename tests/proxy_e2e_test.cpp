@@ -1,0 +1,412 @@
+// End-to-end testbed: user → Edge → trunk → Origin → App. Server /
+// broker, plus the three Zero Downtime Release mechanisms in vivo.
+#include <atomic>
+#include <gtest/gtest.h>
+
+#include "core/testbed.h"
+#include "core/workload.h"
+#include "http/client.h"
+
+namespace zdr::core {
+namespace {
+
+void waitFor(const std::function<bool()>& pred, int ms = 5000) {
+  for (int i = 0; i < ms && !pred(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(pred());
+}
+
+http::Client::Result doRequest(EventLoopThread& loop, const SocketAddr& addr,
+                               http::Request req,
+                               Duration timeout = Duration{3000}) {
+  std::atomic<bool> done{false};
+  http::Client::Result result;
+  std::shared_ptr<http::Client> client;
+  loop.runSync([&] {
+    client = http::Client::make(loop.loop(), addr);
+    client->request(std::move(req),
+                    [&](http::Client::Result r) {
+                      result = r;
+                      done.store(true);
+                    },
+                    timeout);
+  });
+  for (int i = 0; i < 6000 && !done.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(done.load());
+  loop.runSync([&] { client->close(); });
+  return result;
+}
+
+TEST(TestbedE2E, GetFlowsThroughBothTiers) {
+  TestbedOptions opts;
+  opts.edges = 1;
+  opts.origins = 1;
+  opts.appServers = 2;
+  opts.enableMqtt = false;
+  Testbed bed(opts);
+
+  EventLoopThread clientLoop("client");
+  http::Request req;
+  req.path = "/api/hello";
+  auto result = doRequest(clientLoop, bed.httpEntry(), req);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.response.status, 200);
+  EXPECT_EQ(result.response.body, "ok:/api/hello");
+}
+
+TEST(TestbedE2E, PostBodyReachesAppServer) {
+  TestbedOptions opts;
+  opts.edges = 1;
+  opts.origins = 1;
+  opts.appServers = 1;
+  opts.enableMqtt = false;
+  Testbed bed(opts);
+  bed.app(0).withServer([](appserver::AppServer* s) {
+    s->setHandler([](const http::Request& req, http::Response& res) {
+      res.status = 200;
+      res.body = "len:" + std::to_string(req.body.size());
+    });
+  });
+
+  EventLoopThread clientLoop("client");
+  http::Request req;
+  req.method = "POST";
+  req.path = "/upload";
+  req.body = std::string(5000, 'z');
+  auto result = doRequest(clientLoop, bed.httpEntry(), req);
+  EXPECT_EQ(result.response.status, 200);
+  EXPECT_EQ(result.response.body, "len:5000");
+}
+
+TEST(TestbedE2E, HealthEndpointServedAtEdge) {
+  TestbedOptions opts;
+  opts.edges = 1;
+  opts.origins = 1;
+  opts.appServers = 1;
+  opts.enableMqtt = false;
+  Testbed bed(opts);
+  EventLoopThread clientLoop("client");
+  http::Request req;
+  req.path = "/__health";
+  auto result = doRequest(clientLoop, bed.httpEntry(), req);
+  EXPECT_EQ(result.response.status, 200);
+}
+
+TEST(TestbedE2E, EdgeCacheServesSecondHit) {
+  TestbedOptions opts;
+  opts.edges = 1;
+  opts.origins = 1;
+  opts.appServers = 1;
+  opts.enableMqtt = false;
+  Testbed bed(opts);
+  bed.app(0).withServer([](appserver::AppServer* s) {
+    s->setHandler([](const http::Request& req, http::Response& res) {
+      res.status = 200;
+      res.headers.add("Cache-Control", "public");
+      res.body = "cacheable:" + req.path;
+    });
+  });
+  EventLoopThread clientLoop("client");
+  http::Request req;
+  req.path = "/cached/logo.png";
+  auto r1 = doRequest(clientLoop, bed.httpEntry(), req);
+  EXPECT_EQ(r1.response.status, 200);
+  auto r2 = doRequest(clientLoop, bed.httpEntry(), req);
+  EXPECT_EQ(r2.response.status, 200);
+  EXPECT_EQ(r2.response.body, "cacheable:/cached/logo.png");
+  EXPECT_GE(bed.metrics().counter("edge.cache_hit").value(), 1u);
+}
+
+TEST(TestbedE2E, LoadBalancesAcrossOriginsAndApps) {
+  TestbedOptions opts;
+  opts.edges = 1;
+  opts.origins = 2;
+  opts.appServers = 2;
+  opts.enableMqtt = false;
+  Testbed bed(opts);
+  EventLoopThread clientLoop("client");
+  for (int i = 0; i < 8; ++i) {
+    http::Request req;
+    req.path = "/api/" + std::to_string(i);
+    auto r = doRequest(clientLoop, bed.httpEntry(), req);
+    EXPECT_EQ(r.response.status, 200);
+  }
+  // Both origins served something.
+  EXPECT_GT(bed.metrics().counter("origin0.requests").value(), 0u);
+  EXPECT_GT(bed.metrics().counter("origin1.requests").value(), 0u);
+}
+
+TEST(TestbedE2E, MqttPublishReachesSubscriberThroughTunnel) {
+  TestbedOptions opts;
+  opts.edges = 1;
+  opts.origins = 1;
+  opts.appServers = 1;
+  opts.enableMqtt = true;
+  Testbed bed(opts);
+
+  MqttFleet::Options fo;
+  fo.clients = 3;
+  MqttFleet fleet(bed.mqttEntry(), fo, bed.metrics(), "fleet");
+  fleet.start();
+  waitFor([&] { return fleet.connectedCount() == 3; });
+
+  MqttPublisher::Options po;
+  po.fleetSize = 3;
+  po.interval = Duration{5};
+  MqttPublisher publisher(bed.broker(0).addr(), po, bed.metrics(), "pub");
+  publisher.start();
+
+  waitFor([&] { return fleet.publishesReceived() >= 10; });
+  publisher.stop();
+  fleet.stop();
+}
+
+// ------------------- Partial Post Replay end-to-end (§4.3) -----------
+
+TEST(TestbedE2E, PprRescuesUploadAcrossAppRestart) {
+  TestbedOptions opts;
+  opts.edges = 1;
+  opts.origins = 1;
+  opts.appServers = 3;
+  opts.enableMqtt = false;
+  opts.pprEnabled = true;
+  opts.appDrainPeriod = Duration{150};
+  Testbed bed(opts);
+  for (size_t i = 0; i < bed.appCount(); ++i) {
+    bed.app(i).withServer([](appserver::AppServer* s) {
+      s->setHandler([](const http::Request& req, http::Response& res) {
+        res.status = 200;
+        res.body = "got:" + std::to_string(req.body.size());
+      });
+    });
+  }
+
+  EventLoopThread clientLoop("client");
+  std::atomic<bool> done{false};
+  http::Client::Result result;
+  std::shared_ptr<http::Client> client;
+  clientLoop.runSync([&] {
+    client = http::Client::make(clientLoop.loop(), bed.httpEntry());
+    // 40 chunks × 25 ms ≈ 1 s upload.
+    client->pacedPost("/upload/big", 40, 1024, Duration{25},
+                      [&](http::Client::Result r) {
+                        result = r;
+                        done.store(true);
+                      },
+                      Duration{15000});
+  });
+
+  // Let the upload get going, then restart precisely the app server
+  // that holds the in-flight POST.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  bool restarted = false;
+  for (size_t i = 0; i < bed.appCount(); ++i) {
+    size_t posts = 0;
+    bed.app(i).withServer([&](appserver::AppServer* s) {
+      if (s != nullptr) {
+        posts = s->inFlightPosts();
+      }
+    });
+    if (posts > 0) {
+      bed.app(i).beginRestart(release::Strategy::kHardRestart);
+      restarted = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(restarted) << "no app server held the upload";
+
+  waitFor([&] { return done.load(); }, 20000);
+  clientLoop.runSync([&] { client->close(); });
+  for (size_t i = 0; i < bed.appCount(); ++i) {
+    bed.app(i).waitRestart();
+  }
+
+  ASSERT_FALSE(result.timedOut);
+  ASSERT_FALSE(result.transportError) << result.transportError.message();
+  EXPECT_EQ(result.response.status, 200);
+  // The full body arrived at the replay target despite the restart.
+  EXPECT_EQ(result.response.body, "got:" + std::to_string(40 * 1024));
+  // And the rescue actually went through the 379 path.
+  EXPECT_GE(bed.metrics().counter("origin0.ppr_379_received").value(), 1u);
+  EXPECT_GE(bed.metrics().counter("origin0.ppr_replays").value(), 1u);
+}
+
+TEST(TestbedE2E, WithoutPprUploadFailsWith500) {
+  TestbedOptions opts;
+  opts.edges = 1;
+  opts.origins = 1;
+  opts.appServers = 3;
+  opts.enableMqtt = false;
+  opts.pprEnabled = false;
+  opts.appDrainPeriod = Duration{150};
+  Testbed bed(opts);
+
+  EventLoopThread clientLoop("client");
+  std::atomic<bool> done{false};
+  http::Client::Result result;
+  std::shared_ptr<http::Client> client;
+  clientLoop.runSync([&] {
+    client = http::Client::make(clientLoop.loop(), bed.httpEntry());
+    client->pacedPost("/upload/big", 40, 1024, Duration{25},
+                      [&](http::Client::Result r) {
+                        result = r;
+                        done.store(true);
+                      },
+                      Duration{15000});
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  bed.app(0).beginRestart(release::Strategy::kHardRestart);
+
+  waitFor([&] { return done.load(); }, 20000);
+  clientLoop.runSync([&] { client->close(); });
+  bed.app(0).waitRestart();
+
+  // The restarting server answered 500 (or the connection died) — the
+  // end-user-visible disruption PPR exists to prevent. If the POST
+  // happened to land on one of the two healthy servers it completes;
+  // both outcomes are valid, but a 500 must never coexist with PPR on.
+  if (!result.ok) {
+    EXPECT_TRUE(result.response.status >= 500 || result.transportError ||
+                result.timedOut);
+  }
+}
+
+// ------------------- Downstream Connection Reuse (§4.2) --------------
+
+TEST(TestbedE2E, DcrKeepsMqttAliveAcrossOriginZdrRestart) {
+  TestbedOptions opts;
+  opts.edges = 1;
+  opts.origins = 2;  // DCR needs a healthy alternative origin
+  opts.appServers = 1;
+  opts.enableMqtt = true;
+  opts.dcrEnabled = true;
+  opts.proxyDrainPeriod = Duration{500};
+  Testbed bed(opts);
+
+  MqttFleet::Options fo;
+  fo.clients = 5;
+  MqttFleet fleet(bed.mqttEntry(), fo, bed.metrics(), "fleet");
+  fleet.start();
+  waitFor([&] { return fleet.connectedCount() == 5; });
+
+  MqttPublisher::Options po;
+  po.fleetSize = 5;
+  po.interval = Duration{5};
+  MqttPublisher publisher(bed.broker(0).addr(), po, bed.metrics(), "pub");
+  publisher.start();
+  waitFor([&] { return fleet.publishesReceived() >= 20; });
+
+  // ZDR-restart every origin that relays tunnels. DCR should migrate
+  // the tunnels to the other origin with zero client drops.
+  uint64_t dropsBefore = bed.metrics().counter("fleet.drops").value();
+  bed.origin(0).beginRestart(release::Strategy::kZeroDowntime);
+  bed.origin(0).waitRestart();
+
+  uint64_t receivedAfterRestart = fleet.publishesReceived();
+  waitFor([&] { return fleet.publishesReceived() >= receivedAfterRestart + 20; },
+          10000);
+
+  publisher.stop();
+  uint64_t dropsAfter = bed.metrics().counter("fleet.drops").value();
+  EXPECT_EQ(dropsAfter, dropsBefore);  // no client lost its connection
+  EXPECT_EQ(fleet.connectedCount(), 5u);
+  // The DCR machinery actually ran.
+  EXPECT_GE(bed.metrics().counter("edge0.dcr_solicitation_received").value(),
+            0u);
+  EXPECT_GE(bed.metrics().counter("edge.dcr_resumed").value(), 1u);
+  fleet.stop();
+}
+
+TEST(TestbedE2E, WithoutDcrMqttClientsDropAndReconnect) {
+  TestbedOptions opts;
+  opts.edges = 1;
+  opts.origins = 2;
+  opts.appServers = 1;
+  opts.enableMqtt = true;
+  opts.dcrEnabled = false;
+  opts.proxyDrainPeriod = Duration{300};
+  Testbed bed(opts);
+
+  MqttFleet::Options fo;
+  fo.clients = 5;
+  MqttFleet fleet(bed.mqttEntry(), fo, bed.metrics(), "fleet");
+  fleet.start();
+  waitFor([&] { return fleet.connectedCount() == 5; });
+
+  bed.origin(0).beginRestart(release::Strategy::kZeroDowntime);
+  bed.origin(0).waitRestart();
+
+  // Tunnels through origin0 died with the draining instance; clients
+  // reconnected (the Fig 9 "woutDCR" storm).
+  waitFor([&] { return fleet.connectedCount() == 5; }, 10000);
+  EXPECT_GE(bed.metrics().counter("fleet.drops").value(), 1u);
+  EXPECT_GE(bed.metrics().counter("fleet.reconnects").value(), 1u);
+  fleet.stop();
+}
+
+// ------------------- Socket Takeover end-to-end (§4.1) ---------------
+
+TEST(TestbedE2E, EdgeZdrRestartInvisibleToClients) {
+  TestbedOptions opts;
+  opts.edges = 1;
+  opts.origins = 1;
+  opts.appServers = 2;
+  opts.enableMqtt = false;
+  opts.proxyDrainPeriod = Duration{400};
+  Testbed bed(opts);
+
+  HttpLoadGen::Options lo;
+  lo.concurrency = 4;
+  lo.thinkTime = Duration{2};
+  HttpLoadGen load(bed.httpEntry(), lo, bed.metrics(), "load");
+  load.start();
+  waitFor([&] { return load.completed() >= 50; });
+
+  bed.edge(0).beginRestart(release::Strategy::kZeroDowntime);
+  bed.edge(0).waitRestart();
+
+  uint64_t after = load.completed();
+  waitFor([&] { return load.completed() >= after + 50; }, 10000);
+  load.stop();
+
+  // Transport errors can only come from connections the draining
+  // instance reset at terminate; with a drain longer than any request
+  // there must be none, and no 5xx at all.
+  EXPECT_EQ(bed.metrics().counter("load.err_http").value(), 0u);
+  EXPECT_EQ(bed.metrics().counter("load.err_timeout").value(), 0u);
+}
+
+TEST(TestbedE2E, EdgeHardRestartDisruptsClients) {
+  TestbedOptions opts;
+  opts.edges = 1;
+  opts.origins = 1;
+  opts.appServers = 2;
+  opts.enableMqtt = false;
+  opts.proxyDrainPeriod = Duration{200};
+  Testbed bed(opts);
+
+  HttpLoadGen::Options lo;
+  lo.concurrency = 4;
+  lo.thinkTime = Duration{2};
+  lo.timeout = Duration{1500};
+  HttpLoadGen load(bed.httpEntry(), lo, bed.metrics(), "load");
+  load.start();
+  waitFor([&] { return load.completed() >= 50; });
+
+  bed.edge(0).beginRestart(release::Strategy::kHardRestart);
+  bed.edge(0).waitRestart();
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  load.stop();
+
+  uint64_t disruptions =
+      bed.metrics().counter("load.err_transport").value() +
+      bed.metrics().counter("load.err_timeout").value() +
+      bed.metrics().counter("load.err_http").value();
+  EXPECT_GE(disruptions, 1u);  // the host went dark: clients noticed
+}
+
+}  // namespace
+}  // namespace zdr::core

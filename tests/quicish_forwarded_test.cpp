@@ -1,0 +1,142 @@
+// Quicish robustness details the headline tests skip: forwarded-packet
+// wrapper hygiene, duplicate INITIALs, and draining-instance behaviour.
+#include <gtest/gtest.h>
+
+#include "quicish/client.h"
+#include "quicish/packet.h"
+#include "quicish/server.h"
+
+namespace zdr::quicish {
+namespace {
+
+void waitFor(const std::function<bool()>& pred, int ms = 3000) {
+  for (int i = 0; i < ms && !pred(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(pred());
+}
+
+TEST(QuicishWrapperTest, TruncatedWrapperRejected) {
+  std::array<std::byte, 3> tiny{};
+  tiny[0] = static_cast<std::byte>(PacketType::kForwarded);
+  EXPECT_FALSE(unwrapForwarded(tiny).has_value());
+}
+
+TEST(QuicishWrapperTest, WrongTypeByteRejected) {
+  Packet p;
+  p.type = PacketType::kData;
+  p.connId = 1;
+  std::string inner = encodeToString(p);
+  std::string wrapped = wrapForwarded(
+      std::as_bytes(std::span(inner.data(), inner.size())),
+      SocketAddr("127.0.0.1", 1234));
+  wrapped[0] = static_cast<char>(PacketType::kData);  // not kForwarded
+  EXPECT_FALSE(
+      unwrapForwarded(std::as_bytes(std::span(wrapped.data(), wrapped.size())))
+          .has_value());
+}
+
+TEST(QuicishWrapperTest, NestedWrapUnwrapIsIdentity) {
+  Packet p;
+  p.type = PacketType::kData;
+  p.connId = 0xDEAD;
+  p.seq = 7;
+  p.payload = "payload";
+  std::string inner = encodeToString(p);
+  SocketAddr src("10.1.2.3", 5555);
+  std::string w = wrapForwarded(
+      std::as_bytes(std::span(inner.data(), inner.size())), src);
+  auto u = unwrapForwarded(std::as_bytes(std::span(w.data(), w.size())));
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(u->origSource, src);
+  auto decoded = decode(
+      std::as_bytes(std::span(u->inner.data(), u->inner.size())));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->connId, 0xDEADu);
+  EXPECT_EQ(decoded->payload, "payload");
+}
+
+TEST(QuicishServerTest2, DuplicateInitialIsIdempotent) {
+  EventLoopThread loop;
+  std::unique_ptr<Server> server;
+  SocketAddr vip;
+  loop.runSync([&] {
+    server = std::make_unique<Server>(loop.loop(), SocketAddr::loopback(0),
+                                      Server::Options{}, nullptr);
+    vip = server->vip();
+  });
+  std::unique_ptr<ClientFlow> flow;
+  loop.runSync([&] {
+    flow = std::make_unique<ClientFlow>(loop.loop(), vip, 0xAA);
+    flow->sendInitial();
+    flow->sendInitial();  // retransmission
+    flow->sendInitial();
+  });
+  waitFor([&] {
+    uint64_t acks = 0;
+    loop.runSync([&] { acks = flow->acks(); });
+    return acks >= 3;
+  });
+  loop.runSync([&] {
+    EXPECT_EQ(server->flowCount(), 1u);  // one flow, not three
+    flow.reset();
+    server.reset();
+  });
+}
+
+TEST(QuicishServerTest2, DrainingInstanceResetsNewInitials) {
+  EventLoopThread loop;
+  std::unique_ptr<Server> server;
+  SocketAddr forwardAddr;
+  loop.runSync([&] {
+    server = std::make_unique<Server>(loop.loop(), SocketAddr::loopback(0),
+                                      Server::Options{}, nullptr);
+    forwardAddr = server->forwardAddr();
+    server->enterDrain();
+  });
+  // A stray INITIAL forwarded to the draining instance must be reset —
+  // new flows belong to the updated instance only (§4.1).
+  std::unique_ptr<ClientFlow> flow;
+  loop.runSync([&] {
+    // Send directly to the forward address, wrapped as user-space
+    // routing would.
+    flow = std::make_unique<ClientFlow>(loop.loop(), forwardAddr, 0xBB);
+  });
+  UdpSocket sender(SocketAddr::loopback(0));
+  Packet p;
+  p.type = PacketType::kInitial;
+  p.connId = 0xBB;
+  std::string inner = encodeToString(p);
+  std::string wrapped = wrapForwarded(
+      std::as_bytes(std::span(inner.data(), inner.size())),
+      sender.localAddr());
+  std::error_code ec;
+  sender.sendTo(std::as_bytes(std::span(wrapped.data(), wrapped.size())),
+                forwardAddr, ec);
+  ASSERT_FALSE(ec);
+
+  // The reset goes back to the ORIGINAL source (the sender socket).
+  std::array<std::byte, 256> buf;
+  SocketAddr from;
+  size_t n = 0;
+  bool got = false;
+  for (int i = 0; i < 1000; ++i) {
+    n = sender.recvFrom(buf, from, ec);
+    if (!ec) {
+      got = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(got);
+  auto reply = decode(std::span(buf.data(), n));
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, PacketType::kReset);
+  loop.runSync([&] {
+    flow.reset();
+    server.reset();
+  });
+}
+
+}  // namespace
+}  // namespace zdr::quicish

@@ -1,0 +1,271 @@
+// Quicish: packet codec, flow handling, and the §4.1 UDP restart paths
+// (naive SO_REUSEPORT rebind vs. fd-passing takeover with user-space
+// routing).
+#include <atomic>
+#include <gtest/gtest.h>
+
+#include "netcore/fd_passing.h"
+#include "quicish/client.h"
+#include "quicish/packet.h"
+#include "quicish/server.h"
+
+namespace zdr::quicish {
+namespace {
+
+void waitFor(const std::function<bool()>& pred, int ms = 3000) {
+  for (int i = 0; i < ms && !pred(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(pred());
+}
+
+TEST(QuicishPacketTest, RoundTrip) {
+  Packet p;
+  p.type = PacketType::kData;
+  p.connId = 0xABCDEF;
+  p.seq = 42;
+  p.instanceId = 7;
+  p.payload = "data";
+  std::string wire = encodeToString(p);
+  auto d = decode(std::as_bytes(std::span(wire.data(), wire.size())));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->connId, 0xABCDEFu);
+  EXPECT_EQ(d->seq, 42u);
+  EXPECT_EQ(d->instanceId, 7u);
+  EXPECT_EQ(d->payload, "data");
+}
+
+TEST(QuicishPacketTest, ShortDatagramRejected) {
+  std::array<std::byte, 4> tiny{};
+  EXPECT_FALSE(decode(tiny).has_value());
+}
+
+TEST(QuicishPacketTest, ForwardWrapperPreservesSource) {
+  Packet p;
+  p.type = PacketType::kData;
+  p.connId = 5;
+  std::string inner = encodeToString(p);
+  SocketAddr src("127.0.0.1", 45678);
+  std::string wrapped =
+      wrapForwarded(std::as_bytes(std::span(inner.data(), inner.size())), src);
+  auto unwrapped =
+      unwrapForwarded(std::as_bytes(std::span(wrapped.data(), wrapped.size())));
+  ASSERT_TRUE(unwrapped.has_value());
+  EXPECT_EQ(unwrapped->origSource, src);
+  EXPECT_EQ(unwrapped->inner, inner);
+}
+
+class QuicishServerTest : public ::testing::Test {
+ protected:
+  void makeServer(Server::Options opts) {
+    loop_.runSync([&] {
+      server_ = std::make_unique<Server>(loop_.loop(),
+                                         SocketAddr::loopback(0), opts,
+                                         &metrics_);
+      vip_ = server_->vip();
+    });
+  }
+  void TearDown() override {
+    loop_.runSync([&] {
+      flows_.clear();
+      server2_.reset();
+      server_.reset();
+    });
+  }
+
+  EventLoopThread loop_;
+  MetricsRegistry metrics_;
+  std::unique_ptr<Server> server_;
+  std::unique_ptr<Server> server2_;
+  std::vector<std::unique_ptr<ClientFlow>> flows_;
+  SocketAddr vip_;
+};
+
+TEST_F(QuicishServerTest, FlowOpensAndAcks) {
+  Server::Options opts;
+  opts.instanceId = 1;
+  makeServer(opts);
+
+  loop_.runSync([&] {
+    flows_.push_back(
+        std::make_unique<ClientFlow>(loop_.loop(), vip_, 0x99));
+    flows_[0]->sendInitial();
+  });
+  waitFor([&] {
+    uint64_t acks = 0;
+    loop_.runSync([&] { acks = flows_[0]->acks(); });
+    return acks >= 1;
+  });
+  loop_.runSync([&] {
+    EXPECT_EQ(server_->flowCount(), 1u);
+    EXPECT_EQ(flows_[0]->lastAckInstance(), 1u);
+    flows_[0]->sendData();
+  });
+  waitFor([&] {
+    uint64_t acks = 0;
+    loop_.runSync([&] { acks = flows_[0]->acks(); });
+    return acks >= 2;
+  });
+  EXPECT_EQ(server_->misrouted(), 0u);
+}
+
+TEST_F(QuicishServerTest, UnknownFlowDataIsMisrouteAndReset) {
+  Server::Options opts;
+  opts.instanceId = 2;
+  makeServer(opts);
+  loop_.runSync([&] {
+    flows_.push_back(
+        std::make_unique<ClientFlow>(loop_.loop(), vip_, 0x77));
+    flows_[0]->sendData();  // no INITIAL first
+  });
+  waitFor([&] {
+    uint64_t resets = 0;
+    loop_.runSync([&] { resets = flows_[0]->resets(); });
+    return resets >= 1;
+  });
+  EXPECT_GE(server_->misrouted(), 1u);
+}
+
+TEST_F(QuicishServerTest, CloseRemovesFlow) {
+  Server::Options opts;
+  makeServer(opts);
+  loop_.runSync([&] {
+    flows_.push_back(
+        std::make_unique<ClientFlow>(loop_.loop(), vip_, 0x55));
+    flows_[0]->sendInitial();
+  });
+  waitFor([&] {
+    size_t n = 0;
+    loop_.runSync([&] { n = server_->flowCount(); });
+    return n == 1;
+  });
+  loop_.runSync([&] { flows_[0]->sendClose(); });
+  waitFor([&] {
+    size_t n = 1;
+    loop_.runSync([&] { n = server_->flowCount(); });
+    return n == 0;
+  });
+}
+
+// Socket Takeover for UDP: the new instance adopts the same fds, the
+// socket ring is unchanged, and user-space routing hands old flows
+// back to the draining instance — zero mis-routes (§4.1).
+TEST_F(QuicishServerTest, TakeoverWithUserSpaceRoutingNoMisroutes) {
+  Server::Options oldOpts;
+  oldOpts.instanceId = 1;
+  oldOpts.numWorkers = 4;
+  makeServer(oldOpts);
+
+  // Establish flows against the old instance.
+  constexpr size_t kFlows = 16;
+  loop_.runSync([&] {
+    for (size_t i = 0; i < kFlows; ++i) {
+      flows_.push_back(std::make_unique<ClientFlow>(loop_.loop(), vip_,
+                                                    0x1000 + i));
+      flows_.back()->sendInitial();
+    }
+  });
+  waitFor([&] {
+    size_t n = 0;
+    loop_.runSync([&] { n = server_->flowCount(); });
+    return n == kFlows;
+  });
+
+  // Takeover: dup the fds (as SCM_RIGHTS would) into a new instance.
+  loop_.runSync([&] {
+    std::vector<FdGuard> dups;
+    for (int fd : server_->vipSocketFds()) {
+      int d = ::dup(fd);
+      ASSERT_GE(d, 0);
+      dups.emplace_back(d);
+    }
+    Server::Options newOpts;
+    newOpts.instanceId = 2;
+    newOpts.userSpaceRouting = true;
+    server2_ = std::make_unique<Server>(loop_.loop(), std::move(dups),
+                                        newOpts, &metrics_);
+    server2_->setForwardPeer(server_->forwardAddr());
+    server_->enterDrain();  // old stops reading the shared sockets
+  });
+
+  // Existing flows keep sending; the new instance must forward them.
+  uint64_t acksBefore = 0;
+  loop_.runSync([&] {
+    for (auto& f : flows_) {
+      acksBefore += f->acks();
+    }
+  });
+  for (int round = 0; round < 5; ++round) {
+    loop_.runSync([&] {
+      for (auto& f : flows_) {
+        f->sendData();
+      }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  waitFor([&] {
+    uint64_t acks = 0;
+    loop_.runSync([&] {
+      for (auto& f : flows_) {
+        acks += f->acks();
+      }
+    });
+    return acks >= acksBefore + 5 * kFlows;
+  });
+
+  uint64_t resets = 0;
+  loop_.runSync([&] {
+    for (auto& f : flows_) {
+      resets += f->resets();
+      // Every post-drain ACK must come from the OLD instance (1): its
+      // flow state served the forwarded packets.
+      EXPECT_EQ(f->lastAckInstance(), 1u);
+    }
+  });
+  EXPECT_EQ(resets, 0u);
+  EXPECT_EQ(server2_->misrouted(), 0u);
+  EXPECT_GE(server2_->forwarded(), 5 * kFlows);
+}
+
+// The same takeover but WITHOUT user-space routing: every packet of an
+// old flow that lands on the new instance is mis-routed (Fig 10's
+// "traditional" line).
+TEST_F(QuicishServerTest, TakeoverWithoutRoutingMisroutes) {
+  Server::Options oldOpts;
+  oldOpts.instanceId = 1;
+  makeServer(oldOpts);
+
+  loop_.runSync([&] {
+    flows_.push_back(
+        std::make_unique<ClientFlow>(loop_.loop(), vip_, 0x42));
+    flows_[0]->sendInitial();
+  });
+  waitFor([&] {
+    size_t n = 0;
+    loop_.runSync([&] { n = server_->flowCount(); });
+    return n == 1;
+  });
+
+  loop_.runSync([&] {
+    std::vector<FdGuard> dups;
+    for (int fd : server_->vipSocketFds()) {
+      dups.emplace_back(::dup(fd));
+    }
+    Server::Options newOpts;
+    newOpts.instanceId = 2;
+    newOpts.userSpaceRouting = false;
+    server2_ = std::make_unique<Server>(loop_.loop(), std::move(dups),
+                                        newOpts, &metrics_);
+    server_->enterDrain();
+  });
+
+  loop_.runSync([&] { flows_[0]->sendData(); });
+  waitFor([&] {
+    uint64_t m = 0;
+    loop_.runSync([&] { m = server2_->misrouted(); });
+    return m >= 1;
+  });
+}
+
+}  // namespace
+}  // namespace zdr::quicish

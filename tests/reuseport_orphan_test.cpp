@@ -1,0 +1,114 @@
+// §5.1 fault injection: "if the newly spun process erroneously ignores
+// any of the received FDs … the orphaned sockets are still kept alive
+// in the Kernel layer and hence receive their share of incoming
+// packets and new connections — which only sit idle on their queues
+// and never get processed."
+//
+// We reproduce the black-hole with SO_REUSEPORT UDP sockets (the
+// kernel spreads datagrams deterministically across ring members) and
+// show that closing the orphan restores full delivery.
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "netcore/fd_passing.h"
+#include "netcore/socket.h"
+
+namespace zdr {
+namespace {
+
+// Sends `flows` datagrams tagged with `tag` from distinct source
+// ports.
+void sendFlows(const SocketAddr& vip, int flows, char tag) {
+  std::vector<UdpSocket> senders;
+  std::string payload(1, tag);
+  for (int i = 0; i < flows; ++i) {
+    senders.emplace_back(SocketAddr::loopback(0));
+    std::error_code ec;
+    senders.back().sendTo(
+        std::as_bytes(std::span(payload.data(), payload.size())), vip, ec);
+  }
+}
+
+// Drains `sock` until it stays quiet; returns how many datagrams
+// carried `tag` (earlier phases' residue is ignored).
+size_t drainCount(UdpSocket& sock, char tag) {
+  size_t received = 0;
+  int quietMs = 0;
+  while (quietMs < 100) {
+    std::array<std::byte, 64> buf;
+    SocketAddr from;
+    std::error_code ec;
+    size_t n = sock.recvFrom(buf, from, ec);
+    if (ec) {
+      usleep(5000);
+      quietMs += 5;
+      continue;
+    }
+    quietMs = 0;
+    if (n >= 1 && static_cast<char>(buf[0]) == tag) {
+      ++received;
+    }
+  }
+  return received;
+}
+
+TEST(ReuseportOrphanTest, OrphanedSocketBlackHolesItsShare) {
+  BindOptions opts;
+  opts.reusePort = true;
+  UdpSocket a(SocketAddr::loopback(0), opts);
+  SocketAddr vip = a.localAddr();
+  auto b = std::make_unique<UdpSocket>(vip, opts);  // second ring member
+
+  constexpr int kFlows = 64;
+
+  // Healthy takeover: the receiver reads BOTH ring members → all
+  // delivered, and the kernel really does split the flows.
+  sendFlows(vip, kFlows, '1');
+  size_t viaA = drainCount(a, '1');
+  size_t viaB = drainCount(*b, '1');
+  EXPECT_EQ(viaA + viaB, static_cast<size_t>(kFlows));
+  EXPECT_GT(viaA, 0u);
+  EXPECT_GT(viaB, 0u);
+
+  // Orphan scenario: `b` exists in the kernel but nobody reads it.
+  // Its share of the new flows never reaches the application.
+  sendFlows(vip, kFlows, '2');
+  size_t aOnly = drainCount(a, '2');
+  EXPECT_LT(aOnly, static_cast<size_t>(kFlows));
+  EXPECT_GT(aOnly, 0u);
+
+  // Remediation (§5.1): close the orphan; the ring collapses onto `a`
+  // and delivery is whole again.
+  b.reset();
+  sendFlows(vip, kFlows, '3');
+  size_t afterClose = drainCount(a, '3');
+  EXPECT_EQ(afterClose, static_cast<size_t>(kFlows));
+}
+
+TEST(ReuseportOrphanTest, RecvFdsAlwaysWrapsDescriptors) {
+  // The API-level guard against the leak: every received fd arrives as
+  // an owning FdGuard; dropping the result closes them.
+  auto [send, recv] = unixSocketPair();
+  int pipefds[2];
+  ASSERT_EQ(::pipe(pipefds), 0);
+  FdGuard r(pipefds[0]);
+  FdGuard w(pipefds[1]);
+  int raw[] = {r.get(), w.get()};
+  ASSERT_FALSE(sendFdsMsg(send.fd(), "two", raw));
+
+  int received0 = -1;
+  {
+    std::string payload;
+    std::vector<FdGuard> fds;
+    ASSERT_FALSE(recvFdsMsg(recv.fd(), payload, fds));
+    ASSERT_EQ(fds.size(), 2u);
+    received0 = fds[0].get();
+    // Scope exit: both received fds are closed automatically.
+  }
+  EXPECT_EQ(::fcntl(received0, F_GETFD), -1);  // no orphan survives
+}
+
+}  // namespace
+}  // namespace zdr

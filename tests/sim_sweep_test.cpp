@@ -1,0 +1,121 @@
+// Property sweeps over the fleet simulator: the relationships the
+// paper states must hold at every parameter point, not just the ones
+// plotted.
+#include <gtest/gtest.h>
+
+#include "sim/fleet_sim.h"
+
+namespace zdr::sim {
+namespace {
+
+double minServing(const std::vector<CapacitySample>& s) {
+  double m = 1;
+  for (const auto& x : s) {
+    m = std::min(m, x.servingFraction);
+  }
+  return m;
+}
+
+class BatchFractionSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BatchFractionSweep, HardRestartCapacityLossEqualsBatch) {
+  CapacitySimParams p;
+  p.zdr = false;
+  p.batchFraction = GetParam();
+  auto samples = simulateRollingCapacity(p);
+  // Fig 3a/8b invariant: the dip equals the batch fraction (to within
+  // rounding of hosts-per-batch).
+  EXPECT_NEAR(minServing(samples), 1.0 - GetParam(), 0.011);
+}
+
+TEST_P(BatchFractionSweep, ZdrNeverDipsBelowNinetySeven) {
+  CapacitySimParams p;
+  p.zdr = true;
+  p.batchFraction = GetParam();
+  auto samples = simulateRollingCapacity(p);
+  EXPECT_EQ(minServing(samples), 1.0);
+  for (const auto& s : samples) {
+    EXPECT_GE(s.idleCpuFraction, 0.97);  // 50% batch × spike hits 0.97
+  }
+}
+
+TEST_P(BatchFractionSweep, ZdrReleaseFinishesFasterOrEqual) {
+  CapacitySimParams hard;
+  hard.zdr = false;
+  hard.batchFraction = GetParam();
+  CapacitySimParams zdr = hard;
+  zdr.zdr = true;
+  // ZDR skips the dark boot window per batch ⇒ never slower.
+  EXPECT_LE(simulateRollingCapacity(zdr).back().tSeconds,
+            simulateRollingCapacity(hard).back().tSeconds);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, BatchFractionSweep,
+                         ::testing::Values(0.05, 0.10, 0.15, 0.20, 0.33,
+                                           0.50),
+                         [](const auto& info) {
+                           return "pct" + std::to_string(static_cast<int>(
+                                              info.param * 100));
+                         });
+
+class DrainSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DrainSweep, CompletionScalesWithDrain) {
+  CompletionSimParams p;
+  p.drainSeconds = GetParam();
+  p.batchJitterSeconds = 0;
+  auto r = simulateGlobalRelease(p);
+  // 5 batches at 20%: completion ≥ 5 × drain.
+  EXPECT_GE(r.medianMinutes * 60.0, 5 * GetParam());
+  // And bounded: drains + boots + gaps only.
+  EXPECT_LE(r.medianMinutes * 60.0,
+            5 * (GetParam() + p.bootSeconds) + 4 * p.interBatchGapSeconds + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Drains, DrainSweep,
+                         ::testing::Values(15.0, 60.0, 300.0, 1200.0),
+                         [](const auto& info) {
+                           return "drain" + std::to_string(static_cast<int>(
+                                                info.param));
+                         });
+
+TEST(ReconnectSweepTest, MonotoneInEveryParameter) {
+  ReconnectCpuParams base;
+  double f = reconnectCpuFraction(base);
+  auto bumped = [&](auto mutate) {
+    ReconnectCpuParams p = base;
+    mutate(p);
+    return reconnectCpuFraction(p);
+  };
+  EXPECT_GT(bumped([](auto& p) { p.proxyFractionRestarted *= 2; }), f);
+  EXPECT_GT(bumped([](auto& p) { p.connectionsPerProxy *= 2; }), f);
+  EXPECT_GT(bumped([](auto& p) { p.handshakeCpuSeconds *= 2; }), f);
+  EXPECT_LT(bumped([](auto& p) { p.appTierCpuCapacity *= 2; }), f);
+  EXPECT_LT(bumped([](auto& p) { p.reconnectWindowSeconds *= 2; }), f);
+}
+
+TEST(ScheduleSweepTest, SeedsChangeSamplesNotShape) {
+  auto a = simulateRestartHourPdf(SchedulePolicy::kPeakHours, 20000, 1);
+  auto b = simulateRestartHourPdf(SchedulePolicy::kPeakHours, 20000, 2);
+  double massA = 0;
+  double massB = 0;
+  for (int h = 12; h <= 17; ++h) {
+    massA += a[static_cast<size_t>(h)];
+    massB += b[static_cast<size_t>(h)];
+  }
+  EXPECT_GT(massA, 0.8);
+  EXPECT_GT(massB, 0.8);
+  EXPECT_NE(a, b);  // different seeds → different samples
+}
+
+TEST(TailLatencySweepTest, MonotoneInCapacityLoss) {
+  double last = 0;
+  for (double cap : {1.0, 0.95, 0.9, 0.85, 0.8}) {
+    double infl = tailLatencyInflation(0.7, cap);
+    EXPECT_GE(infl, last);
+    last = infl;
+  }
+}
+
+}  // namespace
+}  // namespace zdr::sim

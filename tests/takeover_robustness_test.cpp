@@ -1,0 +1,140 @@
+// Takeover protocol robustness: hostile/garbled peers must never crash
+// the serving instance or trick it into draining (§5.1: a failed
+// release must not reduce availability).
+#include <unistd.h>
+
+#include <atomic>
+#include <gtest/gtest.h>
+
+#include "netcore/fd_passing.h"
+#include "takeover/takeover.h"
+
+namespace zdr::takeover {
+namespace {
+
+std::string uniquePath(const std::string& tag) {
+  static std::atomic<int> counter{0};
+  return "/tmp/zdr_robust_" + tag + "_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+class RobustnessTest : public ::testing::Test {
+ protected:
+  void armServer(const std::string& path) {
+    loop_.runSync([&] {
+      server_ = std::make_unique<TakeoverServer>(
+          loop_.loop(), path,
+          [&](std::vector<int>& fds) {
+            Inventory inv;
+            inv.sockets.push_back(
+                {"http", Proto::kTcp, SocketAddr("127.0.0.1", 1)});
+            fds.push_back(0);  // stdin as a stand-in fd
+            return inv;
+          },
+          [&] { drained_.store(true); });
+    });
+  }
+  void TearDown() override {
+    loop_.runSync([&] { server_.reset(); });
+  }
+
+  EventLoopThread loop_;
+  std::unique_ptr<TakeoverServer> server_;
+  std::atomic<bool> drained_{false};
+};
+
+TEST_F(RobustnessTest, GarbageInsteadOfRequestAborts) {
+  auto path = uniquePath("garbage");
+  armServer(path);
+  std::error_code ec;
+  UnixSocket peer = UnixSocket::connect(path, ec);
+  ASSERT_FALSE(ec);
+  const std::string garbage("\x00\xff\x13garbage", 11);  // embedded NUL
+  ASSERT_FALSE(sendFdsMsg(peer.fd(), garbage, {}));
+  for (int i = 0; i < 500; ++i) {
+    bool aborted = false;
+    loop_.runSync([&] { aborted = server_->handoffAborted(); });
+    if (aborted) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  bool aborted = false;
+  loop_.runSync([&] { aborted = server_->handoffAborted(); });
+  EXPECT_TRUE(aborted);
+  EXPECT_FALSE(drained_.load());  // never tricked into draining
+}
+
+TEST_F(RobustnessTest, AckWithoutRequestAborts) {
+  auto path = uniquePath("earlyack");
+  armServer(path);
+  std::error_code ec;
+  UnixSocket peer = UnixSocket::connect(path, ec);
+  ASSERT_FALSE(ec);
+  // ACK without ever requesting the inventory: protocol violation.
+  ASSERT_FALSE(sendFdsMsg(peer.fd(), encodeAck(), {}));
+  for (int i = 0; i < 500; ++i) {
+    bool aborted = false;
+    loop_.runSync([&] { aborted = server_->handoffAborted(); });
+    if (aborted) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_FALSE(drained_.load());
+}
+
+TEST_F(RobustnessTest, PeerHangupMidHandshakeAborts) {
+  auto path = uniquePath("hangup");
+  armServer(path);
+  std::error_code ec;
+  {
+    UnixSocket peer = UnixSocket::connect(path, ec);
+    ASSERT_FALSE(ec);
+    ASSERT_FALSE(sendFdsMsg(peer.fd(), encodeRequest(), {}));
+    // Read the inventory, then vanish without ACKing.
+    std::string payload;
+    std::vector<FdGuard> fds;
+    ASSERT_FALSE(recvFdsMsg(peer.fd(), payload, fds));
+  }  // RAII hangup
+  for (int i = 0; i < 1000; ++i) {
+    bool aborted = false;
+    loop_.runSync([&] { aborted = server_->handoffAborted(); });
+    if (aborted) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  bool aborted = false;
+  loop_.runSync([&] { aborted = server_->handoffAborted(); });
+  EXPECT_TRUE(aborted);
+  EXPECT_FALSE(drained_.load());
+}
+
+TEST_F(RobustnessTest, DecodeInventoryFuzzSurvives) {
+  // decodeInventory must reject, never crash, on arbitrary prefixes of
+  // a valid message and on bit-flipped variants.
+  Inventory inv;
+  inv.sockets.push_back({"http", Proto::kTcp, SocketAddr("127.0.0.1", 80)});
+  inv.sockets.push_back({"quic0", Proto::kUdp, SocketAddr("127.0.0.1", 443)});
+  inv.hasUdpForwardAddr = true;
+  inv.udpForwardAddr = SocketAddr("127.0.0.1", 9000);
+  std::string wire = encodeInventory(inv);
+
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    auto r = decodeInventory(wire.substr(0, cut));
+    // Either rejected or a valid (possibly shorter) inventory — but no
+    // crash and no wild sockets count.
+    if (r) {
+      EXPECT_LE(r->sockets.size(), 2u);
+    }
+  }
+  for (size_t flip = 0; flip < wire.size(); flip += 3) {
+    std::string mutated = wire;
+    mutated[flip] = static_cast<char>(mutated[flip] ^ 0x5a);
+    (void)decodeInventory(mutated);  // must not crash
+  }
+}
+
+}  // namespace
+}  // namespace zdr::takeover

@@ -1,0 +1,213 @@
+// Socket Takeover protocol: inventory codec, full handshake, fault
+// paths (§4.1, §5.1).
+#include <unistd.h>
+
+#include <atomic>
+#include <gtest/gtest.h>
+
+#include "netcore/connection.h"
+#include "netcore/fd_passing.h"
+#include "takeover/protocol.h"
+#include "takeover/takeover.h"
+
+namespace zdr::takeover {
+namespace {
+
+std::string uniquePath(const std::string& tag) {
+  static std::atomic<int> counter{0};
+  return "/tmp/zdr_takeover_test_" + tag + "_" +
+         std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+TEST(TakeoverProtocolTest, InventoryRoundTrip) {
+  Inventory inv;
+  inv.sockets.push_back(
+      {"http", Proto::kTcp, SocketAddr("127.0.0.1", 8080)});
+  inv.sockets.push_back(
+      {"quic0", Proto::kUdp, SocketAddr("127.0.0.1", 8443)});
+  inv.hasUdpForwardAddr = true;
+  inv.udpForwardAddr = SocketAddr("127.0.0.1", 9999);
+
+  auto decoded = decodeInventory(encodeInventory(inv));
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->sockets.size(), 2u);
+  EXPECT_EQ(decoded->sockets[0].vipName, "http");
+  EXPECT_EQ(decoded->sockets[0].proto, Proto::kTcp);
+  EXPECT_EQ(decoded->sockets[0].addr.port(), 8080);
+  EXPECT_EQ(decoded->sockets[1].proto, Proto::kUdp);
+  EXPECT_TRUE(decoded->hasUdpForwardAddr);
+  EXPECT_EQ(decoded->udpForwardAddr.port(), 9999);
+}
+
+TEST(TakeoverProtocolTest, EmptyInventoryRoundTrip) {
+  Inventory inv;
+  auto decoded = decodeInventory(encodeInventory(inv));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->sockets.empty());
+  EXPECT_FALSE(decoded->hasUdpForwardAddr);
+}
+
+TEST(TakeoverProtocolTest, GarbageRejected) {
+  EXPECT_FALSE(decodeInventory("not an inventory").has_value());
+  EXPECT_FALSE(decodeInventory("").has_value());
+}
+
+TEST(TakeoverProtocolTest, RequestAndAckMarkers) {
+  EXPECT_TRUE(isRequest(encodeRequest()));
+  EXPECT_TRUE(isAck(encodeAck()));
+  EXPECT_FALSE(isRequest(encodeAck()));
+  EXPECT_FALSE(isAck(encodeRequest()));
+}
+
+class TakeoverHandshakeTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    loop_.runSync([&] { server_.reset(); });
+    if (!path_.empty()) {
+      ::unlink(path_.c_str());
+    }
+  }
+
+  EventLoopThread loop_;
+  std::unique_ptr<TakeoverServer> server_;
+  std::string path_;
+};
+
+TEST_F(TakeoverHandshakeTest, FullHandshakePassesListeningSocket) {
+  path_ = uniquePath("full");
+  TcpListener vipListener(SocketAddr::loopback(0));
+  SocketAddr vip = vipListener.localAddr();
+  std::atomic<bool> drained{false};
+
+  loop_.runSync([&] {
+    server_ = std::make_unique<TakeoverServer>(
+        loop_.loop(), path_,
+        [&](std::vector<int>& fds) {
+          Inventory inv;
+          inv.sockets.push_back({"http", Proto::kTcp, vip});
+          fds.push_back(vipListener.fd());
+          return inv;
+        },
+        [&] { drained.store(true); });
+  });
+
+  // The "new process": blocking takeover on this (driver) thread.
+  std::error_code ec;
+  auto result = TakeoverClient::takeover(path_, ec);
+  ASSERT_TRUE(result.has_value()) << ec.message();
+  ASSERT_EQ(result->sockets.size(), 1u);
+  EXPECT_EQ(result->sockets[0].desc.vipName, "http");
+
+  for (int i = 0; i < 2000 && !drained.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(drained.load());
+
+  // The adopted fd accepts a live connection even after the old
+  // listener closes.
+  vipListener.close();
+  TcpListener adopted =
+      TcpListener::fromFd(std::move(result->sockets[0].fd));
+  TcpSocket client = TcpSocket::connect(vip, ec);
+  ASSERT_FALSE(ec);
+  std::optional<TcpSocket> accepted;
+  for (int i = 0; i < 2000 && !accepted; ++i) {
+    accepted = adopted.accept(ec);
+    if (!accepted) {
+      usleep(1000);
+    }
+  }
+  EXPECT_TRUE(accepted.has_value());
+}
+
+TEST_F(TakeoverHandshakeTest, SecondSuitorIsNacked) {
+  path_ = uniquePath("nack");
+  std::atomic<bool> drained{false};
+  loop_.runSync([&] {
+    server_ = std::make_unique<TakeoverServer>(
+        loop_.loop(), path_,
+        [&](std::vector<int>&) { return Inventory{}; },
+        [&] { drained.store(true); });
+  });
+
+  // First client holds the slot open by connecting without finishing.
+  std::error_code ec;
+  UnixSocket first = UnixSocket::connect(path_, ec);
+  ASSERT_FALSE(ec);
+  ASSERT_FALSE(sendFdsMsg(first.fd(), encodeRequest(), {}));
+  // Wait for the server to process the request (inventory reply).
+  std::string payload;
+  std::vector<FdGuard> fds;
+  ASSERT_FALSE(recvFdsMsg(first.fd(), payload, fds));
+
+  // Second client must be refused.
+  auto second = TakeoverClient::takeover(path_, ec);
+  EXPECT_FALSE(second.has_value());
+  EXPECT_EQ(ec, std::errc::device_or_resource_busy);
+
+  // The first handshake can still complete.
+  ASSERT_FALSE(sendFdsMsg(first.fd(), encodeAck(), {}));
+  for (int i = 0; i < 2000 && !drained.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(drained.load());
+}
+
+TEST_F(TakeoverHandshakeTest, MissingAckAbortsAndKeepsServing) {
+  path_ = uniquePath("noack");
+  std::atomic<bool> drained{false};
+  loop_.runSync([&] {
+    TakeoverServer::Options opts;
+    opts.ackTimeout = Duration{100};
+    server_ = std::make_unique<TakeoverServer>(
+        loop_.loop(), path_,
+        [&](std::vector<int>&) { return Inventory{}; },
+        [&] { drained.store(true); }, opts);
+  });
+
+  std::error_code ec;
+  UnixSocket client = UnixSocket::connect(path_, ec);
+  ASSERT_FALSE(ec);
+  ASSERT_FALSE(sendFdsMsg(client.fd(), encodeRequest(), {}));
+  std::string payload;
+  std::vector<FdGuard> fds;
+  ASSERT_FALSE(recvFdsMsg(client.fd(), payload, fds));
+  // Never ACK. The server must abort the handoff, not drain.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  bool aborted = false;
+  loop_.runSync([&] { aborted = server_->handoffAborted(); });
+  EXPECT_TRUE(aborted);
+  EXPECT_FALSE(drained.load());
+}
+
+TEST_F(TakeoverHandshakeTest, ClientFailsCleanlyWhenNoServer) {
+  std::error_code ec;
+  auto result = TakeoverClient::takeover(
+      "/tmp/zdr_definitely_missing.sock", ec);
+  EXPECT_FALSE(result.has_value());
+  EXPECT_TRUE(ec);
+}
+
+TEST_F(TakeoverHandshakeTest, FdCountMismatchRejected) {
+  path_ = uniquePath("mismatch");
+  loop_.runSync([&] {
+    server_ = std::make_unique<TakeoverServer>(
+        loop_.loop(), path_,
+        [&](std::vector<int>&) {
+          // Claims one socket but passes zero fds.
+          Inventory inv;
+          inv.sockets.push_back(
+              {"http", Proto::kTcp, SocketAddr("127.0.0.1", 1)});
+          return inv;
+        },
+        [] {});
+  });
+  std::error_code ec;
+  auto result = TakeoverClient::takeover(path_, ec);
+  EXPECT_FALSE(result.has_value());
+  EXPECT_EQ(ec, std::errc::protocol_error);
+}
+
+}  // namespace
+}  // namespace zdr::takeover

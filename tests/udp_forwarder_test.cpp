@@ -1,0 +1,172 @@
+// Katran-model UDP forwarding: consistent routing, NAT return path,
+// flow pinning and reaping.
+#include <atomic>
+#include <gtest/gtest.h>
+
+#include "l4lb/udp_forwarder.h"
+#include "quicish/client.h"
+#include "quicish/server.h"
+
+namespace zdr::l4lb {
+namespace {
+
+void waitFor(const std::function<bool()>& pred, int ms = 3000) {
+  for (int i = 0; i < ms && !pred(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(pred());
+}
+
+class UdpForwarderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    loop_.runSync([&] {
+      // Two quicish servers as backends.
+      quicish::Server::Options so;
+      so.instanceId = 1;
+      so.numWorkers = 1;
+      s1_ = std::make_unique<quicish::Server>(
+          loop_.loop(), SocketAddr::loopback(0), so, nullptr);
+      so.instanceId = 2;
+      s2_ = std::make_unique<quicish::Server>(
+          loop_.loop(), SocketAddr::loopback(0), so, nullptr);
+
+      UdpForwarder::Options fo;
+      fo.flowIdleTimeout = Duration{500};
+      forwarder_ = std::make_unique<UdpForwarder>(
+          loop_.loop(), SocketAddr::loopback(0),
+          std::vector<UdpForwarder::Backend>{{"s1", s1_->vip()},
+                                             {"s2", s2_->vip()}},
+          fo, &metrics_);
+      vip_ = forwarder_->vip();
+    });
+  }
+  void TearDown() override {
+    loop_.runSync([&] {
+      flows_.clear();
+      forwarder_.reset();
+      s1_.reset();
+      s2_.reset();
+    });
+  }
+
+  EventLoopThread loop_;
+  MetricsRegistry metrics_;
+  std::unique_ptr<quicish::Server> s1_;
+  std::unique_ptr<quicish::Server> s2_;
+  std::unique_ptr<UdpForwarder> forwarder_;
+  std::vector<std::unique_ptr<quicish::ClientFlow>> flows_;
+  SocketAddr vip_;
+};
+
+TEST_F(UdpForwarderTest, RoundTripThroughVip) {
+  loop_.runSync([&] {
+    flows_.push_back(
+        std::make_unique<quicish::ClientFlow>(loop_.loop(), vip_, 0x11));
+    flows_[0]->sendInitial();
+  });
+  waitFor([&] {
+    uint64_t acks = 0;
+    loop_.runSync([&] { acks = flows_[0]->acks(); });
+    return acks >= 1;
+  });
+  loop_.runSync([&] {
+    EXPECT_EQ(forwarder_->flowCount(), 1u);
+    EXPECT_GE(forwarder_->forwarded(), 1u);
+    EXPECT_GE(forwarder_->returned(), 1u);
+  });
+}
+
+TEST_F(UdpForwarderTest, FlowsStickToOneBackend) {
+  loop_.runSync([&] {
+    flows_.push_back(
+        std::make_unique<quicish::ClientFlow>(loop_.loop(), vip_, 0x22));
+    flows_[0]->sendInitial();
+  });
+  waitFor([&] {
+    uint64_t acks = 0;
+    loop_.runSync([&] { acks = flows_[0]->acks(); });
+    return acks >= 1;
+  });
+  uint32_t firstInstance = 0;
+  loop_.runSync([&] { firstInstance = flows_[0]->lastAckInstance(); });
+
+  for (int i = 0; i < 10; ++i) {
+    loop_.runSync([&] { flows_[0]->sendData(); });
+  }
+  waitFor([&] {
+    uint64_t acks = 0;
+    loop_.runSync([&] { acks = flows_[0]->acks(); });
+    return acks >= 11;
+  });
+  loop_.runSync([&] {
+    // Every datagram of the flow reached the same backend: the flow's
+    // state lives there, so zero resets.
+    EXPECT_EQ(flows_[0]->lastAckInstance(), firstInstance);
+    EXPECT_EQ(flows_[0]->resets(), 0u);
+  });
+}
+
+TEST_F(UdpForwarderTest, ManyFlowsSpreadAcrossBackends) {
+  constexpr size_t kFlows = 64;
+  loop_.runSync([&] {
+    for (size_t i = 0; i < kFlows; ++i) {
+      flows_.push_back(std::make_unique<quicish::ClientFlow>(
+          loop_.loop(), vip_, 0x100 + i));
+      flows_.back()->sendInitial();
+    }
+  });
+  waitFor([&] {
+    uint64_t acks = 0;
+    loop_.runSync([&] {
+      acks = 0;
+      for (auto& f : flows_) {
+        acks += f->acks();
+      }
+    });
+    return acks >= kFlows;
+  });
+  loop_.runSync([&] {
+    EXPECT_GT(s1_->flowCount(), 0u);
+    EXPECT_GT(s2_->flowCount(), 0u);
+    EXPECT_EQ(s1_->flowCount() + s2_->flowCount(), kFlows);
+  });
+}
+
+TEST_F(UdpForwarderTest, IdleFlowsReaped) {
+  loop_.runSync([&] {
+    flows_.push_back(
+        std::make_unique<quicish::ClientFlow>(loop_.loop(), vip_, 0x33));
+    flows_[0]->sendInitial();
+  });
+  waitFor([&] {
+    size_t n = 0;
+    loop_.runSync([&] { n = forwarder_->flowCount(); });
+    return n == 1;
+  });
+  // flowIdleTimeout = 500ms; reap tick = 1s.
+  waitFor(
+      [&] {
+        size_t n = 1;
+        loop_.runSync([&] { n = forwarder_->flowCount(); });
+        return n == 0;
+      },
+      4000);
+}
+
+TEST_F(UdpForwarderTest, NoBackendsDropsSilently) {
+  loop_.runSync([&] { forwarder_->setBackends({}); });
+  loop_.runSync([&] {
+    flows_.push_back(
+        std::make_unique<quicish::ClientFlow>(loop_.loop(), vip_, 0x44));
+    flows_[0]->sendInitial();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  loop_.runSync([&] {
+    EXPECT_EQ(flows_[0]->acks(), 0u);
+    EXPECT_EQ(forwarder_->flowCount(), 0u);
+  });
+}
+
+}  // namespace
+}  // namespace zdr::l4lb

@@ -1,0 +1,175 @@
+// Upstream connection pool: reuse, hygiene, idle reaping.
+#include <atomic>
+#include <gtest/gtest.h>
+
+#include "appserver/app_server.h"
+#include "http/client.h"
+#include "proxygen/upstream_pool.h"
+
+namespace zdr::proxygen {
+namespace {
+
+void waitFor(const std::function<bool()>& pred, int ms = 3000) {
+  for (int i = 0; i < ms && !pred(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(pred());
+}
+
+class UpstreamPoolTest : public ::testing::Test {
+ protected:
+  UpstreamPoolTest() {
+    loop_.runSync([&] {
+      server_ = std::make_unique<appserver::AppServer>(
+          loop_.loop(), SocketAddr::loopback(0),
+          appserver::AppServer::Options{}, nullptr);
+      addr_ = server_->localAddr();
+      UpstreamPool::Options po;
+      po.idleTimeout = Duration{300};
+      pool_ = std::make_unique<UpstreamPool>(loop_.loop(), po, nullptr);
+    });
+  }
+  ~UpstreamPoolTest() override {
+    loop_.runSync([&] {
+      pool_.reset();
+      server_.reset();
+    });
+  }
+
+  // Acquires synchronously (from the test thread's perspective).
+  ConnectionPtr acquire(bool& reused) {
+    ConnectionPtr result;
+    std::atomic<bool> done{false};
+    std::error_code ecOut;
+    loop_.runSync([&] {
+      pool_->acquire("app", addr_,
+                     [&](ConnectionPtr conn, std::error_code ec, bool r) {
+                       result = std::move(conn);
+                       ecOut = ec;
+                       reused = r;
+                       done.store(true);
+                     });
+    });
+    waitFor([&] { return done.load(); });
+    EXPECT_FALSE(ecOut);
+    return result;
+  }
+
+  EventLoopThread loop_;
+  std::unique_ptr<appserver::AppServer> server_;
+  std::unique_ptr<UpstreamPool> pool_;
+  SocketAddr addr_;
+};
+
+TEST_F(UpstreamPoolTest, FreshConnectionOnEmptyPool) {
+  bool reused = true;
+  auto conn = acquire(reused);
+  ASSERT_TRUE(conn);
+  EXPECT_FALSE(reused);
+  EXPECT_FALSE(conn->started());
+  EXPECT_EQ(pool_->misses(), 1u);
+  loop_.runSync([&] { conn->close({}); });
+}
+
+TEST_F(UpstreamPoolTest, ReleaseThenAcquireReuses) {
+  bool reused = false;
+  auto conn = acquire(reused);
+  ASSERT_TRUE(conn);
+  loop_.runSync([&] {
+    conn->start();
+    pool_->release("app", conn);
+    EXPECT_EQ(pool_->idleCount("app"), 1u);
+  });
+  bool reused2 = false;
+  auto conn2 = acquire(reused2);
+  EXPECT_TRUE(reused2);
+  EXPECT_EQ(conn2.get(), conn.get());
+  EXPECT_EQ(pool_->hits(), 1u);
+  loop_.runSync([&] { conn2->close({}); });
+}
+
+TEST_F(UpstreamPoolTest, PeerCloseEvictsParkedConnection) {
+  bool reused = false;
+  auto conn = acquire(reused);
+  loop_.runSync([&] {
+    conn->start();
+    pool_->release("app", conn);
+  });
+  // Kill the server: the parked connection sees EOF and self-evicts.
+  loop_.runSync([&] { server_->terminate(); });
+  waitFor([&] {
+    size_t n = 1;
+    loop_.runSync([&] { n = pool_->idleCount("app"); });
+    return n == 0;
+  });
+}
+
+TEST_F(UpstreamPoolTest, IdleTimeoutReaps) {
+  bool reused = false;
+  auto conn = acquire(reused);
+  loop_.runSync([&] {
+    conn->start();
+    pool_->release("app", conn);
+  });
+  // idleTimeout is 300ms; reaper ticks every second.
+  waitFor(
+      [&] {
+        size_t n = 1;
+        loop_.runSync([&] { n = pool_->idleCount("app"); });
+        return n == 0;
+      },
+      3000);
+}
+
+TEST_F(UpstreamPoolTest, CapacityBoundDropsExtras) {
+  std::vector<ConnectionPtr> conns;
+  for (int i = 0; i < 10; ++i) {
+    bool reused = false;
+    auto c = acquire(reused);
+    ASSERT_TRUE(c);
+    loop_.runSync([&] { c->start(); });
+    conns.push_back(std::move(c));
+  }
+  loop_.runSync([&] {
+    for (auto& c : conns) {
+      pool_->release("app", c);
+    }
+    EXPECT_LE(pool_->idleCount("app"), 8u);  // maxIdlePerBackend default
+  });
+}
+
+TEST_F(UpstreamPoolTest, CloseAllEmptiesPool) {
+  bool reused = false;
+  auto conn = acquire(reused);
+  loop_.runSync([&] {
+    conn->start();
+    pool_->release("app", conn);
+    pool_->closeAll();
+    EXPECT_EQ(pool_->idleCount("app"), 0u);
+    EXPECT_FALSE(conn->open());
+  });
+}
+
+TEST_F(UpstreamPoolTest, ConnectFailureReported) {
+  // A dead port: bind+close to find a (very likely) unused one.
+  uint16_t port;
+  {
+    TcpListener tmp(SocketAddr::loopback(0));
+    port = tmp.localAddr().port();
+  }
+  std::atomic<bool> done{false};
+  std::error_code ecOut;
+  loop_.runSync([&] {
+    pool_->acquire("dead", SocketAddr::loopback(port),
+                   [&](ConnectionPtr conn, std::error_code ec, bool) {
+                     EXPECT_FALSE(conn);
+                     ecOut = ec;
+                     done.store(true);
+                   });
+  });
+  waitFor([&] { return done.load(); });
+  EXPECT_TRUE(ecOut);
+}
+
+}  // namespace
+}  // namespace zdr::proxygen
