@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_udp_misroute.dir/bench_fig10_udp_misroute.cpp.o"
+  "CMakeFiles/bench_fig10_udp_misroute.dir/bench_fig10_udp_misroute.cpp.o.d"
+  "bench_fig10_udp_misroute"
+  "bench_fig10_udp_misroute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_udp_misroute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_ppr_disruption.dir/bench_fig11_ppr_disruption.cpp.o"
+  "CMakeFiles/bench_fig11_ppr_disruption.dir/bench_fig11_ppr_disruption.cpp.o.d"
+  "bench_fig11_ppr_disruption"
+  "bench_fig11_ppr_disruption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_ppr_disruption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

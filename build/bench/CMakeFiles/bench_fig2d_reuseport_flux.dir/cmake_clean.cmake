@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2d_reuseport_flux.dir/bench_fig2d_reuseport_flux.cpp.o"
+  "CMakeFiles/bench_fig2d_reuseport_flux.dir/bench_fig2d_reuseport_flux.cpp.o.d"
+  "bench_fig2d_reuseport_flux"
+  "bench_fig2d_reuseport_flux.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2d_reuseport_flux.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

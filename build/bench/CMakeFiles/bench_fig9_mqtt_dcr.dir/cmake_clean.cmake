@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_mqtt_dcr.dir/bench_fig9_mqtt_dcr.cpp.o"
+  "CMakeFiles/bench_fig9_mqtt_dcr.dir/bench_fig9_mqtt_dcr.cpp.o.d"
+  "bench_fig9_mqtt_dcr"
+  "bench_fig9_mqtt_dcr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_mqtt_dcr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

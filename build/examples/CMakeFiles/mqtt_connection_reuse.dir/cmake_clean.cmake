@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqtt_connection_reuse.dir/mqtt_connection_reuse.cpp.o"
+  "CMakeFiles/mqtt_connection_reuse.dir/mqtt_connection_reuse.cpp.o.d"
+  "mqtt_connection_reuse"
+  "mqtt_connection_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqtt_connection_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_post_replay.dir/partial_post_replay.cpp.o"
+  "CMakeFiles/partial_post_replay.dir/partial_post_replay.cpp.o.d"
+  "partial_post_replay"
+  "partial_post_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_post_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

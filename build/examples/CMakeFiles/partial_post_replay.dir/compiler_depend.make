@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for partial_post_replay.
+# This may be replaced when dependencies are built.

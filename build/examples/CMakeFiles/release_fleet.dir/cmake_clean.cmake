@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/release_fleet.dir/release_fleet.cpp.o"
+  "CMakeFiles/release_fleet.dir/release_fleet.cpp.o.d"
+  "release_fleet"
+  "release_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/release_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socket_takeover_processes.dir/socket_takeover_processes.cpp.o"
+  "CMakeFiles/socket_takeover_processes.dir/socket_takeover_processes.cpp.o.d"
+  "socket_takeover_processes"
+  "socket_takeover_processes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socket_takeover_processes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

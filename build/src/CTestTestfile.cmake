@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("netcore")
+subdirs("metrics")
+subdirs("http")
+subdirs("h2")
+subdirs("mqtt")
+subdirs("quicish")
+subdirs("l4lb")
+subdirs("takeover")
+subdirs("proxygen")
+subdirs("appserver")
+subdirs("release")
+subdirs("sim")
+subdirs("core")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/appserver/app_server.cpp" "src/appserver/CMakeFiles/zdr_appserver.dir/app_server.cpp.o" "gcc" "src/appserver/CMakeFiles/zdr_appserver.dir/app_server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netcore/CMakeFiles/zdr_netcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/zdr_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/zdr_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zdr_appserver.dir/app_server.cpp.o"
+  "CMakeFiles/zdr_appserver.dir/app_server.cpp.o.d"
+  "libzdr_appserver.a"
+  "libzdr_appserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zdr_appserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zdr_core.dir/hosts.cpp.o"
+  "CMakeFiles/zdr_core.dir/hosts.cpp.o.d"
+  "CMakeFiles/zdr_core.dir/testbed.cpp.o"
+  "CMakeFiles/zdr_core.dir/testbed.cpp.o.d"
+  "CMakeFiles/zdr_core.dir/workload.cpp.o"
+  "CMakeFiles/zdr_core.dir/workload.cpp.o.d"
+  "libzdr_core.a"
+  "libzdr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zdr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

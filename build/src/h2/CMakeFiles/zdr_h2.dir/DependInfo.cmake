@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/h2/frame.cpp" "src/h2/CMakeFiles/zdr_h2.dir/frame.cpp.o" "gcc" "src/h2/CMakeFiles/zdr_h2.dir/frame.cpp.o.d"
+  "/root/repo/src/h2/session.cpp" "src/h2/CMakeFiles/zdr_h2.dir/session.cpp.o" "gcc" "src/h2/CMakeFiles/zdr_h2.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netcore/CMakeFiles/zdr_netcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zdr_h2.dir/frame.cpp.o"
+  "CMakeFiles/zdr_h2.dir/frame.cpp.o.d"
+  "CMakeFiles/zdr_h2.dir/session.cpp.o"
+  "CMakeFiles/zdr_h2.dir/session.cpp.o.d"
+  "libzdr_h2.a"
+  "libzdr_h2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zdr_h2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

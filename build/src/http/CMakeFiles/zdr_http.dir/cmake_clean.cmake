@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zdr_http.dir/client.cpp.o"
+  "CMakeFiles/zdr_http.dir/client.cpp.o.d"
+  "CMakeFiles/zdr_http.dir/codec.cpp.o"
+  "CMakeFiles/zdr_http.dir/codec.cpp.o.d"
+  "CMakeFiles/zdr_http.dir/message.cpp.o"
+  "CMakeFiles/zdr_http.dir/message.cpp.o.d"
+  "libzdr_http.a"
+  "libzdr_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zdr_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zdr_l4lb.dir/balancer.cpp.o"
+  "CMakeFiles/zdr_l4lb.dir/balancer.cpp.o.d"
+  "CMakeFiles/zdr_l4lb.dir/consistent_hash.cpp.o"
+  "CMakeFiles/zdr_l4lb.dir/consistent_hash.cpp.o.d"
+  "CMakeFiles/zdr_l4lb.dir/health.cpp.o"
+  "CMakeFiles/zdr_l4lb.dir/health.cpp.o.d"
+  "CMakeFiles/zdr_l4lb.dir/udp_forwarder.cpp.o"
+  "CMakeFiles/zdr_l4lb.dir/udp_forwarder.cpp.o.d"
+  "libzdr_l4lb.a"
+  "libzdr_l4lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zdr_l4lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zdr_metrics.dir/cpu.cpp.o"
+  "CMakeFiles/zdr_metrics.dir/cpu.cpp.o.d"
+  "libzdr_metrics.a"
+  "libzdr_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zdr_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zdr_mqtt.dir/broker.cpp.o"
+  "CMakeFiles/zdr_mqtt.dir/broker.cpp.o.d"
+  "CMakeFiles/zdr_mqtt.dir/client.cpp.o"
+  "CMakeFiles/zdr_mqtt.dir/client.cpp.o.d"
+  "CMakeFiles/zdr_mqtt.dir/codec.cpp.o"
+  "CMakeFiles/zdr_mqtt.dir/codec.cpp.o.d"
+  "libzdr_mqtt.a"
+  "libzdr_mqtt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zdr_mqtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

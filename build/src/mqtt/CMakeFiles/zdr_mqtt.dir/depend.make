@@ -1,0 +1,2 @@
+# Empty dependencies file for zdr_mqtt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netcore/connection.cpp" "src/netcore/CMakeFiles/zdr_netcore.dir/connection.cpp.o" "gcc" "src/netcore/CMakeFiles/zdr_netcore.dir/connection.cpp.o.d"
+  "/root/repo/src/netcore/event_loop.cpp" "src/netcore/CMakeFiles/zdr_netcore.dir/event_loop.cpp.o" "gcc" "src/netcore/CMakeFiles/zdr_netcore.dir/event_loop.cpp.o.d"
+  "/root/repo/src/netcore/fd_passing.cpp" "src/netcore/CMakeFiles/zdr_netcore.dir/fd_passing.cpp.o" "gcc" "src/netcore/CMakeFiles/zdr_netcore.dir/fd_passing.cpp.o.d"
+  "/root/repo/src/netcore/socket.cpp" "src/netcore/CMakeFiles/zdr_netcore.dir/socket.cpp.o" "gcc" "src/netcore/CMakeFiles/zdr_netcore.dir/socket.cpp.o.d"
+  "/root/repo/src/netcore/socket_addr.cpp" "src/netcore/CMakeFiles/zdr_netcore.dir/socket_addr.cpp.o" "gcc" "src/netcore/CMakeFiles/zdr_netcore.dir/socket_addr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zdr_netcore.dir/connection.cpp.o"
+  "CMakeFiles/zdr_netcore.dir/connection.cpp.o.d"
+  "CMakeFiles/zdr_netcore.dir/event_loop.cpp.o"
+  "CMakeFiles/zdr_netcore.dir/event_loop.cpp.o.d"
+  "CMakeFiles/zdr_netcore.dir/fd_passing.cpp.o"
+  "CMakeFiles/zdr_netcore.dir/fd_passing.cpp.o.d"
+  "CMakeFiles/zdr_netcore.dir/socket.cpp.o"
+  "CMakeFiles/zdr_netcore.dir/socket.cpp.o.d"
+  "CMakeFiles/zdr_netcore.dir/socket_addr.cpp.o"
+  "CMakeFiles/zdr_netcore.dir/socket_addr.cpp.o.d"
+  "libzdr_netcore.a"
+  "libzdr_netcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zdr_netcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zdr_proxygen.dir/proxy_core.cpp.o"
+  "CMakeFiles/zdr_proxygen.dir/proxy_core.cpp.o.d"
+  "CMakeFiles/zdr_proxygen.dir/proxy_edge.cpp.o"
+  "CMakeFiles/zdr_proxygen.dir/proxy_edge.cpp.o.d"
+  "CMakeFiles/zdr_proxygen.dir/proxy_origin.cpp.o"
+  "CMakeFiles/zdr_proxygen.dir/proxy_origin.cpp.o.d"
+  "CMakeFiles/zdr_proxygen.dir/upstream_pool.cpp.o"
+  "CMakeFiles/zdr_proxygen.dir/upstream_pool.cpp.o.d"
+  "libzdr_proxygen.a"
+  "libzdr_proxygen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zdr_proxygen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

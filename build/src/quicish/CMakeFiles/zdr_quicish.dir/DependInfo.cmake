@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quicish/client.cpp" "src/quicish/CMakeFiles/zdr_quicish.dir/client.cpp.o" "gcc" "src/quicish/CMakeFiles/zdr_quicish.dir/client.cpp.o.d"
+  "/root/repo/src/quicish/packet.cpp" "src/quicish/CMakeFiles/zdr_quicish.dir/packet.cpp.o" "gcc" "src/quicish/CMakeFiles/zdr_quicish.dir/packet.cpp.o.d"
+  "/root/repo/src/quicish/server.cpp" "src/quicish/CMakeFiles/zdr_quicish.dir/server.cpp.o" "gcc" "src/quicish/CMakeFiles/zdr_quicish.dir/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netcore/CMakeFiles/zdr_netcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/zdr_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zdr_quicish.dir/client.cpp.o"
+  "CMakeFiles/zdr_quicish.dir/client.cpp.o.d"
+  "CMakeFiles/zdr_quicish.dir/packet.cpp.o"
+  "CMakeFiles/zdr_quicish.dir/packet.cpp.o.d"
+  "CMakeFiles/zdr_quicish.dir/server.cpp.o"
+  "CMakeFiles/zdr_quicish.dir/server.cpp.o.d"
+  "libzdr_quicish.a"
+  "libzdr_quicish.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zdr_quicish.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for zdr_quicish.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zdr_release.dir/monitored_release.cpp.o"
+  "CMakeFiles/zdr_release.dir/monitored_release.cpp.o.d"
+  "CMakeFiles/zdr_release.dir/release.cpp.o"
+  "CMakeFiles/zdr_release.dir/release.cpp.o.d"
+  "libzdr_release.a"
+  "libzdr_release.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zdr_release.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

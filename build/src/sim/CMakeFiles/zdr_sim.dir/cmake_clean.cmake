@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zdr_sim.dir/fleet_sim.cpp.o"
+  "CMakeFiles/zdr_sim.dir/fleet_sim.cpp.o.d"
+  "libzdr_sim.a"
+  "libzdr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zdr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libzdr_sim.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zdr_takeover.dir/protocol.cpp.o"
+  "CMakeFiles/zdr_takeover.dir/protocol.cpp.o.d"
+  "CMakeFiles/zdr_takeover.dir/takeover.cpp.o"
+  "CMakeFiles/zdr_takeover.dir/takeover.cpp.o.d"
+  "libzdr_takeover.a"
+  "libzdr_takeover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zdr_takeover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appserver_drain_test.dir/appserver_drain_test.cpp.o"
+  "CMakeFiles/appserver_drain_test.dir/appserver_drain_test.cpp.o.d"
+  "appserver_drain_test"
+  "appserver_drain_test.pdb"
+  "appserver_drain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appserver_drain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

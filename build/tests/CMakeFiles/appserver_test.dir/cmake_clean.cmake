@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appserver_test.dir/appserver_test.cpp.o"
+  "CMakeFiles/appserver_test.dir/appserver_test.cpp.o.d"
+  "appserver_test"
+  "appserver_test.pdb"
+  "appserver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appserver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcr_sequence_test.dir/dcr_sequence_test.cpp.o"
+  "CMakeFiles/dcr_sequence_test.dir/dcr_sequence_test.cpp.o.d"
+  "dcr_sequence_test"
+  "dcr_sequence_test.pdb"
+  "dcr_sequence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcr_sequence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_cache_test.dir/edge_cache_test.cpp.o"
+  "CMakeFiles/edge_cache_test.dir/edge_cache_test.cpp.o.d"
+  "edge_cache_test"
+  "edge_cache_test.pdb"
+  "edge_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_passing_test.dir/fd_passing_test.cpp.o"
+  "CMakeFiles/fd_passing_test.dir/fd_passing_test.cpp.o.d"
+  "fd_passing_test"
+  "fd_passing_test.pdb"
+  "fd_passing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_passing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

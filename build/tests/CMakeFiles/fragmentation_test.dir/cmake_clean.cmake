@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fragmentation_test.dir/fragmentation_test.cpp.o"
+  "CMakeFiles/fragmentation_test.dir/fragmentation_test.cpp.o.d"
+  "fragmentation_test"
+  "fragmentation_test.pdb"
+  "fragmentation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fragmentation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2_multiplex_test.dir/h2_multiplex_test.cpp.o"
+  "CMakeFiles/h2_multiplex_test.dir/h2_multiplex_test.cpp.o.d"
+  "h2_multiplex_test"
+  "h2_multiplex_test.pdb"
+  "h2_multiplex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2_multiplex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/h2_test.cpp" "tests/CMakeFiles/h2_test.dir/h2_test.cpp.o" "gcc" "tests/CMakeFiles/h2_test.dir/h2_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/zdr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/zdr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxygen/CMakeFiles/zdr_proxygen.dir/DependInfo.cmake"
+  "/root/repo/build/src/h2/CMakeFiles/zdr_h2.dir/DependInfo.cmake"
+  "/root/repo/build/src/mqtt/CMakeFiles/zdr_mqtt.dir/DependInfo.cmake"
+  "/root/repo/build/src/quicish/CMakeFiles/zdr_quicish.dir/DependInfo.cmake"
+  "/root/repo/build/src/l4lb/CMakeFiles/zdr_l4lb.dir/DependInfo.cmake"
+  "/root/repo/build/src/takeover/CMakeFiles/zdr_takeover.dir/DependInfo.cmake"
+  "/root/repo/build/src/appserver/CMakeFiles/zdr_appserver.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/zdr_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/netcore/CMakeFiles/zdr_netcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/release/CMakeFiles/zdr_release.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/zdr_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

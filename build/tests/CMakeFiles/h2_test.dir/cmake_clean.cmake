@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2_test.dir/h2_test.cpp.o"
+  "CMakeFiles/h2_test.dir/h2_test.cpp.o.d"
+  "h2_test"
+  "h2_test.pdb"
+  "h2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

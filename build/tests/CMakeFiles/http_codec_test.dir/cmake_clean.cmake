@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_codec_test.dir/http_codec_test.cpp.o"
+  "CMakeFiles/http_codec_test.dir/http_codec_test.cpp.o.d"
+  "http_codec_test"
+  "http_codec_test.pdb"
+  "http_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l4_config_test.dir/l4_config_test.cpp.o"
+  "CMakeFiles/l4_config_test.dir/l4_config_test.cpp.o.d"
+  "l4_config_test"
+  "l4_config_test.pdb"
+  "l4_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l4_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l4lb_test.dir/l4lb_test.cpp.o"
+  "CMakeFiles/l4lb_test.dir/l4lb_test.cpp.o.d"
+  "l4lb_test"
+  "l4lb_test.pdb"
+  "l4lb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l4lb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

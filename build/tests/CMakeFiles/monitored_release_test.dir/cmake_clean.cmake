@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitored_release_test.dir/monitored_release_test.cpp.o"
+  "CMakeFiles/monitored_release_test.dir/monitored_release_test.cpp.o.d"
+  "monitored_release_test"
+  "monitored_release_test.pdb"
+  "monitored_release_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitored_release_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqtt_keepalive_test.dir/mqtt_keepalive_test.cpp.o"
+  "CMakeFiles/mqtt_keepalive_test.dir/mqtt_keepalive_test.cpp.o.d"
+  "mqtt_keepalive_test"
+  "mqtt_keepalive_test.pdb"
+  "mqtt_keepalive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqtt_keepalive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

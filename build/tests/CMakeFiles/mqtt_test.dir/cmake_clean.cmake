@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqtt_test.dir/mqtt_test.cpp.o"
+  "CMakeFiles/mqtt_test.dir/mqtt_test.cpp.o.d"
+  "mqtt_test"
+  "mqtt_test.pdb"
+  "mqtt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqtt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppr_integrity_test.dir/ppr_integrity_test.cpp.o"
+  "CMakeFiles/ppr_integrity_test.dir/ppr_integrity_test.cpp.o.d"
+  "ppr_integrity_test"
+  "ppr_integrity_test.pdb"
+  "ppr_integrity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppr_integrity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxy_behavior_test.dir/proxy_behavior_test.cpp.o"
+  "CMakeFiles/proxy_behavior_test.dir/proxy_behavior_test.cpp.o.d"
+  "proxy_behavior_test"
+  "proxy_behavior_test.pdb"
+  "proxy_behavior_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxy_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxy_e2e_test.dir/proxy_e2e_test.cpp.o"
+  "CMakeFiles/proxy_e2e_test.dir/proxy_e2e_test.cpp.o.d"
+  "proxy_e2e_test"
+  "proxy_e2e_test.pdb"
+  "proxy_e2e_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxy_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

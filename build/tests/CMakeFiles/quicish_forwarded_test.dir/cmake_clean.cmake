@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quicish_forwarded_test.dir/quicish_forwarded_test.cpp.o"
+  "CMakeFiles/quicish_forwarded_test.dir/quicish_forwarded_test.cpp.o.d"
+  "quicish_forwarded_test"
+  "quicish_forwarded_test.pdb"
+  "quicish_forwarded_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quicish_forwarded_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

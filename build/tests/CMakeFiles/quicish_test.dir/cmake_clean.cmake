@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quicish_test.dir/quicish_test.cpp.o"
+  "CMakeFiles/quicish_test.dir/quicish_test.cpp.o.d"
+  "quicish_test"
+  "quicish_test.pdb"
+  "quicish_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quicish_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

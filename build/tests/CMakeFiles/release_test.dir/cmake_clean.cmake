@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/release_test.dir/release_test.cpp.o"
+  "CMakeFiles/release_test.dir/release_test.cpp.o.d"
+  "release_test"
+  "release_test.pdb"
+  "release_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/release_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reuseport_orphan_test.dir/reuseport_orphan_test.cpp.o"
+  "CMakeFiles/reuseport_orphan_test.dir/reuseport_orphan_test.cpp.o.d"
+  "reuseport_orphan_test"
+  "reuseport_orphan_test.pdb"
+  "reuseport_orphan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reuseport_orphan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

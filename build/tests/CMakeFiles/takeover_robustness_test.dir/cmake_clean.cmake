@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/takeover_robustness_test.dir/takeover_robustness_test.cpp.o"
+  "CMakeFiles/takeover_robustness_test.dir/takeover_robustness_test.cpp.o.d"
+  "takeover_robustness_test"
+  "takeover_robustness_test.pdb"
+  "takeover_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/takeover_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

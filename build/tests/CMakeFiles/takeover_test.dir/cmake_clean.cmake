@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/takeover_test.dir/takeover_test.cpp.o"
+  "CMakeFiles/takeover_test.dir/takeover_test.cpp.o.d"
+  "takeover_test"
+  "takeover_test.pdb"
+  "takeover_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/takeover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

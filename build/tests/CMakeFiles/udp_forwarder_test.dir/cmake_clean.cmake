@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udp_forwarder_test.dir/udp_forwarder_test.cpp.o"
+  "CMakeFiles/udp_forwarder_test.dir/udp_forwarder_test.cpp.o.d"
+  "udp_forwarder_test"
+  "udp_forwarder_test.pdb"
+  "udp_forwarder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udp_forwarder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

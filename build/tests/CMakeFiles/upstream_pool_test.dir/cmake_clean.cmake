@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upstream_pool_test.dir/upstream_pool_test.cpp.o"
+  "CMakeFiles/upstream_pool_test.dir/upstream_pool_test.cpp.o.d"
+  "upstream_pool_test"
+  "upstream_pool_test.pdb"
+  "upstream_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upstream_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[PprIntegrityTest.ReplayedBodyIsByteIdenticalAcrossRestarts]=]  /root/repo/build/tests/ppr_integrity_test [==[--gtest_filter=PprIntegrityTest.ReplayedBodyIsByteIdenticalAcrossRestarts]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[PprIntegrityTest.ReplayedBodyIsByteIdenticalAcrossRestarts]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  ppr_integrity_test_TESTS PprIntegrityTest.ReplayedBodyIsByteIdenticalAcrossRestarts)
