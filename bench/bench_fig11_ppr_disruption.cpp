@@ -95,7 +95,7 @@ int main() {
                 "restarts; without PPR every in-flight POST on a "
                 "restarting server fails");
 
-  constexpr int kRestarts = 12;  // scaled-down stand-in for 70
+  const int kRestarts = bench::scaled(12, 1);  // full run stands in for 70
 
   bench::section("WITH Partial Post Replay");
   auto with = runReleaseCycle(true, kRestarts);

@@ -53,8 +53,8 @@ int main() {
       15000);
 
   // Sample per-group metrics once per tick; restart edge0 (GR) at tick 3.
-  constexpr int kTicks = 12;
-  constexpr int kTickMs = 300;
+  const int kTicks = bench::scaled(12, 5);  // restart lands at tick 3
+  const int kTickMs = bench::scaled(300, 100);
   std::vector<std::array<double, 4>> rows;  // rpsGR rpsGNR mqttAll cpuGR
   uint64_t lastGr = loads[0]->completed();
   uint64_t lastGnr = 0;

@@ -51,8 +51,8 @@ int main() {
 
   // Timeline sampler: CPU rate of the edge host, throughput (requests
   // per tick), resident memory.
-  constexpr int kTicks = 24;
-  constexpr int kTickMs = 500;
+  const int kTicks = bench::scaled(24, 4);
+  const int kTickMs = bench::scaled(500, 100);
   struct Tick {
     double cpuMs;
     double rps;

@@ -21,7 +21,7 @@ using namespace zdr;
 namespace {
 
 constexpr size_t kFlows = 64;
-constexpr int kRounds = 40;
+const int kRounds = bench::scaled(40, 6);
 
 struct FluxResult {
   uint64_t misrouted = 0;

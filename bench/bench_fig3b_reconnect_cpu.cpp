@@ -76,7 +76,7 @@ int main() {
   // Steady window: CPU burned per request served.
   double cpu0 = appCpu();
   uint64_t req0 = appRequests();
-  bench::sleepMs(1000);
+  bench::sleepMs(bench::scaled(1000L, 250L));
   double steadyCpuPerReq =
       (appCpu() - cpu0) / std::max<double>(1, double(appRequests() - req0));
 

@@ -61,21 +61,21 @@ int main() {
 
   // Baseline CPU rate of the edge host under steady load.
   double cpu0 = bed.edge(0).hostCpuSeconds();
-  bench::sleepMs(1000);
+  bench::sleepMs(bench::scaled(1000L, 250L));
   double cpu1 = bed.edge(0).hostCpuSeconds();
   double baselineRate = cpu1 - cpu0;
 
   // CPU rate while the takeover + dual-instance drain is in progress.
   bed.edge(0).beginRestart(release::Strategy::kZeroDowntime);
   double cpu2 = bed.edge(0).hostCpuSeconds();
-  bench::sleepMs(1000);
+  bench::sleepMs(bench::scaled(1000L, 250L));
   double cpu3 = bed.edge(0).hostCpuSeconds();
   double drainRate = cpu3 - cpu2;
   bed.edge(0).waitRestart();
 
   // And after the old instance is gone.
   double cpu4 = bed.edge(0).hostCpuSeconds();
-  bench::sleepMs(1000);
+  bench::sleepMs(bench::scaled(1000L, 250L));
   double cpu5 = bed.edge(0).hostCpuSeconds();
   double afterRate = cpu5 - cpu4;
   load.stop();

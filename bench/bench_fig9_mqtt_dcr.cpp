@@ -50,8 +50,8 @@ Timeline runScenario(bool dcr) {
   uint64_t lastAck = acks.value();
   double baseRate = 0;
 
-  constexpr int kTicks = 14;
-  constexpr int kTickMs = 250;
+  const int kTicks = bench::scaled(14, 5);  // restart lands at tick 3
+  const int kTickMs = bench::scaled(250, 100);
   for (int tick = 0; tick < kTicks; ++tick) {
     if (tick == 3) {
       bed.origin(0).beginRestart(release::Strategy::kZeroDowntime);

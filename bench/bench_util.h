@@ -6,12 +6,31 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <thread>
 #include <vector>
 
 namespace zdr::bench {
+
+// Smoke mode (ZDR_BENCH_SMOKE=1): CI runs every figure bench end-to-end
+// to catch crashes and API drift without paying full measurement time.
+// Numbers printed under smoke mode are NOT figure-quality.
+inline bool smokeMode() {
+  static const bool on = [] {
+    const char* v = std::getenv("ZDR_BENCH_SMOKE");
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
+  }();
+  return on;
+}
+
+// Route every round/duration constant through this so the smoke pass
+// still exercises the same code path with minimal iterations.
+template <typename T>
+inline T scaled(T full, T smoke = T{1}) {
+  return smokeMode() ? smoke : full;
+}
 
 inline void banner(const std::string& figure, const std::string& claim) {
   std::printf("==============================================================\n");

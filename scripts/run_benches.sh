@@ -1,11 +1,47 @@
 #!/usr/bin/env bash
 # Regenerates every paper figure: one bench binary per table/figure.
-# Usage: scripts/run_benches.sh [build-dir]   (default: ./build)
+#
+# Usage: scripts/run_benches.sh [--smoke] [build-dir]   (default: ./build)
+#
+#   --smoke   CI mode: sets ZDR_BENCH_SMOKE=1 so each bench runs a
+#             minimal-iteration pass (crash/regression detection only —
+#             the printed numbers are not figure-quality), and runs only
+#             the bench_fig* figure binaries. Fails fast on the first
+#             non-zero exit.
 set -u
-BUILD="${1:-build}"
-for b in "$BUILD"/bench/*; do
+
+SMOKE=0
+BUILD=build
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) SMOKE=1 ;;
+    *) BUILD="$arg" ;;
+  esac
+done
+
+if [ "$SMOKE" = 1 ]; then
+  export ZDR_BENCH_SMOKE=1
+  PATTERN="$BUILD/bench/bench_fig*"
+else
+  PATTERN="$BUILD/bench/*"
+fi
+
+STATUS=0
+RAN=0
+for b in $PATTERN; do
   [ -f "$b" ] && [ -x "$b" ] || continue
+  RAN=$((RAN + 1))
   echo
   echo "########## $(basename "$b") ##########"
-  "$b"
+  if ! "$b"; then
+    echo "FAILED: $(basename "$b")" >&2
+    STATUS=1
+    [ "$SMOKE" = 1 ] && exit 1
+  fi
 done
+if [ "$RAN" = 0 ]; then
+  echo "error: no bench binaries found under '$BUILD/bench/'" \
+       "(build first, or pass the right build dir)" >&2
+  exit 1
+fi
+exit "$STATUS"

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "netcore/fault_injection.h"
+
 namespace zdr::appserver {
 
 namespace {
@@ -66,6 +68,7 @@ void AppServer::onAccept(TcpSocket sock) {
   }
 
   auto cs = std::make_shared<ConnState>();
+  fault::tagFd(sock.fd(), "appserver.conn");
   cs->conn = Connection::make(loop_, std::move(sock));
   conns_.insert(cs);
 

@@ -13,6 +13,11 @@ void Client::ensureConnected(std::function<void(std::error_code)> next) {
   auto self = shared_from_this();
   Connector::connect(loop_, server_,
                      [self, next](TcpSocket sock, std::error_code ec) {
+                       if (self->closed_) {
+                         // close() raced this connect: a Connection made
+                         // now would self-capture and outlive the loop.
+                         return;
+                       }
                        if (ec) {
                          next(ec);
                          return;
@@ -201,6 +206,7 @@ void Client::sendNextChunk() {
 }
 
 void Client::close() {
+  closed_ = true;
   if (conn_) {
     conn_->close({});
     conn_ = nullptr;

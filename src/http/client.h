@@ -58,6 +58,7 @@ class Client : public std::enable_shared_from_this<Client> {
   ConnectionPtr conn_;
   bool connecting_ = false;
   bool busy_ = false;
+  bool closed_ = false;  // close() called: no new connections may form
   ResponseParser parser_;
   Callback cb_;
   EventLoop::TimerId timeoutTimer_ = 0;

@@ -1,5 +1,7 @@
 #include "mqtt/broker.h"
 
+#include "netcore/fault_injection.h"
+
 namespace zdr::mqtt {
 
 // One accepted transport (either a direct client or a tunnel relayed by
@@ -51,6 +53,7 @@ void Broker::bumpCounter(const std::string& name) {
 }
 
 void Broker::onAccept(TcpSocket sock) {
+  fault::tagFd(sock.fd(), "broker.session");
   auto sess = std::make_shared<Session>();
   sess->conn = Connection::make(loop_, std::move(sock));
   sessions_.insert(sess);

@@ -4,6 +4,7 @@
 
 #include <array>
 
+#include "netcore/fault_injection.h"
 #include "netcore/result.h"
 
 namespace zdr {
@@ -105,6 +106,36 @@ void Connection::send(std::span<const std::byte> bytes) {
   if (closed_ || !sock_.valid()) {
     return;
   }
+  if (fault::active()) {
+    auto plan = fault::FaultRegistry::instance().planFor(sock_.fd());
+    if (plan) {
+      if (plan->dropSend()) {
+        return;  // the whole message vanishes on the wire
+      }
+      std::chrono::milliseconds d{0};
+      if (plan->delaySend(d)) {
+        // Buffer WITHOUT registering write interest: only the timer
+        // flushes, so delivery is deferred but byte order preserved.
+        out_.append(bytes);
+        if (!delayArmed_) {
+          delayArmed_ = true;
+          auto self = shared_from_this();
+          loop_.runAfter(d, [self] {
+            self->delayArmed_ = false;
+            if (!self->closed_) {
+              self->handleWritable();
+            }
+          });
+        }
+        return;
+      }
+      if (delayArmed_) {
+        // A delayed flush is pending; queue behind it to keep order.
+        out_.append(bytes);
+        return;
+      }
+    }
+  }
   // Fast path: try a direct write when nothing is queued.
   size_t written = 0;
   if (out_.empty()) {
@@ -141,6 +172,11 @@ void Connection::close(std::error_code reason) {
   if (registered_ && sock_.valid()) {
     loop_.removeFd(sock_.fd());
     registered_ = false;
+  }
+  if (fault::active() && sock_.valid()) {
+    // The fd number is about to be recycled; stale plans must not
+    // follow it onto an unrelated socket.
+    fault::FaultRegistry::instance().onFdClosed(sock_.fd());
   }
   sock_.close();
   // Callbacks routinely capture shared_ptrs to the object that owns

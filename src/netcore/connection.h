@@ -91,6 +91,7 @@ class Connection : public std::enable_shared_from_this<Connection> {
   bool wantWrite_ = false;
   bool closeOnDrain_ = false;
   bool closed_ = false;
+  bool delayArmed_ = false;  // fault injection: a delayed flush is pending
 };
 
 using ConnectionPtr = std::shared_ptr<Connection>;

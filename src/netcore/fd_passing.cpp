@@ -6,14 +6,36 @@
 #include <cerrno>
 #include <cstring>
 
+#include "netcore/fault_injection.h"
 #include "netcore/result.h"
 
 namespace zdr {
+
+namespace {
+
+// Chaos hook for the SCM_RIGHTS control channel: lets tests sever a
+// takeover handoff exactly at the sendmsg/recvmsg boundary.
+std::error_code faultFdPassing(int sockFd, fault::Op op) {
+  if (!fault::active()) {
+    return {};
+  }
+  auto plan = fault::FaultRegistry::instance().planFor(sockFd);
+  int err = 0;
+  if (plan && plan->injectErr(op, err)) {
+    return {err, std::generic_category()};
+  }
+  return {};
+}
+
+}  // namespace
 
 std::error_code sendFds(int sockFd, std::span<const std::byte> payload,
                         std::span<const int> fds) {
   if (payload.empty()) {
     return std::make_error_code(std::errc::invalid_argument);
+  }
+  if (auto ec = faultFdPassing(sockFd, fault::Op::kSendMsg)) {
+    return ec;
   }
   if (fds.size() > kMaxFdsPerMessage) {
     return std::make_error_code(std::errc::argument_list_too_long);
@@ -57,6 +79,10 @@ std::error_code sendFds(int sockFd, std::span<const std::byte> payload,
 
 std::error_code recvFds(int sockFd, std::vector<std::byte>& payload,
                         std::vector<FdGuard>& fds, size_t maxPayload) {
+  if (auto ec = faultFdPassing(sockFd, fault::Op::kRecvMsg)) {
+    payload.clear();
+    return ec;
+  }
   payload.resize(maxPayload);
 
   iovec iov{};

@@ -1,11 +1,14 @@
 #include "netcore/socket.h"
 
 #include <fcntl.h>
+
+#include "netcore/fault_injection.h"
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 
 namespace zdr {
@@ -82,6 +85,42 @@ size_t ioResult(ssize_t n, std::error_code& ec) {
   return static_cast<size_t>(n);
 }
 
+// Fault-injection helpers: all return immediately (one relaxed atomic
+// load) when chaos mode is off.
+bool faultErr(int fd, fault::Op op, std::error_code& ec) {
+  if (!fault::active()) {
+    return false;
+  }
+  auto plan = fault::FaultRegistry::instance().planFor(fd);
+  int err = 0;
+  if (plan && plan->injectErr(op, err)) {
+    ec = {err, std::generic_category()};
+    return true;
+  }
+  return false;
+}
+
+// Byte-level fate of a stream write: may shrink `len` (short write) or
+// fail the whole call with an injected errno.
+bool faultWriteFate(int fd, size_t& len, std::error_code& ec) {
+  if (!fault::active()) {
+    return false;
+  }
+  auto plan = fault::FaultRegistry::instance().planFor(fd);
+  if (!plan) {
+    return false;
+  }
+  auto fate = plan->writeFate(len);
+  if (fate.kind == fault::FaultPlan::WriteFate::kKill) {
+    ec = {fate.err, std::generic_category()};
+    return true;
+  }
+  if (fate.kind == fault::FaultPlan::WriteFate::kShort) {
+    len = std::min(len, fate.allow);
+  }
+  return false;
+}
+
 }  // namespace
 }  // namespace detail
 
@@ -109,13 +148,23 @@ TcpSocket TcpSocket::connect(const SocketAddr& peer, std::error_code& ec) {
 }
 
 size_t TcpSocket::read(std::span<std::byte> buf, std::error_code& ec) {
+  if (detail::faultErr(fd_.get(), fault::Op::kRead, ec)) {
+    return 0;
+  }
   return detail::ioResult(::read(fd_.get(), buf.data(), buf.size()), ec);
 }
 
 size_t TcpSocket::write(std::span<const std::byte> buf, std::error_code& ec) {
+  if (detail::faultErr(fd_.get(), fault::Op::kWrite, ec)) {
+    return 0;
+  }
+  size_t len = buf.size();
+  if (detail::faultWriteFate(fd_.get(), len, ec)) {
+    return 0;
+  }
   // MSG_NOSIGNAL: a peer reset must surface as EPIPE, not kill the process.
   return detail::ioResult(
-      ::send(fd_.get(), buf.data(), buf.size(), MSG_NOSIGNAL), ec);
+      ::send(fd_.get(), buf.data(), len, MSG_NOSIGNAL), ec);
 }
 
 std::error_code TcpSocket::connectError() const {
@@ -194,15 +243,39 @@ UdpSocket UdpSocket::fromFd(FdGuard fd) { return UdpSocket(std::move(fd)); }
 
 size_t UdpSocket::sendTo(std::span<const std::byte> buf,
                          const SocketAddr& peer, std::error_code& ec) {
+  int dupes = 0;
+  if (fault::active()) {
+    if (detail::faultErr(fd_.get(), fault::Op::kSendTo, ec)) {
+      return 0;
+    }
+    auto plan = fault::FaultRegistry::instance().planFor(fd_.get());
+    if (plan) {
+      if (plan->dropDatagram()) {
+        ec.clear();
+        return buf.size();  // vanished on the wire, but "sent"
+      }
+      if (plan->dupDatagram()) {
+        dupes = 1;
+      }
+    }
+  }
   sockaddr_in sa = peer.raw();
-  return detail::ioResult(
+  size_t n = detail::ioResult(
       ::sendto(fd_.get(), buf.data(), buf.size(), 0,
                reinterpret_cast<sockaddr*>(&sa), sizeof(sa)),
       ec);
+  for (; dupes > 0 && !ec; --dupes) {
+    ::sendto(fd_.get(), buf.data(), buf.size(), 0,
+             reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+  }
+  return n;
 }
 
 size_t UdpSocket::recvFrom(std::span<std::byte> buf, SocketAddr& from,
                            std::error_code& ec) {
+  if (detail::faultErr(fd_.get(), fault::Op::kRecvFrom, ec)) {
+    return 0;
+  }
   sockaddr_in sa{};
   socklen_t len = sizeof(sa);
   size_t n = detail::ioResult(
@@ -211,6 +284,14 @@ size_t UdpSocket::recvFrom(std::span<std::byte> buf, SocketAddr& from,
       ec);
   if (!ec) {
     from = SocketAddr(sa);
+    if (fault::active()) {
+      auto plan = fault::FaultRegistry::instance().planFor(fd_.get());
+      if (plan && plan->dropDatagram()) {
+        // Eat the received datagram: report "nothing there yet".
+        ec = std::make_error_code(std::errc::operation_would_block);
+        return 0;
+      }
+    }
   }
   return n;
 }
@@ -243,10 +324,16 @@ UnixSocket UnixSocket::connect(const std::string& path, std::error_code& ec) {
 }
 
 size_t UnixSocket::read(std::span<std::byte> buf, std::error_code& ec) {
+  if (detail::faultErr(fd_.get(), fault::Op::kRead, ec)) {
+    return 0;
+  }
   return detail::ioResult(::read(fd_.get(), buf.data(), buf.size()), ec);
 }
 
 size_t UnixSocket::write(std::span<const std::byte> buf, std::error_code& ec) {
+  if (detail::faultErr(fd_.get(), fault::Op::kWrite, ec)) {
+    return 0;
+  }
   return detail::ioResult(
       ::send(fd_.get(), buf.data(), buf.size(), MSG_NOSIGNAL), ec);
 }

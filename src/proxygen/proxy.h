@@ -75,6 +75,11 @@ class Proxy {
     bool pprEnabled = true;
     int pprMaxRetries = 10;
     bool dcrEnabled = true;
+    // §4.2 hardening: reconnect_solicitation rides a lossy network, so
+    // a draining Origin re-sends it a few times during the drain
+    // window (the Edge resume path is idempotent — duplicates are
+    // cheap, a lost solicitation costs every tunnel on the trunk).
+    int dcrSolicitRetries = 3;
     bool udpUserSpaceRouting = true;
     size_t udpWorkers = 4;
     bool edgeCacheEnabled = true;
@@ -227,6 +232,8 @@ class Proxy {
   bool hardDraining_ = false;
   bool terminated_ = false;
   EventLoop::TimerId drainTimer_ = 0;
+  EventLoop::TimerId solicitTimer_ = 0;
+  int solicitRetriesLeft_ = 0;
 };
 
 }  // namespace zdr::proxygen

@@ -31,8 +31,9 @@ void Proxy::bump(const std::string& counter, uint64_t n) {
 
 void Proxy::initCommon() {
   if (config_.role == Role::kOrigin) {
-    appPool_ = std::make_unique<UpstreamPool>(loop_, UpstreamPool::Options{},
-                                              metrics_);
+    UpstreamPool::Options poolOpts;
+    poolOpts.faultTag = "origin.app";
+    appPool_ = std::make_unique<UpstreamPool>(loop_, poolOpts, metrics_);
     if (!config_.appServers.empty()) {
       std::vector<l4lb::BackendTarget> targets;
       for (const auto& a : config_.appServers) {
@@ -244,6 +245,28 @@ void Proxy::enterDrain() {
         bump(config_.name + ".dcr_solicitations_sent");
       }
     }
+    if (config_.dcrEnabled && config_.dcrSolicitRetries > 0 &&
+        !trunkServerSessions_.empty()) {
+      // A solicitation frame can be lost in transit; re-send a few
+      // times across the drain window. The Edge resume path is
+      // idempotent, so duplicates are harmless.
+      solicitRetriesLeft_ = config_.dcrSolicitRetries;
+      Duration interval =
+          std::max(Duration{10}, config_.drainPeriod /
+                                     (config_.dcrSolicitRetries + 1));
+      solicitTimer_ = loop_.runEvery(interval, [this] {
+        if (terminated_ || solicitRetriesLeft_ <= 0) {
+          loop_.cancelTimer(solicitTimer_);
+          solicitTimer_ = 0;
+          return;
+        }
+        --solicitRetriesLeft_;
+        for (const auto& tc : trunkServerSessions_) {
+          tc->session->sendControl(h2::FrameType::kReconnectSolicitation);
+          bump(config_.name + ".dcr_solicitations_resent");
+        }
+      });
+    }
   }
 
   drainTimer_ = loop_.runAfter(config_.drainPeriod, [this] { terminate(); });
@@ -255,6 +278,10 @@ void Proxy::terminate() {
   }
   terminated_ = true;
   loop_.cancelTimer(drainTimer_);
+  if (solicitTimer_ != 0) {
+    loop_.cancelTimer(solicitTimer_);
+    solicitTimer_ = 0;
+  }
   bump(config_.name + ".terminated");
 
   // Whatever is still alive now is disrupted — this is the source of

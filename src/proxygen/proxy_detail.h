@@ -1,6 +1,7 @@
 // Private per-connection state of Proxy. Included only by proxy_*.cpp.
 #pragma once
 
+#include "netcore/fault_injection.h"
 #include "proxygen/proxy.h"
 
 namespace zdr::proxygen {

@@ -26,6 +26,7 @@ void Proxy::edgeOnHttpAccept(TcpSocket sock) {
     return;
   }
   bump(config_.name + ".http_conn_accepted");
+  fault::tagFd(sock.fd(), "edge.user");
   auto uc = std::make_shared<UserHttpConn>();
   uc->conn = Connection::make(loop_, std::move(sock));
   userConns_.insert(uc);
@@ -295,6 +296,7 @@ void Proxy::edgeEnsureTrunk(size_t idx) {
           }
           return;
         }
+        fault::tagFd(sock.fd(), "trunk.edge");
         auto conn = Connection::make(loop_, std::move(sock));
         link->session = h2::Session::make(conn, h2::Session::Role::kClient);
         link->up = true;
@@ -497,6 +499,7 @@ void Proxy::edgeOnMqttAccept(TcpSocket sock) {
     return;
   }
   bump(config_.name + ".mqtt_conn_accepted");
+  fault::tagFd(sock.fd(), "edge.mqtt");
   auto tun = std::make_shared<MqttTunnel>();
   tun->userConn = Connection::make(loop_, std::move(sock));
   mqttTunnels_.insert(tun);

@@ -13,6 +13,7 @@ void Proxy::originOnTrunkAccept(TcpSocket sock) {
     return;
   }
   bump(config_.name + ".trunk_accepted");
+  fault::tagFd(sock.fd(), "trunk.origin");
   auto tc = std::make_shared<TrunkServerConn>();
   auto conn = Connection::make(loop_, std::move(sock));
   tc->session = h2::Session::make(conn, h2::Session::Role::kServer);
@@ -487,6 +488,7 @@ void Proxy::originOpenBrokerTunnel(const std::shared_ptr<TrunkServerConn>& tc,
           tc->brokerTunnels.erase(bt->streamId);
           return;
         }
+        fault::tagFd(sock.fd(), "origin.broker");
         bt->brokerConn = Connection::make(loop_, std::move(sock));
 
         bt->brokerConn->setDataCallback([this, bt](Buffer& in) {

@@ -1,5 +1,7 @@
 #include "proxygen/upstream_pool.h"
 
+#include "netcore/fault_injection.h"
+
 namespace zdr::proxygen {
 
 UpstreamPool::UpstreamPool(EventLoop& loop, Options opts,
@@ -44,6 +46,9 @@ void UpstreamPool::acquire(const std::string& name, const SocketAddr& addr,
         if (ec) {
           cb(nullptr, ec, false);
           return;
+        }
+        if (!opts_.faultTag.empty()) {
+          fault::tagFd(sock.fd(), opts_.faultTag);
         }
         cb(Connection::make(loop_, std::move(sock)), {}, false);
       },

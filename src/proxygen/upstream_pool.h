@@ -23,6 +23,9 @@ class UpstreamPool {
     size_t maxIdlePerBackend = 8;
     Duration idleTimeout = Duration{10000};
     Duration connectTimeout = Duration{3000};
+    // Fault-injection tag bound to every fresh upstream fd (chaos
+    // tests target e.g. "origin.app"); empty ⇒ untagged.
+    std::string faultTag;
   };
 
   // `reused` distinguishes pool hits from fresh connects (metrics and

@@ -176,6 +176,64 @@ double reconnectCpuFraction(const ReconnectCpuParams& p) {
   return cpuSecondsNeeded / cpuSecondsAvailable;
 }
 
+FaultSweepResult simulateReleaseUnderFaults(const FaultModelParams& p) {
+  std::mt19937_64 rng(p.seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  FaultSweepResult r;
+  double unitsTouched = 0;
+  double unitsDisrupted = 0;
+
+  for (size_t host = 0; host < p.hosts; ++host) {
+    ++r.hostsRestarted;
+    unitsTouched += p.tunnelsPerHost + p.postsInFlightPerHost;
+
+    // Phase 1: Socket Takeover handoff. An aborted handoff degrades to
+    // a hard restart — every connection the host carried is reset.
+    if (p.takeoverAbortProb > 0 && unit(rng) < p.takeoverAbortProb) {
+      ++r.takeoverAborts;
+      r.tunnelsDropped += static_cast<uint64_t>(p.tunnelsPerHost);
+      r.postsFailed += static_cast<uint64_t>(p.postsInFlightPerHost);
+      unitsDisrupted += p.tunnelsPerHost + p.postsInFlightPerHost;
+      continue;
+    }
+
+    // Phase 2: DCR. The solicitation is re-sent until one transmission
+    // survives or retries run out; only total loss drops the tunnels.
+    if (p.solicitationLossProb > 0) {
+      bool delivered = false;
+      for (int attempt = 0; attempt <= p.solicitationRetries; ++attempt) {
+        if (unit(rng) >= p.solicitationLossProb) {
+          delivered = true;
+          break;
+        }
+        if (attempt < p.solicitationRetries) {
+          ++r.solicitationRetriesUsed;
+        }
+      }
+      if (!delivered) {
+        r.tunnelsDropped += static_cast<uint64_t>(p.tunnelsPerHost);
+        unitsDisrupted += p.tunnelsPerHost;
+      }
+    }
+
+    // Phase 3: PPR. Each in-flight POST replays independently.
+    if (p.pprReplayFailProb > 0) {
+      uint64_t posts = static_cast<uint64_t>(p.postsInFlightPerHost);
+      for (uint64_t i = 0; i < posts; ++i) {
+        if (unit(rng) < p.pprReplayFailProb) {
+          ++r.postsFailed;
+          unitsDisrupted += 1;
+        }
+      }
+    }
+  }
+
+  r.disruptionFraction =
+      unitsTouched > 0 ? unitsDisrupted / unitsTouched : 0.0;
+  return r;
+}
+
 double tailLatencyInflation(double offeredLoad, double capacityFraction) {
   // Single-queue approximation: p99 sojourn time scales with
   // 1/(1-utilization). utilization = offeredLoad / capacityFraction.

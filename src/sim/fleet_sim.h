@@ -109,6 +109,47 @@ struct ReconnectCpuParams {
 // during the reconnect window. Paper: 10% of Origin restarting ⇒ ~20%.
 double reconnectCpuFraction(const ReconnectCpuParams& params);
 
+// ------------------------------------------------- release-under-faults
+
+// Analytic companion to the chaos test suite: how often do the §4
+// mechanisms themselves fail when the control channels are lossy, and
+// what end-user disruption does that translate to across a rolling
+// release? Mirrors the fault kinds the netcore FaultRegistry injects
+// (aborted takeover handoffs, lost reconnect_solicitations, failed
+// 379 replays) so sim sweeps and chaos tests share one vocabulary.
+struct FaultModelParams {
+  size_t hosts = 100;
+  // Tunnels and in-flight POSTs per restarting host.
+  double tunnelsPerHost = 1000;
+  double postsInFlightPerHost = 50;
+
+  // Per-handoff probability that the SCM_RIGHTS exchange aborts
+  // (sendmsg reset mid-inventory). An aborted handoff falls back to a
+  // HardRestart of that host: every tunnel and POST on it disrupts.
+  double takeoverAbortProb = 0;
+  // Per-trunk probability one reconnect_solicitation transmission is
+  // lost; the Origin re-sends up to solicitationRetries times.
+  double solicitationLossProb = 0;
+  int solicitationRetries = 3;
+  // Per-POST probability the 379 replay itself fails (truncated body
+  // digest mismatch); the request surfaces a 500.
+  double pprReplayFailProb = 0;
+
+  uint64_t seed = 42;
+};
+
+struct FaultSweepResult {
+  uint64_t hostsRestarted = 0;
+  uint64_t takeoverAborts = 0;
+  uint64_t solicitationRetriesUsed = 0;
+  uint64_t tunnelsDropped = 0;
+  uint64_t postsFailed = 0;
+  // Disrupted units / total units touched by the release.
+  double disruptionFraction = 0;
+};
+
+FaultSweepResult simulateReleaseUnderFaults(const FaultModelParams& params);
+
 // ------------------------------------------------- latency-vs-capacity
 
 // M/M/c-style tail latency inflation when capacity drops (the §2.5

@@ -2,6 +2,7 @@
 
 #include <sys/epoll.h>
 
+#include "netcore/fault_injection.h"
 #include "netcore/fd_passing.h"
 
 namespace zdr::takeover {
@@ -69,6 +70,7 @@ void TakeoverServer::onAccept(UnixSocket peer) {
   }
   peer_ = std::move(peer);
   peer_.setNonBlocking(true);
+  fault::tagFd(peer_.fd(), "takeover.server");
   loop_.addFd(peer_.fd(), EPOLLIN, [this](uint32_t) { onPeerMessage(); });
 }
 
@@ -139,6 +141,7 @@ std::optional<TakeoverClient::Result> TakeoverClient::takeover(
   if (ec) {
     return std::nullopt;
   }
+  fault::tagFd(sock.fd(), "takeover.client");
 
   std::string req = encodeRequest();
   ec = sendFdsMsg(sock.fd(), req, {});

@@ -1,0 +1,177 @@
+// Downstream Connection Reuse under injected faults (§4.2): the
+// reconnect_solicitation is a single control frame on a lossy trunk —
+// lose it and every MQTT tunnel on the draining Origin dies with the
+// drain. These scenarios drop and delay trunk traffic during a
+// ZeroDowntime release and assert the paper's invariant: zero
+// client-visible MQTT drops, with the solicitation retry absorbing the
+// loss. The analytic FleetSim companion is sanity-checked against the
+// same fault vocabulary.
+#include <atomic>
+#include <gtest/gtest.h>
+
+#include "core/testbed.h"
+#include "core/workload.h"
+#include "netcore/fault_injection.h"
+#include "sim/fleet_sim.h"
+
+namespace zdr::core {
+namespace {
+
+void waitFor(const std::function<bool()>& pred, int ms = 15000) {
+  for (int i = 0; i < ms && !pred(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(pred());
+}
+
+TEST(ChaosDcrTest, SolicitationDroppedRetryStillMovesEveryTunnel) {
+  // Chaos mode must be live while the testbed builds so trunk fds get
+  // their tags bound.
+  fault::ScopedChaosMode chaos;
+
+  TestbedOptions opts;
+  opts.edges = 1;
+  opts.origins = 2;
+  opts.appServers = 1;
+  opts.enableMqtt = true;
+  opts.dcrEnabled = true;
+  opts.proxyDrainPeriod = Duration{400};
+  Testbed bed(opts);
+
+  MqttFleet::Options fo;
+  fo.clients = 6;
+  // Keepalive off: the only trunk traffic in the fault window is the
+  // drain burst itself, making the drop budget land deterministically.
+  fo.keepAliveInterval = Duration{0};
+  MqttFleet fleet(bed.mqttEntry(), fo, bed.metrics(), "fleet");
+  fleet.start();
+  waitFor([&] { return fleet.connectedCount() == 6; });
+
+  MqttPublisher::Options po;
+  po.fleetSize = 6;
+  po.interval = Duration{5};
+  {
+    MqttPublisher publisher(bed.broker(0).addr(), po, bed.metrics(), "pub");
+    publisher.start();
+    waitFor([&] { return fleet.publishesReceived() >= 20; });
+    publisher.stop();
+  }
+
+  // Swallow the first two origin-side trunk frames of the drain burst:
+  // the GOAWAY and the reconnect_solicitation both vanish. Only the
+  // re-sent solicitation can save the tunnels.
+  fault::FaultSpec spec;
+  spec.seed = 0xdc4;
+  spec.dropSendProb = 1.0;
+  spec.dropBudget = 2;
+  fault::FaultRegistry::instance().armTag("trunk.origin", spec);
+
+  bed.origin(0).beginRestart(release::Strategy::kZeroDowntime);
+  bed.origin(0).waitRestart();
+
+  auto stats = fault::FaultRegistry::instance().stats();
+  EXPECT_GE(stats.sendsDropped, 2u);
+  // The retry timer re-sent the solicitation within the drain window…
+  EXPECT_GE(
+      bed.metrics().counter("origin0.dcr_solicitations_resent").value(), 1u);
+  // …and the edge resumed every tunnel onto the healthy origin.
+  EXPECT_GE(bed.metrics().counter("edge.dcr_resumed").value(), 1u);
+  EXPECT_EQ(bed.metrics().counter("fleet.drops").value(), 0u);
+  EXPECT_EQ(fleet.connectedCount(), 6u);
+
+  // The publish stream flows end-to-end after the faulted release.
+  {
+    MqttPublisher publisher(bed.broker(0).addr(), po, bed.metrics(), "pub2");
+    publisher.start();
+    uint64_t mark = fleet.publishesReceived();
+    waitFor([&] { return fleet.publishesReceived() >= mark + 15; });
+    publisher.stop();
+  }
+  EXPECT_EQ(bed.metrics().counter("fleet.drops").value(), 0u);
+  fleet.stop();
+}
+
+TEST(ChaosDcrTest, TrunkDelaysDoNotDropClientsAcrossRelease) {
+  fault::ScopedChaosMode chaos;
+
+  TestbedOptions opts;
+  opts.edges = 1;
+  opts.origins = 2;
+  opts.appServers = 1;
+  opts.enableMqtt = true;
+  opts.dcrEnabled = true;
+  opts.proxyDrainPeriod = Duration{400};
+  Testbed bed(opts);
+
+  MqttFleet::Options fo;
+  fo.clients = 6;
+  fo.keepAliveInterval = Duration{50};
+  MqttFleet fleet(bed.mqttEntry(), fo, bed.metrics(), "fleet");
+  fleet.start();
+  waitFor([&] { return fleet.connectedCount() == 6; });
+
+  MqttPublisher::Options po;
+  po.fleetSize = 6;
+  po.interval = Duration{5};
+  MqttPublisher publisher(bed.broker(0).addr(), po, bed.metrics(), "pub");
+  publisher.start();
+  waitFor([&] { return fleet.publishesReceived() >= 20; });
+
+  // Jittery trunk, both directions: ~30% of frames arrive a few ms
+  // late — including, sometimes, the solicitation and resume frames.
+  fault::FaultSpec spec;
+  spec.seed = 0xde1a7;
+  spec.delayProb = 0.3;
+  spec.delay = std::chrono::milliseconds(3);
+  fault::FaultRegistry::instance().armTag("trunk.origin", spec);
+  fault::FaultRegistry::instance().armTag("trunk.edge", spec);
+
+  bed.origin(0).beginRestart(release::Strategy::kZeroDowntime);
+  bed.origin(0).waitRestart();
+  uint64_t mark = fleet.publishesReceived();
+  waitFor([&] { return fleet.publishesReceived() >= mark + 15; });
+  publisher.stop();
+
+  EXPECT_GE(fault::FaultRegistry::instance().stats().sendsDelayed, 1u);
+  EXPECT_EQ(bed.metrics().counter("fleet.drops").value(), 0u);
+  EXPECT_EQ(fleet.connectedCount(), 6u);
+  fleet.stop();
+}
+
+TEST(ChaosDcrTest, FleetSimFaultSweepMatchesMechanismExpectations) {
+  // The analytic model speaks the same fault vocabulary; its shape
+  // must match what the socket-level scenarios demonstrate.
+  sim::FaultModelParams p;
+  p.hosts = 2000;
+  p.solicitationLossProb = 0.5;
+  p.solicitationRetries = 3;
+  auto withRetries = sim::simulateReleaseUnderFaults(p);
+  EXPECT_GT(withRetries.solicitationRetriesUsed, 0u);
+
+  p.solicitationRetries = 0;
+  auto withoutRetries = sim::simulateReleaseUnderFaults(p);
+  // Retries shrink tunnel loss by roughly solicitationLossProb^retries.
+  EXPECT_LT(withRetries.tunnelsDropped, withoutRetries.tunnelsDropped / 4);
+  EXPECT_GT(withoutRetries.disruptionFraction,
+            withRetries.disruptionFraction);
+
+  sim::FaultModelParams clean;
+  clean.hosts = 500;
+  auto noFaults = sim::simulateReleaseUnderFaults(clean);
+  EXPECT_EQ(noFaults.takeoverAborts, 0u);
+  EXPECT_EQ(noFaults.tunnelsDropped, 0u);
+  EXPECT_EQ(noFaults.postsFailed, 0u);
+  EXPECT_DOUBLE_EQ(noFaults.disruptionFraction, 0.0);
+
+  sim::FaultModelParams hostile = clean;
+  hostile.takeoverAbortProb = 0.05;
+  hostile.pprReplayFailProb = 0.01;
+  auto underFire = sim::simulateReleaseUnderFaults(hostile);
+  EXPECT_GT(underFire.takeoverAborts, 0u);
+  EXPECT_GT(underFire.postsFailed, 0u);
+  EXPECT_GT(underFire.disruptionFraction, 0.0);
+  EXPECT_LT(underFire.disruptionFraction, 0.2);
+}
+
+}  // namespace
+}  // namespace zdr::core

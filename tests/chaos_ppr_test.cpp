@@ -1,0 +1,174 @@
+// Partial Post Replay under injected faults (§4.3): the origin→app hop
+// suffers truncated writes, delayed frames and spurious EAGAINs while
+// an upload is in flight and its App. Server hard-restarts. The 379
+// replay must still deliver a byte-identical body to the replacement
+// server — the client sees 200 and the right digest, never a 5xx.
+#include <atomic>
+#include <gtest/gtest.h>
+
+#include "core/testbed.h"
+#include "http/client.h"
+#include "netcore/fault_injection.h"
+
+namespace zdr::core {
+namespace {
+
+void waitFor(const std::function<bool()>& pred, int ms = 20000) {
+  for (int i = 0; i < ms && !pred(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(pred());
+}
+
+uint64_t fnv1a(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void installDigestHandlers(Testbed& bed) {
+  for (size_t i = 0; i < bed.appCount(); ++i) {
+    bed.app(i).withServer([](appserver::AppServer* s) {
+      if (s == nullptr) {
+        return;
+      }
+      s->setHandler([](const http::Request& req, http::Response& res) {
+        res.status = 200;
+        res.body = std::to_string(req.body.size()) + ":" +
+                   std::to_string(fnv1a(req.body));
+      });
+    });
+  }
+}
+
+TEST(ChaosPprTest, TruncatedAndDelayedAppWritesStillReplayByteExact) {
+  fault::ScopedChaosMode chaos;
+
+  TestbedOptions opts;
+  opts.edges = 1;
+  opts.origins = 1;
+  opts.appServers = 3;
+  opts.enableMqtt = false;
+  opts.pprEnabled = true;
+  opts.appDrainPeriod = Duration{150};
+  Testbed bed(opts);
+
+  // Hostile origin→app hop: 40% of writes truncated to 200 bytes, 20%
+  // of sends late; app→origin responses truncated too.
+  fault::FaultSpec appSpec;
+  appSpec.seed = 0x44c;
+  appSpec.truncateProb = 0.4;
+  appSpec.truncateBytes = 200;
+  appSpec.delayProb = 0.2;
+  appSpec.delay = std::chrono::milliseconds(2);
+  fault::FaultRegistry::instance().armTag("origin.app", appSpec);
+
+  fault::FaultSpec resSpec;
+  resSpec.seed = 0x44d;
+  resSpec.truncateProb = 0.3;
+  resSpec.truncateBytes = 64;
+  fault::FaultRegistry::instance().armTag("appserver.conn", resSpec);
+
+  EventLoopThread clientLoop("client");
+  for (int round = 0; round < 2; ++round) {
+    installDigestHandlers(bed);
+    constexpr size_t kChunks = 30;
+    constexpr size_t kChunkBytes = 777;
+    std::atomic<bool> done{false};
+    http::Client::Result result;
+    std::shared_ptr<http::Client> client;
+    clientLoop.runSync([&] {
+      client = http::Client::make(clientLoop.loop(), bed.httpEntry());
+      client->pacedPost("/upload/chaos" + std::to_string(round), kChunks,
+                        kChunkBytes, Duration{20},
+                        [&](http::Client::Result r) {
+                          result = r;
+                          done.store(true);
+                        },
+                        Duration{20000});
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(180));
+    for (size_t i = 0; i < bed.appCount(); ++i) {
+      size_t posts = 0;
+      bed.app(i).withServer([&](appserver::AppServer* s) {
+        if (s != nullptr) {
+          posts = s->inFlightPosts();
+        }
+      });
+      if (posts > 0) {
+        bed.app(i).beginRestart(release::Strategy::kHardRestart);
+        break;
+      }
+    }
+    waitFor([&] { return done.load(); });
+    clientLoop.runSync([&] { client->close(); });
+    for (size_t i = 0; i < bed.appCount(); ++i) {
+      bed.app(i).waitRestart();
+    }
+
+    ASSERT_EQ(result.response.status, 200) << "round " << round;
+    std::string expectedBody(kChunks * kChunkBytes, 'u');
+    std::string expected = std::to_string(expectedBody.size()) + ":" +
+                           std::to_string(fnv1a(expectedBody));
+    EXPECT_EQ(result.response.body, expected) << "round " << round;
+  }
+
+  EXPECT_GE(bed.metrics().counter("origin0.ppr_replays").value(), 1u);
+  auto stats = fault::FaultRegistry::instance().stats();
+  EXPECT_GE(stats.writesTruncated, 1u);
+  EXPECT_GE(stats.sendsDelayed, 1u);
+}
+
+TEST(ChaosPprTest, InjectedEagainOnAppHopIsAbsorbedWithoutReplay) {
+  fault::ScopedChaosMode chaos;
+
+  TestbedOptions opts;
+  opts.edges = 1;
+  opts.origins = 1;
+  opts.appServers = 2;
+  opts.enableMqtt = false;
+  opts.pprEnabled = true;
+  Testbed bed(opts);
+  installDigestHandlers(bed);
+
+  // Spurious EAGAIN on ~20% of origin→app writes: ordinary backpressure
+  // handling must absorb it — no replay, no client-visible error.
+  fault::FaultSpec spec;
+  spec.seed = 0xea9a;
+  spec.errProb = 0.2;
+  spec.errOp = fault::Op::kWrite;
+  spec.errErrno = EAGAIN;
+  fault::FaultRegistry::instance().armTag("origin.app", spec);
+
+  EventLoopThread clientLoop("client");
+  constexpr size_t kChunks = 12;
+  constexpr size_t kChunkBytes = 512;
+  std::atomic<bool> done{false};
+  http::Client::Result result;
+  std::shared_ptr<http::Client> client;
+  clientLoop.runSync([&] {
+    client = http::Client::make(clientLoop.loop(), bed.httpEntry());
+    client->pacedPost("/upload/eagain", kChunks, kChunkBytes, Duration{10},
+                      [&](http::Client::Result r) {
+                        result = r;
+                        done.store(true);
+                      },
+                      Duration{15000});
+  });
+  waitFor([&] { return done.load(); });
+  clientLoop.runSync([&] { client->close(); });
+
+  ASSERT_EQ(result.response.status, 200);
+  std::string expectedBody(kChunks * kChunkBytes, 'u');
+  std::string expected = std::to_string(expectedBody.size()) + ":" +
+                         std::to_string(fnv1a(expectedBody));
+  EXPECT_EQ(result.response.body, expected);
+  EXPECT_GE(fault::FaultRegistry::instance().stats().errnosInjected, 1u);
+  EXPECT_EQ(bed.metrics().counter("origin0.ppr_replays").value(), 0u);
+}
+
+}  // namespace
+}  // namespace zdr::core

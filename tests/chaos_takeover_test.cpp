@@ -1,0 +1,230 @@
+// Socket Takeover under injected faults (§4.1 + §5.1): the SCM_RIGHTS
+// exchange is interrupted at every step — request reset, inventory
+// sendmsg killed mid-handoff, ACK lost — and the invariant under test
+// is the paper's: a failed release must never reduce availability. The
+// old instance keeps serving its users through every aborted handoff,
+// and a retry after the fault clears succeeds.
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <gtest/gtest.h>
+#include <set>
+
+#include "netcore/connection.h"
+#include "netcore/fault_injection.h"
+#include "takeover/takeover.h"
+
+namespace zdr::takeover {
+namespace {
+
+std::string uniquePath(const std::string& tag) {
+  static std::atomic<int> counter{0};
+  return "/tmp/zdr_chaos_" + tag + "_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+// Blocking echo round-trip against the old instance's user-facing
+// port: the observable "is the service still up?" probe.
+bool echoWorks(const SocketAddr& addr) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return false;
+  }
+  sockaddr_in sa = addr.raw();
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) < 0) {
+    ::close(fd);
+    return false;
+  }
+  timeval tv{2, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  const char ping[4] = {'p', 'i', 'n', 'g'};
+  if (::send(fd, ping, sizeof(ping), MSG_NOSIGNAL) !=
+      static_cast<ssize_t>(sizeof(ping))) {
+    ::close(fd);
+    return false;
+  }
+  char buf[4] = {};
+  ssize_t n = ::recv(fd, buf, sizeof(buf), MSG_WAITALL);
+  ::close(fd);
+  return n == 4 && std::memcmp(buf, ping, 4) == 0;
+}
+
+// An "old instance": a takeover server plus a live echo service whose
+// availability is asserted across aborted handoffs.
+class ChaosTakeoverTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    loop_.runSync([&] {
+      acceptor_ = std::make_unique<Acceptor>(
+          loop_.loop(), TcpListener(SocketAddr("127.0.0.1", 0), {}),
+          [this](TcpSocket s) {
+            auto conn = Connection::make(loop_.loop(), std::move(s));
+            conns_.insert(conn);
+            conn->setDataCallback([conn](Buffer& in) {
+              conn->send(in.readable());
+              in.clear();
+            });
+            conn->setCloseCallback(
+                [this, conn](std::error_code) { conns_.erase(conn); });
+            conn->start();
+          });
+      echoAddr_ = acceptor_->localAddr();
+    });
+  }
+
+  void armServer(const std::string& path, Duration ackTimeout = Duration{5000}) {
+    loop_.runSync([&] {
+      TakeoverServer::Options opts;
+      opts.ackTimeout = ackTimeout;
+      server_ = std::make_unique<TakeoverServer>(
+          loop_.loop(), path,
+          [&](std::vector<int>& fds) {
+            Inventory inv;
+            inv.sockets.push_back(
+                {"http", Proto::kTcp, SocketAddr("127.0.0.1", 1)});
+            fds.push_back(0);  // stdin as a stand-in fd
+            return inv;
+          },
+          [&] { drained_.store(true); }, opts);
+    });
+  }
+
+  void waitAborted() {
+    for (int i = 0; i < 5000; ++i) {
+      bool aborted = false;
+      loop_.runSync([&] { aborted = server_->handoffAborted(); });
+      if (aborted) {
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    FAIL() << "handoff never aborted";
+  }
+
+  void TearDown() override {
+    loop_.runSync([&] {
+      server_.reset();
+      for (const auto& c : std::set<ConnectionPtr>(conns_)) {
+        c->close();
+      }
+      acceptor_.reset();
+    });
+  }
+
+  EventLoopThread loop_;
+  std::unique_ptr<TakeoverServer> server_;
+  std::unique_ptr<Acceptor> acceptor_;
+  std::set<ConnectionPtr> conns_;
+  SocketAddr echoAddr_;
+  std::atomic<bool> drained_{false};
+};
+
+TEST_F(ChaosTakeoverTest, RequestResetOldInstanceKeepsServingThenRetryWins) {
+  fault::ScopedChaosMode chaos;
+  auto path = uniquePath("reqreset");
+  armServer(path);
+  ASSERT_TRUE(echoWorks(echoAddr_));
+
+  // First suitor: its very first sendmsg (the takeover request) is
+  // reset on the wire.
+  fault::FaultSpec spec;
+  spec.seed = 0xc4a05;
+  spec.errProb = 1.0;
+  spec.errOp = fault::Op::kSendMsg;
+  spec.errErrno = ECONNRESET;
+  spec.errBudget = 1;
+  fault::FaultRegistry::instance().armTag("takeover.client", spec);
+
+  std::error_code ec;
+  auto result = TakeoverClient::takeover(path, ec);
+  EXPECT_FALSE(result.has_value());
+  EXPECT_TRUE(ec);
+  waitAborted();
+  EXPECT_FALSE(drained_.load());
+  EXPECT_TRUE(echoWorks(echoAddr_));  // availability preserved
+  EXPECT_GE(fault::FaultRegistry::instance().stats().errnosInjected, 1u);
+
+  // Fault budget exhausted: the retry suitor completes the handoff.
+  ec.clear();
+  auto retry = TakeoverClient::takeover(path, ec);
+  ASSERT_TRUE(retry.has_value()) << ec.message();
+  EXPECT_EQ(retry->sockets.size(), 1u);
+  for (int i = 0; i < 5000 && !drained_.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(drained_.load());
+}
+
+TEST_F(ChaosTakeoverTest, InventorySendKilledMidHandoffAbortsCleanly) {
+  fault::ScopedChaosMode chaos;
+  auto path = uniquePath("invkill");
+  armServer(path);
+  ASSERT_TRUE(echoWorks(echoAddr_));
+
+  // The server's sendmsg carrying inventory + fds dies mid-handoff —
+  // the paper's nightmare case: descriptors half-transferred.
+  fault::FaultSpec spec;
+  spec.seed = 0xc4a05;
+  spec.errProb = 1.0;
+  spec.errOp = fault::Op::kSendMsg;
+  spec.errErrno = EPIPE;
+  spec.errBudget = 1;
+  fault::FaultRegistry::instance().armTag("takeover.server", spec);
+
+  std::error_code ec;
+  auto result = TakeoverClient::takeover(path, ec);
+  EXPECT_FALSE(result.has_value());
+  waitAborted();
+  EXPECT_FALSE(drained_.load());
+  EXPECT_TRUE(echoWorks(echoAddr_));
+  EXPECT_GE(fault::FaultRegistry::instance().stats().errnosInjected, 1u);
+
+  ec.clear();
+  auto retry = TakeoverClient::takeover(path, ec);
+  ASSERT_TRUE(retry.has_value()) << ec.message();
+  for (int i = 0; i < 5000 && !drained_.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(drained_.load());
+}
+
+TEST_F(ChaosTakeoverTest, AckLostServerRollsBackAndStillServes) {
+  fault::ScopedChaosMode chaos;
+  auto path = uniquePath("acklost");
+  armServer(path, /*ackTimeout=*/Duration{200});
+  ASSERT_TRUE(echoWorks(echoAddr_));
+
+  // Let the request through, lose the ACK (errSkip=1): the server must
+  // time out, roll the release back, and keep ownership.
+  fault::FaultSpec spec;
+  spec.seed = 0xc4a05;
+  spec.errProb = 1.0;
+  spec.errOp = fault::Op::kSendMsg;
+  spec.errErrno = ECONNRESET;
+  spec.errSkip = 1;
+  spec.errBudget = 1;
+  fault::FaultRegistry::instance().armTag("takeover.client", spec);
+
+  std::error_code ec;
+  auto result = TakeoverClient::takeover(path, ec);
+  // The client saw the failure on its ACK write and reports it; the
+  // received fds were closed by the FdGuards, never leaked.
+  EXPECT_FALSE(result.has_value());
+  waitAborted();  // ack timeout fired
+  EXPECT_FALSE(drained_.load());
+  EXPECT_TRUE(echoWorks(echoAddr_));
+
+  ec.clear();
+  auto retry = TakeoverClient::takeover(path, ec);
+  ASSERT_TRUE(retry.has_value()) << ec.message();
+  for (int i = 0; i < 5000 && !drained_.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(drained_.load());
+}
+
+}  // namespace
+}  // namespace zdr::takeover

@@ -117,10 +117,11 @@ TEST(ConnectionTest, EchoRoundTrip) {
   std::mutex m;
 
   std::unique_ptr<Acceptor> acceptor;
+  std::vector<std::shared_ptr<Connection>> serverConns;  // loop-confined
   t.runSync([&] {
     // Server side: echo everything back.
     acceptor = std::make_unique<Acceptor>(
-        t.loop(), std::move(listener), [&t](TcpSocket sock) {
+        t.loop(), std::move(listener), [&t, &serverConns](TcpSocket sock) {
           auto conn = Connection::make(t.loop(), std::move(sock));
           conn->setDataCallback([conn](Buffer& in) {
             conn->send(in.readable());
@@ -128,6 +129,7 @@ TEST(ConnectionTest, EchoRoundTrip) {
           });
           conn->setCloseCallback([conn](std::error_code) {});
           conn->start();
+          serverConns.push_back(conn);
         });
   });
 
@@ -158,6 +160,12 @@ TEST(ConnectionTest, EchoRoundTrip) {
     if (client) {
       client->close({});
     }
+    // Close server conns explicitly: the loop may be torn down before
+    // they would observe the client's EOF, leaking their self-captures.
+    for (auto& c : serverConns) {
+      c->close({});
+    }
+    serverConns.clear();
     acceptor.reset();  // loop-confined: must die on the loop thread
   });
 }
@@ -185,6 +193,70 @@ TEST(ConnectionTest, ConnectorFailsFastOnRefusedPort) {
   }
   ASSERT_TRUE(done.load());
   EXPECT_TRUE(result);  // refused or timed out — must be an error
+}
+
+TEST(EventLoopTest, CancelAlreadyFiredPeriodicTimerStopsRefiring) {
+  // A periodic timer's next instance is queued before its callback
+  // runs; cancelling after it has fired must still kill that queued
+  // instance.
+  EventLoopThread t;
+  std::atomic<int> fired{0};
+  EventLoop::TimerId id = 0;
+  t.runSync([&] {
+    id = t.loop().runEvery(Duration{10}, [&] { fired.fetch_add(1); });
+  });
+  for (int i = 0; i < 500 && fired.load() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(fired.load(), 2);  // definitely fired already
+  t.runSync([&] { t.loop().cancelTimer(id); });
+  int atCancel = fired.load();
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_EQ(fired.load(), atCancel);
+}
+
+TEST(EventLoopTest, CancelPeriodicTimerFromInsideItsOwnCallback) {
+  EventLoopThread t;
+  std::atomic<int> fired{0};
+  auto id = std::make_shared<EventLoop::TimerId>(0);
+  t.runSync([&] {
+    *id = t.loop().runEvery(Duration{5}, [&, id] {
+      fired.fetch_add(1);
+      t.loop().cancelTimer(*id);  // self-cancel on first firing
+    });
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_EQ(fired.load(), 1);
+}
+
+TEST(EventLoopTest, RemoveFdFromInsideItsOwnIoCallback) {
+  // The handler erases itself mid-dispatch: the shared_ptr copy in
+  // iterate() must keep the callable alive through the call.
+  EventLoopThread t;
+  auto [a, b] = unixSocketPair();
+  std::atomic<int> invoked{0};
+  int fd = a.fd();
+  t.runSync([&] {
+    t.loop().addFd(fd, EPOLLIN, [&t, &invoked, fd](uint32_t) {
+      invoked.fetch_add(1);
+      t.loop().removeFd(fd);  // erase own handler while it executes
+    });
+  });
+  std::error_code ec;
+  std::string msg = "x";
+  b.write(std::as_bytes(std::span(msg.data(), msg.size())), ec);
+  ASSERT_FALSE(ec);
+  for (int i = 0; i < 500 && invoked.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(invoked.load(), 1);
+  bool watching = true;
+  t.runSync([&] { watching = t.loop().watching(fd); });
+  EXPECT_FALSE(watching);
+  // More data must not re-trigger the removed handler.
+  b.write(std::as_bytes(std::span(msg.data(), msg.size())), ec);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(invoked.load(), 1);
 }
 
 }  // namespace

@@ -1,5 +1,8 @@
 // MQTT codec, broker context persistence (the DCR substrate), client.
 #include <atomic>
+#include <memory>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "metrics/metrics.h"
@@ -136,12 +139,21 @@ class BrokerTest : public ::testing::Test {
     });
   }
   ~BrokerTest() override {
-    loop_.runSync([&] { broker_.reset(); });
+    // Abort clients before the loop dies: a still-open client holds a
+    // self-referential Connection that only close() unties.
+    loop_.runSync([&] {
+      for (auto& c : clients_) {
+        c->abort();
+      }
+      clients_.clear();
+      broker_.reset();
+    });
   }
 
   std::shared_ptr<Client> makeClient(const std::string& id) {
     std::shared_ptr<Client> c;
     loop_.runSync([&] { c = Client::make(loop_.loop(), id); });
+    clients_.push_back(c);
     return c;
   }
 
@@ -149,6 +161,7 @@ class BrokerTest : public ::testing::Test {
   MetricsRegistry metrics_;
   std::unique_ptr<Broker> broker_;
   SocketAddr addr_;
+  std::vector<std::shared_ptr<Client>> clients_;
 };
 
 TEST_F(BrokerTest, ConnectSubscribePublish) {

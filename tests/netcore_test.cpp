@@ -1,11 +1,16 @@
 // Unit tests for the netcore substrate: fd ownership, addresses,
 // buffers, sockets.
 #include <fcntl.h>
+#include <poll.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <gtest/gtest.h>
+#include <thread>
+#include <vector>
 
 #include "netcore/buffer.h"
+#include "netcore/fault_injection.h"
 #include "netcore/fd_guard.h"
 #include "netcore/result.h"
 #include "netcore/socket.h"
@@ -204,6 +209,141 @@ TEST(SocketTest, SocketPairBidirectional) {
   a.write(std::as_bytes(std::span(msg.data(), msg.size())), ec);
   std::array<std::byte, 4> buf;
   EXPECT_EQ(b.read(buf, ec), 1u);
+}
+
+// ------------------------------------------------------ fault injection
+
+TEST(FaultInjectionTest, DisarmedByDefaultAndPlansResolveByPriority) {
+  EXPECT_FALSE(fault::active());
+  fault::ScopedChaosMode chaos;
+  EXPECT_TRUE(fault::active());
+
+  auto& reg = fault::FaultRegistry::instance();
+  fault::FaultSpec spec;
+  auto tagPlan = reg.armTag("test.tag", spec);
+  auto fdPlan = reg.armFd(7, spec);
+  auto wildcard = reg.armAll(spec);
+
+  reg.bindTag(7, "test.tag");
+  EXPECT_EQ(reg.planFor(7), fdPlan);  // fd beats tag
+  reg.disarmFd(7);
+  EXPECT_EQ(reg.planFor(7), tagPlan);  // tag beats wildcard
+  reg.onFdClosed(7);
+  EXPECT_EQ(reg.planFor(7), wildcard);  // binding gone ⇒ wildcard
+}
+
+TEST(FaultInjectionTest, SeededDecisionsReplayIdentically) {
+  fault::ScopedChaosMode chaos;
+  fault::FaultSpec spec;
+  spec.seed = 1234;
+  spec.dropSendProb = 0.5;
+  auto& reg = fault::FaultRegistry::instance();
+
+  std::vector<bool> first, second;
+  auto a = reg.armTag("replay", spec);
+  for (int i = 0; i < 64; ++i) {
+    first.push_back(a->dropSend());
+  }
+  auto b = reg.armTag("replay", spec);  // fresh plan, same seed
+  for (int i = 0; i < 64; ++i) {
+    second.push_back(b->dropSend());
+  }
+  EXPECT_EQ(first, second);
+  EXPECT_TRUE(std::count(first.begin(), first.end(), true) > 0);
+  EXPECT_TRUE(std::count(first.begin(), first.end(), false) > 0);
+}
+
+TEST(FaultInjectionTest, BudgetsAndSkipGateInjections) {
+  fault::ScopedChaosMode chaos;
+  fault::FaultSpec spec;
+  spec.errProb = 1.0;
+  spec.errOp = fault::Op::kWrite;
+  spec.errErrno = EPIPE;
+  spec.errSkip = 2;
+  spec.errBudget = 3;
+  auto plan =
+      fault::FaultRegistry::instance().armTag("budget", spec);
+
+  int injected = 0;
+  for (int i = 0; i < 10; ++i) {
+    int err = 0;
+    if (plan->injectErr(fault::Op::kWrite, err)) {
+      EXPECT_EQ(err, EPIPE);
+      ++injected;
+    }
+  }
+  EXPECT_EQ(injected, 3);  // 2 skipped, 3 injected, budget exhausted
+  int err = 0;
+  EXPECT_FALSE(plan->injectErr(fault::Op::kRead, err));  // op mismatch
+}
+
+TEST(FaultInjectionTest, KillAtByteSeversTcpStreamAtBoundary) {
+  fault::ScopedChaosMode chaos;
+  TcpListener listener(SocketAddr::loopback(0));
+  std::error_code ec;
+  TcpSocket client = TcpSocket::connect(listener.localAddr(), ec);
+  ASSERT_FALSE(ec);
+  // Non-blocking connect: wait until the loopback handshake completes.
+  pollfd pfd{client.fd(), POLLOUT, 0};
+  ASSERT_GT(::poll(&pfd, 1, 2000), 0);
+
+  fault::FaultSpec spec;
+  spec.killAtByte = 10;
+  spec.killErrno = ECONNRESET;
+  fault::FaultRegistry::instance().armFd(client.fd(), spec);
+
+  std::string msg = "0123456789abcdef";  // 16 bytes; only 10 survive
+  size_t n = client.write(
+      std::as_bytes(std::span(msg.data(), msg.size())), ec);
+  EXPECT_FALSE(ec);
+  EXPECT_EQ(n, 10u);  // short write at the kill boundary
+  n = client.write(std::as_bytes(std::span(msg.data(), msg.size())), ec);
+  EXPECT_EQ(n, 0u);
+  EXPECT_EQ(ec, std::errc::connection_reset);  // dead forever after
+  EXPECT_GE(fault::FaultRegistry::instance().stats().writesKilled, 1u);
+}
+
+TEST(FaultInjectionTest, UdpDropAndDuplicate) {
+  fault::ScopedChaosMode chaos;
+  UdpSocket receiver(SocketAddr::loopback(0));
+  UdpSocket sender = UdpSocket::unbound();
+
+  // Duplicate every datagram.
+  fault::FaultSpec dupSpec;
+  dupSpec.udpDupProb = 1.0;
+  fault::FaultRegistry::instance().armFd(sender.fd(), dupSpec);
+  std::error_code ec;
+  std::string msg = "dgram";
+  sender.sendTo(std::as_bytes(std::span(msg.data(), msg.size())),
+                receiver.localAddr(), ec);
+  ASSERT_FALSE(ec);
+  std::array<std::byte, 64> buf;
+  SocketAddr from;
+  auto recvOne = [&]() -> size_t {
+    for (int i = 0; i < 500; ++i) {
+      size_t n = receiver.recvFrom(buf, from, ec);
+      if (!ec) {
+        return n;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return 0;
+  };
+  EXPECT_EQ(recvOne(), msg.size());
+  EXPECT_EQ(recvOne(), msg.size());  // the dupe
+  EXPECT_GE(
+      fault::FaultRegistry::instance().stats().datagramsDuplicated, 1u);
+
+  // Drop every datagram: reported sent, never delivered.
+  fault::FaultSpec dropSpec;
+  dropSpec.udpDropProb = 1.0;
+  fault::FaultRegistry::instance().armFd(sender.fd(), dropSpec);
+  EXPECT_EQ(sender.sendTo(std::as_bytes(std::span(msg.data(), msg.size())),
+                          receiver.localAddr(), ec),
+            msg.size());
+  EXPECT_FALSE(ec);
+  EXPECT_EQ(receiver.recvFrom(buf, from, ec), 0u);
+  EXPECT_EQ(ec, std::errc::operation_would_block);  // nothing arrived
 }
 
 }  // namespace
