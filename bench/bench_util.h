@@ -4,6 +4,7 @@
 // EXPERIMENTS.md).
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +31,13 @@ inline bool smokeMode() {
 template <typename T>
 inline T scaled(T full, T smoke = T{1}) {
   return smokeMode() ? smoke : full;
+}
+
+// Connection-fleet sizing for the closed-loop throughput benches: the
+// smoke pass caps the fleet (and with it per-cell wall time and fd
+// pressure) so the whole CI run stays well under a minute.
+inline size_t scaledConnections(size_t full, size_t smokeCap = 4) {
+  return smokeMode() ? std::min(full, smokeCap) : full;
 }
 
 inline void banner(const std::string& figure, const std::string& claim) {

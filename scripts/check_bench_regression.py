@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Warn-only bench regression check.
+
+Compares a freshly produced BENCH_*.json against the committed baseline
+and prints a warning for every metric outside the tolerance band. Never
+fails the build: CI runners are noisy shared machines, so the numbers
+are a trajectory signal for a human, not a gate.
+
+Usage:
+  scripts/check_bench_regression.py CURRENT.json BASELINE.json [--tolerance 0.30]
+"""
+
+import argparse
+import json
+import sys
+
+# Per-metric (direction, absolute floor). Direction +1 means higher is
+# better (warn when it drops), -1 lower is better (warn when it grows).
+# Deltas smaller than the floor are measurement noise on a loopback
+# smoke run (sub-ms latencies, a handful of syscalls) and never warn,
+# whatever the relative change.
+METRICS = {
+    "rps": (+1, 500.0),
+    "p50_ms": (-1, 0.5),
+    "p99_ms": (-1, 1.0),
+    "cpu_us_per_req": (-1, 5.0),
+    "write_syscalls_per_req": (-1, 0.5),
+}
+
+
+def cell_key(cell):
+    return (cell["http_workers"], cell["vectored_io"])
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("current")
+    ap.add_argument("baseline")
+    ap.add_argument("--tolerance", type=float, default=0.30)
+    args = ap.parse_args()
+
+    try:
+        with open(args.current) as f:
+            current = json.load(f)
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"::warning::bench regression check skipped: {e}")
+        return 0
+
+    if current.get("smoke") != baseline.get("smoke"):
+        print(
+            "::warning::bench regression check skipped: smoke flag differs "
+            f"(current={current.get('smoke')} baseline={baseline.get('smoke')})"
+        )
+        return 0
+
+    base_by_key = {cell_key(c): c for c in baseline.get("cells", [])}
+    warnings = 0
+    for cell in current.get("cells", []):
+        key = cell_key(cell)
+        base = base_by_key.get(key)
+        label = f"workers={key[0]} vectored={'on' if key[1] else 'off'}"
+        if base is None:
+            print(f"::warning::bench cell {label} missing from baseline")
+            warnings += 1
+            continue
+        if cell.get("errors", 0) > 0:
+            print(f"::warning::bench cell {label}: {cell['errors']} request errors")
+            warnings += 1
+        for metric, (direction, abs_floor) in METRICS.items():
+            cur_v = cell.get(metric)
+            base_v = base.get(metric)
+            if cur_v is None or base_v is None or base_v == 0:
+                continue
+            if abs(cur_v - base_v) < abs_floor:
+                continue
+            delta = (cur_v - base_v) / base_v
+            regressed = delta * direction < -args.tolerance
+            if regressed:
+                print(
+                    f"::warning::bench regression {label} {metric}: "
+                    f"{base_v:.3g} -> {cur_v:.3g} "
+                    f"({delta * 100:+.1f}%, tolerance ±{args.tolerance * 100:.0f}%)"
+                )
+                warnings += 1
+
+    if warnings == 0:
+        print(
+            f"bench regression check: all cells within "
+            f"±{args.tolerance * 100:.0f}% of baseline"
+        )
+    else:
+        print(f"bench regression check: {warnings} warning(s) — not failing the job")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -79,6 +79,12 @@ void ProxyHost::withActiveProxy(
   });
 }
 
+void ProxyHost::updateConfig(
+    const std::function<void(proxygen::Proxy::Config&)>& fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fn(config_);
+}
+
 double ProxyHost::hostCpuSeconds() {
   double cpu = 0;
   thread_.runSync([&cpu] { cpu = threadCpuSeconds(); });

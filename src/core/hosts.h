@@ -62,6 +62,10 @@ class ProxyHost final : public release::RestartableHost {
   // Runs `fn` on the host's loop with the active proxy (may be null
   // mid-HardRestart).
   void withActiveProxy(const std::function<void(proxygen::Proxy*)>& fn);
+  // Mutates the config the *next* restart boots with — the running
+  // instance is untouched. Models a release that ships a config change
+  // (e.g. a different worker count) alongside the new binary.
+  void updateConfig(const std::function<void(proxygen::Proxy::Config&)>& fn);
   // CPU seconds consumed by this host's loop thread.
   [[nodiscard]] double hostCpuSeconds();
   [[nodiscard]] bool serving();

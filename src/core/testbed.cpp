@@ -41,6 +41,7 @@ Testbed::Testbed(TestbedOptions opts) : opts_(opts) {
     cfg.requestTimeout = opts_.requestTimeout;
     cfg.pprEnabled = opts_.pprEnabled;
     cfg.dcrEnabled = opts_.dcrEnabled;
+    cfg.trunkWorkers = opts_.trunkWorkers;
     origins_.push_back(std::make_unique<ProxyHost>(
         "origin" + std::to_string(i), cfg, &metrics_));
   }
@@ -65,6 +66,7 @@ Testbed::Testbed(TestbedOptions opts) : opts_(opts) {
     cfg.requestTimeout = opts_.requestTimeout;
     cfg.dcrEnabled = opts_.dcrEnabled;
     cfg.udpUserSpaceRouting = opts_.udpUserSpaceRouting;
+    cfg.httpWorkers = opts_.httpWorkers;
     edges_.push_back(std::make_unique<ProxyHost>(
         "edge" + std::to_string(i), cfg, &metrics_));
   }

@@ -26,6 +26,11 @@ struct TestbedOptions {
   bool enableQuic = false;
   bool enableL4 = false;
 
+  // SO_REUSEPORT worker counts per proxy (1 = single-threaded, the
+  // historical behaviour). Edges use httpWorkers, origins trunkWorkers.
+  size_t httpWorkers = 1;
+  size_t trunkWorkers = 1;
+
   // Scaled-down drain periods (production: 20 min proxy, 10–15 s app).
   Duration proxyDrainPeriod = Duration{800};
   Duration appDrainPeriod = Duration{300};

@@ -30,6 +30,7 @@ HealthChecker::~HealthChecker() {
 }
 
 bool HealthChecker::isHealthy(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& s : states_) {
     if (s.target.name == name) {
       return s.healthy;
@@ -39,6 +40,7 @@ bool HealthChecker::isHealthy(const std::string& name) const {
 }
 
 std::vector<std::string> HealthChecker::healthyNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> out;
   for (const auto& s : states_) {
     if (s.healthy) {
@@ -49,6 +51,7 @@ std::vector<std::string> HealthChecker::healthyNames() const {
 }
 
 std::vector<BackendTarget> HealthChecker::healthyTargets() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<BackendTarget> out;
   for (const auto& s : states_) {
     if (s.healthy) {
@@ -59,6 +62,7 @@ std::vector<BackendTarget> HealthChecker::healthyTargets() const {
 }
 
 size_t HealthChecker::healthyCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   size_t n = 0;
   for (const auto& s : states_) {
     if (s.healthy) {
@@ -70,10 +74,13 @@ size_t HealthChecker::healthyCount() const {
 
 void HealthChecker::assumeAllHealthy() {
   bool changed = false;
-  for (auto& s : states_) {
-    changed |= !s.healthy;
-    s.healthy = true;
-    s.consecutiveFails = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& s : states_) {
+      changed |= !s.healthy;
+      s.healthy = true;
+      s.consecutiveFails = 0;
+    }
   }
   if (changed && onChange_) {
     onChange_();
@@ -81,17 +88,28 @@ void HealthChecker::assumeAllHealthy() {
 }
 
 void HealthChecker::probeAll() {
-  for (size_t i = 0; i < states_.size(); ++i) {
-    if (!states_[i].probeInFlight) {
-      probeOne(i);
+  std::vector<size_t> due;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t i = 0; i < states_.size(); ++i) {
+      if (!states_[i].probeInFlight) {
+        due.push_back(i);
+      }
     }
+  }
+  for (size_t i : due) {
+    probeOne(i);
   }
 }
 
 void HealthChecker::probeOne(size_t idx) {
-  states_[idx].probeInFlight = true;
+  SocketAddr addr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    states_[idx].probeInFlight = true;
+    addr = states_[idx].target.addr;
+  }
   auto alive = alive_;
-  auto addr = states_[idx].target.addr;
   auto path = opts_.path;
   auto timeout = opts_.probeTimeout;
   Connector::connect(
@@ -146,23 +164,28 @@ void HealthChecker::probeOne(size_t idx) {
 }
 
 void HealthChecker::onProbeResult(size_t idx, bool pass) {
-  auto& s = states_[idx];
-  s.probeInFlight = false;
-  bool was = s.healthy;
-  if (pass) {
-    s.consecutiveFails = 0;
-    ++s.consecutivePasses;
-    if (!s.healthy && s.consecutivePasses >= opts_.riseThreshold) {
-      s.healthy = true;
+  bool transitioned = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& s = states_[idx];
+    s.probeInFlight = false;
+    bool was = s.healthy;
+    if (pass) {
+      s.consecutiveFails = 0;
+      ++s.consecutivePasses;
+      if (!s.healthy && s.consecutivePasses >= opts_.riseThreshold) {
+        s.healthy = true;
+      }
+    } else {
+      s.consecutivePasses = 0;
+      ++s.consecutiveFails;
+      if (s.healthy && s.consecutiveFails >= opts_.failThreshold) {
+        s.healthy = false;
+      }
     }
-  } else {
-    s.consecutivePasses = 0;
-    ++s.consecutiveFails;
-    if (s.healthy && s.consecutiveFails >= opts_.failThreshold) {
-      s.healthy = false;
-    }
+    transitioned = was != s.healthy;
   }
-  if (was != s.healthy) {
+  if (transitioned) {
     if (metrics_) {
       metrics_->counter("l4.hc_transitions").add();
     }

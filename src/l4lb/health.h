@@ -10,6 +10,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -69,6 +70,9 @@ class HealthChecker {
   Options opts_;
   ChangeCallback onChange_;
   MetricsRegistry* metrics_;
+  // Probes run on loop_'s thread, but the healthy-set accessors are
+  // called from proxy worker threads; states_ is guarded throughout.
+  mutable std::mutex mutex_;
   std::vector<State> states_;
   EventLoop::TimerId timer_ = 0;
   std::shared_ptr<bool> alive_;  // guards async probe completions

@@ -5,9 +5,21 @@
 #include <array>
 
 #include "netcore/fault_injection.h"
+#include "netcore/io_stats.h"
 #include "netcore/result.h"
 
 namespace zdr {
+
+namespace {
+// Gather-write width per flush pass; Linux caps at IOV_MAX (1024) but
+// past a few dozen segments the syscall batching gain is already fully
+// realised.
+constexpr size_t kMaxIov = 64;
+// Sends smaller than this merge into the tail segment instead of
+// opening a new one, so bursts of tiny frames don't bloat the iovec
+// list.
+constexpr size_t kSegmentMergeCap = 16 * 1024;
+}  // namespace
 
 Connection::Connection(EventLoop& loop, TcpSocket sock)
     : loop_(loop), sock_(std::move(sock)) {}
@@ -19,6 +31,11 @@ Connection::~Connection() {
 }
 
 void Connection::start() {
+  // Proxy traffic is write-write-read (headers, then body, then wait
+  // for the response); with Nagle on, the second small write stalls
+  // behind the peer's delayed ACK — a ~40 ms floor per hop that dwarfs
+  // every other cost in the serving path.
+  sock_.setNoDelay(true);
   auto self = shared_from_this();
   loop_.addFd(sock_.fd(), EPOLLIN,
               [self](uint32_t events) { self->handleEvents(events); });
@@ -46,10 +63,38 @@ void Connection::handleEvents(uint32_t events) {
 }
 
 void Connection::handleReadable() {
-  std::array<std::byte, 16384> chunk;
+  bool vectored = vectoredIoEnabled();
   while (sock_.valid()) {
     std::error_code ec;
-    size_t n = sock_.read(chunk, ec);
+    size_t n = 0;
+    bool drained = false;
+    if (vectored) {
+      // Scatter read: land bytes directly in the input buffer's
+      // writable tail, with a stack chunk as overflow so one syscall
+      // can pull more than the reserved tail (muduo's trick — the
+      // overflow is appended only on the rare large read).
+      in_.ensureWritable(4096);
+      std::span<std::byte> tail = in_.writableSpan();
+      std::array<std::byte, 16384> extra;
+      std::array<iovec, 2> iov{{{tail.data(), tail.size()},
+                                {extra.data(), extra.size()}}};
+      n = sock_.readv(iov, ec);
+      if (!ec && n > 0) {
+        size_t intoTail = std::min(n, tail.size());
+        in_.commit(intoTail);
+        if (n > intoTail) {
+          in_.append(std::span(extra.data(), n - intoTail));
+        }
+        drained = n < tail.size() + extra.size();
+      }
+    } else {
+      std::array<std::byte, 16384> chunk;
+      n = sock_.read(chunk, ec);
+      if (!ec && n > 0) {
+        in_.append(std::span(chunk.data(), n));
+        drained = n < chunk.size();
+      }
+    }
     if (ec) {
       if (ec == std::errc::operation_would_block ||
           ec == std::errc::resource_unavailable_try_again) {
@@ -65,8 +110,7 @@ void Connection::handleReadable() {
       close({});
       return;
     }
-    in_.append(std::span(chunk.data(), n));
-    if (n < chunk.size()) {
+    if (drained) {
       break;  // drained the socket
     }
   }
@@ -78,28 +122,98 @@ void Connection::handleReadable() {
   }
 }
 
-void Connection::handleWritable() {
-  if (!out_.empty()) {
-    std::error_code ec;
-    size_t n = sock_.write(out_.readable(), ec);
-    if (ec && ec != std::errc::operation_would_block &&
-        ec != std::errc::resource_unavailable_try_again) {
-      close(ec);
-      return;
-    }
-    out_.consume(n);
+void Connection::handleWritable() { flushOut(); }
+
+void Connection::appendOut(std::span<const std::byte> bytes) {
+  if (out_.empty() || out_.back().size() + bytes.size() > kSegmentMergeCap) {
+    out_.emplace_back();
   }
-  if (out_.empty()) {
+  out_.back().append(bytes);
+  outBytes_ += bytes.size();
+}
+
+void Connection::consumeOut(size_t n) {
+  outBytes_ -= n;
+  while (n > 0) {
+    Buffer& front = out_.front();
+    size_t take = std::min(n, front.size());
+    front.consume(take);
+    n -= take;
+    if (front.empty()) {
+      out_.pop_front();
+    }
+  }
+}
+
+void Connection::flushOut() {
+  while (outBytes_ > 0 && sock_.valid()) {
+    std::error_code ec;
+    size_t attempted = 0;
+    size_t n = 0;
+    if (vectoredIoEnabled()) {
+      std::array<iovec, kMaxIov> iov;
+      size_t cnt = 0;
+      for (const auto& seg : out_) {
+        if (cnt == iov.size()) {
+          break;
+        }
+        auto r = seg.readable();
+        if (r.empty()) {
+          continue;
+        }
+        iov[cnt].iov_base = const_cast<std::byte*>(r.data());
+        iov[cnt].iov_len = r.size();
+        attempted += r.size();
+        ++cnt;
+      }
+      n = sock_.writev(std::span<const iovec>(iov.data(), cnt), ec);
+    } else {
+      auto r = out_.front().readable();
+      attempted = r.size();
+      n = sock_.write(r, ec);
+    }
+    if (ec) {
+      if (ec != std::errc::operation_would_block &&
+          ec != std::errc::resource_unavailable_try_again) {
+        close(ec);
+        return;
+      }
+      break;
+    }
+    consumeOut(n);
+    if (n < attempted) {
+      break;  // kernel buffer full (or injected short write): wait for EPOLLOUT
+    }
+  }
+  if (outBytes_ == 0) {
     if (drainCb_) {
       auto cb = drainCb_;  // same self-close hazard as dataCb_
       cb();
     }
-    if (closeOnDrain_) {
+    if (closeOnDrain_ && !closed_) {
       close({});
       return;
     }
   }
-  updateInterest();
+  if (!closed_) {
+    updateInterest();
+  }
+}
+
+void Connection::scheduleFlush() {
+  if (flushScheduled_) {
+    return;
+  }
+  flushScheduled_ = true;
+  auto self = shared_from_this();
+  loop_.runAtEnd([self] {
+    self->flushScheduled_ = false;
+    // A pending fault-injected delay owns the flush (timer-driven);
+    // flushing here would deliver the delayed bytes early.
+    if (!self->closed_ && !self->delayArmed_) {
+      self->flushOut();
+    }
+  });
 }
 
 void Connection::send(std::span<const std::byte> bytes) {
@@ -116,7 +230,7 @@ void Connection::send(std::span<const std::byte> bytes) {
       if (plan->delaySend(d)) {
         // Buffer WITHOUT registering write interest: only the timer
         // flushes, so delivery is deferred but byte order preserved.
-        out_.append(bytes);
+        appendOut(bytes);
         if (!delayArmed_) {
           delayArmed_ = true;
           auto self = shared_from_this();
@@ -131,14 +245,26 @@ void Connection::send(std::span<const std::byte> bytes) {
       }
       if (delayArmed_) {
         // A delayed flush is pending; queue behind it to keep order.
-        out_.append(bytes);
+        appendOut(bytes);
         return;
       }
     }
   }
-  // Fast path: try a direct write when nothing is queued.
+  if (bytes.empty()) {
+    return;
+  }
+  if (vectoredIoEnabled()) {
+    // Deferred flush: queue now, gather-write once at the end of this
+    // loop iteration. No epoll_ctl round-trip when the flush drains
+    // synchronously — updateInterest() is a no-op while wantWrite_
+    // never flips.
+    appendOut(bytes);
+    scheduleFlush();
+    return;
+  }
+  // Legacy hot path (ZDR_NO_VECTORED_IO): one write() per send.
   size_t written = 0;
-  if (out_.empty()) {
+  if (outBytes_ == 0) {
     std::error_code ec;
     written = sock_.write(bytes, ec);
     if (ec && ec != std::errc::operation_would_block &&
@@ -148,15 +274,15 @@ void Connection::send(std::span<const std::byte> bytes) {
     }
   }
   if (written < bytes.size()) {
-    out_.append(bytes.subspan(written));
+    appendOut(bytes.subspan(written));
     updateInterest();
-  } else if (closeOnDrain_ && out_.empty()) {
+  } else if (closeOnDrain_ && outBytes_ == 0) {
     close({});
   }
 }
 
 void Connection::updateInterest() {
-  bool want = !out_.empty();
+  bool want = outBytes_ > 0;
   if (want != wantWrite_ && sock_.valid() && registered_) {
     wantWrite_ = want;
     loop_.modifyFd(sock_.fd(),
@@ -169,6 +295,41 @@ void Connection::close(std::error_code reason) {
     return;
   }
   closed_ = true;
+  // Best-effort final drain. The legacy path hands bytes to the kernel
+  // synchronously inside send(), so a close() arriving later in the
+  // same loop iteration cannot lose them; the deferred gather-write
+  // path must not demote that to silent loss when a close beats the
+  // end-of-iteration flush. Skip while a fault-injected delay owns the
+  // queue — those bytes are "in flight in the network", not ours.
+  if (!delayArmed_ && outBytes_ > 0 && sock_.valid()) {
+    std::error_code ec;
+    while (outBytes_ > 0 && !ec) {
+      std::array<iovec, kMaxIov> iov;
+      size_t cnt = 0;
+      size_t attempted = 0;
+      for (const auto& seg : out_) {
+        if (cnt == iov.size()) {
+          break;
+        }
+        auto r = seg.readable();
+        if (r.empty()) {
+          continue;
+        }
+        iov[cnt].iov_base = const_cast<std::byte*>(r.data());
+        iov[cnt].iov_len = r.size();
+        attempted += r.size();
+        ++cnt;
+      }
+      size_t n = sock_.writev(std::span<const iovec>(iov.data(), cnt), ec);
+      if (ec) {
+        break;  // broken or full socket: the bytes are lost either way
+      }
+      consumeOut(n);
+      if (n < attempted) {
+        break;
+      }
+    }
+  }
   if (registered_ && sock_.valid()) {
     loop_.removeFd(sock_.fd());
     registered_ = false;
@@ -193,7 +354,7 @@ void Connection::close(std::error_code reason) {
 }
 
 void Connection::closeAfterFlush() {
-  if (out_.empty()) {
+  if (outBytes_ == 0 && !flushScheduled_) {
     close({});
   } else {
     closeOnDrain_ = true;
@@ -208,16 +369,25 @@ Acceptor::Acceptor(EventLoop& loop, TcpListener listener, AcceptCallback cb)
               [this](uint32_t) { handleReadable(); });
 }
 
-Acceptor::~Acceptor() { close(); }
+Acceptor::~Acceptor() {
+  *alive_ = false;
+  close();
+}
 
 void Acceptor::handleReadable() {
-  while (true) {
+  // `alive` and the callback copy outlive the Acceptor: check alive
+  // (short-circuit!) before touching any member, and never invoke cb_
+  // in place — the callback may destroy or detach() us mid-burst,
+  // which would free the std::function while it executes.
+  auto alive = alive_;
+  auto cb = cb_;
+  while (*alive && listener_.valid()) {
     std::error_code ec;
     auto sock = listener_.accept(ec);
     if (!sock) {
       break;  // EAGAIN or transient error; either way, wait for epoll
     }
-    cb_(std::move(*sock));
+    cb(std::move(*sock));
   }
 }
 

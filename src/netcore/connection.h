@@ -6,6 +6,7 @@
 // owning loop's thread.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string_view>
@@ -68,7 +69,7 @@ class Connection : public std::enable_shared_from_this<Connection> {
   // True once start() registered the fd (pooled connections are handed
   // out already started).
   [[nodiscard]] bool started() const noexcept { return registered_; }
-  [[nodiscard]] size_t pendingOutput() const noexcept { return out_.size(); }
+  [[nodiscard]] size_t pendingOutput() const noexcept { return outBytes_; }
   [[nodiscard]] int fd() const noexcept { return sock_.fd(); }
   [[nodiscard]] EventLoop& loop() noexcept { return loop_; }
   [[nodiscard]] TcpSocket& socket() noexcept { return sock_; }
@@ -79,11 +80,25 @@ class Connection : public std::enable_shared_from_this<Connection> {
   void handleReadable();
   void handleWritable();
   void updateInterest();
+  void appendOut(std::span<const std::byte> bytes);
+  void consumeOut(size_t n);
+  // Writes the queued segments to the kernel: one gather-write per pass
+  // in vectored mode, segment-at-a-time write() otherwise.
+  void flushOut();
+  // Defers one flushOut() to the end of the current loop iteration so
+  // every send() issued while handling this iteration's events shares
+  // one syscall.
+  void scheduleFlush();
 
   EventLoop& loop_;
   TcpSocket sock_;
   Buffer in_;
-  Buffer out_;
+  // Output queue: a deque of segments so a flush can gather-write them
+  // with writev without first memcpy-ing into one contiguous block.
+  // Small sends merge into the tail segment to keep the iovec list
+  // short.
+  std::deque<Buffer> out_;
+  size_t outBytes_ = 0;
   DataCallback dataCb_;
   CloseCallback closeCb_;
   DrainCallback drainCb_;
@@ -92,6 +107,7 @@ class Connection : public std::enable_shared_from_this<Connection> {
   bool closeOnDrain_ = false;
   bool closed_ = false;
   bool delayArmed_ = false;  // fault injection: a delayed flush is pending
+  bool flushScheduled_ = false;
 };
 
 using ConnectionPtr = std::shared_ptr<Connection>;
@@ -120,6 +136,11 @@ class Acceptor {
   EventLoop& loop_;
   TcpListener listener_;
   AcceptCallback cb_;
+  // The accept callback may destroy this Acceptor (a proxy tearing
+  // down on its last request) or detach() it; the accept loop checks
+  // this flag — through a copied shared_ptr — before touching members
+  // again.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 // Asynchronous TCP connect; invokes the callback exactly once.

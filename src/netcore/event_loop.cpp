@@ -79,6 +79,11 @@ void EventLoop::cancelTimer(TimerId id) {
   }
 }
 
+void EventLoop::runAtEnd(Callback cb) {
+  assert(isInLoopThread() || loopThreadId_.load() == std::thread::id{});
+  atEnd_.push_back(std::move(cb));
+}
+
 void EventLoop::runInLoop(Callback cb) {
   {
     std::lock_guard<std::mutex> lock(postedMutex_);
@@ -115,6 +120,7 @@ void EventLoop::run() {
     iterate(msUntilNextTimer());
   }
   drainPosted();  // honour posts raced with stop()
+  drainAtEnd();
 }
 
 void EventLoop::poll(Duration maxWait) {
@@ -147,6 +153,21 @@ void EventLoop::iterate(int timeoutMs) {
   }
   drainPosted();
   fireTimers();
+  drainAtEnd();
+}
+
+void EventLoop::drainAtEnd() {
+  // A task may enqueue follow-up work (a flush that re-arms after a
+  // partial write goes through epoll instead, but a callback chain may
+  // legitimately defer once more); bound the passes so a buggy
+  // self-requeueing task cannot wedge the loop.
+  for (int pass = 0; pass < 8 && !atEnd_.empty(); ++pass) {
+    std::vector<Callback> batch;
+    batch.swap(atEnd_);
+    for (auto& cb : batch) {
+      cb();
+    }
+  }
 }
 
 void EventLoop::drainPosted() {

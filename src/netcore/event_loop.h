@@ -50,6 +50,13 @@ class EventLoop {
   TimerId runEvery(Duration period, Callback cb);
   void cancelTimer(TimerId id);
 
+  // Defers `cb` to the end of the current loop iteration (after io
+  // dispatch, posted callbacks and timers). Loop thread only. This is
+  // the batching point for per-iteration work such as Connection's
+  // gather-write flush: everything queued while handling this
+  // iteration's events runs once, before the next epoll_wait.
+  void runAtEnd(Callback cb);
+
   // --- cross-thread ---
   // Enqueues `cb` to run on the loop thread; safe from any thread.
   void runInLoop(Callback cb);
@@ -81,6 +88,7 @@ class EventLoop {
   void iterate(int timeoutMs);
   void drainPosted();
   void fireTimers();
+  void drainAtEnd();
   [[nodiscard]] int msUntilNextTimer() const;
 
   FdGuard epollFd_;
@@ -94,6 +102,9 @@ class EventLoop {
 
   std::mutex postedMutex_;
   std::vector<Callback> posted_;
+
+  // End-of-iteration tasks; loop-thread-only, no lock (see runAtEnd).
+  std::vector<Callback> atEnd_;
 
   std::atomic<bool> stopped_{false};
   // Identity of the thread running run()/poll(). Deliberately NOT the

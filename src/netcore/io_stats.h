@@ -1,0 +1,65 @@
+// Process-wide socket I/O counters and the vectored-I/O kill switch.
+//
+// The counters exist so the throughput bench can report write syscalls
+// per request (the number the writev coalescing is supposed to shrink)
+// without strace. They are plain relaxed atomics: cheap enough to leave
+// on unconditionally, precise enough for before/after ratios.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+
+namespace zdr {
+
+struct IoStats {
+  std::atomic<uint64_t> readCalls{0};
+  std::atomic<uint64_t> readvCalls{0};
+  std::atomic<uint64_t> writeCalls{0};
+  std::atomic<uint64_t> writevCalls{0};
+  std::atomic<uint64_t> bytesRead{0};
+  std::atomic<uint64_t> bytesWritten{0};
+
+  void reset() noexcept {
+    readCalls = 0;
+    readvCalls = 0;
+    writeCalls = 0;
+    writevCalls = 0;
+    bytesRead = 0;
+    bytesWritten = 0;
+  }
+  [[nodiscard]] uint64_t totalWriteSyscalls() const noexcept {
+    return writeCalls.load(std::memory_order_relaxed) +
+           writevCalls.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t totalReadSyscalls() const noexcept {
+    return readCalls.load(std::memory_order_relaxed) +
+           readvCalls.load(std::memory_order_relaxed);
+  }
+};
+
+inline IoStats& ioStats() noexcept {
+  static IoStats stats;
+  return stats;
+}
+
+namespace detail {
+inline std::atomic<bool>& vectoredIoFlag() noexcept {
+  static std::atomic<bool> enabled{std::getenv("ZDR_NO_VECTORED_IO") ==
+                                   nullptr};
+  return enabled;
+}
+}  // namespace detail
+
+// When false (ZDR_NO_VECTORED_IO=1, or setVectoredIoEnabled(false)),
+// Connection falls back to the legacy one-write()-per-send hot path.
+// The bench flips this between runs to measure the same binary both
+// ways.
+inline bool vectoredIoEnabled() noexcept {
+  return detail::vectoredIoFlag().load(std::memory_order_relaxed);
+}
+inline void setVectoredIoEnabled(bool on) noexcept {
+  detail::vectoredIoFlag().store(on, std::memory_order_relaxed);
+}
+
+}  // namespace zdr

@@ -1,0 +1,107 @@
+#include "netcore/listener_group.h"
+
+namespace zdr {
+
+WorkerPool::WorkerPool(EventLoop& primary, size_t workers,
+                       const std::string& namePrefix)
+    : primary_(primary) {
+  for (size_t i = 1; i < workers; ++i) {
+    extras_.push_back(std::make_unique<EventLoopThread>(
+        namePrefix + "-" + std::to_string(i)));
+  }
+}
+
+void WorkerPool::runOn(size_t i, EventLoop::Callback fn) {
+  if (i == 0) {
+    // The primary loop is the caller's own thread by contract.
+    fn();
+    return;
+  }
+  extras_[i - 1]->runSync(std::move(fn));
+}
+
+std::vector<TcpListener> bindTcpRing(const SocketAddr& addr, size_t count,
+                                     int backlog) {
+  BindOptions opts;
+  opts.reusePort = true;
+  std::vector<TcpListener> ring;
+  ring.reserve(count);
+  ring.emplace_back(addr, opts, backlog);
+  // Port 0: the kernel picked a port for the first socket; the rest of
+  // the ring must bind that same concrete port.
+  SocketAddr actual = ring.front().localAddr();
+  for (size_t i = 1; i < count; ++i) {
+    ring.emplace_back(actual, opts, backlog);
+  }
+  return ring;
+}
+
+std::vector<UdpSocket> bindUdpRing(const SocketAddr& addr, size_t count) {
+  BindOptions opts;
+  opts.reusePort = true;
+  std::vector<UdpSocket> ring;
+  ring.reserve(count);
+  ring.emplace_back(addr, opts);
+  SocketAddr actual = ring.front().localAddr();
+  for (size_t i = 1; i < count; ++i) {
+    ring.emplace_back(actual, opts);
+  }
+  return ring;
+}
+
+ListenerGroup::ListenerGroup(WorkerPool& pool,
+                             std::vector<TcpListener> listeners,
+                             AcceptCallback cb)
+    : pool_(pool) {
+  addr_ = listeners.front().localAddr();
+  members_.resize(listeners.size());
+  fds_.reserve(listeners.size());
+  for (size_t i = 0; i < listeners.size(); ++i) {
+    size_t workerIdx = i % pool_.size();
+    fds_.push_back(listeners[i].fd());
+    members_[i].workerIdx = workerIdx;
+    // The Acceptor registers with its loop's epoll set, so it must be
+    // constructed on that loop's thread.
+    pool_.runOn(workerIdx, [this, i, workerIdx, &listeners, &cb] {
+      members_[i].acceptor = std::make_unique<Acceptor>(
+          pool_.loop(workerIdx), std::move(listeners[i]),
+          [cb, workerIdx](TcpSocket sock) { cb(workerIdx, std::move(sock)); });
+    });
+  }
+}
+
+ListenerGroup::~ListenerGroup() { closeAll(); }
+
+std::vector<FdGuard> ListenerGroup::detachAll() {
+  std::vector<FdGuard> fds(members_.size());
+  for (size_t i = 0; i < members_.size(); ++i) {
+    Member& m = members_[i];
+    if (!m.acceptor) {
+      continue;
+    }
+    pool_.runOn(m.workerIdx, [&m, &fds, i] {
+      fds[i] = m.acceptor->detach();
+      m.acceptor.reset();
+    });
+  }
+  // Compact out any already-detached holes, preserving ring order.
+  std::vector<FdGuard> out;
+  out.reserve(fds.size());
+  for (auto& fd : fds) {
+    if (fd.valid()) {
+      out.push_back(std::move(fd));
+    }
+  }
+  return out;
+}
+
+void ListenerGroup::closeAll() {
+  for (Member& m : members_) {
+    if (!m.acceptor) {
+      continue;
+    }
+    pool_.runOn(m.workerIdx, [&m] { m.acceptor.reset(); });
+  }
+}
+
+}  // namespace zdr

@@ -1,0 +1,102 @@
+// Multi-worker serving substrate: a pool of event-loop threads and a
+// ring of SO_REUSEPORT listeners spread across them.
+//
+// This mirrors the paper's Proxygen deployment (§4.1): each VIP is
+// served by N worker sockets bound with SO_REUSEPORT so the kernel
+// spreads incoming SYNs across the ring, and Socket Takeover hands the
+// *entire ring* to the next instance so the kernel's socket ring never
+// changes. quicish::Server has done this for UDP since the seed; this
+// header gives TCP the same shape.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "netcore/connection.h"
+#include "netcore/event_loop.h"
+#include "netcore/socket.h"
+
+namespace zdr {
+
+// A primary event loop (index 0, owned by the caller — typically the
+// instance's main loop) plus `workers - 1` extra EventLoopThreads.
+// With workers == 1 the pool is just the primary loop and everything
+// degenerates to today's single-threaded behaviour.
+class WorkerPool {
+ public:
+  WorkerPool(EventLoop& primary, size_t workers,
+             const std::string& namePrefix = "worker");
+  ~WorkerPool() = default;
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  [[nodiscard]] size_t size() const noexcept { return extras_.size() + 1; }
+  // Loop for worker `i`; 0 is the primary loop.
+  [[nodiscard]] EventLoop& loop(size_t i) noexcept {
+    return i == 0 ? primary_ : extras_[i - 1]->loop();
+  }
+
+  // Runs `fn` on worker `i`'s loop thread and waits for completion.
+  // Call only from the primary loop's thread (or before the loops
+  // run): workers must never runSync back into the primary, and the
+  // primary-to-worker direction is the one the drain/terminate fan-out
+  // uses.
+  void runOn(size_t i, EventLoop::Callback fn);
+
+ private:
+  EventLoop& primary_;
+  std::vector<std::unique_ptr<EventLoopThread>> extras_;
+};
+
+// Binds `count` TCP listeners on one address with SO_REUSEPORT. When
+// `addr` carries port 0, the kernel's pick for the first socket is
+// reused verbatim for the rest so the whole ring shares one port.
+std::vector<TcpListener> bindTcpRing(const SocketAddr& addr, size_t count,
+                                     int backlog = 128);
+// Same for UDP sockets (quicish::Server's worker ring).
+std::vector<UdpSocket> bindUdpRing(const SocketAddr& addr, size_t count);
+
+// N accepting sockets for one VIP, each owned by one worker loop.
+// Listener i lands on worker (i % pool.size()), so a takeover
+// inventory with more fds than workers stacks extra acceptors on the
+// early loops instead of orphaning them (§5.1: an unserved reuseport
+// socket silently black-holes its share of SYNs).
+class ListenerGroup {
+ public:
+  // Runs on the owning worker's loop thread.
+  using AcceptCallback = std::function<void(size_t workerIdx, TcpSocket)>;
+
+  ListenerGroup(WorkerPool& pool, std::vector<TcpListener> listeners,
+                AcceptCallback cb);
+  ~ListenerGroup();
+  ListenerGroup(const ListenerGroup&) = delete;
+  ListenerGroup& operator=(const ListenerGroup&) = delete;
+
+  [[nodiscard]] size_t count() const noexcept { return members_.size(); }
+  [[nodiscard]] const SocketAddr& localAddr() const noexcept { return addr_; }
+  // Listening fds in ring order; cached at construction so inventory
+  // building never has to hop threads.
+  [[nodiscard]] const std::vector<int>& fds() const noexcept { return fds_; }
+
+  // Stops accepting and releases every listening fd, in ring order
+  // (Socket Takeover handoff). Call from the primary loop thread.
+  std::vector<FdGuard> detachAll();
+  // Stops accepting and closes the ring. Call from the primary loop
+  // thread.
+  void closeAll();
+
+ private:
+  struct Member {
+    size_t workerIdx;
+    std::unique_ptr<Acceptor> acceptor;
+  };
+
+  WorkerPool& pool_;
+  std::vector<Member> members_;
+  std::vector<int> fds_;
+  SocketAddr addr_;
+};
+
+}  // namespace zdr

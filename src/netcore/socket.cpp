@@ -3,12 +3,14 @@
 #include <fcntl.h>
 
 #include "netcore/fault_injection.h"
+#include "netcore/io_stats.h"
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/types.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 
 namespace zdr {
@@ -151,7 +153,10 @@ size_t TcpSocket::read(std::span<std::byte> buf, std::error_code& ec) {
   if (detail::faultErr(fd_.get(), fault::Op::kRead, ec)) {
     return 0;
   }
-  return detail::ioResult(::read(fd_.get(), buf.data(), buf.size()), ec);
+  ioStats().readCalls.fetch_add(1, std::memory_order_relaxed);
+  size_t n = detail::ioResult(::read(fd_.get(), buf.data(), buf.size()), ec);
+  ioStats().bytesRead.fetch_add(n, std::memory_order_relaxed);
+  return n;
 }
 
 size_t TcpSocket::write(std::span<const std::byte> buf, std::error_code& ec) {
@@ -162,9 +167,70 @@ size_t TcpSocket::write(std::span<const std::byte> buf, std::error_code& ec) {
   if (detail::faultWriteFate(fd_.get(), len, ec)) {
     return 0;
   }
+  ioStats().writeCalls.fetch_add(1, std::memory_order_relaxed);
   // MSG_NOSIGNAL: a peer reset must surface as EPIPE, not kill the process.
-  return detail::ioResult(
+  size_t n = detail::ioResult(
       ::send(fd_.get(), buf.data(), len, MSG_NOSIGNAL), ec);
+  ioStats().bytesWritten.fetch_add(n, std::memory_order_relaxed);
+  return n;
+}
+
+size_t TcpSocket::readv(std::span<const iovec> iov, std::error_code& ec) {
+  if (detail::faultErr(fd_.get(), fault::Op::kRead, ec)) {
+    return 0;
+  }
+  ioStats().readvCalls.fetch_add(1, std::memory_order_relaxed);
+  size_t n = detail::ioResult(
+      ::readv(fd_.get(), iov.data(), static_cast<int>(iov.size())), ec);
+  ioStats().bytesRead.fetch_add(n, std::memory_order_relaxed);
+  return n;
+}
+
+size_t TcpSocket::writev(std::span<const iovec> iov, std::error_code& ec) {
+  if (detail::faultErr(fd_.get(), fault::Op::kWrite, ec)) {
+    return 0;
+  }
+  size_t total = 0;
+  for (const auto& v : iov) {
+    total += v.iov_len;
+  }
+  size_t len = total;
+  if (detail::faultWriteFate(fd_.get(), len, ec)) {
+    return 0;
+  }
+  // An injected short write shrinks the byte budget: trim a local iovec
+  // copy so the kernel never sees the disallowed tail. Gather-writes
+  // must truncate exactly like the scalar path or the chaos suites'
+  // expectations (retry-from-offset) break.
+  std::array<iovec, 64> trimmed;
+  std::span<const iovec> out = iov;
+  if (len < total) {
+    size_t cnt = 0;
+    size_t budget = len;
+    for (const auto& v : iov) {
+      if (budget == 0 || cnt == trimmed.size()) {
+        break;
+      }
+      trimmed[cnt] = v;
+      trimmed[cnt].iov_len = std::min(v.iov_len, budget);
+      budget -= trimmed[cnt].iov_len;
+      ++cnt;
+    }
+    out = std::span<const iovec>(trimmed.data(), cnt);
+    if (out.empty()) {
+      ec.clear();
+      return 0;
+    }
+  }
+  msghdr msg{};
+  msg.msg_iov = const_cast<iovec*>(out.data());
+  msg.msg_iovlen = out.size();
+  ioStats().writevCalls.fetch_add(1, std::memory_order_relaxed);
+  // sendmsg instead of plain writev(2) so MSG_NOSIGNAL applies, for
+  // EPIPE parity with write().
+  size_t n = detail::ioResult(::sendmsg(fd_.get(), &msg, MSG_NOSIGNAL), ec);
+  ioStats().bytesWritten.fetch_add(n, std::memory_order_relaxed);
+  return n;
 }
 
 std::error_code TcpSocket::connectError() const {

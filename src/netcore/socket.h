@@ -7,6 +7,7 @@
 #pragma once
 
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <sys/un.h>
 
 #include <cstddef>
@@ -57,6 +58,13 @@ class TcpSocket {
   // included — callers in the event loop treat EAGAIN as "wait").
   size_t read(std::span<std::byte> buf, std::error_code& ec);
   size_t write(std::span<const std::byte> buf, std::error_code& ec);
+
+  // Scatter read across several buffers in one readv(2) syscall.
+  size_t readv(std::span<const iovec> iov, std::error_code& ec);
+  // Gather write in one sendmsg(2) (MSG_NOSIGNAL, like write).
+  // Injected short-write faults apply to the *total* byte count, so
+  // message-level truncation semantics match the scalar write path.
+  size_t writev(std::span<const iovec> iov, std::error_code& ec);
 
   [[nodiscard]] std::error_code connectError() const;
   void shutdownWrite() noexcept;

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <list>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -21,6 +22,7 @@ class EdgeCache {
       : capacity_(capacity), ttl_(ttl) {}
 
   std::optional<http::Response> get(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = index_.find(key);
     if (it == index_.end()) {
       ++misses_;
@@ -39,6 +41,7 @@ class EdgeCache {
   }
 
   void put(const std::string& key, http::Response response) {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = index_.find(key);
     if (it != index_.end()) {
       it->second->response = std::move(response);
@@ -56,15 +59,29 @@ class EdgeCache {
   }
 
   void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
     order_.clear();
     index_.clear();
   }
 
-  [[nodiscard]] size_t size() const noexcept { return index_.size(); }
-  [[nodiscard]] uint64_t hits() const noexcept { return hits_; }
-  [[nodiscard]] uint64_t misses() const noexcept { return misses_; }
-  [[nodiscard]] uint64_t evictions() const noexcept { return evictions_; }
-  [[nodiscard]] uint64_t expirations() const noexcept {
+  [[nodiscard]] size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return index_.size();
+  }
+  [[nodiscard]] uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+  }
+  [[nodiscard]] uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+  }
+  [[nodiscard]] uint64_t evictions() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return evictions_;
+  }
+  [[nodiscard]] uint64_t expirations() const {
+    std::lock_guard<std::mutex> lock(mutex_);
     return expirations_;
   }
 
@@ -75,6 +92,9 @@ class EdgeCache {
     TimePoint insertedAt;
   };
 
+  // Edge workers share one cache (a per-shard cache would cut the hit
+  // rate by the worker count for hot keys).
+  mutable std::mutex mutex_;
   size_t capacity_;
   Duration ttl_;
   std::list<Entry> order_;  // MRU first

@@ -16,6 +16,7 @@
 // UNIX socket (SCM_RIGHTS), then drains.
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <map>
 #include <memory>
@@ -31,6 +32,7 @@
 #include "metrics/metrics.h"
 #include "mqtt/codec.h"
 #include "netcore/connection.h"
+#include "netcore/listener_group.h"
 #include "proxygen/edge_cache.h"
 #include "proxygen/upstream_pool.h"
 #include "quicish/server.h"
@@ -82,6 +84,13 @@ class Proxy {
     int dcrSolicitRetries = 3;
     bool udpUserSpaceRouting = true;
     size_t udpWorkers = 4;
+    // TCP worker counts: each worker is an event-loop thread owning
+    // one SO_REUSEPORT listener per VIP and every connection it
+    // accepts (§4.1's socket ring). 1 ⇒ the single-threaded behaviour
+    // every pre-existing test assumes. Edge role uses httpWorkers,
+    // origin role uses trunkWorkers.
+    size_t httpWorkers = 1;
+    size_t trunkWorkers = 1;
     bool edgeCacheEnabled = true;
     // Probing of App. Servers (origin role).
     l4lb::HealthChecker::Options appServerHealth{};
@@ -112,22 +121,28 @@ class Proxy {
   // End of drain period: reset whatever is still alive.
   void terminate();
 
-  [[nodiscard]] bool draining() const noexcept { return draining_; }
-  [[nodiscard]] bool terminated() const noexcept { return terminated_; }
+  [[nodiscard]] bool draining() const noexcept {
+    return draining_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool terminated() const noexcept {
+    return terminated_.load(std::memory_order_acquire);
+  }
   [[nodiscard]] const Config& config() const noexcept { return config_; }
   [[nodiscard]] const std::string& name() const noexcept {
     return config_.name;
   }
 
   // --- introspection for tests/experiments ---
+  // Connection/session counts are kept in atomics (sharded state lives
+  // on worker threads) so these are callable from any thread.
   [[nodiscard]] size_t userConnCount() const noexcept {
-    return userConns_.size();
+    return userConnCount_.load(std::memory_order_acquire);
   }
   [[nodiscard]] size_t mqttTunnelCount() const noexcept {
     return mqttTunnels_.size();
   }
   [[nodiscard]] size_t trunkSessionCount() const noexcept {
-    return trunkServerSessions_.size();
+    return trunkSessionCount_.load(std::memory_order_acquire);
   }
   [[nodiscard]] quicish::Server* quicServer() noexcept {
     return quicServer_.get();
@@ -135,9 +150,11 @@ class Proxy {
   [[nodiscard]] l4lb::HealthChecker* appServerHealth() noexcept {
     return appHealth_.get();
   }
-  [[nodiscard]] UpstreamPool* upstreamPool() noexcept {
-    return appPool_.get();
-  }
+  // Shard 0's pool (the only shard when trunkWorkers == 1).
+  [[nodiscard]] UpstreamPool* upstreamPool() noexcept;
+  // Number of event-loop shards serving this role (>= 1; shard 0 is
+  // the primary loop).
+  [[nodiscard]] size_t shardCount() const noexcept;
 
  private:
   // ---------- shared ----------
@@ -147,16 +164,35 @@ class Proxy {
   struct TrunkServerConn;  // origin: one accepted trunk session
   struct OriginRequest;    // origin: one HTTP request being proxied
   struct BrokerTunnel;     // origin: one MQTT tunnel to a broker
+  // One event-loop shard: a worker loop plus every piece of per-
+  // connection state confined to it (defined in proxy_detail.h).
+  struct Shard;
 
   void initCommon();
   void startFresh();
   void startFromHandoff(takeover::TakeoverClient::Result handoff);
   void bump(const std::string& counter, uint64_t n = 1);
+  static void bumpHot(Counter* c, uint64_t n = 1) {
+    if (c != nullptr) {
+      c->add(n);
+    }
+  }
   takeover::Inventory buildInventory(std::vector<int>& fds);
+  // Runs fn(shard) on every shard's own loop thread, synchronously,
+  // in shard order. Primary-thread only.
+  void forEachShard(const std::function<void(Shard&)>& fn);
+  [[nodiscard]] size_t tcpWorkerCount() const noexcept {
+    size_t n = config_.role == Role::kEdge ? config_.httpWorkers
+                                           : config_.trunkWorkers;
+    return n == 0 ? 1 : n;
+  }
 
   // ---------- edge ----------
-  void edgeOnHttpAccept(TcpSocket sock);
+  void edgeOnHttpAccept(Shard& sh, TcpSocket sock);
   void edgeOnHttpRequestHeaders(const std::shared_ptr<UserHttpConn>& uc);
+  // Forwards the parsed request over a trunk; retried briefly while
+  // trunks are still connecting (instance bring-up after a takeover).
+  void edgeDispatchUpstream(const std::shared_ptr<UserHttpConn>& uc);
   void edgeOnHttpBody(const std::shared_ptr<UserHttpConn>& uc,
                       std::string_view fragment, bool last);
   void edgeServeLocal(const std::shared_ptr<UserHttpConn>& uc,
@@ -167,8 +203,8 @@ class Proxy {
   void edgeFinishUserRequest(const std::shared_ptr<UserHttpConn>& uc);
   void edgeFailUserRequest(const std::shared_ptr<UserHttpConn>& uc,
                            int status, const std::string& why);
-  TrunkLink* edgePickTrunk();
-  void edgeEnsureTrunk(size_t idx);
+  TrunkLink* edgePickTrunk(Shard& sh);
+  void edgeEnsureTrunk(Shard& sh, size_t idx);
   void edgeOnTrunkControl(TrunkLink* link, const h2::Frame& frame);
   void edgeOnTrunkClosed(TrunkLink* link);
   void edgeOnMqttAccept(TcpSocket sock);
@@ -179,7 +215,7 @@ class Proxy {
                           std::error_code why);
 
   // ---------- origin ----------
-  void originOnTrunkAccept(TcpSocket sock);
+  void originOnTrunkAccept(Shard& sh, TcpSocket sock);
   void originOnStreamHeaders(const std::shared_ptr<TrunkServerConn>& tc,
                              uint32_t streamId, const h2::HeaderList& headers,
                              bool endStream);
@@ -199,38 +235,61 @@ class Proxy {
   void originOpenBrokerTunnel(const std::shared_ptr<TrunkServerConn>& tc,
                               uint32_t streamId, const std::string& userId,
                               bool resume);
-  const BackendRef* originPickAppServer(const std::string& excludeName);
+  const BackendRef* originPickAppServer(Shard& sh,
+                                        const std::string& excludeName);
   const BackendRef* originBrokerFor(const std::string& userId);
 
   EventLoop& loop_;
   Config config_;
   MetricsRegistry* metrics_;
 
+  // Counters bumped on every request ride pre-resolved pointers: the
+  // registry's map lookup (string hash + lock) is off the hot path.
+  // Counter addresses are stable for the registry's lifetime.
+  struct HotCounters {
+    Counter* requests = nullptr;          // "<name>.requests"
+    Counter* responsesRelayed = nullptr;  // edge "<name>.responses_relayed"
+    Counter* responsesSent = nullptr;     // origin "<name>.responses_sent"
+    Counter* httpConnAccepted = nullptr;  // edge "<name>.http_conn_accepted"
+    Counter* trunkAccepted = nullptr;     // origin "<name>.trunk_accepted"
+    Counter* cacheHit = nullptr;          // "edge.cache_hit"
+    Counter* cacheMiss = nullptr;         // "edge.cache_miss"
+  };
+  HotCounters hot_;
+
+  // Worker threads + per-worker state. Declared before the listener
+  // groups (which hold Acceptors living on worker loops) so listeners
+  // are destroyed first; terminate() clears each shard's connection
+  // state on its own thread before ~WorkerPool joins the loops.
+  std::unique_ptr<WorkerPool> workers_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
   // Listeners (either freshly bound or adopted via takeover).
-  std::unique_ptr<Acceptor> httpAcceptor_;
-  std::unique_ptr<Acceptor> mqttAcceptor_;
-  std::unique_ptr<Acceptor> trunkAcceptor_;
+  // http/trunk are SO_REUSEPORT rings spread over the workers; mqtt
+  // stays on the primary loop (tunnels are pinned to shard 0).
+  std::unique_ptr<ListenerGroup> httpListeners_;
+  std::vector<std::unique_ptr<Acceptor>> mqttAcceptors_;
+  std::unique_ptr<ListenerGroup> trunkListeners_;
   std::unique_ptr<quicish::Server> quicServer_;
 
   std::unique_ptr<takeover::TakeoverServer> takeoverServer_;
 
-  // Edge state.
-  std::set<std::shared_ptr<UserHttpConn>> userConns_;
+  // Edge state that stays on the primary loop (MQTT tunnels only ever
+  // ride shard-0 trunk links).
   std::set<std::shared_ptr<MqttTunnel>> mqttTunnels_;
-  std::vector<std::unique_ptr<TrunkLink>> trunkLinks_;
-  size_t trunkRoundRobin_ = 0;
   EdgeCache edgeCache_;
 
-  // Origin state.
-  std::set<std::shared_ptr<TrunkServerConn>> trunkServerSessions_;
-  std::unique_ptr<UpstreamPool> appPool_;
+  // Origin state shared across shards (HealthChecker/EdgeCache are
+  // internally locked; brokerHash_ is immutable after construction).
   std::unique_ptr<l4lb::HealthChecker> appHealth_;
   std::unique_ptr<l4lb::ConsistentHash> brokerHash_;
-  size_t appRoundRobin_ = 0;
 
-  bool draining_ = false;
-  bool hardDraining_ = false;
-  bool terminated_ = false;
+  std::atomic<size_t> userConnCount_{0};
+  std::atomic<size_t> trunkSessionCount_{0};
+
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> hardDraining_{false};
+  std::atomic<bool> terminated_{false};
   EventLoop::TimerId drainTimer_ = 0;
   EventLoop::TimerId solicitTimer_ = 0;
   int solicitRetriesLeft_ = 0;

@@ -1,5 +1,11 @@
 // Proxy lifecycle: construction (fresh and via Socket Takeover),
 // takeover server, drain orchestration, teardown.
+//
+// Threading: the Proxy is constructed, drained, and destroyed on the
+// primary loop's thread. Per-connection state lives in Shards, each
+// confined to one event-loop thread; the lifecycle code below reaches
+// into shards only through forEachShard (runSync fan-out), which
+// serializes against the shard's own callbacks.
 #include "proxygen/proxy_detail.h"
 
 namespace zdr::proxygen {
@@ -18,7 +24,7 @@ Proxy::Proxy(EventLoop& loop, Config config, MetricsRegistry* metrics,
 }
 
 Proxy::~Proxy() {
-  if (!terminated_) {
+  if (!terminated()) {
     terminate();
   }
 }
@@ -29,11 +35,56 @@ void Proxy::bump(const std::string& counter, uint64_t n) {
   }
 }
 
+UpstreamPool* Proxy::upstreamPool() noexcept {
+  return shards_.empty() ? nullptr : shards_.front()->appPool.get();
+}
+
+size_t Proxy::shardCount() const noexcept { return shards_.size(); }
+
+void Proxy::forEachShard(const std::function<void(Shard&)>& fn) {
+  for (auto& sh : shards_) {
+    workers_->runOn(sh->idx, [&fn, &sh] { fn(*sh); });
+  }
+}
+
 void Proxy::initCommon() {
+  workers_ = std::make_unique<WorkerPool>(loop_, tcpWorkerCount(),
+                                          config_.name + ".worker");
+  shards_.reserve(workers_->size());
+  for (size_t i = 0; i < workers_->size(); ++i) {
+    auto sh = std::make_unique<Shard>();
+    sh->idx = i;
+    sh->loop = &workers_->loop(i);
+    shards_.push_back(std::move(sh));
+  }
+
+  if (metrics_) {
+    hot_.requests = &metrics_->counter(config_.name + ".requests");
+    if (config_.role == Role::kEdge) {
+      hot_.responsesRelayed =
+          &metrics_->counter(config_.name + ".responses_relayed");
+      hot_.httpConnAccepted =
+          &metrics_->counter(config_.name + ".http_conn_accepted");
+      hot_.cacheHit = &metrics_->counter("edge.cache_hit");
+      hot_.cacheMiss = &metrics_->counter("edge.cache_miss");
+    } else {
+      hot_.responsesSent =
+          &metrics_->counter(config_.name + ".responses_sent");
+      hot_.trunkAccepted =
+          &metrics_->counter(config_.name + ".trunk_accepted");
+    }
+  }
+
   if (config_.role == Role::kOrigin) {
-    UpstreamPool::Options poolOpts;
-    poolOpts.faultTag = "origin.app";
-    appPool_ = std::make_unique<UpstreamPool>(loop_, poolOpts, metrics_);
+    // Each shard gets its own pool: pooled connections live on the
+    // shard's loop, and the pool's reap timer must be armed on the
+    // loop that owns it.
+    forEachShard([this](Shard& sh) {
+      UpstreamPool::Options poolOpts;
+      poolOpts.faultTag = "origin.app";
+      sh.appPool = std::make_unique<UpstreamPool>(*sh.loop, poolOpts,
+                                                  metrics_);
+    });
     if (!config_.appServers.empty()) {
       std::vector<l4lb::BackendTarget> targets;
       for (const auto& a : config_.appServers) {
@@ -53,17 +104,20 @@ void Proxy::initCommon() {
 }
 
 void Proxy::startFresh() {
-  BindOptions opts;
   if (config_.role == Role::kEdge) {
     if (config_.enableHttpVip) {
-      httpAcceptor_ = std::make_unique<Acceptor>(
-          loop_, TcpListener(config_.httpVip, opts),
-          [this](TcpSocket s) { edgeOnHttpAccept(std::move(s)); });
+      httpListeners_ = std::make_unique<ListenerGroup>(
+          *workers_, bindTcpRing(config_.httpVip, workers_->size()),
+          [this](size_t w, TcpSocket s) {
+            edgeOnHttpAccept(*shards_[w], std::move(s));
+          });
     }
     if (config_.enableMqttVip) {
-      mqttAcceptor_ = std::make_unique<Acceptor>(
-          loop_, TcpListener(config_.mqttVip, opts),
-          [this](TcpSocket s) { edgeOnMqttAccept(std::move(s)); });
+      // MQTT stays on the primary loop: tunnels are pinned to shard 0
+      // so DCR resume never has to coordinate across workers.
+      mqttAcceptors_.push_back(std::make_unique<Acceptor>(
+          loop_, TcpListener(config_.mqttVip, BindOptions{}),
+          [this](TcpSocket s) { edgeOnMqttAccept(std::move(s)); }));
     }
     if (config_.enableQuicVip) {
       quicish::Server::Options qo;
@@ -73,17 +127,24 @@ void Proxy::startFresh() {
       quicServer_ = std::make_unique<quicish::Server>(loop_, config_.quicVip,
                                                       qo, metrics_);
     }
-    // Establish trunks to every configured origin.
-    for (size_t i = 0; i < config_.origins.size(); ++i) {
-      trunkLinks_.push_back(std::make_unique<TrunkLink>());
-      trunkLinks_.back()->origin = config_.origins[i];
-      trunkLinks_.back()->idx = i;
-      edgeEnsureTrunk(i);
-    }
+    // Every shard establishes its own trunks to every configured
+    // origin (connections are thread-confined; sharing one session
+    // across loops would mean locking the whole h2 stack).
+    forEachShard([this](Shard& sh) {
+      for (size_t i = 0; i < config_.origins.size(); ++i) {
+        sh.trunkLinks.push_back(std::make_unique<TrunkLink>());
+        sh.trunkLinks.back()->shard = &sh;
+        sh.trunkLinks.back()->origin = config_.origins[i];
+        sh.trunkLinks.back()->idx = i;
+        edgeEnsureTrunk(sh, i);
+      }
+    });
   } else {
-    trunkAcceptor_ = std::make_unique<Acceptor>(
-        loop_, TcpListener(config_.trunkAddr, opts),
-        [this](TcpSocket s) { originOnTrunkAccept(std::move(s)); });
+    trunkListeners_ = std::make_unique<ListenerGroup>(
+        *workers_, bindTcpRing(config_.trunkAddr, workers_->size()),
+        [this](size_t w, TcpSocket s) {
+          originOnTrunkAccept(*shards_[w], std::move(s));
+        });
   }
 }
 
@@ -92,27 +153,75 @@ void Proxy::startFromHandoff(takeover::TakeoverClient::Result handoff) {
   // consumed — an ignored fd would keep a kernel socket alive with
   // nobody reading it, black-holing its share of traffic (§5.1).
   std::vector<FdGuard> quicFds;
+  std::vector<TcpListener> httpRing;
+  std::vector<TcpListener> mqttRing;
+  std::vector<TcpListener> trunkRing;
   for (auto& taken : handoff.sockets) {
     if (taken.desc.proto == takeover::Proto::kUdp) {
       quicFds.push_back(std::move(taken.fd));
-      continue;
-    }
-    if (taken.desc.vipName == "http") {
-      httpAcceptor_ = std::make_unique<Acceptor>(
-          loop_, TcpListener::fromFd(std::move(taken.fd)),
-          [this](TcpSocket s) { edgeOnHttpAccept(std::move(s)); });
+    } else if (taken.desc.vipName == "http") {
+      httpRing.push_back(TcpListener::fromFd(std::move(taken.fd)));
     } else if (taken.desc.vipName == "mqtt") {
-      mqttAcceptor_ = std::make_unique<Acceptor>(
-          loop_, TcpListener::fromFd(std::move(taken.fd)),
-          [this](TcpSocket s) { edgeOnMqttAccept(std::move(s)); });
+      mqttRing.push_back(TcpListener::fromFd(std::move(taken.fd)));
     } else if (taken.desc.vipName == "trunk") {
-      trunkAcceptor_ = std::make_unique<Acceptor>(
-          loop_, TcpListener::fromFd(std::move(taken.fd)),
-          [this](TcpSocket s) { originOnTrunkAccept(std::move(s)); });
+      trunkRing.push_back(TcpListener::fromFd(std::move(taken.fd)));
     }
     // Unknown names fall out of scope here and are closed — never
     // silently leaked.
   }
+
+  // Dial the trunks *before* arming the adopted rings: the rings carry
+  // a backlog of live SYNs from the handoff window, and a request must
+  // never race ahead of its shard's trunk links even starting to
+  // connect (edgeDispatchUpstream only waits for links it can see
+  // connecting).
+  if (config_.role == Role::kEdge) {
+    forEachShard([this](Shard& sh) {
+      for (size_t i = 0; i < config_.origins.size(); ++i) {
+        sh.trunkLinks.push_back(std::make_unique<TrunkLink>());
+        sh.trunkLinks.back()->shard = &sh;
+        sh.trunkLinks.back()->origin = config_.origins[i];
+        sh.trunkLinks.back()->idx = i;
+        edgeEnsureTrunk(sh, i);
+      }
+    });
+  }
+
+  // The adopted ring size need not match our worker count (the new
+  // release may be configured differently). ListenerGroup places
+  // listener i on worker i % M: a surplus stacks extra acceptors on
+  // the early workers (never orphaned, §5.1), a deficit leaves some
+  // workers accept-less but still serving takeover'd flows.
+  auto adoptRing = [this](std::vector<TcpListener> ring,
+                          ListenerGroup::AcceptCallback cb)
+      -> std::unique_ptr<ListenerGroup> {
+    if (ring.empty()) {
+      return nullptr;
+    }
+    size_t workers = workers_->size();
+    bump(config_.name + ".ring_adopted_fds", ring.size());
+    if (ring.size() > workers) {
+      bump(config_.name + ".ring_fd_surplus", ring.size() - workers);
+    } else if (ring.size() < workers) {
+      bump(config_.name + ".ring_idle_workers", workers - ring.size());
+    }
+    return std::make_unique<ListenerGroup>(*workers_, std::move(ring),
+                                           std::move(cb));
+  };
+  httpListeners_ =
+      adoptRing(std::move(httpRing), [this](size_t w, TcpSocket s) {
+        edgeOnHttpAccept(*shards_[w], std::move(s));
+      });
+  trunkListeners_ =
+      adoptRing(std::move(trunkRing), [this](size_t w, TcpSocket s) {
+        originOnTrunkAccept(*shards_[w], std::move(s));
+      });
+  for (auto& l : mqttRing) {
+    mqttAcceptors_.push_back(std::make_unique<Acceptor>(
+        loop_, std::move(l),
+        [this](TcpSocket s) { edgeOnMqttAccept(std::move(s)); }));
+  }
+
   if (!quicFds.empty()) {
     quicish::Server::Options qo;
     qo.instanceId = config_.instanceId;
@@ -124,33 +233,39 @@ void Proxy::startFromHandoff(takeover::TakeoverClient::Result handoff) {
       quicServer_->setForwardPeer(handoff.inventory.udpForwardAddr);
     }
   }
-  if (config_.role == Role::kEdge) {
-    for (size_t i = 0; i < config_.origins.size(); ++i) {
-      trunkLinks_.push_back(std::make_unique<TrunkLink>());
-      trunkLinks_.back()->origin = config_.origins[i];
-      trunkLinks_.back()->idx = i;
-      edgeEnsureTrunk(i);
-    }
-  }
   bump(config_.name + ".takeover_adopted");
 }
 
 takeover::Inventory Proxy::buildInventory(std::vector<int>& fds) {
   takeover::Inventory inv;
-  auto addTcp = [&](const char* name, Acceptor* acc) {
-    if (acc == nullptr) {
+  auto addGroup = [&](const char* name, ListenerGroup* group) {
+    if (group == nullptr || group->count() == 0) {
       return;
     }
+    for (int fd : group->fds()) {
+      takeover::SocketDescriptor d;
+      d.vipName = name;
+      d.proto = takeover::Proto::kTcp;
+      d.addr = group->localAddr();
+      inv.sockets.push_back(std::move(d));
+      fds.push_back(fd);
+    }
+    inv.rings.push_back({name, static_cast<uint32_t>(group->count())});
+  };
+  addGroup("http", httpListeners_.get());
+  for (const auto& acc : mqttAcceptors_) {
     takeover::SocketDescriptor d;
-    d.vipName = name;
+    d.vipName = "mqtt";
     d.proto = takeover::Proto::kTcp;
     d.addr = acc->localAddr();
-    inv.sockets.push_back(d);
+    inv.sockets.push_back(std::move(d));
     fds.push_back(acc->fd());
-  };
-  addTcp("http", httpAcceptor_.get());
-  addTcp("mqtt", mqttAcceptor_.get());
-  addTcp("trunk", trunkAcceptor_.get());
+  }
+  if (mqttAcceptors_.size() > 1) {
+    inv.rings.push_back(
+        {"mqtt", static_cast<uint32_t>(mqttAcceptors_.size())});
+  }
+  addGroup("trunk", trunkListeners_.get());
   if (quicServer_) {
     size_t i = 0;
     for (int fd : quicServer_->vipSocketFds()) {
@@ -175,38 +290,38 @@ void Proxy::armTakeoverServer() {
 }
 
 SocketAddr Proxy::httpVip() const {
-  return httpAcceptor_ ? httpAcceptor_->localAddr() : SocketAddr{};
+  return httpListeners_ ? httpListeners_->localAddr() : SocketAddr{};
 }
 SocketAddr Proxy::mqttVip() const {
-  return mqttAcceptor_ ? mqttAcceptor_->localAddr() : SocketAddr{};
+  return mqttAcceptors_.empty() ? SocketAddr{}
+                                : mqttAcceptors_.front()->localAddr();
 }
 SocketAddr Proxy::quicVip() const {
   return quicServer_ ? quicServer_->vip() : SocketAddr{};
 }
 SocketAddr Proxy::trunkAddr() const {
-  return trunkAcceptor_ ? trunkAcceptor_->localAddr() : SocketAddr{};
+  return trunkListeners_ ? trunkListeners_->localAddr() : SocketAddr{};
 }
 
 void Proxy::startHardDrain() {
   // Traditional release (§2.3): fail health checks so the L4 layer
   // pulls us from the ring, stop accepting, let existing connections
-  // run out the drain period, then reset whatever is left.
-  hardDraining_ = true;
-  draining_ = true;
+  // run out the drain period, then reset whatever is left. The
+  // acceptors keep running so the health endpoint answers (503) and
+  // requests are still served during drain, which is exactly how
+  // production draining behaves (traffic moves away as health checks
+  // fail).
+  hardDraining_.store(true, std::memory_order_release);
+  draining_.store(true, std::memory_order_release);
   bump(config_.name + ".hard_drain_started");
-  if (httpAcceptor_) {
-    // Keep the health endpoint answering (503) — close only the
-    // business of accepting *new user work* at the end. The acceptor
-    // keeps running; requests are still served during drain, which is
-    // exactly how production draining behaves (traffic moves away as
-    // health checks fail).
-  }
   if (config_.role == Role::kOrigin) {
     // Edge↔Origin trunks are HTTP/2: graceful GOAWAY is available even
     // in the traditional flow (§2.2).
-    for (const auto& tc : trunkServerSessions_) {
-      tc->session->sendGoaway("hard-drain");
-    }
+    forEachShard([](Shard& sh) {
+      for (const auto& tc : sh.trunkServerSessions) {
+        tc->session->sendGoaway("hard-drain");
+      }
+    });
   }
   drainTimer_ = loop_.runAfter(config_.drainPeriod, [this] { terminate(); });
 }
@@ -214,56 +329,68 @@ void Proxy::startHardDrain() {
 void Proxy::enterDrain() {
   // ZDR drain (Fig 5 step E): the updated instance has ACKed and owns
   // the listening sockets; we finish what we started and go away.
-  if (draining_) {
+  if (draining_.exchange(true, std::memory_order_acq_rel)) {
     return;
   }
-  draining_ = true;
   bump(config_.name + ".zdr_drain_started");
 
   // Stop accepting: close our dup of the listening fds (the updated
   // instance keeps the sockets alive).
-  if (httpAcceptor_) {
-    httpAcceptor_->close();
+  if (httpListeners_) {
+    httpListeners_->closeAll();
   }
-  if (mqttAcceptor_) {
-    mqttAcceptor_->close();
+  for (const auto& acc : mqttAcceptors_) {
+    acc->close();
   }
-  if (trunkAcceptor_) {
-    trunkAcceptor_->close();
+  if (trunkListeners_) {
+    trunkListeners_->closeAll();
   }
   if (quicServer_) {
     quicServer_->enterDrain();
   }
 
   if (config_.role == Role::kOrigin) {
-    for (const auto& tc : trunkServerSessions_) {
-      tc->session->sendGoaway("zdr-drain");
-      if (config_.dcrEnabled) {
-        // §4.2: solicit the Edge to move MQTT tunnels to a healthy
-        // peer before we terminate.
-        tc->session->sendControl(h2::FrameType::kReconnectSolicitation);
-        bump(config_.name + ".dcr_solicitations_sent");
+    forEachShard([this](Shard& sh) {
+      for (const auto& tc : sh.trunkServerSessions) {
+        tc->session->sendGoaway("zdr-drain");
+        if (config_.dcrEnabled) {
+          // §4.2: solicit the Edge to move MQTT tunnels to a healthy
+          // peer before we terminate.
+          tc->session->sendControl(h2::FrameType::kReconnectSolicitation);
+          bump(config_.name + ".dcr_solicitations_sent");
+        }
       }
-    }
-    if (config_.dcrEnabled && config_.dcrSolicitRetries > 0 &&
-        !trunkServerSessions_.empty()) {
+    });
+    if (config_.dcrEnabled && config_.dcrSolicitRetries > 0) {
       // A solicitation frame can be lost in transit; re-send a few
       // times across the drain window. The Edge resume path is
-      // idempotent, so duplicates are harmless.
+      // idempotent, so duplicates are harmless. Each tick posts the
+      // re-send onto every shard's own loop; posted work drains
+      // before terminate's fan-out reaches the shard, and checks
+      // terminated_ so a late tick is a no-op.
       solicitRetriesLeft_ = config_.dcrSolicitRetries;
       Duration interval =
           std::max(Duration{10}, config_.drainPeriod /
                                      (config_.dcrSolicitRetries + 1));
       solicitTimer_ = loop_.runEvery(interval, [this] {
-        if (terminated_ || solicitRetriesLeft_ <= 0) {
+        if (terminated() || solicitRetriesLeft_ <= 0) {
           loop_.cancelTimer(solicitTimer_);
           solicitTimer_ = 0;
           return;
         }
         --solicitRetriesLeft_;
-        for (const auto& tc : trunkServerSessions_) {
-          tc->session->sendControl(h2::FrameType::kReconnectSolicitation);
-          bump(config_.name + ".dcr_solicitations_resent");
+        for (auto& shPtr : shards_) {
+          Shard* sh = shPtr.get();
+          sh->loop->runInLoop([this, sh] {
+            if (terminated()) {
+              return;
+            }
+            for (const auto& tc : sh->trunkServerSessions) {
+              tc->session->sendControl(
+                  h2::FrameType::kReconnectSolicitation);
+              bump(config_.name + ".dcr_solicitations_resent");
+            }
+          });
         }
       });
     }
@@ -273,10 +400,9 @@ void Proxy::enterDrain() {
 }
 
 void Proxy::terminate() {
-  if (terminated_) {
+  if (terminated_.exchange(true, std::memory_order_acq_rel)) {
     return;
   }
-  terminated_ = true;
   loop_.cancelTimer(drainTimer_);
   if (solicitTimer_ != 0) {
     loop_.cancelTimer(solicitTimer_);
@@ -286,14 +412,10 @@ void Proxy::terminate() {
 
   // Whatever is still alive now is disrupted — this is the source of
   // the TCP RSTs and errors the paper's Fig 12 counts.
-  for (const auto& uc : std::set<std::shared_ptr<UserHttpConn>>(userConns_)) {
-    if (uc->requestActive) {
-      bump("edge.err.conn_rst");
-    }
-    uc->conn->close(std::make_error_code(std::errc::connection_reset));
-  }
-  userConns_.clear();
-
+  //
+  // MQTT tunnels go first: they live on the primary loop but hold raw
+  // pointers into shard 0's trunk links, which the fan-out below
+  // destroys.
   for (const auto& tun :
        std::set<std::shared_ptr<MqttTunnel>>(mqttTunnels_)) {
     bump("edge.mqtt_tunnel_reset");
@@ -301,36 +423,56 @@ void Proxy::terminate() {
   }
   mqttTunnels_.clear();
 
-  for (auto& link : trunkLinks_) {
-    if (link->session) {
-      link->session->closeNow();
+  // Shard-owned connections must die on their own loop threads: a
+  // Connection's destructor unregisters from the loop that owns it.
+  forEachShard([this](Shard& sh) {
+    for (const auto& uc :
+         std::set<std::shared_ptr<UserHttpConn>>(sh.userConns)) {
+      if (uc->requestActive) {
+        bump("edge.err.conn_rst");
+      }
+      uc->conn->close(std::make_error_code(std::errc::connection_reset));
     }
-  }
-  trunkLinks_.clear();
+    sh.userConns.clear();
 
-  for (const auto& tc :
-       std::set<std::shared_ptr<TrunkServerConn>>(trunkServerSessions_)) {
-    tc->session->closeNow(std::make_error_code(std::errc::connection_reset));
-  }
-  trunkServerSessions_.clear();
+    for (auto& link : sh.trunkLinks) {
+      if (link->session) {
+        link->session->closeNow();
+      }
+    }
+    sh.trunkLinks.clear();
 
-  if (httpAcceptor_) {
-    httpAcceptor_->close();
+    for (const auto& tc : std::set<std::shared_ptr<TrunkServerConn>>(
+             sh.trunkServerSessions)) {
+      tc->session->closeNow(
+          std::make_error_code(std::errc::connection_reset));
+    }
+    sh.trunkServerSessions.clear();
+
+    if (sh.appPool) {
+      sh.appPool->closeAll();
+      // Destroy on the shard's own thread: the pool's reap timer is
+      // armed on this loop.
+      sh.appPool.reset();
+    }
+  });
+  userConnCount_.store(0, std::memory_order_release);
+  trunkSessionCount_.store(0, std::memory_order_release);
+
+  if (httpListeners_) {
+    httpListeners_->closeAll();
   }
-  if (mqttAcceptor_) {
-    mqttAcceptor_->close();
+  for (const auto& acc : mqttAcceptors_) {
+    acc->close();
   }
-  if (trunkAcceptor_) {
-    trunkAcceptor_->close();
+  if (trunkListeners_) {
+    trunkListeners_->closeAll();
   }
   if (quicServer_) {
     quicServer_->shutdown();
   }
   takeoverServer_.reset();
   appHealth_.reset();
-  if (appPool_) {
-    appPool_->closeAll();
-  }
 }
 
 }  // namespace zdr::proxygen

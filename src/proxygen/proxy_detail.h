@@ -6,10 +6,32 @@
 
 namespace zdr::proxygen {
 
+// One event-loop shard. Shard 0 is the primary loop; shards 1..N-1
+// each own a worker EventLoopThread. Everything in here is confined
+// to the shard's loop thread — touched only from callbacks running on
+// that loop, or from the primary thread via WorkerPool::runOn (which
+// serializes on the worker). Shard addresses are stable for the
+// Proxy's lifetime (held by unique_ptr).
+struct Proxy::Shard {
+  size_t idx = 0;
+  EventLoop* loop = nullptr;
+
+  // Edge state.
+  std::set<std::shared_ptr<UserHttpConn>> userConns;
+  std::vector<std::unique_ptr<TrunkLink>> trunkLinks;
+  size_t trunkRoundRobin = 0;
+
+  // Origin state.
+  std::set<std::shared_ptr<TrunkServerConn>> trunkServerSessions;
+  std::unique_ptr<UpstreamPool> appPool;
+  size_t appRoundRobin = 0;
+};
+
 // Edge: one user-facing HTTP connection (keep-alive, one request at a
 // time — HTTP/1.1 without pipelining, as browsers behave).
 struct Proxy::UserHttpConn
     : std::enable_shared_from_this<Proxy::UserHttpConn> {
+  Shard* shard = nullptr;
   ConnectionPtr conn;
   http::RequestParser parser;
   std::string bodyPending;  // decoded fragments awaiting forwarding
@@ -25,6 +47,10 @@ struct Proxy::UserHttpConn
   http::Response upstreamResponse;
   std::string cacheKey;  // non-empty ⇒ response is cacheable
   EventLoop::TimerId timeoutTimer = 0;
+  // Dispatch retries spent waiting for a still-connecting trunk (a
+  // takeover hands the new instance live user connections before its
+  // freshly dialed trunks finish their handshakes).
+  int trunkWaitRetries = 0;
 
   void resetRequestState() {
     requestActive = false;
@@ -37,6 +63,7 @@ struct Proxy::UserHttpConn
     upstreamResponse = http::Response{};
     cacheKey.clear();
     bodyPending.clear();
+    trunkWaitRetries = 0;
   }
 };
 
@@ -57,6 +84,7 @@ struct Proxy::MqttTunnel : std::enable_shared_from_this<Proxy::MqttTunnel> {
 
 // Edge: one long-lived trunk session to an Origin proxy.
 struct Proxy::TrunkLink {
+  Shard* shard = nullptr;
   BackendRef origin;
   size_t idx = 0;
   h2::SessionPtr session;
@@ -70,6 +98,7 @@ struct Proxy::TrunkLink {
 // Origin: one accepted trunk session from an Edge.
 struct Proxy::TrunkServerConn
     : std::enable_shared_from_this<Proxy::TrunkServerConn> {
+  Shard* shard = nullptr;
   h2::SessionPtr session;
   std::map<uint32_t, std::shared_ptr<OriginRequest>> requests;
   std::map<uint32_t, std::shared_ptr<BrokerTunnel>> brokerTunnels;
@@ -78,6 +107,7 @@ struct Proxy::TrunkServerConn
 // Origin: one HTTP request being proxied to the App. Server tier.
 struct Proxy::OriginRequest
     : std::enable_shared_from_this<Proxy::OriginRequest> {
+  Shard* shard = nullptr;
   std::weak_ptr<TrunkServerConn> tc;
   uint32_t streamId = 0;
   http::Request head;       // method/path/headers; body streams

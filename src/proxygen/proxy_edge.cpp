@@ -21,15 +21,19 @@ bool isCacheablePath(const std::string& path) {
 
 // ------------------------------------------------------------- HTTP accept
 
-void Proxy::edgeOnHttpAccept(TcpSocket sock) {
+void Proxy::edgeOnHttpAccept(Shard& sh, TcpSocket sock) {
+  // Runs on sh's loop thread; everything the connection touches from
+  // here on is confined to that shard.
   if (terminated_) {
     return;
   }
-  bump(config_.name + ".http_conn_accepted");
+  bumpHot(hot_.httpConnAccepted);
   fault::tagFd(sock.fd(), "edge.user");
   auto uc = std::make_shared<UserHttpConn>();
-  uc->conn = Connection::make(loop_, std::move(sock));
-  userConns_.insert(uc);
+  uc->shard = &sh;
+  uc->conn = Connection::make(*sh.loop, std::move(sock));
+  sh.userConns.insert(uc);
+  userConnCount_.fetch_add(1, std::memory_order_acq_rel);
 
   // The parser's body callback captures a raw pointer: the parser is a
   // member of *uc and cannot outlive it.
@@ -102,16 +106,18 @@ void Proxy::edgeOnHttpAccept(TcpSocket sock) {
         }
         uc->link->httpStreams.erase(uc->streamId);
       }
-      loop_.cancelTimer(uc->timeoutTimer);
+      uc->shard->loop->cancelTimer(uc->timeoutTimer);
     }
-    userConns_.erase(uc);
+    if (uc->shard->userConns.erase(uc) > 0) {
+      userConnCount_.fetch_sub(1, std::memory_order_acq_rel);
+    }
   });
   uc->conn->start();
 }
 
 void Proxy::edgeOnHttpRequestHeaders(const std::shared_ptr<UserHttpConn>& uc) {
   const http::Request& req = uc->parser.message();
-  bump(config_.name + ".requests");
+  bumpHot(hot_.requests);
 
   // Local endpoints: L4 health checks.
   if (req.path == "/__health") {
@@ -126,16 +132,42 @@ void Proxy::edgeOnHttpRequestHeaders(const std::shared_ptr<UserHttpConn>& uc) {
   if (config_.edgeCacheEnabled && req.method == "GET" &&
       isCacheablePath(req.path)) {
     if (auto cached = edgeCache_.get(req.path)) {
-      bump("edge.cache_hit");
+      bumpHot(hot_.cacheHit);
       edgeServeLocal(uc, *cached);
       return;
     }
     uc->cacheKey = req.path;
-    bump("edge.cache_miss");
+    bumpHot(hot_.cacheMiss);
   }
 
-  TrunkLink* link = edgePickTrunk();
+  edgeDispatchUpstream(uc);
+}
+
+void Proxy::edgeDispatchUpstream(const std::shared_ptr<UserHttpConn>& uc) {
+  const http::Request& req = uc->parser.message();
+  TrunkLink* link = edgePickTrunk(*uc->shard);
   if (link == nullptr) {
+    // A trunk may simply not be up *yet*: after a socket takeover the
+    // adopted ring delivers live user connections before this
+    // instance's freshly dialed trunks finish their handshakes. While
+    // any link is still connecting, wait it out briefly instead of
+    // 502ing a request the previous instance would have served.
+    bool pending = false;
+    for (const auto& l : uc->shard->trunkLinks) {
+      pending |= l->connecting;
+    }
+    constexpr int kTrunkWaitMaxRetries = 50;  // × 20 ms = 1 s grace
+    if (pending && !terminated_ &&
+        uc->trunkWaitRetries < kTrunkWaitMaxRetries) {
+      ++uc->trunkWaitRetries;
+      uc->shard->loop->runAfter(Duration{20}, [this, uc] {
+        if (uc->requestActive && uc->link == nullptr && uc->conn->open() &&
+            !terminated_) {
+          edgeDispatchUpstream(uc);
+        }
+      });
+      return;
+    }
     bump("edge.err.no_origin");
     edgeFailUserRequest(uc, 502, "no healthy origin");
     return;
@@ -160,7 +192,8 @@ void Proxy::edgeOnHttpRequestHeaders(const std::shared_ptr<UserHttpConn>& uc) {
   uc->upstreamEnded = endNow;
   link->session->sendHeaders(sid, headers, endNow);
 
-  uc->timeoutTimer = loop_.runAfter(config_.requestTimeout, [this, uc] {
+  uc->timeoutTimer =
+      uc->shard->loop->runAfter(config_.requestTimeout, [this, uc] {
     if (uc->requestActive && !uc->responseStarted && uc->conn->open()) {
       bump("edge.err.timeout");
       if (uc->link != nullptr) {
@@ -170,9 +203,9 @@ void Proxy::edgeOnHttpRequestHeaders(const std::shared_ptr<UserHttpConn>& uc) {
         uc->link->httpStreams.erase(uc->streamId);
         uc->link = nullptr;
       }
-      edgeFailUserRequest(uc, 504, "origin timeout");
-    }
-  });
+        edgeFailUserRequest(uc, 504, "origin timeout");
+      }
+    });
 }
 
 void Proxy::edgeOnHttpBody(const std::shared_ptr<UserHttpConn>& uc,
@@ -235,7 +268,7 @@ void Proxy::edgeDeliverUpstreamResponse(
 }
 
 void Proxy::edgeFinishUserRequest(const std::shared_ptr<UserHttpConn>& uc) {
-  loop_.cancelTimer(uc->timeoutTimer);
+  uc->shard->loop->cancelTimer(uc->timeoutTimer);
   if (uc->link != nullptr) {
     uc->link->httpStreams.erase(uc->streamId);
   }
@@ -253,20 +286,20 @@ void Proxy::edgeFinishUserRequest(const std::shared_ptr<UserHttpConn>& uc) {
 
 // ------------------------------------------------------------ trunk links
 
-Proxy::TrunkLink* Proxy::edgePickTrunk() {
+Proxy::TrunkLink* Proxy::edgePickTrunk(Shard& sh) {
   // Round-robin over healthy links; links whose origin announced
   // GOAWAY take no new work (§4.1).
   auto usable = [](const TrunkLink& l) { return l.up && !l.peerDraining; };
-  for (size_t i = 0; i < trunkLinks_.size(); ++i) {
+  for (size_t i = 0; i < sh.trunkLinks.size(); ++i) {
     TrunkLink* link =
-        trunkLinks_[(trunkRoundRobin_ + i) % trunkLinks_.size()].get();
+        sh.trunkLinks[(sh.trunkRoundRobin + i) % sh.trunkLinks.size()].get();
     if (usable(*link)) {
-      trunkRoundRobin_ = (trunkRoundRobin_ + i + 1) % trunkLinks_.size();
+      sh.trunkRoundRobin = (sh.trunkRoundRobin + i + 1) % sh.trunkLinks.size();
       return link;
     }
   }
   // Degraded mode: accept a draining origin rather than failing.
-  for (auto& l : trunkLinks_) {
+  for (auto& l : sh.trunkLinks) {
     if (l->up) {
       return l.get();
     }
@@ -274,30 +307,34 @@ Proxy::TrunkLink* Proxy::edgePickTrunk() {
   return nullptr;
 }
 
-void Proxy::edgeEnsureTrunk(size_t idx) {
-  TrunkLink* link = trunkLinks_[idx].get();
+void Proxy::edgeEnsureTrunk(Shard& sh, size_t idx) {
+  // Runs on sh's loop thread (or on the primary before the shard has
+  // any traffic, via the startup fan-out, which is equivalent).
+  TrunkLink* link = sh.trunkLinks[idx].get();
   if (link->connecting || link->up || terminated_) {
     return;
   }
   link->connecting = true;
+  Shard* shp = &sh;
   Connector::connect(
-      loop_, link->origin.addr,
-      [this, idx](TcpSocket sock, std::error_code ec) {
+      *sh.loop, link->origin.addr,
+      [this, shp, idx](TcpSocket sock, std::error_code ec) {
         if (terminated_) {
           return;
         }
-        TrunkLink* link = trunkLinks_[idx].get();
+        TrunkLink* link = shp->trunkLinks[idx].get();
         link->connecting = false;
         if (ec) {
           bump("edge.trunk_connect_failed");
           if (!draining_) {
-            loop_.runAfter(Duration{200},
-                           [this, idx] { edgeEnsureTrunk(idx); });
+            shp->loop->runAfter(Duration{200}, [this, shp, idx] {
+              edgeEnsureTrunk(*shp, idx);
+            });
           }
           return;
         }
         fault::tagFd(sock.fd(), "trunk.edge");
-        auto conn = Connection::make(loop_, std::move(sock));
+        auto conn = Connection::make(*shp->loop, std::move(sock));
         link->session = h2::Session::make(conn, h2::Session::Role::kClient);
         link->up = true;
         link->peerDraining = false;
@@ -384,7 +421,7 @@ void Proxy::edgeEnsureTrunk(size_t idx) {
             }
             uc->upstreamResponse.body.append(data);
             if (end) {
-              bump(config_.name + ".responses_relayed");
+              bumpHot(hot_.responsesRelayed);
               edgeDeliverUpstreamResponse(uc);
             }
             return;
@@ -488,7 +525,9 @@ void Proxy::edgeOnTrunkClosed(TrunkLink* link) {
 
   if (!draining_ && !terminated_) {
     size_t idx = link->idx;
-    loop_.runAfter(Duration{200}, [this, idx] { edgeEnsureTrunk(idx); });
+    Shard* shp = link->shard;
+    shp->loop->runAfter(Duration{200},
+                        [this, shp, idx] { edgeEnsureTrunk(*shp, idx); });
   }
 }
 
@@ -555,7 +594,9 @@ void Proxy::edgeOnMqttAccept(TcpSocket sock) {
 
 void Proxy::edgeOpenMqttTunnel(const std::shared_ptr<MqttTunnel>& tun,
                                bool resume) {
-  TrunkLink* link = edgePickTrunk();
+  // MQTT tunnels are pinned to shard 0 (the primary loop), so they
+  // only ever ride shard 0's trunk links.
+  TrunkLink* link = edgePickTrunk(*shards_.front());
   if (link == nullptr) {
     bump("edge.err.no_origin");
     edgeDropMqttTunnel(tun,
@@ -595,6 +636,9 @@ void Proxy::edgeOpenMqttTunnel(const std::shared_ptr<MqttTunnel>& tun,
 void Proxy::edgeResumeMqttTunnels(TrunkLink* fromLink) {
   // §4.2 workflow step B: for every tunnel relayed via the restarting
   // origin, ask a *different healthy* origin to take over the relay.
+  // Tunnels are pinned to shard 0, so on any other shard this loop is
+  // empty and the solicitation is a no-op.
+  Shard& sh = *fromLink->shard;
   std::vector<std::shared_ptr<MqttTunnel>> affected;
   for (auto& [sid, weakTun] : fromLink->mqttStreams) {
     if (auto tun = weakTun.lock(); tun && !tun->resuming) {
@@ -603,12 +647,12 @@ void Proxy::edgeResumeMqttTunnels(TrunkLink* fromLink) {
   }
   for (const auto& tun : affected) {
     TrunkLink* other = nullptr;
-    for (size_t i = 0; i < trunkLinks_.size(); ++i) {
+    for (size_t i = 0; i < sh.trunkLinks.size(); ++i) {
       TrunkLink* cand =
-          trunkLinks_[(trunkRoundRobin_ + i) % trunkLinks_.size()].get();
+          sh.trunkLinks[(sh.trunkRoundRobin + i) % sh.trunkLinks.size()].get();
       if (cand != fromLink && cand->up && !cand->peerDraining) {
         other = cand;
-        trunkRoundRobin_ = (trunkRoundRobin_ + i + 1) % trunkLinks_.size();
+        sh.trunkRoundRobin = (sh.trunkRoundRobin + i + 1) % sh.trunkLinks.size();
         break;
       }
     }

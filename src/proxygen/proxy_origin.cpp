@@ -8,16 +8,20 @@
 
 namespace zdr::proxygen {
 
-void Proxy::originOnTrunkAccept(TcpSocket sock) {
+void Proxy::originOnTrunkAccept(Shard& sh, TcpSocket sock) {
+  // Runs on sh's loop thread; the session and every request/tunnel it
+  // carries stay confined to that shard.
   if (terminated_) {
     return;
   }
-  bump(config_.name + ".trunk_accepted");
+  bumpHot(hot_.trunkAccepted);
   fault::tagFd(sock.fd(), "trunk.origin");
   auto tc = std::make_shared<TrunkServerConn>();
-  auto conn = Connection::make(loop_, std::move(sock));
+  tc->shard = &sh;
+  auto conn = Connection::make(*sh.loop, std::move(sock));
   tc->session = h2::Session::make(conn, h2::Session::Role::kServer);
-  trunkServerSessions_.insert(tc);
+  sh.trunkServerSessions.insert(tc);
+  trunkSessionCount_.fetch_add(1, std::memory_order_acq_rel);
 
   h2::Session::Callbacks cbs;
   std::weak_ptr<TrunkServerConn> weakTc = tc;
@@ -40,7 +44,7 @@ void Proxy::originOnTrunkAccept(TcpSocket sock) {
     if (auto it = tc->requests.find(sid); it != tc->requests.end()) {
       auto req = it->second;
       req->finished = true;
-      loop_.cancelTimer(req->timer);
+      tc->shard->loop->cancelTimer(req->timer);
       if (req->appConn) {
         req->appConn->close({});
       }
@@ -63,7 +67,7 @@ void Proxy::originOnTrunkAccept(TcpSocket sock) {
     }
     for (auto& [sid, req] : tc->requests) {
       req->finished = true;
-      loop_.cancelTimer(req->timer);
+      tc->shard->loop->cancelTimer(req->timer);
       if (req->appConn) {
         req->appConn->close({});
       }
@@ -76,7 +80,9 @@ void Proxy::originOnTrunkAccept(TcpSocket sock) {
       }
     }
     tc->brokerTunnels.clear();
-    trunkServerSessions_.erase(tc);
+    if (tc->shard->trunkServerSessions.erase(tc) > 0) {
+      trunkSessionCount_.fetch_sub(1, std::memory_order_acq_rel);
+    }
   };
   tc->session->setCallbacks(std::move(cbs));
   tc->session->start();
@@ -118,13 +124,14 @@ void Proxy::originOnStreamHeaders(const std::shared_ptr<TrunkServerConn>& tc,
 
   // Plain HTTP request from the Edge.
   auto req = std::make_shared<OriginRequest>();
+  req->shard = tc->shard;
   req->tc = tc;
   req->streamId = streamId;
   req->head = std::move(head);
   req->isPost = req->head.method == "POST";
   req->clientDone = endStream;
   tc->requests[streamId] = req;
-  bump(config_.name + ".requests");
+  bumpHot(hot_.requests);
   originStartAppRequest(req);
 }
 
@@ -172,21 +179,24 @@ void Proxy::originOnStreamData(const std::shared_ptr<TrunkServerConn>& tc,
 
 // ------------------------------------------------------- app-server leg
 
-const BackendRef* Proxy::originPickAppServer(const std::string& excludeName) {
+const BackendRef* Proxy::originPickAppServer(Shard& sh,
+                                             const std::string& excludeName) {
   if (config_.appServers.empty()) {
     return nullptr;
   }
-  // Round-robin over healthy app servers, skipping excludes.
+  // Round-robin over healthy app servers, skipping excludes. The
+  // cursor is per-shard; the HealthChecker is shared and internally
+  // locked.
   for (size_t i = 0; i < config_.appServers.size(); ++i) {
     const BackendRef& cand =
-        config_.appServers[(appRoundRobin_ + i) % config_.appServers.size()];
+        config_.appServers[(sh.appRoundRobin + i) % config_.appServers.size()];
     if (cand.name == excludeName) {
       continue;
     }
     if (appHealth_ && !appHealth_->isHealthy(cand.name)) {
       continue;
     }
-    appRoundRobin_ = (appRoundRobin_ + i + 1) % config_.appServers.size();
+    sh.appRoundRobin = (sh.appRoundRobin + i + 1) % config_.appServers.size();
     return &cand;
   }
   return nullptr;
@@ -206,7 +216,7 @@ void Proxy::originConnectApp(const std::shared_ptr<OriginRequest>& req,
                              const std::string& excludeName) {
   const BackendRef* target = nullptr;
   for (size_t i = 0; i < config_.appServers.size(); ++i) {
-    const BackendRef* cand = originPickAppServer(excludeName);
+    const BackendRef* cand = originPickAppServer(*req->shard, excludeName);
     if (cand == nullptr) {
       break;
     }
@@ -233,14 +243,14 @@ void Proxy::originConnectApp(const std::shared_ptr<OriginRequest>& req,
   req->appName = target->name;
   req->resParser.reset();
 
-  appPool_->acquire(
+  req->shard->appPool->acquire(
       target->name, target->addr,
       [this, req](ConnectionPtr conn, std::error_code ec, bool reused) {
         if (req->finished) {
           if (conn && !reused) {
             conn->close({});
           } else if (conn) {
-            appPool_->release(req->appName, std::move(conn));
+            req->shard->appPool->release(req->appName, std::move(conn));
           }
           return;
         }
@@ -392,7 +402,7 @@ void Proxy::originFinishRequest(const std::shared_ptr<OriginRequest>& req,
     return;
   }
   req->finished = true;
-  loop_.cancelTimer(req->timer);
+  req->shard->loop->cancelTimer(req->timer);
   auto tc = req->tc.lock();
   if (tc && tc->session->open()) {
     h2::HeaderList headers;
@@ -421,13 +431,13 @@ void Proxy::originFinishRequest(const std::shared_ptr<OriginRequest>& req,
     if (reusable) {
       req->appConn->setDataCallback(nullptr);
       req->appConn->setCloseCallback(nullptr);
-      appPool_->release(req->appName, std::move(req->appConn));
+      req->shard->appPool->release(req->appName, std::move(req->appConn));
     } else {
       req->appConn->closeAfterFlush();
     }
     req->appConn = nullptr;
   }
-  bump(config_.name + ".responses_sent");
+  bumpHot(hot_.responsesSent);
 }
 
 void Proxy::originFailRequest(const std::shared_ptr<OriginRequest>& req,
@@ -477,7 +487,8 @@ void Proxy::originOpenBrokerTunnel(const std::shared_ptr<TrunkServerConn>& tc,
   }
 
   Connector::connect(
-      loop_, broker->addr, [this, bt](TcpSocket sock, std::error_code ec) {
+      *tc->shard->loop, broker->addr,
+      [this, bt](TcpSocket sock, std::error_code ec) {
         auto tc = bt->tc.lock();
         if (!tc || bt->closed) {
           return;

@@ -4,25 +4,17 @@
 
 #include <array>
 
+#include "netcore/listener_group.h"
+
 namespace zdr::quicish {
 
 Server::Server(EventLoop& loop, const SocketAddr& vip, Options opts,
                MetricsRegistry* metrics)
     : loop_(loop), opts_(opts), metrics_(metrics), vip_(vip) {
-  BindOptions bo;
-  bo.reusePort = true;  // allow a parallel instance on the same VIP
-  for (size_t i = 0; i < opts_.numWorkers; ++i) {
-    vipSocks_.emplace_back(vip, bo);
-  }
-  vip_ = vipSocks_.front().localAddr();  // resolve port 0
-  // Re-bind remaining workers if the kernel picked the port (port 0):
-  // all REUSEPORT sockets must share the same concrete port.
-  if (vip.port() == 0 && opts_.numWorkers > 1) {
-    vipSocks_.resize(1);
-    for (size_t i = 1; i < opts_.numWorkers; ++i) {
-      vipSocks_.emplace_back(vip_, bo);
-    }
-  }
+  // Shared ring-bind helper (same one the TCP ListenerGroup path
+  // uses): handles the port-0 resolve-then-rebind dance.
+  vipSocks_ = bindUdpRing(vip, opts_.numWorkers);
+  vip_ = vipSocks_.front().localAddr();
   setupForwardSocket();
   for (size_t i = 0; i < vipSocks_.size(); ++i) {
     registerVipSocket(i);

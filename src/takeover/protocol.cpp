@@ -24,6 +24,9 @@ std::string encodeInventory(const Inventory& inv) {
     out << "udp_forward " << inv.udpForwardAddr.ipString() << " "
         << inv.udpForwardAddr.port() << "\n";
   }
+  for (const auto& r : inv.rings) {
+    out << "ring " << r.vipName << " " << r.fdCount << "\n";
+  }
   return out.str();
 }
 
@@ -38,7 +41,11 @@ std::optional<Inventory> decodeInventory(std::string_view payload) {
   if (ver.size() < 2 || ver[0] != 'v') {
     return std::nullopt;
   }
-  inv.version = static_cast<uint32_t>(std::stoul(ver.substr(1)));
+  try {
+    inv.version = static_cast<uint32_t>(std::stoul(ver.substr(1)));
+  } catch (const std::exception&) {
+    return std::nullopt;  // fuzzed version token (e.g. "vX", overflow)
+  }
 
   std::string key;
   size_t count = 0;
@@ -76,7 +83,18 @@ std::optional<Inventory> decodeInventory(std::string_view payload) {
       } catch (const std::invalid_argument&) {
         return std::nullopt;
       }
+    } else if (key == "ring") {
+      RingSpec r;
+      if (!(in >> r.vipName >> r.fdCount)) {
+        return std::nullopt;
+      }
+      if (r.fdCount == 0) {
+        return std::nullopt;  // a ring with no sockets is nonsense
+      }
+      inv.rings.push_back(std::move(r));
     }
+    // Unknown keys fall through silently: forward compatibility for
+    // the same reason old decoders skip our "ring" lines.
   }
   return inv;
 }

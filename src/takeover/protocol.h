@@ -34,6 +34,15 @@ struct SocketDescriptor {
   SocketAddr addr;
 };
 
+// Size of one VIP's SO_REUSEPORT ring: how many of the inventory's
+// descriptors (they repeat the vipName, in ring order) belong to it.
+// Carried as trailing "ring <name> <count>" lines that pre-ring
+// decoders skip silently, so old and new instances interoperate.
+struct RingSpec {
+  std::string vipName;
+  uint32_t fdCount = 1;
+};
+
 struct Inventory {
   uint32_t version = kProtocolVersion;
   std::vector<SocketDescriptor> sockets;
@@ -41,6 +50,17 @@ struct Inventory {
   // routed UDP packets for flows it still owns (§4.1).
   bool hasUdpForwardAddr = false;
   SocketAddr udpForwardAddr;
+  // Per-VIP ring sizes (absent entries mean a ring of 1).
+  std::vector<RingSpec> rings;
+
+  [[nodiscard]] uint32_t ringSize(std::string_view vipName) const {
+    for (const auto& r : rings) {
+      if (r.vipName == vipName) {
+        return r.fdCount;
+      }
+    }
+    return 1;
+  }
 };
 
 // Control messages.

@@ -130,6 +130,62 @@ TEST(FdPassingTest, PassedListeningSocketStillAccepts) {
   EXPECT_TRUE(accepted.has_value());
 }
 
+// The multi-worker variant (§4.1): the whole SO_REUSEPORT ring crosses
+// in one SCM_RIGHTS message, in ring order, and every adopted member
+// keeps accepting — the kernel's SYN spreading never notices the
+// handoff.
+TEST(FdPassingTest, PassedReuseportRingFullyAccepts) {
+  constexpr size_t kRing = 4;
+  BindOptions bindOpts;
+  bindOpts.reusePort = true;
+  std::vector<TcpListener> ring;
+  ring.emplace_back(SocketAddr::loopback(0), bindOpts);
+  SocketAddr vip = ring.front().localAddr();
+  for (size_t i = 1; i < kRing; ++i) {
+    ring.emplace_back(vip, bindOpts);
+  }
+
+  auto [a, b] = unixSocketPair();
+  std::vector<int> raw;
+  for (const auto& l : ring) {
+    raw.push_back(l.fd());
+  }
+  ASSERT_FALSE(sendFdsMsg(a.fd(), "ring", raw));
+
+  std::string payload;
+  std::vector<FdGuard> received;
+  ASSERT_FALSE(recvFdsMsg(b.fd(), payload, received));
+  ASSERT_EQ(received.size(), kRing);
+
+  // Old process exits; the adopted fds are the only ring members left.
+  ring.clear();
+  std::vector<TcpListener> adopted;
+  for (auto& fd : received) {
+    adopted.push_back(TcpListener::fromFd(std::move(fd)));
+  }
+
+  // Every connection must land on *some* adopted member — a single
+  // unserved fd would black-hole its share (§5.1).
+  constexpr int kClients = 16;
+  std::vector<TcpSocket> clients;
+  for (int i = 0; i < kClients; ++i) {
+    std::error_code ec;
+    clients.push_back(TcpSocket::connect(vip, ec));
+    ASSERT_FALSE(ec);
+  }
+  int accepted = 0;
+  for (int spin = 0; spin < 2000 && accepted < kClients; ++spin) {
+    for (auto& l : adopted) {
+      std::error_code ec;
+      while (l.accept(ec)) {
+        ++accepted;
+      }
+    }
+    usleep(1000);
+  }
+  EXPECT_EQ(accepted, kClients);
+}
+
 // The UDP variant: passing the socket preserves the SO_REUSEPORT ring
 // slot, so datagrams flow to the new holder uninterrupted (§4.1).
 TEST(FdPassingTest, PassedUdpSocketKeepsReceiving) {

@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cstring>
 #include <gtest/gtest.h>
 #include <thread>
 #include <vector>
@@ -118,6 +119,45 @@ TEST(BufferTest, CompactionPreservesContent) {
   buf.append("tail");
   buf.consume(10000);  // forces compaction path
   EXPECT_EQ(buf.view(), "tail");
+}
+
+TEST(BufferTest, WritableTailFillAndCommit) {
+  // The readv hot path: reserve a tail, let the kernel (here: memcpy)
+  // fill it, then commit only what actually arrived.
+  Buffer buf;
+  buf.append("head:");
+  buf.ensureWritable(64);
+  auto span = buf.writableSpan();
+  ASSERT_GE(span.size(), 64u);
+  std::string payload = "payload";
+  std::memcpy(span.data(), payload.data(), payload.size());
+  buf.commit(payload.size());
+  EXPECT_EQ(buf.view(), "head:payload");
+}
+
+TEST(BufferTest, CommitZeroAndUncommittedBytesInvisible) {
+  Buffer buf;
+  buf.ensureWritable(32);
+  auto span = buf.writableSpan();
+  span[0] = std::byte{'x'};  // written but never committed
+  buf.commit(0);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.view(), "");
+}
+
+TEST(BufferTest, EnsureWritableSurvivesConsumedPrefix) {
+  // ensureWritable may compact (reclaiming the consumed prefix) or
+  // grow; either way readable content is preserved and the requested
+  // capacity appears.
+  Buffer buf;
+  buf.append(std::string(4096, 'a'));
+  buf.append("keep");
+  buf.consume(4096);
+  buf.ensureWritable(16384);
+  EXPECT_GE(buf.writableSpan().size(), 16384u);
+  EXPECT_EQ(buf.view(), "keep");
+  buf.append("!");
+  EXPECT_EQ(buf.view(), "keep!");
 }
 
 TEST(BufferTest, ToStringBounded) {

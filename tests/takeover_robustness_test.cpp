@@ -111,6 +111,49 @@ TEST_F(RobustnessTest, PeerHangupMidHandshakeAborts) {
   EXPECT_FALSE(drained_.load());
 }
 
+TEST(InventoryRingTest, RingSpecsRoundTrip) {
+  Inventory inv;
+  for (int i = 0; i < 4; ++i) {
+    inv.sockets.push_back({"http", Proto::kTcp, SocketAddr("127.0.0.1", 80)});
+  }
+  inv.sockets.push_back({"trunk", Proto::kTcp, SocketAddr("127.0.0.1", 81)});
+  inv.rings.push_back({"http", 4});
+
+  auto decoded = decodeInventory(encodeInventory(inv));
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->sockets.size(), 5u);
+  EXPECT_EQ(decoded->ringSize("http"), 4u);
+  // Absent ring spec ⇒ a ring of one (pre-ring instances never emit
+  // specs, and single-fd VIPs do not need them).
+  EXPECT_EQ(decoded->ringSize("trunk"), 1u);
+}
+
+TEST(InventoryRingTest, UnknownTrailingLinesAreSkipped) {
+  // Forward compatibility: ring specs ride as trailing lines precisely
+  // so that decoders which predate (or postdate) them interoperate. A
+  // decoder must skip trailing keys it does not understand.
+  Inventory inv;
+  inv.sockets.push_back({"http", Proto::kTcp, SocketAddr("127.0.0.1", 80)});
+  inv.rings.push_back({"http", 1});
+  std::string wire = encodeInventory(inv);
+  wire += "future_extension some value\n";
+
+  auto decoded = decodeInventory(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->sockets.size(), 1u);
+  EXPECT_EQ(decoded->ringSize("http"), 1u);
+}
+
+TEST(InventoryRingTest, ZeroFdCountRejected) {
+  // A ring of zero fds is nonsense: it would describe a VIP whose
+  // descriptors exist in the message but belong to no ring.
+  Inventory inv;
+  inv.sockets.push_back({"http", Proto::kTcp, SocketAddr("127.0.0.1", 80)});
+  std::string wire = encodeInventory(inv);
+  wire += "ring http 0\n";
+  EXPECT_FALSE(decodeInventory(wire).has_value());
+}
+
 TEST_F(RobustnessTest, DecodeInventoryFuzzSurvives) {
   // decodeInventory must reject, never crash, on arbitrary prefixes of
   // a valid message and on bit-flipped variants.
