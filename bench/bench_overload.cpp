@@ -1,0 +1,219 @@
+// Overload containment: goodput and tail latency of a degraded fleet —
+// one app backend killed outright, another slowed by an injected send
+// delay — swept over the edge worker count and over the containment
+// machinery (breakers + retry budget + shedding) on vs off.
+//
+// The claim under test: with containment on, the healthy remainder of
+// the fleet keeps serving at its fair-share goodput and the tail stays
+// bounded; with it off, retries amplify load onto the corpse and p99
+// degrades toward the request timeout.
+//
+// Reports per cell: goodput (ok/s), error rate, p50/p99, upstream
+// amplification (app attempts per origin request), shed count, breaker
+// opens. Emits BENCH_overload.json.
+//
+// Usage: bench_overload [--smoke]
+#include <cstring>
+#include <fstream>
+#include <memory>
+
+#include "bench_util.h"
+#include "core/testbed.h"
+#include "core/workload.h"
+#include "netcore/fault_injection.h"
+
+using namespace zdr;
+
+namespace {
+
+struct Cell {
+  size_t httpWorkers = 1;
+  bool containment = true;
+  uint64_t ok = 0;
+  uint64_t errors = 0;
+  double seconds = 0;
+  double goodput = 0;     // ok responses per second
+  double errRate = 0;     // errors / (ok + errors)
+  double p50Ms = 0;
+  double p99Ms = 0;
+  double amplification = 0;  // app attempts per origin request
+  uint64_t shed = 0;
+  uint64_t breakerOpens = 0;
+};
+
+Cell runCell(size_t httpWorkers, bool containment) {
+  Cell cell;
+  cell.httpWorkers = httpWorkers;
+  cell.containment = containment;
+
+  fault::ScopedChaosMode chaos;
+
+  core::TestbedOptions opts;
+  opts.edges = 1;
+  opts.origins = 1;
+  opts.appServers = 3;
+  opts.enableMqtt = false;
+  opts.httpWorkers = httpWorkers;
+  opts.requestTimeout = Duration{2000};
+  opts.proxyConfigHook = [containment](proxygen::Proxy::Config& cfg) {
+    if (!containment) {
+      cfg.upstreamPool.breakerEnabled = false;
+      cfg.retryBudgetRatio = 1e9;  // effectively unlimited retries
+      cfg.shedMaxInFlightPerShard = 1u << 20;
+    }
+  };
+  core::Testbed bed(opts);
+
+  // Degrade the tier: app0 is killed, app1 answers but every origin
+  // send to it stalls 25 ms.
+  fault::FaultSpec slowSpec;
+  slowSpec.seed = 0xbe1;
+  slowSpec.delayProb = 1.0;
+  slowSpec.delay = std::chrono::milliseconds(25);
+  fault::FaultRegistry::instance().armTag("origin.app.app1", slowSpec);
+  bed.app(0).withServer([](appserver::AppServer* s) {
+    if (s != nullptr) {
+      s->terminate();
+    }
+  });
+
+  const size_t kGens = bench::scaled<size_t>(4, 1);
+  std::vector<std::unique_ptr<core::HttpLoadGen>> gens;
+  for (size_t g = 0; g < kGens; ++g) {
+    core::HttpLoadGen::Options lo;
+    lo.concurrency = bench::scaledConnections(8);
+    lo.thinkTime = Duration{0};
+    lo.timeout = Duration{2500};
+    gens.push_back(std::make_unique<core::HttpLoadGen>(bed.httpEntry(), lo,
+                                                       bed.metrics(), "load"));
+    gens.back()->start();
+  }
+
+  // Let the breaker (when on) discover the corpse, then measure.
+  bench::sleepMs(bench::scaled<long>(500, 150));
+  bed.metrics().histogram("load.latency_ms").reset();
+  uint64_t okStart = bed.metrics().counter("load.ok").value();
+  uint64_t errStart = bed.metrics().counter("load.err_http").value() +
+                      bed.metrics().counter("load.err_transport").value() +
+                      bed.metrics().counter("load.err_timeout").value();
+  auto t0 = std::chrono::steady_clock::now();
+
+  bench::sleepMs(bench::scaled<long>(3000, 300));
+
+  uint64_t okEnd = bed.metrics().counter("load.ok").value();
+  uint64_t errEnd = bed.metrics().counter("load.err_http").value() +
+                    bed.metrics().counter("load.err_transport").value() +
+                    bed.metrics().counter("load.err_timeout").value();
+  cell.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  for (auto& g : gens) {
+    g->stop();
+  }
+
+  cell.ok = okEnd - okStart;
+  cell.errors = errEnd - errStart;
+  cell.goodput = static_cast<double>(cell.ok) / cell.seconds;
+  if (cell.ok + cell.errors > 0) {
+    cell.errRate = static_cast<double>(cell.errors) /
+                   static_cast<double>(cell.ok + cell.errors);
+  }
+  cell.p50Ms = bed.metrics().histogram("load.latency_ms").quantile(0.5);
+  cell.p99Ms = bed.metrics().histogram("load.latency_ms").quantile(0.99);
+  uint64_t requests = bed.metrics().counter("origin0.requests").value();
+  uint64_t attempts = bed.metrics().counter("origin0.app_attempts").value();
+  if (requests > 0) {
+    cell.amplification =
+        static_cast<double>(attempts) / static_cast<double>(requests);
+  }
+  cell.shed = bed.metrics().counter("edge.err.shed").value();
+  cell.breakerOpens = bed.metrics().counter("pool.breaker_open").value();
+  return cell;
+}
+
+void writeJson(const std::vector<Cell>& cells, const char* path) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"overload\",\n  \"smoke\": "
+      << (bench::smokeMode() ? "true" : "false") << ",\n  \"cells\": [\n";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    out << "    {\"http_workers\": " << c.httpWorkers
+        << ", \"containment\": " << (c.containment ? "true" : "false")
+        << ", \"ok\": " << c.ok << ", \"errors\": " << c.errors
+        << ", \"goodput_rps\": " << c.goodput
+        << ", \"err_rate\": " << c.errRate << ", \"p50_ms\": " << c.p50Ms
+        << ", \"p99_ms\": " << c.p99Ms
+        << ", \"amplification\": " << c.amplification
+        << ", \"shed\": " << c.shed
+        << ", \"breaker_opens\": " << c.breakerOpens << "}"
+        << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      ::setenv("ZDR_BENCH_SMOKE", "1", 1);
+    }
+  }
+
+  bench::banner(
+      "Overload containment — degraded app tier, containment on/off",
+      "breakers + retry budgets + shedding hold goodput and the tail on "
+      "the healthy remainder of a degraded fleet");
+
+  const size_t workerSweep[] = {1, 4};
+  std::vector<Cell> cells;
+  for (size_t workers : workerSweep) {
+    for (bool containment : {true, false}) {
+      cells.push_back(runCell(workers, containment));
+      const Cell& c = cells.back();
+      std::printf(
+          "workers=%zu containment=%-3s  %8.0f ok/s  err %5.2f%%  p50 %6.2f ms"
+          "  p99 %7.2f ms  amp %.2fx  shed %llu  breaker_opens %llu\n",
+          c.httpWorkers, c.containment ? "on" : "off", c.goodput,
+          c.errRate * 100, c.p50Ms, c.p99Ms, c.amplification,
+          static_cast<unsigned long long>(c.shed),
+          static_cast<unsigned long long>(c.breakerOpens));
+    }
+  }
+
+  auto find = [&](size_t w, bool on) -> const Cell* {
+    for (const auto& c : cells) {
+      if (c.httpWorkers == w && c.containment == on) {
+        return &c;
+      }
+    }
+    return nullptr;
+  };
+  const Cell* on1 = find(1, true);
+  const Cell* off1 = find(1, false);
+  bench::section("containment effect (1 worker)");
+  if (on1 != nullptr && off1 != nullptr) {
+    if (off1->goodput > 0) {
+      bench::row("goodput, on vs off", on1->goodput / off1->goodput, "x");
+    }
+    if (on1->amplification > 0) {
+      bench::row("amplification, off vs on",
+                 off1->amplification / on1->amplification, "x");
+    }
+    bench::row("p99, containment on", on1->p99Ms, "ms");
+    bench::row("p99, containment off", off1->p99Ms, "ms");
+  }
+
+  writeJson(cells, "BENCH_overload.json");
+  std::printf("\nwrote BENCH_overload.json\n");
+
+  uint64_t totalOk = 0;
+  for (const auto& c : cells) {
+    totalOk += c.ok;
+  }
+  if (totalOk == 0) {
+    std::fprintf(stderr, "error: no requests completed in any cell\n");
+    return 1;
+  }
+  return 0;
+}

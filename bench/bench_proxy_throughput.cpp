@@ -37,6 +37,8 @@ struct Cell {
   double p99Ms = 0;
   double cpuUsPerReq = 0;        // whole process (proxy + load + apps)
   double writeSyscallsPerReq = 0;  // whole process, before/after ratio
+  double shedRate = 0;   // edge.err.shed / edge requests (0 when healthy)
+  double retryRate = 0;  // shard.retries / edge requests (0 when healthy)
 };
 
 Cell runCell(size_t httpWorkers, bool vectored) {
@@ -113,6 +115,18 @@ Cell runCell(size_t httpWorkers, bool vectored) {
     cell.writeSyscallsPerReq = static_cast<double>(writesEnd - writesStart) /
                                static_cast<double>(cell.requests);
   }
+  // Containment counters: on an all-healthy run both must be 0 — any
+  // shedding or retrying here is a regression in the admission or
+  // retry-budget logic, which is why CI tracks them per cell.
+  uint64_t edgeRequests = bed.metrics().counter("edge0.requests").value();
+  if (edgeRequests > 0) {
+    cell.shedRate =
+        static_cast<double>(bed.metrics().counter("edge.err.shed").value()) /
+        static_cast<double>(edgeRequests);
+    cell.retryRate =
+        static_cast<double>(bed.metrics().counter("shard.retries").value()) /
+        static_cast<double>(edgeRequests);
+  }
   return cell;
 }
 
@@ -128,7 +142,9 @@ void writeJson(const std::vector<Cell>& cells, const char* path) {
         << ", \"rps\": " << c.rps << ", \"p50_ms\": " << c.p50Ms
         << ", \"p99_ms\": " << c.p99Ms
         << ", \"cpu_us_per_req\": " << c.cpuUsPerReq
-        << ", \"write_syscalls_per_req\": " << c.writeSyscallsPerReq << "}"
+        << ", \"write_syscalls_per_req\": " << c.writeSyscallsPerReq
+        << ", \"shed_rate\": " << c.shedRate
+        << ", \"retry_rate\": " << c.retryRate << "}"
         << (i + 1 < cells.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";

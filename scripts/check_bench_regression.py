@@ -25,6 +25,11 @@ METRICS = {
     "p99_ms": (-1, 1.0),
     "cpu_us_per_req": (-1, 5.0),
     "write_syscalls_per_req": (-1, 0.5),
+    # Containment rates: 0 on a healthy fleet by construction, so any
+    # appreciable value means the admission/retry logic misfires under
+    # normal load. The floor absorbs a stray shed during warmup.
+    "shed_rate": (-1, 0.01),
+    "retry_rate": (-1, 0.01),
 }
 
 
@@ -71,9 +76,20 @@ def main():
         for metric, (direction, abs_floor) in METRICS.items():
             cur_v = cell.get(metric)
             base_v = base.get(metric)
-            if cur_v is None or base_v is None or base_v == 0:
+            if cur_v is None or base_v is None:
                 continue
             if abs(cur_v - base_v) < abs_floor:
+                continue
+            if base_v == 0:
+                # No relative delta exists; anything past the absolute
+                # floor in the bad direction is a regression (this is
+                # how the zero-baseline containment rates are policed).
+                if direction < 0 and cur_v > 0:
+                    print(
+                        f"::warning::bench regression {label} {metric}: "
+                        f"0 -> {cur_v:.3g} (baseline is zero)"
+                    )
+                    warnings += 1
                 continue
             delta = (cur_v - base_v) / base_v
             regressed = delta * direction < -args.tolerance

@@ -178,6 +178,23 @@ void AppServer::startDrain() {
       }
     }
   }
+
+  // Drain-deadline watchdog: the drain phase must be bounded even if
+  // the orchestrator stalls — a straggler holding a connection open
+  // must not postpone the restart indefinitely.
+  if (opts_.drainDeadline > Duration{0}) {
+    drainDeadlineTimer_ = loop_.runAfter(opts_.drainDeadline, [this] {
+      drainDeadlineTimer_ = 0;
+      if (!conns_.empty()) {
+        bump("drain_deadline_exceeded");
+        if (metrics_) {
+          metrics_->counter(opts_.name + ".drain_forced_closes")
+              .add(conns_.size());
+        }
+      }
+      terminate();
+    });
+  }
 }
 
 void AppServer::respondPartialPost(const std::shared_ptr<ConnState>& cs) {
@@ -207,6 +224,10 @@ void AppServer::respond500(const std::shared_ptr<ConnState>& cs) {
 }
 
 void AppServer::terminate() {
+  if (drainDeadlineTimer_ != 0) {
+    loop_.cancelTimer(drainDeadlineTimer_);
+    drainDeadlineTimer_ = 0;
+  }
   bump("terminated");
   // Remaining connections are reset — this is what produces TCP RSTs
   // and user-visible disruption in the HardRestart baseline.

@@ -35,6 +35,11 @@ class AppServer {
     uint64_t handshakeCpuUnits = 0;
     // Synthetic per-request CPU.
     uint64_t requestCpuUnits = 0;
+    // Upper bound on the drain phase, enforced by the server itself:
+    // if the orchestrator has not terminated us by then, remaining
+    // connections are force-closed (counted as drain_forced_closes).
+    // Zero disables the watchdog (the orchestrator owns the clock).
+    Duration drainDeadline = Duration{0};
   };
 
   // App logic: fills `res` from a fully received request.
@@ -82,6 +87,7 @@ class AppServer {
   std::unique_ptr<Acceptor> acceptor_;
   std::set<std::shared_ptr<ConnState>> conns_;
   bool draining_ = false;
+  EventLoop::TimerId drainDeadlineTimer_ = 0;
 };
 
 // Builds the 379 response for an incomplete request: echoes the

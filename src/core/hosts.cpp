@@ -270,7 +270,27 @@ void AppHost::runRestart() {
       server_->startDrain();
     }
   });
-  sleepMs(opts_.drainPeriod.count());
+  // Wait out the drain period, but leave early once every connection
+  // is gone — a tier that drained in 50 ms should not sit dark for the
+  // full worst-case window (the paper's point about drain cost scaling
+  // with the slowest straggler, not the average).
+  auto waited = Duration{0};
+  const auto slice = Duration{10};
+  while (waited < opts_.drainPeriod) {
+    bool idle = false;
+    thread_.runSync([this, &idle] {
+      std::lock_guard<std::mutex> lock(mutex_);
+      idle = !server_ || server_->activeConnections() == 0;
+    });
+    if (idle) {
+      if (metrics_) {
+        metrics_->counter(name_ + ".drain_early_exit").add();
+      }
+      break;
+    }
+    sleepMs(static_cast<uint64_t>(slice.count()));
+    waited += slice;
+  }
   thread_.runSync([this] {
     std::lock_guard<std::mutex> lock(mutex_);
     if (server_) {

@@ -42,6 +42,9 @@ Testbed::Testbed(TestbedOptions opts) : opts_(opts) {
     cfg.pprEnabled = opts_.pprEnabled;
     cfg.dcrEnabled = opts_.dcrEnabled;
     cfg.trunkWorkers = opts_.trunkWorkers;
+    if (opts_.proxyConfigHook) {
+      opts_.proxyConfigHook(cfg);
+    }
     origins_.push_back(std::make_unique<ProxyHost>(
         "origin" + std::to_string(i), cfg, &metrics_));
   }
@@ -67,6 +70,9 @@ Testbed::Testbed(TestbedOptions opts) : opts_(opts) {
     cfg.dcrEnabled = opts_.dcrEnabled;
     cfg.udpUserSpaceRouting = opts_.udpUserSpaceRouting;
     cfg.httpWorkers = opts_.httpWorkers;
+    if (opts_.proxyConfigHook) {
+      opts_.proxyConfigHook(cfg);
+    }
     edges_.push_back(std::make_unique<ProxyHost>(
         "edge" + std::to_string(i), cfg, &metrics_));
   }

@@ -7,6 +7,7 @@
 // individual tiers and read the metrics registry.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -45,6 +46,12 @@ struct TestbedOptions {
 
   appserver::AppServer::Options appOptions{};
   l4lb::L4Balancer::Options l4Options{};
+
+  // Applied to every proxy config (edges and origins) after the
+  // testbed fills in the standard fields — the escape hatch for tests
+  // tuning containment knobs (breaker thresholds, retry budgets, shed
+  // caps, drain deadlines) without widening TestbedOptions per knob.
+  std::function<void(proxygen::Proxy::Config&)> proxyConfigHook;
 };
 
 class Testbed {

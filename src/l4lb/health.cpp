@@ -129,11 +129,18 @@ void HealthChecker::probeOne(size_t idx) {
         }
         auto parser = std::make_shared<http::ResponseParser>();
         auto done = std::make_shared<bool>(false);
-        auto finish = [this, alive, idx, conn, done](bool pass) {
+        // The timeout timer would otherwise pin `conn` (through its own
+        // copy of `finish`) until it expires, long after the verdict:
+        // finish cancels it on the early-completion paths.
+        auto timerId = std::make_shared<EventLoop::TimerId>(0);
+        auto finish = [this, alive, idx, conn, done, timerId](bool pass) {
           if (*done) {
             return;
           }
           *done = true;
+          if (*timerId != 0) {
+            loop_.cancelTimer(*timerId);
+          }
           conn->close({});
           if (*alive) {
             probes_.erase(conn);
@@ -150,6 +157,9 @@ void HealthChecker::probeOne(size_t idx) {
         });
         conn->setCloseCallback(
             [finish](std::error_code) { finish(false); });
+        // Arm the timeout before start(): if the transport dies inside
+        // start()/send(), finish already has a real id to cancel.
+        *timerId = loop_.runAfter(timeout, [finish] { finish(false); });
         conn->start();
         http::Request req;
         req.method = "GET";
@@ -158,7 +168,6 @@ void HealthChecker::probeOne(size_t idx) {
         Buffer out;
         http::serialize(req, out);
         conn->send(out.readable());
-        loop_.runAfter(timeout, [finish] { finish(false); });
       },
       timeout);
 }

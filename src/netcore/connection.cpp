@@ -381,13 +381,32 @@ void Acceptor::handleReadable() {
   // which would free the std::function while it executes.
   auto alive = alive_;
   auto cb = cb_;
-  while (*alive && listener_.valid()) {
+  while (*alive && listener_.valid() && !paused_) {
     std::error_code ec;
     auto sock = listener_.accept(ec);
     if (!sock) {
       break;  // EAGAIN or transient error; either way, wait for epoll
     }
     cb(std::move(*sock));
+  }
+}
+
+void Acceptor::pause() {
+  if (paused_ || !listener_.valid()) {
+    return;
+  }
+  paused_ = true;
+  loop_.removeFd(listener_.fd());
+}
+
+void Acceptor::resume() {
+  if (!paused_) {
+    return;
+  }
+  paused_ = false;
+  if (listener_.valid()) {
+    loop_.addFd(listener_.fd(), EPOLLIN,
+                [this](uint32_t) { handleReadable(); });
   }
 }
 

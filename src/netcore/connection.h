@@ -130,12 +130,21 @@ class Acceptor {
   // Stops accepting and closes the socket.
   void close();
 
+  // Load-shedding watermarks: pause() deregisters the listener from
+  // the loop (SYNs queue in the kernel backlog instead of landing on
+  // an overloaded worker); resume() re-arms it. Both idempotent; no-op
+  // after close()/detach().
+  void pause();
+  void resume();
+  [[nodiscard]] bool paused() const noexcept { return paused_; }
+
  private:
   void handleReadable();
 
   EventLoop& loop_;
   TcpListener listener_;
   AcceptCallback cb_;
+  bool paused_ = false;
   // The accept callback may destroy this Acceptor (a proxy tearing
   // down on its last request) or detach() it; the accept loop checks
   // this flag — through a copied shared_ptr — before touching members

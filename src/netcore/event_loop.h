@@ -49,6 +49,15 @@ class EventLoop {
   TimerId runAfter(Duration delay, Callback cb);
   TimerId runEvery(Duration period, Callback cb);
   void cancelTimer(TimerId id);
+  // Timers armed and neither fired (one-shots) nor cancelled. Loop
+  // thread only; test introspection for timer-leak regressions.
+  [[nodiscard]] size_t activeTimerCount() const {
+    size_t n = 0;
+    for (const auto& [id, alive] : timerAlive_) {
+      n += alive ? 1 : 0;
+    }
+    return n;
+  }
 
   // Defers `cb` to the end of the current loop iteration (after io
   // dispatch, posted callbacks and timers). Loop thread only. This is

@@ -220,7 +220,13 @@ void FaultRegistry::reset() {
 
 void FaultRegistry::bindTag(int fd, std::string tag) {
   std::lock_guard<std::mutex> lock(mutex_);
-  fdTags_[fd] = std::move(tag);
+  auto& tags = fdTags_[fd];
+  for (const auto& t : tags) {
+    if (t == tag) {
+      return;
+    }
+  }
+  tags.push_back(std::move(tag));
 }
 
 void FaultRegistry::onFdClosed(int fd) {
@@ -235,8 +241,10 @@ FaultPlanPtr FaultRegistry::planFor(int fd) const {
     return it->second;
   }
   if (auto tagIt = fdTags_.find(fd); tagIt != fdTags_.end()) {
-    if (auto it = tagPlans_.find(tagIt->second); it != tagPlans_.end()) {
-      return it->second;
+    for (const auto& tag : tagIt->second) {
+      if (auto it = tagPlans_.find(tag); it != tagPlans_.end()) {
+        return it->second;
+      }
     }
   }
   return wildcard_;

@@ -38,6 +38,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace zdr {
 class MetricsRegistry;
@@ -165,14 +166,18 @@ class FaultRegistry {
   void reset();
 
   // Subsystems label their sockets so tests can target them without
-  // reaching into private state. No-op while the gate is off.
+  // reaching into private state. No-op while the gate is off. An fd
+  // may carry several tags (e.g. the pool-wide "origin.app" plus the
+  // per-backend "origin.app.app1"); earlier bindings win when more
+  // than one bound tag has an armed plan.
   void bindTag(int fd, std::string tag);
   // Forget everything keyed on `fd` (called when a socket closes, so a
   // recycled descriptor never inherits stale faults).
   void onFdClosed(int fd);
 
-  // Resolution order: fd-specific plan, then the plan of the fd's
-  // bound tag, then the wildcard. Null when nothing matches.
+  // Resolution order: fd-specific plan, then the plans of the fd's
+  // bound tags (in binding order), then the wildcard. Null when
+  // nothing matches.
   [[nodiscard]] FaultPlanPtr planFor(int fd) const;
 
   [[nodiscard]] FaultStats stats() const;
@@ -189,7 +194,7 @@ class FaultRegistry {
   mutable std::mutex mutex_;
   std::map<int, FaultPlanPtr> fdPlans_;
   std::map<std::string, FaultPlanPtr> tagPlans_;
-  std::map<int, std::string> fdTags_;
+  std::map<int, std::vector<std::string>> fdTags_;
   FaultPlanPtr wildcard_;
   MetricsRegistry* metrics_ = nullptr;
 

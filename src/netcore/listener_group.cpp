@@ -104,4 +104,20 @@ void ListenerGroup::closeAll() {
   }
 }
 
+void ListenerGroup::pauseOn(size_t workerIdx) {
+  for (Member& m : members_) {
+    if (m.workerIdx == workerIdx && m.acceptor) {
+      m.acceptor->pause();
+    }
+  }
+}
+
+void ListenerGroup::resumeOn(size_t workerIdx) {
+  for (Member& m : members_) {
+    if (m.workerIdx == workerIdx && m.acceptor) {
+      m.acceptor->resume();
+    }
+  }
+}
+
 }  // namespace zdr

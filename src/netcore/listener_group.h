@@ -87,6 +87,14 @@ class ListenerGroup {
   // thread.
   void closeAll();
 
+  // Load-shedding watermarks: pause/resume every ring member owned by
+  // worker `workerIdx`. Unlike the lifecycle calls above these MUST be
+  // called from that worker's own loop thread — each acceptor is
+  // epoll-confined to its worker, and the shed decision is made on the
+  // overloaded worker itself.
+  void pauseOn(size_t workerIdx);
+  void resumeOn(size_t workerIdx);
+
  private:
   struct Member {
     size_t workerIdx;

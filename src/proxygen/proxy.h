@@ -94,6 +94,42 @@ class Proxy {
     bool edgeCacheEnabled = true;
     // Probing of App. Servers (origin role).
     l4lb::HealthChecker::Options appServerHealth{};
+
+    // --- failure containment / overload protection ---
+    // Per-backend circuit breaker knobs forwarded to every shard's
+    // UpstreamPool (origin role).
+    UpstreamPool::Options upstreamPool{};
+    // Per-shard retry budget (Envoy-style): within each rolling
+    // window, retries are allowed while
+    //   retries < max(retryBudgetMinPerWindow,
+    //                 retryBudgetRatio × requests-in-window).
+    // Gates PPR replays, app connect-failure failovers and edge
+    // re-dispatches so injected faults can't amplify into retry
+    // storms. The floor keeps low-traffic shards (single-request
+    // tests) retrying; the window resets so a burst can't starve
+    // retries forever.
+    double retryBudgetRatio = 0.2;
+    uint64_t retryBudgetMinPerWindow = 32;
+    Duration retryBudgetWindow = Duration{1000};
+    // Admission control (edge role): cap on concurrently active user
+    // requests per shard — excess requests are fast-failed with
+    // 503 + Retry-After instead of queueing into timeout. 0 disables.
+    size_t shedMaxInFlightPerShard = 4096;
+    // Accept watermarks: the shard's ring listeners pause above high,
+    // resume below low (0 ⇒ derived: high = 3/4, low = 1/2 of the
+    // shed cap).
+    size_t shedPauseHighWatermark = 0;
+    size_t shedResumeLowWatermark = 0;
+    // Drain-deadline watchdog: hard bound on the drain phase
+    // (0 ⇒ drainPeriod). Stragglers past the deadline are force-closed
+    // and reported via <name>.drain_forced_closes. A ZDR drain whose
+    // work finishes early (no conns, trunks or tunnels left)
+    // terminates without waiting out the period when drainEarlyExit
+    // is set; hard drains always serve the full window (the instance
+    // is still taking traffic while L4 shifts it away).
+    Duration drainDeadline = Duration{0};
+    bool drainEarlyExit = true;
+    Duration drainWatchInterval = Duration{20};
   };
 
   // Fresh start: binds all configured VIPs.
@@ -177,6 +213,17 @@ class Proxy {
       c->add(n);
     }
   }
+  // Retry budget (see Config): called on the shard's own thread.
+  void noteShardRequest(Shard& sh);
+  [[nodiscard]] bool trySpendRetryToken(Shard& sh);
+  // Admission control: true ⇒ the request was shed (503 already sent).
+  bool edgeMaybeShed(const std::shared_ptr<UserHttpConn>& uc);
+  void edgeNoteRequestDone(Shard& sh);
+  // Budget-gated re-dispatch of an idempotent request whose trunk
+  // stream aborted; true ⇒ the request was re-sent on another trunk.
+  bool edgeTryRedispatch(const std::shared_ptr<UserHttpConn>& uc);
+  // Drain watchdog body (primary loop).
+  void drainWatchTick();
   takeover::Inventory buildInventory(std::vector<int>& fds);
   // Runs fn(shard) on every shard's own loop thread, synchronously,
   // in shard order. Primary-thread only.
@@ -292,6 +339,8 @@ class Proxy {
   std::atomic<bool> terminated_{false};
   EventLoop::TimerId drainTimer_ = 0;
   EventLoop::TimerId solicitTimer_ = 0;
+  EventLoop::TimerId drainWatchTimer_ = 0;
+  TimePoint drainStart_{};
   int solicitRetriesLeft_ = 0;
 };
 

@@ -41,6 +41,48 @@ UpstreamPool* Proxy::upstreamPool() noexcept {
 
 size_t Proxy::shardCount() const noexcept { return shards_.size(); }
 
+// --- retry budget -----------------------------------------------------
+// Windowed, Envoy-style: retries are allowed while
+//   retries < max(floor, ratio × requests)
+// over a rolling window. Counting requests keeps the cap proportional
+// to load; the floor keeps single-request flows (one PPR replay chain)
+// retryable; the window reset means a past burst can't starve retries
+// forever. Shard-confined — call on the shard's own thread.
+
+namespace {
+// Template so the (private) Shard type is deduced, never named.
+template <typename ShardT>
+void resetRetryWindowIfStale(ShardT& sh, TimePoint now, Duration window) {
+  if (sh.retryWindowStart == TimePoint{} ||
+      now - sh.retryWindowStart > window) {
+    sh.retryWindowStart = now;
+    sh.windowRequests = 0;
+    sh.windowRetries = 0;
+  }
+}
+}  // namespace
+
+void Proxy::noteShardRequest(Shard& sh) {
+  resetRetryWindowIfStale(sh, Clock::now(), config_.retryBudgetWindow);
+  ++sh.windowRequests;
+}
+
+bool Proxy::trySpendRetryToken(Shard& sh) {
+  resetRetryWindowIfStale(sh, Clock::now(), config_.retryBudgetWindow);
+  auto proportional = static_cast<uint64_t>(
+      config_.retryBudgetRatio * static_cast<double>(sh.windowRequests));
+  uint64_t allowed = proportional > config_.retryBudgetMinPerWindow
+                         ? proportional
+                         : config_.retryBudgetMinPerWindow;
+  if (sh.windowRetries >= allowed) {
+    bump("shard.retry_budget_exhausted");
+    return false;
+  }
+  ++sh.windowRetries;
+  bump("shard.retries");
+  return true;
+}
+
 void Proxy::forEachShard(const std::function<void(Shard&)>& fn) {
   for (auto& sh : shards_) {
     workers_->runOn(sh->idx, [&fn, &sh] { fn(*sh); });
@@ -80,8 +122,10 @@ void Proxy::initCommon() {
     // shard's loop, and the pool's reap timer must be armed on the
     // loop that owns it.
     forEachShard([this](Shard& sh) {
-      UpstreamPool::Options poolOpts;
-      poolOpts.faultTag = "origin.app";
+      UpstreamPool::Options poolOpts = config_.upstreamPool;
+      if (poolOpts.faultTag.empty()) {
+        poolOpts.faultTag = "origin.app";
+      }
       sh.appPool = std::make_unique<UpstreamPool>(*sh.loop, poolOpts,
                                                   metrics_);
     });
@@ -323,7 +367,20 @@ void Proxy::startHardDrain() {
       }
     });
   }
-  drainTimer_ = loop_.runAfter(config_.drainPeriod, [this] { terminate(); });
+  // Hard drains always serve the full window (the instance is still in
+  // the L4 ring while health checks fail it out), so the deadline is
+  // the only watchdog — no early exit.
+  Duration deadline = config_.drainDeadline.count() > 0
+                          ? config_.drainDeadline
+                          : config_.drainPeriod;
+  drainStart_ = Clock::now();
+  drainTimer_ = loop_.runAfter(deadline, [this] {
+    if (userConnCount() + trunkSessionCount() + mqttTunnels_.size() > 0) {
+      bump(config_.name + ".drain_deadline_exceeded");
+      bump("release.drain_deadline_exceeded");
+    }
+    terminate();
+  });
 }
 
 void Proxy::enterDrain() {
@@ -396,7 +453,40 @@ void Proxy::enterDrain() {
     }
   }
 
-  drainTimer_ = loop_.runAfter(config_.drainPeriod, [this] { terminate(); });
+  // Drain-deadline watchdog: the deadline bounds the drain phase hard
+  // (stragglers past it are force-closed and reported); the periodic
+  // tick lets an instance whose work finished early leave without
+  // waiting out the window.
+  Duration deadline = config_.drainDeadline.count() > 0
+                          ? config_.drainDeadline
+                          : config_.drainPeriod;
+  drainStart_ = Clock::now();
+  drainTimer_ = loop_.runAfter(deadline, [this] {
+    if (userConnCount() + trunkSessionCount() + mqttTunnels_.size() > 0) {
+      bump(config_.name + ".drain_deadline_exceeded");
+      bump("release.drain_deadline_exceeded");
+    }
+    terminate();
+  });
+  if (config_.drainEarlyExit) {
+    drainWatchTimer_ = loop_.runEvery(config_.drainWatchInterval,
+                                      [this] { drainWatchTick(); });
+  }
+}
+
+void Proxy::drainWatchTick() {
+  if (terminated()) {
+    if (drainWatchTimer_ != 0) {
+      loop_.cancelTimer(drainWatchTimer_);
+      drainWatchTimer_ = 0;
+    }
+    return;
+  }
+  if (userConnCount() == 0 && trunkSessionCount() == 0 &&
+      mqttTunnels_.empty()) {
+    bump(config_.name + ".drain_early_exit");
+    terminate();
+  }
 }
 
 void Proxy::terminate() {
@@ -408,7 +498,15 @@ void Proxy::terminate() {
     loop_.cancelTimer(solicitTimer_);
     solicitTimer_ = 0;
   }
+  if (drainWatchTimer_ != 0) {
+    loop_.cancelTimer(drainWatchTimer_);
+    drainWatchTimer_ = 0;
+  }
   bump(config_.name + ".terminated");
+  // Connections that did not drain in time and are reset below. Only
+  // meaningful after a drain — destructor teardown at test end is not
+  // a forced close.
+  size_t forcedCloses = mqttTunnels_.size();
 
   // Whatever is still alive now is disrupted — this is the source of
   // the TCP RSTs and errors the paper's Fig 12 counts.
@@ -425,7 +523,8 @@ void Proxy::terminate() {
 
   // Shard-owned connections must die on their own loop threads: a
   // Connection's destructor unregisters from the loop that owns it.
-  forEachShard([this](Shard& sh) {
+  forEachShard([this, &forcedCloses](Shard& sh) {
+    forcedCloses += sh.userConns.size() + sh.trunkServerSessions.size();
     for (const auto& uc :
          std::set<std::shared_ptr<UserHttpConn>>(sh.userConns)) {
       if (uc->requestActive) {
@@ -458,6 +557,10 @@ void Proxy::terminate() {
   });
   userConnCount_.store(0, std::memory_order_release);
   trunkSessionCount_.store(0, std::memory_order_release);
+  if (draining()) {
+    bump(config_.name + ".drain_forced_closes", forcedCloses);
+    bump("release.drain_forced_closes", forcedCloses);
+  }
 
   if (httpListeners_) {
     httpListeners_->closeAll();

@@ -25,6 +25,15 @@ struct Proxy::Shard {
   std::set<std::shared_ptr<TrunkServerConn>> trunkServerSessions;
   std::unique_ptr<UpstreamPool> appPool;
   size_t appRoundRobin = 0;
+
+  // Retry budget, windowed (see Config::retryBudgetRatio).
+  uint64_t windowRequests = 0;
+  uint64_t windowRetries = 0;
+  TimePoint retryWindowStart{};
+
+  // Admission control (edge): requests currently past the shed gate.
+  size_t inFlightRequests = 0;
+  bool acceptsPaused = false;
 };
 
 // Edge: one user-facing HTTP connection (keep-alive, one request at a
@@ -51,6 +60,9 @@ struct Proxy::UserHttpConn
   // takeover hands the new instance live user connections before its
   // freshly dialed trunks finish their handshakes).
   int trunkWaitRetries = 0;
+  // This request holds a slot in the shard's in-flight count
+  // (admission control); released exactly once at finish/close.
+  bool countedInFlight = false;
 
   void resetRequestState() {
     requestActive = false;

@@ -108,6 +108,10 @@ void Proxy::edgeOnHttpAccept(Shard& sh, TcpSocket sock) {
       }
       uc->shard->loop->cancelTimer(uc->timeoutTimer);
     }
+    if (uc->countedInFlight) {
+      uc->countedInFlight = false;
+      edgeNoteRequestDone(*uc->shard);
+    }
     if (uc->shard->userConns.erase(uc) > 0) {
       userConnCount_.fetch_sub(1, std::memory_order_acq_rel);
     }
@@ -140,7 +144,75 @@ void Proxy::edgeOnHttpRequestHeaders(const std::shared_ptr<UserHttpConn>& uc) {
     bumpHot(hot_.cacheMiss);
   }
 
+  // Admission control: requests heading upstream count against the
+  // shard's in-flight cap. Health checks and cache hits (served above,
+  // cheaply and locally) are exempt — shedding them would tell the L4
+  // the instance is down when it is merely busy.
+  noteShardRequest(*uc->shard);
+  if (edgeMaybeShed(uc)) {
+    return;
+  }
+
   edgeDispatchUpstream(uc);
+}
+
+bool Proxy::edgeMaybeShed(const std::shared_ptr<UserHttpConn>& uc) {
+  Shard& sh = *uc->shard;
+  const size_t cap = config_.shedMaxInFlightPerShard;
+  if (cap == 0) {
+    return false;
+  }
+  if (sh.inFlightRequests >= cap) {
+    // Fast-fail: a 503 in microseconds beats a 504 after the full
+    // request timeout, and Retry-After steers well-behaved clients to
+    // back off rather than hammer an overloaded shard.
+    bump("edge.err.shed");
+    http::Response res;
+    res.status = 503;
+    res.reason = std::string(http::defaultReason(503));
+    res.headers.set("Retry-After", "1");
+    res.body = "overloaded";
+    edgeServeLocal(uc, res);
+    return true;
+  }
+  uc->countedInFlight = true;
+  ++sh.inFlightRequests;
+  const size_t high = config_.shedPauseHighWatermark > 0
+                          ? config_.shedPauseHighWatermark
+                          : cap - cap / 4;
+  if (!sh.acceptsPaused && sh.inFlightRequests >= high &&
+      httpListeners_ != nullptr) {
+    // Above the high watermark stop accepting: backpressure lands in
+    // the listen backlog (and eventually the L4) instead of growing
+    // the in-flight set until everything sheds.
+    sh.acceptsPaused = true;
+    httpListeners_->pauseOn(sh.idx);
+    bump("edge.accept_paused");
+  }
+  return false;
+}
+
+void Proxy::edgeNoteRequestDone(Shard& sh) {
+  if (sh.inFlightRequests > 0) {
+    --sh.inFlightRequests;
+  }
+  const size_t cap = config_.shedMaxInFlightPerShard;
+  if (!sh.acceptsPaused || cap == 0) {
+    return;
+  }
+  const size_t high = config_.shedPauseHighWatermark > 0
+                          ? config_.shedPauseHighWatermark
+                          : cap - cap / 4;
+  const size_t low = config_.shedResumeLowWatermark > 0
+                         ? config_.shedResumeLowWatermark
+                         : high / 2;
+  if (sh.inFlightRequests <= low) {
+    sh.acceptsPaused = false;
+    if (httpListeners_ != nullptr) {
+      httpListeners_->resumeOn(sh.idx);
+    }
+    bump("edge.accept_resumed");
+  }
 }
 
 void Proxy::edgeDispatchUpstream(const std::shared_ptr<UserHttpConn>& uc) {
@@ -250,6 +322,32 @@ void Proxy::edgeFailUserRequest(const std::shared_ptr<UserHttpConn>& uc,
   edgeServeLocal(uc, res);
 }
 
+bool Proxy::edgeTryRedispatch(const std::shared_ptr<UserHttpConn>& uc) {
+  // A trunk stream died under the request. For an idempotent request
+  // that is fully sent and has seen no response bytes, retrying on
+  // another trunk is invisible to the user — but only within the
+  // shard's retry budget, so a dying origin can't double the load on
+  // the survivors (retry-storm amplification).
+  const http::Request& req = uc->parser.message();
+  if (req.method != "GET" || uc->responseStarted ||
+      !uc->parser.messageComplete() || !uc->conn->open() || terminated_) {
+    return false;
+  }
+  if (edgePickTrunk(*uc->shard) == nullptr) {
+    return false;  // nowhere better to go; fail like before
+  }
+  if (!trySpendRetryToken(*uc->shard)) {
+    return false;
+  }
+  bump("edge.dispatch_retries");
+  uc->shard->loop->cancelTimer(uc->timeoutTimer);
+  uc->link = nullptr;
+  uc->streamId = 0;
+  uc->upstreamEnded = false;
+  edgeDispatchUpstream(uc);
+  return true;
+}
+
 void Proxy::edgeDeliverUpstreamResponse(
     const std::shared_ptr<UserHttpConn>& uc) {
   if (!uc->cacheKey.empty() && uc->upstreamResponse.status == 200) {
@@ -271,6 +369,10 @@ void Proxy::edgeFinishUserRequest(const std::shared_ptr<UserHttpConn>& uc) {
   uc->shard->loop->cancelTimer(uc->timeoutTimer);
   if (uc->link != nullptr) {
     uc->link->httpStreams.erase(uc->streamId);
+  }
+  if (uc->countedInFlight) {
+    uc->countedInFlight = false;
+    edgeNoteRequestDone(*uc->shard);
   }
   // A final response delivered before the request body finished (379
   // replays surface this, as do early 5xx) leaves the connection
@@ -445,8 +547,11 @@ void Proxy::edgeEnsureTrunk(Shard& sh, size_t idx) {
             auto uc = it->second.lock();
             link->httpStreams.erase(it);
             if (uc && uc->requestActive) {
-              bump("edge.err.stream_abort");
               uc->link = nullptr;
+              if (edgeTryRedispatch(uc)) {
+                return;
+              }
+              bump("edge.err.stream_abort");
               edgeFailUserRequest(uc, 502, "origin stream reset");
             }
             return;
@@ -497,8 +602,11 @@ void Proxy::edgeOnTrunkClosed(TrunkLink* link) {
   for (auto& [sid, weakUc] : httpStreams) {
     auto uc = weakUc.lock();
     if (uc && uc->requestActive) {
-      bump("edge.err.stream_abort");
       uc->link = nullptr;
+      if (edgeTryRedispatch(uc)) {
+        continue;
+      }
+      bump("edge.err.stream_abort");
       edgeFailUserRequest(uc, 502, "trunk closed");
     }
   }

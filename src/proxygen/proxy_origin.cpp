@@ -132,6 +132,7 @@ void Proxy::originOnStreamHeaders(const std::shared_ptr<TrunkServerConn>& tc,
   req->clientDone = endStream;
   tc->requests[streamId] = req;
   bumpHot(hot_.requests);
+  noteShardRequest(*tc->shard);
   originStartAppRequest(req);
 }
 
@@ -196,6 +197,9 @@ const BackendRef* Proxy::originPickAppServer(Shard& sh,
     if (appHealth_ && !appHealth_->isHealthy(cand.name)) {
       continue;
     }
+    if (sh.appPool && sh.appPool->breakerOpen(cand.name)) {
+      continue;  // ejected outlier; half-open probes re-admit it
+    }
     sh.appRoundRobin = (sh.appRoundRobin + i + 1) % config_.appServers.size();
     return &cand;
   }
@@ -209,6 +213,15 @@ void Proxy::originStartAppRequest(const std::shared_ptr<OriginRequest>& req) {
     originFailRequest(req, 500, "replay retries exhausted");
     return;
   }
+  // Every attempt after the first is a retry and must fit in the
+  // shard's budget: when a backend dies, bounded retries fail over;
+  // unbounded retries would multiply the tier-wide load exactly when
+  // the tier is least able to absorb it.
+  if (req->attempts > 1 && !trySpendRetryToken(*req->shard)) {
+    originFailRequest(req, 503, "retry budget exhausted");
+    return;
+  }
+  bump(config_.name + ".app_attempts");
   originConnectApp(req, req->appName);
 }
 
@@ -269,6 +282,7 @@ void Proxy::originConnectApp(const std::shared_ptr<OriginRequest>& req,
           while (!in.empty() && !req->finished) {
             auto st = req->resParser.feed(in);
             if (st == http::ParseStatus::kError) {
+              req->shard->appPool->recordFailure(req->appName);
               originFailRequest(req, 502, "bad app response");
               return;
             }
@@ -284,8 +298,18 @@ void Proxy::originConnectApp(const std::shared_ptr<OriginRequest>& req,
         });
         req->appConn->setCloseCallback([this, req](std::error_code) {
           if (!req->finished && !req->resParser.messageComplete()) {
-            // Connection died without a (complete) response and
-            // without a 379 — nothing to replay (§4.3 caveat).
+            req->shard->appPool->recordFailure(req->appName);
+            // An idempotent request that saw no response bytes fails
+            // over to another server (budget-gated, like a connect
+            // failure). A POST died mid-execution with no 379 handed
+            // back — nothing safe to replay (§4.3 caveat).
+            if (!req->isPost) {
+              req->excluded.insert(req->appName);
+              req->connected = false;
+              req->appConn = nullptr;
+              originStartAppRequest(req);
+              return;
+            }
             originFailRequest(req, 502, "app connection lost");
           }
         });
@@ -322,6 +346,10 @@ void Proxy::originConnectApp(const std::shared_ptr<OriginRequest>& req,
 
 void Proxy::originOnAppResponse(const std::shared_ptr<OriginRequest>& req) {
   const http::Response& res = req->resParser.message();
+  // Any complete response — including a 379 drain hand-back, which
+  // comes from a healthy, merely-restarting server — closes an open
+  // breaker for this backend.
+  req->shard->appPool->recordSuccess(req->appName);
 
   if (res.isPartialPostReplay()) {
     if (!config_.pprEnabled) {

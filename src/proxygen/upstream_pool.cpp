@@ -17,6 +17,13 @@ UpstreamPool::~UpstreamPool() {
 
 void UpstreamPool::acquire(const std::string& name, const SocketAddr& addr,
                            Ready cb) {
+  if (opts_.breakerEnabled && !allowRequest(name)) {
+    // Ejected backend: fail fast so the caller fails over immediately
+    // instead of burning a connect timeout on a known-bad host.
+    bump("pool.breaker_rejected");
+    cb(nullptr, std::make_error_code(std::errc::connection_refused), false);
+    return;
+  }
   auto it = idle_.find(name);
   while (it != idle_.end() && !it->second.empty()) {
     IdleEntry entry = std::move(it->second.front());
@@ -42,17 +49,140 @@ void UpstreamPool::acquire(const std::string& name, const SocketAddr& addr,
   }
   Connector::connect(
       loop_, addr,
-      [this, cb](TcpSocket sock, std::error_code ec) {
+      [this, name, cb](TcpSocket sock, std::error_code ec) {
         if (ec) {
+          recordFailure(name);
           cb(nullptr, ec, false);
           return;
         }
         if (!opts_.faultTag.empty()) {
           fault::tagFd(sock.fd(), opts_.faultTag);
+          fault::tagFd(sock.fd(), opts_.faultTag + "." + name);
         }
         cb(Connection::make(loop_, std::move(sock)), {}, false);
       },
       opts_.connectTimeout);
+}
+
+void UpstreamPool::recordSuccess(const std::string& name) {
+  if (!opts_.breakerEnabled) {
+    return;
+  }
+  auto it = breakers_.find(name);
+  if (it == breakers_.end()) {
+    return;  // nothing to reset, and no point tracking pure successes
+  }
+  BreakerState& st = it->second;
+  maybeResetWindow(st, Clock::now());
+  ++st.windowSuccesses;
+  st.consecutiveFails = 0;
+  if (st.phase != BreakerPhase::kClosed) {
+    st.phase = BreakerPhase::kClosed;
+    st.openCount = 0;
+    st.windowSuccesses = 0;
+    st.windowFailures = 0;
+    bump("pool.breaker_close");
+  }
+}
+
+void UpstreamPool::recordFailure(const std::string& name) {
+  if (!opts_.breakerEnabled) {
+    return;
+  }
+  TimePoint now = Clock::now();
+  BreakerState& st = breakers_[name];
+  if (st.windowStart == TimePoint{}) {
+    st.windowStart = now;
+  }
+  maybeResetWindow(st, now);
+  ++st.windowFailures;
+  ++st.consecutiveFails;
+  if (st.phase == BreakerPhase::kHalfOpen) {
+    trip(name, st);  // probe failed: back off harder
+    return;
+  }
+  if (st.phase != BreakerPhase::kClosed) {
+    return;
+  }
+  uint64_t total = st.windowSuccesses + st.windowFailures;
+  bool rateTrip =
+      total >= static_cast<uint64_t>(opts_.breakerMinSamples) &&
+      static_cast<double>(st.windowFailures) >=
+          opts_.breakerErrorRate * static_cast<double>(total);
+  if (st.consecutiveFails >= opts_.breakerConsecutiveFailures || rateTrip) {
+    trip(name, st);
+  }
+}
+
+bool UpstreamPool::breakerOpen(const std::string& name) const {
+  auto it = breakers_.find(name);
+  return it != breakers_.end() &&
+         it->second.phase == BreakerPhase::kOpen &&
+         Clock::now() < it->second.openUntil;
+}
+
+bool UpstreamPool::allowRequest(const std::string& name) {
+  auto it = breakers_.find(name);
+  if (it == breakers_.end()) {
+    return true;
+  }
+  BreakerState& st = it->second;
+  TimePoint now = Clock::now();
+  switch (st.phase) {
+    case BreakerPhase::kClosed:
+      return true;
+    case BreakerPhase::kOpen:
+      if (now < st.openUntil) {
+        return false;
+      }
+      st.phase = BreakerPhase::kHalfOpen;
+      st.lastProbe = now;
+      bump("pool.breaker_half_open");
+      return true;
+    case BreakerPhase::kHalfOpen:
+      // One probe per backoff-base interval: a probe whose outcome
+      // never comes back (e.g. its request got a 379 hand-back) must
+      // not wedge the breaker half-open forever.
+      if (now - st.lastProbe >= opts_.breakerBackoffBase) {
+        st.lastProbe = now;
+        return true;
+      }
+      return false;
+  }
+  return true;
+}
+
+void UpstreamPool::trip(const std::string& /*name*/, BreakerState& st) {
+  ++st.openCount;
+  auto backoff = opts_.breakerBackoffBase;
+  for (int i = 1; i < st.openCount && backoff < opts_.breakerBackoffMax;
+       ++i) {
+    backoff *= 2;
+  }
+  if (backoff > opts_.breakerBackoffMax) {
+    backoff = opts_.breakerBackoffMax;
+  }
+  st.phase = BreakerPhase::kOpen;
+  st.openUntil = Clock::now() + backoff;
+  st.consecutiveFails = 0;
+  st.windowSuccesses = 0;
+  st.windowFailures = 0;
+  st.windowStart = Clock::now();
+  bump("pool.breaker_open");
+}
+
+void UpstreamPool::maybeResetWindow(BreakerState& st, TimePoint now) {
+  if (now - st.windowStart > opts_.breakerWindow) {
+    st.windowStart = now;
+    st.windowSuccesses = 0;
+    st.windowFailures = 0;
+  }
+}
+
+void UpstreamPool::bump(const char* name) {
+  if (metrics_) {
+    metrics_->counter(name).add();
+  }
 }
 
 void UpstreamPool::release(const std::string& name, ConnectionPtr conn) {

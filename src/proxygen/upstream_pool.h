@@ -4,6 +4,23 @@
 // upstreams; they pool keep-alive connections. The pool is also where
 // restart hygiene shows up: a connection that served a 379 belongs to
 // a restarting server and must never be reused.
+//
+// The pool also owns the per-backend circuit breaker (outlier
+// ejection): a backend that keeps failing is ejected — acquire()
+// fast-fails so callers fail over instead of queueing connect attempts
+// into a dead host — and is re-admitted through a half-open probe
+// after an exponential backoff. State machine:
+//
+//   closed ──(N consecutive failures, or windowed error rate ≥
+//             threshold with enough samples)──▶ open
+//   open ──(backoff expired; next acquire becomes the probe)──▶ half-open
+//   half-open ──(probe outcome: success)──▶ closed  (backoff resets)
+//   half-open ──(probe outcome: failure)──▶ open    (backoff doubles)
+//
+// Connect failures feed the breaker from inside acquire(); the origin
+// reports request-level outcomes via recordSuccess/recordFailure so
+// mid-request transport losses count too. A 379 drain handoff is
+// deliberately NOT a failure — restarting servers are healthy.
 #pragma once
 
 #include <deque>
@@ -24,8 +41,23 @@ class UpstreamPool {
     Duration idleTimeout = Duration{10000};
     Duration connectTimeout = Duration{3000};
     // Fault-injection tag bound to every fresh upstream fd (chaos
-    // tests target e.g. "origin.app"); empty ⇒ untagged.
+    // tests target e.g. "origin.app"); empty ⇒ untagged. Each fd also
+    // gets the per-backend tag "<faultTag>.<name>" so chaos tests can
+    // fault exactly one backend.
     std::string faultTag;
+
+    // --- circuit breaker / outlier ejection ---
+    bool breakerEnabled = true;
+    // Trip on this many consecutive failures…
+    int breakerConsecutiveFailures = 5;
+    // …or when the windowed error rate reaches this fraction, once the
+    // window holds at least breakerMinSamples outcomes.
+    double breakerErrorRate = 0.5;
+    int breakerMinSamples = 20;
+    Duration breakerWindow = Duration{10000};
+    // Ejection backoff: base × 2^(consecutive opens), capped.
+    Duration breakerBackoffBase = Duration{200};
+    Duration breakerBackoffMax = Duration{5000};
   };
 
   // `reused` distinguishes pool hits from fresh connects (metrics and
@@ -50,6 +82,16 @@ class UpstreamPool {
   // Drops every idle connection (drain/terminate path).
   void closeAll();
 
+  // Request-level breaker feedback from the caller. recordSuccess
+  // closes an ejected/probing breaker and resets its backoff;
+  // recordFailure counts toward the trip thresholds (and re-opens a
+  // half-open breaker). Connect failures are recorded internally.
+  void recordSuccess(const std::string& name);
+  void recordFailure(const std::string& name);
+  // True while `name` is ejected and its backoff has not expired
+  // (selection should skip it; acquire() would fast-fail).
+  [[nodiscard]] bool breakerOpen(const std::string& name) const;
+
   [[nodiscard]] size_t idleCount(const std::string& name) const;
   [[nodiscard]] uint64_t hits() const noexcept { return hits_; }
   [[nodiscard]] uint64_t misses() const noexcept { return misses_; }
@@ -60,12 +102,32 @@ class UpstreamPool {
     TimePoint since;
   };
 
+  enum class BreakerPhase : uint8_t { kClosed, kOpen, kHalfOpen };
+  struct BreakerState {
+    BreakerPhase phase = BreakerPhase::kClosed;
+    int consecutiveFails = 0;
+    uint64_t windowSuccesses = 0;
+    uint64_t windowFailures = 0;
+    TimePoint windowStart{};
+    int openCount = 0;  // backoff exponent; reset on probe success
+    TimePoint openUntil{};
+    TimePoint lastProbe{};
+  };
+
+  // Gate for a new request to `name`: grants the half-open probe when
+  // an ejection's backoff expires (mutates phase).
+  bool allowRequest(const std::string& name);
+  void trip(const std::string& name, BreakerState& st);
+  void maybeResetWindow(BreakerState& st, TimePoint now);
+  void bump(const char* name);
+
   void reapIdle();
 
   EventLoop& loop_;
   Options opts_;
   MetricsRegistry* metrics_;
   std::map<std::string, std::deque<IdleEntry>> idle_;
+  std::map<std::string, BreakerState> breakers_;
   EventLoop::TimerId reapTimer_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;

@@ -55,6 +55,12 @@ RollingReleaseReport runRollingRelease(
       }
       if (SteadyClock::now() - batchStart > options.perBatchTimeout) {
         report.timedOut = true;
+        for (size_t i = offset; i < end; ++i) {
+          if (!hosts[i]->restartComplete()) {
+            report.stuckHosts.push_back(hosts[i]->hostName());
+            emit("host_stuck " + hosts[i]->hostName());
+          }
+        }
         break;
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(10));

@@ -52,6 +52,11 @@ struct RollingReleaseReport {
   size_t batches = 0;
   double totalSeconds = 0;
   bool timedOut = false;
+  // Hosts whose restart had not completed when their batch hit
+  // perBatchTimeout (each is also reported via onEvent as
+  // "host_stuck <name>"). The release stops after a stuck batch —
+  // rolling further on top of an unhealthy fleet compounds the damage.
+  std::vector<std::string> stuckHosts;
 };
 
 // Blocking: rolls the update across `hosts` in batches. Call from a

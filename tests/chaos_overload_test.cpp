@@ -1,0 +1,300 @@
+// Failure containment under injected overload and backend failure:
+// circuit breakers eject a killed backend, the per-shard retry budget
+// bounds upstream amplification, the edge sheds excess load with fast
+// 503s, accept watermarks throttle intake, and drain deadlines bound
+// how long a straggler can hold up a release.
+#include <atomic>
+#include <gtest/gtest.h>
+
+#include "core/testbed.h"
+#include "core/workload.h"
+#include "http/client.h"
+#include "netcore/fault_injection.h"
+
+namespace zdr::core {
+namespace {
+
+void waitFor(const std::function<bool()>& pred, int ms = 20000) {
+  for (int i = 0; i < ms && !pred(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(pred());
+}
+
+// The acceptance scenario from the issue: at httpWorkers=4, one app
+// backend is killed outright and another is slowed with an injected
+// send delay while an edge restarts mid-load. The breaker must eject
+// the corpse within the window, the retry budget must cap upstream
+// attempts at ≤ 1.2× requests, and requests served by the healthy
+// backends must see zero client-visible errors.
+TEST(ChaosOverloadTest, KilledAndSlowedBackendsMidReleaseStayContained) {
+  fault::ScopedChaosMode chaos;
+
+  TestbedOptions opts;
+  opts.edges = 1;
+  opts.origins = 1;
+  opts.appServers = 3;
+  opts.enableMqtt = false;
+  opts.httpWorkers = 4;
+  opts.proxyDrainPeriod = Duration{400};
+  opts.requestTimeout = Duration{3000};
+  Testbed bed(opts);
+
+  // Slow app1: every origin→app1 send is held for 50 ms. A slow
+  // backend must degrade latency, not correctness — and must NOT be
+  // ejected (no failures, just sloth).
+  fault::FaultSpec slowSpec;
+  slowSpec.seed = 0x510;
+  slowSpec.delayProb = 1.0;
+  slowSpec.delay = std::chrono::milliseconds(50);
+  fault::FaultRegistry::instance().armTag("origin.app.app1", slowSpec);
+
+  HttpLoadGen::Options lo;
+  lo.concurrency = 12;
+  lo.thinkTime = Duration{2};
+  lo.timeout = Duration{3000};
+  HttpLoadGen load(bed.httpEntry(), lo, bed.metrics(), "load");
+  load.start();
+  waitFor([&] { return load.completed() > 50; });
+
+  // Kill app0 under load: connects are refused from here on and its
+  // in-flight requests die mid-exchange.
+  bed.app(0).withServer([](appserver::AppServer* s) {
+    if (s != nullptr) {
+      s->terminate();
+    }
+  });
+
+  // Mid-release: the edge restarts via Socket Takeover while the app
+  // tier is degraded.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  bed.edge(0).beginRestart(release::Strategy::kZeroDowntime);
+  bed.edge(0).waitRestart();
+
+  uint64_t before = load.completed();
+  waitFor([&] { return load.completed() > before + 200; });
+  load.stop();
+
+  auto& m = bed.metrics();
+  // Breaker opened on the killed backend within the window.
+  EXPECT_GE(m.counter("pool.breaker_open").value(), 1u);
+  // Retry budget caps amplification: total attempts against the app
+  // tier stay within 1.2× of the requests the origin actually took.
+  uint64_t requests = m.counter("origin0.requests").value();
+  uint64_t attempts = m.counter("origin0.app_attempts").value();
+  ASSERT_GE(requests, 100u);
+  EXPECT_LE(attempts, requests + (requests + 4) / 5)
+      << "attempts=" << attempts << " requests=" << requests;
+  // Healthy-backend traffic rode through the kill + the restart with
+  // zero client-visible errors (failed-over requests included).
+  EXPECT_EQ(m.counter("load.err_http").value(), 0u);
+  EXPECT_EQ(m.counter("load.err_transport").value(), 0u);
+  EXPECT_EQ(m.counter("load.err_timeout").value(), 0u);
+  // The slowed backend was never ejected — slow is not dead.
+  EXPECT_GE(fault::FaultRegistry::instance().stats().sendsDelayed, 1u);
+}
+
+// Overloaded shard: in-flight past the cap is shed with an immediate
+// 503 + Retry-After instead of queueing into the request timeout.
+TEST(ChaosOverloadTest, OverloadedShardShedsWithFast503) {
+  fault::ScopedChaosMode chaos;
+
+  TestbedOptions opts;
+  opts.edges = 1;
+  opts.origins = 1;
+  opts.appServers = 1;
+  opts.enableMqtt = false;
+  opts.requestTimeout = Duration{2000};
+  opts.proxyConfigHook = [](proxygen::Proxy::Config& cfg) {
+    cfg.shedMaxInFlightPerShard = 2;
+    // Keep accepting so the shed path (not the accept pause) is what
+    // this test observes.
+    cfg.shedPauseHighWatermark = 100;
+  };
+  Testbed bed(opts);
+
+  // Make the backend slow so in-flight piles up at the edge.
+  fault::FaultSpec slowSpec;
+  slowSpec.seed = 0x51d;
+  slowSpec.delayProb = 1.0;
+  slowSpec.delay = std::chrono::milliseconds(600);
+  fault::FaultRegistry::instance().armTag("origin.app", slowSpec);
+
+  HttpLoadGen::Options lo;
+  lo.concurrency = 8;
+  lo.thinkTime = Duration{1};
+  lo.timeout = Duration{5000};
+  HttpLoadGen load(bed.httpEntry(), lo, bed.metrics(), "load");
+  load.start();
+  waitFor([&] {
+    return bed.metrics().counter("edge.err.shed").value() > 0;
+  });
+
+  // Probe: shed responses must come back in well under a tenth of the
+  // request timeout, carrying Retry-After.
+  EventLoopThread probeLoop("probe");
+  int shed = 0;
+  for (int i = 0; i < 10 && shed == 0; ++i) {
+    std::atomic<bool> done{false};
+    http::Client::Result result;
+    std::shared_ptr<http::Client> client;
+    probeLoop.runSync([&] {
+      client = http::Client::make(probeLoop.loop(), bed.httpEntry());
+      http::Request req;
+      req.path = "/api/probe";
+      client->request(std::move(req),
+                      [&](http::Client::Result r) {
+                        result = r;
+                        done.store(true);
+                      },
+                      Duration{5000});
+    });
+    waitFor([&] { return done.load(); });
+    probeLoop.runSync([&] { client->close(); });
+    if (result.response.status == 503) {
+      ++shed;
+      EXPECT_LT(result.latencySec, 0.2) << "shed 503 was not fast";
+      auto retryAfter = result.response.headers.get("Retry-After");
+      ASSERT_TRUE(retryAfter.has_value());
+      EXPECT_EQ(*retryAfter, "1");
+    }
+  }
+  load.stop();
+  EXPECT_GE(shed, 1);
+  EXPECT_GE(bed.metrics().counter("edge.err.shed").value(), 1u);
+}
+
+// Accept watermarks: sustained overload pauses the shard's accepts at
+// the high watermark and resumes them once in-flight drains below the
+// low one — and the instance serves normally afterwards.
+TEST(ChaosOverloadTest, AcceptPauseEngagesAndResumesAtWatermarks) {
+  fault::ScopedChaosMode chaos;
+
+  TestbedOptions opts;
+  opts.edges = 1;
+  opts.origins = 1;
+  opts.appServers = 1;
+  opts.enableMqtt = false;
+  opts.requestTimeout = Duration{5000};
+  opts.proxyConfigHook = [](proxygen::Proxy::Config& cfg) {
+    cfg.shedMaxInFlightPerShard = 4;  // derived: pause at 3, resume at 1
+  };
+  Testbed bed(opts);
+
+  fault::FaultSpec slowSpec;
+  slowSpec.seed = 0x51e;
+  slowSpec.delayProb = 1.0;
+  slowSpec.delay = std::chrono::milliseconds(300);
+  fault::FaultRegistry::instance().armTag("origin.app", slowSpec);
+
+  HttpLoadGen::Options lo;
+  lo.concurrency = 8;
+  lo.thinkTime = Duration{1};
+  lo.timeout = Duration{8000};
+  HttpLoadGen load(bed.httpEntry(), lo, bed.metrics(), "load");
+  load.start();
+  waitFor([&] {
+    return bed.metrics().counter("edge.accept_paused").value() > 0;
+  });
+  load.stop();
+
+  // In-flight drains as the slow responses land; accepts resume.
+  waitFor([&] {
+    return bed.metrics().counter("edge.accept_resumed").value() > 0;
+  });
+
+  // And a fresh connection is accepted and served.
+  EventLoopThread probeLoop("probe");
+  std::atomic<bool> done{false};
+  http::Client::Result result;
+  std::shared_ptr<http::Client> client;
+  probeLoop.runSync([&] {
+    client = http::Client::make(probeLoop.loop(), bed.httpEntry());
+    http::Request req;
+    req.path = "/api/after";
+    client->request(std::move(req),
+                    [&](http::Client::Result r) {
+                      result = r;
+                      done.store(true);
+                    },
+                    Duration{5000});
+  });
+  waitFor([&] { return done.load(); });
+  probeLoop.runSync([&] { client->close(); });
+  EXPECT_EQ(result.response.status, 200);
+}
+
+// Drain deadline: a straggler holding a connection open cannot stretch
+// a ZDR drain past the configured deadline — the watchdog force-closes
+// it, reports the count, and the release completes on time.
+TEST(ChaosOverloadTest, DrainDeadlineForcesStragglersClosed) {
+  TestbedOptions opts;
+  opts.edges = 1;
+  opts.origins = 1;
+  opts.appServers = 1;
+  opts.enableMqtt = false;
+  opts.proxyDrainPeriod = Duration{2000};
+  opts.proxyConfigHook = [](proxygen::Proxy::Config& cfg) {
+    cfg.drainDeadline = Duration{300};
+  };
+  Testbed bed(opts);
+
+  // A slow upload that would straddle the whole drain period.
+  EventLoopThread clientLoop("client");
+  std::atomic<bool> done{false};
+  http::Client::Result result;
+  std::shared_ptr<http::Client> client;
+  clientLoop.runSync([&] {
+    client = http::Client::make(clientLoop.loop(), bed.httpEntry());
+    client->pacedPost("/upload/straggler", /*chunks=*/200,
+                      /*chunkBytes=*/256, Duration{20},
+                      [&](http::Client::Result r) {
+                        result = r;
+                        done.store(true);
+                      },
+                      Duration{30000});
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  Stopwatch sw;
+  bed.edge(0).beginRestart(release::Strategy::kZeroDowntime);
+  bed.edge(0).waitRestart();
+  double restartMs = sw.seconds() * 1000;
+
+  // The deadline (300 ms), not the drain period (2000 ms), bounded the
+  // release.
+  EXPECT_LT(restartMs, 1500.0);
+  EXPECT_GE(bed.metrics().counter("edge0.drain_deadline_exceeded").value(),
+            1u);
+  EXPECT_GE(bed.metrics().counter("release.drain_forced_closes").value(),
+            1u);
+
+  // The straggler itself was cut off — that is the deal the deadline
+  // makes. Reap the client.
+  waitFor([&] { return done.load(); });
+  clientLoop.runSync([&] { client->close(); });
+  EXPECT_FALSE(result.ok);
+}
+
+// Without stragglers a ZDR drain exits as soon as the instance is
+// idle instead of sitting out the full drain period.
+TEST(ChaosOverloadTest, IdleZdrDrainExitsEarly) {
+  TestbedOptions opts;
+  opts.edges = 1;
+  opts.origins = 1;
+  opts.appServers = 1;
+  opts.enableMqtt = false;
+  opts.proxyDrainPeriod = Duration{1500};
+  Testbed bed(opts);
+
+  Stopwatch sw;
+  bed.edge(0).beginRestart(release::Strategy::kZeroDowntime);
+  bed.edge(0).waitRestart();
+  double restartMs = sw.seconds() * 1000;
+
+  EXPECT_LT(restartMs, 1000.0);
+  EXPECT_GE(bed.metrics().counter("edge0.drain_early_exit").value(), 1u);
+}
+
+}  // namespace
+}  // namespace zdr::core

@@ -308,5 +308,45 @@ TEST(L4BalancerTest, ForwardsToHealthyBackendAndFailsOver) {
   });
 }
 
+// Regression: every completed probe used to leave its timeout timer
+// armed until probeTimeout expired. With a long timeout and a short
+// interval that accumulates hundreds of live timers; a fixed checker
+// cancels each verdict's timer, so the live count stays bounded by the
+// interval timer plus the probes actually in flight.
+TEST(HealthCheckerTest, CompletedProbesDoNotLeakTimeoutTimers) {
+  EventLoopThread serverLoop("server");
+  EventLoopThread hcLoop("hc");
+
+  std::unique_ptr<appserver::AppServer> server;
+  SocketAddr addr;
+  serverLoop.runSync([&] {
+    server = std::make_unique<appserver::AppServer>(
+        serverLoop.loop(), SocketAddr::loopback(0),
+        appserver::AppServer::Options{}, nullptr);
+    addr = server->localAddr();
+  });
+
+  std::unique_ptr<HealthChecker> hc;
+  hcLoop.runSync([&] {
+    HealthChecker::Options opts;
+    opts.interval = Duration{20};
+    opts.probeTimeout = Duration{5000};  // leaked timers would linger
+    hc = std::make_unique<HealthChecker>(
+        hcLoop.loop(), std::vector<BackendTarget>{{"s", addr}}, opts,
+        nullptr, nullptr);
+  });
+
+  // ~25 probe rounds against a healthy backend.
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  size_t live = 0;
+  hcLoop.runSync([&] { live = hcLoop.loop().activeTimerCount(); });
+  // Interval timer + at most a few in-flight probes; the leak would
+  // show ~25 armed 5-second timers here.
+  EXPECT_LE(live, 5u);
+
+  hcLoop.runSync([&] { hc.reset(); });
+  serverLoop.runSync([&] { server.reset(); });
+}
+
 }  // namespace
 }  // namespace zdr::l4lb

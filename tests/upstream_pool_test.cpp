@@ -4,6 +4,7 @@
 
 #include "appserver/app_server.h"
 #include "http/client.h"
+#include "netcore/fault_injection.h"
 #include "proxygen/upstream_pool.h"
 
 namespace zdr::proxygen {
@@ -169,6 +170,176 @@ TEST_F(UpstreamPoolTest, ConnectFailureReported) {
   });
   waitFor([&] { return done.load(); });
   EXPECT_TRUE(ecOut);
+}
+
+// ---------------------------------------------------------------- breaker
+
+TEST_F(UpstreamPoolTest, BreakerTripsAfterConsecutiveConnectFailures) {
+  uint16_t port;
+  {
+    TcpListener tmp(SocketAddr::loopback(0));
+    port = tmp.localAddr().port();
+  }
+  for (int i = 0; i < 5; ++i) {  // breakerConsecutiveFailures default
+    std::atomic<bool> done{false};
+    loop_.runSync([&] {
+      pool_->acquire("dead", SocketAddr::loopback(port),
+                     [&](ConnectionPtr conn, std::error_code ec, bool) {
+                       EXPECT_FALSE(conn);
+                       EXPECT_TRUE(ec);
+                       done.store(true);
+                     });
+    });
+    waitFor([&] { return done.load(); });
+  }
+  bool open = false;
+  uint64_t missesBefore = 0;
+  loop_.runSync([&] {
+    open = pool_->breakerOpen("dead");
+    missesBefore = pool_->misses();
+  });
+  EXPECT_TRUE(open);
+
+  // Ejected: the next acquire fails fast without even dialing (misses
+  // counts actual connect attempts and must not move).
+  std::atomic<bool> done{false};
+  std::error_code ecOut;
+  loop_.runSync([&] {
+    pool_->acquire("dead", SocketAddr::loopback(port),
+                   [&](ConnectionPtr conn, std::error_code ec, bool) {
+                     EXPECT_FALSE(conn);
+                     ecOut = ec;
+                     done.store(true);
+                   });
+  });
+  waitFor([&] { return done.load(); });
+  EXPECT_EQ(ecOut, std::make_error_code(std::errc::connection_refused));
+  loop_.runSync([&] { EXPECT_EQ(pool_->misses(), missesBefore); });
+}
+
+TEST_F(UpstreamPoolTest, HalfOpenProbeSuccessReclosesBreaker) {
+  loop_.runSync([&] {
+    for (int i = 0; i < 5; ++i) {
+      pool_->recordFailure("app");
+    }
+    EXPECT_TRUE(pool_->breakerOpen("app"));
+  });
+  // Past the first backoff (base 200 ms) the next acquire is the
+  // half-open probe; the backend is healthy, so it succeeds.
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  bool reused = false;
+  auto conn = acquire(reused);
+  ASSERT_TRUE(conn);
+  loop_.runSync([&] {
+    pool_->recordSuccess("app");
+    EXPECT_FALSE(pool_->breakerOpen("app"));
+    conn->close({});
+  });
+}
+
+TEST_F(UpstreamPoolTest, FailedProbeReopensWithLongerBackoff) {
+  uint16_t port;
+  {
+    TcpListener tmp(SocketAddr::loopback(0));
+    port = tmp.localAddr().port();
+  }
+  loop_.runSync([&] {
+    for (int i = 0; i < 5; ++i) {
+      pool_->recordFailure("dead");
+    }
+    EXPECT_TRUE(pool_->breakerOpen("dead"));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  // The probe dials a dead port, fails, and re-trips the breaker.
+  std::atomic<bool> done{false};
+  loop_.runSync([&] {
+    pool_->acquire("dead", SocketAddr::loopback(port),
+                   [&](ConnectionPtr conn, std::error_code, bool) {
+                     EXPECT_FALSE(conn);
+                     done.store(true);
+                   });
+  });
+  waitFor([&] { return done.load(); });
+  bool open = false;
+  loop_.runSync([&] { open = pool_->breakerOpen("dead"); });
+  EXPECT_TRUE(open);
+}
+
+// Satellite: a backend killed while its idle connections sit parked in
+// the pool — under an armed fault plan — must compose cleanly: the
+// sentinel/reaper evict the corpses while request-level failures eject
+// the backend, and neither path trips over the other.
+TEST_F(UpstreamPoolTest, BackendKilledUnderFaultWithIdleConnsQueued) {
+  fault::ScopedChaosMode chaos;
+  std::unique_ptr<UpstreamPool> pool;
+  loop_.runSync([&] {
+    UpstreamPool::Options po;
+    po.idleTimeout = Duration{200};
+    po.faultTag = "pool.test";
+    pool = std::make_unique<UpstreamPool>(loop_.loop(), po, nullptr);
+  });
+
+  std::vector<ConnectionPtr> conns;
+  for (int i = 0; i < 3; ++i) {
+    ConnectionPtr result;
+    std::atomic<bool> done{false};
+    loop_.runSync([&] {
+      pool->acquire("app", addr_,
+                    [&](ConnectionPtr conn, std::error_code ec, bool) {
+                      EXPECT_FALSE(ec);
+                      result = std::move(conn);
+                      done.store(true);
+                    });
+    });
+    waitFor([&] { return done.load(); });
+    ASSERT_TRUE(result);
+    loop_.runSync([&] { result->start(); });
+    conns.push_back(std::move(result));
+  }
+  loop_.runSync([&] {
+    for (auto& c : conns) {
+      pool->release("app", c);
+    }
+    EXPECT_EQ(pool->idleCount("app"), 3u);
+  });
+  conns.clear();
+
+  // Fault the parked fds (errno on read) and kill the backend.
+  fault::FaultSpec spec;
+  spec.errProb = 1.0;
+  spec.errOp = fault::Op::kRead;
+  fault::FaultRegistry::instance().armTag("pool.test", spec);
+  loop_.runSync([&] {
+    server_->terminate();
+    for (int i = 0; i < 5; ++i) {
+      pool->recordFailure("app");  // request-level outcomes roll in
+    }
+  });
+
+  // Eviction (sentinel close / reaper) and ejection both land.
+  waitFor([&] {
+    size_t n = 1;
+    loop_.runSync([&] { n = pool->idleCount("app"); });
+    return n == 0;
+  });
+  bool open = false;
+  loop_.runSync([&] { open = pool->breakerOpen("app"); });
+  EXPECT_TRUE(open);
+
+  // And acquire against the ejected backend still fails fast.
+  std::atomic<bool> done{false};
+  std::error_code ecOut;
+  loop_.runSync([&] {
+    pool->acquire("app", addr_,
+                  [&](ConnectionPtr conn, std::error_code ec, bool) {
+                    EXPECT_FALSE(conn);
+                    ecOut = ec;
+                    done.store(true);
+                  });
+  });
+  waitFor([&] { return done.load(); });
+  EXPECT_EQ(ecOut, std::make_error_code(std::errc::connection_refused));
+  loop_.runSync([&] { pool.reset(); });
 }
 
 }  // namespace
