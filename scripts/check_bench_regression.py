@@ -34,7 +34,13 @@ METRICS = {
 
 
 def cell_key(cell):
-    return (cell["http_workers"], cell["vectored_io"])
+    # "tracing" only appears in bench_metrics cells; defaulting it keeps
+    # one key function across every BENCH_*.json schema.
+    return (
+        cell.get("http_workers"),
+        cell.get("vectored_io"),
+        cell.get("tracing", True),
+    )
 
 
 def main():
@@ -66,6 +72,8 @@ def main():
         key = cell_key(cell)
         base = base_by_key.get(key)
         label = f"workers={key[0]} vectored={'on' if key[1] else 'off'}"
+        if "tracing" in cell:
+            label += f" tracing={'on' if key[2] else 'off'}"
         if base is None:
             print(f"::warning::bench cell {label} missing from baseline")
             warnings += 1

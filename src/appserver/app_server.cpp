@@ -16,6 +16,38 @@ bool isResponseOwnHeader(std::string_view name) {
          http::Headers::nameEquals(name, "Connection");
 }
 
+// Records one app-tier hop span ending now. No-op without a sink or
+// without a propagated trace.
+void recordAppSpan(trace::SpanSink* sink, uint64_t traceId,
+                   uint64_t parentSpan, trace::SpanKind kind,
+                   uint32_t instance, uint64_t startNs, uint64_t detail) {
+  if (sink == nullptr || traceId == 0 || !trace::tracingEnabled()) {
+    return;
+  }
+  trace::Span s;
+  s.traceId = traceId;
+  s.spanId = trace::newId();
+  s.parentId = parentSpan;
+  s.kind = static_cast<uint32_t>(kind);
+  s.instance = instance;
+  s.startNs = startNs;
+  s.endNs = trace::nowNs();
+  s.detail = detail;
+  sink->record(s);
+}
+
+// Extracts the x-zdr-trace context the origin proxy stamped on the
+// request (the attempt span is the parent of the app-handle span).
+void parseReqTrace(const http::Request& req, uint64_t& traceId,
+                   uint64_t& parentSpan) {
+  if (!trace::tracingEnabled()) {
+    return;
+  }
+  if (auto tv = req.headers.get(trace::kTraceHeaderName)) {
+    trace::parseTraceHeader(*tv, traceId, parentSpan);
+  }
+}
+
 }  // namespace
 
 struct AppServer::ConnState
@@ -23,6 +55,7 @@ struct AppServer::ConnState
   ConnectionPtr conn;
   http::RequestParser parser;
   bool closing = false;
+  uint64_t reqStartNs = 0;  // first byte of the current request
 };
 
 AppServer::AppServer(EventLoop& loop, const SocketAddr& addr, Options opts,
@@ -32,6 +65,11 @@ AppServer::AppServer(EventLoop& loop, const SocketAddr& addr, Options opts,
     res.status = 200;
     res.body = "ok:" + req.path;
   };
+  traceInstance_ = trace::internInstance(opts_.name);
+  if (metrics_ != nullptr) {
+    spans_ = &metrics_->spanSink(opts_.name + ".w0", opts_.spanSinkCapacity);
+    handleUs_ = &metrics_->hdr(opts_.name + ".w0.handle_us");
+  }
   acceptor_ = std::make_unique<Acceptor>(
       loop_, TcpListener(addr),
       [this](TcpSocket sock) { onAccept(std::move(sock)); });
@@ -75,6 +113,9 @@ void AppServer::onAccept(TcpSocket sock) {
   auto self = cs;
   cs->conn->setDataCallback([this, self](Buffer& in) {
     while (!in.empty() && !self->closing) {
+      if (self->reqStartNs == 0) {
+        self->reqStartNs = trace::nowNs();
+      }
       auto st = self->parser.feed(in);
       if (st == http::ParseStatus::kError) {
         bump("parse_error");
@@ -87,6 +128,7 @@ void AppServer::onAccept(TcpSocket sock) {
           return;
         }
         self->parser.reset();  // keep-alive: next request
+        self->reqStartNs = 0;
         continue;
       }
       // A POST whose headers land while we are already draining will
@@ -108,6 +150,9 @@ void AppServer::onAccept(TcpSocket sock) {
 void AppServer::onRequestComplete(const std::shared_ptr<ConnState>& cs) {
   const http::Request& req = cs->parser.message();
   http::Response res;
+  uint64_t traceId = 0;
+  uint64_t parentSpan = 0;
+  parseReqTrace(req, traceId, parentSpan);
 
   if (req.path == "/__health") {
     res.status = draining_ ? 503 : 200;
@@ -118,6 +163,8 @@ void AppServer::onRequestComplete(const std::shared_ptr<ConnState>& cs) {
     // it losslessly.
     res = buildPartialPostResponse(req, req.body);
     bump("ppr_379_sent");
+    recordAppSpan(spans_, traceId, parentSpan, trace::SpanKind::kAppDrainBounce,
+                  traceInstance_, cs->reqStartNs, http::kPartialPostStatus);
     Buffer out;
     http::serialize(res, out);
     cs->conn->send(out.readable());
@@ -133,6 +180,13 @@ void AppServer::onRequestComplete(const std::shared_ptr<ConnState>& cs) {
       bump("posts_served");
     }
   }
+  if (handleUs_ != nullptr && cs->reqStartNs != 0) {
+    handleUs_->record(
+        static_cast<double>(trace::nowNs() - cs->reqStartNs) / 1000.0);
+  }
+  recordAppSpan(spans_, traceId, parentSpan, trace::SpanKind::kAppHandle,
+                traceInstance_, cs->reqStartNs,
+                static_cast<uint64_t>(res.status));
   res.reason = std::string(http::defaultReason(res.status));
   Buffer out;
   http::serialize(res, out);
@@ -145,6 +199,9 @@ void AppServer::startDrain() {
   }
   draining_ = true;
   bump("drain_started");
+  if (metrics_) {
+    metrics_->timeline().begin(opts_.name, "app_drain");
+  }
 
   // Stop listening: a SYN must be REFUSED, not accepted-and-dropped —
   // the downstream proxy turns a refused connect into a clean retry
@@ -201,6 +258,11 @@ void AppServer::respondPartialPost(const std::shared_ptr<ConnState>& cs) {
   const http::Request& partial = cs->parser.message();
   http::Response res = buildPartialPostResponse(partial, partial.body);
   bump("ppr_379_sent");
+  uint64_t traceId = 0;
+  uint64_t parentSpan = 0;
+  parseReqTrace(partial, traceId, parentSpan);
+  recordAppSpan(spans_, traceId, parentSpan, trace::SpanKind::kAppDrainBounce,
+                traceInstance_, cs->reqStartNs, http::kPartialPostStatus);
   Buffer out;
   http::serialize(res, out);
   cs->conn->send(out.readable());
@@ -227,6 +289,9 @@ void AppServer::terminate() {
   if (drainDeadlineTimer_ != 0) {
     loop_.cancelTimer(drainDeadlineTimer_);
     drainDeadlineTimer_ = 0;
+  }
+  if (draining_ && metrics_) {
+    metrics_->timeline().end(opts_.name, "app_drain");
   }
   bump("terminated");
   // Remaining connections are reset — this is what produces TCP RSTs

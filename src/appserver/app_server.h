@@ -40,6 +40,9 @@ class AppServer {
     // connections are force-closed (counted as drain_forced_closes).
     // Zero disables the watchdog (the orchestrator owns the clock).
     Duration drainDeadline = Duration{0};
+    // Span ring capacity ("<name>.w0" sink; the app server is
+    // single-loop, so one ring).
+    size_t spanSinkCapacity = 8192;
   };
 
   // App logic: fills `res` from a fully received request.
@@ -88,6 +91,11 @@ class AppServer {
   std::set<std::shared_ptr<ConnState>> conns_;
   bool draining_ = false;
   EventLoop::TimerId drainDeadlineTimer_ = 0;
+
+  // Observability handles (null without a registry).
+  trace::SpanSink* spans_ = nullptr;      // "<name>.w0"
+  HdrHistogram* handleUs_ = nullptr;      // "<name>.w0.handle_us"
+  uint32_t traceInstance_ = 0;
 };
 
 // Builds the 379 response for an incomplete request: echoes the

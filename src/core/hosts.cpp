@@ -117,6 +117,9 @@ void ProxyHost::beginRestart(release::Strategy strategy) {
 }
 
 void ProxyHost::runZdrRestart() {
+  if (metrics_) {
+    metrics_->timeline().begin(name_, "restart", "zdr");
+  }
   // Fig 5 workflow. Step A: the old instance spawns the takeover
   // server bound to the pre-specified path.
   thread_.runSync([this] {
@@ -137,6 +140,7 @@ void ProxyHost::runZdrRestart() {
     // must not regress just because a release failed, §5.1).
     if (metrics_) {
       metrics_->counter(name_ + ".takeover_failed").add();
+      metrics_->timeline().end(name_, "restart", "takeover_failed");
     }
     return;
   }
@@ -169,10 +173,14 @@ void ProxyHost::runZdrRestart() {
   });
   if (metrics_) {
     metrics_->counter(name_ + ".zdr_restarts").add();
+    metrics_->timeline().end(name_, "restart", "zdr");
   }
 }
 
 void ProxyHost::runHardRestart() {
+  if (metrics_) {
+    metrics_->timeline().begin(name_, "restart", "hard");
+  }
   // Traditional release: drain (failing health checks), terminate,
   // boot the new binary. The host serves nothing during boot.
   thread_.runSync([this] {
@@ -206,6 +214,7 @@ void ProxyHost::runHardRestart() {
   });
   if (metrics_) {
     metrics_->counter(name_ + ".hard_restarts").add();
+    metrics_->timeline().end(name_, "restart", "hard");
   }
 }
 
@@ -264,6 +273,9 @@ void AppHost::beginRestart(release::Strategy) {
 }
 
 void AppHost::runRestart() {
+  if (metrics_) {
+    metrics_->timeline().begin(name_, "restart", "app");
+  }
   thread_.runSync([this] {
     std::lock_guard<std::mutex> lock(mutex_);
     if (server_) {
@@ -306,6 +318,7 @@ void AppHost::runRestart() {
   });
   if (metrics_) {
     metrics_->counter(name_ + ".restarts").add();
+    metrics_->timeline().end(name_, "restart", "app");
   }
 }
 

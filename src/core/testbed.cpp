@@ -16,6 +16,7 @@ Testbed::Testbed(TestbedOptions opts) : opts_(opts) {
     AppHost::Options ao;
     ao.server = opts_.appOptions;
     ao.server.pprEnabled = opts_.appPprOverride.value_or(opts_.pprEnabled);
+    ao.server.spanSinkCapacity = opts_.spanSinkCapacity;
     ao.drainPeriod = opts_.appDrainPeriod;
     apps_.push_back(std::make_unique<AppHost>(
         "app" + std::to_string(i), SocketAddr::loopback(0), &metrics_, ao));
@@ -42,6 +43,7 @@ Testbed::Testbed(TestbedOptions opts) : opts_(opts) {
     cfg.pprEnabled = opts_.pprEnabled;
     cfg.dcrEnabled = opts_.dcrEnabled;
     cfg.trunkWorkers = opts_.trunkWorkers;
+    cfg.spanSinkCapacity = opts_.spanSinkCapacity;
     if (opts_.proxyConfigHook) {
       opts_.proxyConfigHook(cfg);
     }
@@ -70,6 +72,7 @@ Testbed::Testbed(TestbedOptions opts) : opts_(opts) {
     cfg.dcrEnabled = opts_.dcrEnabled;
     cfg.udpUserSpaceRouting = opts_.udpUserSpaceRouting;
     cfg.httpWorkers = opts_.httpWorkers;
+    cfg.spanSinkCapacity = opts_.spanSinkCapacity;
     if (opts_.proxyConfigHook) {
       opts_.proxyConfigHook(cfg);
     }

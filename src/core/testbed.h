@@ -37,6 +37,11 @@ struct TestbedOptions {
   Duration appDrainPeriod = Duration{300};
   Duration requestTimeout = Duration{3000};
 
+  // Per-worker span-ring capacity for every tier (proxy shards and app
+  // servers). E2E tests that scrape full span trees raise this so the
+  // ring never wraps mid-release.
+  size_t spanSinkCapacity = 8192;
+
   bool pprEnabled = true;
   // Overrides the app tier's PPR support independently of the proxy's
   // (for testing the §5.2 expectation gate: proxy-off + server-on).

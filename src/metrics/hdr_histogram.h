@@ -1,0 +1,199 @@
+// Fixed-bucket log-linear histogram for hot-path latency recording.
+//
+// The exact-sample Histogram in metrics.h locks a mutex, pushes every
+// sample into a vector, and sorts on quantile queries — fine for
+// experiment binaries that record a few million points once, hopeless
+// on the per-request path of a multi-worker proxy. HdrHistogram trades
+// exactness for a record() that is one relaxed fetch_add into a
+// fixed-size atomic bucket array:
+//
+//  * values are quantized to integer "ticks" of 1/1000 of the caller's
+//    unit (recording microseconds gives nanosecond-granularity ticks);
+//  * ticks below kSubBuckets map linearly, one bucket each;
+//  * above that, each power-of-two range is split into kSubBuckets/2
+//    linear sub-buckets — relative quantile error is bounded by
+//    2/kSubBuckets (~3% at 64 sub-buckets);
+//  * buckets are relaxed atomics, so per-worker instances merge into a
+//    fleet-wide view without stopping the workers (mergeFrom).
+//
+// Header-only; no dependencies beyond <atomic>.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace zdr {
+
+class HdrHistogram {
+ public:
+  static constexpr int kSubBucketBits = 6;
+  static constexpr uint64_t kSubBuckets = 1ull << kSubBucketBits;  // 64
+  // Linear region + (64 - kSubBucketBits) half-ranges above it.
+  static constexpr size_t kSlots =
+      kSubBuckets + (64 - kSubBucketBits) * (kSubBuckets / 2);
+  // Ticks per caller unit (sub-unit resolution for small values).
+  static constexpr double kTicksPerUnit = 1000.0;
+
+  HdrHistogram() = default;
+  HdrHistogram(const HdrHistogram&) = delete;
+  HdrHistogram& operator=(const HdrHistogram&) = delete;
+
+  void record(double value) noexcept {
+    if (!(value >= 0)) {  // negatives and NaN clamp to 0
+      value = 0;
+    }
+    double scaled = value * kTicksPerUnit;
+    // Saturate far below 2^64 so slotFor never overflows.
+    uint64_t ticks = scaled >= 9e18 ? static_cast<uint64_t>(9e18)
+                                    : static_cast<uint64_t>(scaled);
+    buckets_[slotFor(ticks)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sumTicks_.fetch_add(ticks, std::memory_order_relaxed);
+    updateMax(maxTicks_, ticks);
+    updateMin(minTicks_, ticks);
+  }
+
+  [[nodiscard]] uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] double mean() const noexcept {
+    uint64_t n = count();
+    if (n == 0) {
+      return 0;
+    }
+    return static_cast<double>(sumTicks_.load(std::memory_order_relaxed)) /
+           (kTicksPerUnit * static_cast<double>(n));
+  }
+
+  [[nodiscard]] double min() const noexcept {
+    uint64_t v = minTicks_.load(std::memory_order_relaxed);
+    return v == UINT64_MAX ? 0 : static_cast<double>(v) / kTicksPerUnit;
+  }
+  [[nodiscard]] double max() const noexcept {
+    return static_cast<double>(maxTicks_.load(std::memory_order_relaxed)) /
+           kTicksPerUnit;
+  }
+
+  // q in [0,1]. Walks the cumulative bucket counts and returns the
+  // target bucket's midpoint, clamped to the observed min/max.
+  [[nodiscard]] double quantile(double q) const noexcept {
+    uint64_t total = 0;
+    uint64_t counts[kSlots];
+    for (size_t i = 0; i < kSlots; ++i) {
+      counts[i] = buckets_[i].load(std::memory_order_relaxed);
+      total += counts[i];
+    }
+    if (total == 0) {
+      return 0;
+    }
+    if (q < 0) {
+      q = 0;
+    }
+    if (q > 1) {
+      q = 1;
+    }
+    auto target = static_cast<uint64_t>(std::ceil(
+        q * static_cast<double>(total)));
+    if (target == 0) {
+      target = 1;
+    }
+    uint64_t cum = 0;
+    size_t slot = kSlots - 1;
+    for (size_t i = 0; i < kSlots; ++i) {
+      cum += counts[i];
+      if (cum >= target) {
+        slot = i;
+        break;
+      }
+    }
+    double v = slotMidpoint(slot) / kTicksPerUnit;
+    double lo = min();
+    double hi = max();
+    if (v < lo) {
+      v = lo;
+    }
+    if (v > hi && hi > 0) {
+      v = hi;
+    }
+    return v;
+  }
+
+  // Adds another histogram's buckets into this one. Safe while the
+  // source is still being recorded into (per-worker → merged view).
+  void mergeFrom(const HdrHistogram& other) noexcept {
+    for (size_t i = 0; i < kSlots; ++i) {
+      uint64_t v = other.buckets_[i].load(std::memory_order_relaxed);
+      if (v != 0) {
+        buckets_[i].fetch_add(v, std::memory_order_relaxed);
+      }
+    }
+    count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    sumTicks_.fetch_add(other.sumTicks_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    updateMax(maxTicks_, other.maxTicks_.load(std::memory_order_relaxed));
+    updateMin(minTicks_, other.minTicks_.load(std::memory_order_relaxed));
+  }
+
+  void reset() noexcept {
+    for (size_t i = 0; i < kSlots; ++i) {
+      buckets_[i].store(0, std::memory_order_relaxed);
+    }
+    count_.store(0, std::memory_order_relaxed);
+    sumTicks_.store(0, std::memory_order_relaxed);
+    maxTicks_.store(0, std::memory_order_relaxed);
+    minTicks_.store(UINT64_MAX, std::memory_order_relaxed);
+  }
+
+  static size_t slotFor(uint64_t ticks) noexcept {
+    if (ticks < kSubBuckets) {
+      return static_cast<size_t>(ticks);
+    }
+    // bit_width >= kSubBucketBits + 1 here, so shift >= 1 and the top
+    // kSubBucketBits bits land in [kSubBuckets/2, kSubBuckets).
+    int shift = std::bit_width(ticks) - kSubBucketBits;
+    uint64_t top = ticks >> shift;
+    return static_cast<size_t>(
+        kSubBuckets + static_cast<uint64_t>(shift - 1) * (kSubBuckets / 2) +
+        (top - kSubBuckets / 2));
+  }
+
+  // Inverse of slotFor: midpoint tick value of a slot's range.
+  static double slotMidpoint(size_t slot) noexcept {
+    if (slot < kSubBuckets) {
+      return static_cast<double>(slot);
+    }
+    size_t rel = slot - kSubBuckets;
+    int shift = static_cast<int>(rel / (kSubBuckets / 2)) + 1;
+    uint64_t top = kSubBuckets / 2 + rel % (kSubBuckets / 2);
+    double low = std::ldexp(static_cast<double>(top), shift);
+    double width = std::ldexp(1.0, shift);
+    return low + width / 2;
+  }
+
+ private:
+  static void updateMax(std::atomic<uint64_t>& m, uint64_t v) noexcept {
+    uint64_t cur = m.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !m.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  static void updateMin(std::atomic<uint64_t>& m, uint64_t v) noexcept {
+    uint64_t cur = m.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !m.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<uint64_t> buckets_[kSlots]{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sumTicks_{0};
+  std::atomic<uint64_t> maxTicks_{0};
+  std::atomic<uint64_t> minTicks_{UINT64_MAX};
+};
+
+}  // namespace zdr

@@ -17,7 +17,25 @@
 #include <string>
 #include <vector>
 
+#include "metrics/hdr_histogram.h"
+#include "metrics/timeline.h"
+#include "metrics/trace.h"
+
 namespace zdr {
+
+namespace detail {
+// std::atomic<double> has no fetch_add until C++20 libstdc++ grows
+// one for FP types; this CAS loop is the single shared fallback so
+// every accumulating-double instrument spins in exactly one place.
+inline double atomicAddDouble(std::atomic<double>& target,
+                              double v) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + v,
+                                       std::memory_order_relaxed)) {
+  }
+  return cur + v;
+}
+}  // namespace detail
 
 // Monotonic event counter; thread-safe.
 class Counter {
@@ -40,15 +58,30 @@ class Gauge {
   void set(double v) noexcept {
     value_.store(v, std::memory_order_relaxed);
   }
-  void add(double v) noexcept {
+  void add(double v) noexcept { detail::atomicAddDouble(value_, v); }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+// High-watermark gauge: update() keeps the largest value seen since
+// the last reset. Used for peak in-flight per shard — a snapshot of an
+// instantaneous gauge misses the burst that mattered.
+class MaxGauge {
+ public:
+  void update(double v) noexcept {
     double cur = value_.load(std::memory_order_relaxed);
-    while (!value_.compare_exchange_weak(cur, cur + v,
-                                         std::memory_order_relaxed)) {
+    while (v > cur && !value_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
     }
   }
   [[nodiscard]] double value() const noexcept {
     return value_.load(std::memory_order_relaxed);
   }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
 
  private:
   std::atomic<double> value_{0};
@@ -191,8 +224,45 @@ class MetricsRegistry {
     }
     return *slot;
   }
+  MaxGauge& maxGauge(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = maxGauges_[name];
+    if (!slot) {
+      slot = std::make_unique<MaxGauge>();
+    }
+    return *slot;
+  }
+  // Hot-path log-linear histogram (per-worker handles are resolved
+  // once at init, like HotCounters).
+  HdrHistogram& hdr(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = hdrs_[name];
+    if (!slot) {
+      slot = std::make_unique<HdrHistogram>();
+    }
+    return *slot;
+  }
+  // Per-worker span ring. The capacity applies on first creation only
+  // (instruments are create-on-first-use with stable addresses).
+  trace::SpanSink& spanSink(const std::string& name,
+                            size_t capacity = 8192) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = spanSinks_[name];
+    if (!slot) {
+      slot = std::make_unique<trace::SpanSink>(capacity);
+    }
+    return *slot;
+  }
+  // One release timeline per registry (i.e. per testbed/fleet).
+  PhaseTimeline& timeline() noexcept { return timeline_; }
+  [[nodiscard]] const PhaseTimeline& timeline() const noexcept {
+    return timeline_;
+  }
 
-  // Point-in-time copy of all counter/gauge values.
+  // Point-in-time copy of every scalar-valued instrument. Histograms
+  // (both kinds) contribute count/mean/p50/p99/p999 entries, series
+  // contribute count/last — nothing the registry holds is silently
+  // omitted anymore.
   [[nodiscard]] std::map<std::string, double> snapshot() const {
     std::lock_guard<std::mutex> lock(mutex_);
     std::map<std::string, double> out;
@@ -201,6 +271,29 @@ class MetricsRegistry {
     }
     for (const auto& [name, g] : gauges_) {
       out["gauge." + name] = g->value();
+    }
+    for (const auto& [name, g] : maxGauges_) {
+      out["peak." + name] = g->value();
+    }
+    for (const auto& [name, h] : histograms_) {
+      out["hist." + name + ".count"] = static_cast<double>(h->count());
+      out["hist." + name + ".mean"] = h->mean();
+      out["hist." + name + ".p50"] = h->quantile(0.5);
+      out["hist." + name + ".p99"] = h->quantile(0.99);
+      out["hist." + name + ".p999"] = h->quantile(0.999);
+    }
+    for (const auto& [name, h] : hdrs_) {
+      out["hdr." + name + ".count"] = static_cast<double>(h->count());
+      out["hdr." + name + ".mean"] = h->mean();
+      out["hdr." + name + ".p50"] = h->quantile(0.5);
+      out["hdr." + name + ".p99"] = h->quantile(0.99);
+      out["hdr." + name + ".p999"] = h->quantile(0.999);
+    }
+    for (const auto& [name, s] : series_) {
+      auto pts = s->points();
+      out["series." + name + ".count"] = static_cast<double>(pts.size());
+      out["series." + name + ".last"] =
+          pts.empty() ? 0.0 : pts.back().value;
     }
     return out;
   }
@@ -214,13 +307,53 @@ class MetricsRegistry {
     }
     return names;
   }
+  [[nodiscard]] std::vector<std::string> hdrNames() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> names;
+    names.reserve(hdrs_.size());
+    for (const auto& [name, h] : hdrs_) {
+      names.push_back(name);
+    }
+    return names;
+  }
+  [[nodiscard]] std::vector<std::string> spanSinkNames() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> names;
+    names.reserve(spanSinks_.size());
+    for (const auto& [name, s] : spanSinks_) {
+      names.push_back(name);
+    }
+    return names;
+  }
+  // Drains (non-destructively) every sink into one vector — the
+  // "registry drains the sinks on snapshot" half of the tracing
+  // contract. Tests and the stats renderer both go through this.
+  [[nodiscard]] std::vector<trace::Span> collectSpans() const {
+    std::vector<const trace::SpanSink*> sinks;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      sinks.reserve(spanSinks_.size());
+      for (const auto& [name, s] : spanSinks_) {
+        sinks.push_back(s.get());
+      }
+    }
+    std::vector<trace::Span> out;
+    for (const auto* s : sinks) {
+      s->snapshot(out);
+    }
+    return out;
+  }
 
  private:
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<MaxGauge>> maxGauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<HdrHistogram>> hdrs_;
   std::map<std::string, std::unique_ptr<TimeSeries>> series_;
+  std::map<std::string, std::unique_ptr<trace::SpanSink>> spanSinks_;
+  PhaseTimeline timeline_;
 };
 
 // CPU-time probes used by the §6.3 overhead experiments.

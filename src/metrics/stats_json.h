@@ -1,0 +1,29 @@
+// JSON renderer for the live /__stats introspection endpoint.
+//
+// One function turns a MetricsRegistry into the documented schema
+// (DESIGN.md §9): counters, gauges, peak gauges, exact + hdr histogram
+// quantiles (per worker and merged across the ".w<i>." name segment),
+// recent spans per sink, and the release timeline. The renderer only
+// reads atomics and takes the registry map lock briefly for name
+// enumeration — safe to call on a live, loaded proxy.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "metrics/metrics.h"
+
+namespace zdr::stats {
+
+struct StatsOptions {
+  // Instance answering the scrape (informational).
+  std::string instance;
+  // Cap on spans emitted per sink (most recent kept). SIZE_MAX ⇒ all
+  // (the ?spans=all query).
+  size_t maxSpansPerSink = 256;
+};
+
+[[nodiscard]] std::string renderStatsJson(MetricsRegistry& reg,
+                                          const StatsOptions& opts);
+
+}  // namespace zdr::stats

@@ -1,0 +1,173 @@
+#include "metrics/timeline.h"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "metrics/trace.h"
+
+namespace zdr {
+
+void PhaseTimeline::record(const std::string& instance,
+                           const std::string& phase, Mark mark,
+                           const std::string& detail) {
+  Event ev;
+  ev.instance = instance;
+  ev.phase = phase;
+  ev.mark = mark;
+  ev.tNs = trace::nowNs();
+  ev.detail = detail;
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(ev));
+}
+
+void PhaseTimeline::point(const std::string& instance,
+                          const std::string& phase,
+                          const std::string& detail) {
+  record(instance, phase, Mark::kPoint, detail);
+}
+
+void PhaseTimeline::begin(const std::string& instance,
+                          const std::string& phase,
+                          const std::string& detail) {
+  record(instance, phase, Mark::kBegin, detail);
+}
+
+void PhaseTimeline::end(const std::string& instance,
+                        const std::string& phase,
+                        const std::string& detail) {
+  record(instance, phase, Mark::kEnd, detail);
+}
+
+std::vector<PhaseTimeline::Event> PhaseTimeline::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::vector<PhaseTimeline::Window> PhaseTimeline::windows() const {
+  std::vector<Window> out;
+  // Open begin per (instance, phase) → index into `out`.
+  std::map<std::pair<std::string, std::string>, size_t> open;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& ev : events_) {
+    if (ev.mark == Mark::kPoint) {
+      continue;
+    }
+    auto key = std::make_pair(ev.instance, ev.phase);
+    if (ev.mark == Mark::kBegin) {
+      Window w;
+      w.instance = ev.instance;
+      w.phase = ev.phase;
+      w.beginNs = ev.tNs;
+      open[key] = out.size();
+      out.push_back(std::move(w));
+    } else {
+      auto it = open.find(key);
+      if (it != open.end()) {
+        out[it->second].endNs = ev.tNs;
+        open.erase(it);
+      }
+    }
+  }
+  return out;
+}
+
+bool PhaseTimeline::hasEvent(const std::string& instance,
+                             const std::string& phase) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& ev : events_) {
+    if (ev.instance == instance && ev.phase == phase) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* PhaseTimeline::markName(Mark m) {
+  switch (m) {
+    case Mark::kPoint:
+      return "point";
+    case Mark::kBegin:
+      return "begin";
+    case Mark::kEnd:
+      return "end";
+  }
+  return "unknown";
+}
+
+namespace {
+void appendJsonString(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+}  // namespace
+
+std::string PhaseTimeline::toJson() const {
+  auto evs = events();
+  auto wins = windows();
+  std::ostringstream os;
+  os << "{\n  \"events\": [\n";
+  for (size_t i = 0; i < evs.size(); ++i) {
+    const Event& e = evs[i];
+    os << "    {\"instance\": ";
+    appendJsonString(os, e.instance);
+    os << ", \"phase\": ";
+    appendJsonString(os, e.phase);
+    os << ", \"mark\": \"" << markName(e.mark) << "\", \"t_ns\": " << e.tNs
+       << ", \"detail\": ";
+    appendJsonString(os, e.detail);
+    os << "}" << (i + 1 < evs.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"windows\": [\n";
+  for (size_t i = 0; i < wins.size(); ++i) {
+    const Window& w = wins[i];
+    os << "    {\"instance\": ";
+    appendJsonString(os, w.instance);
+    os << ", \"phase\": ";
+    appendJsonString(os, w.phase);
+    os << ", \"begin_ns\": " << w.beginNs << ", \"end_ns\": ";
+    if (w.endNs == UINT64_MAX) {
+      os << "null";
+    } else {
+      os << w.endNs;
+    }
+    os << "}" << (i + 1 < wins.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+void PhaseTimeline::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+}  // namespace zdr

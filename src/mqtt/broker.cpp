@@ -160,6 +160,10 @@ void Broker::handleConnect(const std::shared_ptr<Session>& sess,
     ack.sessionPresent = true;
     ack.returnCode = kConnAccepted;
     bumpCounter("broker.connect_resumed");
+    if (metrics_) {
+      // DCR re_connect landed: the detached session is live again.
+      metrics_->timeline().point("broker", "dcr_session_attach", p.clientId);
+    }
     sess->send(ack);
     // Flush publishes buffered while the user was detached.
     auto queued = std::move(it->second.queued);

@@ -130,6 +130,10 @@ class Proxy {
     Duration drainDeadline = Duration{0};
     bool drainEarlyExit = true;
     Duration drainWatchInterval = Duration{20};
+    // Per-worker span ring capacity (hop tracing). Tests that assert
+    // on complete span sets raise this so a long load phase cannot
+    // wrap the ring.
+    size_t spanSinkCapacity = 8192;
   };
 
   // Fresh start: binds all configured VIPs.
@@ -213,6 +217,10 @@ class Proxy {
       c->add(n);
     }
   }
+  // Release-timeline events (no-ops without a registry).
+  void tlPoint(const std::string& phase, const std::string& detail = {});
+  void tlBegin(const std::string& phase, const std::string& detail = {});
+  void tlEnd(const std::string& phase, const std::string& detail = {});
   // Retry budget (see Config): called on the shard's own thread.
   void noteShardRequest(Shard& sh);
   [[nodiscard]] bool trySpendRetryToken(Shard& sh);
@@ -257,7 +265,10 @@ class Proxy {
   void edgeOnMqttAccept(TcpSocket sock);
   void edgeOpenMqttTunnel(const std::shared_ptr<MqttTunnel>& tun,
                           bool resume);
-  void edgeResumeMqttTunnels(TrunkLink* fromLink);
+  // solTraceId/solSpanId: trace carried by the reconnect_solicitation
+  // frame (0 ⇒ none; a fresh trace is minted per tunnel).
+  void edgeResumeMqttTunnels(TrunkLink* fromLink, uint64_t solTraceId = 0,
+                             uint64_t solSpanId = 0);
   void edgeDropMqttTunnel(const std::shared_ptr<MqttTunnel>& tun,
                           std::error_code why);
 
@@ -281,7 +292,8 @@ class Proxy {
                          int status, const std::string& why);
   void originOpenBrokerTunnel(const std::shared_ptr<TrunkServerConn>& tc,
                               uint32_t streamId, const std::string& userId,
-                              bool resume);
+                              bool resume, uint64_t traceId = 0,
+                              uint64_t parentSpanId = 0);
   const BackendRef* originPickAppServer(Shard& sh,
                                         const std::string& excludeName);
   const BackendRef* originBrokerFor(const std::string& userId);
@@ -342,6 +354,14 @@ class Proxy {
   EventLoop::TimerId drainWatchTimer_ = 0;
   TimePoint drainStart_{};
   int solicitRetriesLeft_ = 0;
+
+  // Hop tracing. traceInstance_ names this proxy in recorded spans;
+  // the drain trace is minted at enterDrain() and rides every
+  // reconnect_solicitation so DCR resume spans across tiers share one
+  // trace id.
+  uint32_t traceInstance_ = 0;
+  uint64_t drainTraceId_ = 0;
+  uint64_t drainSpanId_ = 0;
 };
 
 }  // namespace zdr::proxygen

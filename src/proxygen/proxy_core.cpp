@@ -35,6 +35,22 @@ void Proxy::bump(const std::string& counter, uint64_t n) {
   }
 }
 
+void Proxy::tlPoint(const std::string& phase, const std::string& detail) {
+  if (metrics_) {
+    metrics_->timeline().point(config_.name, phase, detail);
+  }
+}
+void Proxy::tlBegin(const std::string& phase, const std::string& detail) {
+  if (metrics_) {
+    metrics_->timeline().begin(config_.name, phase, detail);
+  }
+}
+void Proxy::tlEnd(const std::string& phase, const std::string& detail) {
+  if (metrics_) {
+    metrics_->timeline().end(config_.name, phase, detail);
+  }
+}
+
 UpstreamPool* Proxy::upstreamPool() noexcept {
   return shards_.empty() ? nullptr : shards_.front()->appPool.get();
 }
@@ -92,11 +108,21 @@ void Proxy::forEachShard(const std::function<void(Shard&)>& fn) {
 void Proxy::initCommon() {
   workers_ = std::make_unique<WorkerPool>(loop_, tcpWorkerCount(),
                                           config_.name + ".worker");
+  traceInstance_ = trace::internInstance(config_.name);
   shards_.reserve(workers_->size());
   for (size_t i = 0; i < workers_->size(); ++i) {
     auto sh = std::make_unique<Shard>();
     sh->idx = i;
     sh->loop = &workers_->loop(i);
+    if (metrics_) {
+      // Resolved here — before any work referencing the shard is
+      // posted to its loop — so worker threads see the handles without
+      // further synchronization.
+      std::string wname = config_.name + ".w" + std::to_string(i);
+      sh->spans = &metrics_->spanSink(wname, config_.spanSinkCapacity);
+      sh->requestUs = &metrics_->hdr(wname + ".request_us");
+      sh->inflightPeak = &metrics_->maxGauge(wname + ".inflight_peak");
+    }
     shards_.push_back(std::move(sh));
   }
 
@@ -125,6 +151,9 @@ void Proxy::initCommon() {
       UpstreamPool::Options poolOpts = config_.upstreamPool;
       if (poolOpts.faultTag.empty()) {
         poolOpts.faultTag = "origin.app";
+      }
+      if (poolOpts.instanceName.empty()) {
+        poolOpts.instanceName = config_.name;
       }
       sh.appPool = std::make_unique<UpstreamPool>(*sh.loop, poolOpts,
                                                   metrics_);
@@ -278,6 +307,7 @@ void Proxy::startFromHandoff(takeover::TakeoverClient::Result handoff) {
     }
   }
   bump(config_.name + ".takeover_adopted");
+  tlPoint("ring_adopted", std::to_string(handoff.sockets.size()));
 }
 
 takeover::Inventory Proxy::buildInventory(std::vector<int>& fds) {
@@ -323,6 +353,7 @@ takeover::Inventory Proxy::buildInventory(std::vector<int>& fds) {
     inv.hasUdpForwardAddr = true;
     inv.udpForwardAddr = quicServer_->forwardAddr();
   }
+  tlPoint("handoff_inventory", std::to_string(inv.sockets.size()));
   return inv;
 }
 
@@ -331,6 +362,7 @@ void Proxy::armTakeoverServer() {
       loop_, config_.takeoverPath,
       [this](std::vector<int>& fds) { return buildInventory(fds); },
       [this] { enterDrain(); });
+  tlPoint("takeover_armed");
 }
 
 SocketAddr Proxy::httpVip() const {
@@ -358,6 +390,7 @@ void Proxy::startHardDrain() {
   hardDraining_.store(true, std::memory_order_release);
   draining_.store(true, std::memory_order_release);
   bump(config_.name + ".hard_drain_started");
+  tlBegin("hard_drain");
   if (config_.role == Role::kOrigin) {
     // Edge↔Origin trunks are HTTP/2: graceful GOAWAY is available even
     // in the traditional flow (§2.2).
@@ -378,6 +411,7 @@ void Proxy::startHardDrain() {
     if (userConnCount() + trunkSessionCount() + mqttTunnels_.size() > 0) {
       bump(config_.name + ".drain_deadline_exceeded");
       bump("release.drain_deadline_exceeded");
+      tlPoint("drain_deadline_exceeded");
     }
     terminate();
   });
@@ -390,6 +424,15 @@ void Proxy::enterDrain() {
     return;
   }
   bump(config_.name + ".zdr_drain_started");
+  // The drain trace: every reconnect_solicitation sent during this
+  // drain carries it, so DCR resume spans recorded at the Edge and the
+  // re-attach spans at the peer Origin all join one trace. The header
+  // string doubles as the timeline window's detail for test/offline
+  // correlation.
+  drainTraceId_ = trace::newId();
+  drainSpanId_ = trace::newId();
+  tlBegin("zdr_drain",
+          trace::formatTraceHeader(drainTraceId_, drainSpanId_));
 
   // Stop accepting: close our dup of the listening fds (the updated
   // instance keeps the sockets alive).
@@ -412,8 +455,11 @@ void Proxy::enterDrain() {
         tc->session->sendGoaway("zdr-drain");
         if (config_.dcrEnabled) {
           // §4.2: solicit the Edge to move MQTT tunnels to a healthy
-          // peer before we terminate.
-          tc->session->sendControl(h2::FrameType::kReconnectSolicitation);
+          // peer before we terminate. The payload carries the drain
+          // trace so the Edge's resume spans join it.
+          tc->session->sendControl(
+              h2::FrameType::kReconnectSolicitation,
+              trace::formatTraceHeader(drainTraceId_, drainSpanId_));
           bump(config_.name + ".dcr_solicitations_sent");
         }
       }
@@ -444,7 +490,8 @@ void Proxy::enterDrain() {
             }
             for (const auto& tc : sh->trunkServerSessions) {
               tc->session->sendControl(
-                  h2::FrameType::kReconnectSolicitation);
+                  h2::FrameType::kReconnectSolicitation,
+                  trace::formatTraceHeader(drainTraceId_, drainSpanId_));
               bump(config_.name + ".dcr_solicitations_resent");
             }
           });
@@ -465,6 +512,7 @@ void Proxy::enterDrain() {
     if (userConnCount() + trunkSessionCount() + mqttTunnels_.size() > 0) {
       bump(config_.name + ".drain_deadline_exceeded");
       bump("release.drain_deadline_exceeded");
+      tlPoint("drain_deadline_exceeded");
     }
     terminate();
   });
@@ -485,6 +533,7 @@ void Proxy::drainWatchTick() {
   if (userConnCount() == 0 && trunkSessionCount() == 0 &&
       mqttTunnels_.empty()) {
     bump(config_.name + ".drain_early_exit");
+    tlPoint("drain_early_exit");
     terminate();
   }
 }
@@ -503,6 +552,11 @@ void Proxy::terminate() {
     drainWatchTimer_ = 0;
   }
   bump(config_.name + ".terminated");
+  if (draining()) {
+    tlEnd(hardDraining_.load(std::memory_order_acquire) ? "hard_drain"
+                                                        : "zdr_drain");
+  }
+  tlPoint("terminated");
   // Connections that did not drain in time and are reset below. Only
   // meaningful after a drain — destructor teardown at test end is not
   // a forced close.
@@ -535,6 +589,10 @@ void Proxy::terminate() {
     sh.userConns.clear();
 
     for (auto& link : sh.trunkLinks) {
+      if (link->reconnectTimer != 0) {
+        sh.loop->cancelTimer(link->reconnectTimer);
+        link->reconnectTimer = 0;
+      }
       if (link->session) {
         link->session->closeNow();
       }

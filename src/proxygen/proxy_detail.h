@@ -34,6 +34,12 @@ struct Proxy::Shard {
   // Admission control (edge): requests currently past the shed gate.
   size_t inFlightRequests = 0;
   bool acceptsPaused = false;
+
+  // Observability handles, resolved once at init (registry lookups are
+  // off the data path). Null without a registry.
+  trace::SpanSink* spans = nullptr;      // "<name>.w<idx>" span ring
+  HdrHistogram* requestUs = nullptr;     // "<name>.w<idx>.request_us"
+  MaxGauge* inflightPeak = nullptr;      // "<name>.w<idx>.inflight_peak"
 };
 
 // Edge: one user-facing HTTP connection (keep-alive, one request at a
@@ -64,6 +70,17 @@ struct Proxy::UserHttpConn
   // (admission control); released exactly once at finish/close.
   bool countedInFlight = false;
 
+  // Hop tracing: the root span for this request plus child-span
+  // bookkeeping. The trace id is adopted from the client's
+  // x-zdr-trace header when present, else minted here (the edge is
+  // the trace root).
+  trace::TraceContext trace{};
+  uint64_t reqStartNs = 0;
+  uint64_t dispatchStartNs = 0;    // first upstream dispatch
+  uint64_t upstreamSpanId = 0;     // kEdgeUpstream span (spans retries)
+  uint64_t trunkWaitStartNs = 0;   // waiting for a connecting trunk
+  int lastStatus = 0;
+
   void resetRequestState() {
     requestActive = false;
     headersHandled = false;
@@ -76,6 +93,12 @@ struct Proxy::UserHttpConn
     cacheKey.clear();
     bodyPending.clear();
     trunkWaitRetries = 0;
+    trace = trace::TraceContext{};
+    reqStartNs = 0;
+    dispatchStartNs = 0;
+    upstreamSpanId = 0;
+    trunkWaitStartNs = 0;
+    lastStatus = 0;
   }
 };
 
@@ -92,6 +115,13 @@ struct Proxy::MqttTunnel : std::enable_shared_from_this<Proxy::MqttTunnel> {
   bool resuming = false;
   TrunkLink* resumeLink = nullptr;
   uint32_t resumeStreamId = 0;
+
+  // DCR resume span: the trace id comes from the solicitation frame
+  // (the draining origin's drain trace) so the resume hop joins it.
+  uint64_t resumeTraceId = 0;
+  uint64_t resumeParentId = 0;
+  uint64_t resumeSpanId = 0;
+  uint64_t resumeStartNs = 0;
 };
 
 // Edge: one long-lived trunk session to an Origin proxy.
@@ -103,6 +133,10 @@ struct Proxy::TrunkLink {
   bool connecting = false;
   bool up = false;
   bool peerDraining = false;  // origin sent GOAWAY
+  // Pending edgeEnsureTrunk retry; the proxy can be torn down (ZDR
+  // restart) while the 200 ms backoff is in flight on a worker loop
+  // that outlives it, so terminate() must be able to cancel it.
+  EventLoop::TimerId reconnectTimer = 0;
   std::map<uint32_t, std::weak_ptr<UserHttpConn>> httpStreams;
   std::map<uint32_t, std::weak_ptr<MqttTunnel>> mqttStreams;
 };
@@ -139,6 +173,15 @@ struct Proxy::OriginRequest
   bool finished = false;
   EventLoop::TimerId timer = 0;
 
+  // Hop tracing: trace adopted from the trunk stream's x-zdr-trace
+  // header; spanId is the origin-request span, attemptSpanId the
+  // current kOriginAppAttempt child (re-minted per PPR attempt, same
+  // trace id throughout).
+  trace::TraceContext trace{};
+  uint64_t reqStartNs = 0;
+  uint64_t attemptSpanId = 0;
+  uint64_t attemptStartNs = 0;
+
   // Bounded tail of body bytes already written to the current app
   // server. A 379 echoes what the server *received*; bytes still in
   // flight between our send() and its read() are recovered from this
@@ -166,6 +209,11 @@ struct Proxy::BrokerTunnel
   Buffer pendingToBroker;
   Buffer resumeParseBuf;
   bool closed = false;
+
+  // DCR reconnect span (resume tunnels only); trace id arrives on the
+  // resume stream's x-zdr-trace header.
+  trace::TraceContext trace{};
+  uint64_t resumeStartNs = 0;
 };
 
 // Pseudo-header names used on trunk streams.
@@ -175,5 +223,28 @@ inline constexpr std::string_view kHdrStatus = ":status";
 inline constexpr std::string_view kHdrTunnel = "x-zdr-tunnel";
 inline constexpr std::string_view kHdrUserId = "x-zdr-user-id";
 inline constexpr std::string_view kHdrResume = "x-zdr-resume";
+inline constexpr std::string_view kHdrTrace = trace::kTraceHeaderName;
+
+// Records one hop span into a shard's ring. No-op when tracing is off,
+// the sink is missing, or the trace never got minted.
+inline void recordSpan(trace::SpanSink* sink, uint64_t traceId,
+                       uint64_t spanId, uint64_t parentId,
+                       trace::SpanKind kind, uint32_t instance,
+                       uint64_t startNs, uint64_t endNs,
+                       uint64_t detail = 0) noexcept {
+  if (sink == nullptr || traceId == 0 || !trace::tracingEnabled()) {
+    return;
+  }
+  trace::Span s;
+  s.traceId = traceId;
+  s.spanId = spanId;
+  s.parentId = parentId;
+  s.kind = static_cast<uint32_t>(kind);
+  s.instance = instance;
+  s.startNs = startNs;
+  s.endNs = endNs;
+  s.detail = detail;
+  sink->record(s);
+}
 
 }  // namespace zdr::proxygen

@@ -1,5 +1,8 @@
 // Edge role: user-facing VIP handling, trunk-link management, local
 // cache serving, and the Edge half of Downstream Connection Reuse.
+#include <cstdint>
+
+#include "metrics/stats_json.h"
 #include "proxygen/proxy_detail.h"
 
 namespace zdr::proxygen {
@@ -122,12 +125,51 @@ void Proxy::edgeOnHttpAccept(Shard& sh, TcpSocket sock) {
 void Proxy::edgeOnHttpRequestHeaders(const std::shared_ptr<UserHttpConn>& uc) {
   const http::Request& req = uc->parser.message();
   bumpHot(hot_.requests);
+  uc->reqStartNs = trace::nowNs();
+  if (trace::tracingEnabled()) {
+    // The edge is the trace root — unless the client already carries
+    // an x-zdr-trace (a downstream edge, or a test), in which case we
+    // join its trace as a child hop.
+    uc->trace.traceId = trace::newId();
+    uc->trace.spanId = trace::newId();
+    if (auto tv = req.headers.get(kHdrTrace)) {
+      uint64_t t = 0;
+      uint64_t sp = 0;
+      if (trace::parseTraceHeader(*tv, t, sp)) {
+        uc->trace.traceId = t;
+        uc->trace.parentId = sp;
+      }
+    }
+  }
 
   // Local endpoints: L4 health checks.
   if (req.path == "/__health") {
     http::Response res;
     res.status = hardDraining_ ? 503 : 200;
     res.body = hardDraining_ ? "draining" : "ok";
+    edgeServeLocal(uc, res);
+    return;
+  }
+
+  // Live introspection: JSON snapshot of every instrument plus recent
+  // spans and the release timeline. Health-check-exempt from admission
+  // like /__health — a shedding proxy is exactly the one you need to
+  // scrape.
+  if (req.path == "/__stats" || req.path.rfind("/__stats?", 0) == 0) {
+    bump("edge.stats_scrapes");
+    http::Response res;
+    res.status = 200;
+    res.headers.set("Content-Type", "application/json");
+    if (metrics_ != nullptr) {
+      stats::StatsOptions so;
+      so.instance = config_.name;
+      if (req.path.find("spans=all") != std::string::npos) {
+        so.maxSpansPerSink = SIZE_MAX;
+      }
+      res.body = stats::renderStatsJson(*metrics_, so);
+    } else {
+      res.body = "{}";
+    }
     edgeServeLocal(uc, res);
     return;
   }
@@ -177,6 +219,9 @@ bool Proxy::edgeMaybeShed(const std::shared_ptr<UserHttpConn>& uc) {
   }
   uc->countedInFlight = true;
   ++sh.inFlightRequests;
+  if (sh.inflightPeak != nullptr) {
+    sh.inflightPeak->update(static_cast<double>(sh.inFlightRequests));
+  }
   const size_t high = config_.shedPauseHighWatermark > 0
                           ? config_.shedPauseHighWatermark
                           : cap - cap / 4;
@@ -188,6 +233,9 @@ bool Proxy::edgeMaybeShed(const std::shared_ptr<UserHttpConn>& uc) {
     sh.acceptsPaused = true;
     httpListeners_->pauseOn(sh.idx);
     bump("edge.accept_paused");
+    // Shed windows are per-shard phases (shards pause independently,
+    // so the key carries the shard index to pair begin/end correctly).
+    tlBegin("accept_paused.w" + std::to_string(sh.idx));
   }
   return false;
 }
@@ -212,6 +260,7 @@ void Proxy::edgeNoteRequestDone(Shard& sh) {
       httpListeners_->resumeOn(sh.idx);
     }
     bump("edge.accept_resumed");
+    tlEnd("accept_paused.w" + std::to_string(sh.idx));
   }
 }
 
@@ -231,6 +280,9 @@ void Proxy::edgeDispatchUpstream(const std::shared_ptr<UserHttpConn>& uc) {
     constexpr int kTrunkWaitMaxRetries = 50;  // × 20 ms = 1 s grace
     if (pending && !terminated_ &&
         uc->trunkWaitRetries < kTrunkWaitMaxRetries) {
+      if (uc->trunkWaitStartNs == 0) {
+        uc->trunkWaitStartNs = trace::nowNs();
+      }
       ++uc->trunkWaitRetries;
       uc->shard->loop->runAfter(Duration{20}, [this, uc] {
         if (uc->requestActive && uc->link == nullptr && uc->conn->open() &&
@@ -254,11 +306,38 @@ void Proxy::edgeDispatchUpstream(const std::shared_ptr<UserHttpConn>& uc) {
   uc->streamId = sid;
   link->httpStreams[sid] = uc;
 
+  if (uc->trace.valid()) {
+    uint64_t now = trace::nowNs();
+    if (uc->trunkWaitStartNs != 0) {
+      recordSpan(uc->shard->spans, uc->trace.traceId, trace::newId(),
+                 uc->trace.spanId, trace::SpanKind::kEdgeTrunkWait,
+                 traceInstance_, uc->trunkWaitStartNs, now,
+                 static_cast<uint64_t>(uc->trunkWaitRetries));
+      uc->trunkWaitStartNs = 0;
+    }
+    if (uc->dispatchStartNs == 0) {
+      uc->dispatchStartNs = now;
+    }
+    if (uc->upstreamSpanId == 0) {
+      // One upstream span covers the whole phase, re-dispatches
+      // included (each retry adds its own kEdgeRedispatch marker).
+      uc->upstreamSpanId = trace::newId();
+    }
+  }
+
   h2::HeaderList headers;
   headers.emplace_back(std::string(kHdrMethod), req.method);
   headers.emplace_back(std::string(kHdrPath), req.path);
   for (const auto& [n, v] : req.headers.all()) {
+    if (n == kHdrTrace) {
+      continue;  // this hop owns the header; re-added below
+    }
     headers.emplace_back(n, v);
+  }
+  if (uc->upstreamSpanId != 0) {
+    headers.emplace_back(
+        std::string(kHdrTrace),
+        trace::formatTraceHeader(uc->trace.traceId, uc->upstreamSpanId));
   }
   bool endNow = uc->parser.messageComplete() && uc->bodyPending.empty();
   uc->upstreamEnded = endNow;
@@ -292,6 +371,7 @@ void Proxy::edgeOnHttpBody(const std::shared_ptr<UserHttpConn>& uc,
 void Proxy::edgeServeLocal(const std::shared_ptr<UserHttpConn>& uc,
                            const http::Response& res) {
   uc->servedLocally = true;
+  uc->lastStatus = res.status;
   Buffer out;
   if (draining_) {
     // Drain migration: tell keep-alive clients to reconnect; their next
@@ -340,6 +420,14 @@ bool Proxy::edgeTryRedispatch(const std::shared_ptr<UserHttpConn>& uc) {
     return false;
   }
   bump("edge.dispatch_retries");
+  if (uc->trace.valid()) {
+    const uint64_t now = trace::nowNs();
+    recordSpan(uc->shard->spans, uc->trace.traceId, trace::newId(),
+               uc->upstreamSpanId != 0 ? uc->upstreamSpanId
+                                       : uc->trace.spanId,
+               trace::SpanKind::kEdgeRedispatch, traceInstance_, now, now,
+               static_cast<uint64_t>(uc->trunkWaitRetries));
+  }
   uc->shard->loop->cancelTimer(uc->timeoutTimer);
   uc->link = nullptr;
   uc->streamId = 0;
@@ -350,6 +438,7 @@ bool Proxy::edgeTryRedispatch(const std::shared_ptr<UserHttpConn>& uc) {
 
 void Proxy::edgeDeliverUpstreamResponse(
     const std::shared_ptr<UserHttpConn>& uc) {
+  uc->lastStatus = uc->upstreamResponse.status;
   if (!uc->cacheKey.empty() && uc->upstreamResponse.status == 200) {
     edgeCache_.put(uc->cacheKey, uc->upstreamResponse);
   }
@@ -373,6 +462,28 @@ void Proxy::edgeFinishUserRequest(const std::shared_ptr<UserHttpConn>& uc) {
   if (uc->countedInFlight) {
     uc->countedInFlight = false;
     edgeNoteRequestDone(*uc->shard);
+  }
+  Shard& sh = *uc->shard;
+  const uint64_t endNs = trace::nowNs();
+  if (uc->reqStartNs != 0 && sh.requestUs != nullptr) {
+    sh.requestUs->record(
+        static_cast<double>(endNs - uc->reqStartNs) / 1000.0);
+  }
+  if (uc->trace.valid()) {
+    if (uc->dispatchStartNs != 0) {
+      // The upstream phase ends with the request (covers failure paths
+      // where no response ever arrived).
+      recordSpan(sh.spans, uc->trace.traceId, uc->upstreamSpanId,
+                 uc->trace.spanId, trace::SpanKind::kEdgeUpstream,
+                 traceInstance_, uc->dispatchStartNs, endNs,
+                 static_cast<uint64_t>(uc->lastStatus));
+    }
+    recordSpan(sh.spans, uc->trace.traceId, uc->trace.spanId,
+               uc->trace.parentId,
+               uc->dispatchStartNs != 0 ? trace::SpanKind::kEdgeRequest
+                                        : trace::SpanKind::kEdgeLocal,
+               traceInstance_, uc->reqStartNs, endNs,
+               static_cast<uint64_t>(uc->lastStatus));
   }
   // A final response delivered before the request body finished (379
   // replays surface this, as do early 5xx) leaves the connection
@@ -428,10 +539,12 @@ void Proxy::edgeEnsureTrunk(Shard& sh, size_t idx) {
         link->connecting = false;
         if (ec) {
           bump("edge.trunk_connect_failed");
-          if (!draining_) {
-            shp->loop->runAfter(Duration{200}, [this, shp, idx] {
-              edgeEnsureTrunk(*shp, idx);
-            });
+          if (!draining_ && link->reconnectTimer == 0) {
+            link->reconnectTimer =
+                shp->loop->runAfter(Duration{200}, [this, shp, idx] {
+                  shp->trunkLinks[idx]->reconnectTimer = 0;
+                  edgeEnsureTrunk(*shp, idx);
+                });
           }
           return;
         }
@@ -483,6 +596,13 @@ void Proxy::edgeEnsureTrunk(Shard& sh, size_t idx) {
               }
             }
             if (tun->resuming && sid == tun->resumeStreamId) {
+              if (tun->resumeTraceId != 0) {
+                recordSpan(link->shard->spans, tun->resumeTraceId,
+                           tun->resumeSpanId, tun->resumeParentId,
+                           trace::SpanKind::kEdgeDcrResume, traceInstance_,
+                           tun->resumeStartNs, trace::nowNs(),
+                           static_cast<uint64_t>(status));
+              }
               if (status == 200) {
                 // connect_ack (§4.2): swap to the new relay path.
                 if (tun->link != nullptr) {
@@ -586,7 +706,14 @@ void Proxy::edgeOnTrunkControl(TrunkLink* link, const h2::Frame& frame) {
   if (frame.type == h2::FrameType::kReconnectSolicitation &&
       config_.dcrEnabled) {
     bump("edge.dcr_solicitation_received");
-    edgeResumeMqttTunnels(link);
+    // The draining origin's drain trace rides the frame payload so the
+    // resume hops recorded here join it.
+    uint64_t solTrace = 0;
+    uint64_t solSpan = 0;
+    if (!frame.payload.empty()) {
+      trace::parseTraceHeader(frame.payload, solTrace, solSpan);
+    }
+    edgeResumeMqttTunnels(link, solTrace, solSpan);
   }
 }
 
@@ -631,11 +758,13 @@ void Proxy::edgeOnTrunkClosed(TrunkLink* link) {
                        std::make_error_code(std::errc::connection_reset));
   }
 
-  if (!draining_ && !terminated_) {
+  if (!draining_ && !terminated_ && link->reconnectTimer == 0) {
     size_t idx = link->idx;
     Shard* shp = link->shard;
-    shp->loop->runAfter(Duration{200},
-                        [this, shp, idx] { edgeEnsureTrunk(*shp, idx); });
+    link->reconnectTimer = shp->loop->runAfter(Duration{200}, [this, shp, idx] {
+      shp->trunkLinks[idx]->reconnectTimer = 0;
+      edgeEnsureTrunk(*shp, idx);
+    });
   }
 }
 
@@ -722,6 +851,15 @@ void Proxy::edgeOpenMqttTunnel(const std::shared_ptr<MqttTunnel>& tun,
   headers.emplace_back(std::string(kHdrUserId), tun->userId);
   if (resume) {
     headers.emplace_back(std::string(kHdrResume), "1");
+    if (trace::tracingEnabled()) {
+      tun->resumeTraceId = trace::newId();
+      tun->resumeParentId = 0;
+      tun->resumeSpanId = trace::newId();
+      tun->resumeStartNs = trace::nowNs();
+      headers.emplace_back(std::string(kHdrTrace),
+                           trace::formatTraceHeader(tun->resumeTraceId,
+                                                    tun->resumeSpanId));
+    }
   }
   link->mqttStreams[sid] = tun;
   link->session->sendHeaders(sid, headers, false);
@@ -741,7 +879,8 @@ void Proxy::edgeOpenMqttTunnel(const std::shared_ptr<MqttTunnel>& tun,
   }
 }
 
-void Proxy::edgeResumeMqttTunnels(TrunkLink* fromLink) {
+void Proxy::edgeResumeMqttTunnels(TrunkLink* fromLink, uint64_t solTraceId,
+                                  uint64_t solSpanId) {
   // §4.2 workflow step B: for every tunnel relayed via the restarting
   // origin, ask a *different healthy* origin to take over the relay.
   // Tunnels are pinned to shard 0, so on any other shard this loop is
@@ -776,6 +915,17 @@ void Proxy::edgeResumeMqttTunnels(TrunkLink* fromLink) {
     headers.emplace_back(std::string(kHdrTunnel), "mqtt");
     headers.emplace_back(std::string(kHdrUserId), tun->userId);
     headers.emplace_back(std::string(kHdrResume), "1");
+    if (trace::tracingEnabled()) {
+      // Join the drain trace from the solicitation (fresh trace when
+      // the frame carried none — an old peer, or a test poke).
+      tun->resumeTraceId = solTraceId != 0 ? solTraceId : trace::newId();
+      tun->resumeParentId = solSpanId;
+      tun->resumeSpanId = trace::newId();
+      tun->resumeStartNs = trace::nowNs();
+      headers.emplace_back(std::string(kHdrTrace),
+                           trace::formatTraceHeader(tun->resumeTraceId,
+                                                    tun->resumeSpanId));
+    }
     other->mqttStreams[sid] = tun;
     other->session->sendHeaders(sid, headers, false);
     tun->resuming = true;

@@ -100,6 +100,8 @@ void Proxy::originOnStreamHeaders(const std::shared_ptr<TrunkServerConn>& tc,
   std::string tunnelKind;
   std::string userId;
   bool resume = false;
+  uint64_t traceId = 0;
+  uint64_t parentSpan = 0;
   http::Request head;
   for (const auto& [n, v] : headers) {
     if (n == kHdrTunnel) {
@@ -108,6 +110,10 @@ void Proxy::originOnStreamHeaders(const std::shared_ptr<TrunkServerConn>& tc,
       userId = v;
     } else if (n == kHdrResume) {
       resume = v == "1";
+    } else if (n == kHdrTrace) {
+      // Intercepted, never forwarded as-is: each hop re-stamps the
+      // header with its own span as the parent.
+      trace::parseTraceHeader(v, traceId, parentSpan);
     } else if (n == kHdrMethod) {
       head.method = v;
     } else if (n == kHdrPath) {
@@ -118,7 +124,8 @@ void Proxy::originOnStreamHeaders(const std::shared_ptr<TrunkServerConn>& tc,
   }
 
   if (tunnelKind == "mqtt") {
-    originOpenBrokerTunnel(tc, streamId, userId, resume);
+    originOpenBrokerTunnel(tc, streamId, userId, resume, traceId,
+                           parentSpan);
     return;
   }
 
@@ -130,6 +137,12 @@ void Proxy::originOnStreamHeaders(const std::shared_ptr<TrunkServerConn>& tc,
   req->head = std::move(head);
   req->isPost = req->head.method == "POST";
   req->clientDone = endStream;
+  req->reqStartNs = trace::nowNs();
+  if (trace::tracingEnabled() && traceId != 0) {
+    req->trace.traceId = traceId;
+    req->trace.parentId = parentSpan;
+    req->trace.spanId = trace::newId();
+  }
   tc->requests[streamId] = req;
   bumpHot(hot_.requests);
   noteShardRequest(*tc->shard);
@@ -222,6 +235,12 @@ void Proxy::originStartAppRequest(const std::shared_ptr<OriginRequest>& req) {
     return;
   }
   bump(config_.name + ".app_attempts");
+  if (req->trace.valid()) {
+    // Every PPR attempt gets its own span on the SAME trace id, so a
+    // replayed POST shows both app attempts under one trace.
+    req->attemptSpanId = trace::newId();
+    req->attemptStartNs = trace::nowNs();
+  }
   originConnectApp(req, req->appName);
 }
 
@@ -256,9 +275,11 @@ void Proxy::originConnectApp(const std::shared_ptr<OriginRequest>& req,
   req->appName = target->name;
   req->resParser.reset();
 
+  const uint64_t connectStartNs = trace::nowNs();
   req->shard->appPool->acquire(
       target->name, target->addr,
-      [this, req](ConnectionPtr conn, std::error_code ec, bool reused) {
+      [this, req, connectStartNs](ConnectionPtr conn, std::error_code ec,
+                                  bool reused) {
         if (req->finished) {
           if (conn && !reused) {
             conn->close({});
@@ -268,12 +289,26 @@ void Proxy::originConnectApp(const std::shared_ptr<OriginRequest>& req,
           return;
         }
         if (ec) {
+          if (req->trace.valid() && req->attemptSpanId != 0) {
+            // detail 0 ⇒ the attempt died before any response.
+            recordSpan(req->shard->spans, req->trace.traceId,
+                       req->attemptSpanId, req->trace.spanId,
+                       trace::SpanKind::kOriginAppAttempt, traceInstance_,
+                       req->attemptStartNs, trace::nowNs(), 0);
+            req->attemptSpanId = 0;
+          }
           // Draining app servers refuse new connections; try the next
           // one (§4.4).
           req->excluded.insert(req->appName);
           bump(config_.name + ".app_connect_failed");
           originStartAppRequest(req);
           return;
+        }
+        if (req->trace.valid()) {
+          recordSpan(req->shard->spans, req->trace.traceId, trace::newId(),
+                     req->attemptSpanId, trace::SpanKind::kOriginAppConnect,
+                     traceInstance_, connectStartNs, trace::nowNs(),
+                     reused ? 1 : 0);
         }
         req->appConn = std::move(conn);
         req->connected = true;
@@ -298,6 +333,13 @@ void Proxy::originConnectApp(const std::shared_ptr<OriginRequest>& req,
         });
         req->appConn->setCloseCallback([this, req](std::error_code) {
           if (!req->finished && !req->resParser.messageComplete()) {
+            if (req->trace.valid() && req->attemptSpanId != 0) {
+              recordSpan(req->shard->spans, req->trace.traceId,
+                         req->attemptSpanId, req->trace.spanId,
+                         trace::SpanKind::kOriginAppAttempt, traceInstance_,
+                         req->attemptStartNs, trace::nowNs(), 0);
+              req->attemptSpanId = 0;
+            }
             req->shard->appPool->recordFailure(req->appName);
             // An idempotent request that saw no response bytes fails
             // over to another server (budget-gated, like a connect
@@ -322,6 +364,13 @@ void Proxy::originConnectApp(const std::shared_ptr<OriginRequest>& req,
         http::Request out = req->head;
         out.headers.remove("Content-Length");
         out.headers.remove("Transfer-Encoding");
+        if (req->trace.valid() && req->attemptSpanId != 0) {
+          // set(), not add(): a 379-reconstructed head re-added the
+          // echoed x-zdr-trace, and this attempt's span replaces it.
+          out.headers.set(std::string(kHdrTrace),
+                          trace::formatTraceHeader(req->trace.traceId,
+                                                   req->attemptSpanId));
+        }
         Buffer buf;
         if (req->isPost || !req->pendingBody.empty() || !req->clientDone) {
           out.headers.set("Transfer-Encoding", "chunked");
@@ -346,6 +395,13 @@ void Proxy::originConnectApp(const std::shared_ptr<OriginRequest>& req,
 
 void Proxy::originOnAppResponse(const std::shared_ptr<OriginRequest>& req) {
   const http::Response& res = req->resParser.message();
+  if (req->trace.valid() && req->attemptSpanId != 0) {
+    recordSpan(req->shard->spans, req->trace.traceId, req->attemptSpanId,
+               req->trace.spanId, trace::SpanKind::kOriginAppAttempt,
+               traceInstance_, req->attemptStartNs, trace::nowNs(),
+               static_cast<uint64_t>(res.status));
+    req->attemptSpanId = 0;
+  }
   // Any complete response — including a 379 drain hand-back, which
   // comes from a healthy, merely-restarting server — closes an open
   // breaker for this backend.
@@ -421,6 +477,15 @@ void Proxy::originReplayPartialPost(const std::shared_ptr<OriginRequest>& req,
   req->bodyForwarded = 0;
   req->sentTail.clear();  // re-accumulates against the replay target
   bump(config_.name + ".ppr_replays");
+  if (req->trace.valid()) {
+    // Instant marker: the replay decision point, between the bounced
+    // attempt's span and the next attempt's.
+    const uint64_t now = trace::nowNs();
+    recordSpan(req->shard->spans, req->trace.traceId, trace::newId(),
+               req->trace.spanId, trace::SpanKind::kOriginPprReplay,
+               traceInstance_, now, now,
+               static_cast<uint64_t>(req->attempts));
+  }
   originStartAppRequest(req);
 }
 
@@ -431,6 +496,17 @@ void Proxy::originFinishRequest(const std::shared_ptr<OriginRequest>& req,
   }
   req->finished = true;
   req->shard->loop->cancelTimer(req->timer);
+  const uint64_t endNs = trace::nowNs();
+  if (req->reqStartNs != 0 && req->shard->requestUs != nullptr) {
+    req->shard->requestUs->record(
+        static_cast<double>(endNs - req->reqStartNs) / 1000.0);
+  }
+  if (req->trace.valid()) {
+    recordSpan(req->shard->spans, req->trace.traceId, req->trace.spanId,
+               req->trace.parentId, trace::SpanKind::kOriginRequest,
+               traceInstance_, req->reqStartNs, endNs,
+               static_cast<uint64_t>(res.status));
+  }
   auto tc = req->tc.lock();
   if (tc && tc->session->open()) {
     h2::HeaderList headers;
@@ -496,12 +572,22 @@ const BackendRef* Proxy::originBrokerFor(const std::string& userId) {
 
 void Proxy::originOpenBrokerTunnel(const std::shared_ptr<TrunkServerConn>& tc,
                                    uint32_t streamId,
-                                   const std::string& userId, bool resume) {
+                                   const std::string& userId, bool resume,
+                                   uint64_t traceId,
+                                   uint64_t parentSpanId) {
   auto bt = std::make_shared<BrokerTunnel>();
   bt->tc = tc;
   bt->streamId = streamId;
   bt->userId = userId;
   bt->resume = resume;
+  if (resume && trace::tracingEnabled() && traceId != 0) {
+    // The edge stamped the resume stream with the draining peer's
+    // drain trace; our re-attach span joins it.
+    bt->trace.traceId = traceId;
+    bt->trace.parentId = parentSpanId;
+    bt->trace.spanId = trace::newId();
+    bt->resumeStartNs = trace::nowNs();
+  }
   tc->brokerTunnels[streamId] = bt;
   bump(config_.name + (resume ? ".dcr_reconnect_received"
                               : ".mqtt_tunnel_opened"));
@@ -522,6 +608,10 @@ void Proxy::originOpenBrokerTunnel(const std::shared_ptr<TrunkServerConn>& tc,
           return;
         }
         if (ec) {
+          recordSpan(tc->shard->spans, bt->trace.traceId, bt->trace.spanId,
+                     bt->trace.parentId,
+                     trace::SpanKind::kOriginDcrReconnect, traceInstance_,
+                     bt->resumeStartNs, trace::nowNs(), 502);
           h2::HeaderList headers{{std::string(kHdrStatus), "502"}};
           tc->session->sendHeaders(bt->streamId, headers, true);
           tc->brokerTunnels.erase(bt->streamId);
@@ -559,6 +649,11 @@ void Proxy::originOpenBrokerTunnel(const std::shared_ptr<TrunkServerConn>& tc,
               // connect_ack: context found, relay path re-established.
               bt->up = true;
               bump(config_.name + ".dcr_connect_ack");
+              recordSpan(tc->shard->spans, bt->trace.traceId,
+                         bt->trace.spanId, bt->trace.parentId,
+                         trace::SpanKind::kOriginDcrReconnect,
+                         traceInstance_, bt->resumeStartNs, trace::nowNs(),
+                         200);
               h2::HeaderList headers{{std::string(kHdrStatus), "200"}};
               tc->session->sendHeaders(bt->streamId, headers, false);
               // Any publishes that followed the CONNACK flow onward.
@@ -570,6 +665,11 @@ void Proxy::originOpenBrokerTunnel(const std::shared_ptr<TrunkServerConn>& tc,
             } else {
               // connect_refuse: no context at the broker.
               bump(config_.name + ".dcr_connect_refuse");
+              recordSpan(tc->shard->spans, bt->trace.traceId,
+                         bt->trace.spanId, bt->trace.parentId,
+                         trace::SpanKind::kOriginDcrReconnect,
+                         traceInstance_, bt->resumeStartNs, trace::nowNs(),
+                         410);
               h2::HeaderList headers{{std::string(kHdrStatus), "410"}};
               tc->session->sendHeaders(bt->streamId, headers, true);
               bt->brokerConn->close({});

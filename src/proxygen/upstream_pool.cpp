@@ -82,6 +82,9 @@ void UpstreamPool::recordSuccess(const std::string& name) {
     st.windowSuccesses = 0;
     st.windowFailures = 0;
     bump("pool.breaker_close");
+    if (metrics_ != nullptr && !opts_.instanceName.empty()) {
+      metrics_->timeline().end(opts_.instanceName, "breaker_open." + name);
+    }
   }
 }
 
@@ -152,7 +155,7 @@ bool UpstreamPool::allowRequest(const std::string& name) {
   return true;
 }
 
-void UpstreamPool::trip(const std::string& /*name*/, BreakerState& st) {
+void UpstreamPool::trip(const std::string& name, BreakerState& st) {
   ++st.openCount;
   auto backoff = opts_.breakerBackoffBase;
   for (int i = 1; i < st.openCount && backoff < opts_.breakerBackoffMax;
@@ -169,6 +172,13 @@ void UpstreamPool::trip(const std::string& /*name*/, BreakerState& st) {
   st.windowFailures = 0;
   st.windowStart = Clock::now();
   bump("pool.breaker_open");
+  // Timeline window, opened on the FIRST trip of an ejection episode
+  // only (a failed half-open probe re-trips while the window from the
+  // original trip is still open); recordSuccess closes it.
+  if (st.openCount == 1 && metrics_ != nullptr &&
+      !opts_.instanceName.empty()) {
+    metrics_->timeline().begin(opts_.instanceName, "breaker_open." + name);
+  }
 }
 
 void UpstreamPool::maybeResetWindow(BreakerState& st, TimePoint now) {

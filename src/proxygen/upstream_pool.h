@@ -45,6 +45,10 @@ class UpstreamPool {
     // gets the per-backend tag "<faultTag>.<name>" so chaos tests can
     // fault exactly one backend.
     std::string faultTag;
+    // Owner's instance name, used to attribute breaker-trip windows on
+    // the release timeline ("breaker_open.<backend>"). Empty ⇒ no
+    // timeline events.
+    std::string instanceName;
 
     // --- circuit breaker / outlier ejection ---
     bool breakerEnabled = true;

@@ -1,0 +1,289 @@
+// End-to-end observability: a 4-worker edge rides a rolling release of
+// every tier under injected faults while live traffic flows, then the
+// /__stats scrape alone — no in-process peeking — must tell the whole
+// story: complete edge→origin→app span trees for served requests, and
+// every PPR bounce/replay span overlapping a recorded release window.
+// The scrape and timeline are also written out as JSON artifacts
+// (STATS_release_scrape.json, RELEASE_timeline.json) for CI archiving.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+#include <map>
+#include <set>
+
+#include "core/testbed.h"
+#include "core/workload.h"
+#include "http/client.h"
+#include "json_lite.h"
+#include "netcore/fault_injection.h"
+
+namespace zdr::core {
+namespace {
+
+void waitFor(const std::function<bool()>& pred, int ms = 20000) {
+  for (int i = 0; i < ms && !pred(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(pred());
+}
+
+struct ScrapedSpan {
+  std::string kind;
+  std::string instance;
+  uint64_t traceId = 0;
+  uint64_t spanId = 0;
+  uint64_t parentId = 0;
+  uint64_t startNs = 0;
+  uint64_t endNs = 0;
+  uint64_t detail = 0;
+};
+
+struct ScrapedWindow {
+  std::string instance;
+  std::string phase;
+  uint64_t beginNs = 0;
+  uint64_t endNs = UINT64_MAX;
+};
+
+std::vector<ScrapedSpan> collectSpans(const testjson::Value& stats) {
+  std::vector<ScrapedSpan> out;
+  for (const auto& [sinkName, sink] : stats.at("spans").fields) {
+    for (const auto& sp : sink->at("spans").items) {
+      ScrapedSpan s;
+      s.kind = sp->at("kind").str;
+      s.instance = sp->at("instance").str;
+      s.traceId = sp->at("trace_id").asU64();
+      s.spanId = sp->at("span_id").asU64();
+      s.parentId = sp->at("parent_id").asU64();
+      s.startNs = sp->at("start_ns").asU64();
+      s.endNs = sp->at("end_ns").asU64();
+      s.detail = sp->at("detail").asU64();
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+std::vector<ScrapedWindow> collectWindows(const testjson::Value& stats) {
+  std::vector<ScrapedWindow> out;
+  for (const auto& w : stats.at("timeline").at("windows").items) {
+    ScrapedWindow sw;
+    sw.instance = w->at("instance").str;
+    sw.phase = w->at("phase").str;
+    sw.beginNs = w->at("begin_ns").asU64();
+    sw.endNs = w->at("end_ns").type == testjson::Value::Type::kNull
+                   ? UINT64_MAX
+                   : w->at("end_ns").asU64();
+    out.push_back(sw);
+  }
+  return out;
+}
+
+bool overlapsReleaseWindow(const ScrapedSpan& s,
+                           const std::vector<ScrapedWindow>& wins) {
+  static const std::set<std::string> kReleasePhases = {
+      "app_drain", "zdr_drain", "hard_drain", "restart"};
+  for (const auto& w : wins) {
+    if (kReleasePhases.count(w.phase) != 0 && s.endNs >= w.beginNs &&
+        s.startNs <= w.endNs) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(ObservabilityE2eTest, RollingReleaseUnderFaultsIsFullyIntrospectable) {
+  fault::ScopedChaosMode chaos;
+
+  TestbedOptions opts;
+  opts.edges = 1;
+  opts.origins = 1;
+  opts.appServers = 2;
+  opts.httpWorkers = 4;
+  opts.enableMqtt = false;
+  opts.pprEnabled = true;
+  opts.proxyDrainPeriod = Duration{500};
+  opts.appDrainPeriod = Duration{150};
+  // Full-fidelity rings: the ?spans=all scrape must cover the whole
+  // release, so no ring may wrap.
+  opts.spanSinkCapacity = 1 << 16;
+  Testbed bed(opts);
+
+  // A mildly hostile origin→app hop, as in the chaos suites.
+  fault::FaultSpec appSpec;
+  appSpec.seed = 0x0b5;
+  appSpec.delayProb = 0.2;
+  appSpec.delay = std::chrono::milliseconds(2);
+  appSpec.truncateProb = 0.2;
+  appSpec.truncateBytes = 256;
+  fault::FaultRegistry::instance().armTag("origin.app", appSpec);
+
+  HttpLoadGen::Options lo;
+  lo.concurrency = 8;
+  lo.thinkTime = Duration{2};
+  HttpLoadGen load(bed.httpEntry(), lo, bed.metrics(), "load");
+  load.start();
+
+  UploadGen::Options uo;
+  uo.concurrency = 3;
+  uo.chunks = 20;
+  uo.chunkBytes = 1024;
+  uo.chunkInterval = Duration{10};
+  UploadGen uploads(bed.httpEntry(), uo, bed.metrics(), "up");
+  uploads.start();
+  waitFor([&] { return load.completed() >= 50 && uploads.completed() >= 1; });
+
+  // Rolling release across every tier. Restart first whichever app
+  // holds an in-flight POST so a 379 bounce is guaranteed on record.
+  size_t first = 0;
+  waitFor([&] {
+    for (size_t i = 0; i < bed.appCount(); ++i) {
+      size_t posts = 0;
+      bed.app(i).withServer([&](appserver::AppServer* s) {
+        if (s != nullptr) {
+          posts = s->inFlightPosts();
+        }
+      });
+      if (posts > 0) {
+        first = i;
+        return true;
+      }
+    }
+    return false;
+  });
+  bed.app(first).beginRestart(release::Strategy::kZeroDowntime);
+  bed.app(first).waitRestart();
+  bed.app(1 - first).beginRestart(release::Strategy::kZeroDowntime);
+  bed.app(1 - first).waitRestart();
+  bed.origin(0).beginRestart(release::Strategy::kZeroDowntime);
+  bed.origin(0).waitRestart();
+  bed.edge(0).beginRestart(release::Strategy::kZeroDowntime);
+  bed.edge(0).waitRestart();
+
+  uint64_t mark = load.completed();
+  waitFor([&] { return load.completed() >= mark + 50; });
+  load.stop();
+  uploads.stop();
+  ASSERT_GE(bed.metrics().counter("origin0.ppr_replays").value(), 1u);
+
+  // The scrape itself goes through the released edge, full span dump.
+  EventLoopThread clientLoop("scraper");
+  std::atomic<bool> done{false};
+  http::Client::Result result;
+  std::shared_ptr<http::Client> client;
+  clientLoop.runSync([&] {
+    client = http::Client::make(clientLoop.loop(), bed.httpEntry());
+    http::Request req;
+    req.method = "GET";
+    req.path = "/__stats?spans=all";
+    client->request(std::move(req),
+                    [&](http::Client::Result r) {
+                      result = r;
+                      done.store(true);
+                    },
+                    Duration{10000});
+  });
+  waitFor([&] { return done.load(); });
+  clientLoop.runSync([&] { client->close(); });
+  ASSERT_EQ(result.response.status, 200);
+  ASSERT_EQ(result.response.headers.get("Content-Type").value_or(""),
+            "application/json");
+
+  // Archive the raw documents for CI before any assertion can bail.
+  {
+    std::ofstream out("STATS_release_scrape.json");
+    out << result.response.body;
+    std::ofstream tl("RELEASE_timeline.json");
+    tl << bed.metrics().timeline().toJson();
+  }
+
+  testjson::Value stats = testjson::Parser::parse(result.response.body);
+  EXPECT_EQ(stats.at("instance").str, "edge0");
+  EXPECT_GE(stats.at("counters").at("edge.stats_scrapes").number, 1.0);
+
+  // All four edge workers carried traffic and report per-worker rings
+  // and histograms; the merged view aggregates them.
+  for (int w = 0; w < 4; ++w) {
+    std::string sink = "edge0.w" + std::to_string(w);
+    ASSERT_TRUE(stats.at("spans").has(sink)) << sink;
+    EXPECT_EQ(stats.at("spans").at(sink).at("dropped").asU64(), 0u) << sink;
+  }
+  EXPECT_GT(stats.at("hdr_merged").at("edge0.request_us").at("count").number,
+            0.0);
+  EXPECT_GT(stats.at("peaks").size(), 0u);
+
+  auto spans = collectSpans(stats);
+  auto windows = collectWindows(stats);
+
+  // (a) Every dispatched request that returned 200 resolves to a
+  // complete edge→origin→app span tree under one trace id.
+  std::map<uint64_t, std::set<std::string>> kindsByTrace;
+  for (const auto& s : spans) {
+    kindsByTrace[s.traceId].insert(s.kind);
+  }
+  size_t roots = 0;
+  for (const auto& s : spans) {
+    if (s.kind != "edge.request" || s.detail != 200) {
+      continue;
+    }
+    ++roots;
+    const auto& kinds = kindsByTrace.at(s.traceId);
+    EXPECT_TRUE(kinds.count("edge.upstream") != 0)
+        << "trace " << s.traceId << " lost its edge upstream span";
+    EXPECT_TRUE(kinds.count("origin.request") != 0)
+        << "trace " << s.traceId << " never reached an origin";
+    EXPECT_TRUE(kinds.count("app.handle") != 0)
+        << "trace " << s.traceId << " never reached an app server";
+  }
+  EXPECT_GE(roots, 100u);
+
+  // Parent links are internally consistent: every non-root span's
+  // parent belongs to the same trace.
+  std::map<uint64_t, uint64_t> traceOfSpan;
+  for (const auto& s : spans) {
+    traceOfSpan[s.spanId] = s.traceId;
+  }
+  for (const auto& s : spans) {
+    auto it = traceOfSpan.find(s.parentId);
+    if (s.parentId != 0 && it != traceOfSpan.end()) {
+      EXPECT_EQ(it->second, s.traceId) << "span " << s.spanId;
+    }
+  }
+
+  // (b) Every drain bounce and replay decision overlaps a recorded
+  // release window — the timeline explains each disruption absorbed.
+  size_t bounces = 0;
+  size_t replays = 0;
+  for (const auto& s : spans) {
+    if (s.kind == "app.drain_bounce") {
+      ++bounces;
+      EXPECT_TRUE(overlapsReleaseWindow(s, windows))
+          << "bounce span " << s.spanId << " outside every release window";
+    }
+    if (s.kind == "origin.ppr_replay") {
+      ++replays;
+      EXPECT_TRUE(overlapsReleaseWindow(s, windows))
+          << "replay span " << s.spanId << " outside every release window";
+    }
+  }
+  EXPECT_GE(bounces, 1u);
+  EXPECT_GE(replays, 1u);
+
+  // (c) The timeline recorded the whole roll: a restart window per
+  // host and ZDR drains for the proxy tiers.
+  std::set<std::pair<std::string, std::string>> seen;
+  for (const auto& w : windows) {
+    seen.insert({w.instance, w.phase});
+  }
+  EXPECT_TRUE(seen.count({"app0", "restart"}) != 0);
+  EXPECT_TRUE(seen.count({"app1", "restart"}) != 0);
+  EXPECT_TRUE(seen.count({"app0", "app_drain"}) != 0);
+  EXPECT_TRUE(seen.count({"origin0", "restart"}) != 0);
+  EXPECT_TRUE(seen.count({"origin0", "zdr_drain"}) != 0);
+  EXPECT_TRUE(seen.count({"edge0", "restart"}) != 0);
+  EXPECT_TRUE(seen.count({"edge0", "zdr_drain"}) != 0);
+}
+
+}  // namespace
+}  // namespace zdr::core

@@ -1,0 +1,245 @@
+// Trace propagation across the release machinery (DESIGN.md §9): the
+// x-zdr-trace context minted at the edge must survive exactly the
+// events a release throws at it — a socket-takeover handoff while the
+// request is in flight, a 379 Partial Post Replay hop-swap, and a DCR
+// reconnect_solicitation — so that every disruption the paper's
+// mechanisms absorb remains attributable to one trace id.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <optional>
+#include <set>
+
+#include "core/testbed.h"
+#include "core/workload.h"
+#include "http/client.h"
+
+namespace zdr::core {
+namespace {
+
+void waitFor(const std::function<bool()>& pred, int ms = 20000) {
+  for (int i = 0; i < ms && !pred(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(pred());
+}
+
+bool isKind(const trace::Span& s, trace::SpanKind k) {
+  return s.kind == static_cast<uint32_t>(k);
+}
+
+// First begin-event for (instance, phase), or nullopt.
+std::optional<PhaseTimeline::Event> findBegin(const MetricsRegistry& reg,
+                                              const std::string& instance,
+                                              const std::string& phase) {
+  for (const auto& ev : reg.timeline().events()) {
+    if (ev.instance == instance && ev.phase == phase &&
+        ev.mark == PhaseTimeline::Mark::kBegin) {
+      return ev;
+    }
+  }
+  return std::nullopt;
+}
+
+TEST(TracePropagationTest, PreHandoffSpanFinishesAcrossTakeover) {
+  TestbedOptions opts;
+  opts.edges = 1;
+  opts.origins = 1;
+  opts.appServers = 1;
+  opts.enableMqtt = false;
+  opts.proxyDrainPeriod = Duration{1200};
+  Testbed bed(opts);
+
+  // A paced upload long enough to straddle the edge's handoff.
+  EventLoopThread clientLoop("client");
+  std::atomic<bool> done{false};
+  http::Client::Result result;
+  std::shared_ptr<http::Client> client;
+  clientLoop.runSync([&] {
+    client = http::Client::make(clientLoop.loop(), bed.httpEntry());
+    client->pacedPost("/upload/handoff", 25, 512, Duration{20},
+                      [&](http::Client::Result r) {
+                        result = r;
+                        done.store(true);
+                      },
+                      Duration{20000});
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  bed.edge(0).beginRestart(release::Strategy::kZeroDowntime);
+  waitFor([&] { return done.load(); });
+  clientLoop.runSync([&] { client->close(); });
+  bed.edge(0).waitRestart();
+  ASSERT_EQ(result.response.status, 200);
+
+  // The new instance adopted the listening ring mid-upload…
+  ASSERT_TRUE(bed.metrics().timeline().hasEvent("edge0", "ring_adopted"));
+  uint64_t adoptedNs = 0;
+  for (const auto& ev : bed.metrics().timeline().events()) {
+    if (ev.instance == "edge0" && ev.phase == "ring_adopted") {
+      adoptedNs = ev.tNs;
+    }
+  }
+  ASSERT_GT(adoptedNs, 0u);
+
+  // …and the upload's root span — started before the handoff, finished
+  // by the draining instance after it — still landed in the shared
+  // per-worker sink, status and all.
+  bool found = false;
+  for (const auto& s : bed.metrics().collectSpans()) {
+    if (isKind(s, trace::SpanKind::kEdgeRequest) && s.startNs < adoptedNs &&
+        s.endNs > adoptedNs && s.detail == 200) {
+      found = true;
+      EXPECT_EQ(trace::instanceName(s.instance), "edge0");
+    }
+  }
+  EXPECT_TRUE(found) << "no edge root span straddles the ring adoption";
+}
+
+TEST(TracePropagationTest, PprReplayedPostKeepsOneTraceId) {
+  TestbedOptions opts;
+  opts.edges = 1;
+  opts.origins = 1;
+  opts.appServers = 2;
+  opts.enableMqtt = false;
+  opts.pprEnabled = true;
+  opts.appDrainPeriod = Duration{150};
+  Testbed bed(opts);
+
+  EventLoopThread clientLoop("client");
+  std::atomic<bool> done{false};
+  http::Client::Result result;
+  std::shared_ptr<http::Client> client;
+  clientLoop.runSync([&] {
+    client = http::Client::make(clientLoop.loop(), bed.httpEntry());
+    client->pacedPost("/upload/traced", 30, 777, Duration{20},
+                      [&](http::Client::Result r) {
+                        result = r;
+                        done.store(true);
+                      },
+                      Duration{20000});
+  });
+
+  // Restart whichever app holds the in-flight POST: forces the 379.
+  std::this_thread::sleep_for(std::chrono::milliseconds(180));
+  for (size_t i = 0; i < bed.appCount(); ++i) {
+    size_t posts = 0;
+    bed.app(i).withServer([&](appserver::AppServer* s) {
+      if (s != nullptr) {
+        posts = s->inFlightPosts();
+      }
+    });
+    if (posts > 0) {
+      bed.app(i).beginRestart(release::Strategy::kHardRestart);
+      break;
+    }
+  }
+  waitFor([&] { return done.load(); });
+  clientLoop.runSync([&] { client->close(); });
+  for (size_t i = 0; i < bed.appCount(); ++i) {
+    bed.app(i).waitRestart();
+  }
+  ASSERT_EQ(result.response.status, 200);
+  ASSERT_GE(bed.metrics().counter("origin0.ppr_replays").value(), 1u);
+
+  auto spans = bed.metrics().collectSpans();
+  uint64_t replayTrace = 0;
+  for (const auto& s : spans) {
+    if (isKind(s, trace::SpanKind::kOriginPprReplay)) {
+      replayTrace = s.traceId;
+    }
+  }
+  ASSERT_NE(replayTrace, 0u) << "no replay span recorded";
+
+  // One trace id covers the drain bounce, both app attempts (the
+  // original that got the 379 and the replay that returned 200), and
+  // the edge-side root — a single story end to end.
+  size_t attempts = 0;
+  bool bounce = false;
+  bool edgeRoot = false;
+  bool appHandle = false;
+  for (const auto& s : spans) {
+    if (s.traceId != replayTrace) {
+      continue;
+    }
+    if (isKind(s, trace::SpanKind::kOriginAppAttempt)) {
+      ++attempts;
+    }
+    if (isKind(s, trace::SpanKind::kAppDrainBounce)) {
+      bounce = true;
+      EXPECT_EQ(s.detail, static_cast<uint64_t>(http::kPartialPostStatus));
+    }
+    if (isKind(s, trace::SpanKind::kEdgeRequest) && s.detail == 200) {
+      edgeRoot = true;
+    }
+    if (isKind(s, trace::SpanKind::kAppHandle) && s.detail == 200) {
+      appHandle = true;
+    }
+  }
+  EXPECT_GE(attempts, 2u) << "replay must add a second attempt span";
+  EXPECT_TRUE(bounce) << "the draining app's 379 span is missing";
+  EXPECT_TRUE(edgeRoot) << "edge root span lost the trace id";
+  EXPECT_TRUE(appHandle) << "the replacement app's 200 span is missing";
+}
+
+TEST(TracePropagationTest, DcrReconnectCarriesDrainTrace) {
+  TestbedOptions opts;
+  opts.edges = 1;
+  opts.origins = 2;
+  opts.appServers = 1;
+  opts.enableMqtt = true;
+  opts.dcrEnabled = true;
+  opts.proxyDrainPeriod = Duration{400};
+  Testbed bed(opts);
+
+  MqttFleet::Options fo;
+  fo.clients = 6;
+  MqttFleet fleet(bed.mqttEntry(), fo, bed.metrics(), "fleet");
+  fleet.start();
+  waitFor([&] { return fleet.connectedCount() == 6; });
+
+  // Roll both origins so every tunnel sees a solicitation.
+  for (size_t i = 0; i < bed.originCount(); ++i) {
+    bed.origin(i).beginRestart(release::Strategy::kZeroDowntime);
+    bed.origin(i).waitRestart();
+  }
+  waitFor([&] { return fleet.connectedCount() == 6; });
+  ASSERT_GE(bed.metrics().counter("edge.dcr_resumed").value(), 1u);
+
+  // Each draining origin minted a drain trace and published it as the
+  // zdr_drain begin-event detail (the same context rides the
+  // reconnect_solicitation payload).
+  std::set<uint64_t> drainTraces;
+  for (size_t i = 0; i < bed.originCount(); ++i) {
+    auto ev = findBegin(bed.metrics(), "origin" + std::to_string(i),
+                        "zdr_drain");
+    ASSERT_TRUE(ev.has_value()) << "origin" << i;
+    uint64_t t = 0;
+    uint64_t sp = 0;
+    ASSERT_TRUE(trace::parseTraceHeader(ev->detail, t, sp)) << ev->detail;
+    drainTraces.insert(t);
+  }
+  ASSERT_EQ(drainTraces.size(), bed.originCount());
+
+  // Edge resume spans and origin reconnect verdicts both join it.
+  size_t resumes = 0;
+  size_t reconnects = 0;
+  for (const auto& s : bed.metrics().collectSpans()) {
+    if (isKind(s, trace::SpanKind::kEdgeDcrResume) &&
+        drainTraces.count(s.traceId) != 0) {
+      ++resumes;
+      EXPECT_EQ(s.detail, 200u) << "resume should have been acked";
+    }
+    if (isKind(s, trace::SpanKind::kOriginDcrReconnect) &&
+        drainTraces.count(s.traceId) != 0) {
+      ++reconnects;
+    }
+  }
+  EXPECT_GE(resumes, 1u) << "no edge resume span carries a drain trace";
+  EXPECT_GE(reconnects, 1u)
+      << "no origin reconnect span carries a drain trace";
+  fleet.stop();
+}
+
+}  // namespace
+}  // namespace zdr::core
