@@ -1,13 +1,21 @@
 #!/usr/bin/env python3
-"""Warn-only bench regression check.
+"""Bench regression check: warn-only by default, gating with --gate.
 
 Compares a freshly produced BENCH_*.json against the committed baseline
-and prints a warning for every metric outside the tolerance band. Never
-fails the build: CI runners are noisy shared machines, so the numbers
-are a trajectory signal for a human, not a gate.
+and reports every metric outside the tolerance band. By default it
+never fails the build: CI runners are noisy shared machines, so most
+numbers are a trajectory signal for a human, not a gate. With --gate
+any regression or missing cell exits non-zero — used for benches whose
+headline metric is structural rather than timing-noisy (e.g.
+BENCH_udp_batching.json's syscalls per datagram, which depends on burst
+depth and batch width, not wall-clock).
 
 Usage:
-  scripts/check_bench_regression.py CURRENT.json BASELINE.json [--tolerance 0.30]
+  scripts/check_bench_regression.py CURRENT.json BASELINE.json \
+      [--tolerance 0.30] [--gate]
+
+Self-test: scripts/test_check_bench_regression.py (run by the CI lint
+job).
 """
 
 import argparse
@@ -30,35 +38,46 @@ METRICS = {
     # normal load. The floor absorbs a stray shed during warmup.
     "shed_rate": (-1, 0.01),
     "retry_rate": (-1, 0.01),
+    # Batched datagram plane. syscalls/datagram is structural, so its
+    # floor is tight; datagrams/sec is throughput-noisy like rps.
+    "datagrams_per_sec": (+1, 5000.0),
+    "syscalls_per_datagram": (-1, 0.05),
+    "p99_burst_ms": (-1, 1.0),
 }
 
 
 def cell_key(cell):
-    # "tracing" only appears in bench_metrics cells; defaulting it keeps
-    # one key function across every BENCH_*.json schema.
+    # Optional dimensions are defaulted so one key function spans every
+    # BENCH_*.json schema: "tracing" only appears in bench_metrics
+    # cells, "udp_workers"/"batched" only in bench_udp_batching cells.
     return (
         cell.get("http_workers"),
         cell.get("vectored_io"),
         cell.get("tracing", True),
+        cell.get("udp_workers"),
+        cell.get("batched"),
     )
 
 
-def main():
-    ap = argparse.ArgumentParser()
-    ap.add_argument("current")
-    ap.add_argument("baseline")
-    ap.add_argument("--tolerance", type=float, default=0.30)
-    args = ap.parse_args()
+def cell_label(cell):
+    key = cell_key(cell)
+    parts = []
+    if key[0] is not None:
+        parts.append(f"workers={key[0]}")
+    if key[1] is not None:
+        parts.append(f"vectored={'on' if key[1] else 'off'}")
+    if "tracing" in cell:
+        parts.append(f"tracing={'on' if key[2] else 'off'}")
+    if key[3] is not None:
+        parts.append(f"udp_workers={key[3]}")
+    if key[4] is not None:
+        parts.append(f"batched={'on' if key[4] else 'off'}")
+    return " ".join(parts) or "cell"
 
-    try:
-        with open(args.current) as f:
-            current = json.load(f)
-        with open(args.baseline) as f:
-            baseline = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        print(f"::warning::bench regression check skipped: {e}")
-        return 0
 
+def check(current, baseline, tolerance, emit):
+    """Compares parsed bench dicts. Calls emit(message) once per finding
+    and returns the finding count (0 = clean)."""
     if current.get("smoke") != baseline.get("smoke"):
         print(
             "::warning::bench regression check skipped: smoke flag differs "
@@ -67,20 +86,21 @@ def main():
         return 0
 
     base_by_key = {cell_key(c): c for c in baseline.get("cells", [])}
-    warnings = 0
+    findings = 0
+    if not current.get("cells"):
+        # An empty current file must not sail through a gate.
+        emit("bench output has no cells")
+        return 1
     for cell in current.get("cells", []):
-        key = cell_key(cell)
-        base = base_by_key.get(key)
-        label = f"workers={key[0]} vectored={'on' if key[1] else 'off'}"
-        if "tracing" in cell:
-            label += f" tracing={'on' if key[2] else 'off'}"
+        base = base_by_key.get(cell_key(cell))
+        label = cell_label(cell)
         if base is None:
-            print(f"::warning::bench cell {label} missing from baseline")
-            warnings += 1
+            emit(f"bench cell {label} missing from baseline")
+            findings += 1
             continue
         if cell.get("errors", 0) > 0:
-            print(f"::warning::bench cell {label}: {cell['errors']} request errors")
-            warnings += 1
+            emit(f"bench cell {label}: {cell['errors']} request errors")
+            findings += 1
         for metric, (direction, abs_floor) in METRICS.items():
             cur_v = cell.get(metric)
             base_v = base.get(metric)
@@ -93,29 +113,66 @@ def main():
                 # floor in the bad direction is a regression (this is
                 # how the zero-baseline containment rates are policed).
                 if direction < 0 and cur_v > 0:
-                    print(
-                        f"::warning::bench regression {label} {metric}: "
+                    emit(
+                        f"bench regression {label} {metric}: "
                         f"0 -> {cur_v:.3g} (baseline is zero)"
                     )
-                    warnings += 1
+                    findings += 1
                 continue
             delta = (cur_v - base_v) / base_v
-            regressed = delta * direction < -args.tolerance
+            regressed = delta * direction < -tolerance
             if regressed:
-                print(
-                    f"::warning::bench regression {label} {metric}: "
+                emit(
+                    f"bench regression {label} {metric}: "
                     f"{base_v:.3g} -> {cur_v:.3g} "
-                    f"({delta * 100:+.1f}%, tolerance ±{args.tolerance * 100:.0f}%)"
+                    f"({delta * 100:+.1f}%, tolerance ±{tolerance * 100:.0f}%)"
                 )
-                warnings += 1
+                findings += 1
+    return findings
 
-    if warnings == 0:
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("current")
+    ap.add_argument("baseline")
+    ap.add_argument("--tolerance", type=float, default=0.30)
+    ap.add_argument(
+        "--gate",
+        action="store_true",
+        help="fail (exit 1) on any regression or missing cell",
+    )
+    args = ap.parse_args()
+
+    try:
+        with open(args.current) as f:
+            current = json.load(f)
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        if args.gate:
+            print(f"::error::bench regression gate failed to load inputs: {e}")
+            return 1
+        print(f"::warning::bench regression check skipped: {e}")
+        return 0
+
+    level = "error" if args.gate else "warning"
+    findings = check(
+        current,
+        baseline,
+        args.tolerance,
+        lambda msg: print(f"::{level}::{msg}"),
+    )
+
+    if findings == 0:
         print(
             f"bench regression check: all cells within "
             f"±{args.tolerance * 100:.0f}% of baseline"
         )
-    else:
-        print(f"bench regression check: {warnings} warning(s) — not failing the job")
+        return 0
+    if args.gate:
+        print(f"bench regression gate: {findings} finding(s) — failing the job")
+        return 1
+    print(f"bench regression check: {findings} warning(s) — not failing the job")
     return 0
 
 

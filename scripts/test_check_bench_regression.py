@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Self-test for check_bench_regression.py.
+
+pytest-compatible (every case is a test_* function with bare asserts)
+but also runnable standalone — `python3 scripts/test_check_bench_regression.py`
+discovers and runs the cases itself so CI needs no extra packages.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import check_bench_regression as cbr  # noqa: E402
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "check_bench_regression.py")
+
+
+def run_check(current, baseline, tolerance=0.30):
+    findings = []
+    n = cbr.check(current, baseline, tolerance, findings.append)
+    return n, findings
+
+
+def http_cell(**over):
+    cell = {
+        "http_workers": 4,
+        "vectored_io": True,
+        "errors": 0,
+        "rps": 50000.0,
+        "p99_ms": 5.0,
+    }
+    cell.update(over)
+    return cell
+
+
+def udp_cell(**over):
+    cell = {
+        "udp_workers": 4,
+        "batched": True,
+        "datagrams_per_sec": 200000.0,
+        "syscalls_per_datagram": 0.125,
+        "p99_burst_ms": 2.0,
+    }
+    cell.update(over)
+    return cell
+
+
+def bench(*cells, smoke=True):
+    return {"bench": "x", "smoke": smoke, "cells": list(cells)}
+
+
+def test_identical_runs_are_clean():
+    n, findings = run_check(bench(http_cell()), bench(http_cell()))
+    assert n == 0, findings
+
+
+def test_udp_cells_key_on_workers_and_batched():
+    # Same metrics, different (udp_workers, batched) — must not match.
+    cur = bench(udp_cell(udp_workers=1, batched=False))
+    base = bench(udp_cell(udp_workers=4, batched=True))
+    n, findings = run_check(cur, base)
+    assert n == 1
+    assert "missing from baseline" in findings[0]
+    assert "udp_workers=1" in findings[0] and "batched=off" in findings[0]
+
+
+def test_syscalls_per_datagram_regression_detected():
+    # 0.125 -> 0.5: lower-is-better metric grew 4x, well past floor+tolerance.
+    cur = bench(udp_cell(syscalls_per_datagram=0.5))
+    base = bench(udp_cell())
+    n, findings = run_check(cur, base)
+    assert n == 1
+    assert "syscalls_per_datagram" in findings[0]
+
+
+def test_syscalls_per_datagram_noise_floor():
+    # +0.03 absolute is under the 0.05 floor even though it is +24%.
+    cur = bench(udp_cell(syscalls_per_datagram=0.155))
+    base = bench(udp_cell())
+    n, findings = run_check(cur, base)
+    assert n == 0, findings
+
+
+def test_datagrams_per_sec_drop_detected():
+    cur = bench(udp_cell(datagrams_per_sec=100000.0))  # -50%
+    base = bench(udp_cell())
+    n, findings = run_check(cur, base)
+    assert n == 1
+    assert "datagrams_per_sec" in findings[0]
+
+
+def test_improvement_never_flagged():
+    cur = bench(udp_cell(syscalls_per_datagram=0.01,
+                         datagrams_per_sec=900000.0))
+    base = bench(udp_cell())
+    n, findings = run_check(cur, base)
+    assert n == 0, findings
+
+
+def test_smoke_mismatch_skips():
+    cur = bench(udp_cell(syscalls_per_datagram=5.0), smoke=False)
+    base = bench(udp_cell(), smoke=True)
+    n, findings = run_check(cur, base)
+    assert n == 0, findings
+
+
+def test_empty_current_is_a_finding():
+    n, findings = run_check(bench(), bench(udp_cell()))
+    assert n == 1
+    assert "no cells" in findings[0]
+
+
+def test_zero_baseline_growth_detected():
+    cur = bench(http_cell(shed_rate=0.2))
+    base = bench(http_cell(shed_rate=0.0))
+    n, findings = run_check(cur, base)
+    assert n == 1
+    assert "shed_rate" in findings[0]
+
+
+def test_cell_errors_are_a_finding():
+    n, findings = run_check(bench(http_cell(errors=3)), bench(http_cell()))
+    assert n == 1
+    assert "request errors" in findings[0]
+
+
+def _run_cli(cur, base, *extra):
+    with tempfile.TemporaryDirectory() as d:
+        cur_p = os.path.join(d, "cur.json")
+        base_p = os.path.join(d, "base.json")
+        with open(cur_p, "w") as f:
+            json.dump(cur, f)
+        with open(base_p, "w") as f:
+            json.dump(base, f)
+        return subprocess.run(
+            [sys.executable, SCRIPT, cur_p, base_p, *extra],
+            capture_output=True, text=True)
+
+
+def test_cli_warn_mode_exits_zero_on_regression():
+    r = _run_cli(bench(udp_cell(syscalls_per_datagram=5.0)),
+                 bench(udp_cell()))
+    assert r.returncode == 0, r.stdout + r.stderr
+    assert "::warning::" in r.stdout
+
+
+def test_cli_gate_mode_fails_on_regression():
+    r = _run_cli(bench(udp_cell(syscalls_per_datagram=5.0)),
+                 bench(udp_cell()), "--gate")
+    assert r.returncode == 1, r.stdout + r.stderr
+    assert "::error::" in r.stdout
+
+
+def test_cli_gate_mode_passes_clean_run():
+    r = _run_cli(bench(udp_cell()), bench(udp_cell()), "--gate",
+                 "--tolerance", "0.15")
+    assert r.returncode == 0, r.stdout + r.stderr
+
+
+def test_cli_gate_mode_fails_on_missing_baseline_file():
+    with tempfile.TemporaryDirectory() as d:
+        cur_p = os.path.join(d, "cur.json")
+        with open(cur_p, "w") as f:
+            json.dump(bench(udp_cell()), f)
+        r = subprocess.run(
+            [sys.executable, SCRIPT, cur_p,
+             os.path.join(d, "nope.json"), "--gate"],
+            capture_output=True, text=True)
+        assert r.returncode == 1, r.stdout + r.stderr
+
+
+def main():
+    cases = [(name, fn) for name, fn in sorted(globals().items())
+             if name.startswith("test_") and callable(fn)]
+    failed = 0
+    for name, fn in cases:
+        try:
+            fn()
+            print(f"PASS {name}")
+        except AssertionError as e:
+            failed += 1
+            print(f"FAIL {name}: {e}")
+    print(f"{len(cases) - failed}/{len(cases)} passed")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

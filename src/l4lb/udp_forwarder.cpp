@@ -2,8 +2,6 @@
 
 #include <sys/epoll.h>
 
-#include <array>
-
 #include "l4lb/hashing.h"
 
 namespace zdr::l4lb {
@@ -95,24 +93,38 @@ UdpForwarder::Flow* UdpForwarder::flowFor(const SocketAddr& client) {
 }
 
 void UdpForwarder::onVipReadable() {
-  std::array<std::byte, 2048> buf;
-  while (true) {
-    SocketAddr from;
-    std::error_code ec;
-    size_t n = vipSock_.recvFrom(buf, from, ec);
-    if (ec) {
-      return;
+  // Drain a batch per recvmmsg; consecutive datagrams of the same flow
+  // (the common case — clients burst) stage into one sendmmsg out of
+  // that flow's NAT socket.
+  std::error_code ec;
+  while (!ec) {
+    vipSock_.recvMany(rxBatch_, ec);
+    Flow* cur = nullptr;
+    for (size_t i = 0; i < rxBatch_.size(); ++i) {
+      Flow* flow = flowFor(rxBatch_.from(i));
+      if (flow == nullptr) {
+        continue;  // no backends
+      }
+      if (flow != cur) {
+        flushToBackend(cur);
+        cur = flow;
+      }
+      flow->lastActive = Clock::now();
+      if (txBatch_.full()) {
+        flushToBackend(cur);
+      }
+      txBatch_.push(rxBatch_.data(i), flow->backend);
     }
-    Flow* flow = flowFor(from);
-    if (flow == nullptr) {
-      continue;  // no backends
-    }
-    flow->lastActive = Clock::now();
-    flow->natSock.sendTo(std::span(buf.data(), n), flow->backend, ec);
-    if (!ec) {
-      ++forwarded_;
-    }
+    flushToBackend(cur);
   }
+}
+
+void UdpForwarder::flushToBackend(Flow* flow) {
+  if (flow == nullptr || txBatch_.empty()) {
+    return;
+  }
+  std::error_code ec;
+  forwarded_ += flow->natSock.sendMany(txBatch_, ec);
 }
 
 void UdpForwarder::onNatReadable(uint64_t flowKey) {
@@ -121,23 +133,38 @@ void UdpForwarder::onNatReadable(uint64_t flowKey) {
     return;
   }
   Flow* flow = it->second.get();
-  std::array<std::byte, 2048> buf;
-  while (true) {
-    SocketAddr from;
-    std::error_code ec;
-    size_t n = flow->natSock.recvFrom(buf, from, ec);
-    if (ec) {
-      return;
+  std::error_code ec;
+  while (!ec) {
+    flow->natSock.recvMany(rxBatch_, ec);
+    if (rxBatch_.size() > 0) {
+      flow->lastActive = Clock::now();
     }
-    flow->lastActive = Clock::now();
-    vipSock_.sendTo(std::span(buf.data(), n), flow->client, ec);
-    if (!ec) {
-      ++returned_;
+    for (size_t i = 0; i < rxBatch_.size(); ++i) {
+      if (txBatch_.full()) {
+        flushReturns();
+      }
+      txBatch_.push(rxBatch_.data(i), flow->client);
     }
+    flushReturns();
   }
 }
 
+void UdpForwarder::flushReturns() {
+  if (txBatch_.empty()) {
+    return;
+  }
+  std::error_code ec;
+  returned_ += vipSock_.sendMany(txBatch_, ec);
+}
+
 void UdpForwarder::reapIdle() {
+  if (metrics_) {
+    auto s = pool_.stats();
+    metrics_->gauge("l4udp.pool_hits").set(static_cast<double>(s.hits));
+    metrics_->gauge("l4udp.pool_misses").set(static_cast<double>(s.misses));
+    metrics_->gauge("l4udp.pool_outstanding")
+        .set(static_cast<double>(s.outstanding));
+  }
   TimePoint now = Clock::now();
   for (auto it = flows_.begin(); it != flows_.end();) {
     if (now - it->second->lastActive > opts_.flowIdleTimeout) {

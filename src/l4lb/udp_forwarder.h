@@ -15,8 +15,10 @@
 #include "l4lb/conn_table.h"
 #include "l4lb/consistent_hash.h"
 #include "metrics/metrics.h"
+#include "netcore/buffer_pool.h"
 #include "netcore/event_loop.h"
 #include "netcore/socket.h"
+#include "netcore/udp_batch.h"
 
 namespace zdr::l4lb {
 
@@ -60,6 +62,11 @@ class UdpForwarder {
   void onVipReadable();
   void onNatReadable(uint64_t flowKey);
   Flow* flowFor(const SocketAddr& client);
+  // Flush the staged run of datagrams out of `flow`'s NAT socket
+  // (client → backend direction) in one sendmmsg.
+  void flushToBackend(Flow* flow);
+  // Flush staged backend replies back out the VIP socket.
+  void flushReturns();
   void reapIdle();
 
   EventLoop& loop_;
@@ -68,6 +75,10 @@ class UdpForwarder {
   std::vector<Backend> backends_;
   MaglevHash hash_;
   ConnTable table_;
+  // Pool before batches: batch handles release into it on destruction.
+  BufferPool pool_;
+  RecvBatch rxBatch_{pool_};
+  SendBatch txBatch_{pool_};
   UdpSocket vipSock_;
   std::unordered_map<uint64_t, std::unique_ptr<Flow>> flows_;
   EventLoop::TimerId reapTimer_ = 0;

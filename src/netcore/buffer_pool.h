@@ -1,0 +1,159 @@
+// Per-worker pool of fixed-size datagram buffers.
+//
+// The batched UDP hot path (UdpSocket::recvMany/sendMany) needs one
+// buffer per mmsghdr slot on every wakeup. Heap-allocating those per
+// packet would put malloc on the datagram plane; this pool keeps a
+// free-list of datagram-sized buffers so steady-state traffic recycles
+// the same memory. Like everything else hanging off an EventLoop, a
+// pool is loop-confined: no locks, and handles must be released on the
+// owning thread.
+//
+// Accounting (hits/misses/outstanding) is exposed for two reasons:
+// tests prove the free-list actually recycles, and consumers mirror
+// the numbers into MetricsRegistry gauges so a /__stats scrape shows
+// whether a worker's pool is sized right (misses ⇒ pool too small for
+// the offered batch depth).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace zdr {
+
+class BufferPool {
+ public:
+  static constexpr size_t kDefaultBufSize = 2048;   // one full datagram
+  static constexpr size_t kDefaultCapacity = 64;    // free-listed buffers
+
+  struct Stats {
+    uint64_t hits = 0;       // acquire() served from the free list
+    uint64_t misses = 0;     // acquire() had to heap-allocate
+    uint64_t discarded = 0;  // release() found the free list full
+    size_t outstanding = 0;  // acquired and not yet released
+    size_t freeCount = 0;
+    size_t capacity = 0;
+    size_t bufSize = 0;
+  };
+
+  // RAII handle over one pooled buffer; returns it on destruction.
+  class Handle {
+   public:
+    Handle() = default;
+    Handle(Handle&& o) noexcept { swap(o); }
+    Handle& operator=(Handle&& o) noexcept {
+      if (this != &o) {
+        reset();
+        swap(o);
+      }
+      return *this;
+    }
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+    ~Handle() { reset(); }
+
+    [[nodiscard]] bool valid() const noexcept { return data_ != nullptr; }
+    [[nodiscard]] std::span<std::byte> span() noexcept {
+      return {data_, size_};
+    }
+    [[nodiscard]] std::span<const std::byte> span() const noexcept {
+      return {data_, size_};
+    }
+    [[nodiscard]] std::byte* data() noexcept { return data_; }
+    [[nodiscard]] size_t size() const noexcept { return size_; }
+
+    void reset() noexcept {
+      if (data_ != nullptr) {
+        pool_->release(data_, size_);
+        data_ = nullptr;
+        size_ = 0;
+        pool_ = nullptr;
+      }
+    }
+
+   private:
+    friend class BufferPool;
+    Handle(BufferPool* pool, std::byte* data, size_t size) noexcept
+        : pool_(pool), data_(data), size_(size) {}
+    void swap(Handle& o) noexcept {
+      std::swap(pool_, o.pool_);
+      std::swap(data_, o.data_);
+      std::swap(size_, o.size_);
+    }
+
+    BufferPool* pool_ = nullptr;
+    std::byte* data_ = nullptr;
+    size_t size_ = 0;
+  };
+
+  explicit BufferPool(size_t bufSize = kDefaultBufSize,
+                      size_t capacity = kDefaultCapacity)
+      : bufSize_(bufSize), capacity_(capacity) {
+    free_.reserve(capacity_);
+  }
+  ~BufferPool() {
+    // Outstanding handles must not outlive the pool (member-declaration
+    // order in consumers: pool before batches).
+    for (std::byte* b : free_) {
+      delete[] b;
+    }
+  }
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Buffers larger than bufSize are honoured (exact heap allocation,
+  // counted as a miss) but never free-listed on release.
+  [[nodiscard]] Handle acquire(size_t size = 0) {
+    if (size == 0) {
+      size = bufSize_;
+    }
+    ++outstanding_;
+    if (size <= bufSize_ && !free_.empty()) {
+      std::byte* b = free_.back();
+      free_.pop_back();
+      ++hits_;
+      return Handle(this, b, bufSize_);
+    }
+    ++misses_;
+    return Handle(this, new std::byte[std::max(size, bufSize_)],
+                  std::max(size, bufSize_));
+  }
+
+  [[nodiscard]] Stats stats() const noexcept {
+    Stats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.discarded = discarded_;
+    s.outstanding = outstanding_;
+    s.freeCount = free_.size();
+    s.capacity = capacity_;
+    s.bufSize = bufSize_;
+    return s;
+  }
+  [[nodiscard]] size_t bufSize() const noexcept { return bufSize_; }
+
+ private:
+  friend class Handle;
+  void release(std::byte* data, size_t size) noexcept {
+    --outstanding_;
+    if (size == bufSize_ && free_.size() < capacity_) {
+      free_.push_back(data);
+      return;
+    }
+    ++discarded_;
+    delete[] data;
+  }
+
+  size_t bufSize_;
+  size_t capacity_;
+  std::vector<std::byte*> free_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t discarded_ = 0;
+  size_t outstanding_ = 0;
+};
+
+}  // namespace zdr

@@ -61,22 +61,42 @@ void EventLoop::removeFd(int fd) {
 EventLoop::TimerId EventLoop::runAfter(Duration delay, Callback cb) {
   TimerId id = nextTimerId_++;
   timers_.push(Timer{Clock::now() + delay, Duration{0}, id, std::move(cb)});
-  timerAlive_[id] = true;
+  timerAlive_.insert(id);
   return id;
 }
 
 EventLoop::TimerId EventLoop::runEvery(Duration period, Callback cb) {
   TimerId id = nextTimerId_++;
   timers_.push(Timer{Clock::now() + period, period, id, std::move(cb)});
-  timerAlive_[id] = true;
+  timerAlive_.insert(id);
   return id;
 }
 
 void EventLoop::cancelTimer(TimerId id) {
-  auto it = timerAlive_.find(id);
-  if (it != timerAlive_.end()) {
-    it->second = false;
+  if (timerAlive_.erase(id) > 0) {
+    compactTimers();
   }
+}
+
+// Lazy heap sweep: a heavy cancel workload (retry timers armed and
+// cancelled per request) leaves dead entries in the heap until their
+// deadlines pass. When they outnumber the live ones 2:1, rebuild the
+// heap from the survivors — amortized O(1) per cancel.
+void EventLoop::compactTimers() {
+  if (timers_.size() <= 64 || timers_.size() < timerAlive_.size() * 2) {
+    return;
+  }
+  std::vector<Timer> alive;
+  alive.reserve(timerAlive_.size());
+  while (!timers_.empty()) {
+    Timer& t = const_cast<Timer&>(timers_.top());
+    if (timerAlive_.count(t.id) > 0) {
+      alive.push_back(std::move(t));
+    }
+    timers_.pop();
+  }
+  timers_ = std::priority_queue<Timer, std::vector<Timer>, TimerOrder>(
+      TimerOrder{}, std::move(alive));
 }
 
 void EventLoop::runAtEnd(Callback cb) {
@@ -186,10 +206,8 @@ void EventLoop::fireTimers() {
   while (!timers_.empty() && timers_.top().deadline <= now) {
     Timer t = timers_.top();
     timers_.pop();
-    auto it = timerAlive_.find(t.id);
-    if (it == timerAlive_.end() || !it->second) {
-      timerAlive_.erase(t.id);
-      continue;
+    if (timerAlive_.count(t.id) == 0) {
+      continue;  // cancelled; its set entry is already gone
     }
     if (t.period.count() > 0) {
       Timer next = t;

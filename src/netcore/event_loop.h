@@ -17,6 +17,7 @@
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "netcore/fd_guard.h"
@@ -51,12 +52,14 @@ class EventLoop {
   void cancelTimer(TimerId id);
   // Timers armed and neither fired (one-shots) nor cancelled. Loop
   // thread only; test introspection for timer-leak regressions.
-  [[nodiscard]] size_t activeTimerCount() const {
-    size_t n = 0;
-    for (const auto& [id, alive] : timerAlive_) {
-      n += alive ? 1 : 0;
-    }
-    return n;
+  [[nodiscard]] size_t activeTimerCount() const noexcept {
+    return timerAlive_.size();
+  }
+  // Heap entries, including cancelled-but-not-yet-popped ones. Loop
+  // thread only; lets tests assert that cancellation doesn't let the
+  // heap grow without bound.
+  [[nodiscard]] size_t pendingTimerEntries() const noexcept {
+    return timers_.size();
   }
 
   // Defers `cb` to the end of the current loop iteration (after io
@@ -97,6 +100,7 @@ class EventLoop {
   void iterate(int timeoutMs);
   void drainPosted();
   void fireTimers();
+  void compactTimers();
   void drainAtEnd();
   [[nodiscard]] int msUntilNextTimer() const;
 
@@ -106,7 +110,10 @@ class EventLoop {
   std::map<int, std::shared_ptr<IoCallback>> handlers_;
 
   std::priority_queue<Timer, std::vector<Timer>, TimerOrder> timers_;
-  std::map<TimerId, bool> timerAlive_;
+  // Membership ⇒ alive. Erased on cancel and on one-shot fire, so the
+  // set never outgrows the armed-timer count; stale heap entries are
+  // skipped on pop and swept by compactTimers() when they dominate.
+  std::unordered_set<TimerId> timerAlive_;
   TimerId nextTimerId_ = 1;
 
   std::mutex postedMutex_;

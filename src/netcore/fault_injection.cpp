@@ -112,6 +112,56 @@ bool FaultPlan::dupDatagram() {
   return true;
 }
 
+namespace {
+bool contains(const std::vector<uint64_t>& v, uint64_t x) {
+  for (uint64_t e : v) {
+    if (e == x) {
+      return true;
+    }
+  }
+  return false;
+}
+}  // namespace
+
+FaultPlan::DgramFate FaultPlan::dgramFate(Op op, size_t len) {
+  DgramFate fate;
+  auto& seq = op == Op::kRecvFrom ? recvDgrams_ : sentDgrams_;
+  uint64_t idx = seq.fetch_add(1, std::memory_order_relaxed);
+
+  // Exact element-indexed scripting first; the probabilistic draws run
+  // unconditionally after so the decision stream stays aligned between
+  // batched and fallback replays.
+  bool drop = contains(spec_.dropDatagramAt, idx);
+  bool dup = contains(spec_.dupDatagramAt, idx);
+  if (spec_.udpDropProb > 0 && unit() < spec_.udpDropProb) {
+    drop = true;
+  }
+  if (spec_.udpDupProb > 0 && unit() < spec_.udpDupProb) {
+    dup = true;
+  }
+  if (drop) {
+    fate.drop = true;
+    owner_->note("udp_drop", owner_->stats_.datagramsDropped);
+    return fate;  // a dropped element cannot also be duplicated
+  }
+  if (dup) {
+    fate.dup = true;
+    owner_->note("udp_duplicate", owner_->stats_.datagramsDuplicated);
+  }
+  if (contains(spec_.truncDatagramAt, idx)) {
+    fate.allow = spec_.truncDatagramTo;
+  } else if (spec_.udpTruncProb > 0 && len > spec_.udpTruncBytes &&
+             unit() < spec_.udpTruncProb) {
+    fate.allow = spec_.udpTruncBytes;
+  }
+  if (fate.allow < len) {
+    owner_->note("udp_truncate", owner_->stats_.datagramsTruncated);
+  } else {
+    fate.allow = SIZE_MAX;
+  }
+  return fate;
+}
+
 FaultPlan::WriteFate FaultPlan::writeFate(size_t len) {
   WriteFate fate;
   if (spec_.killAtByte > 0) {
@@ -216,6 +266,7 @@ void FaultRegistry::reset() {
   stats_.errnosInjected.store(0, std::memory_order_relaxed);
   stats_.datagramsDropped.store(0, std::memory_order_relaxed);
   stats_.datagramsDuplicated.store(0, std::memory_order_relaxed);
+  stats_.datagramsTruncated.store(0, std::memory_order_relaxed);
 }
 
 void FaultRegistry::bindTag(int fd, std::string tag) {
@@ -261,6 +312,8 @@ FaultStats FaultRegistry::stats() const {
       stats_.datagramsDropped.load(std::memory_order_relaxed);
   s.datagramsDuplicated =
       stats_.datagramsDuplicated.load(std::memory_order_relaxed);
+  s.datagramsTruncated =
+      stats_.datagramsTruncated.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -82,6 +82,21 @@ struct FaultSpec {
   // --- datagram level (UdpSocket) ---
   double udpDropProb = 0;  // sendTo vanishes / received datagram eaten
   double udpDupProb = 0;   // sendTo transmitted twice
+
+  // --- datagram level, element-indexed (recvMany/sendMany) ---
+  // Batched paths apply fates per element, and these lists script them
+  // exactly: 0-based indices into the per-direction stream of
+  // datagrams this plan has seen (across batches), so "drop element 2,
+  // duplicate element 4" is deterministic regardless of how the kernel
+  // slices the stream into batches — and identical under the
+  // ZDR_NO_BATCHED_UDP fallback.
+  std::vector<uint64_t> dropDatagramAt;
+  std::vector<uint64_t> dupDatagramAt;
+  std::vector<uint64_t> truncDatagramAt;
+  size_t truncDatagramTo = 0;  // surviving bytes of a truncated element
+  // Probabilistic truncation of batch elements longer than the cap.
+  double udpTruncProb = 0;
+  size_t udpTruncBytes = 0;
 };
 
 // Running totals of everything injected since the last reset().
@@ -93,10 +108,12 @@ struct FaultStats {
   uint64_t errnosInjected = 0;
   uint64_t datagramsDropped = 0;
   uint64_t datagramsDuplicated = 0;
+  uint64_t datagramsTruncated = 0;
 
   [[nodiscard]] uint64_t total() const {
     return sendsDropped + sendsDelayed + writesTruncated + writesKilled +
-           errnosInjected + datagramsDropped + datagramsDuplicated;
+           errnosInjected + datagramsDropped + datagramsDuplicated +
+           datagramsTruncated;
   }
 };
 
@@ -120,6 +137,17 @@ class FaultPlan {
   bool dropDatagram();
   bool dupDatagram();
 
+  // Fate of one batch element of `len` bytes moving in direction `op`
+  // (kSendTo or kRecvFrom). Draws exactly one drop + one dup decision
+  // (plus truncation) per element in stream order, so batched and
+  // fallback paths replay identically for a given seed/spec.
+  struct DgramFate {
+    bool drop = false;
+    bool dup = false;
+    size_t allow = SIZE_MAX;  // < len ⇒ element truncated to `allow`
+  };
+  DgramFate dgramFate(Op op, size_t len);
+
   struct WriteFate {
     enum Kind : uint8_t { kPass, kShort, kKill } kind = kPass;
     size_t allow = 0;  // kShort: write at most this many bytes
@@ -135,6 +163,9 @@ class FaultPlan {
   FaultSpec spec_;
   FaultRegistry* owner_;
   std::atomic<uint64_t> ctr_{0};
+  // Per-direction datagram stream positions for element-indexed fates.
+  std::atomic<uint64_t> sentDgrams_{0};
+  std::atomic<uint64_t> recvDgrams_{0};
   std::atomic<uint64_t> written_{0};
   std::atomic<bool> killed_{false};
   std::atomic<int> errSkip_;
@@ -206,6 +237,7 @@ class FaultRegistry {
     std::atomic<uint64_t> errnosInjected{0};
     std::atomic<uint64_t> datagramsDropped{0};
     std::atomic<uint64_t> datagramsDuplicated{0};
+    std::atomic<uint64_t> datagramsTruncated{0};
   } stats_;
   friend class FaultPlan;
 };

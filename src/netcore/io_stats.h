@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <cstdlib>
 
+#include "metrics/hdr_histogram.h"
+
 namespace zdr {
 
 struct IoStats {
@@ -20,6 +22,16 @@ struct IoStats {
   std::atomic<uint64_t> bytesRead{0};
   std::atomic<uint64_t> bytesWritten{0};
 
+  // Datagram plane. "Scalar" counts recvfrom/sendto calls (including
+  // the ZDR_NO_BATCHED_UDP fallback loops), "batch" counts
+  // recvmmsg/sendmmsg calls; udpDatagrams is datagrams actually moved
+  // either way, so syscalls-per-datagram falls out of these three.
+  std::atomic<uint64_t> udpScalarSyscalls{0};
+  std::atomic<uint64_t> udpBatchSyscalls{0};
+  std::atomic<uint64_t> udpDatagrams{0};
+  // Batch-fill distribution: datagrams moved per batched syscall.
+  HdrHistogram udpDatagramsPerSyscall;
+
   void reset() noexcept {
     readCalls = 0;
     readvCalls = 0;
@@ -27,6 +39,10 @@ struct IoStats {
     writevCalls = 0;
     bytesRead = 0;
     bytesWritten = 0;
+    udpScalarSyscalls = 0;
+    udpBatchSyscalls = 0;
+    udpDatagrams = 0;
+    udpDatagramsPerSyscall.reset();
   }
   [[nodiscard]] uint64_t totalWriteSyscalls() const noexcept {
     return writeCalls.load(std::memory_order_relaxed) +
@@ -36,6 +52,10 @@ struct IoStats {
     return readCalls.load(std::memory_order_relaxed) +
            readvCalls.load(std::memory_order_relaxed);
   }
+  [[nodiscard]] uint64_t totalUdpSyscalls() const noexcept {
+    return udpScalarSyscalls.load(std::memory_order_relaxed) +
+           udpBatchSyscalls.load(std::memory_order_relaxed);
+  }
 };
 
 inline IoStats& ioStats() noexcept {
@@ -44,6 +64,11 @@ inline IoStats& ioStats() noexcept {
 }
 
 namespace detail {
+inline std::atomic<bool>& batchedUdpFlag() noexcept {
+  static std::atomic<bool> enabled{std::getenv("ZDR_NO_BATCHED_UDP") ==
+                                   nullptr};
+  return enabled;
+}
 inline std::atomic<bool>& vectoredIoFlag() noexcept {
   static std::atomic<bool> enabled{std::getenv("ZDR_NO_VECTORED_IO") ==
                                    nullptr};
@@ -60,6 +85,18 @@ inline bool vectoredIoEnabled() noexcept {
 }
 inline void setVectoredIoEnabled(bool on) noexcept {
   detail::vectoredIoFlag().store(on, std::memory_order_relaxed);
+}
+
+// When false (ZDR_NO_BATCHED_UDP=1, or setBatchedUdpEnabled(false)),
+// UdpSocket::recvMany/sendMany degrade to one recvfrom/sendto per
+// datagram — same batch semantics (including per-datagram fault
+// injection), one syscall per element. The bench flips this between
+// runs to measure the same binary both ways.
+inline bool batchedUdpEnabled() noexcept {
+  return detail::batchedUdpFlag().load(std::memory_order_relaxed);
+}
+inline void setBatchedUdpEnabled(bool on) noexcept {
+  detail::batchedUdpFlag().store(on, std::memory_order_relaxed);
 }
 
 }  // namespace zdr

@@ -4,6 +4,7 @@
 
 #include "netcore/fault_injection.h"
 #include "netcore/io_stats.h"
+#include "netcore/udp_batch.h"
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/types.h>
@@ -360,6 +361,168 @@ size_t UdpSocket::recvFrom(std::span<std::byte> buf, SocketAddr& from,
     }
   }
   return n;
+}
+
+size_t UdpSocket::recvMany(RecvBatch& batch, std::error_code& ec) {
+  batch.clear();
+  if (detail::faultErr(fd_.get(), fault::Op::kRecvFrom, ec)) {
+    return 0;
+  }
+  fault::FaultPlanPtr plan;
+  if (fault::active()) {
+    plan = fault::FaultRegistry::instance().planFor(fd_.get());
+  }
+  const size_t maxB = batch.maxBatch();
+  size_t got = 0;
+  if (batchedUdpEnabled()) {
+    for (size_t i = 0; i < maxB; ++i) {
+      if (!batch.bufs_[i].valid()) {
+        batch.bufs_[i] = batch.pool_->acquire();
+      }
+      iovec& iv = batch.iovs_[i];
+      iv.iov_base = batch.bufs_[i].data();
+      iv.iov_len = batch.bufs_[i].size();
+      mmsghdr& h = batch.hdrs_[i];
+      std::memset(&h, 0, sizeof(h));
+      h.msg_hdr.msg_iov = &iv;
+      h.msg_hdr.msg_iovlen = 1;
+      h.msg_hdr.msg_name = &batch.raw_[i];
+      h.msg_hdr.msg_namelen = sizeof(sockaddr_in);
+    }
+    ioStats().udpBatchSyscalls.fetch_add(1, std::memory_order_relaxed);
+    int n = ::recvmmsg(fd_.get(), batch.hdrs_.data(),
+                       static_cast<unsigned>(maxB), 0, nullptr);
+    if (n < 0) {
+      ec = errnoCode();
+      return 0;
+    }
+    ec.clear();
+    got = static_cast<size_t>(n);
+    ioStats().udpDatagrams.fetch_add(got, std::memory_order_relaxed);
+    ioStats().udpDatagramsPerSyscall.record(static_cast<double>(got));
+  } else {
+    // Fallback: same batch semantics, one recvfrom(2) per element.
+    while (got < maxB) {
+      if (!batch.bufs_[got].valid()) {
+        batch.bufs_[got] = batch.pool_->acquire();
+      }
+      sockaddr_in sa{};
+      socklen_t len = sizeof(sa);
+      std::span<std::byte> b = batch.bufs_[got].span();
+      ioStats().udpScalarSyscalls.fetch_add(1, std::memory_order_relaxed);
+      ssize_t n = ::recvfrom(fd_.get(), b.data(), b.size(), 0,
+                             reinterpret_cast<sockaddr*>(&sa), &len);
+      if (n < 0) {
+        if (got == 0) {
+          ec = errnoCode();
+          return 0;
+        }
+        break;
+      }
+      batch.raw_[got] = sa;
+      batch.hdrs_[got].msg_len = static_cast<unsigned>(n);
+      ++got;
+    }
+    ec.clear();
+    ioStats().udpDatagrams.fetch_add(got, std::memory_order_relaxed);
+  }
+  // Per-element fates, applied in stream order — identical decision
+  // sequence in batched and fallback modes.
+  for (size_t i = 0; i < got; ++i) {
+    size_t len = batch.hdrs_[i].msg_len;
+    if (plan) {
+      auto fate = plan->dgramFate(fault::Op::kRecvFrom, len);
+      if (fate.drop) {
+        continue;
+      }
+      if (fate.allow < len) {
+        len = fate.allow;
+      }
+      batch.slots_.push_back({i, len, SocketAddr(batch.raw_[i])});
+      if (fate.dup) {
+        batch.slots_.push_back({i, len, SocketAddr(batch.raw_[i])});
+      }
+    } else {
+      batch.slots_.push_back({i, len, SocketAddr(batch.raw_[i])});
+    }
+  }
+  return batch.size();
+}
+
+size_t UdpSocket::sendMany(SendBatch& batch, std::error_code& ec) {
+  ec.clear();
+  const size_t staged = batch.count_;
+  if (staged == 0) {
+    return 0;
+  }
+  if (detail::faultErr(fd_.get(), fault::Op::kSendTo, ec)) {
+    batch.clear();
+    return 0;
+  }
+  fault::FaultPlanPtr plan;
+  if (fault::active()) {
+    plan = fault::FaultRegistry::instance().planFor(fd_.get());
+  }
+  // Build the wire set, applying per-element fates. The arenas were
+  // reserved for 2x maxBatch at construction, so push_back never
+  // reallocates and the msg_iov pointers taken below stay valid.
+  batch.hdrs_.clear();
+  batch.iovs_.clear();
+  for (size_t i = 0; i < staged; ++i) {
+    size_t len = batch.slots_[i].len;
+    bool dup = false;
+    if (plan) {
+      auto fate = plan->dgramFate(fault::Op::kSendTo, len);
+      if (fate.drop) {
+        continue;  // vanishes on the wire, still reported as sent
+      }
+      dup = fate.dup;
+      if (fate.allow < len) {
+        len = fate.allow;
+      }
+    }
+    for (int copy = 0; copy < (dup ? 2 : 1); ++copy) {
+      batch.iovs_.push_back({batch.bufs_[i].data(), len});
+      mmsghdr h{};
+      h.msg_hdr.msg_iov = &batch.iovs_.back();
+      h.msg_hdr.msg_iovlen = 1;
+      h.msg_hdr.msg_name = &batch.slots_[i].to;
+      h.msg_hdr.msg_namelen = sizeof(sockaddr_in);
+      batch.hdrs_.push_back(h);
+    }
+  }
+  const size_t wire = batch.hdrs_.size();
+  size_t off = 0;
+  if (batchedUdpEnabled()) {
+    while (off < wire) {
+      ioStats().udpBatchSyscalls.fetch_add(1, std::memory_order_relaxed);
+      int n = ::sendmmsg(fd_.get(), batch.hdrs_.data() + off,
+                         static_cast<unsigned>(wire - off), 0);
+      if (n < 0) {
+        ec = errnoCode();
+        break;
+      }
+      ioStats().udpDatagrams.fetch_add(static_cast<uint64_t>(n),
+                                       std::memory_order_relaxed);
+      ioStats().udpDatagramsPerSyscall.record(static_cast<double>(n));
+      off += static_cast<size_t>(n);
+    }
+  } else {
+    for (; off < wire; ++off) {
+      const msghdr& m = batch.hdrs_[off].msg_hdr;
+      ioStats().udpScalarSyscalls.fetch_add(1, std::memory_order_relaxed);
+      ssize_t n = ::sendto(fd_.get(), m.msg_iov->iov_base, m.msg_iov->iov_len,
+                           0, static_cast<const sockaddr*>(m.msg_name),
+                           m.msg_namelen);
+      if (n < 0) {
+        ec = errnoCode();
+        break;
+      }
+      ioStats().udpDatagrams.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  batch.clear();
+  return ec ? off : staged;
 }
 
 // --------------------------------------------------------------- UnixSocket

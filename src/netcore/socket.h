@@ -22,6 +22,9 @@
 
 namespace zdr {
 
+class RecvBatch;
+class SendBatch;
+
 // Options applied at bind time.
 struct BindOptions {
   bool reuseAddr = true;
@@ -126,6 +129,22 @@ class UdpSocket {
   // Returns bytes received; `from` is filled in. EAGAIN → ec set.
   size_t recvFrom(std::span<std::byte> buf, SocketAddr& from,
                   std::error_code& ec);
+
+  // Batched datagram plane (see udp_batch.h). recvMany fills `batch`
+  // with up to batch.maxBatch() datagrams in one recvmmsg(2) — or a
+  // scalar recvfrom loop under ZDR_NO_BATCHED_UDP — applies per-element
+  // fault fates (drop/duplicate/truncate), and returns the surviving
+  // count. ec is set when the kernel had nothing (EAGAIN) or errored; a
+  // return of 0 with ec clear means data arrived but every element was
+  // dropped by fault injection, so level-triggered callers keep
+  // draining on `!ec`.
+  size_t recvMany(RecvBatch& batch, std::error_code& ec);
+  // Flushes every staged datagram in one sendmmsg(2) (scalar sendto
+  // loop under ZDR_NO_BATCHED_UDP) and clears the batch. Returns the
+  // number of staged datagrams handed to the kernel — an element
+  // dropped by fault injection still counts as sent, matching sendTo.
+  // On error, returns the wire datagrams out before the failure.
+  size_t sendMany(SendBatch& batch, std::error_code& ec);
 
   FdGuard takeFd() noexcept { return std::move(fd_); }
   void close() noexcept { fd_.reset(); }

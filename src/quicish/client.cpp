@@ -2,8 +2,6 @@
 
 #include <sys/epoll.h>
 
-#include <array>
-
 namespace zdr::quicish {
 
 ClientFlow::ClientFlow(EventLoop& loop, const SocketAddr& serverVip,
@@ -53,23 +51,20 @@ void ClientFlow::sendClose() {
 }
 
 void ClientFlow::onReadable() {
-  std::array<std::byte, 2048> buf;
-  while (true) {
-    SocketAddr from;
-    std::error_code ec;
-    size_t n = sock_.recvFrom(buf, from, ec);
-    if (ec) {
-      return;
-    }
-    auto pkt = decode(std::span(buf.data(), n));
-    if (!pkt) {
-      continue;
-    }
-    if (pkt->type == PacketType::kAck) {
-      ++acks_;
-      lastAckInstance_ = pkt->instanceId;
-    } else if (pkt->type == PacketType::kReset) {
-      ++resets_;
+  std::error_code ec;
+  while (!ec) {
+    sock_.recvMany(rxBatch_, ec);
+    for (size_t i = 0; i < rxBatch_.size(); ++i) {
+      auto pkt = decode(rxBatch_.data(i));
+      if (!pkt) {
+        continue;
+      }
+      if (pkt->type == PacketType::kAck) {
+        ++acks_;
+        lastAckInstance_ = pkt->instanceId;
+      } else if (pkt->type == PacketType::kReset) {
+        ++resets_;
+      }
     }
   }
 }

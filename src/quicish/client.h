@@ -9,8 +9,10 @@
 #include <functional>
 #include <memory>
 
+#include "netcore/buffer_pool.h"
 #include "netcore/event_loop.h"
 #include "netcore/socket.h"
+#include "netcore/udp_batch.h"
 #include "quicish/packet.h"
 
 namespace zdr::quicish {
@@ -42,6 +44,10 @@ class ClientFlow {
   SocketAddr server_;
   uint64_t connId_;
   UdpSocket sock_;
+  // Small per-flow pool (a flow sees at most a handful of in-flight
+  // replies); pool before batch so handles release into a live pool.
+  BufferPool pool_{BufferPool::kDefaultBufSize, 8};
+  RecvBatch rxBatch_{pool_, 8};
   uint32_t seq_ = 0;
   uint64_t acks_ = 0;
   uint64_t resets_ = 0;

@@ -42,11 +42,16 @@ std::optional<Packet> decode(std::span<const std::byte> datagram) {
 std::string wrapForwarded(std::span<const std::byte> inner,
                           const SocketAddr& origSource) {
   Buffer buf;
-  buf.appendU8(static_cast<uint8_t>(PacketType::kForwarded));
-  buf.appendU32(origSource.ipHostOrder());
-  buf.appendU16(origSource.port());
-  buf.append(inner);
+  wrapForwarded(inner, origSource, buf);
   return std::string(buf.view());
+}
+
+void wrapForwarded(std::span<const std::byte> inner,
+                   const SocketAddr& origSource, Buffer& out) {
+  out.appendU8(static_cast<uint8_t>(PacketType::kForwarded));
+  out.appendU32(origSource.ipHostOrder());
+  out.appendU16(origSource.port());
+  out.append(inner);
 }
 
 std::optional<ForwardedPacket> unwrapForwarded(

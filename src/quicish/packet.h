@@ -51,6 +51,10 @@ std::optional<Packet> decode(std::span<const std::byte> datagram);
 // process, preserving the original source address.
 [[nodiscard]] std::string wrapForwarded(std::span<const std::byte> inner,
                                         const SocketAddr& origSource);
+// Allocation-free variant for the batched forwarding path: appends the
+// wrapper into `out`.
+void wrapForwarded(std::span<const std::byte> inner,
+                   const SocketAddr& origSource, Buffer& out);
 // Unwrap; returns inner bytes + original source.
 struct ForwardedPacket {
   std::string inner;

@@ -2,8 +2,6 @@
 
 #include <sys/epoll.h>
 
-#include <array>
-
 #include "netcore/listener_group.h"
 
 namespace zdr::quicish {
@@ -98,35 +96,38 @@ void Server::bump(const char* name) {
 }
 
 void Server::onVipReadable(size_t idx) {
-  std::array<std::byte, 2048> buf;
-  while (true) {
-    SocketAddr from;
-    std::error_code ec;
-    size_t n = vipSocks_[idx].recvFrom(buf, from, ec);
-    if (ec) {
-      return;  // EAGAIN or transient
+  // Drain the socket a whole batch per syscall; replies and forwarded
+  // strays stage into send batches flushed below (and on batch-full),
+  // so a wakeup that moves N datagrams costs O(N / batch) syscalls.
+  std::error_code ec;
+  while (!ec) {
+    vipSocks_[idx].recvMany(rxBatch_, ec);
+    for (size_t i = 0; i < rxBatch_.size(); ++i) {
+      processDatagram(rxBatch_.data(i), rxBatch_.from(i), idx);
     }
-    processDatagram(std::span(buf.data(), n), from, idx);
   }
+  flushReplies();
+  flushForwards();
+  publishPoolGauges();
 }
 
 void Server::onForwardReadable() {
-  std::array<std::byte, 2048> buf;
-  while (true) {
-    SocketAddr from;
-    std::error_code ec;
-    size_t n = forwardSock_.recvFrom(buf, from, ec);
-    if (ec) {
-      return;
+  std::error_code ec;
+  while (!ec) {
+    forwardSock_.recvMany(rxBatch_, ec);
+    for (size_t i = 0; i < rxBatch_.size(); ++i) {
+      auto fwd = unwrapForwarded(rxBatch_.data(i));
+      if (!fwd) {
+        continue;
+      }
+      auto bytes = std::as_bytes(
+          std::span(fwd->inner.data(), fwd->inner.size()));
+      processDatagram(bytes, fwd->origSource, 0);
     }
-    auto fwd = unwrapForwarded(std::span(buf.data(), n));
-    if (!fwd) {
-      continue;
-    }
-    auto bytes = std::as_bytes(
-        std::span(fwd->inner.data(), fwd->inner.size()));
-    processDatagram(bytes, fwd->origSource, 0);
   }
+  flushReplies();
+  flushForwards();
+  publishPoolGauges();
 }
 
 void Server::processDatagram(std::span<const std::byte> data,
@@ -166,11 +167,14 @@ void Server::processDatagram(std::span<const std::byte> data,
         // Packet for a flow we do not own: either user-space-route it
         // to the draining peer, or count a mis-route (Fig 2d / Fig 10).
         if (opts_.userSpaceRouting && haveForwardPeer_) {
-          std::string wrapped = wrapForwarded(data, from);
-          std::error_code ec;
-          forwardSock_.sendTo(
-              std::as_bytes(std::span(wrapped.data(), wrapped.size())),
-              forwardPeer_, ec);
+          // Stage the wrapped stray; a takeover-era drain forwards a
+          // whole batch of misrouted packets in one sendmmsg.
+          if (forwardBatch_.full()) {
+            flushForwards();
+          }
+          encodeBuf_.clear();
+          wrapForwarded(data, from, encodeBuf_);
+          forwardBatch_.push(encodeBuf_.readable(), forwardPeer_);
           ++forwardedCnt_;
           bump("forwarded");
           return;
@@ -206,15 +210,48 @@ void Server::processDatagram(std::span<const std::byte> data,
 }
 
 void Server::reply(const Packet& p, const SocketAddr& to) {
-  std::string bytes = encodeToString(p);
-  std::error_code ec;
-  if (!vipSocks_.empty() && vipSocks_.front().valid()) {
-    vipSocks_.front().sendTo(
-        std::as_bytes(std::span(bytes.data(), bytes.size())), to, ec);
-  } else {
-    forwardSock_.sendTo(
-        std::as_bytes(std::span(bytes.data(), bytes.size())), to, ec);
+  if (replyBatch_.full()) {
+    flushReplies();
   }
+  encodeBuf_.clear();
+  encode(p, encodeBuf_);
+  replyBatch_.push(encodeBuf_.readable(), to);
+}
+
+void Server::flushReplies() {
+  if (replyBatch_.empty()) {
+    return;
+  }
+  std::error_code ec;
+  // Replies go out on a shared VIP socket while we hold one (a
+  // draining instance keeps doing so, per §4.1), else the host-local
+  // forward socket.
+  if (!vipSocks_.empty() && vipSocks_.front().valid()) {
+    vipSocks_.front().sendMany(replyBatch_, ec);
+  } else {
+    forwardSock_.sendMany(replyBatch_, ec);
+  }
+}
+
+void Server::flushForwards() {
+  if (forwardBatch_.empty()) {
+    return;
+  }
+  std::error_code ec;
+  forwardSock_.sendMany(forwardBatch_, ec);
+}
+
+void Server::publishPoolGauges() {
+  if (!metrics_) {
+    return;
+  }
+  auto s = pool_.stats();
+  std::string prefix =
+      "quicish." + std::to_string(opts_.instanceId) + ".pool_";
+  metrics_->gauge(prefix + "hits").set(static_cast<double>(s.hits));
+  metrics_->gauge(prefix + "misses").set(static_cast<double>(s.misses));
+  metrics_->gauge(prefix + "outstanding")
+      .set(static_cast<double>(s.outstanding));
 }
 
 }  // namespace zdr::quicish

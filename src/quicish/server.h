@@ -17,9 +17,11 @@
 #include <vector>
 
 #include "metrics/metrics.h"
+#include "netcore/buffer_pool.h"
 #include "netcore/event_loop.h"
 #include "netcore/fd_guard.h"
 #include "netcore/socket.h"
+#include "netcore/udp_batch.h"
 #include "quicish/packet.h"
 
 namespace zdr::quicish {
@@ -90,12 +92,24 @@ class Server {
   void processDatagram(std::span<const std::byte> data,
                        const SocketAddr& from, size_t viaSocket);
   void reply(const Packet& p, const SocketAddr& to);
+  // Flush staged replies / user-space-forwarded strays (one sendmmsg
+  // each); called when a batch fills and at the end of each drain.
+  void flushReplies();
+  void flushForwards();
+  void publishPoolGauges();
   void bump(const char* name);
 
   EventLoop& loop_;
   Options opts_;
   MetricsRegistry* metrics_;
   SocketAddr vip_;
+  // Batched datagram plane: the pool must be declared before the
+  // batches, whose buffer handles release into it on destruction.
+  BufferPool pool_;
+  RecvBatch rxBatch_{pool_};
+  SendBatch replyBatch_{pool_};
+  SendBatch forwardBatch_{pool_};
+  Buffer encodeBuf_;  // per-reply scratch, reused across packets
   std::vector<UdpSocket> vipSocks_;
   UdpSocket forwardSock_;  // host-local address for user-space routing
   SocketAddr forwardPeer_{};

@@ -259,5 +259,52 @@ TEST(EventLoopTest, RemoveFdFromInsideItsOwnIoCallback) {
   EXPECT_EQ(invoked.load(), 1);
 }
 
+TEST(EventLoopTest, TimerBookkeepingDoesNotGrowUnderChurn) {
+  // Regression: cancelled far-future timers used to sit in both the
+  // heap and the alive map until their deadlines passed, and
+  // activeTimerCount() scanned the map linearly. Arm + cancel 10k
+  // retry-style timers: neither container may grow monotonically.
+  EventLoop loop;
+  loop.poll(Duration{0});  // adopt this thread as the loop thread
+  for (int i = 0; i < 10000; ++i) {
+    auto id = loop.runAfter(Duration{3600 * 1000}, [] {});
+    loop.cancelTimer(id);
+    EXPECT_LE(loop.pendingTimerEntries(), 128u);
+  }
+  EXPECT_EQ(loop.activeTimerCount(), 0u);
+  EXPECT_LE(loop.pendingTimerEntries(), 128u);
+
+  // 10k one-shots that actually fire must empty both containers. A
+  // fresh loop: the churn above legitimately leaves a few (<64) stale
+  // cancelled entries whose far-future deadlines never pop.
+  EventLoop loop2;
+  loop2.poll(Duration{0});
+  int fired = 0;
+  for (int i = 0; i < 10000; ++i) {
+    loop2.runAfter(Duration{0}, [&] { ++fired; });
+  }
+  EXPECT_EQ(loop2.activeTimerCount(), 10000u);
+  loop2.poll(Duration{5});
+  EXPECT_EQ(fired, 10000);
+  EXPECT_EQ(loop2.activeTimerCount(), 0u);
+  EXPECT_EQ(loop2.pendingTimerEntries(), 0u);
+
+  // Mixed churn: periodic survivors stay live while one-shot churn
+  // around them is armed and cancelled.
+  std::vector<EventLoop::TimerId> keep;
+  for (int i = 0; i < 10; ++i) {
+    keep.push_back(loop.runEvery(Duration{3600 * 1000}, [] {}));
+  }
+  for (int i = 0; i < 10000; ++i) {
+    loop.cancelTimer(loop.runAfter(Duration{3600 * 1000}, [] {}));
+  }
+  EXPECT_EQ(loop.activeTimerCount(), keep.size());
+  EXPECT_LE(loop.pendingTimerEntries(), 128u);
+  for (auto id : keep) {
+    loop.cancelTimer(id);
+  }
+  EXPECT_EQ(loop.activeTimerCount(), 0u);
+}
+
 }  // namespace
 }  // namespace zdr
