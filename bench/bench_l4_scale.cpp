@@ -1,0 +1,312 @@
+// Million-flow L4 plane: sharded flow tables + Othello stateless
+// lookup, head-to-head against Maglev + always-pinned LRU.
+//
+// Drives a HybridRouter directly (fabricated clock — no sleeping) with
+// >=1M live flows in full mode, through backend add/remove rounds and
+// rolling ZDR takeover rounds. Each mode runs the same churn schedule
+// on the same flow population:
+//
+//   * othello_hybrid — stateless Othello default, flows promoted into
+//     the per-worker shard only around churn, demoted after quiescence
+//     (this PR's policy);
+//   * maglev_lru     — the ZDR_NO_STATELESS_LOOKUP fallback: Maglev
+//     pick + always-on LRU pin for every flow (the pre-PR §5.1 path).
+//
+// Reported per cell: steady-state lookup ns (p50/p99 over 128-lookup
+// batches — single route() calls are below clock resolution), live
+// routing-state bytes per flow (pinned 24 B slots + the active
+// stateless arrays; the reserved slab is reported separately), and the
+// misroute rate — a misroute is a flow that lands on a new backend
+// while its previous backend is still in the set. The acceptance bar
+// is zero misroutes through every churn + takeover round.
+//
+// Emits BENCH_l4_scale.json; CI gates on the committed baseline via
+// scripts/check_bench_regression.py --gate.
+//
+// Usage: bench_l4_scale [--smoke]
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "l4lb/hashing.h"
+#include "l4lb/hybrid_router.h"
+#include "l4lb/othello_map.h"
+#include "metrics/hdr_histogram.h"
+
+using namespace zdr;
+using namespace zdr::l4lb;
+
+namespace {
+
+constexpr size_t kLookupBatch = 128;
+
+struct Config {
+  size_t flows;
+  size_t shards;
+  size_t backends;
+  size_t churnRounds;  // alternating remove/add
+  size_t zdrRounds;    // takeover windows, set unchanged
+};
+
+struct Cell {
+  std::string mode;
+  Config cfg{};
+  double lookupP50Ns = 0;
+  double lookupP99Ns = 0;
+  double bytesPerFlow = 0;     // live routing state / live flows
+  double misrouteRate = 0;     // misroutes / routes checked under churn
+  uint64_t misroutes = 0;
+  uint64_t routesChecked = 0;
+  size_t pinnedAfterSweep = 0;
+  size_t tableSlabBytes = 0;   // reserved flow-table slots (both modes)
+  uint64_t promotions = 0;
+  uint64_t demotions = 0;
+  uint64_t othelloRebuilds = 0;
+};
+
+std::vector<std::string> backendSet(size_t n) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back("srv" + std::to_string(i));
+  }
+  return out;
+}
+
+// Re-routes every flow after a churn event, counting flows that moved
+// off a still-live backend, and re-homes the victims' records.
+void checkFlows(HybridRouter& router, std::vector<uint64_t>& keys,
+                std::vector<uint32_t>& owner, TimePoint now, Cell& cell) {
+  for (size_t i = 0; i < keys.size(); ++i) {
+    auto id = router.route(keys[i], now);
+    ++cell.routesChecked;
+    if (!id) {
+      ++cell.misroutes;  // a live flow must always route somewhere
+      continue;
+    }
+    if (*id != owner[i] && router.live(owner[i])) {
+      ++cell.misroutes;
+    }
+    owner[i] = *id;
+  }
+}
+
+Cell runCell(const std::string& mode, const Config& cfg) {
+  Cell cell;
+  cell.mode = mode;
+  cell.cfg = cfg;
+  setStatelessLookupEnabled(mode == "othello_hybrid");
+
+  HybridRouter::Options opts;
+  opts.shards = cfg.shards;
+  // 25% headroom over a perfectly even split so the multinomial shard
+  // imbalance at 1M keys can never force an eviction mid-bulk-pin.
+  opts.flowCapacityPerShard = (cfg.flows / cfg.shards) * 5 / 4;
+  opts.churnWindow = Duration{2000};
+  HybridRouter router(opts);
+
+  TimePoint now = Clock::now();
+  std::vector<std::string> live = backendSet(cfg.backends);
+  router.setBackends(live, now);
+
+  // Establish the flow population inside the initial window (first
+  // packets of fresh flows). mix64 is bijective: distinct keys.
+  std::vector<uint64_t> keys(cfg.flows);
+  std::vector<uint32_t> owner(cfg.flows);
+  for (size_t i = 0; i < cfg.flows; ++i) {
+    keys[i] = mix64(0x10000 + i);
+    owner[i] = *router.route(keys[i], now);
+  }
+  // Reach quiescence: window closes, hybrid mode demotes the
+  // everything-agrees pins back to zero state.
+  now += Duration{10000};
+  router.maintain(now);
+
+  size_t nextBackend = cfg.backends;
+  auto churn = [&](bool add) {
+    // The owner (forwarder) bulk-pins every live flow to its current
+    // backend BEFORE the rebuild swaps the lookup planes.
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (router.live(owner[i])) {
+        router.pin(keys[i], owner[i]);
+      }
+    }
+    if (add) {
+      live.push_back("srv" + std::to_string(nextBackend++));
+    } else {
+      live.erase(live.begin() + static_cast<long>(live.size() / 2));
+    }
+    router.setBackends(live, now);
+    checkFlows(router, keys, owner, now + Duration{1}, cell);
+    now += Duration{10000};
+    router.maintain(now);  // quiescence: demotion sweep
+  };
+
+  for (size_t r = 0; r < cfg.churnRounds; ++r) {
+    churn(/*add=*/(r & 1) != 0);
+  }
+
+  // Rolling ZDR: the backend set is identical but routing state is
+  // momentarily untrustworthy, so the forwarder pins and arms the
+  // window exactly as it does for a set change.
+  for (size_t r = 0; r < cfg.zdrRounds; ++r) {
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (router.live(owner[i])) {
+        router.pin(keys[i], owner[i]);
+      }
+    }
+    router.openChurnWindow(now);
+    checkFlows(router, keys, owner, now + Duration{1}, cell);
+    now += Duration{10000};
+    router.maintain(now);
+  }
+
+  // Steady-state lookup latency at quiescence, over a key sample.
+  HdrHistogram perLookupNs;
+  const size_t sample = std::min(keys.size(), size_t{1} << 17);
+  for (size_t base = 0; base + kLookupBatch <= sample;
+       base += kLookupBatch) {
+    auto t0 = std::chrono::steady_clock::now();
+    uint64_t sink = 0;
+    for (size_t i = base; i < base + kLookupBatch; ++i) {
+      sink += *router.route(keys[i], now);
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    // Keep the routed ids observable so the loop cannot be elided.
+    volatile uint64_t guard = sink;
+    (void)guard;
+    double ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+    perLookupNs.record(ns / static_cast<double>(kLookupBatch));
+  }
+  cell.lookupP50Ns = perLookupNs.quantile(0.5);
+  cell.lookupP99Ns = perLookupNs.quantile(0.99);
+
+  cell.misrouteRate =
+      cell.routesChecked == 0
+          ? 0.0
+          : static_cast<double>(cell.misroutes) /
+                static_cast<double>(cell.routesChecked);
+  cell.pinnedAfterSweep = router.pinnedFlows();
+  cell.tableSlabBytes = router.flowTable().memoryBytes();
+  // Live routing state: occupied 24 B slots, plus the stateless arrays
+  // when they are the active plane. The reserved slab is the same in
+  // both modes and reported separately (table_slab_bytes).
+  double liveState =
+      static_cast<double>(router.pinnedFlows()) *
+          static_cast<double>(sizeof(FlowTable::Entry)) +
+      (mode == "othello_hybrid"
+           ? static_cast<double>(router.othello().memoryBytes())
+           : 0.0);
+  cell.bytesPerFlow = liveState / static_cast<double>(cfg.flows);
+  cell.promotions = router.promotions();
+  cell.demotions = router.demotions();
+  cell.othelloRebuilds = router.othello().rebuilds();
+  return cell;
+}
+
+void writeJson(const std::vector<Cell>& cells, const char* path) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"l4_scale\",\n  \"smoke\": "
+      << (bench::smokeMode() ? "true" : "false") << ",\n  \"cells\": [\n";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    out << "    {\"mode\": \"" << c.mode << "\""
+        << ", \"flows\": " << c.cfg.flows
+        << ", \"shards\": " << c.cfg.shards
+        << ", \"backends\": " << c.cfg.backends
+        << ", \"churn_rounds\": " << c.cfg.churnRounds
+        << ", \"zdr_rounds\": " << c.cfg.zdrRounds
+        << ", \"lookup_p50_ns\": " << c.lookupP50Ns
+        << ", \"lookup_p99_ns\": " << c.lookupP99Ns
+        << ", \"bytes_per_flow\": " << c.bytesPerFlow
+        << ", \"misroute_rate\": " << c.misrouteRate
+        << ", \"misroutes\": " << c.misroutes
+        << ", \"routes_checked\": " << c.routesChecked
+        << ", \"pinned_after_sweep\": " << c.pinnedAfterSweep
+        << ", \"table_slab_bytes\": " << c.tableSlabBytes
+        << ", \"promotions\": " << c.promotions
+        << ", \"demotions\": " << c.demotions
+        << ", \"othello_rebuilds\": " << c.othelloRebuilds << "}"
+        << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      ::setenv("ZDR_BENCH_SMOKE", "1", 1);
+    }
+  }
+
+  bench::banner(
+      "Million-flow L4 plane — Othello hybrid vs Maglev+LRU under churn",
+      "stateless lookup needs zero bytes of per-flow state at "
+      "quiescence and still misroutes nothing through backend churn "
+      "and rolling ZDR takeover");
+
+  Config cfg;
+  cfg.flows = bench::scaled<size_t>(size_t{1} << 20, size_t{1} << 15);
+  cfg.shards = bench::scaled<size_t>(4, 2);
+  cfg.backends = bench::scaled<size_t>(64, 16);
+  cfg.churnRounds = bench::scaled<size_t>(8, 2);
+  cfg.zdrRounds = bench::scaled<size_t>(4, 1);
+
+  const bool origStateless = statelessLookupEnabled();
+  std::vector<Cell> cells;
+  for (const char* mode : {"othello_hybrid", "maglev_lru"}) {
+    cells.push_back(runCell(mode, cfg));
+    const Cell& c = cells.back();
+    std::printf(
+        "%-14s  lookup p50 %7.1f ns  p99 %7.1f ns  %8.3f B/flow"
+        "  misroutes %llu/%llu  pinned-after-sweep %zu\n",
+        c.mode.c_str(), c.lookupP50Ns, c.lookupP99Ns, c.bytesPerFlow,
+        static_cast<unsigned long long>(c.misroutes),
+        static_cast<unsigned long long>(c.routesChecked),
+        c.pinnedAfterSweep);
+  }
+  setStatelessLookupEnabled(origStateless);
+
+  bench::section("trajectory");
+  const Cell& oth = cells[0];
+  const Cell& mag = cells[1];
+  if (oth.bytesPerFlow > 0) {
+    bench::row("state bytes/flow reduction, othello vs maglev+lru",
+               mag.bytesPerFlow / oth.bytesPerFlow, "x");
+  }
+  bench::row("live flows sustained", static_cast<double>(cfg.flows), "");
+
+  writeJson(cells, "BENCH_l4_scale.json");
+  std::printf("\nwrote BENCH_l4_scale.json\n");
+
+  // Acceptance gates (structural — hold under --smoke too).
+  if (!bench::smokeMode() && cfg.flows < (size_t{1} << 20)) {
+    std::fprintf(stderr, "error: full mode must sustain >=1M flows\n");
+    return 1;
+  }
+  for (const Cell& c : cells) {
+    if (c.misroutes != 0) {
+      std::fprintf(stderr,
+                   "error: %s misrouted %llu flows during churn/ZDR\n",
+                   c.mode.c_str(),
+                   static_cast<unsigned long long>(c.misroutes));
+      return 1;
+    }
+  }
+  if (oth.bytesPerFlow >= mag.bytesPerFlow) {
+    std::fprintf(stderr,
+                 "error: othello_hybrid (%f B/flow) did not beat "
+                 "maglev_lru (%f B/flow)\n",
+                 oth.bytesPerFlow, mag.bytesPerFlow);
+    return 1;
+  }
+  return 0;
+}

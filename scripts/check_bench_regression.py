@@ -43,6 +43,14 @@ METRICS = {
     "datagrams_per_sec": (+1, 5000.0),
     "syscalls_per_datagram": (-1, 0.05),
     "p99_burst_ms": (-1, 1.0),
+    # Million-flow L4 plane (bench_l4_scale). The latency floor is wide
+    # because single-lookup nanoseconds vary with runner CPU; a 10x
+    # blowup still trips it. bytes/flow is structural (slot size times
+    # pin count) and misroute_rate is zero-policed: the baseline is 0
+    # by construction, so ANY misroute during churn fails the gate.
+    "lookup_p99_ns": (-1, 250.0),
+    "bytes_per_flow": (-1, 2.0),
+    "misroute_rate": (-1, 0.0),
 }
 
 
@@ -56,6 +64,9 @@ def cell_key(cell):
         cell.get("tracing", True),
         cell.get("udp_workers"),
         cell.get("batched"),
+        cell.get("mode"),
+        cell.get("flows"),
+        cell.get("shards"),
     )
 
 
@@ -72,6 +83,12 @@ def cell_label(cell):
         parts.append(f"udp_workers={key[3]}")
     if key[4] is not None:
         parts.append(f"batched={'on' if key[4] else 'off'}")
+    if key[5] is not None:
+        parts.append(f"mode={key[5]}")
+    if key[6] is not None:
+        parts.append(f"flows={key[6]}")
+    if key[7] is not None:
+        parts.append(f"shards={key[7]}")
     return " ".join(parts) or "cell"
 
 

@@ -21,7 +21,10 @@ done
 
 if [ "$SMOKE" = 1 ]; then
   export ZDR_BENCH_SMOKE=1
-  PATTERN="$BUILD/bench/bench_fig*"
+  # Figure benches plus the scale bench: bench_l4_scale self-scales via
+  # ZDR_BENCH_SMOKE (32k flows instead of 1M) and its misroute gate is
+  # structural, so the smoke pass still verifies correctness-under-churn.
+  PATTERN="$BUILD/bench/bench_fig* $BUILD/bench/bench_l4_scale"
 else
   PATTERN="$BUILD/bench/*"
 fi

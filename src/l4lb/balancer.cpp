@@ -13,6 +13,25 @@ struct L4Balancer::Flow : std::enable_shared_from_this<L4Balancer::Flow> {
   Buffer pendingClientData;  // bytes read before the backend connected
 };
 
+namespace {
+
+HybridRouter::Options routerOptions(const L4Balancer::Options& opts) {
+  HybridRouter::Options ro;
+  ro.fallback = opts.hash == L4Balancer::HashKind::kMaglev
+                    ? HybridRouter::FallbackHash::kMaglev
+                    : HybridRouter::FallbackHash::kRing;
+  ro.shards = opts.flowShards;
+  ro.flowCapacityPerShard =
+      opts.flowShards > 0 ? opts.connTableCapacity / opts.flowShards
+                          : opts.connTableCapacity;
+  ro.churnWindow = opts.churnWindow;
+  ro.useFlowTable = opts.useConnTable;
+  ro.metricsPrefix = "l4.";
+  return ro;
+}
+
+}  // namespace
+
 L4Balancer::L4Balancer(EventLoop& loop, const SocketAddr& vip,
                        std::vector<BackendTarget> backends, Options opts,
                        MetricsRegistry* metrics)
@@ -20,10 +39,7 @@ L4Balancer::L4Balancer(EventLoop& loop, const SocketAddr& vip,
       opts_(opts),
       metrics_(metrics),
       backends_(std::move(backends)),
-      connTable_(opts.connTableCapacity) {
-  hash_ = opts_.hash == HashKind::kMaglev
-              ? std::unique_ptr<ConsistentHash>(std::make_unique<MaglevHash>())
-              : std::make_unique<RingHash>();
+      router_(routerOptions(opts), metrics) {
   health_ = std::make_unique<HealthChecker>(
       loop_, backends_, opts_.health, [this] { rebuildHealthySet(); },
       metrics_);
@@ -31,9 +47,11 @@ L4Balancer::L4Balancer(EventLoop& loop, const SocketAddr& vip,
       loop_, TcpListener(vip),
       [this](TcpSocket sock) { onAccept(std::move(sock)); });
   rebuildHealthySet();
+  maintainTimer_ = loop_.runEvery(Duration{500},
+                                  [this] { router_.maintain(Clock::now()); });
 }
 
-L4Balancer::~L4Balancer() = default;
+L4Balancer::~L4Balancer() { loop_.cancelTimer(maintainTimer_); }
 
 void L4Balancer::bump(const std::string& name) {
   if (metrics_) {
@@ -49,6 +67,8 @@ void L4Balancer::setBackends(std::vector<BackendTarget> backends) {
   rebuildHealthySet();
 }
 
+void L4Balancer::noteTakeover() { router_.openChurnWindow(Clock::now()); }
+
 void L4Balancer::rebuildHealthySet() {
   healthy_ = health_->healthyTargets();
   std::vector<std::string> names;
@@ -56,31 +76,26 @@ void L4Balancer::rebuildHealthySet() {
   for (const auto& t : healthy_) {
     names.push_back(t.name);
   }
-  hash_->rebuild(names);
+  // Every healthy-set change is a churn event: the router rebuilds
+  // both lookup planes and arms first-packet promotion so flows that
+  // arrive during the flap get pinned (§5.1).
+  router_.setBackends(names, Clock::now());
 }
 
 const BackendTarget* L4Balancer::chooseBackend(uint64_t flowKey) {
-  // LRU pin first: absorbs momentary shuffles in the healthy set.
-  if (opts_.useConnTable) {
-    if (auto pinned = connTable_.lookup(flowKey)) {
-      for (const auto& t : healthy_) {
-        if (t.name == *pinned) {
-          return &t;
-        }
-      }
-      // Pinned backend no longer healthy: fall through to re-hash.
-      connTable_.erase(flowKey);
-    }
-  }
-  auto idx = hash_->pick(flowKey);
-  if (!idx) {
+  auto id = router_.route(flowKey, Clock::now());
+  if (!id) {
     return nullptr;
   }
-  const BackendTarget& target = healthy_[*idx];
-  if (opts_.useConnTable) {
-    connTable_.insert(flowKey, target.name);
+  const std::string& name = router_.nameOf(*id);
+  for (const auto& t : healthy_) {
+    if (t.name == name) {
+      return &t;
+    }
   }
-  return &target;
+  // The router only returns live ids, so a miss here means healthy_
+  // changed mid-call — treat as no backend rather than misroute.
+  return nullptr;
 }
 
 void L4Balancer::onAccept(TcpSocket sock) {

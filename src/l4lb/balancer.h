@@ -1,10 +1,13 @@
 // Katran-model L4 load balancer (userspace reproduction).
 //
 // Accepts flows on a VIP and forwards them to L7 backends chosen by
-// consistent hashing over the *healthy* set, optionally pinned by the
-// LRU connection table so momentary health flaps do not re-route
-// established flows (§5.1). Operates at connection granularity — the
-// userspace analogue of Katran's per-packet XDP forwarding.
+// the hybrid router: Othello-style stateless lookup by default, with
+// flows promoted into a per-worker flow-table shard during backend
+// churn windows and ZDR takeover so momentary health flaps do not
+// re-route established flows (§5.1). ZDR_NO_STATELESS_LOOKUP=1 falls
+// back to consistent hashing plus an always-on LRU pin — the pre-PR
+// behavior. Operates at connection granularity — the userspace
+// analogue of Katran's per-packet XDP forwarding.
 #pragma once
 
 #include <memory>
@@ -12,9 +15,8 @@
 #include <string>
 #include <vector>
 
-#include "l4lb/conn_table.h"
-#include "l4lb/consistent_hash.h"
 #include "l4lb/health.h"
+#include "l4lb/hybrid_router.h"
 #include "metrics/metrics.h"
 #include "netcore/connection.h"
 
@@ -28,6 +30,10 @@ class L4Balancer {
     HashKind hash = HashKind::kMaglev;
     bool useConnTable = true;
     size_t connTableCapacity = 4096;
+    // Flow-table shards (per-worker in a sharded deployment).
+    size_t flowShards = 1;
+    // Promotion stays armed this long after a backend-set change.
+    Duration churnWindow = Duration{2000};
     HealthChecker::Options health{};
   };
 
@@ -40,11 +46,15 @@ class L4Balancer {
 
   [[nodiscard]] SocketAddr vip() const { return acceptor_->localAddr(); }
   [[nodiscard]] HealthChecker& health() noexcept { return *health_; }
-  [[nodiscard]] ConnTable& connTable() noexcept { return connTable_; }
+  [[nodiscard]] HybridRouter& router() noexcept { return router_; }
   [[nodiscard]] size_t activeFlows() const noexcept { return flows_.size(); }
 
   // Replaces the backend set (e.g. cluster resize in experiments).
   void setBackends(std::vector<BackendTarget> backends);
+
+  // ZDR takeover hook: opens a churn window so flows arriving while
+  // the serving processes swap get pinned.
+  void noteTakeover();
 
  private:
   struct Flow;
@@ -59,12 +69,12 @@ class L4Balancer {
   Options opts_;
   MetricsRegistry* metrics_;
   std::vector<BackendTarget> backends_;
-  std::unique_ptr<ConsistentHash> hash_;
   std::vector<BackendTarget> healthy_;
-  ConnTable connTable_;
+  HybridRouter router_;
   std::unique_ptr<HealthChecker> health_;
   std::unique_ptr<Acceptor> acceptor_;
   std::set<std::shared_ptr<Flow>> flows_;
+  EventLoop::TimerId maintainTimer_ = 0;
 };
 
 }  // namespace zdr::l4lb

@@ -7,6 +7,11 @@
 //
 // Keys are flow hashes (4-tuple derived); values are backend names so
 // an entry stays valid across consistent-hash rebuilds.
+//
+// Retained as the reference LRU for the §5.1 ablation and tests; the
+// routing hot path now runs on the compact sharded FlowTable behind
+// HybridRouter (see flow_table.h) — this node-based version costs
+// ~150+ heap bytes per flow against FlowTable's 24-byte flat slots.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +19,8 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+
+#include "metrics/metrics.h"
 
 namespace zdr::l4lb {
 
@@ -33,6 +40,10 @@ class ConnTable {
     return it->second->second;
   }
 
+  // Ordering contract (churn-regression audited): the existing-key
+  // check ALWAYS precedes eviction, so refreshing a pinned flow can
+  // never push another flow out; eviction runs only on the miss path,
+  // and only as long as the table is actually over budget.
   void insert(uint64_t flowKey, std::string backend) {
     auto it = index_.find(flowKey);
     if (it != index_.end()) {
@@ -40,7 +51,10 @@ class ConnTable {
       order_.splice(order_.begin(), order_, it->second);
       return;
     }
-    if (index_.size() >= capacity_ && !order_.empty()) {
+    if (capacity_ == 0) {
+      return;  // a zero-capacity table pins nothing — never evict-thrash
+    }
+    while (index_.size() >= capacity_ && !order_.empty()) {
       index_.erase(order_.back().first);
       order_.pop_back();
       ++evictions_;
@@ -62,6 +76,18 @@ class ConnTable {
   [[nodiscard]] uint64_t hits() const noexcept { return hits_; }
   [[nodiscard]] uint64_t misses() const noexcept { return misses_; }
   [[nodiscard]] uint64_t evictions() const noexcept { return evictions_; }
+
+  // The hits/misses/evictions counters were recorded but never left
+  // the table; publish them like ShardedFlowTable::exportTo does, so
+  // either table flavor lands under `<prefix>shard<i>.*` in /__stats.
+  void exportTo(MetricsRegistry& m, const std::string& prefix,
+                size_t shardIdx = 0) const {
+    std::string base = prefix + "shard" + std::to_string(shardIdx);
+    m.gauge(base + ".hits").set(static_cast<double>(hits_));
+    m.gauge(base + ".misses").set(static_cast<double>(misses_));
+    m.gauge(base + ".evictions").set(static_cast<double>(evictions_));
+    m.gauge(base + ".size").set(static_cast<double>(index_.size()));
+  }
 
  private:
   size_t capacity_;

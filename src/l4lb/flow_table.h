@@ -1,0 +1,348 @@
+// Compact per-worker flow table: flat open-addressing hash table with
+// an intrusive LRU threaded through the slots.
+//
+// This replaces the string-valued std::list + unordered_map ConnTable
+// on the routing hot path. At production scale (§5.1 pins millions of
+// flows during a release) the node-based LRU costs ~150+ bytes and two
+// pointer chases per flow; a slot here is 24 bytes flat
+// (key + 2×32-bit LRU links + interned backend id), the probe sequence
+// is cache-linear, and eviction is O(1) off the LRU tail. One shard is
+// single-owner (no locks): workers each own a shard, selected by flow
+// key bits — see ShardedFlowTable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "metrics/metrics.h"
+
+namespace zdr::l4lb {
+
+class FlowTable {
+ public:
+  static constexpr uint32_t kNil = 0xffffffffu;
+
+  struct Entry {
+    uint64_t key;
+    uint32_t prev;     // LRU links: slot indices, kNil at the ends
+    uint32_t next;
+    uint16_t backend;  // interned backend id (stable across rebuilds)
+    uint8_t state;     // kEmpty | kOccupied | kTombstone
+    uint8_t pad;
+  };
+  static_assert(sizeof(Entry) == 24, "bytes/flow budget: 24B per slot");
+
+  // `capacity` is the flow count the table holds before LRU eviction;
+  // the slot array is sized so load factor stays <= ~0.75.
+  explicit FlowTable(size_t capacity)
+      : capacity_(capacity), slots_(slotCountFor(capacity)) {
+    mask_ = slots_.size() - 1;
+  }
+
+  // Returns the pinned backend id, refreshing recency.
+  std::optional<uint16_t> lookup(uint64_t key) {
+    size_t idx = findOccupied(key);
+    if (idx == kNotFound) {
+      ++misses_;
+      return std::nullopt;
+    }
+    ++hits_;
+    moveToFront(static_cast<uint32_t>(idx));
+    return slots_[idx].backend;
+  }
+
+  // Lookup without touching recency or hit/miss counters.
+  [[nodiscard]] std::optional<uint16_t> peek(uint64_t key) const {
+    size_t idx = findOccupied(key);
+    if (idx == kNotFound) {
+      return std::nullopt;
+    }
+    return slots_[idx].backend;
+  }
+
+  void insert(uint64_t key, uint16_t backend) {
+    if (capacity_ == 0) {
+      return;  // a zero-capacity table pins nothing, ever
+    }
+    size_t existing = findOccupied(key);
+    if (existing != kNotFound) {
+      // Update path: never evicts — refreshing a pinned flow must not
+      // push another flow out.
+      slots_[existing].backend = backend;
+      moveToFront(static_cast<uint32_t>(existing));
+      return;
+    }
+    // Miss path: make room *before* placing so size_ never exceeds
+    // capacity_ (the while handles the degenerate over-capacity state
+    // rather than assuming a single eviction restores the invariant).
+    while (size_ >= capacity_ && tail_ != kNil) {
+      evictTail();
+    }
+    placeNew(key, backend);
+    // Eviction churn leaves a tombstone per replaced flow; without
+    // this the probe chains of a steadily-full table degrade to O(n).
+    maybeRehash();
+  }
+
+  bool erase(uint64_t key) {
+    size_t idx = findOccupied(key);
+    if (idx == kNotFound) {
+      return false;
+    }
+    removeAt(static_cast<uint32_t>(idx));
+    maybeRehash();
+    return true;
+  }
+
+  // Removes every entry for which pred(key, backend) is true; returns
+  // how many were removed. Used by the hybrid policy's demotion sweep.
+  size_t eraseIf(const std::function<bool(uint64_t, uint16_t)>& pred) {
+    // Collect first: removal can trigger a tombstone rehash, which
+    // relocates slots and would invalidate a live LRU walk.
+    std::vector<uint64_t> doomed;
+    for (uint32_t i = head_; i != kNil; i = slots_[i].next) {
+      if (pred(slots_[i].key, slots_[i].backend)) {
+        doomed.push_back(slots_[i].key);
+      }
+    }
+    for (uint64_t key : doomed) {
+      erase(key);
+    }
+    return doomed.size();
+  }
+
+  void clear() {
+    for (auto& e : slots_) {
+      e.state = kEmpty;
+    }
+    head_ = tail_ = kNil;
+    size_ = 0;
+    tombstones_ = 0;
+  }
+
+  [[nodiscard]] size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] uint64_t evictions() const noexcept { return evictions_; }
+  [[nodiscard]] size_t memoryBytes() const noexcept {
+    return slots_.size() * sizeof(Entry);
+  }
+
+  // LRU order, most-recent first (test introspection).
+  [[nodiscard]] std::vector<uint64_t> lruKeys() const {
+    std::vector<uint64_t> out;
+    out.reserve(size_);
+    for (uint32_t i = head_; i != kNil; i = slots_[i].next) {
+      out.push_back(slots_[i].key);
+    }
+    return out;
+  }
+
+ private:
+  static constexpr uint8_t kEmpty = 0;
+  static constexpr uint8_t kOccupied = 1;
+  static constexpr uint8_t kTombstone = 2;
+  static constexpr size_t kNotFound = static_cast<size_t>(-1);
+
+  static size_t slotCountFor(size_t capacity) {
+    // Slots >= capacity / 0.75, rounded to a power of two, floor 8.
+    size_t want = capacity + capacity / 3 + 1;
+    size_t n = 8;
+    while (n < want) {
+      n <<= 1;
+    }
+    return n;
+  }
+
+  [[nodiscard]] size_t findOccupied(uint64_t key) const {
+    // Callers hash their flow keys (mix64 of the 4-tuple), so the key
+    // itself is the probe start. Tombstones are skipped; an empty slot
+    // terminates the probe chain.
+    size_t i = key & mask_;
+    for (size_t probes = 0; probes <= mask_; ++probes) {
+      const Entry& e = slots_[i];
+      if (e.state == kEmpty) {
+        return kNotFound;
+      }
+      if (e.state == kOccupied && e.key == key) {
+        return i;
+      }
+      i = (i + 1) & mask_;
+    }
+    return kNotFound;
+  }
+
+  void placeNew(uint64_t key, uint16_t backend) {
+    size_t i = key & mask_;
+    while (slots_[i].state == kOccupied) {
+      i = (i + 1) & mask_;
+    }
+    if (slots_[i].state == kTombstone) {
+      --tombstones_;
+    }
+    Entry& e = slots_[i];
+    e.key = key;
+    e.backend = backend;
+    e.state = kOccupied;
+    linkFront(static_cast<uint32_t>(i));
+    ++size_;
+  }
+
+  void linkFront(uint32_t idx) {
+    slots_[idx].prev = kNil;
+    slots_[idx].next = head_;
+    if (head_ != kNil) {
+      slots_[head_].prev = idx;
+    }
+    head_ = idx;
+    if (tail_ == kNil) {
+      tail_ = idx;
+    }
+  }
+
+  void unlink(uint32_t idx) {
+    Entry& e = slots_[idx];
+    if (e.prev != kNil) {
+      slots_[e.prev].next = e.next;
+    } else {
+      head_ = e.next;
+    }
+    if (e.next != kNil) {
+      slots_[e.next].prev = e.prev;
+    } else {
+      tail_ = e.prev;
+    }
+  }
+
+  void moveToFront(uint32_t idx) {
+    if (head_ == idx) {
+      return;
+    }
+    unlink(idx);
+    linkFront(idx);
+  }
+
+  void removeAt(uint32_t idx) {
+    unlink(idx);
+    slots_[idx].state = kTombstone;
+    ++tombstones_;
+    --size_;
+  }
+
+  void evictTail() {
+    removeAt(tail_);  // caller guarantees tail_ != kNil
+    ++evictions_;
+  }
+
+  void maybeRehash() {
+    // Tombstones lengthen every probe chain; past a quarter of the
+    // table, rebuild in place (same slot count — occupancy is bounded
+    // by capacity, not tombstone debris).
+    if (tombstones_ <= slots_.size() / 4) {
+      return;
+    }
+    std::vector<Entry> old = std::move(slots_);
+    uint32_t oldHead = head_;
+    slots_.assign(old.size(), Entry{});
+    head_ = tail_ = kNil;
+    size_ = 0;
+    tombstones_ = 0;
+    // Walk the old list MRU→LRU, appending each entry at the new tail,
+    // so recency order survives the rebuild exactly.
+    uint32_t prevNew = kNil;
+    for (uint32_t i = oldHead; i != kNil; i = old[i].next) {
+      size_t j = old[i].key & mask_;
+      while (slots_[j].state == kOccupied) {
+        j = (j + 1) & mask_;
+      }
+      Entry& e = slots_[j];
+      e.key = old[i].key;
+      e.backend = old[i].backend;
+      e.state = kOccupied;
+      e.prev = prevNew;
+      e.next = kNil;
+      if (prevNew != kNil) {
+        slots_[prevNew].next = static_cast<uint32_t>(j);
+      } else {
+        head_ = static_cast<uint32_t>(j);
+      }
+      tail_ = static_cast<uint32_t>(j);
+      prevNew = static_cast<uint32_t>(j);
+      ++size_;
+    }
+  }
+
+  size_t capacity_;
+  std::vector<Entry> slots_;
+  size_t mask_ = 0;
+  uint32_t head_ = kNil;  // MRU
+  uint32_t tail_ = kNil;  // LRU (eviction victim)
+  size_t size_ = 0;
+  size_t tombstones_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+// N independent FlowTable shards. Shard choice uses high key bits (the
+// low bits drive the probe start and the stateless bucket choice), so
+// workers that own disjoint shards never contend — there are no locks
+// anywhere in this file by design.
+class ShardedFlowTable {
+ public:
+  ShardedFlowTable(size_t shards, size_t capacityPerShard) {
+    shards_.reserve(shards == 0 ? 1 : shards);
+    for (size_t i = 0; i < (shards == 0 ? 1 : shards); ++i) {
+      shards_.emplace_back(capacityPerShard);
+    }
+  }
+
+  [[nodiscard]] size_t shardFor(uint64_t key) const noexcept {
+    return (key >> 32) % shards_.size();
+  }
+  [[nodiscard]] FlowTable& shardOf(uint64_t key) {
+    return shards_[shardFor(key)];
+  }
+  [[nodiscard]] FlowTable& shard(size_t i) { return shards_[i]; }
+  [[nodiscard]] const FlowTable& shard(size_t i) const { return shards_[i]; }
+  [[nodiscard]] size_t shardCount() const noexcept { return shards_.size(); }
+
+  [[nodiscard]] size_t size() const noexcept {
+    size_t n = 0;
+    for (const auto& s : shards_) {
+      n += s.size();
+    }
+    return n;
+  }
+  [[nodiscard]] size_t memoryBytes() const noexcept {
+    size_t n = 0;
+    for (const auto& s : shards_) {
+      n += s.memoryBytes();
+    }
+    return n;
+  }
+
+  // Publishes per-shard counters as `<prefix>shard<i>.hits` / `.misses`
+  // / `.evictions` / `.size` gauges — the ConnTable counted these but
+  // never exported them; every shard now lands in /__stats.
+  void exportTo(MetricsRegistry& m, const std::string& prefix) const {
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      const FlowTable& s = shards_[i];
+      std::string base = prefix + "shard" + std::to_string(i);
+      m.gauge(base + ".hits").set(static_cast<double>(s.hits()));
+      m.gauge(base + ".misses").set(static_cast<double>(s.misses()));
+      m.gauge(base + ".evictions").set(static_cast<double>(s.evictions()));
+      m.gauge(base + ".size").set(static_cast<double>(s.size()));
+    }
+  }
+
+ private:
+  std::vector<FlowTable> shards_;
+};
+
+}  // namespace zdr::l4lb

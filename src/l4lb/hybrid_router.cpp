@@ -1,0 +1,195 @@
+#include "l4lb/hybrid_router.h"
+
+#include <algorithm>
+
+namespace zdr::l4lb {
+
+HybridRouter::HybridRouter(Options opts, MetricsRegistry* metrics)
+    : opts_(std::move(opts)),
+      metrics_(metrics),
+      tables_(opts_.shards, opts_.flowCapacityPerShard),
+      othello_(opts_.othello) {
+  fallback_ = opts_.fallback == FallbackHash::kMaglev
+                  ? std::unique_ptr<ConsistentHash>(
+                        std::make_unique<MaglevHash>())
+                  : std::make_unique<RingHash>();
+}
+
+uint32_t HybridRouter::intern(const std::string& name) {
+  auto it = idByName_.find(name);
+  if (it != idByName_.end()) {
+    return it->second;
+  }
+  if (names_.size() >= 0xffff) {
+    // The flow table stores 16-bit ids. A router that has seen 65535
+    // distinct backend names over its lifetime restarts interning:
+    // flush every pin (they reference recycled ids) and start clean.
+    // Churn at that scale means the pins were stale anyway.
+    for (size_t i = 0; i < tables_.shardCount(); ++i) {
+      tables_.shard(i).clear();
+    }
+    names_.clear();
+    idByName_.clear();
+    liveById_.clear();
+  }
+  uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.push_back(name);
+  idByName_.emplace(name, id);
+  liveById_.push_back(0);
+  return id;
+}
+
+void HybridRouter::setBackends(const std::vector<std::string>& names,
+                               TimePoint now) {
+  std::fill(liveById_.begin(), liveById_.end(), 0);
+  idByIdx_.clear();
+  idByIdx_.reserve(names.size());
+  for (const auto& n : names) {
+    uint32_t id = intern(n);
+    idByIdx_.push_back(id);
+    liveById_[id] = 1;
+  }
+  // Rebuild both planes off the hot path, then arm the churn window so
+  // first-packet promotion covers flows the owner could not bulk-pin.
+  othello_.rebuild(names);
+  fallback_->rebuild(names);
+  openChurnWindow(now);
+}
+
+void HybridRouter::openChurnWindow(TimePoint now) {
+  windowArmed_ = true;
+  windowEnd_ = now + opts_.churnWindow;
+  sweepPending_ = true;
+  ++churnWindows_;
+}
+
+std::optional<uint32_t> HybridRouter::statelessPick(uint64_t key) const {
+  auto idx = othello_.pick(key);
+  if (!idx) {
+    return std::nullopt;
+  }
+  return idByIdx_[*idx];
+}
+
+std::optional<uint32_t> HybridRouter::fallbackPick(uint64_t key) const {
+  auto idx = fallback_->pick(key);
+  if (!idx) {
+    return std::nullopt;
+  }
+  return idByIdx_[*idx];
+}
+
+std::optional<uint32_t> HybridRouter::route(uint64_t key, TimePoint now) {
+  const bool stateless = statelessLookupEnabled();
+  if (!opts_.useFlowTable) {
+    // Pure-hash ablation: no pinning in either mode.
+    ++routedStateless_;
+    return stateless ? statelessPick(key) : fallbackPick(key);
+  }
+  FlowTable& table = tables_.shardOf(key);
+  if (!stateless) {
+    // Kill switch: Maglev + LRU on every flow, the pre-PR §5.1 path.
+    if (auto id = table.lookup(key)) {
+      if (live(*id)) {
+        ++routedPinned_;
+        return *id;
+      }
+      table.erase(key);  // pinned backend left the set: re-route
+    }
+    auto id = fallbackPick(key);
+    if (id) {
+      table.insert(key, static_cast<uint16_t>(*id));
+      ++routedFallback_;
+    }
+    return id;
+  }
+  // Hybrid: a pin wins while its backend lives; outside churn the
+  // shard is empty and this is a single probe to an empty-check.
+  if (!table.empty()) {
+    if (auto id = table.lookup(key)) {
+      if (live(*id)) {
+        ++routedPinned_;
+        return *id;
+      }
+      table.erase(key);
+    }
+  }
+  auto id = statelessPick(key);
+  ++routedStateless_;
+  if (id && churnWindowOpen(now)) {
+    table.insert(key, static_cast<uint16_t>(*id));
+    ++promotions_;
+  }
+  return id;
+}
+
+void HybridRouter::pin(uint64_t key, uint32_t id) {
+  if (!opts_.useFlowTable || id > 0xffff) {
+    return;
+  }
+  tables_.shardOf(key).insert(key, static_cast<uint16_t>(id));
+  ++promotions_;
+}
+
+void HybridRouter::unpin(uint64_t key) {
+  if (!opts_.useFlowTable) {
+    return;
+  }
+  tables_.shardOf(key).erase(key);
+}
+
+std::optional<uint32_t> HybridRouter::idOf(const std::string& name) const {
+  auto it = idByName_.find(name);
+  if (it == idByName_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void HybridRouter::maintain(TimePoint now) {
+  // Demote once per window, after it closes, and only while the
+  // stateless plane is live (under the kill switch the table IS the
+  // routing source — sweeping it would unpin everything).
+  if (sweepPending_ && !churnWindowOpen(now) && statelessLookupEnabled() &&
+      opts_.useFlowTable) {
+    sweepPending_ = false;
+    size_t demoted = 0;
+    for (size_t i = 0; i < tables_.shardCount(); ++i) {
+      demoted += tables_.shard(i).eraseIf([this](uint64_t key, uint16_t id) {
+        // A pin that agrees with the stateless mapping (or points at a
+        // departed backend) carries no information — drop it. Only
+        // genuinely divergent pins survive quiescence.
+        if (!live(id)) {
+          return true;
+        }
+        auto fresh = statelessPick(key);
+        return fresh && *fresh == id;
+      });
+    }
+    demotions_ += demoted;
+  }
+  if (metrics_ != nullptr) {
+    tables_.exportTo(*metrics_, opts_.metricsPrefix);
+    const std::string& p = opts_.metricsPrefix;
+    metrics_->gauge(p + "router.pinned_flows")
+        .set(static_cast<double>(tables_.size()));
+    metrics_->gauge(p + "router.promotions")
+        .set(static_cast<double>(promotions_));
+    metrics_->gauge(p + "router.demotions")
+        .set(static_cast<double>(demotions_));
+    metrics_->gauge(p + "router.routed_stateless")
+        .set(static_cast<double>(routedStateless_));
+    metrics_->gauge(p + "router.routed_pinned")
+        .set(static_cast<double>(routedPinned_));
+    metrics_->gauge(p + "router.routed_fallback")
+        .set(static_cast<double>(routedFallback_));
+    metrics_->gauge(p + "router.churn_windows")
+        .set(static_cast<double>(churnWindows_));
+    metrics_->gauge(p + "router.othello_rebuilds")
+        .set(static_cast<double>(othello_.rebuilds()));
+    metrics_->gauge(p + "router.memory_bytes")
+        .set(static_cast<double>(memoryBytes()));
+  }
+}
+
+}  // namespace zdr::l4lb

@@ -1,0 +1,150 @@
+// Stateful/stateless hybrid routing policy (LB-Scalability direction).
+//
+// The §5.1 remediation pins *every* flow in an LRU table; at millions
+// of concurrent flows that is the scaling bottleneck — and most of the
+// state is dead weight, because outside churn the stateless mapping
+// answers identically. The hybrid policy keeps state only for flows
+// that need it:
+//
+//   * quiescent: route via the Othello stateless structure, zero
+//     per-flow bytes;
+//   * churn window (backend add/remove, ZDR takeover): live flows are
+//     promoted into the per-worker flow-table shard pinned to their
+//     pre-churn backend; new flows promote on first packet so a second
+//     shuffle inside the window cannot move them either;
+//   * quiescence again: a demotion sweep erases every pin that now
+//     agrees with the stateless mapping — only genuinely divergent
+//     flows (their bucket moved while they lived) stay pinned, and LRU
+//     eviction bounds even those.
+//
+// ZDR_NO_STATELESS_LOOKUP=1 collapses the policy to the pre-PR
+// behavior: Maglev (or ring) hashing plus an always-on flow table.
+//
+// Backends are interned to stable uint16 ids so the flow table stores
+// 2 bytes per pin instead of a name, and so pins survive backend-set
+// reorderings. The router is single-owner like the tables it wraps:
+// one instance per worker loop, shards partitioned by flow-key bits.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "l4lb/consistent_hash.h"
+#include "l4lb/flow_table.h"
+#include "l4lb/othello_map.h"
+#include "metrics/metrics.h"
+#include "netcore/event_loop.h"
+
+namespace zdr::l4lb {
+
+class HybridRouter {
+ public:
+  enum class FallbackHash : uint8_t { kMaglev, kRing };
+
+  struct Options {
+    FallbackHash fallback = FallbackHash::kMaglev;
+    size_t shards = 1;
+    size_t flowCapacityPerShard = 4096;
+    // How long after a backend-set change (or explicit takeover
+    // notification) first-packet promotion stays on.
+    Duration churnWindow = Duration{2000};
+    // false: never pin (pure-hash ablation, the old useConnTable=false).
+    bool useFlowTable = true;
+    OthelloMap::Options othello{};
+    // Gauge prefix for per-shard metric export ("l4." → l4.shard0.*).
+    std::string metricsPrefix = "l4.";
+  };
+
+  explicit HybridRouter(Options opts, MetricsRegistry* metrics = nullptr);
+
+  // Replaces the routing backend set. Rebuilds both lookup structures
+  // and opens a churn window. Callers that track live flows should
+  // pin() them *before* this call so they ride out the shuffle.
+  void setBackends(const std::vector<std::string>& names, TimePoint now);
+
+  // Opens (or extends) a churn window without changing the set — the
+  // ZDR takeover hook: routing state is momentarily untrustworthy even
+  // though the backend list is identical.
+  void openChurnWindow(TimePoint now);
+  [[nodiscard]] bool churnWindowOpen(TimePoint now) const {
+    return windowArmed_ && now < windowEnd_;
+  }
+
+  // Routes a flow key to a stable backend id, applying the hybrid
+  // policy (pin hit → stateless → promote-if-window).
+  std::optional<uint32_t> route(uint64_t key, TimePoint now);
+
+  // Explicit promotion/demotion, used by owners that know their live
+  // flows (e.g. the UDP forwarder's NAT map) at churn-window open.
+  void pin(uint64_t key, uint32_t id);
+  void unpin(uint64_t key);
+
+  // Demotion sweep + metric export; call periodically (reap tick).
+  void maintain(TimePoint now);
+
+  [[nodiscard]] std::optional<uint32_t> idOf(const std::string& name) const;
+  [[nodiscard]] const std::string& nameOf(uint32_t id) const {
+    return names_[id];
+  }
+  [[nodiscard]] bool live(uint32_t id) const {
+    return id < liveById_.size() && liveById_[id] != 0;
+  }
+  [[nodiscard]] size_t backendCount() const { return idByIdx_.size(); }
+
+  [[nodiscard]] ShardedFlowTable& flowTable() noexcept { return tables_; }
+  [[nodiscard]] const ShardedFlowTable& flowTable() const noexcept {
+    return tables_;
+  }
+  [[nodiscard]] const OthelloMap& othello() const noexcept { return othello_; }
+
+  [[nodiscard]] size_t pinnedFlows() const { return tables_.size(); }
+  [[nodiscard]] uint64_t promotions() const noexcept { return promotions_; }
+  [[nodiscard]] uint64_t demotions() const noexcept { return demotions_; }
+  [[nodiscard]] uint64_t routedStateless() const noexcept {
+    return routedStateless_;
+  }
+  [[nodiscard]] uint64_t routedPinned() const noexcept {
+    return routedPinned_;
+  }
+  [[nodiscard]] uint64_t routedFallback() const noexcept {
+    return routedFallback_;
+  }
+  // Total routing-state footprint: flow-table slots + Othello arrays.
+  [[nodiscard]] size_t memoryBytes() const {
+    return tables_.memoryBytes() + othello_.memoryBytes();
+  }
+
+ private:
+  [[nodiscard]] std::optional<uint32_t> statelessPick(uint64_t key) const;
+  [[nodiscard]] std::optional<uint32_t> fallbackPick(uint64_t key) const;
+  uint32_t intern(const std::string& name);
+
+  Options opts_;
+  MetricsRegistry* metrics_;
+  ShardedFlowTable tables_;
+  OthelloMap othello_;
+  std::unique_ptr<ConsistentHash> fallback_;
+
+  // Interning: id = position in names_ (stable forever); idByIdx_ maps
+  // the current hash-pick index to an id; liveById_ marks membership in
+  // the current set.
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, uint32_t> idByName_;
+  std::vector<uint8_t> liveById_;
+  std::vector<uint32_t> idByIdx_;
+
+  bool windowArmed_ = false;
+  TimePoint windowEnd_{};
+  bool sweepPending_ = false;
+
+  uint64_t promotions_ = 0;
+  uint64_t demotions_ = 0;
+  uint64_t routedStateless_ = 0;
+  uint64_t routedPinned_ = 0;
+  uint64_t routedFallback_ = 0;
+  uint64_t churnWindows_ = 0;
+};
+
+}  // namespace zdr::l4lb

@@ -1,0 +1,182 @@
+#include "l4lb/othello_map.h"
+
+#include <algorithm>
+
+namespace zdr::l4lb {
+
+namespace {
+
+size_t nextPow2(size_t want) {
+  size_t n = 1;
+  while (n < want) {
+    n <<= 1;
+  }
+  return n;
+}
+
+// Union-find over the bipartite node set, used for the acyclicity
+// check during construction (an Othello build succeeds iff the
+// key-edge graph is a forest).
+class DisjointSet {
+ public:
+  explicit DisjointSet(size_t n) : parent_(n) {
+    for (size_t i = 0; i < n; ++i) {
+      parent_[i] = static_cast<uint32_t>(i);
+    }
+  }
+  uint32_t find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+  // Returns false if x and y were already connected (edge closes a
+  // cycle).
+  bool unite(uint32_t x, uint32_t y) {
+    uint32_t rx = find(x);
+    uint32_t ry = find(y);
+    if (rx == ry) {
+      return false;
+    }
+    parent_[rx] = ry;
+    return true;
+  }
+
+ private:
+  std::vector<uint32_t> parent_;
+};
+
+}  // namespace
+
+void OthelloMap::rebuild(const std::vector<std::string>& backends) {
+  ++rebuilds_;
+  count_ = backends.size();
+  if (count_ == 0) {
+    buckets_ = 0;
+    a_.clear();
+    b_.clear();
+    return;
+  }
+
+  buckets_ = nextPow2(std::max(opts_.minBuckets,
+                               count_ * opts_.bucketsPerBackend));
+  if (buckets_ > opts_.maxBuckets) {
+    buckets_ = nextPow2(opts_.maxBuckets);
+  }
+  bucketMask_ = buckets_ - 1;
+
+  // Rendezvous ownership: bucket b belongs to the backend whose
+  // (bucket, name) weight is highest. Removing a backend moves only
+  // its own buckets; adding one steals ~1/n of everyone's — the same
+  // disruption profile the §5.1 ablation demands of Maglev.
+  std::vector<uint64_t> nameHash(count_);
+  for (size_t i = 0; i < count_; ++i) {
+    nameHash[i] = hashBytes(backends[i]);
+  }
+  std::vector<uint16_t> values(buckets_);
+  for (size_t bkt = 0; bkt < buckets_; ++bkt) {
+    uint64_t bucketHash = mix64(bkt + 1);
+    uint64_t best = 0;
+    size_t bestIdx = 0;
+    for (size_t i = 0; i < count_; ++i) {
+      uint64_t w = hashCombine(bucketHash, nameHash[i]);
+      if (w >= best) {
+        best = w;
+        bestIdx = i;
+      }
+    }
+    values[bkt] = static_cast<uint16_t>(bestIdx);
+  }
+
+  // Othello arrays at 2x the edge count per side: the bipartite graph
+  // has `buckets_` edges over 4x as many nodes, so a random seed pair
+  // is acyclic with probability ~0.97 — retries are rare and cheap.
+  size_t side = nextPow2(buckets_ * 2);
+  a_.assign(side, 0);
+  b_.assign(side, 0);
+  maskA_ = a_.size() - 1;
+  maskB_ = b_.size() - 1;
+
+  for (uint64_t attempt = 0;; ++attempt) {
+    uint64_t sa = mix64(0x07e1105eedULL + attempt * 2);
+    uint64_t sb = mix64(0x07e1105eedULL + attempt * 2 + 1);
+    if (tryBuild(values, sa, sb)) {
+      seedA_ = sa;
+      seedB_ = sb;
+      return;
+    }
+    ++seedRetries_;
+    if (attempt > 0 && attempt % 32 == 0) {
+      // Pathological seed run: grow the arrays and keep going. With
+      // 2x slots per side this is effectively unreachable, but a
+      // routing structure must not be able to loop forever.
+      a_.assign(a_.size() * 2, 0);
+      b_.assign(b_.size() * 2, 0);
+      maskA_ = a_.size() - 1;
+      maskB_ = b_.size() - 1;
+    }
+  }
+}
+
+bool OthelloMap::tryBuild(const std::vector<uint16_t>& values, uint64_t seedA,
+                          uint64_t seedB) {
+  const size_t na = a_.size();
+  const size_t nb = b_.size();
+  DisjointSet dsu(na + nb);
+
+  struct Edge {
+    uint32_t u;  // index into a_
+    uint32_t v;  // index into b_
+    uint16_t value;
+  };
+  std::vector<Edge> edges(buckets_);
+  for (size_t bkt = 0; bkt < buckets_; ++bkt) {
+    uint64_t bk = mix64(bkt + 1);
+    uint32_t u = static_cast<uint32_t>(hashCombine(bk, seedA) & (na - 1));
+    uint32_t v = static_cast<uint32_t>(hashCombine(bk, seedB) & (nb - 1));
+    if (!dsu.unite(u, static_cast<uint32_t>(na + v))) {
+      return false;  // cycle — this seed pair cannot satisfy all XORs
+    }
+    edges[bkt] = {u, v, values[bkt]};
+  }
+
+  // The edge set is a forest: fix each tree by walking from any node,
+  // assigning neighbor = node XOR edge-value. Roots keep value 0.
+  std::vector<std::vector<std::pair<uint32_t, uint16_t>>> adj(na + nb);
+  for (const Edge& e : edges) {
+    uint32_t vn = static_cast<uint32_t>(na + e.v);
+    adj[e.u].emplace_back(vn, e.value);
+    adj[vn].emplace_back(e.u, e.value);
+  }
+  std::fill(a_.begin(), a_.end(), 0);
+  std::fill(b_.begin(), b_.end(), 0);
+  std::vector<uint8_t> visited(na + nb, 0);
+  std::vector<uint32_t> stack;
+  auto slotValue = [&](uint32_t node) -> uint16_t& {
+    return node < na ? a_[node] : b_[node - na];
+  };
+  for (uint32_t root = 0; root < na + nb; ++root) {
+    if (visited[root] || adj[root].empty()) {
+      continue;
+    }
+    visited[root] = 1;
+    slotValue(root) = 0;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      uint32_t node = stack.back();
+      stack.pop_back();
+      for (auto [peer, val] : adj[node]) {
+        if (visited[peer]) {
+          continue;
+        }
+        visited[peer] = 1;
+        slotValue(peer) = slotValue(node) ^ val;
+        stack.push_back(peer);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace zdr::l4lb

@@ -6,6 +6,22 @@
 
 namespace zdr::l4lb {
 
+namespace {
+
+HybridRouter::Options routerOptions(const UdpForwarder::Options& opts) {
+  HybridRouter::Options ro;
+  ro.shards = opts.flowShards;
+  ro.flowCapacityPerShard =
+      opts.flowShards > 0 ? opts.connTableCapacity / opts.flowShards
+                          : opts.connTableCapacity;
+  ro.churnWindow = opts.churnWindow;
+  ro.useFlowTable = opts.useConnTable;
+  ro.metricsPrefix = "l4udp.";
+  return ro;
+}
+
+}  // namespace
+
 UdpForwarder::UdpForwarder(EventLoop& loop, const SocketAddr& vip,
                            std::vector<Backend> backends, Options opts,
                            MetricsRegistry* metrics)
@@ -13,14 +29,14 @@ UdpForwarder::UdpForwarder(EventLoop& loop, const SocketAddr& vip,
       opts_(opts),
       metrics_(metrics),
       backends_(std::move(backends)),
-      table_(opts.connTableCapacity),
+      router_(routerOptions(opts), metrics),
       vipSock_(vip) {
   std::vector<std::string> names;
   names.reserve(backends_.size());
   for (const auto& b : backends_) {
     names.push_back(b.name);
   }
-  hash_.rebuild(names);
+  router_.setBackends(names, Clock::now());
   loop_.addFd(vipSock_.fd(), EPOLLIN, [this](uint32_t) { onVipReadable(); });
   reapTimer_ = loop_.runEvery(Duration{1000}, [this] { reapIdle(); });
 }
@@ -38,14 +54,22 @@ UdpForwarder::~UdpForwarder() {
 }
 
 void UdpForwarder::setBackends(std::vector<Backend> backends) {
+  // Bulk-promote every live flow BEFORE the rebuild: the pins record
+  // the pre-churn routing, so the new stateless map cannot re-route a
+  // datagram stream whose NAT socket is already established.
+  for (const auto& [key, flow] : flows_) {
+    router_.pin(key, flow->backendId);
+  }
   backends_ = std::move(backends);
   std::vector<std::string> names;
   names.reserve(backends_.size());
   for (const auto& b : backends_) {
     names.push_back(b.name);
   }
-  hash_.rebuild(names);
+  router_.setBackends(names, Clock::now());
 }
+
+void UdpForwarder::noteTakeover() { router_.openChurnWindow(Clock::now()); }
 
 UdpForwarder::Flow* UdpForwarder::flowFor(const SocketAddr& client) {
   uint64_t key = mix64(client.hashKey());
@@ -54,32 +78,26 @@ UdpForwarder::Flow* UdpForwarder::flowFor(const SocketAddr& client) {
     return it->second.get();
   }
 
-  // Resolve the backend: LRU pin first, then consistent hash.
+  auto id = router_.route(key, Clock::now());
+  if (!id) {
+    return nullptr;
+  }
   const Backend* target = nullptr;
-  if (opts_.useConnTable) {
-    if (auto pinned = table_.lookup(key)) {
-      for (const auto& b : backends_) {
-        if (b.name == *pinned) {
-          target = &b;
-          break;
-        }
-      }
+  const std::string& name = router_.nameOf(*id);
+  for (const auto& b : backends_) {
+    if (b.name == name) {
+      target = &b;
+      break;
     }
   }
   if (target == nullptr) {
-    auto idx = hash_.pick(key);
-    if (!idx) {
-      return nullptr;
-    }
-    target = &backends_[*idx];
-    if (opts_.useConnTable) {
-      table_.insert(key, target->name);
-    }
+    return nullptr;  // backends_ changed mid-call
   }
 
   auto flow = std::make_unique<Flow>();
   flow->client = client;
   flow->backend = target->addr;
+  flow->backendId = *id;
   flow->natSock = UdpSocket(SocketAddr::loopback(0));
   flow->lastActive = Clock::now();
   loop_.addFd(flow->natSock.fd(), EPOLLIN,
@@ -171,7 +189,7 @@ void UdpForwarder::reapIdle() {
       if (loop_.watching(it->second->natSock.fd())) {
         loop_.removeFd(it->second->natSock.fd());
       }
-      table_.erase(it->first);
+      router_.unpin(it->first);
       it = flows_.erase(it);
       if (metrics_) {
         metrics_->counter("l4udp.flows_reaped").add();
@@ -180,6 +198,7 @@ void UdpForwarder::reapIdle() {
       ++it;
     }
   }
+  router_.maintain(now);
 }
 
 }  // namespace zdr::l4lb

@@ -12,8 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "l4lb/conn_table.h"
-#include "l4lb/consistent_hash.h"
+#include "l4lb/hybrid_router.h"
 #include "metrics/metrics.h"
 #include "netcore/buffer_pool.h"
 #include "netcore/event_loop.h"
@@ -27,6 +26,10 @@ class UdpForwarder {
   struct Options {
     bool useConnTable = true;
     size_t connTableCapacity = 4096;
+    // Flow-table shards (per-worker in a sharded deployment).
+    size_t flowShards = 1;
+    // Promotion stays armed this long after backend churn/takeover.
+    Duration churnWindow = Duration{2000};
     // Idle flows are reaped after this long without traffic.
     Duration flowIdleTimeout = Duration{30000};
   };
@@ -47,14 +50,21 @@ class UdpForwarder {
   [[nodiscard]] size_t flowCount() const noexcept { return flows_.size(); }
   [[nodiscard]] uint64_t forwarded() const noexcept { return forwarded_; }
   [[nodiscard]] uint64_t returned() const noexcept { return returned_; }
+  [[nodiscard]] HybridRouter& router() noexcept { return router_; }
 
-  // Replaces the backend set (health integration point).
+  // Replaces the backend set (health integration point). Live flows
+  // are bulk-promoted into the stateful shard first, so the stateless
+  // rebuild cannot re-route them mid-connection.
   void setBackends(std::vector<Backend> backends);
+
+  // ZDR takeover hook: arms promotion without changing the set.
+  void noteTakeover();
 
  private:
   struct Flow {
     SocketAddr client;
     SocketAddr backend;
+    uint32_t backendId = 0;  // router-interned id, for bulk promotion
     UdpSocket natSock;  // source of forwarded packets; sink of replies
     TimePoint lastActive;
   };
@@ -73,8 +83,7 @@ class UdpForwarder {
   Options opts_;
   MetricsRegistry* metrics_;
   std::vector<Backend> backends_;
-  MaglevHash hash_;
-  ConnTable table_;
+  HybridRouter router_;
   // Pool before batches: batch handles release into it on destruction.
   BufferPool pool_;
   RecvBatch rxBatch_{pool_};

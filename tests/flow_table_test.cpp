@@ -1,0 +1,269 @@
+// FlowTable (compact sharded LRU) and ConnTable (reference LRU) churn
+// regression: eviction order under mixed lookup/insert/erase, capacity
+// edge cases, update-never-evicts ordering, tombstone rehash, and the
+// per-shard metric export.
+#include <gtest/gtest.h>
+
+#include "l4lb/conn_table.h"
+#include "l4lb/flow_table.h"
+#include "metrics/metrics.h"
+
+namespace zdr::l4lb {
+namespace {
+
+// ------------------------------------------------------------ FlowTable
+
+TEST(FlowTableTest, InsertLookup) {
+  FlowTable t(4);
+  t.insert(1, 10);
+  t.insert(2, 20);
+  EXPECT_EQ(t.lookup(1), 10);
+  EXPECT_EQ(t.lookup(2), 20);
+  EXPECT_FALSE(t.lookup(3).has_value());
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.hits(), 2u);
+  EXPECT_EQ(t.misses(), 1u);
+}
+
+TEST(FlowTableTest, EvictsLeastRecentlyUsed) {
+  FlowTable t(3);
+  t.insert(1, 1);
+  t.insert(2, 2);
+  t.insert(3, 3);
+  // Touch 1 so 2 becomes the LRU victim.
+  EXPECT_TRUE(t.lookup(1).has_value());
+  t.insert(4, 4);
+  EXPECT_FALSE(t.peek(2).has_value());
+  EXPECT_TRUE(t.peek(1).has_value());
+  EXPECT_TRUE(t.peek(3).has_value());
+  EXPECT_TRUE(t.peek(4).has_value());
+  EXPECT_EQ(t.evictions(), 1u);
+}
+
+TEST(FlowTableTest, MixedLookupInsertErasePreservesOrder) {
+  FlowTable t(4);
+  t.insert(1, 1);
+  t.insert(2, 2);
+  t.insert(3, 3);
+  t.insert(4, 4);
+  // MRU→LRU: 4 3 2 1. Touch 2, erase 3 → 2 4 1.
+  EXPECT_TRUE(t.lookup(2).has_value());
+  EXPECT_TRUE(t.erase(3));
+  EXPECT_EQ(t.lruKeys(), (std::vector<uint64_t>{2, 4, 1}));
+  // Fill back up, then overflow: 1 is the tail and must go first.
+  t.insert(5, 5);
+  t.insert(6, 6);
+  EXPECT_FALSE(t.peek(1).has_value());
+  EXPECT_EQ(t.lruKeys(), (std::vector<uint64_t>{6, 5, 2, 4}));
+  // Next eviction takes 4 (tail), not the recently touched 2.
+  t.insert(7, 7);
+  EXPECT_FALSE(t.peek(4).has_value());
+  EXPECT_TRUE(t.peek(2).has_value());
+}
+
+TEST(FlowTableTest, UpdateNeverEvicts) {
+  FlowTable t(2);
+  t.insert(1, 1);
+  t.insert(2, 2);
+  // Re-inserting a resident key updates in place — both stay resident.
+  t.insert(1, 99);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.evictions(), 0u);
+  EXPECT_EQ(t.peek(1), 99);
+  EXPECT_TRUE(t.peek(2).has_value());
+  // And it refreshed recency: 2 is now the victim.
+  t.insert(3, 3);
+  EXPECT_FALSE(t.peek(2).has_value());
+  EXPECT_TRUE(t.peek(1).has_value());
+}
+
+TEST(FlowTableTest, CapacityOne) {
+  FlowTable t(1);
+  t.insert(1, 1);
+  EXPECT_EQ(t.lookup(1), 1);
+  t.insert(2, 2);
+  EXPECT_FALSE(t.peek(1).has_value());
+  EXPECT_EQ(t.lookup(2), 2);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.evictions(), 1u);
+}
+
+TEST(FlowTableTest, CapacityZeroPinsNothing) {
+  FlowTable t(0);
+  t.insert(1, 1);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_FALSE(t.lookup(1).has_value());
+  EXPECT_EQ(t.evictions(), 0u);
+}
+
+TEST(FlowTableTest, EraseAndEraseIf) {
+  FlowTable t(8);
+  for (uint64_t k = 1; k <= 6; ++k) {
+    t.insert(k, static_cast<uint16_t>(k % 2));
+  }
+  EXPECT_FALSE(t.erase(42));
+  EXPECT_TRUE(t.erase(1));
+  size_t removed = t.eraseIf([](uint64_t, uint16_t b) { return b == 0; });
+  EXPECT_EQ(removed, 3u);  // 2, 4, 6
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_TRUE(t.peek(3).has_value());
+  EXPECT_TRUE(t.peek(5).has_value());
+}
+
+TEST(FlowTableTest, TombstoneRehashPreservesLruOrder) {
+  // capacity 4 → 8 slots → rehash once tombstones exceed 2. Churn
+  // erase/insert pairs to force several in-place rebuilds, then check
+  // that recency order and every resident mapping survived intact.
+  FlowTable t(4);
+  t.insert(1, 1);
+  t.insert(2, 2);
+  t.insert(3, 3);
+  t.insert(4, 4);
+  for (uint64_t k = 5; k < 40; ++k) {
+    EXPECT_TRUE(t.erase(k - 4));
+    t.insert(k, static_cast<uint16_t>(k & 0x7));
+    // Survivors after each step: k-3, k-2, k-1, k (k newest).
+  }
+  EXPECT_EQ(t.lruKeys(), (std::vector<uint64_t>{39, 38, 37, 36}));
+  for (uint64_t k = 36; k < 40; ++k) {
+    EXPECT_EQ(t.peek(k), static_cast<uint16_t>(k & 0x7));
+  }
+  EXPECT_EQ(t.size(), 4u);
+}
+
+TEST(FlowTableTest, HeavyChurnStaysConsistent) {
+  // Steady-state full table under key churn: every insert past
+  // capacity evicts exactly the tail, size never exceeds capacity, and
+  // probe chains keep resolving after many tombstone rehashes.
+  FlowTable t(64);
+  for (uint64_t k = 0; k < 10000; ++k) {
+    t.insert(k * 2654435761u, static_cast<uint16_t>(k & 0xff));
+    ASSERT_LE(t.size(), 64u);
+  }
+  EXPECT_EQ(t.size(), 64u);
+  auto keys = t.lruKeys();
+  ASSERT_EQ(keys.size(), 64u);
+  for (uint64_t k : keys) {
+    ASSERT_TRUE(t.peek(k).has_value());
+  }
+  EXPECT_EQ(t.evictions(), 10000u - 64u);
+}
+
+TEST(FlowTableTest, ClearResets) {
+  FlowTable t(4);
+  t.insert(1, 1);
+  t.insert(2, 2);
+  t.clear();
+  EXPECT_TRUE(t.empty());
+  EXPECT_FALSE(t.lookup(1).has_value());
+  t.insert(3, 3);
+  EXPECT_EQ(t.lruKeys(), (std::vector<uint64_t>{3}));
+}
+
+TEST(FlowTableTest, SlotIsTwentyFourBytes) {
+  EXPECT_EQ(sizeof(FlowTable::Entry), 24u);
+  FlowTable t(1000);
+  // 1000 flows / 0.75 load → 2048 slots → 48 KiB; well under the
+  // ~150 B/flow node-based ConnTable.
+  EXPECT_LE(t.memoryBytes(), 2048u * 24u);
+}
+
+// ----------------------------------------------------- ShardedFlowTable
+
+TEST(ShardedFlowTableTest, ShardSelectionUsesHighBits) {
+  ShardedFlowTable t(4, 16);
+  EXPECT_EQ(t.shardCount(), 4u);
+  // Keys differing only in low 32 bits land in the same shard; the
+  // high bits pick it.
+  EXPECT_EQ(t.shardFor(0x1'00000000ull), t.shardFor(0x1'deadbeefull));
+  t.shardOf(0x1'00000000ull).insert(0x1'00000000ull, 7);
+  EXPECT_EQ(t.shard(t.shardFor(0x1'00000000ull)).size(), 1u);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(ShardedFlowTableTest, ZeroShardsClampsToOne) {
+  ShardedFlowTable t(0, 16);
+  EXPECT_EQ(t.shardCount(), 1u);
+  t.shardOf(123).insert(123, 1);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(ShardedFlowTableTest, ExportsPerShardGauges) {
+  MetricsRegistry m;
+  ShardedFlowTable t(2, 4);
+  t.shard(0).insert(1, 1);
+  (void)t.shard(0).lookup(1);
+  (void)t.shard(1).lookup(99);
+  t.exportTo(m, "l4.");
+  auto snap = m.snapshot();
+  EXPECT_EQ(snap.at("gauge.l4.shard0.hits"), 1.0);
+  EXPECT_EQ(snap.at("gauge.l4.shard0.size"), 1.0);
+  EXPECT_EQ(snap.at("gauge.l4.shard1.misses"), 1.0);
+  EXPECT_EQ(snap.at("gauge.l4.shard1.evictions"), 0.0);
+}
+
+// ------------------------------------------- ConnTable churn regression
+
+TEST(ConnTableChurnTest, MixedOpsEvictionOrder) {
+  ConnTable t(3);
+  t.insert(1, "a");
+  t.insert(2, "b");
+  t.insert(3, "c");
+  EXPECT_TRUE(t.lookup(1).has_value());  // order: 1 3 2
+  t.erase(3);                            // order: 1 2
+  t.insert(4, "d");                      // order: 4 1 2 (no eviction)
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.evictions(), 0u);
+  t.insert(5, "e");  // evicts 2, the LRU
+  EXPECT_FALSE(t.lookup(2).has_value());
+  EXPECT_TRUE(t.lookup(1).has_value());
+  EXPECT_EQ(t.evictions(), 1u);
+}
+
+TEST(ConnTableChurnTest, UpdateExistingNeverEvicts) {
+  ConnTable t(2);
+  t.insert(1, "a");
+  t.insert(2, "b");
+  t.insert(1, "a2");  // update path: must not evict 2
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.evictions(), 0u);
+  EXPECT_EQ(t.lookup(2), "b");
+  EXPECT_EQ(t.lookup(1), "a2");
+}
+
+TEST(ConnTableChurnTest, CapacityOne) {
+  ConnTable t(1);
+  t.insert(1, "a");
+  t.insert(2, "b");
+  EXPECT_FALSE(t.lookup(1).has_value());
+  EXPECT_EQ(t.lookup(2), "b");
+  EXPECT_EQ(t.evictions(), 1u);
+}
+
+TEST(ConnTableChurnTest, CapacityZeroNeverThrashes) {
+  ConnTable t(0);
+  t.insert(1, "a");
+  t.insert(2, "b");
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.evictions(), 0u);
+  EXPECT_FALSE(t.lookup(1).has_value());
+}
+
+TEST(ConnTableChurnTest, ExportsCountersToRegistry) {
+  MetricsRegistry m;
+  ConnTable t(2);
+  t.insert(1, "a");
+  (void)t.lookup(1);
+  (void)t.lookup(9);
+  t.insert(2, "b");
+  t.insert(3, "c");  // evicts
+  t.exportTo(m, "l4.", 0);
+  auto snap = m.snapshot();
+  EXPECT_EQ(snap.at("gauge.l4.shard0.hits"), 1.0);
+  EXPECT_EQ(snap.at("gauge.l4.shard0.misses"), 1.0);
+  EXPECT_EQ(snap.at("gauge.l4.shard0.evictions"), 1.0);
+  EXPECT_EQ(snap.at("gauge.l4.shard0.size"), 2.0);
+}
+
+}  // namespace
+}  // namespace zdr::l4lb

@@ -41,6 +41,10 @@ TEST_P(L4ConfigTest, RoutesRequestsEndToEnd) {
     L4Balancer::Options opts;
     opts.hash = GetParam().hash;
     opts.useConnTable = GetParam().connTable;
+    // Keep the churn window open for the whole test: every health
+    // transition re-arms it, so flows arriving below must promote into
+    // the flow table deterministically.
+    opts.churnWindow = Duration{60000};
     opts.health.interval = Duration{50};
     lb = std::make_unique<L4Balancer>(lbLoop.loop(), SocketAddr::loopback(0),
                                       targets, opts, &metrics);
@@ -81,9 +85,9 @@ TEST_P(L4ConfigTest, RoutesRequestsEndToEnd) {
   EXPECT_EQ(okCount, 10);
 
   if (GetParam().connTable) {
-    size_t tableSize = 0;
-    lbLoop.runSync([&] { tableSize = lb->connTable().size(); });
-    EXPECT_GT(tableSize, 0u);  // flows actually pinned
+    size_t pinned = 0;
+    lbLoop.runSync([&] { pinned = lb->router().pinnedFlows(); });
+    EXPECT_GT(pinned, 0u);  // flows actually promoted during the window
   }
 
   lbLoop.runSync([&] { lb.reset(); });

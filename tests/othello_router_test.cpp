@@ -1,0 +1,366 @@
+// OthelloMap stateless lookup properties (validity, determinism,
+// minimal disruption, rebuild-under-churn) and the HybridRouter
+// promotion/demotion policy across simulated churn windows, including
+// the ZDR_NO_STATELESS_LOOKUP kill-switch path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "l4lb/hashing.h"
+#include "l4lb/hybrid_router.h"
+#include "l4lb/othello_map.h"
+
+namespace zdr::l4lb {
+namespace {
+
+std::vector<std::string> makeBackends(size_t n, const std::string& prefix) {
+  std::vector<std::string> out;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(prefix + std::to_string(i));
+  }
+  return out;
+}
+
+// Restores the stateless-lookup flag even when a test fails mid-way.
+struct StatelessGuard {
+  bool saved = statelessLookupEnabled();
+  ~StatelessGuard() { setStatelessLookupEnabled(saved); }
+};
+
+// ------------------------------------------------------------- Othello
+
+TEST(OthelloMapTest, EmptyReturnsNullopt) {
+  OthelloMap m;
+  m.rebuild({});
+  EXPECT_FALSE(m.pick(123).has_value());
+}
+
+TEST(OthelloMapTest, SingleBackendTakesAll) {
+  OthelloMap m;
+  m.rebuild({"only"});
+  for (uint64_t k = 0; k < 1000; ++k) {
+    EXPECT_EQ(m.pick(mix64(k)), 0u);
+  }
+}
+
+TEST(OthelloMapTest, AllPicksValidAndEveryBackendReachable) {
+  OthelloMap m;
+  auto backends = makeBackends(12, "b");
+  m.rebuild(backends);
+  std::set<size_t> seen;
+  for (uint64_t k = 0; k < 50000; ++k) {
+    auto idx = m.pick(mix64(k));
+    ASSERT_TRUE(idx.has_value());
+    ASSERT_LT(*idx, backends.size());
+    seen.insert(*idx);
+  }
+  // Totality: every backend owns buckets, so a broad key sample must
+  // reach all of them.
+  EXPECT_EQ(seen.size(), backends.size());
+}
+
+TEST(OthelloMapTest, Deterministic) {
+  OthelloMap a;
+  OthelloMap b;
+  auto backends = makeBackends(9, "b");
+  a.rebuild(backends);
+  b.rebuild(backends);
+  for (uint64_t k = 0; k < 5000; ++k) {
+    EXPECT_EQ(a.pick(k), b.pick(k));
+  }
+}
+
+TEST(OthelloMapTest, MemoryIndependentOfFlowCount) {
+  OthelloMap m;
+  m.rebuild(makeBackends(8, "b"));
+  size_t before = m.memoryBytes();
+  EXPECT_GT(before, 0u);
+  for (uint64_t k = 0; k < 100000; ++k) {
+    (void)m.pick(k);  // lookups allocate nothing
+  }
+  EXPECT_EQ(m.memoryBytes(), before);
+}
+
+TEST(OthelloMapTest, RemovalOnlyDisruptsVictimsKeys) {
+  // Rendezvous bucket ownership: removing one backend must not move
+  // keys that resolved to surviving backends. Stay under 16 backends
+  // so the bucket count (max(1024, 64·n) pow2) is identical across the
+  // two builds and the comparison is bucket-for-bucket.
+  auto backends = makeBackends(10, "b");
+  OthelloMap m;
+  m.rebuild(backends);
+  std::unordered_map<uint64_t, std::string> before;
+  for (uint64_t k = 0; k < 20000; ++k) {
+    before[k] = backends[*m.pick(k)];
+  }
+  auto survivors = backends;
+  survivors.erase(survivors.begin() + 3);  // drop "b3"
+  m.rebuild(survivors);
+  size_t moved = 0;
+  for (const auto& [k, name] : before) {
+    const std::string& now = survivors[*m.pick(k)];
+    if (name == "b3") {
+      EXPECT_NE(now, "b3");
+    } else if (now != name) {
+      ++moved;
+    }
+  }
+  EXPECT_EQ(moved, 0u);  // zero non-victim disruption
+}
+
+TEST(OthelloMapTest, RebuildChurnPropertyTest) {
+  // N random add/remove cycles (deterministic LCG): after every
+  // rebuild, all picks are valid indices, every live backend is
+  // resolvable, and no pick references a removed backend — no stale
+  // routing survives a control-plane swap.
+  std::vector<std::string> pool = makeBackends(24, "node");
+  std::vector<std::string> live(pool.begin(), pool.begin() + 6);
+  OthelloMap m;
+  uint64_t rng = 0x9e3779b97f4a7c15ull;
+  auto next = [&rng] {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    return rng >> 33;
+  };
+  for (int cycle = 0; cycle < 40; ++cycle) {
+    if ((next() & 1) == 0 && live.size() < pool.size()) {
+      for (const auto& cand : pool) {
+        if (std::find(live.begin(), live.end(), cand) == live.end()) {
+          live.push_back(cand);
+          break;
+        }
+      }
+    } else if (live.size() > 1) {
+      live.erase(live.begin() + static_cast<long>(next() % live.size()));
+    }
+    m.rebuild(live);
+    ASSERT_EQ(m.backendCount(), live.size());
+    std::set<size_t> seen;
+    for (uint64_t k = 0; k < 8000; ++k) {
+      auto idx = m.pick(mix64(k ^ (static_cast<uint64_t>(cycle) << 32)));
+      ASSERT_TRUE(idx.has_value());
+      ASSERT_LT(*idx, live.size());
+      seen.insert(*idx);
+    }
+    ASSERT_EQ(seen.size(), live.size()) << "cycle " << cycle;
+  }
+  EXPECT_EQ(m.rebuilds(), 40u);
+}
+
+// -------------------------------------------------------- HybridRouter
+
+HybridRouter::Options routerOpts(size_t shards = 2, size_t cap = 64) {
+  HybridRouter::Options o;
+  o.shards = shards;
+  o.flowCapacityPerShard = cap;
+  o.churnWindow = Duration{2000};
+  return o;
+}
+
+TEST(HybridRouterTest, NoBackendsRoutesNowhere) {
+  HybridRouter r(routerOpts());
+  TimePoint t0 = Clock::now();
+  r.setBackends({}, t0);
+  EXPECT_FALSE(r.route(mix64(1), t0).has_value());
+}
+
+TEST(HybridRouterTest, PromotesDuringWindowDemotesAfterQuiescence) {
+  StatelessGuard guard;
+  setStatelessLookupEnabled(true);
+  HybridRouter r(routerOpts());
+  TimePoint t0 = Clock::now();
+  r.setBackends(makeBackends(4, "b"), t0);  // opens a 2 s window
+
+  // Flows arriving inside the window promote into the shard.
+  for (uint64_t k = 0; k < 32; ++k) {
+    ASSERT_TRUE(r.route(mix64(k), t0 + Duration{100}).has_value());
+  }
+  EXPECT_EQ(r.pinnedFlows(), 32u);
+  EXPECT_EQ(r.promotions(), 32u);
+
+  // After the window closes, one sweep demotes every pin that agrees
+  // with the stateless mapping — which is all of them (no divergence).
+  r.maintain(t0 + Duration{3000});
+  EXPECT_EQ(r.pinnedFlows(), 0u);
+  EXPECT_EQ(r.demotions(), 32u);
+
+  // Outside any window, routing stays stateless: no new pins.
+  ASSERT_TRUE(r.route(mix64(99), t0 + Duration{4000}).has_value());
+  EXPECT_EQ(r.pinnedFlows(), 0u);
+}
+
+TEST(HybridRouterTest, DivergentPinSurvivesSweepAndKeepsRouting) {
+  StatelessGuard guard;
+  setStatelessLookupEnabled(true);
+  HybridRouter r(routerOpts());
+  TimePoint t0 = Clock::now();
+  r.setBackends(makeBackends(4, "b"), t0);
+
+  uint64_t key = mix64(7);
+  uint32_t fresh = *r.route(key, t0 + Duration{3000});  // window closed
+  uint32_t other = (fresh + 1) % 4;
+  r.pin(key, other);  // simulates a pre-churn pin that now diverges
+
+  r.openChurnWindow(t0 + Duration{4000});
+  r.maintain(t0 + Duration{7000});  // sweep after the window closes
+  // The divergent pin survives quiescence and wins over stateless.
+  EXPECT_EQ(r.pinnedFlows(), 1u);
+  EXPECT_EQ(*r.route(key, t0 + Duration{8000}), other);
+  EXPECT_GE(r.routedPinned(), 1u);
+}
+
+TEST(HybridRouterTest, PinToDepartedBackendReroutesToLive) {
+  StatelessGuard guard;
+  setStatelessLookupEnabled(true);
+  HybridRouter r(routerOpts());
+  TimePoint t0 = Clock::now();
+  r.setBackends(makeBackends(4, "b"), t0);
+
+  uint64_t key = mix64(11);
+  ASSERT_TRUE(r.route(key, t0 + Duration{10}).has_value());  // promoted
+  ASSERT_EQ(r.pinnedFlows(), 1u);
+
+  // b0..b2 survive; whatever the pin pointed at may be gone. Routing
+  // must never return a dead id.
+  r.setBackends(makeBackends(3, "b"), t0 + Duration{500});
+  auto id = r.route(key, t0 + Duration{600});
+  ASSERT_TRUE(id.has_value());
+  EXPECT_TRUE(r.live(*id));
+  EXPECT_LT(r.nameOf(*id), std::string("b3"));
+}
+
+TEST(HybridRouterTest, InternedIdsStableAcrossSetChanges) {
+  HybridRouter r(routerOpts());
+  TimePoint t0 = Clock::now();
+  r.setBackends({"a", "b", "c"}, t0);
+  uint32_t idB = *r.idOf("b");
+  // Remove b, add d, then bring b back: its id must not change, and
+  // liveness must track membership.
+  r.setBackends({"a", "c", "d"}, t0 + Duration{100});
+  EXPECT_FALSE(r.live(idB));
+  r.setBackends({"a", "b", "c", "d"}, t0 + Duration{200});
+  EXPECT_TRUE(r.live(idB));
+  EXPECT_EQ(*r.idOf("b"), idB);
+  EXPECT_EQ(r.nameOf(idB), "b");
+}
+
+TEST(HybridRouterTest, KillSwitchFallsBackToHashPlusAlwaysOnTable) {
+  StatelessGuard guard;
+  setStatelessLookupEnabled(false);  // ZDR_NO_STATELESS_LOOKUP=1
+  HybridRouter r(routerOpts());
+  TimePoint t0 = Clock::now();
+  r.setBackends(makeBackends(4, "b"), t0);
+
+  // Every flow pins, window or no window — the pre-PR §5.1 behavior.
+  TimePoint late = t0 + Duration{60000};
+  for (uint64_t k = 0; k < 16; ++k) {
+    ASSERT_TRUE(r.route(mix64(k), late).has_value());
+  }
+  EXPECT_EQ(r.pinnedFlows(), 16u);
+  EXPECT_EQ(r.routedFallback(), 16u);
+  // Repeat traffic hits the pins.
+  for (uint64_t k = 0; k < 16; ++k) {
+    ASSERT_TRUE(r.route(mix64(k), late).has_value());
+  }
+  EXPECT_EQ(r.routedPinned(), 16u);
+  // The demotion sweep must not run under the kill switch: the table
+  // IS the routing source.
+  r.maintain(late + Duration{10000});
+  EXPECT_EQ(r.pinnedFlows(), 16u);
+  EXPECT_EQ(r.demotions(), 0u);
+}
+
+TEST(HybridRouterTest, PureHashAblationNeverPins) {
+  StatelessGuard guard;
+  setStatelessLookupEnabled(true);
+  auto o = routerOpts();
+  o.useFlowTable = false;
+  HybridRouter r(o);
+  TimePoint t0 = Clock::now();
+  r.setBackends(makeBackends(4, "b"), t0);
+  for (uint64_t k = 0; k < 32; ++k) {
+    ASSERT_TRUE(r.route(mix64(k), t0 + Duration{10}).has_value());
+  }
+  EXPECT_EQ(r.pinnedFlows(), 0u);
+  r.pin(mix64(1), 0);  // explicit pin is also a no-op in this mode
+  EXPECT_EQ(r.pinnedFlows(), 0u);
+}
+
+TEST(HybridRouterTest, ChurnSimulationZeroMisroutesForPinnedFlows) {
+  // The bench's correctness core as a unit test: pin live flows before
+  // every backend-set change, and no pinned flow may land anywhere but
+  // its recorded backend while that backend stays in the set.
+  StatelessGuard guard;
+  setStatelessLookupEnabled(true);
+  HybridRouter r(routerOpts(4, 4096));
+  TimePoint now = Clock::now();
+  std::vector<std::string> live = makeBackends(8, "b");
+  r.setBackends(live, now);
+
+  std::unordered_map<uint64_t, std::string> flows;
+  for (uint64_t k = 0; k < 2000; ++k) {
+    uint64_t key = mix64(k);
+    auto id = r.route(key, now + Duration{1});
+    ASSERT_TRUE(id.has_value());
+    flows[key] = r.nameOf(*id);
+  }
+
+  for (int round = 0; round < 6; ++round) {
+    // Owner bulk-pins every live flow, then applies churn.
+    for (const auto& [key, name] : flows) {
+      auto id = r.idOf(name);
+      if (id && r.live(*id)) {
+        r.pin(key, *id);
+      }
+    }
+    if (round % 2 == 0) {
+      live.pop_back();
+    } else {
+      live.push_back("b" + std::to_string(8 + round));
+    }
+    now += Duration{5000};
+    r.setBackends(live, now);
+
+    size_t misroutes = 0;
+    for (auto& [key, name] : flows) {
+      auto id = r.route(key, now + Duration{1});
+      ASSERT_TRUE(id.has_value());
+      bool originalAlive =
+          std::find(live.begin(), live.end(), name) != live.end();
+      if (originalAlive && r.nameOf(*id) != name) {
+        ++misroutes;
+      }
+      flows[key] = r.nameOf(*id);  // victims re-home; record new owner
+    }
+    EXPECT_EQ(misroutes, 0u) << "round " << round;
+    now += Duration{5000};
+    r.maintain(now);  // quiescence: sweep agreeing pins
+  }
+  // After the final sweep most pins demoted — state stays bounded.
+  EXPECT_LT(r.pinnedFlows(), flows.size());
+}
+
+TEST(HybridRouterTest, MaintainExportsRouterGauges) {
+  StatelessGuard guard;
+  setStatelessLookupEnabled(true);
+  MetricsRegistry m;
+  auto o = routerOpts();
+  o.metricsPrefix = "l4.";
+  HybridRouter r(o, &m);
+  TimePoint t0 = Clock::now();
+  r.setBackends(makeBackends(3, "b"), t0);
+  ASSERT_TRUE(r.route(mix64(1), t0 + Duration{1}).has_value());
+  r.maintain(t0 + Duration{1});
+  auto snap = m.snapshot();
+  EXPECT_EQ(snap.at("gauge.l4.router.pinned_flows"), 1.0);
+  EXPECT_GE(snap.at("gauge.l4.router.promotions"), 1.0);
+  EXPECT_GE(snap.at("gauge.l4.router.churn_windows"), 1.0);
+  EXPECT_GE(snap.at("gauge.l4.router.othello_rebuilds"), 1.0);
+  EXPECT_GT(snap.at("gauge.l4.router.memory_bytes"), 0.0);
+  EXPECT_TRUE(snap.count("gauge.l4.shard0.size") == 1);
+  EXPECT_TRUE(snap.count("gauge.l4.shard1.size") == 1);
+}
+
+}  // namespace
+}  // namespace zdr::l4lb
