@@ -51,6 +51,12 @@ METRICS = {
     "lookup_p99_ns": (-1, 250.0),
     "bytes_per_flow": (-1, 2.0),
     "misroute_rate": (-1, 0.0),
+    # Reduced-copy relay plane (bench_relay). copy_bytes_per_req is
+    # structural — a spliced tunnel cell copies ~0 bytes/record, so any
+    # growth past the floor means payload re-entered userspace. The
+    # syscall floor is wide enough to absorb pipe-refill jitter.
+    "copy_bytes_per_req": (-1, 256.0),
+    "syscalls_per_req": (-1, 0.5),
 }
 
 
@@ -67,6 +73,8 @@ def cell_key(cell):
         cell.get("mode"),
         cell.get("flows"),
         cell.get("shards"),
+        cell.get("splice"),
+        cell.get("zerocopy"),
     )
 
 
@@ -89,6 +97,10 @@ def cell_label(cell):
         parts.append(f"flows={key[6]}")
     if key[7] is not None:
         parts.append(f"shards={key[7]}")
+    if key[8] is not None:
+        parts.append(f"splice={'on' if key[8] else 'off'}")
+    if key[9] is not None:
+        parts.append(f"zerocopy={'on' if key[9] else 'off'}")
     return " ".join(parts) or "cell"
 
 

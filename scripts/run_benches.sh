@@ -21,10 +21,12 @@ done
 
 if [ "$SMOKE" = 1 ]; then
   export ZDR_BENCH_SMOKE=1
-  # Figure benches plus the scale bench: bench_l4_scale self-scales via
-  # ZDR_BENCH_SMOKE (32k flows instead of 1M) and its misroute gate is
-  # structural, so the smoke pass still verifies correctness-under-churn.
-  PATTERN="$BUILD/bench/bench_fig* $BUILD/bench/bench_l4_scale"
+  # Figure benches plus the gated structural benches: bench_l4_scale
+  # self-scales via ZDR_BENCH_SMOKE (32k flows instead of 1M) and its
+  # misroute gate is structural, so the smoke pass still verifies
+  # correctness-under-churn; bench_relay's 2x copy-bytes gate is
+  # structural the same way (spliced bytes never cross userspace).
+  PATTERN="$BUILD/bench/bench_fig* $BUILD/bench/bench_l4_scale $BUILD/bench/bench_relay"
 else
   PATTERN="$BUILD/bench/*"
 fi

@@ -62,6 +62,22 @@ def l4_cell(**over):
     return cell
 
 
+def relay_cell(**over):
+    cell = {
+        "mode": "tunnel_chain",
+        "http_workers": 4,
+        "splice": True,
+        "zerocopy": True,
+        "errors": 0,
+        "rps": 1600.0,
+        "p99_ms": 40.0,
+        "copy_bytes_per_req": 0.0,
+        "syscalls_per_req": 6.7,
+    }
+    cell.update(over)
+    return cell
+
+
 def bench(*cells, smoke=True):
     return {"bench": "x", "smoke": smoke, "cells": list(cells)}
 
@@ -187,6 +203,45 @@ def test_l4_misroute_rate_zero_policed():
     assert n == 1
     assert "misroute_rate" in findings[0]
     assert "baseline is zero" in findings[0]
+
+
+def test_relay_cells_key_on_splice_and_zerocopy():
+    # Same metrics, different fast-path switches — must not match.
+    cur = bench(relay_cell(splice=False, zerocopy=False))
+    base = bench(relay_cell())
+    n, findings = run_check(cur, base)
+    assert n == 1
+    assert "missing from baseline" in findings[0]
+    assert "splice=off" in findings[0] and "zerocopy=off" in findings[0]
+
+
+def test_relay_copy_bytes_zero_policed():
+    # A spliced chain copies zero bytes by construction; payload showing
+    # back up in userspace past the floor is a fast-path regression even
+    # though no relative delta exists against the 0 baseline.
+    cur = bench(relay_cell(copy_bytes_per_req=63897.0))
+    base = bench(relay_cell())
+    n, findings = run_check(cur, base)
+    assert n == 1
+    assert "copy_bytes_per_req" in findings[0]
+    assert "baseline is zero" in findings[0]
+
+
+def test_relay_copy_bytes_noise_floor():
+    # +200 B/record is under the 256 B floor: preface/verdict overhead
+    # drift, not payload re-entering userspace.
+    cur = bench(relay_cell(copy_bytes_per_req=200.0))
+    base = bench(relay_cell())
+    n, findings = run_check(cur, base)
+    assert n == 0, findings
+
+
+def test_relay_syscalls_per_req_regression_detected():
+    cur = bench(relay_cell(syscalls_per_req=13.4))  # 2x past the floor
+    base = bench(relay_cell())
+    n, findings = run_check(cur, base)
+    assert n == 1
+    assert "syscalls_per_req" in findings[0]
 
 
 def _run_cli(cur, base, *extra):

@@ -15,7 +15,9 @@ void Session::start() {
       self->cbs_.onClose(ec);
     }
   });
-  conn_->start();
+  if (!conn_->started()) {
+    conn_->start();
+  }
 }
 
 uint32_t Session::openStream() {

@@ -47,6 +47,13 @@ class Session : public std::enable_shared_from_this<Session> {
   // Attaches to the connection and starts processing frames.
   void start();
 
+  // Feeds bytes that were read from the connection before this session
+  // attached (a listener that sniffs a preface to pick a protocol reads
+  // ahead, then replays the non-matching bytes here). Consumes what
+  // parses; partial trailing frames stay in `in` for the data callback
+  // installed by start().
+  void injectInput(Buffer& in) { handleInput(in); }
+
   // Allocates the next locally-initiated stream id (client: odd,
   // server: even). Returns 0 if the session can no longer open streams
   // (GOAWAY received or transport closed).

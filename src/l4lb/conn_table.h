@@ -12,15 +12,15 @@
 // routing hot path now runs on the compact sharded FlowTable behind
 // HybridRouter (see flow_table.h) — this node-based version costs
 // ~150+ heap bytes per flow against FlowTable's 24-byte flat slots.
+// Recency mechanics live in the shared LruMap (netcore/lru_map.h).
 #pragma once
 
 #include <cstdint>
-#include <list>
 #include <optional>
 #include <string>
-#include <unordered_map>
 
 #include "metrics/metrics.h"
+#include "netcore/lru_map.h"
 
 namespace zdr::l4lb {
 
@@ -30,14 +30,13 @@ class ConnTable {
 
   // Returns the pinned backend, refreshing recency.
   std::optional<std::string> lookup(uint64_t flowKey) {
-    auto it = index_.find(flowKey);
-    if (it == index_.end()) {
+    std::string* backend = lru_.touch(flowKey);
+    if (backend == nullptr) {
       ++misses_;
       return std::nullopt;
     }
     ++hits_;
-    order_.splice(order_.begin(), order_, it->second);
-    return it->second->second;
+    return *backend;
   }
 
   // Ordering contract (churn-regression audited): the existing-key
@@ -45,33 +44,22 @@ class ConnTable {
   // never push another flow out; eviction runs only on the miss path,
   // and only as long as the table is actually over budget.
   void insert(uint64_t flowKey, std::string backend) {
-    auto it = index_.find(flowKey);
-    if (it != index_.end()) {
-      it->second->second = std::move(backend);
-      order_.splice(order_.begin(), order_, it->second);
+    if (std::string* existing = lru_.touch(flowKey)) {
+      *existing = std::move(backend);
       return;
     }
     if (capacity_ == 0) {
       return;  // a zero-capacity table pins nothing — never evict-thrash
     }
-    while (index_.size() >= capacity_ && !order_.empty()) {
-      index_.erase(order_.back().first);
-      order_.pop_back();
+    while (lru_.size() >= capacity_ && lru_.evictOldest()) {
       ++evictions_;
     }
-    order_.emplace_front(flowKey, std::move(backend));
-    index_[flowKey] = order_.begin();
+    lru_.insertFront(flowKey, std::move(backend));
   }
 
-  void erase(uint64_t flowKey) {
-    auto it = index_.find(flowKey);
-    if (it != index_.end()) {
-      order_.erase(it->second);
-      index_.erase(it);
-    }
-  }
+  void erase(uint64_t flowKey) { lru_.erase(flowKey); }
 
-  [[nodiscard]] size_t size() const noexcept { return index_.size(); }
+  [[nodiscard]] size_t size() const noexcept { return lru_.size(); }
   [[nodiscard]] size_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] uint64_t hits() const noexcept { return hits_; }
   [[nodiscard]] uint64_t misses() const noexcept { return misses_; }
@@ -86,15 +74,12 @@ class ConnTable {
     m.gauge(base + ".hits").set(static_cast<double>(hits_));
     m.gauge(base + ".misses").set(static_cast<double>(misses_));
     m.gauge(base + ".evictions").set(static_cast<double>(evictions_));
-    m.gauge(base + ".size").set(static_cast<double>(index_.size()));
+    m.gauge(base + ".size").set(static_cast<double>(lru_.size()));
   }
 
  private:
   size_t capacity_;
-  std::list<std::pair<uint64_t, std::string>> order_;  // MRU at front
-  std::unordered_map<uint64_t,
-                     std::list<std::pair<uint64_t, std::string>>::iterator>
-      index_;
+  LruMap<uint64_t, std::string> lru_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;

@@ -19,6 +19,23 @@ constexpr size_t kMaxIov = 64;
 // opening a new one, so bursts of tiny frames don't bloat the iovec
 // list.
 constexpr size_t kSegmentMergeCap = 16 * 1024;
+// Segments at least this large are sent with MSG_ZEROCOPY (pinning the
+// segment until the kernel's completion). Below it the page-pinning
+// bookkeeping costs more than the copy; the threshold sits above
+// kSegmentMergeCap so eligible segments are always unmerged.
+constexpr size_t kZeroCopyMin = 32 * 1024;
+// Bytes requested per splice(2) into the relay pipe. The pipe's own
+// capacity (64 KiB default) is the real cap; asking for more just lets
+// one syscall fill it.
+constexpr size_t kSpliceChunk = 256 * 1024;
+// Copying-pump backpressure: stop reading while the sink holds more
+// than this many unflushed bytes.
+constexpr size_t kRelayHighWater = 256 * 1024;
+
+bool wouldBlock(const std::error_code& ec) noexcept {
+  return ec == std::errc::operation_would_block ||
+         ec == std::errc::resource_unavailable_try_again;
+}
 }  // namespace
 
 Connection::Connection(EventLoop& loop, TcpSocket sock)
@@ -37,12 +54,36 @@ void Connection::start() {
   // every other cost in the serving path.
   sock_.setNoDelay(true);
   auto self = shared_from_this();
+  interest_ = EPOLLIN;
   loop_.addFd(sock_.fd(), EPOLLIN,
               [self](uint32_t events) { self->handleEvents(events); });
   registered_ = true;
 }
 
 void Connection::handleEvents(uint32_t events) {
+  if ((events & EPOLLERR) && !closed_ && sock_.valid()) {
+    // MSG_ZEROCOPY completions arrive on the error queue: EPOLLERR
+    // fires with SO_ERROR still 0. Reap before deciding the event is
+    // fatal, and only treat it as a real error when the queue held a
+    // non-zerocopy entry or SO_ERROR is set.
+    ZeroCopyReap reap = reapZeroCopyCompletions(sock_.fd());
+    if (reap.any) {
+      if (!zcAnyDone_ ||
+          static_cast<int32_t>(reap.highestSeq - zcCompletedThrough_) > 0) {
+        zcCompletedThrough_ = reap.highestSeq;
+      }
+      zcAnyDone_ = true;
+      releaseCompletedZcSends(zcCompletedThrough_);
+    }
+    bool fatal = reap.fatal || (events & EPOLLHUP) != 0 ||
+                 detail::getSoError(sock_.fd()) != 0;
+    if (!fatal) {
+      events &= ~static_cast<uint32_t>(EPOLLERR);
+      if (events == 0) {
+        return;
+      }
+    }
+  }
   if (events & (EPOLLERR | EPOLLHUP)) {
     // Pull any final bytes first so data racing a reset is not lost.
     handleReadable();
@@ -63,6 +104,10 @@ void Connection::handleEvents(uint32_t events) {
 }
 
 void Connection::handleReadable() {
+  if (relaySink_) {
+    pumpRelay();
+    return;
+  }
   bool vectored = vectoredIoEnabled();
   while (sock_.valid()) {
     std::error_code ec;
@@ -145,12 +190,98 @@ void Connection::consumeOut(size_t n) {
   }
 }
 
+bool Connection::zeroCopyUsable() {
+  if (!zeroCopyEnabled() || !zeroCopySupported()) {
+    return false;
+  }
+  if (!zcTried_) {
+    zcTried_ = true;
+    zcEnabled_ = sock_.enableZeroCopy();
+  }
+  return zcEnabled_;
+}
+
+void Connection::releaseCompletedZcSends(uint32_t completedThrough) {
+  while (!zcPending_.empty()) {
+    ZcSend& front = zcPending_.front();
+    if (front.sent < front.buf.size()) {
+      break;  // still being sent; nothing behind it can complete either
+    }
+    if (front.pinned &&
+        static_cast<int32_t>(completedThrough - front.seqHi) < 0) {
+      break;  // kernel still references these pages
+    }
+    zcPending_.pop_front();
+  }
+}
+
+// Sends the unsent tail of the newest pinned buffer. Returns true when
+// no zerocopy bytes remain queued; false when blocked (EAGAIN / short
+// write) or the connection died.
+bool Connection::flushZcRemainder() {
+  while (zcUnsent_ > 0 && sock_.valid() && !closed_) {
+    ZcSend& zc = zcPending_.back();
+    auto rest = zc.buf.readable().subspan(zc.sent);
+    bool pinned = false;
+    std::error_code ec;
+    size_t n = sock_.sendZeroCopy(rest, pinned, ec);
+    if (ec) {
+      if (!wouldBlock(ec)) {
+        close(ec);
+      }
+      return false;
+    }
+    if (pinned) {
+      zc.seqHi = zcNextSeq_++;
+      zc.pinned = true;
+    }
+    zc.sent += n;
+    zcUnsent_ -= n;
+    if (zc.sent == zc.buf.size() && !zc.pinned) {
+      // Every send of this buffer fell back to copying: no completion
+      // will ever arrive, release it now.
+      zcPending_.pop_back();
+    }
+    if (n < rest.size()) {
+      return false;  // kernel buffer full: wait for EPOLLOUT
+    }
+  }
+  return zcUnsent_ == 0;
+}
+
 void Connection::flushOut() {
+  // Zerocopy remainder first: those bytes were queued before anything
+  // currently in out_, so order demands they drain first.
+  if (!flushZcRemainder()) {
+    if (!closed_) {
+      updateInterest();
+    }
+    return;
+  }
   while (outBytes_ > 0 && sock_.valid()) {
     std::error_code ec;
     size_t attempted = 0;
     size_t n = 0;
     if (vectoredIoEnabled()) {
+      // A large front segment graduates to MSG_ZEROCOPY: move the whole
+      // Buffer out of the queue into the pinned holder (consume() and
+      // ensureWritable() compact via memmove, which would shift bytes
+      // the kernel still references) and send from there untouched.
+      if (out_.front().size() >= kZeroCopyMin && zeroCopyUsable()) {
+        ZcSend zc;
+        zc.buf = std::move(out_.front());
+        out_.pop_front();
+        outBytes_ -= zc.buf.size();
+        zcUnsent_ += zc.buf.size();
+        zcPending_.push_back(std::move(zc));
+        if (!flushZcRemainder()) {
+          if (!closed_) {
+            updateInterest();
+          }
+          return;
+        }
+        continue;
+      }
       std::array<iovec, kMaxIov> iov;
       size_t cnt = 0;
       for (const auto& seg : out_) {
@@ -160,6 +291,9 @@ void Connection::flushOut() {
         auto r = seg.readable();
         if (r.empty()) {
           continue;
+        }
+        if (cnt > 0 && r.size() >= kZeroCopyMin && zeroCopyUsable()) {
+          break;  // let the next pass promote this segment to zerocopy
         }
         iov[cnt].iov_base = const_cast<std::byte*>(r.data());
         iov[cnt].iov_len = r.size();
@@ -173,8 +307,7 @@ void Connection::flushOut() {
       n = sock_.write(r, ec);
     }
     if (ec) {
-      if (ec != std::errc::operation_would_block &&
-          ec != std::errc::resource_unavailable_try_again) {
+      if (!wouldBlock(ec)) {
         close(ec);
         return;
       }
@@ -185,10 +318,21 @@ void Connection::flushOut() {
       break;  // kernel buffer full (or injected short write): wait for EPOLLOUT
     }
   }
-  if (outBytes_ == 0) {
+  if (pendingOutput() == 0) {
     if (drainCb_) {
       auto cb = drainCb_;  // same self-close hazard as dataCb_
       cb();
+    }
+    if (relayKick_) {
+      // A relay source paused because this side was blocked; now that
+      // every queued byte reached the kernel, restart its pump.
+      relayKick_ = false;
+      if (auto src = relaySource_.lock()) {
+        if (!src->closed_) {
+          src->resumeRead();
+          src->pumpRelay();
+        }
+      }
     }
     if (closeOnDrain_ && !closed_) {
       close({});
@@ -282,11 +426,20 @@ void Connection::send(std::span<const std::byte> bytes) {
 }
 
 void Connection::updateInterest() {
-  bool want = outBytes_ > 0;
-  if (want != wantWrite_ && sock_.valid() && registered_) {
-    wantWrite_ = want;
-    loop_.modifyFd(sock_.fd(),
-                   EPOLLIN | (want ? static_cast<uint32_t>(EPOLLOUT) : 0u));
+  if (!sock_.valid() || !registered_) {
+    return;
+  }
+  // Read interest is masked while a relay pump waits on its sink
+  // (level-triggered EPOLLIN would busy-loop otherwise); write interest
+  // covers queued bytes, a pinned zerocopy remainder, and a relay
+  // source waiting for this socket to become writable again.
+  uint32_t ev =
+      (readPaused_ ? 0u : static_cast<uint32_t>(EPOLLIN)) |
+      ((pendingOutput() > 0 || relayKick_) ? static_cast<uint32_t>(EPOLLOUT)
+                                           : 0u);
+  if (ev != interest_) {
+    interest_ = ev;
+    loop_.modifyFd(sock_.fd(), ev);
   }
 }
 
@@ -301,6 +454,24 @@ void Connection::close(std::error_code reason) {
   // path must not demote that to silent loss when a close beats the
   // end-of-iteration flush. Skip while a fault-injected delay owns the
   // queue — those bytes are "in flight in the network", not ours.
+  if (!delayArmed_ && zcUnsent_ > 0 && sock_.valid()) {
+    // Unsent zerocopy remainder precedes out_; push it with plain
+    // writes (no point pinning pages on a dying socket).
+    std::error_code ec;
+    while (zcUnsent_ > 0 && !ec) {
+      ZcSend& zc = zcPending_.back();
+      auto rest = zc.buf.readable().subspan(zc.sent);
+      size_t n = sock_.write(rest, ec);
+      if (ec) {
+        break;
+      }
+      zc.sent += n;
+      zcUnsent_ -= n;
+      if (n < rest.size()) {
+        break;
+      }
+    }
+  }
   if (!delayArmed_ && outBytes_ > 0 && sock_.valid()) {
     std::error_code ec;
     while (outBytes_ > 0 && !ec) {
@@ -340,6 +511,12 @@ void Connection::close(std::error_code reason) {
     fault::FaultRegistry::instance().onFdClosed(sock_.fd());
   }
   sock_.close();
+  // Pinned zerocopy buffers: the kernel holds page references, not
+  // vaddr references, so freeing the userspace memory here is safe
+  // even with completions still outstanding.
+  zcPending_.clear();
+  zcUnsent_ = 0;
+  releaseRelayState();
   // Callbacks routinely capture shared_ptrs to the object that owns
   // this connection; dropping them here breaks the reference cycle the
   // moment the connection dies.
@@ -354,10 +531,216 @@ void Connection::close(std::error_code reason) {
 }
 
 void Connection::closeAfterFlush() {
-  if (outBytes_ == 0 && !flushScheduled_) {
+  if (pendingOutput() == 0 && !flushScheduled_) {
     close({});
   } else {
     closeOnDrain_ = true;
+  }
+}
+
+// ------------------------------------------------------------- relay mode
+
+void Connection::startRelayTo(std::shared_ptr<Connection> sink) {
+  if (closed_ || !sock_.valid() || !sink || !sink->open()) {
+    return;
+  }
+  relaySink_ = std::move(sink);
+  relaySink_->relaySource_ = weak_from_this();
+  relayEof_ = false;
+  // Bytes that arrived before the flip (pipelined after a handshake,
+  // say) go through the sink's normal send path ahead of the pump.
+  if (!in_.empty()) {
+    auto r = in_.readable();
+    relayedBytes_ += r.size();
+    relaySink_->send(r);
+    in_.clear();
+  }
+  resumeRead();
+  pumpRelay();
+}
+
+void Connection::stopRelay() {
+  if (!relaySink_) {
+    return;
+  }
+  auto sink = relaySink_;
+  if (relayPipe_.buffered > 0 && sink->open()) {
+    drainPipeToSink(*sink);  // best-effort; residue closes the pipe below
+  }
+  releaseRelayState();
+  if (!closed_) {
+    resumeRead();
+    updateInterest();
+  }
+}
+
+void Connection::releaseRelayState() {
+  if (relayPipe_.valid()) {
+    PipePool::forThisThread().release(std::move(relayPipe_));
+  }
+  relaySink_.reset();
+  relayKick_ = false;
+  relayEof_ = false;
+  readPaused_ = false;
+}
+
+void Connection::resumeRead() {
+  if (readPaused_) {
+    readPaused_ = false;
+    if (!closed_) {
+      updateInterest();
+    }
+  }
+}
+
+void Connection::waitForSink(Connection& sink) {
+  if (!readPaused_) {
+    readPaused_ = true;
+    updateInterest();
+  }
+  sink.relayKick_ = true;
+  sink.relaySource_ = weak_from_this();
+  sink.updateInterest();
+}
+
+void Connection::pumpRelay() {
+  auto sink = relaySink_;  // keep the pair alive across callbacks
+  if (!sink || closed_ || !sock_.valid()) {
+    return;
+  }
+  if (!sink->open()) {
+    close(std::make_error_code(std::errc::connection_reset));
+    return;
+  }
+  bool fast = spliceRelayEnabled();
+  if (fast && fault::active()) {
+    // splice(2) bypasses the byte-level fault hooks in Socket; an fd
+    // with an armed plan must take the copying pump so kill-at-byte /
+    // truncate land at exact offsets.
+    auto& reg = fault::FaultRegistry::instance();
+    if (reg.planFor(sock_.fd()) || reg.planFor(sink->fd())) {
+      fast = false;
+    }
+  }
+  if (fast && !relayPipe_.valid()) {
+    relayPipe_ = PipePool::forThisThread().acquire();
+    if (!relayPipe_.valid()) {
+      fast = false;  // pipe2 failed (fd exhaustion): copy instead
+    }
+  }
+  if (!fast && relayPipe_.buffered > 0) {
+    // Mid-stream switch to the copying pump: in-kernel residue must
+    // drain first to preserve byte order.
+    if (!drainPipeToSink(*sink)) {
+      return;
+    }
+  }
+  if (fast) {
+    pumpSplice(*sink);
+  } else {
+    pumpCopy(*sink);
+  }
+}
+
+// Moves pipe contents into the sink socket. Returns true when the pipe
+// emptied; false when blocked (pump re-armed via the sink) or dead.
+bool Connection::drainPipeToSink(Connection& sink) {
+  while (relayPipe_.buffered > 0) {
+    if (sink.pendingOutput() > 0) {
+      // The sink still has userspace-queued bytes; splicing directly
+      // to its socket would overtake them.
+      waitForSink(sink);
+      return false;
+    }
+    std::error_code ec;
+    size_t n = sink.socket().spliceOut(relayPipe_.rd.get(),
+                                       relayPipe_.buffered, ec);
+    if (ec) {
+      if (wouldBlock(ec)) {
+        waitForSink(sink);
+        return false;
+      }
+      if (ec == std::errc::interrupted) {
+        continue;
+      }
+      sink.close(ec);
+      if (!closed_) {
+        close(std::make_error_code(std::errc::connection_reset));
+      }
+      return false;
+    }
+    relayPipe_.buffered -= n;
+    relayedBytes_ += n;
+  }
+  return true;
+}
+
+void Connection::pumpSplice(Connection& sink) {
+  for (;;) {
+    if (!drainPipeToSink(sink)) {
+      return;
+    }
+    if (relayEof_) {
+      close({});  // orderly EOF, pipe fully drained
+      return;
+    }
+    std::error_code ec;
+    size_t n = sock_.spliceIn(relayPipe_.wr.get(), kSpliceChunk, ec);
+    if (ec) {
+      if (wouldBlock(ec)) {
+        // The pipe is empty (just drained), so EAGAIN means the socket
+        // has nothing to read: wait for EPOLLIN.
+        resumeRead();
+        return;
+      }
+      if (ec == std::errc::interrupted) {
+        continue;
+      }
+      close(ec);
+      return;
+    }
+    if (n == 0) {
+      relayEof_ = true;  // drain residue, then close
+      continue;
+    }
+    relayPipe_.buffered += n;
+  }
+}
+
+void Connection::pumpCopy(Connection& sink) {
+  while (sock_.valid() && !closed_) {
+    if (sink.pendingOutput() >= kRelayHighWater) {
+      waitForSink(sink);
+      return;
+    }
+    std::array<std::byte, 16384> chunk;
+    std::error_code ec;
+    size_t n = sock_.read(chunk, ec);
+    if (ec) {
+      if (wouldBlock(ec)) {
+        resumeRead();
+        return;
+      }
+      if (ec == std::errc::interrupted) {
+        continue;
+      }
+      close(ec);
+      return;
+    }
+    if (n == 0) {
+      close({});
+      return;
+    }
+    relayedBytes_ += n;
+    sink.send(std::span(chunk.data(), n));
+    if (!sink.open()) {
+      close(std::make_error_code(std::errc::connection_reset));
+      return;
+    }
+    if (n < chunk.size()) {
+      resumeRead();
+      return;  // socket drained
+    }
   }
 }
 

@@ -6,6 +6,7 @@
 // owning loop's thread.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -15,6 +16,7 @@
 #include "netcore/buffer.h"
 #include "netcore/event_loop.h"
 #include "netcore/socket.h"
+#include "netcore/splice_relay.h"
 
 namespace zdr {
 
@@ -65,11 +67,37 @@ class Connection : public std::enable_shared_from_this<Connection> {
   // Closes once the output buffer drains (graceful).
   void closeAfterFlush();
 
+  // ---- Relay mode (reduced-copy fast path) --------------------------
+  //
+  // startRelayTo(sink) turns this connection into a pass-through pump:
+  // every byte read from this socket is forwarded to `sink` without
+  // touching the data callback or the input buffer. When the splice
+  // fast path is enabled (and neither fd has an armed fault plan) the
+  // bytes move socket→pipe→socket entirely in-kernel; otherwise an
+  // equivalent userspace read→send pump runs with byte-identical
+  // semantics. Relaying is per-direction — call it on both connections
+  // for a bidirectional tunnel. The sink may be swapped mid-stream
+  // (DCR make-before-break) by calling startRelayTo again. EOF or an
+  // error on this socket closes this connection normally (the close
+  // callback fires); the caller owns tearing down the pair. Both
+  // connections must live on the same event loop.
+  void startRelayTo(std::shared_ptr<Connection> sink);
+  // Leaves relay mode: pending in-kernel pipe bytes are flushed to the
+  // sink best-effort, the pipe returns to the pool, and the data
+  // callback resumes receiving subsequent bytes.
+  void stopRelay();
+  [[nodiscard]] bool relaying() const noexcept { return relaySink_ != nullptr; }
+  // Bytes forwarded to the sink since relay mode started (both paths).
+  [[nodiscard]] uint64_t relayedBytes() const noexcept { return relayedBytes_; }
+
   [[nodiscard]] bool open() const noexcept { return sock_.valid(); }
   // True once start() registered the fd (pooled connections are handed
   // out already started).
   [[nodiscard]] bool started() const noexcept { return registered_; }
-  [[nodiscard]] size_t pendingOutput() const noexcept { return outBytes_; }
+  // Unsent bytes queued here, including a pinned zerocopy remainder.
+  [[nodiscard]] size_t pendingOutput() const noexcept {
+    return outBytes_ + zcUnsent_;
+  }
   [[nodiscard]] int fd() const noexcept { return sock_.fd(); }
   [[nodiscard]] EventLoop& loop() noexcept { return loop_; }
   [[nodiscard]] TcpSocket& socket() noexcept { return sock_; }
@@ -90,6 +118,20 @@ class Connection : public std::enable_shared_from_this<Connection> {
   // one syscall.
   void scheduleFlush();
 
+  // Relay pump internals (see connection.cpp for the state machine).
+  void pumpRelay();
+  void pumpSplice(Connection& sink);
+  void pumpCopy(Connection& sink);
+  bool drainPipeToSink(Connection& sink);
+  void waitForSink(Connection& sink);
+  void resumeRead();
+  void releaseRelayState();
+
+  // Zerocopy send plumbing.
+  bool zeroCopyUsable();
+  bool flushZcRemainder();           // false ⇒ blocked or closed
+  void releaseCompletedZcSends(uint32_t completedThrough);
+
   EventLoop& loop_;
   TcpSocket sock_;
   Buffer in_;
@@ -103,11 +145,41 @@ class Connection : public std::enable_shared_from_this<Connection> {
   CloseCallback closeCb_;
   DrainCallback drainCb_;
   bool registered_ = false;
-  bool wantWrite_ = false;
+  uint32_t interest_ = 0;  // epoll event mask currently registered
   bool closeOnDrain_ = false;
   bool closed_ = false;
   bool delayArmed_ = false;  // fault injection: a delayed flush is pending
   bool flushScheduled_ = false;
+
+  // Relay state. relaySink_ is where bytes read here go; relaySource_
+  // points back from a sink to the pump to kick when this side drains.
+  // relaySink_ is the only shared_ptr in the pair cycle and is cleared
+  // in close()/stopRelay(), so relay pairs cannot leak each other.
+  std::shared_ptr<Connection> relaySink_;
+  std::weak_ptr<Connection> relaySource_;
+  RelayPipe relayPipe_;
+  uint64_t relayedBytes_ = 0;
+  bool readPaused_ = false;   // EPOLLIN masked while the sink is blocked
+  bool relayKick_ = false;    // sink side: wake the source when writable
+  bool relayEof_ = false;     // source hit EOF; pipe residue still due
+
+  // MSG_ZEROCOPY: segments handed to the kernel stay pinned (byte
+  // stable) in this queue until the errqueue completion covering their
+  // last sequence number arrives. Only the back entry may be partially
+  // sent; its remainder is flushed ahead of out_ to preserve order.
+  struct ZcSend {
+    Buffer buf;
+    size_t sent = 0;
+    uint32_t seqHi = 0;   // last seq this buffer's sends occupied
+    bool pinned = false;  // at least one send actually pinned pages
+  };
+  std::deque<ZcSend> zcPending_;
+  size_t zcUnsent_ = 0;        // unsent tail of zcPending_.back()
+  uint32_t zcNextSeq_ = 0;     // seq the kernel assigns to the next zc send
+  uint32_t zcCompletedThrough_ = 0;  // high-water mark (valid if zcAnyDone_)
+  bool zcAnyDone_ = false;
+  bool zcTried_ = false;
+  bool zcEnabled_ = false;     // SO_ZEROCOPY accepted on this socket
 };
 
 using ConnectionPtr = std::shared_ptr<Connection>;

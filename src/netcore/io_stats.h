@@ -32,6 +32,30 @@ struct IoStats {
   // Batch-fill distribution: datagrams moved per batched syscall.
   HdrHistogram udpDatagramsPerSyscall;
 
+  // Reduced-copy relay plane. bytesRead/bytesWritten above already
+  // count every byte that crossed userspace; spliceBytes counts bytes
+  // that moved socket→pipe→socket entirely in-kernel (never touching a
+  // userspace Buffer), and zcBytesSent counts bytes handed to the
+  // kernel with MSG_ZEROCOPY (pinned, not memcpy'd into skbs — unless
+  // the completion comes back "copied", which zcCopiedCompletions
+  // tracks). copy-bytes/req = (bytesRead + bytesWritten) / requests.
+  std::atomic<uint64_t> spliceCalls{0};
+  std::atomic<uint64_t> spliceBytes{0};
+  std::atomic<uint64_t> zcSendCalls{0};
+  std::atomic<uint64_t> zcBytesSent{0};
+  std::atomic<uint64_t> zcCompletions{0};
+  // Completions flagged SO_EE_CODE_ZEROCOPY_COPIED: the kernel fell
+  // back to copying (loopback always does). The send still worked;
+  // this only means the pin bought nothing for those bytes.
+  std::atomic<uint64_t> zcCopiedCompletions{0};
+  // MSG_ZEROCOPY sends that failed (ENOBUFS etc.) and were retried as
+  // plain sends.
+  std::atomic<uint64_t> zcFallbacks{0};
+  // Relay pipe pool: pipe2() pairs created vs handed back out of the
+  // per-thread free list.
+  std::atomic<uint64_t> pipePoolCreated{0};
+  std::atomic<uint64_t> pipePoolReused{0};
+
   void reset() noexcept {
     readCalls = 0;
     readvCalls = 0;
@@ -43,6 +67,15 @@ struct IoStats {
     udpBatchSyscalls = 0;
     udpDatagrams = 0;
     udpDatagramsPerSyscall.reset();
+    spliceCalls = 0;
+    spliceBytes = 0;
+    zcSendCalls = 0;
+    zcBytesSent = 0;
+    zcCompletions = 0;
+    zcCopiedCompletions = 0;
+    zcFallbacks = 0;
+    pipePoolCreated = 0;
+    pipePoolReused = 0;
   }
   [[nodiscard]] uint64_t totalWriteSyscalls() const noexcept {
     return writeCalls.load(std::memory_order_relaxed) +
@@ -55,6 +88,13 @@ struct IoStats {
   [[nodiscard]] uint64_t totalUdpSyscalls() const noexcept {
     return udpScalarSyscalls.load(std::memory_order_relaxed) +
            udpBatchSyscalls.load(std::memory_order_relaxed);
+  }
+  // Bytes that crossed a userspace buffer (copied at least once each
+  // way). Spliced bytes are deliberately absent: they are the bytes
+  // the relay fast path stopped copying.
+  [[nodiscard]] uint64_t copiedBytes() const noexcept {
+    return bytesRead.load(std::memory_order_relaxed) +
+           bytesWritten.load(std::memory_order_relaxed);
   }
 };
 
@@ -72,6 +112,15 @@ inline std::atomic<bool>& batchedUdpFlag() noexcept {
 inline std::atomic<bool>& vectoredIoFlag() noexcept {
   static std::atomic<bool> enabled{std::getenv("ZDR_NO_VECTORED_IO") ==
                                    nullptr};
+  return enabled;
+}
+inline std::atomic<bool>& spliceRelayFlag() noexcept {
+  static std::atomic<bool> enabled{std::getenv("ZDR_NO_SPLICE_RELAY") ==
+                                   nullptr};
+  return enabled;
+}
+inline std::atomic<bool>& zeroCopyFlag() noexcept {
+  static std::atomic<bool> enabled{std::getenv("ZDR_NO_ZEROCOPY") == nullptr};
   return enabled;
 }
 }  // namespace detail
@@ -98,5 +147,32 @@ inline bool batchedUdpEnabled() noexcept {
 inline void setBatchedUdpEnabled(bool on) noexcept {
   detail::batchedUdpFlag().store(on, std::memory_order_relaxed);
 }
+
+// When false (ZDR_NO_SPLICE_RELAY=1, or setSpliceRelayEnabled(false)),
+// Connection relay mode pumps bytes through a userspace buffer (read →
+// send) instead of socket→pipe→socket splice(2). Byte-identical
+// semantics either way; the bench flips this to measure both.
+inline bool spliceRelayEnabled() noexcept {
+  return detail::spliceRelayFlag().load(std::memory_order_relaxed);
+}
+inline void setSpliceRelayEnabled(bool on) noexcept {
+  detail::spliceRelayFlag().store(on, std::memory_order_relaxed);
+}
+
+// When false (ZDR_NO_ZEROCOPY=1, or setZeroCopyEnabled(false)), large
+// sends use the plain copying sendmsg path. Independently of the
+// switch, zerocopy is skipped when the kernel lacks SO_ZEROCOPY (see
+// zeroCopySupported()).
+inline bool zeroCopyEnabled() noexcept {
+  return detail::zeroCopyFlag().load(std::memory_order_relaxed);
+}
+inline void setZeroCopyEnabled(bool on) noexcept {
+  detail::zeroCopyFlag().store(on, std::memory_order_relaxed);
+}
+
+// One-time startup capability probe: true iff the kernel accepts
+// SO_ZEROCOPY on a TCP socket. Logs once to stderr when missing so
+// bench runs can tell which mode actually ran. Defined in socket.cpp.
+[[nodiscard]] bool zeroCopySupported() noexcept;
 
 }  // namespace zdr

@@ -5,6 +5,7 @@
 #include "netcore/fault_injection.h"
 #include "netcore/io_stats.h"
 #include "netcore/udp_batch.h"
+#include <linux/errqueue.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/types.h>
@@ -12,6 +13,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdio>
 #include <cstring>
 
 namespace zdr {
@@ -232,6 +234,153 @@ size_t TcpSocket::writev(std::span<const iovec> iov, std::error_code& ec) {
   size_t n = detail::ioResult(::sendmsg(fd_.get(), &msg, MSG_NOSIGNAL), ec);
   ioStats().bytesWritten.fetch_add(n, std::memory_order_relaxed);
   return n;
+}
+
+size_t TcpSocket::spliceIn(int pipeWr, size_t max, std::error_code& ec) {
+  ioStats().spliceCalls.fetch_add(1, std::memory_order_relaxed);
+  size_t n = detail::ioResult(
+      ::splice(fd_.get(), nullptr, pipeWr, nullptr, max,
+               SPLICE_F_NONBLOCK | SPLICE_F_MOVE),
+      ec);
+  ioStats().spliceBytes.fetch_add(n, std::memory_order_relaxed);
+  return n;
+}
+
+size_t TcpSocket::spliceOut(int pipeRd, size_t max, std::error_code& ec) {
+  ioStats().spliceCalls.fetch_add(1, std::memory_order_relaxed);
+  size_t n = detail::ioResult(
+      ::splice(pipeRd, nullptr, fd_.get(), nullptr, max,
+               SPLICE_F_NONBLOCK | SPLICE_F_MOVE),
+      ec);
+  ioStats().spliceBytes.fetch_add(n, std::memory_order_relaxed);
+  return n;
+}
+
+bool TcpSocket::enableZeroCopy() noexcept {
+#ifdef SO_ZEROCOPY
+  int one = 1;
+  return ::setsockopt(fd_.get(), SOL_SOCKET, SO_ZEROCOPY, &one,
+                      sizeof(one)) == 0;
+#else
+  return false;
+#endif
+}
+
+size_t TcpSocket::sendZeroCopy(std::span<const std::byte> buf, bool& pinned,
+                               std::error_code& ec) {
+  pinned = false;
+  if (detail::faultErr(fd_.get(), fault::Op::kWrite, ec)) {
+    return 0;
+  }
+  size_t len = buf.size();
+  if (detail::faultWriteFate(fd_.get(), len, ec)) {
+    return 0;
+  }
+#ifdef MSG_ZEROCOPY
+  ioStats().zcSendCalls.fetch_add(1, std::memory_order_relaxed);
+  ssize_t r = ::send(fd_.get(), buf.data(), len,
+                     MSG_ZEROCOPY | MSG_NOSIGNAL);
+  if (r >= 0) {
+    size_t n = static_cast<size_t>(r);
+    // The kernel pins the pages but the bytes still count as written
+    // for throughput accounting; zcBytesSent separates out how many
+    // skipped the userspace-copy-into-skb.
+    ioStats().bytesWritten.fetch_add(n, std::memory_order_relaxed);
+    ioStats().zcBytesSent.fetch_add(n, std::memory_order_relaxed);
+    pinned = n > 0;  // seq advanced iff bytes were accepted
+    ec.clear();
+    return n;
+  }
+  if (errno != ENOBUFS) {
+    ec = errnoCode();
+    return 0;
+  }
+  // ENOBUFS: optmem limit or missing SO_ZEROCOPY — retry as a plain
+  // copying send so callers never see a zerocopy-specific failure.
+  ioStats().zcFallbacks.fetch_add(1, std::memory_order_relaxed);
+#endif
+  ioStats().writeCalls.fetch_add(1, std::memory_order_relaxed);
+  size_t n = detail::ioResult(
+      ::send(fd_.get(), buf.data(), len, MSG_NOSIGNAL), ec);
+  ioStats().bytesWritten.fetch_add(n, std::memory_order_relaxed);
+  return n;
+}
+
+ZeroCopyReap reapZeroCopyCompletions(int fd) noexcept {
+  ZeroCopyReap reap;
+#ifdef MSG_ZEROCOPY
+  for (;;) {
+    char control[128];
+    msghdr msg{};
+    msg.msg_control = control;
+    msg.msg_controllen = sizeof(control);
+    ssize_t r = ::recvmsg(fd, &msg, MSG_ERRQUEUE);
+    if (r < 0) {
+      break;  // EAGAIN: queue drained
+    }
+    bool sawZc = false;
+    for (cmsghdr* cm = CMSG_FIRSTHDR(&msg); cm != nullptr;
+         cm = CMSG_NXTHDR(&msg, cm)) {
+      if ((cm->cmsg_level != SOL_IP || cm->cmsg_type != IP_RECVERR) &&
+          (cm->cmsg_level != SOL_IPV6 || cm->cmsg_type != IPV6_RECVERR)) {
+        continue;
+      }
+      sock_extended_err serr;
+      std::memcpy(&serr, CMSG_DATA(cm), sizeof(serr));
+      if (serr.ee_origin != SO_EE_ORIGIN_ZEROCOPY) {
+        reap.fatal = true;
+        continue;
+      }
+      sawZc = true;
+      // [ee_info, ee_data] is the inclusive completed seq range.
+      uint32_t lo = serr.ee_info;
+      uint32_t hi = serr.ee_data;
+      uint64_t count = static_cast<uint64_t>(hi) - lo + 1;
+      ioStats().zcCompletions.fetch_add(count, std::memory_order_relaxed);
+      if (serr.ee_code & SO_EE_CODE_ZEROCOPY_COPIED) {
+        ioStats().zcCopiedCompletions.fetch_add(count,
+                                                std::memory_order_relaxed);
+      }
+      if (!reap.any || hi > reap.highestSeq) {
+        reap.highestSeq = hi;
+      }
+      reap.any = true;
+    }
+    if (!sawZc && r == 0 && msg.msg_controllen == 0) {
+      break;  // nothing decodable, avoid spinning
+    }
+  }
+#else
+  (void)fd;
+#endif
+  return reap;
+}
+
+bool zeroCopySupported() noexcept {
+  static const bool supported = [] {
+#ifdef SO_ZEROCOPY
+    int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+      return false;
+    }
+    int one = 1;
+    bool ok = ::setsockopt(fd, SOL_SOCKET, SO_ZEROCOPY, &one,
+                           sizeof(one)) == 0;
+    ::close(fd);
+    if (!ok) {
+      std::fprintf(stderr,
+                   "zdr: kernel lacks SO_ZEROCOPY; large sends will use "
+                   "the copying path\n");
+    }
+    return ok;
+#else
+    std::fprintf(stderr,
+                 "zdr: built without MSG_ZEROCOPY support; large sends "
+                 "will use the copying path\n");
+    return false;
+#endif
+  }();
+  return supported;
 }
 
 std::error_code TcpSocket::connectError() const {

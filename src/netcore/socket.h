@@ -69,6 +69,26 @@ class TcpSocket {
   // message-level truncation semantics match the scalar write path.
   size_t writev(std::span<const iovec> iov, std::error_code& ec);
 
+  // Relay fast path: splice(2) between this socket and a pipe end.
+  // Bytes never cross userspace, so these bypass fault injection by
+  // construction — relay callers must route fds with an armed fault
+  // plan through the copying pump instead (Connection does). Returns
+  // bytes moved; 0 with ec clear means orderly EOF (spliceIn only).
+  size_t spliceIn(int pipeWr, size_t max, std::error_code& ec);   // socket→pipe
+  size_t spliceOut(int pipeRd, size_t max, std::error_code& ec);  // pipe→socket
+
+  // SO_ZEROCOPY opt-in; false when the kernel refuses (old kernel).
+  bool enableZeroCopy() noexcept;
+  // MSG_ZEROCOPY send. On success with `pinned` set true the kernel
+  // holds references into `buf`: the caller must keep the memory
+  // byte-stable until the errqueue completion for this send's sequence
+  // number arrives (one seq per successful >0-byte send, starting at 0
+  // after enableZeroCopy). When the kernel rejects the zerocopy send
+  // (ENOBUFS), falls back to a plain copying send in the same call and
+  // reports pinned=false.
+  size_t sendZeroCopy(std::span<const std::byte> buf, bool& pinned,
+                      std::error_code& ec);
+
   [[nodiscard]] std::error_code connectError() const;
   void shutdownWrite() noexcept;
   void setNoDelay(bool enabled);
@@ -82,6 +102,20 @@ class TcpSocket {
   explicit TcpSocket(FdGuard fd) : fd_(std::move(fd)) {}
   FdGuard fd_;
 };
+
+// Result of draining a socket's error queue of MSG_ZEROCOPY completion
+// notifications. Completions are reported as inclusive seq ranges; the
+// kernel delivers them in order for TCP, so a high-water mark suffices.
+struct ZeroCopyReap {
+  bool any = false;         // at least one completion drained
+  uint32_t highestSeq = 0;  // highest completed sequence (valid iff any)
+  bool fatal = false;       // errqueue held a non-zerocopy error
+};
+
+// Drains MSG_ERRQUEUE on `fd`. Must run on EPOLLERR *before* treating
+// the event as fatal: zerocopy completions arrive via the error queue
+// with SO_ERROR still 0. Bumps zcCompletions / zcCopiedCompletions.
+ZeroCopyReap reapZeroCopyCompletions(int fd) noexcept;
 
 // A listening TCP socket.
 class TcpListener {

@@ -1,0 +1,42 @@
+#include "netcore/splice_relay.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "netcore/io_stats.h"
+
+namespace zdr {
+
+PipePool& PipePool::forThisThread() {
+  thread_local PipePool pool;
+  return pool;
+}
+
+RelayPipe PipePool::acquire() {
+  if (count_ > 0) {
+    ioStats().pipePoolReused.fetch_add(1, std::memory_order_relaxed);
+    return std::move(free_[--count_]);
+  }
+  int fds[2];
+  if (::pipe2(fds, O_NONBLOCK | O_CLOEXEC) < 0) {
+    return {};
+  }
+  ioStats().pipePoolCreated.fetch_add(1, std::memory_order_relaxed);
+  RelayPipe pipe;
+  pipe.rd = FdGuard(fds[0]);
+  pipe.wr = FdGuard(fds[1]);
+  return pipe;
+}
+
+void PipePool::release(RelayPipe pipe) {
+  if (!pipe.valid() || pipe.buffered != 0 || count_ == kMaxFree) {
+    return;  // FdGuards close on destruction
+  }
+  free_[count_++] = std::move(pipe);
+}
+
+PipePool::~PipePool() = default;
+
+}  // namespace zdr

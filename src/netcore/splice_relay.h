@@ -1,0 +1,58 @@
+// Pooled pipe pairs for the splice(2) relay fast path.
+//
+// A relay moves bytes socket→pipe→socket without ever landing them in
+// a userspace buffer. pipe2(2) costs two fds and a kernel allocation,
+// so each event-loop thread keeps a small free list: a Connection
+// entering relay mode borrows a pair and returns it when the relay
+// ends. Only *drained* pipes go back on the list — a pipe still
+// holding bytes at teardown is closed instead, so a pooled pair is
+// always empty when handed out.
+//
+// Thread model: the pool is thread_local (one per event-loop thread,
+// matching the one-loop-per-thread invariant), so no locking.
+#pragma once
+
+#include <cstddef>
+
+#include "netcore/fd_guard.h"
+
+namespace zdr {
+
+// One pipe pair plus the count of bytes currently buffered inside it.
+// `buffered` is maintained by the relay pump (bytes spliced in minus
+// bytes spliced out); the kernel has no cheap query for it.
+struct RelayPipe {
+  FdGuard rd;
+  FdGuard wr;
+  size_t buffered = 0;
+
+  [[nodiscard]] bool valid() const noexcept {
+    return rd.valid() && wr.valid();
+  }
+};
+
+class PipePool {
+ public:
+  // The calling thread's pool (created on first use).
+  static PipePool& forThisThread();
+
+  // Returns a pooled pair when one is free, else creates a fresh one
+  // with pipe2(O_NONBLOCK | O_CLOEXEC). Invalid (both fds -1) when
+  // pipe2 fails — callers fall back to the copying pump.
+  RelayPipe acquire();
+
+  // Returns a pair to the free list. Pipes still holding bytes and
+  // pairs beyond the pool cap are closed instead.
+  void release(RelayPipe pipe);
+
+  [[nodiscard]] size_t freeCount() const noexcept { return count_; }
+
+  ~PipePool();
+
+ private:
+  static constexpr size_t kMaxFree = 16;
+  RelayPipe free_[kMaxFree];
+  size_t count_ = 0;
+};
+
+}  // namespace zdr

@@ -2,17 +2,17 @@
 // "for cache-able content (e.g., web, videos etc.) it responds to the
 // user" directly at the Edge).
 //
-// Capacity-bounded LRU with per-entry TTL.
+// Capacity-bounded LRU with per-entry TTL, on the shared LruMap
+// recency mechanics (netcore/lru_map.h).
 #pragma once
 
-#include <list>
 #include <mutex>
 #include <optional>
 #include <string>
-#include <unordered_map>
 
 #include "http/message.h"
 #include "netcore/event_loop.h"
+#include "netcore/lru_map.h"
 
 namespace zdr::proxygen {
 
@@ -23,50 +23,42 @@ class EdgeCache {
 
   std::optional<http::Response> get(const std::string& key) {
     std::lock_guard<std::mutex> lock(mutex_);
-    auto it = index_.find(key);
-    if (it == index_.end()) {
+    Entry* e = lru_.touch(key);
+    if (e == nullptr) {
       ++misses_;
       return std::nullopt;
     }
-    if (Clock::now() - it->second->insertedAt > ttl_) {
-      order_.erase(it->second);
-      index_.erase(it);
+    if (Clock::now() - e->insertedAt > ttl_) {
+      lru_.erase(key);
       ++expirations_;
       ++misses_;
       return std::nullopt;
     }
-    order_.splice(order_.begin(), order_, it->second);
     ++hits_;
-    return it->second->response;
+    return e->response;
   }
 
   void put(const std::string& key, http::Response response) {
     std::lock_guard<std::mutex> lock(mutex_);
-    auto it = index_.find(key);
-    if (it != index_.end()) {
-      it->second->response = std::move(response);
-      it->second->insertedAt = Clock::now();
-      order_.splice(order_.begin(), order_, it->second);
+    if (Entry* e = lru_.touch(key)) {
+      e->response = std::move(response);
+      e->insertedAt = Clock::now();
       return;
     }
-    if (index_.size() >= capacity_ && !order_.empty()) {
-      index_.erase(order_.back().key);
-      order_.pop_back();
+    if (lru_.size() >= capacity_ && lru_.evictOldest()) {
       ++evictions_;
     }
-    order_.push_front(Entry{key, std::move(response), Clock::now()});
-    index_[key] = order_.begin();
+    lru_.insertFront(key, Entry{std::move(response), Clock::now()});
   }
 
   void clear() {
     std::lock_guard<std::mutex> lock(mutex_);
-    order_.clear();
-    index_.clear();
+    lru_.clear();
   }
 
   [[nodiscard]] size_t size() const {
     std::lock_guard<std::mutex> lock(mutex_);
-    return index_.size();
+    return lru_.size();
   }
   [[nodiscard]] uint64_t hits() const {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -87,7 +79,6 @@ class EdgeCache {
 
  private:
   struct Entry {
-    std::string key;
     http::Response response;
     TimePoint insertedAt;
   };
@@ -97,8 +88,7 @@ class EdgeCache {
   mutable std::mutex mutex_;
   size_t capacity_;
   Duration ttl_;
-  std::list<Entry> order_;  // MRU first
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  LruMap<std::string, Entry> lru_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;

@@ -122,6 +122,7 @@ void Proxy::initCommon() {
       sh->spans = &metrics_->spanSink(wname, config_.spanSinkCapacity);
       sh->requestUs = &metrics_->hdr(wname + ".request_us");
       sh->inflightPeak = &metrics_->maxGauge(wname + ".inflight_peak");
+      sh->copyBytesPerReq = &metrics_->hdr(wname + ".copy_bytes_per_req");
     }
     shards_.push_back(std::move(sh));
   }
@@ -408,7 +409,8 @@ void Proxy::startHardDrain() {
                           : config_.drainPeriod;
   drainStart_ = Clock::now();
   drainTimer_ = loop_.runAfter(deadline, [this] {
-    if (userConnCount() + trunkSessionCount() + mqttTunnels_.size() > 0) {
+    if (userConnCount() + trunkSessionCount() + mqttTunnels_.size() +
+            directTunnelCount() > 0) {
       bump(config_.name + ".drain_deadline_exceeded");
       bump("release.drain_deadline_exceeded");
       tlPoint("drain_deadline_exceeded");
@@ -509,7 +511,8 @@ void Proxy::enterDrain() {
                           : config_.drainPeriod;
   drainStart_ = Clock::now();
   drainTimer_ = loop_.runAfter(deadline, [this] {
-    if (userConnCount() + trunkSessionCount() + mqttTunnels_.size() > 0) {
+    if (userConnCount() + trunkSessionCount() + mqttTunnels_.size() +
+            directTunnelCount() > 0) {
       bump(config_.name + ".drain_deadline_exceeded");
       bump("release.drain_deadline_exceeded");
       tlPoint("drain_deadline_exceeded");
@@ -531,7 +534,7 @@ void Proxy::drainWatchTick() {
     return;
   }
   if (userConnCount() == 0 && trunkSessionCount() == 0 &&
-      mqttTunnels_.empty()) {
+      mqttTunnels_.empty() && directTunnelCount() == 0) {
     bump(config_.name + ".drain_early_exit");
     tlPoint("drain_early_exit");
     terminate();
@@ -606,6 +609,19 @@ void Proxy::terminate() {
     }
     sh.trunkServerSessions.clear();
 
+    forcedCloses += sh.directTunnels.size();
+    for (const auto& dt : std::set<std::shared_ptr<DirectTunnel>>(
+             sh.directTunnels)) {
+      originCloseDirectTunnel(dt);
+    }
+    sh.directTunnels.clear();
+
+    for (const auto& conn :
+         std::set<ConnectionPtr>(sh.sniffingTrunkConns)) {
+      conn->close(std::make_error_code(std::errc::connection_reset));
+    }
+    sh.sniffingTrunkConns.clear();
+
     if (sh.appPool) {
       sh.appPool->closeAll();
       // Destroy on the shard's own thread: the pool's reap timer is
@@ -615,6 +631,7 @@ void Proxy::terminate() {
   });
   userConnCount_.store(0, std::memory_order_release);
   trunkSessionCount_.store(0, std::memory_order_release);
+  directTunnelCount_.store(0, std::memory_order_release);
   if (draining()) {
     bump(config_.name + ".drain_forced_closes", forcedCloses);
     bump("release.drain_forced_closes", forcedCloses);

@@ -25,6 +25,11 @@ struct Proxy::Shard {
   std::set<std::shared_ptr<TrunkServerConn>> trunkServerSessions;
   std::unique_ptr<UpstreamPool> appPool;
   size_t appRoundRobin = 0;
+  // Accepted trunk-port connections whose first bytes have not yet
+  // told us whether they are an h2 trunk or a ZDRTUN pass-through
+  // tunnel. The set holds the only strong reference while sniffing.
+  std::set<ConnectionPtr> sniffingTrunkConns;
+  std::set<std::shared_ptr<DirectTunnel>> directTunnels;
 
   // Retry budget, windowed (see Config::retryBudgetRatio).
   uint64_t windowRequests = 0;
@@ -40,6 +45,9 @@ struct Proxy::Shard {
   trace::SpanSink* spans = nullptr;      // "<name>.w<idx>" span ring
   HdrHistogram* requestUs = nullptr;     // "<name>.w<idx>.request_us"
   MaxGauge* inflightPeak = nullptr;      // "<name>.w<idx>.inflight_peak"
+  // Userspace payload copies per request at this hop (see
+  // UserHttpConn::copyBytes) — "<name>.w<idx>.copy_bytes_per_req".
+  HdrHistogram* copyBytesPerReq = nullptr;
 };
 
 // Edge: one user-facing HTTP connection (keep-alive, one request at a
@@ -60,6 +68,16 @@ struct Proxy::UserHttpConn
   bool upstreamEnded = false;   // we sent END_STREAM upstream
   bool responseStarted = false;
   http::Response upstreamResponse;
+  // Relay streaming mode: the response head went out as soon as the
+  // trunk HEADERS arrived (Content-Length >= relayThresholdBytes) and
+  // body DATA frames stream straight to the user connection — the
+  // payload is never re-buffered in upstreamResponse.body.
+  bool relayActive = false;
+  // Userspace payload bytes this request copied through edge buffers:
+  // re-buffered response bytes + serialized output for the buffered
+  // path, head + one pass per DATA frame for the relay path. Recorded
+  // into the shard's copy_bytes_per_req histogram at finish.
+  uint64_t copyBytes = 0;
   std::string cacheKey;  // non-empty ⇒ response is cacheable
   EventLoop::TimerId timeoutTimer = 0;
   // Dispatch retries spent waiting for a still-connecting trunk (a
@@ -90,6 +108,8 @@ struct Proxy::UserHttpConn
     upstreamEnded = false;
     responseStarted = false;
     upstreamResponse = http::Response{};
+    relayActive = false;
+    copyBytes = 0;
     cacheKey.clear();
     bodyPending.clear();
     trunkWaitRetries = 0;
@@ -111,10 +131,20 @@ struct Proxy::MqttTunnel : std::enable_shared_from_this<Proxy::MqttTunnel> {
   bool tunnelUp = false;
   Buffer pendingToOrigin;  // user bytes buffered until the tunnel opens
 
+  // Pass-through mode (Config::mqttPassThrough): the tunnel rides a
+  // dedicated TCP connection to the origin's trunk port instead of an
+  // h2 stream; user↔direct relaying uses the splice fast path.
+  // originName records which origin serves it so a solicitation from
+  // that origin's trunk link can find the tunnels to move.
+  ConnectionPtr directConn;
+  std::string originName;
+
   // DCR resume in progress (§4.2).
   bool resuming = false;
   TrunkLink* resumeLink = nullptr;
   uint32_t resumeStreamId = 0;
+  ConnectionPtr resumeDirectConn;  // pass-through resume leg
+  Buffer resumeVerdictBuf;         // buffers the ZDRTUN verdict line
 
   // DCR resume span: the trace id comes from the solicitation frame
   // (the draining origin's drain trace) so the resume hop joins it.
@@ -215,6 +245,34 @@ struct Proxy::BrokerTunnel
   trace::TraceContext trace{};
   uint64_t resumeStartNs = 0;
 };
+
+// Origin: one pass-through MQTT tunnel accepted on the trunk port
+// (ZDRTUN preface) and relayed to a broker. Both legs live on the
+// accepting shard's loop so Connection::startRelayTo can pair them.
+struct Proxy::DirectTunnel
+    : std::enable_shared_from_this<Proxy::DirectTunnel> {
+  Shard* shard = nullptr;
+  ConnectionPtr tunnelConn;  // edge-facing leg
+  ConnectionPtr brokerConn;
+  std::string userId;
+  bool resume = false;
+  bool up = false;       // relaying both ways
+  bool closed = false;
+  Buffer resumeParseBuf;  // buffers the broker CONNACK on resume
+};
+
+// Pass-through tunnel preface, sent by the edge as the first bytes on
+// a fresh trunk-port connection:
+//   "ZDRTUN <userId> <0|1>\n"      (1 ⇒ DCR resume)
+// The origin answers a resume — after privately completing the broker
+// re-attach handshake — with one verdict line ("ZDRTUN OK\n" or
+// "ZDRTUN GONE\n"); non-resume tunnels get no reply, the broker's own
+// CONNACK flows back through the relay. h2 trunk clients never emit
+// these bytes first (frame headers differ), so the sniff is
+// unambiguous.
+inline constexpr std::string_view kTunnelPreface = "ZDRTUN ";
+inline constexpr std::string_view kTunnelOk = "ZDRTUN OK\n";
+inline constexpr std::string_view kTunnelGone = "ZDRTUN GONE\n";
 
 // Pseudo-header names used on trunk streams.
 inline constexpr std::string_view kHdrMethod = ":method";

@@ -382,6 +382,7 @@ void Proxy::edgeServeLocal(const std::shared_ptr<UserHttpConn>& uc,
   } else {
     http::serialize(res, out);
   }
+  uc->copyBytes += out.size();
   uc->conn->send(out.readable());
   if (uc->parser.messageComplete()) {
     edgeFinishUserRequest(uc);
@@ -447,6 +448,7 @@ void Proxy::edgeDeliverUpstreamResponse(
   }
   Buffer out;
   http::serialize(uc->upstreamResponse, out);
+  uc->copyBytes += out.size();
   uc->conn->send(out.readable());
   edgeFinishUserRequest(uc);
   if (draining_ && uc->conn->open()) {
@@ -468,6 +470,9 @@ void Proxy::edgeFinishUserRequest(const std::shared_ptr<UserHttpConn>& uc) {
   if (uc->reqStartNs != 0 && sh.requestUs != nullptr) {
     sh.requestUs->record(
         static_cast<double>(endNs - uc->reqStartNs) / 1000.0);
+  }
+  if (sh.copyBytesPerReq != nullptr) {
+    sh.copyBytesPerReq->record(static_cast<double>(uc->copyBytes));
   }
   if (uc->trace.valid()) {
     if (uc->dispatchStartNs != 0) {
@@ -578,6 +583,29 @@ void Proxy::edgeEnsureTrunk(Shard& sh, size_t idx) {
             }
             if (end) {
               edgeDeliverUpstreamResponse(uc);  // response with no body
+              return;
+            }
+            // Relay mode: a big response streams straight through to the
+            // client instead of re-buffering the whole body. Requires
+            // the origin's Content-Length (the client needs framing) and
+            // skips the cache, which wants the assembled body.
+            uint64_t len = 0;
+            if (auto cl = uc->upstreamResponse.headers.get("Content-Length")) {
+              len = std::strtoull(std::string(*cl).c_str(), nullptr, 10);
+            }
+            if (config_.relayThresholdBytes > 0 &&
+                len >= config_.relayThresholdBytes) {
+              uc->relayActive = true;
+              uc->cacheKey.clear();
+              uc->lastStatus = uc->upstreamResponse.status;
+              if (draining_) {
+                uc->upstreamResponse.headers.set("Connection", "close");
+              }
+              Buffer out;
+              http::serializeHead(uc->upstreamResponse, out);
+              uc->copyBytes += out.size();
+              uc->conn->send(out.readable());
+              bump("edge.relay_mode_entered");
             }
             return;
           }
@@ -641,7 +669,22 @@ void Proxy::edgeEnsureTrunk(Shard& sh, size_t idx) {
               link->httpStreams.erase(it);
               return;
             }
+            if (uc->relayActive) {
+              // Headers already went out; forward each fragment without
+              // re-buffering it into upstreamResponse.body.
+              uc->copyBytes += data.size();
+              uc->conn->send(data);
+              if (end) {
+                bumpHot(hot_.responsesRelayed);
+                edgeFinishUserRequest(uc);
+                if (draining_ && uc->conn->open()) {
+                  uc->conn->closeAfterFlush();
+                }
+              }
+              return;
+            }
             uc->upstreamResponse.body.append(data);
+            uc->copyBytes += data.size();
             if (end) {
               bumpHot(hot_.responsesRelayed);
               edgeDeliverUpstreamResponse(uc);
@@ -668,6 +711,15 @@ void Proxy::edgeEnsureTrunk(Shard& sh, size_t idx) {
             link->httpStreams.erase(it);
             if (uc && uc->requestActive) {
               uc->link = nullptr;
+              if (uc->relayActive) {
+                // Part of the body already reached the client under a
+                // Content-Length it can never complete; the only honest
+                // signal left is a reset.
+                bump("edge.err.stream_abort");
+                uc->conn->close(
+                    std::make_error_code(std::errc::connection_reset));
+                return;
+              }
               if (edgeTryRedispatch(uc)) {
                 return;
               }
@@ -698,6 +750,10 @@ void Proxy::edgeEnsureTrunk(Shard& sh, size_t idx) {
         };
         link->session->setCallbacks(std::move(cbs));
         link->session->start();
+        // The origin's listener sniffs the first bytes to tell trunk
+        // frames from ZDRTUN prefaces; a ping makes an otherwise idle
+        // trunk announce itself instead of sitting unregistered.
+        link->session->sendPing();
         bump("edge.trunk_established");
       });
 }
@@ -730,6 +786,11 @@ void Proxy::edgeOnTrunkClosed(TrunkLink* link) {
     auto uc = weakUc.lock();
     if (uc && uc->requestActive) {
       uc->link = nullptr;
+      if (uc->relayActive) {
+        bump("edge.err.stream_abort");
+        uc->conn->close(std::make_error_code(std::errc::connection_reset));
+        continue;  // partial streamed body; see onReset
+      }
       if (edgeTryRedispatch(uc)) {
         continue;
       }
@@ -800,7 +861,21 @@ void Proxy::edgeOnMqttAccept(TcpSocket sock) {
         return;  // CONNECT not fully buffered yet
       }
       tun->userId = pkt->clientId;
-      edgeOpenMqttTunnel(tun, /*resume=*/false);
+      if (config_.mqttPassThrough) {
+        // Reduced-copy mode: skip the trunk's frame machinery and dial
+        // the origin's tunnel port directly, so both legs are plain TCP
+        // and the whole path can ride splice(2).
+        TrunkLink* link = edgePickTrunk(*shards_.front());
+        if (link == nullptr) {
+          bump("edge.err.no_origin");
+          edgeDropMqttTunnel(
+              tun, std::make_error_code(std::errc::network_unreachable));
+          return;
+        }
+        edgeOpenDirectTunnel(tun, /*resume=*/false, link->origin);
+      } else {
+        edgeOpenMqttTunnel(tun, /*resume=*/false);
+      }
     }
     if (tun->tunnelUp && tun->link != nullptr && tun->link->session &&
         !tun->pendingToOrigin.empty()) {
@@ -823,6 +898,16 @@ void Proxy::edgeOnMqttAccept(TcpSocket sock) {
       }
       tun->resumeLink->mqttStreams.erase(tun->resumeStreamId);
       tun->resumeLink = nullptr;
+    }
+    if (tun->directConn) {
+      auto dc = std::move(tun->directConn);
+      tun->directConn = nullptr;
+      dc->close({});
+    }
+    if (tun->resumeDirectConn) {
+      auto dc = std::move(tun->resumeDirectConn);
+      tun->resumeDirectConn = nullptr;
+      dc->close({});
     }
     mqttTunnels_.erase(tun);
   });
@@ -886,6 +971,39 @@ void Proxy::edgeResumeMqttTunnels(TrunkLink* fromLink, uint64_t solTraceId,
   // Tunnels are pinned to shard 0, so on any other shard this loop is
   // empty and the solicitation is a no-op.
   Shard& sh = *fromLink->shard;
+
+  // Pass-through tunnels do not ride trunk streams; match them by the
+  // origin the solicitation arrived from and re-dial a healthy peer.
+  if (config_.mqttPassThrough && &sh == shards_.front().get()) {
+    std::vector<std::shared_ptr<MqttTunnel>> direct;
+    for (const auto& tun : mqttTunnels_) {
+      if (tun->directConn && tun->originName == fromLink->origin.name &&
+          !tun->resuming) {
+        direct.push_back(tun);
+      }
+    }
+    for (const auto& tun : direct) {
+      TrunkLink* other = nullptr;
+      for (size_t i = 0; i < sh.trunkLinks.size(); ++i) {
+        TrunkLink* cand =
+            sh.trunkLinks[(sh.trunkRoundRobin + i) % sh.trunkLinks.size()]
+                .get();
+        if (cand->origin.name != fromLink->origin.name && cand->up &&
+            !cand->peerDraining) {
+          other = cand;
+          sh.trunkRoundRobin =
+              (sh.trunkRoundRobin + i + 1) % sh.trunkLinks.size();
+          break;
+        }
+      }
+      if (other == nullptr) {
+        bump("edge.dcr_no_alternative");
+        continue;
+      }
+      edgeOpenDirectTunnel(tun, /*resume=*/true, other->origin, solTraceId,
+                           solSpanId);
+    }
+  }
   std::vector<std::shared_ptr<MqttTunnel>> affected;
   for (auto& [sid, weakTun] : fromLink->mqttStreams) {
     if (auto tun = weakTun.lock(); tun && !tun->resuming) {
@@ -935,6 +1053,170 @@ void Proxy::edgeResumeMqttTunnels(TrunkLink* fromLink, uint64_t solTraceId,
   }
 }
 
+void Proxy::edgeOpenDirectTunnel(const std::shared_ptr<MqttTunnel>& tun,
+                                 bool resume, const BackendRef& origin,
+                                 uint64_t solTraceId, uint64_t solSpanId) {
+  if (resume) {
+    tun->resuming = true;
+    tun->resumeTraceId = 0;
+    if (trace::tracingEnabled()) {
+      tun->resumeTraceId = solTraceId != 0 ? solTraceId : trace::newId();
+      tun->resumeParentId = solSpanId;
+      tun->resumeSpanId = trace::newId();
+      tun->resumeStartNs = trace::nowNs();
+    }
+    bump("edge.dcr_reconnect_sent");
+  }
+  std::string originName = origin.name;
+  Connector::connect(
+      loop_, origin.addr,
+      [this, tun, resume, originName](TcpSocket sock, std::error_code ec) {
+        if (terminated_ || !tun->userConn->open()) {
+          return;
+        }
+        if (ec) {
+          if (resume) {
+            // The old relay path is normally still intact; stay on it.
+            // If the broker already kicked it (client takeover), the
+            // tunnel has no leg left and must drop.
+            tun->resuming = false;
+            bump("edge.dcr_refused");
+            if (tun->directConn == nullptr) {
+              edgeDropMqttTunnel(tun, ec);
+            }
+          } else {
+            bump("edge.err.no_origin");
+            edgeDropMqttTunnel(tun, ec);
+          }
+          return;
+        }
+        fault::tagFd(sock.fd(), "edge.tunnel");
+        auto dc = Connection::make(loop_, std::move(sock));
+        std::weak_ptr<Connection> wdc = dc;
+
+        if (!resume) {
+          tun->directConn = dc;
+          tun->originName = originName;
+          dc->setCloseCallback([this, tun, wdc](std::error_code why) {
+            if (tun->directConn != nullptr && tun->directConn == wdc.lock()) {
+              tun->directConn = nullptr;
+              if (tun->resuming) {
+                // Expected mid-resume: the broker kicks the old session
+                // the moment the resume leg's CONNECT lands (MQTT client
+                // takeover). The verdict completes the swap; dropping
+                // here would sever the user for no reason.
+                bump("edge.dcr_old_leg_closed");
+                return;
+              }
+              edgeDropMqttTunnel(tun, why);
+            }
+          });
+          dc->start();
+          dc->send("ZDRTUN " + tun->userId + " 0\n");
+          // Bytes the user sent before the leg was up — the CONNECT
+          // packet at minimum — lead the relay. The broker's CONNACK
+          // flows back through it untouched.
+          if (!tun->pendingToOrigin.empty()) {
+            dc->send(tun->pendingToOrigin.readable());
+            tun->pendingToOrigin.clear();
+          }
+          tun->tunnelUp = true;
+          bump("edge.mqtt_passthrough_opened");
+          tun->userConn->startRelayTo(dc);
+          dc->startRelayTo(tun->userConn);
+          return;
+        }
+
+        // DCR resume (§4.2): keep the old path live until the new origin
+        // answers the preface with a verdict (make-before-break).
+        tun->resumeDirectConn = dc;
+        tun->resumeVerdictBuf.clear();
+        dc->setCloseCallback([this, tun, wdc](std::error_code why) {
+          if (tun->resumeDirectConn != nullptr &&
+              tun->resumeDirectConn == wdc.lock()) {
+            tun->resumeDirectConn = nullptr;
+            tun->resuming = false;  // old path survives (usually)
+            bump("edge.dcr_refused");
+            if (tun->directConn == nullptr) {
+              edgeDropMqttTunnel(tun, why);
+            }
+          }
+        });
+        dc->setDataCallback([this, tun, wdc, originName](Buffer& in) {
+          auto dc = wdc.lock();
+          if (!dc || tun->resumeDirectConn != dc) {
+            return;
+          }
+          tun->resumeVerdictBuf.append(in.readable());
+          in.clear();
+          auto view = tun->resumeVerdictBuf.view();
+          auto eol = view.find('\n');
+          if (eol == std::string_view::npos) {
+            if (view.size() > 64) {  // verdicts are one short line
+              tun->resumeDirectConn = nullptr;
+              tun->resuming = false;
+              dc->close(std::make_error_code(std::errc::protocol_error));
+            }
+            return;
+          }
+          const bool ok = view.substr(0, eol + 1) == kTunnelOk;
+          if (tun->resumeTraceId != 0) {
+            recordSpan(shards_.front()->spans, tun->resumeTraceId,
+                       tun->resumeSpanId, tun->resumeParentId,
+                       trace::SpanKind::kEdgeDcrResume, traceInstance_,
+                       tun->resumeStartNs, trace::nowNs(), ok ? 200 : 410);
+          }
+          if (!ok) {
+            // connect_refuse: drop; the client reconnects normally.
+            bump("edge.dcr_refused");
+            tun->resumeDirectConn = nullptr;
+            tun->resuming = false;
+            dc->close({});
+            edgeDropMqttTunnel(
+                tun, std::make_error_code(std::errc::connection_reset));
+            return;
+          }
+          // connect_ack: swap relays atomically on this loop. The
+          // user-side pipe may hold in-flight bytes; startRelayTo
+          // routes that residue to the NEW sink, which is exactly the
+          // make-before-break contract.
+          tun->resumeVerdictBuf.consume(eol + 1);
+          auto old = tun->directConn;
+          tun->resumeDirectConn = nullptr;
+          tun->resuming = false;
+          tun->directConn = dc;
+          tun->originName = originName;
+          tun->tunnelUp = true;
+          // The conn graduates from resume candidate to live leg: swap
+          // in the live-leg close handling (the resume closeCb above
+          // keys off resumeDirectConn, which no longer points here).
+          dc->setCloseCallback([this, tun, wdc](std::error_code why) {
+            if (tun->directConn != nullptr && tun->directConn == wdc.lock()) {
+              tun->directConn = nullptr;
+              if (tun->resuming) {
+                bump("edge.dcr_old_leg_closed");
+                return;
+              }
+              edgeDropMqttTunnel(tun, why);
+            }
+          });
+          bump("edge.dcr_resumed");
+          if (!tun->resumeVerdictBuf.empty()) {
+            // Broker traffic that chased the verdict down the new leg.
+            tun->userConn->send(tun->resumeVerdictBuf.readable());
+            tun->resumeVerdictBuf.clear();
+          }
+          tun->userConn->startRelayTo(dc);
+          dc->startRelayTo(tun->userConn);
+          if (old && old->open()) {
+            old->close({});
+          }
+        });
+        dc->start();
+        dc->send("ZDRTUN " + tun->userId + " 1\n");
+      });
+}
+
 void Proxy::edgeDropMqttTunnel(const std::shared_ptr<MqttTunnel>& tun,
                                std::error_code why) {
   if (tun->link != nullptr) {
@@ -950,6 +1232,16 @@ void Proxy::edgeDropMqttTunnel(const std::shared_ptr<MqttTunnel>& tun,
       tun->resumeLink->session->sendReset(tun->resumeStreamId);
     }
     tun->resumeLink = nullptr;
+  }
+  if (tun->directConn) {
+    auto dc = std::move(tun->directConn);
+    tun->directConn = nullptr;
+    dc->close({});
+  }
+  if (tun->resumeDirectConn) {
+    auto dc = std::move(tun->resumeDirectConn);
+    tun->resumeDirectConn = nullptr;
+    dc->close({});
   }
   if (tun->userConn && tun->userConn->open()) {
     tun->userConn->close(why);
