@@ -1,0 +1,327 @@
+// Release controller economics: what an SLO-gated staged rollout costs
+// in wall-clock and what it consumes of the disruption budget, measured
+// on a live PoP under the mixed-protocol scenario matrix.
+//
+// Two cells:
+//  * "clean"      — edge tier then origin tier, batches of 50%, the
+//                   controller gating every step on /__stats scrapes.
+//                   The structural gate: the rollout must COMPLETE with
+//                   zero client-visible errors and zero sheds — the
+//                   paper's zero-disruption claim, so it holds even
+//                   under --smoke.
+//  * "regressed"  — the same rollout with a slow-backend fault armed at
+//                   stage 2; the controller must NOT complete (pause →
+//                   rollback), measuring time-to-detect and
+//                   time-to-safe — the §5.1 "micro-level degradation"
+//                   escalation window.
+//
+// Also reports the evaluator microcosts (extract+judge per scrape) —
+// the controller-side CPU is negligible next to a single scrape RTT.
+//
+// Emits BENCH_release_controller.json and the machine-checked
+// RELEASE_report_bench.json (schema zdr.release_report.v1).
+//
+// Usage: bench_release_controller [--smoke]
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/scenario.h"
+#include "core/testbed.h"
+#include "netcore/fault_injection.h"
+#include "release/release_controller.h"
+
+using namespace zdr;
+
+namespace {
+
+struct Cell {
+  std::string mode;  // "clean" | "regressed"
+  std::string outcome;
+  size_t hosts = 0;
+  uint64_t hostsReleased = 0;
+  uint64_t hostsRolledBack = 0;
+  uint64_t scrapes = 0;
+  uint64_t pauses = 0;
+  double seconds = 0;
+  double clientErrors = 0;
+  double shedRequests = 0;
+  double mqttDrops = 0;
+  double detectSeconds = 0;  // regressed: stage-2 start → first pause
+  double safeSeconds = 0;    // regressed: stage-2 start → rollback done
+};
+
+struct PopUnderTest {
+  std::unique_ptr<core::Testbed> bed;
+  std::unique_ptr<core::ScenarioMatrix> scenario;
+  std::unique_ptr<release::HttpStatsSource> stats;
+};
+
+PopUnderTest buildPop(const char* prefix) {
+  core::TestbedOptions bopts;
+  bopts.namePrefix = prefix;
+  bopts.edges = bench::scaled<size_t>(4, 2);
+  bopts.origins = bench::scaled<size_t>(3, 2);
+  bopts.appServers = 2;
+  // Drain must outlast the longest request (a large upload ≈ 300 ms)
+  // or straddling POSTs die at the deadline — the paper's drain rule.
+  bopts.proxyDrainPeriod = Duration{450};
+  bopts.appDrainPeriod = Duration{100};
+  PopUnderTest p;
+  p.bed = std::make_unique<core::Testbed>(std::move(bopts));
+  p.bed->waitForTrunks();
+  core::ScenarioOptions sopts;
+  // Two missed pongs at 100 ms reads as a dead tunnel on a saturated
+  // box; widen so only real drops (restart churn) count.
+  sopts.mqttKeepAlive = Duration{250};
+  p.scenario = std::make_unique<core::ScenarioMatrix>(*p.bed, sopts);
+  std::vector<SocketAddr> entries;
+  for (size_t e = 0; e < p.bed->edgeCount(); ++e) {
+    entries.push_back(p.bed->httpEntry(e));
+  }
+  p.stats = std::make_unique<release::HttpStatsSource>(std::move(entries));
+  return p;
+}
+
+void slo(release::ReleaseControllerOptions& opts, size_t mqttClients) {
+  // Latency floor sized to the shared CI box's scheduling tail during
+  // concurrent restarts; churn thresholds must exceed the stage budgets
+  // (cumulative deltas never recover) or a within-budget release pauses
+  // itself into a grace-exhaustion rollback.
+  opts.slo.p99FloorMs = 75.0;
+  opts.slo.mqttDropsSoft = static_cast<double>(2 * mqttClients) + 1;
+  opts.slo.mqttDropsHard = 6.0 * static_cast<double>(mqttClients);
+  opts.slo.drainStragglersSoft = 5;
+  opts.slo.drainStragglersHard = 10;
+}
+
+release::ReleaseControllerOptions controllerOptions() {
+  release::ReleaseControllerOptions opts;
+  opts.scrapeInterval = Duration{60};
+  opts.confirmScrapes = 2;
+  opts.stageSoakScrapes = bench::scaled(3, 2);
+  opts.pauseGraceScrapes = 5;
+  opts.interBatchScrapes = bench::scaled(5, 3);
+  slo(opts, core::ScenarioOptions{}.mqttClients);
+  return opts;
+}
+
+std::vector<release::StageSpec> buildStages(PopUnderTest& pop,
+                                            size_t edges, size_t origins) {
+  const size_t clients = core::ScenarioOptions{}.mqttClients;
+  std::vector<release::StageSpec> stages;
+  for (const char* tier : {"edge", "origin"}) {
+    release::StageSpec s;
+    s.name = std::string(tier) + "/bench";
+    s.tier = tier;
+    s.pop = "bench";
+    s.hosts = std::string(tier) == "edge" ? pop.bed->edgeHosts()
+                                          : pop.bed->originHosts();
+    s.stats = pop.stats.get();
+    s.signals.clientPrefixes = pop.scenario->clientPrefixes();
+    s.signals.latencyHist = pop.scenario->latencyHist();
+    s.batchFraction = 0.5;
+    if (std::string(tier) == "edge") {
+      // One graceful tunnel re-establishment per client per batch is
+      // structural churn (the VIP re-hashes re-dialed flows); errors
+      // and sheds stay at zero.
+      s.budget.maxMqttDrops = static_cast<double>(2 * clients);
+      s.budget.maxDrainStragglers = static_cast<double>(edges);
+    } else {
+      s.budget.maxDrainStragglers = static_cast<double>(origins);
+    }
+    stages.push_back(std::move(s));
+  }
+  return stages;
+}
+
+Cell summarize(const release::ReleaseControllerReport& report,
+               const char* mode, size_t hosts) {
+  Cell c;
+  c.mode = mode;
+  c.outcome = release::rolloutOutcomeName(report.outcome);
+  c.hosts = hosts;
+  c.hostsReleased = report.hostsReleased;
+  c.hostsRolledBack = report.hostsRolledBack;
+  c.scrapes = report.scrapes;
+  c.seconds = report.totalSeconds;
+  for (const auto& st : report.stages) {
+    c.pauses += st.pauses;
+    c.clientErrors += st.consumed.clientErrors;
+    c.shedRequests += st.consumed.shedRequests;
+    c.mqttDrops += st.consumed.mqttDrops;
+  }
+  return c;
+}
+
+void writeJson(const std::vector<Cell>& cells, const char* path) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"release_controller\",\n  \"smoke\": "
+      << (bench::smokeMode() ? "true" : "false") << ",\n  \"cells\": [\n";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    out << "    {\"mode\": \"" << c.mode << "\", \"outcome\": \""
+        << c.outcome << "\", \"hosts\": " << c.hosts
+        << ", \"hosts_released\": " << c.hostsReleased
+        << ", \"hosts_rolled_back\": " << c.hostsRolledBack
+        << ", \"scrapes\": " << c.scrapes << ", \"pauses\": " << c.pauses
+        << ", \"seconds\": " << c.seconds
+        << ", \"client_errors\": " << c.clientErrors
+        << ", \"shed_requests\": " << c.shedRequests
+        << ", \"mqtt_drops\": " << c.mqttDrops
+        << ", \"detect_seconds\": " << c.detectSeconds
+        << ", \"safe_seconds\": " << c.safeSeconds << "}"
+        << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+Cell runClean() {
+  PopUnderTest pop = buildPop("bench.");
+  pop.scenario->start();
+  bench::waitUntil([&] { return pop.scenario->completed() >= 50; }, 20000);
+
+  auto opts = controllerOptions();
+  auto stages = buildStages(pop, pop.bed->edgeCount(),
+                            pop.bed->originCount());
+  const size_t hosts = pop.bed->edgeCount() + pop.bed->originCount();
+  release::ReleaseControllerReport report =
+      release::ReleaseController(std::move(stages), opts).run();
+  Cell c = summarize(report, "clean", hosts);
+  pop.scenario->stop();
+  report.writeJson("RELEASE_report_bench.json");
+  return c;
+}
+
+Cell runRegressed() {
+  fault::ScopedChaosMode chaos;
+  PopUnderTest pop = buildPop("benchr.");
+  pop.scenario->start();
+  bench::waitUntil([&] { return pop.scenario->completed() >= 50; }, 20000);
+
+  auto opts = controllerOptions();
+  // Latency-only regression: p99 inflates far past the soft line while
+  // every request still succeeds (350 ms delay ≪ the 3 s timeout).
+  opts.slo.p99InflationSoft = 1.5;
+  opts.slo.p99InflationHard = 1e9;
+  opts.stageSoakScrapes = 12;
+  opts.onStageStart = [&pop](const release::StageSpec& spec, size_t idx) {
+    if (idx != 1 || std::string(spec.tier) != "origin") {
+      return;
+    }
+    fault::FaultSpec slow;
+    slow.seed = 0x51047;
+    slow.delayProb = 1.0;
+    slow.delay = std::chrono::milliseconds(350);
+    for (size_t a = 0; a < pop.bed->appCount(); ++a) {
+      fault::FaultRegistry::instance().armTag(
+          "origin.app." + pop.bed->app(a).hostName(), slow);
+    }
+  };
+  auto stages = buildStages(pop, pop.bed->edgeCount(),
+                            pop.bed->originCount());
+  const size_t hosts = pop.bed->edgeCount() + pop.bed->originCount();
+  release::ReleaseControllerReport report =
+      release::ReleaseController(std::move(stages), opts).run();
+  Cell c = summarize(report, "regressed", hosts);
+  pop.scenario->stop();
+
+  // Time-to-detect (stage-2 start → pause) and time-to-safe (→ rollback
+  // done), straight off the archived decision stream.
+  if (report.stages.size() >= 2) {
+    const auto& bad = report.stages[1];
+    double start = -1;
+    double pauseT = -1;
+    double safeT = -1;
+    for (const auto& d : bad.decisions) {
+      if (d.action == "batch_start" && start < 0) {
+        start = d.tMs;
+      } else if (d.action == "pause" && pauseT < 0) {
+        pauseT = d.tMs;
+      } else if (d.action == "rollback_done" && safeT < 0) {
+        safeT = d.tMs;
+      }
+    }
+    if (start >= 0 && pauseT >= 0) {
+      c.detectSeconds = (pauseT - start) / 1000.0;
+    }
+    if (start >= 0 && safeT >= 0) {
+      c.safeSeconds = (safeT - start) / 1000.0;
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      ::setenv("ZDR_BENCH_SMOKE", "1", 1);
+    }
+  }
+
+  bench::banner(
+      "Release controller — SLO-gated staged rollout economics",
+      "a staged rollout completes with zero client-visible disruption; "
+      "an injected micro-regression pauses, then rolls back only its "
+      "stage (§5.1)");
+
+  std::vector<Cell> cells;
+  cells.push_back(runClean());
+  {
+    const Cell& c = cells.back();
+    std::printf(
+        "clean      outcome=%-11s hosts=%zu released=%llu  %6.1f s  "
+        "%llu scrapes  errors=%.0f sheds=%.0f mqtt_drops=%.0f\n",
+        c.outcome.c_str(), c.hosts,
+        static_cast<unsigned long long>(c.hostsReleased), c.seconds,
+        static_cast<unsigned long long>(c.scrapes), c.clientErrors,
+        c.shedRequests, c.mqttDrops);
+  }
+  cells.push_back(runRegressed());
+  {
+    const Cell& c = cells.back();
+    std::printf(
+        "regressed  outcome=%-11s released=%llu rolled_back=%llu  "
+        "detect %.2f s  safe %.2f s  pauses=%llu\n",
+        c.outcome.c_str(), static_cast<unsigned long long>(c.hostsReleased),
+        static_cast<unsigned long long>(c.hostsRolledBack), c.detectSeconds,
+        c.safeSeconds, static_cast<unsigned long long>(c.pauses));
+  }
+
+  bench::section("trajectory");
+  bench::row("clean rollout wall-clock", cells[0].seconds, "s");
+  bench::row("time-to-detect (pause after regression)",
+             cells[1].detectSeconds, "s");
+  bench::row("time-to-safe (rollback complete)", cells[1].safeSeconds, "s");
+
+  writeJson(cells, "BENCH_release_controller.json");
+  std::printf("\nwrote BENCH_release_controller.json\n");
+
+  // Structural gates — the paper's claims, not timing thresholds.
+  const Cell& clean = cells[0];
+  if (clean.outcome != "completed") {
+    std::fprintf(stderr, "error: clean rollout did not complete (%s)\n",
+                 clean.outcome.c_str());
+    return 1;
+  }
+  if (clean.clientErrors != 0 || clean.shedRequests != 0) {
+    std::fprintf(stderr,
+                 "error: clean rollout consumed client errors (%.0f) or "
+                 "sheds (%.0f)\n",
+                 clean.clientErrors, clean.shedRequests);
+    return 1;
+  }
+  const Cell& bad = cells[1];
+  if (bad.outcome != "rolled_back") {
+    std::fprintf(stderr, "error: regressed rollout was not rolled back "
+                 "(%s)\n", bad.outcome.c_str());
+    return 1;
+  }
+  return 0;
+}

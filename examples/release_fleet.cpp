@@ -85,7 +85,12 @@ void runCanaryDrill() {
   release::MonitoredReleaseOptions mo;
   mo.batchFraction = 0.25;
   mo.canarySoak = std::chrono::milliseconds(50);
-  mo.healthGate = [&] { return gateCalls.fetch_add(1) != 0; };  // canary fails
+  mo.healthGate = [&]() -> release::HealthVerdict {
+    if (gateCalls.fetch_add(1) == 0) {  // canary fails
+      return {false, "client err_rate regressed on canary"};
+    }
+    return true;
+  };
   std::vector<std::string> events;
   mo.onEvent = [&](const std::string& e) { events.push_back(e); };
 
@@ -98,6 +103,8 @@ void runCanaryDrill() {
               report.hostsReleased);
   std::printf("  hosts rolled back:               %zu\n",
               report.hostsRolledBack);
+  std::printf("  halted at batch %zu: %s\n", report.haltedBatch,
+              report.haltReason.c_str());
   std::printf("  blast radius contained to the canary batch: %s\n",
               report.hostsReleased == 1 ? "yes" : "no");
   std::printf("  events: ");

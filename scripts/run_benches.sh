@@ -25,8 +25,10 @@ if [ "$SMOKE" = 1 ]; then
   # self-scales via ZDR_BENCH_SMOKE (32k flows instead of 1M) and its
   # misroute gate is structural, so the smoke pass still verifies
   # correctness-under-churn; bench_relay's 2x copy-bytes gate is
-  # structural the same way (spliced bytes never cross userspace).
-  PATTERN="$BUILD/bench/bench_fig* $BUILD/bench/bench_l4_scale $BUILD/bench/bench_relay"
+  # structural the same way (spliced bytes never cross userspace);
+  # bench_release_controller gates on rollout outcomes (clean completes
+  # with zero client errors, regressed rolls back), not timings.
+  PATTERN="$BUILD/bench/bench_fig* $BUILD/bench/bench_l4_scale $BUILD/bench/bench_relay $BUILD/bench/bench_release_controller"
 else
   PATTERN="$BUILD/bench/*"
 fi

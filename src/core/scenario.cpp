@@ -1,0 +1,202 @@
+#include "core/scenario.h"
+
+namespace zdr::core {
+
+ScenarioMatrix::ScenarioMatrix(Testbed& bed, ScenarioOptions opts)
+    : bed_(bed), opts_(std::move(opts)), metrics_(bed.metrics()) {
+  const std::string& p = opts_.prefix;
+
+  if (opts_.http) {
+    HttpLoadGen::Options ho;
+    ho.concurrency = opts_.httpConcurrency;
+    ho.thinkTime = opts_.httpThinkTime;
+    ho.timeout = opts_.httpTimeout;
+    http_ = std::make_unique<HttpLoadGen>(bed_.httpEntry(), ho, metrics_,
+                                          p + ".http");
+  }
+
+  if (opts_.uploads) {
+    // Heavy tail: 1 KiB × 8 chunks, 8 KiB × 12, 32 KiB × 20 — the last
+    // class straddles restarts by construction (≈ chunks × interval).
+    struct Tier {
+      const char* suffix;
+      size_t concurrency;
+      size_t chunks;
+      size_t chunkBytes;
+    };
+    const Tier tiers[] = {
+        {".up_s", opts_.uploadSmallConcurrency, 8, 1024},
+        {".up_m", opts_.uploadMediumConcurrency, 12, 8192},
+        {".up_l", opts_.uploadLargeConcurrency, 20, 32768},
+    };
+    for (const Tier& t : tiers) {
+      if (t.concurrency == 0) {
+        continue;
+      }
+      UploadGen::Options uo;
+      uo.concurrency = t.concurrency;
+      uo.chunks = t.chunks;
+      uo.chunkBytes = t.chunkBytes;
+      uo.chunkInterval = Duration{15};
+      uploads_.push_back(std::make_unique<UploadGen>(
+          bed_.httpEntry(), uo, metrics_, p + t.suffix));
+    }
+  }
+
+  if (opts_.mqtt && bed_.options().enableMqtt) {
+    MqttFleet::Options fo;
+    fo.clients = opts_.mqttClients;
+    fo.keepAliveInterval = opts_.mqttKeepAlive;
+    // Per-scenario topic/user namespace so multiple PoPs' fleets don't
+    // collide at their (per-PoP) brokers.
+    fo.topicPrefix = p + "/t/";
+    fo.userIdPrefix = p + "-user";
+    mqttFleet_ = std::make_unique<MqttFleet>(bed_.mqttEntry(), fo, metrics_,
+                                             p + ".mq");
+    MqttPublisher::Options po;
+    po.fleetSize = opts_.mqttClients;
+    po.interval = opts_.mqttPublishInterval;
+    po.topicPrefix = fo.topicPrefix;
+    po.userIdPrefix = fo.userIdPrefix;
+    mqttPublisher_ = std::make_unique<MqttPublisher>(
+        bed_.broker(0).addr(), po, metrics_, p + ".pub");
+  }
+
+  if (opts_.quic && bed_.options().enableQuic) {
+    QuicFlowGen::Options qo;
+    qo.flows = opts_.quicFlows;
+    quic_ = std::make_unique<QuicFlowGen>(bed_.edge(0).quicVip(), qo,
+                                          metrics_, p + ".quic");
+  }
+}
+
+ScenarioMatrix::~ScenarioMatrix() { stop(); }
+
+void ScenarioMatrix::start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  if (http_) {
+    http_->start();
+  }
+  for (auto& u : uploads_) {
+    u->start();
+  }
+  if (mqttFleet_) {
+    mqttFleet_->start();
+  }
+  if (mqttPublisher_) {
+    mqttPublisher_->start();
+  }
+  if (quic_) {
+    quic_->start();
+  }
+}
+
+void ScenarioMatrix::stop() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  flashCrowdEnd();
+  if (quic_) {
+    quic_->stop();
+  }
+  if (mqttPublisher_) {
+    mqttPublisher_->stop();
+  }
+  if (mqttFleet_) {
+    mqttFleet_->stop();
+  }
+  for (auto& u : uploads_) {
+    u->stop();
+  }
+  if (http_) {
+    http_->stop();
+  }
+}
+
+void ScenarioMatrix::flashCrowdBegin() {
+  if (bursting_ || !running_) {
+    return;
+  }
+  bursting_ = true;
+  HttpLoadGen::Options bo;
+  bo.concurrency = opts_.flashCrowdConcurrency;
+  bo.thinkTime = opts_.flashCrowdThinkTime;
+  bo.timeout = opts_.httpTimeout;
+  burst_ = std::make_unique<HttpLoadGen>(bed_.httpEntry(), bo, metrics_,
+                                         opts_.prefix + ".burst");
+  burst_->start();
+}
+
+void ScenarioMatrix::flashCrowdEnd() {
+  if (!bursting_) {
+    return;
+  }
+  bursting_ = false;
+  burst_->stop();
+  burst_.reset();
+}
+
+uint64_t ScenarioMatrix::completed() const {
+  uint64_t total = 0;
+  for (const auto& prefix : clientPrefixes()) {
+    total += metrics_.counter(prefix + ".ok").value();
+  }
+  return total;
+}
+
+uint64_t ScenarioMatrix::clientVisibleErrors() const {
+  uint64_t total = 0;
+  for (const auto& prefix : clientPrefixes()) {
+    // Matches the SLO evaluator's bar: failed responses and hangs;
+    // transport resets from drain races are retryable, not disruption.
+    for (const char* kind : {".err_http", ".err_timeout"}) {
+      total += metrics_.counter(prefix + kind).value();
+    }
+  }
+  return total;
+}
+
+uint64_t ScenarioMatrix::mqttDrops() const {
+  return mqttFleet_ ? metrics_.counter(opts_.prefix + ".mq.drops").value()
+                    : 0;
+}
+
+size_t ScenarioMatrix::mqttConnected() const {
+  return mqttFleet_ ? mqttFleet_->connectedCount() : 0;
+}
+
+std::vector<std::string> ScenarioMatrix::clientPrefixes() const {
+  std::vector<std::string> out;
+  const std::string& p = opts_.prefix;
+  if (http_) {
+    out.push_back(p + ".http");
+  }
+  if (opts_.uploads) {
+    if (opts_.uploadSmallConcurrency > 0) {
+      out.push_back(p + ".up_s");
+    }
+    if (opts_.uploadMediumConcurrency > 0) {
+      out.push_back(p + ".up_m");
+    }
+    if (opts_.uploadLargeConcurrency > 0) {
+      out.push_back(p + ".up_l");
+    }
+  }
+  // The burst generator counts as client traffic whether or not it is
+  // currently active — its counters persist in the registry.
+  out.push_back(p + ".burst");
+  if (mqttFleet_) {
+    out.push_back(p + ".mq");
+  }
+  return out;
+}
+
+std::string ScenarioMatrix::latencyHist() const {
+  return opts_.prefix + ".http.latency_ms";
+}
+
+}  // namespace zdr::core

@@ -1,0 +1,104 @@
+// Scenario matrix: the mixed-protocol workload a release must survive.
+//
+// A realistic rollout is not judged against one traffic class but a
+// blend (§2.2): short HTTP/1.1 API calls riding multiplexed trunks,
+// heavy-tailed POST uploads that straddle restarts, an MQTT device
+// fleet with live fanout, long-lived quicish flows — and, on top,
+// flash-crowd load steps. ScenarioMatrix bundles those generators
+// against one testbed (one PoP) under a single metric-prefix family so
+// the release controller's SLO evaluator can treat "the client view of
+// this PoP" as one set of counters.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/testbed.h"
+#include "core/workload.h"
+
+namespace zdr::core {
+
+struct ScenarioOptions {
+  // Metric prefix root; generators report under "<prefix>.http",
+  // "<prefix>.up_s/_m/_l", "<prefix>.mq", "<prefix>.quic",
+  // "<prefix>.burst".
+  std::string prefix = "sc";
+
+  bool http = true;
+  size_t httpConcurrency = 6;
+  Duration httpThinkTime = Duration{3};
+  Duration httpTimeout = Duration{3000};
+
+  // Heavy-tailed uploads: many small, some medium, few large. Sizes
+  // are per-chunk; a large upload straddles several hundred ms.
+  bool uploads = true;
+  size_t uploadSmallConcurrency = 2;
+  size_t uploadMediumConcurrency = 1;
+  size_t uploadLargeConcurrency = 1;
+
+  bool mqtt = true;
+  size_t mqttClients = 8;
+  Duration mqttPublishInterval = Duration{10};
+  // Client-side liveness probe: a tunnel is declared dead (and
+  // re-dialed, counting one ".drops") after two unanswered pings. On a
+  // densely packed testbed the pong round-trip rides the box's
+  // scheduling tail, so high-host-count runs must widen this or count
+  // false tunnel deaths against the release's disruption budget.
+  Duration mqttKeepAlive = Duration{100};
+
+  bool quic = false;  // needs TestbedOptions.enableQuic
+  size_t quicFlows = 8;
+
+  // Flash crowd: an extra HTTP generator started on demand. Sized to
+  // stay under the edge admission caps — a load step, not an overload
+  // attack (overload shedding is its own scenario).
+  size_t flashCrowdConcurrency = 8;
+  Duration flashCrowdThinkTime = Duration{1};
+};
+
+class ScenarioMatrix {
+ public:
+  ScenarioMatrix(Testbed& bed, ScenarioOptions opts);
+  ~ScenarioMatrix();
+  ScenarioMatrix(const ScenarioMatrix&) = delete;
+  ScenarioMatrix& operator=(const ScenarioMatrix&) = delete;
+
+  void start();
+  void stop();
+
+  // Load step up / back down (idempotent).
+  void flashCrowdBegin();
+  void flashCrowdEnd();
+
+  // Completed requests across every HTTP-shaped generator.
+  [[nodiscard]] uint64_t completed() const;
+  // Client-visible failures: err_http + err_timeout summed over every
+  // HTTP-shaped generator — the zero-disruption bar (transport resets
+  // from keep-alive drain races are retryable and excluded, matching
+  // the SLO evaluator).
+  [[nodiscard]] uint64_t clientVisibleErrors() const;
+  [[nodiscard]] uint64_t mqttDrops() const;
+  [[nodiscard]] size_t mqttConnected() const;
+
+  // Prefixes for SloSignals.clientPrefixes (includes the MQTT prefix:
+  // its ".drops" rides the same suffix convention).
+  [[nodiscard]] std::vector<std::string> clientPrefixes() const;
+  // The histogram driving the latency SLO: "<prefix>.http.latency_ms".
+  [[nodiscard]] std::string latencyHist() const;
+
+ private:
+  Testbed& bed_;
+  ScenarioOptions opts_;
+  MetricsRegistry& metrics_;
+  std::unique_ptr<HttpLoadGen> http_;
+  std::unique_ptr<HttpLoadGen> burst_;
+  std::vector<std::unique_ptr<UploadGen>> uploads_;
+  std::unique_ptr<MqttFleet> mqttFleet_;
+  std::unique_ptr<MqttPublisher> mqttPublisher_;
+  std::unique_ptr<QuicFlowGen> quic_;
+  bool running_ = false;
+  bool bursting_ = false;
+};
+
+}  // namespace zdr::core

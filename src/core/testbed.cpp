@@ -9,7 +9,7 @@ Testbed::Testbed(TestbedOptions opts) : opts_(opts) {
   // at them, then edges that trunk to the origins, then L4 in front.
   for (size_t i = 0; i < opts_.brokers; ++i) {
     brokers_.push_back(std::make_unique<BrokerHost>(
-        "broker" + std::to_string(i), &metrics_));
+        opts_.namePrefix + "broker" + std::to_string(i), &metrics_));
   }
 
   for (size_t i = 0; i < opts_.appServers; ++i) {
@@ -19,7 +19,8 @@ Testbed::Testbed(TestbedOptions opts) : opts_(opts) {
     ao.server.spanSinkCapacity = opts_.spanSinkCapacity;
     ao.drainPeriod = opts_.appDrainPeriod;
     apps_.push_back(std::make_unique<AppHost>(
-        "app" + std::to_string(i), SocketAddr::loopback(0), &metrics_, ao));
+        opts_.namePrefix + "app" + std::to_string(i), SocketAddr::loopback(0),
+        &metrics_, ao));
   }
 
   std::vector<proxygen::BackendRef> appRefs;
@@ -48,7 +49,7 @@ Testbed::Testbed(TestbedOptions opts) : opts_(opts) {
       opts_.proxyConfigHook(cfg);
     }
     origins_.push_back(std::make_unique<ProxyHost>(
-        "origin" + std::to_string(i), cfg, &metrics_));
+        opts_.namePrefix + "origin" + std::to_string(i), cfg, &metrics_));
   }
 
   std::vector<proxygen::BackendRef> originRefs;
@@ -77,11 +78,11 @@ Testbed::Testbed(TestbedOptions opts) : opts_(opts) {
       opts_.proxyConfigHook(cfg);
     }
     edges_.push_back(std::make_unique<ProxyHost>(
-        "edge" + std::to_string(i), cfg, &metrics_));
+        opts_.namePrefix + "edge" + std::to_string(i), cfg, &metrics_));
   }
 
   if (opts_.enableL4) {
-    l4_ = std::make_unique<L4Host>("l4", &metrics_);
+    l4_ = std::make_unique<L4Host>(opts_.namePrefix + "l4", &metrics_);
     std::vector<l4lb::BackendTarget> httpBackends;
     std::vector<l4lb::BackendTarget> mqttBackends;
     for (const auto& e : edges_) {

@@ -23,6 +23,11 @@ struct TestbedOptions {
   size_t appServers = 3;
   size_t brokers = 1;
 
+  // Prepended to every host name ("pop0." → "pop0.edge0"). Multi-PoP
+  // experiments run one Testbed per PoP; the prefix keeps host names,
+  // metric instances, span sinks and fault tags disjoint across PoPs.
+  std::string namePrefix;
+
   bool enableMqtt = true;
   bool enableQuic = false;
   bool enableL4 = false;

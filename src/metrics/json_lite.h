@@ -1,0 +1,313 @@
+// Minimal JSON reader + writer helpers shared by the introspection
+// plane: the /__stats and timeline renderers write through
+// writeString/writeNumber, and the release controller's scrape client
+// and the test suites read the documents back through Parser.
+//
+// The reader is a recursive-descent parser for the subset those
+// renderers emit (objects, arrays, strings, numbers, booleans, null);
+// not a general-purpose or validating parser. Promoted from
+// tests/json_lite.h once production code (the release controller)
+// needed to parse scrapes too — tests include it via the compat shim.
+#pragma once
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace zdr::jsonlite {
+
+// ------------------------------------------------------------- writing
+//
+// The one escape/format policy for every JSON document this codebase
+// emits (stats scrape, timeline, release report). Keeping it here kills
+// the per-renderer copies that had already drifted into duplication.
+
+inline void writeString(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+inline void writeNumber(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  // Integers (the common case: counters, ids, timestamps) print
+  // exactly; everything else gets enough digits to round-trip.
+  if (v == std::floor(v) && std::fabs(v) < 9e15) {
+    os << static_cast<long long>(v);
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  os << buf;
+}
+
+// ------------------------------------------------------------- reading
+
+class Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<ValuePtr> items;
+  std::map<std::string, ValuePtr> fields;
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return fields.count(key) != 0;
+  }
+  [[nodiscard]] const Value& at(const std::string& key) const {
+    auto it = fields.find(key);
+    if (it == fields.end()) {
+      throw std::runtime_error("json: missing key " + key);
+    }
+    return *it->second;
+  }
+  [[nodiscard]] const Value& at(size_t i) const { return *items.at(i); }
+  [[nodiscard]] size_t size() const {
+    return type == Type::kArray ? items.size() : fields.size();
+  }
+  [[nodiscard]] uint64_t asU64() const {
+    return static_cast<uint64_t>(number);
+  }
+};
+
+class Parser {
+ public:
+  static Value parse(const std::string& text) {
+    Parser p(text);
+    Value v = p.parseValue();
+    p.skipWs();
+    if (p.pos_ != text.size()) {
+      throw std::runtime_error("json: trailing garbage");
+    }
+    return v;
+  }
+
+ private:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) {
+      throw std::runtime_error("json: unexpected end");
+    }
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      throw std::runtime_error(std::string("json: expected '") + c +
+                               "' at " + std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  bool consume(const char* lit) {
+    size_t n = std::string(lit).size();
+    if (text_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Value parseValue() {
+    skipWs();
+    char c = peek();
+    Value v;
+    switch (c) {
+      case '{':
+        return parseObject();
+      case '[':
+        return parseArray();
+      case '"':
+        v.type = Value::Type::kString;
+        v.str = parseString();
+        return v;
+      case 't':
+        if (!consume("true")) {
+          throw std::runtime_error("json: bad literal");
+        }
+        v.type = Value::Type::kBool;
+        v.boolean = true;
+        return v;
+      case 'f':
+        if (!consume("false")) {
+          throw std::runtime_error("json: bad literal");
+        }
+        v.type = Value::Type::kBool;
+        return v;
+      case 'n':
+        if (!consume("null")) {
+          throw std::runtime_error("json: bad literal");
+        }
+        return v;
+      default:
+        return parseNumber();
+    }
+  }
+
+  Value parseNumber() {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      throw std::runtime_error("json: bad number at " + std::to_string(pos_));
+    }
+    Value v;
+    v.type = Value::Type::kNumber;
+    v.number = std::strtod(text_.substr(start, pos_ - start).c_str(),
+                           nullptr);
+    return v;
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    while (true) {
+      char c = peek();
+      ++pos_;
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      char esc = peek();
+      ++pos_;
+      switch (esc) {
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 'u': {
+          // The renderers only emit \u00XX control escapes.
+          if (pos_ + 4 > text_.size()) {
+            throw std::runtime_error("json: bad \\u escape");
+          }
+          unsigned code = static_cast<unsigned>(
+              std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16));
+          pos_ += 4;
+          out.push_back(static_cast<char>(code & 0xff));
+          break;
+        }
+        default:
+          out.push_back(esc);  // \" \\ \/ …
+      }
+    }
+  }
+
+  Value parseObject() {
+    expect('{');
+    Value v;
+    v.type = Value::Type::kObject;
+    skipWs();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skipWs();
+      std::string key = parseString();
+      skipWs();
+      expect(':');
+      v.fields[key] = std::make_shared<Value>(parseValue());
+      skipWs();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Value parseArray() {
+    expect('[');
+    Value v;
+    v.type = Value::Type::kArray;
+    skipWs();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.items.push_back(std::make_shared<Value>(parseValue()));
+      skipWs();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace zdr::jsonlite
+
+namespace zdr {
+// Historical name from the header's tests/ era; the test suites still
+// read documents as zdr::testjson::Parser.
+namespace testjson = jsonlite;
+}  // namespace zdr

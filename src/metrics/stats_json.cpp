@@ -1,5 +1,7 @@
 #include "metrics/stats_json.h"
 
+#include "metrics/json_lite.h"
+
 #include <cctype>
 #include <cmath>
 #include <map>
@@ -10,53 +12,13 @@ namespace zdr::stats {
 
 namespace {
 
+// One escape/format policy for every emitted document — shared with
+// the timeline and release-report writers via json_lite.h.
 void jsonString(std::ostream& os, const std::string& s) {
-  os << '"';
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        os << "\\\"";
-        break;
-      case '\\':
-        os << "\\\\";
-        break;
-      case '\n':
-        os << "\\n";
-        break;
-      case '\t':
-        os << "\\t";
-        break;
-      case '\r':
-        os << "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
-  }
-  os << '"';
+  jsonlite::writeString(os, s);
 }
 
-void jsonNumber(std::ostream& os, double v) {
-  if (!std::isfinite(v)) {
-    os << "null";
-    return;
-  }
-  // Integers (the common case: counters, ids, timestamps) print
-  // exactly; everything else gets enough digits to round-trip.
-  if (v == std::floor(v) && std::fabs(v) < 9e15) {
-    os << static_cast<long long>(v);
-    return;
-  }
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.6g", v);
-  os << buf;
-}
+void jsonNumber(std::ostream& os, double v) { jsonlite::writeNumber(os, v); }
 
 void renderHdr(std::ostream& os, const HdrHistogram& h) {
   os << "{\"count\": " << h.count() << ", \"mean\": ";

@@ -1,0 +1,109 @@
+#include "metrics/stats_scrape.h"
+
+#include "metrics/json_lite.h"
+
+namespace zdr::stats {
+
+namespace {
+
+void readNumberMap(const jsonlite::Value& obj,
+                   std::map<std::string, double>& out) {
+  for (const auto& [name, v] : obj.fields) {
+    if (v->type == jsonlite::Value::Type::kNumber) {
+      out[name] = v->number;
+    }
+  }
+}
+
+HdrQuantiles readHdr(const jsonlite::Value& obj) {
+  HdrQuantiles q;
+  auto get = [&](const char* key) {
+    return obj.has(key) &&
+                   obj.at(key).type == jsonlite::Value::Type::kNumber
+               ? obj.at(key).number
+               : 0.0;
+  };
+  q.count = get("count");
+  q.mean = get("mean");
+  q.p50 = get("p50");
+  q.p90 = get("p90");
+  q.p99 = get("p99");
+  q.p999 = get("p999");
+  q.max = get("max");
+  return q;
+}
+
+}  // namespace
+
+double StatsSnapshot::counter(const std::string& name) const {
+  auto it = counters.find(name);
+  return it == counters.end() ? 0.0 : it->second;
+}
+
+double StatsSnapshot::histValue(const std::string& key) const {
+  auto it = hist.find(key);
+  return it == hist.end() ? 0.0 : it->second;
+}
+
+double StatsSnapshot::sumCountersBySuffix(const std::string& suffix) const {
+  double sum = 0;
+  for (const auto& [name, v] : counters) {
+    if (name.size() >= suffix.size() &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      sum += v;
+    }
+  }
+  return sum;
+}
+
+double StatsSnapshot::sumCountersByPrefix(const std::string& prefix) const {
+  double sum = 0;
+  // counters_ is an ordered map: walk the contiguous prefix range.
+  for (auto it = counters.lower_bound(prefix);
+       it != counters.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    sum += it->second;
+  }
+  return sum;
+}
+
+StatsSnapshot parseStatsSnapshot(const std::string& body) {
+  jsonlite::Value doc = jsonlite::Parser::parse(body);
+  if (doc.type != jsonlite::Value::Type::kObject) {
+    throw std::runtime_error("stats scrape: top level is not an object");
+  }
+  StatsSnapshot snap;
+  snap.raw = body;
+  if (doc.has("instance")) {
+    snap.instance = doc.at("instance").str;
+  }
+  if (doc.has("t_ns")) {
+    snap.tNs = doc.at("t_ns").number;
+  }
+  if (doc.has("counters")) {
+    readNumberMap(doc.at("counters"), snap.counters);
+  }
+  if (doc.has("gauges")) {
+    readNumberMap(doc.at("gauges"), snap.gauges);
+  }
+  if (doc.has("peaks")) {
+    readNumberMap(doc.at("peaks"), snap.peaks);
+  }
+  if (doc.has("hist")) {
+    readNumberMap(doc.at("hist"), snap.hist);
+  }
+  if (doc.has("hdr")) {
+    for (const auto& [name, v] : doc.at("hdr").fields) {
+      snap.hdr[name] = readHdr(*v);
+    }
+  }
+  if (doc.has("hdr_merged")) {
+    for (const auto& [name, v] : doc.at("hdr_merged").fields) {
+      snap.hdrMerged[name] = readHdr(*v);
+    }
+  }
+  return snap;
+}
+
+}  // namespace zdr::stats

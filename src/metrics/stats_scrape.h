@@ -1,0 +1,61 @@
+// Typed view over one /__stats scrape document.
+//
+// The release controller (and anything else that must reason about a
+// proxy's health *from the outside*) consumes scrapes, not the
+// in-process MetricsRegistry — production release tooling only ever
+// sees the serving fleet through its introspection endpoints. This
+// parser turns the renderStatsJson document back into flat lookups:
+// counters, gauges, peaks, exact-histogram quantiles, and hdr quantile
+// blocks (per worker and `.w<i>.`-merged).
+//
+// Spans and the timeline are deliberately not materialized here; a
+// health decision needs rates and quantiles, not span trees. Callers
+// that want those keep the raw body (`raw`) and parse on demand.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace zdr::stats {
+
+struct HdrQuantiles {
+  double count = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+  double p999 = 0;
+  double max = 0;
+};
+
+struct StatsSnapshot {
+  std::string instance;
+  double tNs = 0;
+
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, double> peaks;
+  // Exact-histogram scalars keep snapshot()'s flattened keys:
+  // "load.latency_ms.count" / ".mean" / ".p50" / ".p99" / ".p999".
+  std::map<std::string, double> hist;
+  std::map<std::string, HdrQuantiles> hdr;
+  std::map<std::string, HdrQuantiles> hdrMerged;
+
+  std::string raw;  // the full scrape body, for archiving/deep dives
+
+  // Missing names read as 0 — a counter nobody bumped yet is exactly a
+  // zero counter, and the SLO math wants that equivalence.
+  [[nodiscard]] double counter(const std::string& name) const;
+  [[nodiscard]] double histValue(const std::string& key) const;
+  // Sum of every counter whose name ends with `suffix` (e.g.
+  // ".err_http" across all load-generator prefixes).
+  [[nodiscard]] double sumCountersBySuffix(const std::string& suffix) const;
+  // Sum of every counter whose name starts with `prefix`.
+  [[nodiscard]] double sumCountersByPrefix(const std::string& prefix) const;
+};
+
+// Throws std::runtime_error on malformed input (the scrape client
+// turns that into a failed-scrape verdict rather than crashing).
+[[nodiscard]] StatsSnapshot parseStatsSnapshot(const std::string& body);
+
+}  // namespace zdr::stats

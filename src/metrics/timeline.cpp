@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "metrics/json_lite.h"
 #include "metrics/trace.h"
 
 namespace zdr {
@@ -97,36 +98,10 @@ const char* PhaseTimeline::markName(Mark m) {
 }
 
 namespace {
+// Shared escape policy — the local copy this file carried had already
+// diverged from the /__stats renderer's once; one definition now.
 void appendJsonString(std::ostream& os, const std::string& s) {
-  os << '"';
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        os << "\\\"";
-        break;
-      case '\\':
-        os << "\\\\";
-        break;
-      case '\n':
-        os << "\\n";
-        break;
-      case '\t':
-        os << "\\t";
-        break;
-      case '\r':
-        os << "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
-  }
-  os << '"';
+  jsonlite::writeString(os, s);
 }
 }  // namespace
 

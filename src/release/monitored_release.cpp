@@ -51,8 +51,8 @@ MonitoredReleaseReport runMonitoredRelease(
       options.onEvent(e);
     }
   };
-  auto healthy = [&] {
-    return !options.healthGate || options.healthGate();
+  auto checkHealth = [&]() -> HealthVerdict {
+    return options.healthGate ? options.healthGate() : HealthVerdict{};
   };
   auto start = SteadyClock::now();
   auto finish = [&](ReleaseOutcome outcome) {
@@ -76,7 +76,9 @@ MonitoredReleaseReport runMonitoredRelease(
          std::to_string(report.batchesCompleted + 1));
 
     if (!restartAndWait(batch, options.strategy, options.perBatchTimeout)) {
-      emit("batch_timeout");
+      report.haltedBatch = report.batchesCompleted + 1;
+      report.haltReason = "batch restart timed out";
+      emit("batch_timeout " + std::to_string(report.haltedBatch));
       return finish(ReleaseOutcome::kAborted);
     }
     released.insert(released.end(), batch.begin(), batch.end());
@@ -84,12 +86,18 @@ MonitoredReleaseReport runMonitoredRelease(
     report.hostsReleased += batch.size();
 
     std::this_thread::sleep_for(options.canarySoak);
-    if (!healthy()) {
+    HealthVerdict verdict = checkHealth();
+    if (!verdict.healthy) {
       // Regression: roll every released host back to the known-good
-      // binary (modelled as one more restart).
-      emit("health_regression_rollback");
+      // binary (modelled as one more restart). The halting batch and
+      // the gate's reason travel with the report.
+      report.haltedBatch = report.batchesCompleted;
+      report.haltReason = verdict.reason;
+      emit("health_regression_rollback batch=" +
+           std::to_string(report.haltedBatch) + " reason=" + verdict.reason);
       if (!restartAndWait(released, options.strategy,
                           options.perBatchTimeout)) {
+        report.haltReason += "; rollback restart timed out";
         return finish(ReleaseOutcome::kAborted);
       }
       report.hostsRolledBack = released.size();

@@ -29,6 +29,18 @@ enum class ReleaseOutcome : uint8_t {
   kAborted,         // regression detected; rollback itself failed
 };
 
+// Gate result: healthy or not, and if not, why. Implicitly
+// constructible from bool so existing boolean gates keep working.
+struct HealthVerdict {
+  bool healthy = true;
+  std::string reason;
+
+  HealthVerdict() = default;
+  HealthVerdict(bool h)  // NOLINT(google-explicit-constructor)
+      : healthy(h), reason(h ? "" : "health gate returned false") {}
+  HealthVerdict(bool h, std::string r) : healthy(h), reason(std::move(r)) {}
+};
+
 struct MonitoredReleaseOptions {
   Strategy strategy = Strategy::kZeroDowntime;
   double batchFraction = 0.2;
@@ -37,9 +49,10 @@ struct MonitoredReleaseOptions {
   // Settle time between a batch finishing and its health evaluation
   // (metrics need a beat to reflect the new binary).
   std::chrono::milliseconds canarySoak{100};
-  // Health gate: return false to declare the release regressing.
-  // Called after the canary batch and after every subsequent batch.
-  std::function<bool()> healthGate;
+  // Health gate: an unhealthy verdict declares the release regressing
+  // and its reason lands in the report. Called after the canary batch
+  // and after every subsequent batch. Boolean lambdas still convert.
+  std::function<HealthVerdict()> healthGate;
   std::function<void(const std::string& event)> onEvent;
 };
 
@@ -49,6 +62,12 @@ struct MonitoredReleaseReport {
   size_t hostsReleased = 0;
   size_t hostsRolledBack = 0;
   double totalSeconds = 0;
+  // Which batch (1-based, matching the onEvent numbering) halted the
+  // release and why; 0 / empty when the release completed. A report
+  // that says only "kRolledBack" is useless at the postmortem — the
+  // cause must travel with the outcome.
+  size_t haltedBatch = 0;
+  std::string haltReason;
 };
 
 // Blocking; call from a driver thread.

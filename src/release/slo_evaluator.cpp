@@ -1,0 +1,149 @@
+#include "release/slo_evaluator.h"
+
+#include <cstdio>
+
+namespace zdr::release {
+
+const char* sloLevelName(SloLevel level) {
+  switch (level) {
+    case SloLevel::kOk:
+      return "ok";
+    case SloLevel::kSoft:
+      return "soft";
+    case SloLevel::kHard:
+      return "hard";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::string fmtReason(const char* metric, double value, const char* band,
+                      double limit) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%s %.4g > %s %.4g", metric, value, band,
+                limit);
+  return buf;
+}
+
+}  // namespace
+
+SloEvaluator::Absolutes SloEvaluator::absolutes(
+    const stats::StatsSnapshot& snap) const {
+  Absolutes a;
+  for (const auto& prefix : signals_.clientPrefixes) {
+    a.ok += snap.counter(prefix + ".ok");
+    // err_transport is deliberately excluded: a graceful drain may
+    // close an idle keep-alive connection mid-race, which surfaces as
+    // a retryable reset — the tier-1 ZDR bar (and this SLO) counts
+    // failed responses and hangs, not retryable connection churn.
+    a.err += snap.counter(prefix + ".err_http") +
+             snap.counter(prefix + ".err_timeout");
+    a.mqttDrops += snap.counter(prefix + signals_.mqttDropSuffix);
+  }
+  a.shed = snap.counter(signals_.shedCounter);
+  a.breakerTrips = snap.counter(signals_.breakerCounter);
+  a.drainStragglers = snap.counter(signals_.stragglerCounter);
+  a.p99Ms = snap.histValue(signals_.latencyHist + ".p99");
+  return a;
+}
+
+void SloEvaluator::setBaseline(const stats::StatsSnapshot& snap) {
+  baseline_ = absolutes(snap);
+}
+
+SloSample SloEvaluator::extract(const stats::StatsSnapshot& snap) const {
+  Absolutes cur = absolutes(snap);
+  SloSample s;
+  s.tNs = snap.tNs;
+  // Counters are monotonic; a negative delta would mean the instance
+  // was reset under us — clamp rather than reward it.
+  auto delta = [](double now, double base) {
+    return now > base ? now - base : 0.0;
+  };
+  s.okDelta = delta(cur.ok, baseline_.ok);
+  s.errDelta = delta(cur.err, baseline_.err);
+  s.shedDelta = delta(cur.shed, baseline_.shed);
+  s.breakerDelta = delta(cur.breakerTrips, baseline_.breakerTrips);
+  s.stragglerDelta = delta(cur.drainStragglers, baseline_.drainStragglers);
+  s.mqttDropDelta = delta(cur.mqttDrops, baseline_.mqttDrops);
+  s.p99Ms = cur.p99Ms;
+  s.baselineP99Ms = baseline_.p99Ms;
+  return s;
+}
+
+SloVerdict SloEvaluator::judge(const SloSample& s) const {
+  const SloThresholds& t = thresholds_;
+  SloVerdict v;
+  auto breach = [&](SloLevel level, std::string reason) {
+    // Keep the worst breach; the first hard reason wins over any soft.
+    if (static_cast<int>(level) > static_cast<int>(v.level)) {
+      v.level = level;
+      v.reason = std::move(reason);
+    }
+  };
+
+  if (s.requests() >= t.minRequestsForRate) {
+    double er = s.errRate();
+    if (er > t.errRateHard) {
+      breach(SloLevel::kHard, fmtReason("err_rate", er, "hard", t.errRateHard));
+    } else if (er > t.errRateSoft) {
+      breach(SloLevel::kSoft, fmtReason("err_rate", er, "soft", t.errRateSoft));
+    }
+    double sr = s.shedRate();
+    if (sr > t.shedRateHard) {
+      breach(SloLevel::kHard,
+             fmtReason("shed_rate", sr, "hard", t.shedRateHard));
+    } else if (sr > t.shedRateSoft) {
+      breach(SloLevel::kSoft,
+             fmtReason("shed_rate", sr, "soft", t.shedRateSoft));
+    }
+  }
+
+  if (s.p99Ms > t.p99FloorMs) {
+    // A silent baseline (no traffic before the stage) grades against
+    // the floor instead, so a cold stage cannot divide by zero its way
+    // past the latency SLO.
+    double base = s.baselineP99Ms > 0 ? s.baselineP99Ms : t.p99FloorMs;
+    double inflation = s.p99Ms / base;
+    if (inflation > t.p99InflationHard) {
+      breach(SloLevel::kHard,
+             fmtReason("p99_inflation", inflation, "hard", t.p99InflationHard));
+    } else if (inflation > t.p99InflationSoft) {
+      breach(SloLevel::kSoft,
+             fmtReason("p99_inflation", inflation, "soft", t.p99InflationSoft));
+    }
+  }
+
+  if (s.breakerDelta > t.breakerTripsHard) {
+    breach(SloLevel::kHard,
+           fmtReason("breaker_trips", s.breakerDelta, "hard",
+                     t.breakerTripsHard));
+  } else if (s.breakerDelta > t.breakerTripsSoft) {
+    breach(SloLevel::kSoft,
+           fmtReason("breaker_trips", s.breakerDelta, "soft",
+                     t.breakerTripsSoft));
+  }
+
+  if (s.stragglerDelta > t.drainStragglersHard) {
+    breach(SloLevel::kHard,
+           fmtReason("drain_stragglers", s.stragglerDelta, "hard",
+                     t.drainStragglersHard));
+  } else if (s.stragglerDelta > t.drainStragglersSoft) {
+    breach(SloLevel::kSoft,
+           fmtReason("drain_stragglers", s.stragglerDelta, "soft",
+                     t.drainStragglersSoft));
+  }
+
+  if (s.mqttDropDelta > t.mqttDropsHard) {
+    breach(SloLevel::kHard,
+           fmtReason("mqtt_drops", s.mqttDropDelta, "hard", t.mqttDropsHard));
+  } else if (s.mqttDropDelta > t.mqttDropsSoft) {
+    breach(SloLevel::kSoft,
+           fmtReason("mqtt_drops", s.mqttDropDelta, "soft", t.mqttDropsSoft));
+  }
+
+  return v;
+}
+
+}  // namespace zdr::release

@@ -1,0 +1,145 @@
+// SLO evaluation over /__stats scrapes.
+//
+// §5.1: "degradation in the health of a service being released even at
+// a micro level … can escalate to a system wide availability risk."
+// The release controller therefore judges every stage purely from the
+// outside: scrape the serving fleet's introspection endpoint, extract
+// the health signals the paper's operators watch (client-visible error
+// rate, tail latency, load shed, drain stragglers, breaker trips,
+// tunnel drops), compare them against a baseline captured at stage
+// entry, and grade the result Ok / soft breach / hard breach.
+//
+// All counter signals are *deltas* against the stage baseline — the
+// scrape documents are cumulative, and a stage must be judged on what
+// changed on its watch, not on history. The latency signal is the
+// client-side p99 relative to its stage-entry value (cumulative
+// histograms move slowly, so thresholds are calibrated for sustained
+// regressions — exactly the kind a bad binary produces).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metrics/stats_scrape.h"
+
+namespace zdr::release {
+
+enum class SloLevel : uint8_t { kOk, kSoft, kHard };
+
+[[nodiscard]] const char* sloLevelName(SloLevel level);
+
+struct SloThresholds {
+  // Client-visible failure rate over the stage window: (err_http +
+  // err_timeout) / completed, summed over the configured client
+  // prefixes. Transport resets are excluded — graceful drains close
+  // idle keep-alive connections, and that race is retryable, not a
+  // failed response. Soft pauses, hard rolls back.
+  double errRateSoft = 0.002;
+  double errRateHard = 0.01;
+  // Rates are meaningless over a handful of requests; below this many
+  // completed-or-failed requests since baseline, rate checks abstain.
+  double minRequestsForRate = 20;
+
+  // Client p99 latency inflation vs the stage baseline (ratio), only
+  // consulted once the current p99 clears the absolute floor — a 2 ms
+  // p99 doubling to 4 ms is noise, not a regression.
+  double p99InflationSoft = 2.0;
+  double p99InflationHard = 4.0;
+  double p99FloorMs = 20.0;
+
+  // Edge fast-503 sheds per completed request.
+  double shedRateSoft = 0.01;
+  double shedRateHard = 0.05;
+
+  // Absolute counts over the stage window.
+  double breakerTripsSoft = 3;
+  double breakerTripsHard = 10;
+  double drainStragglersSoft = 1;
+  double drainStragglersHard = 4;
+  double mqttDropsSoft = 1;
+  double mqttDropsHard = 8;
+};
+
+// Where in the scrape the signals live. Client prefixes name the
+// workload generators whose counters define the user-visible view;
+// the rest are the serving-side names registered by the proxy tiers.
+struct SloSignals {
+  std::vector<std::string> clientPrefixes;  // e.g. {"load", "up", "mq"}
+  // Exact histogram whose ".p99" drives the latency SLO.
+  std::string latencyHist = "load.latency_ms";
+  std::string shedCounter = "edge.err.shed";
+  std::string breakerCounter = "pool.breaker_open";
+  std::string stragglerCounter = "release.drain_deadline_exceeded";
+  std::string mqttDropSuffix = ".drops";  // summed over clientPrefixes
+};
+
+// One scrape reduced to the stage-relative numbers a decision (and the
+// release report's machine check) needs.
+struct SloSample {
+  double tNs = 0;
+  double okDelta = 0;
+  double errDelta = 0;
+  double shedDelta = 0;
+  double breakerDelta = 0;
+  double stragglerDelta = 0;
+  double mqttDropDelta = 0;
+  double p99Ms = 0;
+  double baselineP99Ms = 0;
+
+  [[nodiscard]] double requests() const { return okDelta + errDelta; }
+  [[nodiscard]] double errRate() const {
+    return requests() > 0 ? errDelta / requests() : 0.0;
+  }
+  [[nodiscard]] double shedRate() const {
+    return requests() > 0 ? shedDelta / requests() : 0.0;
+  }
+};
+
+struct SloVerdict {
+  SloLevel level = SloLevel::kOk;
+  // Machine-readable-ish: "err_rate 0.031 > hard 0.01". Empty when Ok.
+  std::string reason;
+};
+
+class SloEvaluator {
+ public:
+  SloEvaluator(SloSignals signals, SloThresholds thresholds)
+      : signals_(std::move(signals)), thresholds_(thresholds) {}
+
+  // Stage entry: every subsequent sample is measured from here.
+  void setBaseline(const stats::StatsSnapshot& snap);
+
+  [[nodiscard]] SloSample extract(const stats::StatsSnapshot& snap) const;
+  [[nodiscard]] SloVerdict judge(const SloSample& sample) const;
+
+  [[nodiscard]] const SloThresholds& thresholds() const noexcept {
+    return thresholds_;
+  }
+  [[nodiscard]] const SloSignals& signals() const noexcept {
+    return signals_;
+  }
+
+  // Absolute signal values of one scrape (stage baselines are recorded
+  // into the release report so every delta is reconstructible).
+  struct Absolutes {
+    double ok = 0;
+    double err = 0;
+    double shed = 0;
+    double breakerTrips = 0;
+    double drainStragglers = 0;
+    double mqttDrops = 0;
+    double p99Ms = 0;
+  };
+  [[nodiscard]] Absolutes absolutes(const stats::StatsSnapshot& snap) const;
+  [[nodiscard]] const Absolutes& baseline() const noexcept {
+    return baseline_;
+  }
+
+ private:
+  SloSignals signals_;
+  SloThresholds thresholds_;
+  Absolutes baseline_{};
+};
+
+}  // namespace zdr::release

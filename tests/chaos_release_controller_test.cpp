@@ -1,0 +1,265 @@
+// The release controller's rollback path races faulted restarts
+// (§5.1's monitored release meets §4.1's failure modes). A staged
+// release goes bad mid-stage; while the controller rolls the stage
+// back, every Socket Takeover handoff is killed or errno-injected on
+// the SCM_RIGHTS channel — the rollback restarts race exactly the
+// faults a dying host produces. The invariants are the paper's:
+//
+//  * the rollback converges deterministically (a failed handoff leaves
+//    the old instance serving — which is precisely a host that never
+//    left the safe state — so the stage lands on kRolledBack, or
+//    kAborted only if a restart genuinely never completes);
+//  * every host reports restartComplete() — no wedged restart threads;
+//  * the edges keep serving clients throughout the churn;
+//  * no event-loop timers leak across the faulted restart cycles.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "core/testbed.h"
+#include "netcore/fault_injection.h"
+#include "release/release_controller.h"
+
+namespace zdr::release {
+namespace {
+
+using core::ProxyHost;
+using core::Testbed;
+using core::TestbedOptions;
+
+// Deterministic scrape script: the controller believes whatever the
+// script says, which lets the test force a hard breach at an exact
+// call index while the *restarts underneath* are real sockets racing
+// real injected faults.
+class ScriptedStatsSource final : public StatsSource {
+ public:
+  using Script =
+      std::function<bool(size_t call, stats::StatsSnapshot&, std::string&)>;
+  explicit ScriptedStatsSource(Script script) : script_(std::move(script)) {}
+
+  bool scrape(stats::StatsSnapshot& out, std::string& err) override {
+    return script_(calls_++, out, err);
+  }
+  [[nodiscard]] std::string describe() const override { return "scripted"; }
+  [[nodiscard]] size_t calls() const { return calls_; }
+
+ private:
+  Script script_;
+  size_t calls_ = 0;
+};
+
+// Healthy sample, then a client-visible error storm from `breachAt`
+// onward — enough delta to clear minRequestsForRate and the hard
+// err-rate threshold on every breaching scrape.
+ScriptedStatsSource::Script breachScript(size_t breachAt) {
+  return [breachAt](size_t call, stats::StatsSnapshot& out, std::string&) {
+    out.instance = "chaos";
+    out.tNs = 1e6 * static_cast<double>(call + 1);
+    out.counters["load.ok"] = 1000.0 + 50.0 * static_cast<double>(call);
+    if (call >= breachAt) {
+      out.counters["load.err_http"] =
+          100.0 * static_cast<double>(call - breachAt + 1);
+    }
+    out.hist["load.latency_ms.p99"] = 25.0;
+    return true;
+  };
+}
+
+size_t timersOn(ProxyHost& host) {
+  std::mutex m;
+  std::condition_variable cv;
+  bool done = false;
+  size_t count = 0;
+  host.loop().runInLoop([&] {
+    {
+      std::lock_guard<std::mutex> lk(m);
+      count = host.loop().activeTimerCount();
+      done = true;
+    }
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lk(m);
+  cv.wait(lk, [&] { return done; });
+  return count;
+}
+
+// Timer counts are transiently elevated while a drained instance is
+// torn down; poll until they return to baseline (or fail loudly).
+bool timersSettle(Testbed& bed, const std::vector<size_t>& baseline,
+                  Duration timeout) {
+  Stopwatch sw;
+  for (;;) {
+    bool match = true;
+    for (size_t i = 0; i < bed.edgeCount(); ++i) {
+      if (timersOn(bed.edge(i)) != baseline[i]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) {
+      return true;
+    }
+    if (sw.seconds() * 1000.0 > static_cast<double>(timeout.count())) {
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+ReleaseControllerOptions chaosOptions() {
+  ReleaseControllerOptions opts;
+  opts.scrapeInterval = Duration{5};
+  opts.perBatchTimeout = Duration{20000};
+  opts.confirmScrapes = 2;
+  opts.stageSoakScrapes = 2;
+  opts.pauseGraceScrapes = 4;
+  opts.maxScrapeFailures = 3;
+  return opts;
+}
+
+class ChaosReleaseControllerTest : public ::testing::Test {
+ protected:
+  // Declared before the testbed: members destroy in reverse order, so
+  // the bed (and any in-flight faulted ops) tears down before the
+  // registry resets.
+  fault::ScopedChaosMode chaos_;
+};
+
+// Every takeover handoff — forward batches and the rollback alike —
+// fails on its first SCM_RIGHTS sendmsg. The old instance must keep
+// serving through each aborted handoff, and the rollback must still
+// converge.
+TEST_F(ChaosReleaseControllerTest, RollbackRacesKilledTakeoverHandoffs) {
+  TestbedOptions bopts;
+  bopts.edges = 4;
+  bopts.origins = 1;
+  bopts.appServers = 2;
+  bopts.enableMqtt = false;
+  bopts.proxyDrainPeriod = Duration{100};
+  Testbed bed(bopts);
+  bed.waitForTrunks();
+
+  std::vector<size_t> timerBaseline;
+  timerBaseline.reserve(bed.edgeCount());
+  for (size_t i = 0; i < bed.edgeCount(); ++i) {
+    timerBaseline.push_back(timersOn(bed.edge(i)));
+  }
+
+  fault::FaultSpec spec;
+  spec.seed = 0xc4a05;
+  spec.errProb = 1.0;
+  spec.errOp = fault::Op::kSendMsg;
+  spec.errErrno = ECONNRESET;
+  fault::FaultRegistry::instance().armTag("takeover.client", spec);
+
+  // Baseline (call 0) and the first batch's observations stay healthy;
+  // everything from call 2 breaches hard.
+  ScriptedStatsSource stats(breachScript(2));
+
+  StageSpec stage;
+  stage.name = "edge/chaos";
+  stage.tier = "edge";
+  stage.pop = "chaos";
+  stage.hosts = bed.edgeHosts();
+  stage.stats = &stats;
+  stage.signals.clientPrefixes = {"load"};
+  stage.batchFraction = 0.25;  // one host per batch
+  stage.budget.maxClientErrors = 1e9;  // exercise the SLO path, not budget
+  ReleaseControllerReport report =
+      ReleaseController({stage}, chaosOptions()).run();
+
+  // The breach is confirmed while batch 2 is in flight at the latest,
+  // so the stage rolls back with one or two hosts released. kAborted
+  // would mean a restart wedged — the failed-handoff fallback forbids
+  // that.
+  EXPECT_EQ(report.outcome, RolloutOutcome::kRolledBack);
+  ASSERT_EQ(report.stages.size(), 1u);
+  EXPECT_EQ(report.stages[0].outcome, StageOutcome::kRolledBack);
+  EXPECT_GE(report.stages[0].hostsReleased, 1u);
+  EXPECT_EQ(report.stages[0].hostsRolledBack, report.stages[0].hostsReleased);
+
+  for (size_t i = 0; i < bed.edgeCount(); ++i) {
+    EXPECT_TRUE(bed.edge(i).restartComplete()) << bed.edge(i).hostName();
+    EXPECT_TRUE(bed.edge(i).serving()) << bed.edge(i).hostName();
+  }
+  // The faults actually bit: at least one handoff aborted and fell back
+  // (forward batch or rollback — both are armed).
+  double failed = 0;
+  for (size_t i = 0; i < bed.edgeCount(); ++i) {
+    failed += static_cast<double>(
+        bed.metrics().counter(bed.edge(i).hostName() + ".takeover_failed")
+            .value());
+  }
+  EXPECT_GE(failed, 1.0);
+  EXPECT_GE(fault::FaultRegistry::instance().stats().errnosInjected, 1u);
+
+  EXPECT_TRUE(timersSettle(bed, timerBaseline, Duration{5000}))
+      << "event-loop timers leaked across faulted restart churn";
+}
+
+// Harder mix: the server side of the handoff dies mid-inventory
+// (killAtByte) *and* the faults only arm once the rollback begins —
+// forward restarts succeed, so the rollback re-restarts hosts that
+// genuinely hold the new binary, racing freshly killed handoffs.
+TEST_F(ChaosReleaseControllerTest, RollbackArmedFaultsStillConverge) {
+  TestbedOptions bopts;
+  bopts.edges = 4;
+  bopts.origins = 1;
+  bopts.appServers = 2;
+  bopts.enableMqtt = false;
+  bopts.proxyDrainPeriod = Duration{100};
+  Testbed bed(bopts);
+  bed.waitForTrunks();
+
+  std::vector<size_t> timerBaseline;
+  timerBaseline.reserve(bed.edgeCount());
+  for (size_t i = 0; i < bed.edgeCount(); ++i) {
+    timerBaseline.push_back(timersOn(bed.edge(i)));
+  }
+
+  ScriptedStatsSource stats(breachScript(2));
+
+  StageSpec stage;
+  stage.name = "edge/chaos";
+  stage.tier = "edge";
+  stage.pop = "chaos";
+  stage.hosts = bed.edgeHosts();
+  stage.stats = &stats;
+  stage.signals.clientPrefixes = {"load"};
+  stage.batchFraction = 0.5;  // two hosts per batch
+  stage.budget.maxClientErrors = 1e9;
+
+  ReleaseControllerOptions opts = chaosOptions();
+  opts.onStageRollback = [](const StageSpec&, size_t) {
+    fault::FaultSpec kill;
+    kill.seed = 0xc4a05;
+    kill.killAtByte = 64;  // sever the inventory stream mid-transfer
+    fault::FaultRegistry::instance().armTag("takeover.server", kill);
+    fault::FaultSpec reset;
+    reset.seed = 0xc4a06;
+    reset.errProb = 1.0;
+    reset.errOp = fault::Op::kSendMsg;
+    reset.errErrno = EPIPE;
+    fault::FaultRegistry::instance().armTag("takeover.client", reset);
+  };
+  ReleaseControllerReport report = ReleaseController({stage}, opts).run();
+
+  EXPECT_EQ(report.outcome, RolloutOutcome::kRolledBack);
+  ASSERT_EQ(report.stages.size(), 1u);
+  EXPECT_EQ(report.stages[0].outcome, StageOutcome::kRolledBack);
+
+  for (size_t i = 0; i < bed.edgeCount(); ++i) {
+    EXPECT_TRUE(bed.edge(i).restartComplete()) << bed.edge(i).hostName();
+    EXPECT_TRUE(bed.edge(i).serving()) << bed.edge(i).hostName();
+  }
+  EXPECT_GE(fault::FaultRegistry::instance().stats().total(), 1u);
+  EXPECT_TRUE(timersSettle(bed, timerBaseline, Duration{5000}))
+      << "event-loop timers leaked across faulted rollback";
+}
+
+}  // namespace
+}  // namespace zdr::release

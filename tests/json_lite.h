@@ -1,242 +1,6 @@
-// Minimal recursive-descent JSON reader for test assertions against
-// the /__stats and timeline documents. Parses the subset those
-// renderers emit (objects, arrays, strings, numbers, booleans, null);
-// not a general-purpose or validating parser.
+// Compat shim: the JSON reader grew a production consumer (the release
+// controller's scrape client) and moved to src/metrics/json_lite.h.
+// Tests keep including "json_lite.h"; both names refer to one parser.
 #pragma once
 
-#include <cctype>
-#include <cstdlib>
-#include <map>
-#include <memory>
-#include <stdexcept>
-#include <string>
-#include <vector>
-
-namespace zdr::testjson {
-
-class Value;
-using ValuePtr = std::shared_ptr<Value>;
-
-class Value {
- public:
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
-
-  Type type = Type::kNull;
-  bool boolean = false;
-  double number = 0;
-  std::string str;
-  std::vector<ValuePtr> items;
-  std::map<std::string, ValuePtr> fields;
-
-  [[nodiscard]] bool has(const std::string& key) const {
-    return fields.count(key) != 0;
-  }
-  [[nodiscard]] const Value& at(const std::string& key) const {
-    auto it = fields.find(key);
-    if (it == fields.end()) {
-      throw std::runtime_error("json: missing key " + key);
-    }
-    return *it->second;
-  }
-  [[nodiscard]] const Value& at(size_t i) const { return *items.at(i); }
-  [[nodiscard]] size_t size() const {
-    return type == Type::kArray ? items.size() : fields.size();
-  }
-  [[nodiscard]] uint64_t asU64() const {
-    return static_cast<uint64_t>(number);
-  }
-};
-
-class Parser {
- public:
-  static Value parse(const std::string& text) {
-    Parser p(text);
-    Value v = p.parseValue();
-    p.skipWs();
-    if (p.pos_ != text.size()) {
-      throw std::runtime_error("json: trailing garbage");
-    }
-    return v;
-  }
-
- private:
-  explicit Parser(const std::string& text) : text_(text) {}
-
-  void skipWs() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    if (pos_ >= text_.size()) {
-      throw std::runtime_error("json: unexpected end");
-    }
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) {
-      throw std::runtime_error(std::string("json: expected '") + c +
-                               "' at " + std::to_string(pos_));
-    }
-    ++pos_;
-  }
-
-  bool consume(const char* lit) {
-    size_t n = std::string(lit).size();
-    if (text_.compare(pos_, n, lit) == 0) {
-      pos_ += n;
-      return true;
-    }
-    return false;
-  }
-
-  Value parseValue() {
-    skipWs();
-    char c = peek();
-    Value v;
-    switch (c) {
-      case '{':
-        return parseObject();
-      case '[':
-        return parseArray();
-      case '"':
-        v.type = Value::Type::kString;
-        v.str = parseString();
-        return v;
-      case 't':
-        if (!consume("true")) {
-          throw std::runtime_error("json: bad literal");
-        }
-        v.type = Value::Type::kBool;
-        v.boolean = true;
-        return v;
-      case 'f':
-        if (!consume("false")) {
-          throw std::runtime_error("json: bad literal");
-        }
-        v.type = Value::Type::kBool;
-        return v;
-      case 'n':
-        if (!consume("null")) {
-          throw std::runtime_error("json: bad literal");
-        }
-        return v;
-      default:
-        return parseNumber();
-    }
-  }
-
-  Value parseNumber() {
-    size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-    }
-    if (pos_ == start) {
-      throw std::runtime_error("json: bad number at " + std::to_string(pos_));
-    }
-    Value v;
-    v.type = Value::Type::kNumber;
-    v.number = std::strtod(text_.substr(start, pos_ - start).c_str(),
-                           nullptr);
-    return v;
-  }
-
-  std::string parseString() {
-    expect('"');
-    std::string out;
-    while (true) {
-      char c = peek();
-      ++pos_;
-      if (c == '"') {
-        return out;
-      }
-      if (c != '\\') {
-        out.push_back(c);
-        continue;
-      }
-      char esc = peek();
-      ++pos_;
-      switch (esc) {
-        case 'n':
-          out.push_back('\n');
-          break;
-        case 't':
-          out.push_back('\t');
-          break;
-        case 'r':
-          out.push_back('\r');
-          break;
-        case 'u': {
-          // The renderers only emit \u00XX control escapes.
-          if (pos_ + 4 > text_.size()) {
-            throw std::runtime_error("json: bad \\u escape");
-          }
-          unsigned code = static_cast<unsigned>(
-              std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16));
-          pos_ += 4;
-          out.push_back(static_cast<char>(code & 0xff));
-          break;
-        }
-        default:
-          out.push_back(esc);  // \" \\ \/ …
-      }
-    }
-  }
-
-  Value parseObject() {
-    expect('{');
-    Value v;
-    v.type = Value::Type::kObject;
-    skipWs();
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      skipWs();
-      std::string key = parseString();
-      skipWs();
-      expect(':');
-      v.fields[key] = std::make_shared<Value>(parseValue());
-      skipWs();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return v;
-    }
-  }
-
-  Value parseArray() {
-    expect('[');
-    Value v;
-    v.type = Value::Type::kArray;
-    skipWs();
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      v.items.push_back(std::make_shared<Value>(parseValue()));
-      skipWs();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return v;
-    }
-  }
-
-  const std::string& text_;
-  size_t pos_ = 0;
-};
-
-}  // namespace zdr::testjson
+#include "metrics/json_lite.h"

@@ -71,6 +71,8 @@ TEST(MonitoredReleaseTest, HealthyReleaseCompletes) {
   EXPECT_EQ(report.batchesCompleted, 4u);
   EXPECT_EQ(report.hostsReleased, 4u);
   EXPECT_EQ(report.hostsRolledBack, 0u);
+  EXPECT_EQ(report.haltedBatch, 0u);
+  EXPECT_TRUE(report.haltReason.empty());
   for (auto& h : hosts) {
     EXPECT_EQ(h->restarts(), 1);
   }
@@ -87,6 +89,10 @@ TEST(MonitoredReleaseTest, CanaryRegressionRollsBackOnlyCanary) {
   EXPECT_EQ(report.batchesCompleted, 1u);
   EXPECT_EQ(report.hostsReleased, 1u);
   EXPECT_EQ(report.hostsRolledBack, 1u);
+  // The boolean gate converts to a verdict with a stock reason; the
+  // report pins the halting batch.
+  EXPECT_EQ(report.haltedBatch, 1u);
+  EXPECT_EQ(report.haltReason, "health gate returned false");
   EXPECT_EQ(hosts[0]->restarts(), 2);  // release + rollback
   for (size_t i = 1; i < hosts.size(); ++i) {
     EXPECT_EQ(hosts[i]->restarts(), 0);  // blast radius contained
@@ -99,12 +105,29 @@ TEST(MonitoredReleaseTest, MidReleaseRegressionRollsBackReleasedSet) {
   MonitoredReleaseOptions opts;
   opts.batchFraction = 0.25;
   opts.canarySoak = std::chrono::milliseconds(5);
-  // Healthy for canary + batch 2; regress on batch 3.
-  opts.healthGate = [&] { return gateCalls.fetch_add(1) < 2; };
+  // Healthy for canary + batch 2; regress on batch 3 with a reason.
+  opts.healthGate = [&]() -> HealthVerdict {
+    if (gateCalls.fetch_add(1) < 2) {
+      return true;
+    }
+    return {false, "p99 inflation 4.2 > hard 4"};
+  };
+  std::vector<std::string> events;
+  opts.onEvent = [&](const std::string& e) { events.push_back(e); };
   auto report = runMonitoredRelease(raw(hosts), opts);
   EXPECT_EQ(report.outcome, ReleaseOutcome::kRolledBack);
   EXPECT_EQ(report.batchesCompleted, 3u);
   EXPECT_EQ(report.hostsRolledBack, 3u);
+  EXPECT_EQ(report.haltedBatch, 3u);
+  EXPECT_EQ(report.haltReason, "p99 inflation 4.2 > hard 4");
+  // The gate's reason also reaches the event stream for timelines.
+  bool sawReason = false;
+  for (const auto& e : events) {
+    if (e.find("reason=p99 inflation 4.2 > hard 4") != std::string::npos) {
+      sawReason = true;
+    }
+  }
+  EXPECT_TRUE(sawReason);
   EXPECT_EQ(hosts[0]->restarts(), 2);
   EXPECT_EQ(hosts[1]->restarts(), 2);
   EXPECT_EQ(hosts[2]->restarts(), 2);
