@@ -2,12 +2,17 @@
 //
 // Two layers:
 //  * micro — ns/op for every hot-path instrument (Counter, Gauge,
-//    MaxGauge, exact Histogram, HdrHistogram, SpanSink), single-thread
-//    tight loops, because these sit on the per-request path of a
-//    multi-worker proxy;
+//    MaxGauge, exact Histogram, HdrHistogram, SpanSink, EventRing),
+//    single-thread tight loops, because these sit on the per-request
+//    path of a multi-worker proxy;
 //  * macro — closed-loop RPS through the full edge→origin→app pipeline
-//    with tracing on vs off. The budget is <2% RPS delta (warn-only,
-//    like every bench gate: CI machines are noisy).
+//    across three cells: full observability (tracing+recorder on),
+//    tracing off, and flight recorder off (loop profiling + event
+//    rings disabled). Each cell is best-of-3 with a discarded warmup
+//    run, because scheduler noise on a shared machine dwarfs the
+//    instruments' cost. The tracing budget is <2% RPS delta
+//    (warn-only); the recorder budget is <2% RPS delta and IS gated in
+//    CI (check_bench_regression.py --budget recorder_rps_delta=0.02).
 //
 // Emits BENCH_metrics.json; scripts/check_bench_regression.py compares
 // against bench/baselines/BENCH_metrics.baseline.json.
@@ -16,10 +21,12 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <utility>
 
 #include "bench_util.h"
 #include "core/testbed.h"
 #include "core/workload.h"
+#include "metrics/flight_recorder.h"
 #include "metrics/metrics.h"
 
 using namespace zdr;
@@ -84,11 +91,16 @@ std::vector<MicroResult> runMicro() {
     span.endNs = i + 5;
     sink.record(span);
   }));
+  fr::EventRing ring(8192);
+  out.push_back(microBench("event_ring.record", kIters, [&](uint64_t i) {
+    fr::recordEvent(&ring, fr::EventKind::kLoopIteration, 1, i, 0, 0);
+  }));
   return out;
 }
 
 struct Cell {
   bool tracing = true;
+  bool recorder = true;
   uint64_t requests = 0;
   uint64_t errors = 0;
   double seconds = 0;
@@ -97,12 +109,18 @@ struct Cell {
   double p99Ms = 0;
   double cpuUsPerReq = 0;
   uint64_t spansRecorded = 0;
+  uint64_t eventsRecorded = 0;
 };
 
-Cell runCell(bool tracing) {
+Cell runCell(bool tracing, bool recorder) {
   Cell cell;
   cell.tracing = tracing;
+  cell.recorder = recorder;
   trace::setTracingEnabled(tracing);
+  // The recorder-off cell is the full always-on flight-recorder cost:
+  // the global event gate (recordEvent's early-out) plus the per-
+  // dispatch clock reads the loop profiler takes when installed.
+  fr::setRecorderEnabled(recorder);
 
   core::TestbedOptions opts;
   opts.edges = 1;
@@ -110,6 +128,9 @@ Cell runCell(bool tracing) {
   opts.appServers = 2;
   opts.enableMqtt = false;
   opts.httpWorkers = bench::scaled<size_t>(4, 1);
+  opts.proxyConfigHook = [recorder](proxygen::Proxy::Config& cfg) {
+    cfg.loopProfiling = recorder;
+  };
   core::Testbed bed(opts);
 
   const size_t kGens = bench::scaled<size_t>(4, 1);
@@ -162,12 +183,13 @@ Cell runCell(bool tracing) {
         (cpuEnd - cpuStart) * 1e6 / static_cast<double>(cell.requests);
   }
   cell.spansRecorded = bed.metrics().collectSpans().size();
+  cell.eventsRecorded = bed.metrics().collectEvents().size();
   return cell;
 }
 
 void writeJson(const std::vector<MicroResult>& micro,
-               const std::vector<Cell>& cells, double rpsDelta,
-               const char* path) {
+               const std::vector<Cell>& cells, double tracingDelta,
+               double recorderDelta, const char* path) {
   std::ofstream out(path);
   out << "{\n  \"bench\": \"metrics\",\n  \"smoke\": "
       << (bench::smokeMode() ? "true" : "false") << ",\n  \"micro\": {";
@@ -175,16 +197,19 @@ void writeJson(const std::vector<MicroResult>& micro,
     out << (i > 0 ? ", " : "") << "\"" << micro[i].name
         << "_ns\": " << micro[i].nsPerOp;
   }
-  out << "},\n  \"tracing_rps_delta\": " << rpsDelta
+  out << "},\n  \"tracing_rps_delta\": " << tracingDelta
+      << ",\n  \"recorder_rps_delta\": " << recorderDelta
       << ",\n  \"cells\": [\n";
   for (size_t i = 0; i < cells.size(); ++i) {
     const Cell& c = cells[i];
     out << "    {\"tracing\": " << (c.tracing ? "true" : "false")
+        << ", \"recorder\": " << (c.recorder ? "true" : "false")
         << ", \"requests\": " << c.requests << ", \"errors\": " << c.errors
         << ", \"rps\": " << c.rps << ", \"p50_ms\": " << c.p50Ms
         << ", \"p99_ms\": " << c.p99Ms
         << ", \"cpu_us_per_req\": " << c.cpuUsPerReq
-        << ", \"spans_recorded\": " << c.spansRecorded << "}"
+        << ", \"spans_recorded\": " << c.spansRecorded
+        << ", \"events_recorded\": " << c.eventsRecorded << "}"
         << (i + 1 < cells.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
@@ -200,8 +225,10 @@ int main(int argc, char** argv) {
   }
 
   bench::banner(
-      "Observability overhead — instrument ns/op and tracing on/off RPS",
-      "hot-path instruments are lock-free; request tracing costs <2% RPS");
+      "Observability overhead — instrument ns/op, tracing and flight "
+      "recorder on/off RPS",
+      "hot-path instruments are lock-free; tracing and the always-on "
+      "recorder each cost <2% RPS");
 
   bench::section("micro (single thread)");
   auto micro = runMicro();
@@ -209,36 +236,73 @@ int main(int argc, char** argv) {
     bench::row(m.name, m.nsPerOp, "ns/op");
   }
 
-  bench::section("macro (tracing on vs off)");
+  bench::section("macro (tracing / recorder on vs off)");
   const bool origTracing = trace::tracingEnabled();
+  const bool origRecorder = fr::recorderEnabled();
   std::vector<Cell> cells;
-  for (bool tracing : {true, false}) {
-    cells.push_back(runCell(tracing));
+  // Cell order is load-bearing for the delta math and the structural
+  // checks below: [0] full observability, [1] tracing off, [2]
+  // recorder off.
+  const std::pair<bool, bool> kCellGrid[] = {
+      {true, true}, {false, true}, {true, false}};
+  // Each cell is best-of-N. Closed-loop RPS on a shared machine swings
+  // with scheduler placement far more than the instruments cost — a
+  // single-shot cell showed recorder-off running SLOWER than recorder-on
+  // run-to-run — so a 2% gate needs noise filtering. Taking the max
+  // over repeats discards interference (which only ever slows a run)
+  // while structural overhead, work the instruments do on every
+  // request, survives in all repeats. One extra discarded run up front
+  // warms the allocator and page cache shared by every cell.
+  const int kRepeats = 3;
+  runCell(true, true);
+  for (auto [tracing, recorder] : kCellGrid) {
+    Cell best = runCell(tracing, recorder);
+    for (int r = 1; r < kRepeats; ++r) {
+      Cell c = runCell(tracing, recorder);
+      if (c.rps > best.rps) {
+        best = c;
+      }
+    }
+    cells.push_back(best);
     const Cell& c = cells.back();
     std::printf(
-        "tracing=%-3s  %8.0f rps  p50 %6.2f ms  p99 %6.2f ms  "
-        "%7.1f cpu-us/req  %8llu spans  (%llu reqs, %llu err)\n",
-        c.tracing ? "on" : "off", c.rps, c.p50Ms, c.p99Ms, c.cpuUsPerReq,
+        "tracing=%-3s recorder=%-3s  %8.0f rps  p50 %6.2f ms  "
+        "p99 %6.2f ms  %7.1f cpu-us/req  %8llu spans  %8llu events  "
+        "(%llu reqs, %llu err)\n",
+        c.tracing ? "on" : "off", c.recorder ? "on" : "off", c.rps, c.p50Ms,
+        c.p99Ms, c.cpuUsPerReq,
         static_cast<unsigned long long>(c.spansRecorded),
+        static_cast<unsigned long long>(c.eventsRecorded),
         static_cast<unsigned long long>(c.requests),
         static_cast<unsigned long long>(c.errors));
   }
   trace::setTracingEnabled(origTracing);
+  fr::setRecorderEnabled(origRecorder);
 
-  double rpsDelta = 0;
-  if (cells.size() == 2 && cells[1].rps > 0) {
-    rpsDelta = (cells[1].rps - cells[0].rps) / cells[1].rps;
+  double tracingDelta = 0;
+  double recorderDelta = 0;
+  if (cells.size() == 3 && cells[1].rps > 0 && cells[2].rps > 0) {
+    tracingDelta = (cells[1].rps - cells[0].rps) / cells[1].rps;
+    recorderDelta = (cells[2].rps - cells[0].rps) / cells[2].rps;
     bench::section("budget");
-    bench::row("RPS cost of tracing (off->on)", rpsDelta, "fraction");
-    if (!bench::smokeMode() && rpsDelta > 0.02) {
+    bench::row("RPS cost of tracing (off->on)", tracingDelta, "fraction");
+    bench::row("RPS cost of recorder (off->on)", recorderDelta, "fraction");
+    if (!bench::smokeMode() && tracingDelta > 0.02) {
       std::printf(
           "::warning::tracing overhead %.1f%% exceeds the 2%% budget "
           "(warn-only)\n",
-          rpsDelta * 100);
+          tracingDelta * 100);
+    }
+    if (!bench::smokeMode() && recorderDelta > 0.02) {
+      std::printf(
+          "::warning::recorder overhead %.1f%% exceeds the 2%% budget "
+          "(gated in CI via check_bench_regression.py --budget)\n",
+          recorderDelta * 100);
     }
   }
-  // Spans must flow when tracing is on and stop when off.
-  if (cells.size() == 2) {
+  // Spans must flow when tracing is on and stop when off; recorder
+  // events likewise. These are structural (not timing) and fail hard.
+  if (cells.size() == 3) {
     if (cells[0].spansRecorded == 0) {
       std::fprintf(stderr, "error: tracing-on cell recorded no spans\n");
       return 1;
@@ -249,9 +313,20 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(cells[1].spansRecorded));
       return 1;
     }
+    if (cells[0].eventsRecorded == 0) {
+      std::fprintf(stderr, "error: recorder-on cell recorded no events\n");
+      return 1;
+    }
+    if (cells[2].eventsRecorded != 0) {
+      std::fprintf(stderr,
+                   "error: recorder-off cell recorded %llu events\n",
+                   static_cast<unsigned long long>(cells[2].eventsRecorded));
+      return 1;
+    }
   }
 
-  writeJson(micro, cells, rpsDelta, "BENCH_metrics.json");
+  writeJson(micro, cells, tracingDelta, recorderDelta,
+            "BENCH_metrics.json");
   std::printf("\nwrote BENCH_metrics.json\n");
 
   uint64_t total = 0;

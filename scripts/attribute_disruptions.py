@@ -1,0 +1,277 @@
+#!/usr/bin/env python3
+"""Per-cause disruption attribution over a flight-recorder capture.
+
+Every client-visible error the proxies emit is attributed at the
+failure site with a DisruptionCause and the release phase that was
+active (src/metrics/flight_recorder.h); the capture's disruption
+events carry both, decoded. This script folds a capture
+(zdr.trace_capture.v1, from `/__trace` or a ZDR_TRACE_ARCHIVE_DIR
+archive) into the per-phase × per-cause table the paper's Fig 11/12
+analysis wants, and enforces the attribution bar:
+
+  * any event whose cause decodes to "unattributed" fails the run —
+    an unattributed client-visible error means a failure site is
+    missing its attribution call;
+  * --expect CAUSE[=N] fails unless at least N (default 1) events
+    carry that cause — how the chaos E2Es assert injected faults were
+    blamed on the injection, not on innocent bystanders;
+  * --forbid CAUSE fails if the cause appears at all — how a clean
+    rollout asserts it stayed clean.
+
+With --report RELEASE_report.json (zdr.release_report.v1) the output
+also joins the release controller's own ledger: its per-stage consumed
+disruption budget next to the capture's attributed totals, so a
+number in the controller's report can be traced to named causes.
+
+Usage:
+  attribute_disruptions.py CAPTURE.json [--report RELEASE_report.json]
+      [--expect CAUSE[=N]]... [--forbid CAUSE]... [-o OUT.json]
+  attribute_disruptions.py --selftest
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+SCHEMA = "zdr.trace_capture.v1"
+REPORT_SCHEMA = "zdr.release_report.v1"
+
+CAUSES = (
+    "unattributed", "reset_on_restart", "trunk_abort", "drain_deadline",
+    "shed", "breaker", "timeout", "fault_injected",
+)
+PHASES = ("steady", "drain", "hard_drain", "shutdown")
+
+
+def fail(msg):
+    print(f"attribute_disruptions: {msg}", file=sys.stderr)
+    return 1
+
+
+def attribute(capture):
+    """capture dict -> attribution summary dict (no policy applied)."""
+    if capture.get("schema") != SCHEMA:
+        raise ValueError(
+            f"not a {SCHEMA} capture (schema={capture.get('schema')!r})")
+    table = collections.defaultdict(collections.Counter)
+    traces = collections.defaultdict(list)
+    dropped = 0
+    for ring_name, ring in capture.get("events", {}).items():
+        dropped += ring.get("dropped", 0)
+        for e in ring.get("events", []):
+            if e.get("kind") != "disruption":
+                continue
+            cause = e.get("cause", "unattributed")
+            phase = e.get("phase", "steady")
+            table[phase][cause] += 1
+            if e.get("trace_id"):
+                traces[cause].append(e["trace_id"])
+    by_cause = collections.Counter()
+    for counts in table.values():
+        by_cause.update(counts)
+    return {
+        "schema": "zdr.disruption_attribution.v1",
+        "instance": capture.get("instance", ""),
+        "total": sum(by_cause.values()),
+        "by_cause": dict(by_cause),
+        "by_phase": {ph: dict(c) for ph, c in sorted(table.items())},
+        # Bounded sample per cause (the counts above are exact): enough
+        # to chase individual victims in the capture without letting a
+        # chaos soak's thousands of aborts swamp the artifact.
+        "trace_ids": {c: sorted(set(ids))[:32] for c, ids in traces.items()},
+        # Ring drops bound the claim: a capture that shed events can
+        # only under-count, never mis-attribute, but say so.
+        "events_dropped": dropped,
+    }
+
+
+def join_report(summary, report):
+    """Fold the release controller's consumed-budget ledger in."""
+    if report.get("schema") != REPORT_SCHEMA:
+        raise ValueError(
+            f"not a {REPORT_SCHEMA} report "
+            f"(schema={report.get('schema')!r})")
+    stages = []
+    consumed_errors = 0.0
+    consumed_sheds = 0.0
+    for st in report.get("stages", []):
+        c = st.get("consumed", {})
+        consumed_errors += c.get("client_errors", 0)
+        consumed_sheds += c.get("shed_requests", 0)
+        stages.append({
+            "name": st.get("name", ""),
+            "outcome": st.get("outcome", ""),
+            "consumed_client_errors": c.get("client_errors", 0),
+            "consumed_shed_requests": c.get("shed_requests", 0),
+        })
+    by_cause = summary["by_cause"]
+    summary["release"] = {
+        "outcome": report.get("outcome", ""),
+        "strategy": report.get("strategy", ""),
+        "stages": stages,
+        "consumed_client_errors": consumed_errors,
+        "consumed_shed_requests": consumed_sheds,
+        # The controller counts errors from SLO scrapes; the recorder
+        # attributes them at the failure site. Shown side by side so a
+        # consumed budget traces to named causes.
+        "attributed_errors": sum(
+            n for c, n in by_cause.items() if c != "shed"),
+        "attributed_sheds": by_cause.get("shed", 0),
+    }
+    return summary
+
+
+def enforce(summary, expects, forbids):
+    """Return a list of policy violations (empty = pass)."""
+    problems = []
+    by_cause = summary["by_cause"]
+    unattributed = by_cause.get("unattributed", 0)
+    if unattributed:
+        problems.append(
+            f"{unattributed} client-visible disruption(s) unattributed "
+            "(a failure site is missing its attribution call); "
+            f"trace ids: {summary['trace_ids'].get('unattributed', [])}")
+    for cause, n in expects:
+        got = by_cause.get(cause, 0)
+        if got < n:
+            problems.append(
+                f"expected >= {n} disruption(s) with cause {cause!r}, "
+                f"capture attributes {got}")
+    for cause in forbids:
+        got = by_cause.get(cause, 0)
+        if got:
+            problems.append(
+                f"cause {cause!r} forbidden but capture attributes {got}")
+    return problems
+
+
+def parse_expect(spec):
+    cause, _, n = spec.partition("=")
+    if cause not in CAUSES:
+        raise argparse.ArgumentTypeError(
+            f"unknown cause {cause!r} (want one of {CAUSES})")
+    return cause, int(n) if n else 1
+
+
+def parse_cause(spec):
+    if spec not in CAUSES:
+        raise argparse.ArgumentTypeError(
+            f"unknown cause {spec!r} (want one of {CAUSES})")
+    return spec
+
+
+# --------------------------------------------------------------- selftest
+
+def _sample_capture():
+    def disruption(t, cause, phase, trace_id):
+        return {"t_ns": t, "kind": "disruption", "instance": "edge.w0",
+                "dur_ns": 0, "trace_id": trace_id, "detail": 0,
+                "cause": cause, "phase": phase}
+    return {
+        "schema": SCHEMA, "instance": "edge", "t_ns": 9_000_000,
+        "spans": {},
+        "events": {
+            "edge.w0": {"recorded": 4, "dropped": 0, "events": [
+                disruption(1_000_000, "fault_injected", "steady", 11),
+                disruption(2_000_000, "fault_injected", "drain", 12),
+                disruption(3_000_000, "shed", "drain", 0),
+                {"t_ns": 4_000_000, "kind": "accept",
+                 "instance": "edge.w0", "dur_ns": 0, "trace_id": 0,
+                 "detail": 3, "tag": "accept.http"},
+            ]},
+            "origin.w0": {"recorded": 1, "dropped": 0, "events": [
+                disruption(5_000_000, "breaker", "hard_drain", 13),
+            ]},
+        },
+        "timeline": {"events": [], "windows": []},
+    }
+
+
+def selftest():
+    s = attribute(_sample_capture())
+    want = {"fault_injected": 2, "shed": 1, "breaker": 1}
+    if s["by_cause"] != want:
+        raise ValueError(f"selftest: by_cause {s['by_cause']} != {want}")
+    if s["by_phase"]["drain"] != {"fault_injected": 1, "shed": 1}:
+        raise ValueError(f"selftest: drain row wrong: {s['by_phase']}")
+    if s["trace_ids"]["fault_injected"] != [11, 12]:
+        raise ValueError("selftest: trace ids lost")
+    if enforce(s, [("fault_injected", 2)], []):
+        raise ValueError("selftest: clean capture failed policy")
+    if not enforce(s, [("fault_injected", 3)], []):
+        raise ValueError("selftest: unmet --expect not flagged")
+    if not enforce(s, [], ["shed"]):
+        raise ValueError("selftest: --forbid not flagged")
+    bad = _sample_capture()
+    bad["events"]["edge.w0"]["events"][0]["cause"] = "unattributed"
+    if not enforce(attribute(bad), [], []):
+        raise ValueError("selftest: unattributed event not flagged")
+    report = {
+        "schema": REPORT_SCHEMA, "outcome": "completed",
+        "strategy": "zero_downtime",
+        "stages": [{"name": "canary", "outcome": "completed",
+                    "consumed": {"client_errors": 3, "shed_requests": 1}}],
+    }
+    joined = join_report(attribute(_sample_capture()), report)
+    rel = joined["release"]
+    if rel["consumed_client_errors"] != 3 or rel["attributed_errors"] != 3:
+        raise ValueError(f"selftest: report join wrong: {rel}")
+    if rel["attributed_sheds"] != 1:
+        raise ValueError("selftest: shed split wrong")
+    print("attribute_disruptions: selftest OK")
+    return 0
+
+
+def main():
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("capture", nargs="?", help="zdr.trace_capture.v1 file")
+    p.add_argument("--report", help="RELEASE_report.json to join")
+    p.add_argument("--expect", action="append", default=[],
+                   type=parse_expect, metavar="CAUSE[=N]",
+                   help="require >= N events with this cause (default 1)")
+    p.add_argument("--forbid", action="append", default=[],
+                   type=parse_cause, metavar="CAUSE",
+                   help="fail if this cause appears at all")
+    p.add_argument("-o", "--output", help="write the summary JSON here")
+    p.add_argument("--selftest", action="store_true")
+    args = p.parse_args()
+
+    if args.selftest:
+        try:
+            return selftest()
+        except ValueError as e:
+            return fail(str(e))
+    if not args.capture:
+        p.print_usage(sys.stderr)
+        return 2
+
+    try:
+        with open(args.capture, encoding="utf-8") as f:
+            summary = attribute(json.load(f))
+        if args.report:
+            with open(args.report, encoding="utf-8") as f:
+                summary = join_report(summary, json.load(f))
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        return fail(str(e))
+
+    text = json.dumps(summary, indent=1, sort_keys=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as f:
+            f.write(text + "\n")
+    else:
+        print(text)
+
+    problems = enforce(summary, args.expect, args.forbid)
+    for problem in problems:
+        print(f"attribute_disruptions: FAIL: {problem}", file=sys.stderr)
+    if not problems:
+        by_cause = ", ".join(
+            f"{c}={n}" for c, n in sorted(summary["by_cause"].items()))
+        print(f"attribute_disruptions: OK "
+              f"({summary['total']} attributed; {by_cause or 'none'})")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

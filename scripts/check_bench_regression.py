@@ -10,9 +10,16 @@ headline metric is structural rather than timing-noisy (e.g.
 BENCH_udp_batching.json's syscalls per datagram, which depends on burst
 depth and batch width, not wall-clock).
 
+Budget ceilings (--budget NAME=CEILING, repeatable) check a top-level
+metric of CURRENT.json against an absolute ceiling rather than against
+the baseline — the flight-recorder overhead gate
+(--budget recorder_rps_delta=0.02) is the canonical user: the claim is
+"the always-on recorder costs under 2% RPS", not "no worse than last
+time". Budget breaches respect --gate like every other finding.
+
 Usage:
   scripts/check_bench_regression.py CURRENT.json BASELINE.json \
-      [--tolerance 0.30] [--gate]
+      [--tolerance 0.30] [--gate] [--budget NAME=CEILING]...
 
 Self-test: scripts/test_check_bench_regression.py (run by the CI lint
 job).
@@ -62,8 +69,9 @@ METRICS = {
 
 def cell_key(cell):
     # Optional dimensions are defaulted so one key function spans every
-    # BENCH_*.json schema: "tracing" only appears in bench_metrics
-    # cells, "udp_workers"/"batched" only in bench_udp_batching cells.
+    # BENCH_*.json schema: "tracing"/"recorder" only appear in
+    # bench_metrics cells, "udp_workers"/"batched" only in
+    # bench_udp_batching cells.
     return (
         cell.get("http_workers"),
         cell.get("vectored_io"),
@@ -75,6 +83,7 @@ def cell_key(cell):
         cell.get("shards"),
         cell.get("splice"),
         cell.get("zerocopy"),
+        cell.get("recorder", True),
     )
 
 
@@ -101,7 +110,33 @@ def cell_label(cell):
         parts.append(f"splice={'on' if key[8] else 'off'}")
     if key[9] is not None:
         parts.append(f"zerocopy={'on' if key[9] else 'off'}")
+    if "recorder" in cell:
+        parts.append(f"recorder={'on' if key[10] else 'off'}")
     return " ".join(parts) or "cell"
+
+
+def parse_budget(spec):
+    name, sep, ceiling = spec.partition("=")
+    if not sep or not name:
+        raise argparse.ArgumentTypeError(
+            f"budget {spec!r} must be NAME=CEILING")
+    return name, float(ceiling)
+
+
+def check_budgets(current, budgets, emit):
+    """Absolute ceilings on top-level metrics. Returns finding count."""
+    findings = 0
+    for name, ceiling in budgets:
+        value = current.get(name)
+        if value is None:
+            emit(f"budget metric {name!r} missing from bench output")
+            findings += 1
+        elif value > ceiling:
+            emit(
+                f"budget breach {name}: {value:.4f} > ceiling {ceiling:.4f}"
+            )
+            findings += 1
+    return findings
 
 
 def check(current, baseline, tolerance, emit):
@@ -170,6 +205,15 @@ def main():
         action="store_true",
         help="fail (exit 1) on any regression or missing cell",
     )
+    ap.add_argument(
+        "--budget",
+        action="append",
+        default=[],
+        type=parse_budget,
+        metavar="NAME=CEILING",
+        help="absolute ceiling on a top-level metric of CURRENT "
+        "(baseline-independent; e.g. recorder_rps_delta=0.02)",
+    )
     args = ap.parse_args()
 
     try:
@@ -185,12 +229,11 @@ def main():
         return 0
 
     level = "error" if args.gate else "warning"
-    findings = check(
-        current,
-        baseline,
-        args.tolerance,
-        lambda msg: print(f"::{level}::{msg}"),
-    )
+    emit = lambda msg: print(f"::{level}::{msg}")
+    findings = check(current, baseline, args.tolerance, emit)
+    # Budgets are absolute claims about CURRENT, so they apply even
+    # when the baseline comparison is skipped (smoke-flag mismatch).
+    findings += check_budgets(current, args.budget, emit)
 
     if findings == 0:
         print(

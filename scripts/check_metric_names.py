@@ -62,9 +62,65 @@ def looks_like_name(lit: str) -> bool:
     )
 
 
-# Test-referenced names the scanner cannot resolve mechanically.
+# Reader-referenced names the scanner cannot resolve mechanically.
 # Keep each entry justified.
-ALLOW_UNRESOLVED = set()
+ALLOW_UNRESOLVED = {
+    # Registered as config_.name + ".err." + std::to_string(status)
+    # (proxy_origin.cpp originFailRequest) — the status segment is
+    # numeric, so the fragment ".err." plus a digits-only suffix never
+    # appears as a literal.
+    "origin0.err.502",
+    "origin0.err.503",
+}
+
+# ---------------------------------------------------------------------------
+# Flight-recorder name families. These three families are shared
+# vocabulary between the recorder (src), its offline consumers
+# (scripts/), and every reader asserting on them — a typo'd cause or
+# loop-stat suffix silently reads zero forever, so the whole family is
+# enumerated here and any literal inside it must match the schema.
+LOOP_STATS = {"iter_us", "poll_us", "dispatch_us", "stalls"}
+DISRUPTION_CAUSES = {
+    "unattributed", "reset_on_restart", "trunk_abort", "drain_deadline",
+    "shed", "breaker", "timeout", "fault_injected",
+}
+RECORDER_STATS = {"scrapes", "archived"}
+
+
+def family_violation(lit: str):
+    """Return an error string if `lit` misuses a recorder name family."""
+    segments = lit.strip(".").split(".")
+    for i, seg in enumerate(segments):
+        rest = segments[i + 1:]
+        if seg == "loop":
+            if not rest:
+                return None if lit.endswith(".") else \
+                    "bare 'loop' (want loop.<stat>)"
+            if rest[0] == "tag_us":
+                return None  # loop.tag_us.<tag> — tag is free-form
+            if len(rest) == 1 and rest[0] in LOOP_STATS:
+                return None
+            return (f"unknown loop stat {'.'.join(rest)!r} "
+                    f"(want one of {sorted(LOOP_STATS)} or tag_us.<tag>)")
+        if seg == "disruption":
+            if not rest:
+                # The bare fragment ".disruption." has the cause name
+                # appended at runtime (disruptionCauseName).
+                return None if lit.endswith(".") else \
+                    "bare 'disruption' (want disruption.<cause>)"
+            if len(rest) == 1 and rest[0] in DISRUPTION_CAUSES:
+                return None
+            return (f"unknown disruption cause {'.'.join(rest)!r} "
+                    f"(want one of {sorted(DISRUPTION_CAUSES)})")
+        if seg == "recorder":
+            if not rest:
+                return None if lit.endswith(".") else \
+                    "bare 'recorder' (want recorder.<stat>)"
+            if len(rest) == 1 and rest[0] in RECORDER_STATS:
+                return None
+            return (f"unknown recorder stat {'.'.join(rest)!r} "
+                    f"(want one of {sorted(RECORDER_STATS)})")
+    return None
 
 
 def scan_file(path):
@@ -89,61 +145,81 @@ def main():
     root = sys.argv[1] if len(sys.argv) > 1 else "."
     failures = 0
 
-    # Pass 1: src + bench literals define the registered-name universe
-    # and must individually satisfy the convention.
+    # Pass 1: src literals define the registered-name universe and must
+    # individually satisfy the convention. bench/ used to sit in this
+    # pass, which meant a bench typo minted a fake "registered" name —
+    # bench is a *reader* (it scrapes counters the proxies registered)
+    # and is checked as one in pass 2.
     registered_full = set()
     registered_fragments = set()
-    for subdir in ("src", "bench"):
-        for path in walk(root, subdir):
-            rel = os.path.relpath(path, root)
-            for lineno, lit in scan_file(path):
-                if FULL_RE.match(lit):
-                    registered_full.add(lit)
-                elif FRAGMENT_RE.match(lit):
-                    registered_fragments.add(lit)
-                else:
-                    print(f"{rel}:{lineno}: bad metric name {lit!r} "
-                          "(want lowercase dot-separated segments)")
-                    failures += 1
+    for path in walk(root, "src"):
+        rel = os.path.relpath(path, root)
+        for lineno, lit in scan_file(path):
+            violation = family_violation(lit)
+            if violation:
+                print(f"{rel}:{lineno}: metric {lit!r}: {violation}")
+                failures += 1
+            if FULL_RE.match(lit):
+                registered_full.add(lit)
+            elif FRAGMENT_RE.match(lit):
+                registered_fragments.add(lit)
+            else:
+                print(f"{rel}:{lineno}: bad metric name {lit!r} "
+                      "(want lowercase dot-separated segments)")
+                failures += 1
 
-    # Pass 2: every multi-segment name a test reads must resolve to a
-    # registered literal — exactly, or as instance-prefix + fragment.
-    # Tests that build their own MetricsRegistry (unit tests for the
-    # metrics layer itself) name instruments freely and are skipped.
+    # Pass 2: every multi-segment name a test or bench reads must
+    # resolve to a registered literal — exactly, or as instance-prefix
+    # + fragment. Tests that build their own MetricsRegistry (unit
+    # tests for the metrics layer itself) name instruments freely and
+    # are skipped.
     suffix_fragments = {f for f in registered_fragments if f.startswith(".")}
     local_registry_re = re.compile(r"\bMetricsRegistry\s+\w+\s*;")
-    for path in walk(root, "tests"):
-        rel = os.path.relpath(path, root)
-        with open(path, encoding="utf-8", errors="replace") as f:
-            if local_registry_re.search(f.read()):
-                continue
-        for lineno, lit in scan_file(path):
-            if not FULL_RE.match(lit):
-                if not FRAGMENT_RE.match(lit):
-                    print(f"{rel}:{lineno}: bad metric name {lit!r} "
-                          "(want lowercase dot-separated segments)")
+    for subdir in ("tests", "bench"):
+        for path in walk(root, subdir):
+            rel = os.path.relpath(path, root)
+            with open(path, encoding="utf-8", errors="replace") as f:
+                if local_registry_re.search(f.read()):
+                    continue
+            for lineno, lit in scan_file(path):
+                violation = family_violation(lit)
+                if violation:
+                    print(f"{rel}:{lineno}: metric {lit!r}: {violation}")
                     failures += 1
-                continue
-            if "." not in lit:
-                # Single-segment names are test-local instruments
-                # (tests register their own "a", "reqs", ...).
-                continue
-            if lit in registered_full or lit in ALLOW_UNRESOLVED:
-                continue
-            # "origin0.ppr_replays" resolves via the fragment
-            # ".ppr_replays"; "appserver.drain_started" via the bare
-            # literal "drain_started" (AppServer::bump prepends the
-            # instance name itself).
-            segments = lit.split(".")
-            resolved = any(
-                "." + ".".join(segments[i:]) in suffix_fragments
-                or ".".join(segments[i:]) in registered_full
-                for i in range(1, len(segments))
-            )
-            if not resolved:
-                print(f"{rel}:{lineno}: test reads metric {lit!r} "
-                      "but no src literal registers it")
-                failures += 1
+                if not FULL_RE.match(lit):
+                    if not FRAGMENT_RE.match(lit):
+                        print(f"{rel}:{lineno}: bad metric name {lit!r} "
+                              "(want lowercase dot-separated segments)")
+                        failures += 1
+                    continue
+                if "." not in lit:
+                    # Single-segment names are reader-local instruments
+                    # (tests register their own "a", "reqs", ...).
+                    continue
+                if lit in registered_full or lit in ALLOW_UNRESOLVED:
+                    continue
+                # "origin0.ppr_replays" resolves via the fragment
+                # ".ppr_replays"; "appserver.drain_started" via the bare
+                # literal "drain_started" (AppServer::bump prepends the
+                # instance name itself).
+                segments = lit.split(".")
+                # A fragment ending in "." is an open family: src
+                # appends the last segment at runtime ("edge0" +
+                # ".disruption." + disruptionCauseName(cause)), so a
+                # read resolves if it extends such a fragment by
+                # exactly one segment. family_violation above already
+                # vetted that segment against the family's schema.
+                resolved = any(
+                    "." + ".".join(segments[i:]) in suffix_fragments
+                    or ".".join(segments[i:]) in registered_full
+                    or ("." + ".".join(segments[i:-1]) + "."
+                        in suffix_fragments)
+                    for i in range(1, len(segments))
+                )
+                if not resolved:
+                    print(f"{rel}:{lineno}: reads metric {lit!r} "
+                          "but no src literal registers it")
+                    failures += 1
 
     if failures:
         print(f"check_metric_names: {failures} finding(s)")

@@ -1,0 +1,288 @@
+#!/usr/bin/env python3
+"""Convert a zdr.trace_capture.v1 flight-recorder capture to Chrome
+trace-event JSON, or validate one that the proxy already rendered
+(`/__trace?format=chrome`, ZDR_TRACE_ARCHIVE_DIR archives).
+
+The C++ exporter (src/metrics/trace_export.cpp) produces the same
+output online; this script is the offline twin so a capture scraped as
+plain JSON — the durable, greppable form — can still be opened in
+Perfetto (https://ui.perfetto.dev) after the fact. Keeping the
+conversion rules in two places is deliberate: this script doubles as
+an executable specification of the capture schema, and --selftest
+cross-checks the invariants CI relies on (valid JSON, every event
+carries ph/ts/pid/tid, span nesting preserved, disruption events keep
+their decoded cause + phase).
+
+Usage:
+  export_trace.py CAPTURE.json [-o TRACE.json]   convert capture
+  export_trace.py --validate TRACE.json          check a Chrome trace
+  export_trace.py --selftest                     embedded round-trip
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "zdr.trace_capture.v1"
+
+# Event kinds whose `detail` word is an interned tag id; the C++ side
+# already decoded it into a "tag" field, which we surface in the name.
+TAGGED_KINDS = {"loop.stall", "loop.timer_fire", "fault.injected", "accept"}
+
+VALID_PHASES = {"X", "i", "b", "e", "M", "B", "E", "C", "s", "t", "f"}
+
+
+def fail(msg):
+    print(f"export_trace: {msg}", file=sys.stderr)
+    return 1
+
+
+def to_us(ns):
+    return ns / 1000.0
+
+
+# ---------------------------------------------------------------- convert
+
+def convert(capture):
+    """capture dict (zdr.trace_capture.v1) -> Chrome trace dict."""
+    if capture.get("schema") != SCHEMA:
+        raise ValueError(
+            f"not a {SCHEMA} capture (schema={capture.get('schema')!r})")
+
+    out = []
+    tracks = {}
+
+    def track(name):
+        if name not in tracks:
+            tracks[name] = len(tracks) + 1
+            out.append({
+                "ph": "M", "name": "thread_name", "pid": 1,
+                "tid": tracks[name], "args": {"name": name},
+            })
+        return tracks[name]
+
+    spans = [s for sink in capture.get("spans", {}).values()
+             for s in sink.get("spans", [])]
+    spans.sort(key=lambda s: s["start_ns"])
+    for s in spans:
+        out.append({
+            "ph": "X", "name": s["kind"], "cat": "span", "pid": 1,
+            "tid": track(s["instance"]),
+            "ts": to_us(s["start_ns"]),
+            "dur": to_us(max(0, s["end_ns"] - s["start_ns"])),
+            "args": {"trace_id": s["trace_id"], "span_id": s["span_id"],
+                     "detail": s["detail"]},
+        })
+
+    events = [e for ring in capture.get("events", {}).values()
+              for e in ring.get("events", [])]
+    events.sort(key=lambda e: e["t_ns"])
+    for e in events:
+        name = e["kind"]
+        if e["kind"] in TAGGED_KINDS and "tag" in e:
+            name += ":" + e["tag"]
+        elif e["kind"] == "disruption":
+            name += ":" + e.get("cause", "unattributed")
+        args = {"trace_id": e["trace_id"], "detail": e["detail"]}
+        if e["kind"] == "disruption":
+            args["phase"] = e.get("phase", "steady")
+        ev = {"name": name, "cat": "recorder", "pid": 1,
+              "tid": track(e["instance"]), "args": args}
+        if e["dur_ns"] > 0:
+            ev.update(ph="X", ts=to_us(max(0, e["t_ns"] - e["dur_ns"])),
+                      dur=to_us(e["dur_ns"]))
+        else:
+            ev.update(ph="i", s="t", ts=to_us(e["t_ns"]))
+        out.append(ev)
+
+    # Release timeline: phase windows -> async begin/end pairs; points
+    # -> global instants. Mirrors PhaseTimeline::toJson structure.
+    timeline = capture.get("timeline", {})
+    async_id = 1
+    for w in timeline.get("windows", []):
+        scope = f"{w['instance']}/{w['phase']}"
+        end_ns = w.get("end_ns")
+        if end_ns is None or end_ns < 0:
+            end_ns = capture.get("t_ns", w["begin_ns"])
+        for ph, t in (("b", w["begin_ns"]), ("e", end_ns)):
+            out.append({"ph": ph, "cat": "release", "id": async_id,
+                        "name": scope, "pid": 1, "tid": 0, "ts": to_us(t)})
+        async_id += 1
+    for ev in timeline.get("events", []):
+        if ev.get("mark") != "point":
+            continue
+        out.append({"ph": "i", "s": "g", "cat": "release",
+                    "name": f"{ev['instance']}/{ev['phase']}",
+                    "pid": 1, "tid": 0, "ts": to_us(ev["t_ns"]),
+                    "args": {"detail": ev.get("detail", "")}})
+
+    return {"displayTimeUnit": "ms", "traceEvents": out}
+
+
+# --------------------------------------------------------------- validate
+
+def validate(trace):
+    """Raise ValueError unless `trace` is plausible Chrome trace JSON."""
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("traceEvents missing or not a list")
+    begins = {}
+    for i, ev in enumerate(events):
+        for key in ("ph", "pid", "tid"):
+            if key not in ev:
+                raise ValueError(f"traceEvents[{i}] missing {key!r}")
+        ph = ev["ph"]
+        if ph not in VALID_PHASES:
+            raise ValueError(f"traceEvents[{i}] unknown phase {ph!r}")
+        if ph != "M" and "ts" not in ev:
+            raise ValueError(f"traceEvents[{i}] ({ph}) missing ts")
+        if ph == "X" and ev.get("dur", 0) < 0:
+            raise ValueError(f"traceEvents[{i}] negative dur")
+        if ph in ("b", "e"):
+            if "id" not in ev:
+                raise ValueError(f"traceEvents[{i}] async event missing id")
+            key = (ev["id"], ev.get("name"))
+            if ph == "b":
+                begins[key] = ev["ts"]
+            elif key not in begins:
+                raise ValueError(
+                    f"traceEvents[{i}] async end without begin: {key}")
+            elif ev["ts"] < begins[key]:
+                raise ValueError(
+                    f"traceEvents[{i}] async window ends before it begins")
+    return len(events)
+
+
+# --------------------------------------------------------------- selftest
+
+SAMPLE_CAPTURE = {
+    "schema": SCHEMA,
+    "instance": "edge",
+    "t_ns": 5_000_000,
+    "spans": {
+        "edge": {"recorded": 2, "dropped": 0, "spans": [
+            {"trace_id": 7, "span_id": 1, "parent_id": 0,
+             "kind": "request", "instance": "edge.w0",
+             "start_ns": 1_000_000, "end_ns": 3_000_000, "detail": 200},
+            {"trace_id": 7, "span_id": 2, "parent_id": 1,
+             "kind": "upstream", "instance": "edge.w0",
+             "start_ns": 1_200_000, "end_ns": 2_800_000, "detail": 0},
+        ]},
+    },
+    "events": {
+        "edge.w0": {"recorded": 3, "dropped": 0, "events": [
+            {"t_ns": 1_500_000, "kind": "loop.stall", "instance": "edge.w0",
+             "dur_ns": 50_000_000, "trace_id": 0, "detail": 12,
+             "tag": "timer.request_timeout"},
+            {"t_ns": 2_000_000, "kind": "disruption", "instance": "edge.w0",
+             "dur_ns": 0, "trace_id": 7, "detail": 0x0701,
+             "cause": "fault_injected", "phase": "drain"},
+            {"t_ns": 2_500_000, "kind": "accept", "instance": "edge.w0",
+             "dur_ns": 0, "trace_id": 0, "detail": 13,
+             "tag": "accept.http"},
+        ]},
+    },
+    "timeline": {
+        "windows": [
+            {"instance": "edge", "phase": "restart",
+             "begin_ns": 500_000, "end_ns": 4_500_000},
+        ],
+        "events": [
+            {"instance": "edge", "phase": "takeover", "mark": "point",
+             "t_ns": 1_000_000, "detail": "ack"},
+        ],
+    },
+}
+
+
+def selftest():
+    trace = convert(SAMPLE_CAPTURE)
+    # The converted trace must survive a JSON round trip and validate.
+    n = validate(json.loads(json.dumps(trace)))
+    names = [e.get("name") for e in trace["traceEvents"]]
+    expect = [
+        "loop.stall:timer.request_timeout",  # tagged stall keeps its tag
+        "disruption:fault_injected",         # cause surfaced in the name
+        "accept:accept.http",
+        "edge/restart",                      # release window
+    ]
+    for want in expect:
+        if want not in names:
+            raise ValueError(f"selftest: expected event {want!r} in output")
+    stall = next(e for e in trace["traceEvents"]
+                 if e["name"] == "loop.stall:timer.request_timeout")
+    if stall["ph"] != "X" or stall["dur"] != 50_000.0:
+        raise ValueError("selftest: stall should be a 50 ms complete event")
+    disruption = next(e for e in trace["traceEvents"]
+                      if e["name"] == "disruption:fault_injected")
+    if disruption["args"].get("phase") != "drain":
+        raise ValueError("selftest: disruption lost its release phase")
+    # Rejection paths must actually reject.
+    for bad, why in (
+        ({"schema": "nope"}, "wrong schema"),
+        ({"traceEvents": [{"ph": "Z", "pid": 1, "tid": 1, "ts": 0}]},
+         "unknown phase"),
+        ({"traceEvents": [{"ph": "e", "pid": 1, "tid": 0, "ts": 1,
+                           "id": 9, "name": "w"}]},
+         "async end without begin"),
+    ):
+        try:
+            if "schema" in bad:
+                convert(bad)
+            else:
+                validate(bad)
+        except ValueError:
+            pass
+        else:
+            raise ValueError(f"selftest: accepted invalid input ({why})")
+    print(f"export_trace: selftest OK ({n} events)")
+    return 0
+
+
+def main():
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("capture", nargs="?", help="zdr.trace_capture.v1 file")
+    p.add_argument("-o", "--output", help="write Chrome trace here "
+                   "(default: stdout)")
+    p.add_argument("--validate", metavar="TRACE",
+                   help="validate an existing Chrome trace-event file")
+    p.add_argument("--selftest", action="store_true")
+    args = p.parse_args()
+
+    if args.selftest:
+        try:
+            return selftest()
+        except ValueError as e:
+            return fail(str(e))
+
+    if args.validate:
+        try:
+            with open(args.validate, encoding="utf-8") as f:
+                n = validate(json.load(f))
+        except (OSError, ValueError, json.JSONDecodeError) as e:
+            return fail(f"{args.validate}: {e}")
+        print(f"export_trace: {args.validate} OK ({n} events)")
+        return 0
+
+    if not args.capture:
+        p.print_usage(sys.stderr)
+        return 2
+    try:
+        with open(args.capture, encoding="utf-8") as f:
+            trace = convert(json.load(f))
+        validate(trace)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        return fail(f"{args.capture}: {e}")
+    text = json.dumps(trace, indent=1)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as f:
+            f.write(text + "\n")
+        print(f"export_trace: wrote {len(trace['traceEvents'])} events "
+              f"to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -244,6 +244,40 @@ def test_relay_syscalls_per_req_regression_detected():
     assert "syscalls_per_req" in findings[0]
 
 
+def test_metrics_cells_key_on_recorder():
+    # Same metrics, recorder off vs on — must not match the baseline
+    # cell (the recorder-off cell is the overhead control).
+    cur = bench(http_cell(tracing=True, recorder=False))
+    base = bench(http_cell(tracing=True, recorder=True))
+    n, findings = run_check(cur, base)
+    assert n == 1
+    assert "missing from baseline" in findings[0]
+    assert "recorder=off" in findings[0]
+
+
+def test_budget_within_ceiling_is_clean():
+    findings = []
+    n = cbr.check_budgets({"recorder_rps_delta": 0.01},
+                          [("recorder_rps_delta", 0.02)], findings.append)
+    assert n == 0, findings
+
+
+def test_budget_breach_detected():
+    findings = []
+    n = cbr.check_budgets({"recorder_rps_delta": 0.05},
+                          [("recorder_rps_delta", 0.02)], findings.append)
+    assert n == 1
+    assert "budget breach" in findings[0]
+
+
+def test_budget_missing_metric_is_a_finding():
+    findings = []
+    n = cbr.check_budgets({}, [("recorder_rps_delta", 0.02)],
+                          findings.append)
+    assert n == 1
+    assert "missing" in findings[0]
+
+
 def _run_cli(cur, base, *extra):
     with tempfile.TemporaryDirectory() as d:
         cur_p = os.path.join(d, "cur.json")
@@ -275,6 +309,26 @@ def test_cli_gate_mode_passes_clean_run():
     r = _run_cli(bench(udp_cell()), bench(udp_cell()), "--gate",
                  "--tolerance", "0.15")
     assert r.returncode == 0, r.stdout + r.stderr
+
+
+def test_cli_gate_budget_breach_fails():
+    cur = bench(udp_cell())
+    cur["recorder_rps_delta"] = 0.09
+    r = _run_cli(cur, bench(udp_cell()), "--gate",
+                 "--budget", "recorder_rps_delta=0.02")
+    assert r.returncode == 1, r.stdout + r.stderr
+    assert "budget breach" in r.stdout
+
+
+def test_cli_budget_applies_even_when_smoke_mismatch_skips_cells():
+    # The baseline comparison is skipped (smoke flags differ) but the
+    # budget is an absolute claim about the current run and still fails.
+    cur = bench(udp_cell(), smoke=False)
+    cur["recorder_rps_delta"] = 0.09
+    r = _run_cli(cur, bench(udp_cell(), smoke=True), "--gate",
+                 "--budget", "recorder_rps_delta=0.02")
+    assert r.returncode == 1, r.stdout + r.stderr
+    assert "budget breach" in r.stdout
 
 
 def test_cli_gate_mode_fails_on_missing_baseline_file():

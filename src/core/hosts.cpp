@@ -3,7 +3,10 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cstdlib>
+#include <fstream>
 
+#include "metrics/trace_export.h"
 #include "takeover/takeover.h"
 
 namespace zdr::core {
@@ -17,6 +20,26 @@ void sleepMs(long ms) {
 std::string takeoverPathFor(const std::string& hostName) {
   return "/tmp/zdr_takeover_" + hostName + "_" +
          std::to_string(::getpid()) + ".sock";
+}
+
+// When ZDR_TRACE_ARCHIVE_DIR is set, archive a flight-recorder capture
+// of the whole restart window (spans, events, release timeline) as
+// <dir>/<host>_trace.json — the handoff-dir analog of a production
+// host shipping its black box off-machine before the old instance
+// exits. Failures are silent by design: archival must never be able to
+// turn a clean release into a failed one.
+void archiveTraceCapture(MetricsRegistry* metrics, const std::string& host) {
+  const char* dir = std::getenv("ZDR_TRACE_ARCHIVE_DIR");
+  if (dir == nullptr || *dir == '\0' || metrics == nullptr) {
+    return;
+  }
+  fr::TraceCaptureOptions opts;
+  opts.instance = host;
+  std::ofstream out(std::string(dir) + "/" + host + "_trace.json");
+  if (out) {
+    out << fr::renderTraceCapture(*metrics, opts);
+    metrics->counter(host + ".recorder.archived").add();
+  }
 }
 
 }  // namespace
@@ -175,6 +198,7 @@ void ProxyHost::runZdrRestart() {
     metrics_->counter(name_ + ".zdr_restarts").add();
     metrics_->timeline().end(name_, "restart", "zdr");
   }
+  archiveTraceCapture(metrics_, name_);
 }
 
 void ProxyHost::runHardRestart() {

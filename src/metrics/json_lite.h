@@ -5,9 +5,9 @@
 //
 // The reader is a recursive-descent parser for the subset those
 // renderers emit (objects, arrays, strings, numbers, booleans, null);
-// not a general-purpose or validating parser. Promoted from
-// tests/json_lite.h once production code (the release controller)
-// needed to parse scrapes too — tests include it via the compat shim.
+// not a general-purpose or validating parser. Promoted from the test
+// tree once production code (the release controller) needed to parse
+// scrapes too; everything includes it as "metrics/json_lite.h".
 #pragma once
 
 #include <cctype>

@@ -1,0 +1,64 @@
+#include "metrics/loop_recorder.h"
+
+namespace zdr::fr {
+
+LoopRecorder::LoopRecorder(MetricsRegistry& reg,
+                           const std::string& workerName,
+                           size_t ringCapacity)
+    : reg_(reg),
+      prefix_(workerName + "."),
+      ring_(&reg.eventRing(workerName, ringCapacity)),
+      instance_(trace::internInstance(workerName)),
+      iterUs_(&reg.hdr(prefix_ + "loop.iter_us")),
+      pollUs_(&reg.hdr(prefix_ + "loop.poll_us")),
+      dispatchUs_(&reg.hdr(prefix_ + "loop.dispatch_us")),
+      stalls_(&reg.counter(prefix_ + "loop.stalls")) {}
+
+void LoopRecorder::onIteration(uint64_t pollNs, uint64_t workNs) noexcept {
+  iterUs_->record(static_cast<double>(pollNs + workNs) / 1000.0);
+  pollUs_->record(static_cast<double>(pollNs) / 1000.0);
+  if (workNs >= kIterationEventFloorNs) {
+    recordEvent(ring_, EventKind::kLoopIteration, instance_, workNs, 0,
+                pollNs);
+  }
+}
+
+void LoopRecorder::onDispatch(DispatchKind kind, const char* tag,
+                              uint64_t durNs) noexcept {
+  dispatchUs_->record(static_cast<double>(durNs) / 1000.0);
+  tagCounter(tag).add(durNs / 1000);  // cumulative µs behind this tag
+  if (kind == DispatchKind::kTimer && durNs >= kTimerEventFloorNs) {
+    recordEvent(ring_, EventKind::kTimerFire, instance_, durNs, 0,
+                tagId(tag));
+  }
+}
+
+void LoopRecorder::onStall(DispatchKind kind, const char* tag,
+                           uint64_t durNs) noexcept {
+  (void)kind;
+  stalls_->add();
+  recordEvent(ring_, EventKind::kLoopStall, instance_, durNs, 0,
+              tagId(tag));
+}
+
+uint32_t LoopRecorder::tagId(const char* tag) {
+  auto it = tagIds_.find(tag);
+  if (it != tagIds_.end()) {
+    return it->second;
+  }
+  uint32_t id = trace::internInstance(tag);
+  tagIds_.emplace(tag, id);
+  return id;
+}
+
+Counter& LoopRecorder::tagCounter(const char* tag) {
+  auto it = tagUs_.find(tag);
+  if (it != tagUs_.end()) {
+    return *it->second;
+  }
+  Counter* c = &reg_.counter(prefix_ + "loop.tag_us." + tag);
+  tagUs_.emplace(tag, c);
+  return *c;
+}
+
+}  // namespace zdr::fr

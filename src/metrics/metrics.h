@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "metrics/flight_recorder.h"
 #include "metrics/hdr_histogram.h"
 #include "metrics/timeline.h"
 #include "metrics/trace.h"
@@ -253,6 +254,17 @@ class MetricsRegistry {
     }
     return *slot;
   }
+  // Per-worker flight-recorder event ring (sibling of spanSink; same
+  // first-creation capacity rule).
+  fr::EventRing& eventRing(const std::string& name,
+                           size_t capacity = 4096) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = eventRings_[name];
+    if (!slot) {
+      slot = std::make_unique<fr::EventRing>(capacity);
+    }
+    return *slot;
+  }
   // One release timeline per registry (i.e. per testbed/fleet).
   PhaseTimeline& timeline() noexcept { return timeline_; }
   [[nodiscard]] const PhaseTimeline& timeline() const noexcept {
@@ -325,6 +337,31 @@ class MetricsRegistry {
     }
     return names;
   }
+  [[nodiscard]] std::vector<std::string> eventRingNames() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> names;
+    names.reserve(eventRings_.size());
+    for (const auto& [name, r] : eventRings_) {
+      names.push_back(name);
+    }
+    return names;
+  }
+  // Non-destructive drain of every event ring, mirroring collectSpans.
+  [[nodiscard]] std::vector<fr::Event> collectEvents() const {
+    std::vector<const fr::EventRing*> rings;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      rings.reserve(eventRings_.size());
+      for (const auto& [name, r] : eventRings_) {
+        rings.push_back(r.get());
+      }
+    }
+    std::vector<fr::Event> out;
+    for (const auto* r : rings) {
+      r->snapshot(out);
+    }
+    return out;
+  }
   // Drains (non-destructively) every sink into one vector — the
   // "registry drains the sinks on snapshot" half of the tracing
   // contract. Tests and the stats renderer both go through this.
@@ -353,6 +390,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<HdrHistogram>> hdrs_;
   std::map<std::string, std::unique_ptr<TimeSeries>> series_;
   std::map<std::string, std::unique_ptr<trace::SpanSink>> spanSinks_;
+  std::map<std::string, std::unique_ptr<fr::EventRing>> eventRings_;
   PhaseTimeline timeline_;
 };
 

@@ -198,8 +198,11 @@ size_t SpanSink::snapshot(std::vector<Span>& out) const {
     s.endNs = slot.endNs.load(std::memory_order_relaxed);
     s.detail = slot.detail.load(std::memory_order_relaxed);
     // Re-check: if a writer claimed this slot while we copied, the
-    // copy may mix generations — discard it.
-    if (slot.seq.load(std::memory_order_acquire) != expect) {
+    // copy may mix generations — discard it. The fence keeps the
+    // relaxed field loads above from sinking past the re-check (an
+    // acquire load only orders the reads that follow it).
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != expect) {
       continue;
     }
     out.push_back(s);

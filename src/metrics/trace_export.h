@@ -1,0 +1,46 @@
+// Flight-recorder export: the /__trace endpoint's capture document and
+// its Chrome/Perfetto trace-event conversion.
+//
+// Two renderers over one MetricsRegistry:
+//  * renderTraceCapture — the "zdr.trace_capture.v1" JSON document:
+//    every span sink and event ring (recorded/dropped accounting plus
+//    the most recent entries) and the release timeline, all on the
+//    shared trace::nowNs clock. This is what /__trace serves, what the
+//    restart path archives, and what scripts/export_trace.py and
+//    scripts/attribute_disruptions.py consume offline.
+//  * renderChromeTrace — the same data directly in Chrome trace-event
+//    JSON (the {"traceEvents": [...]} form): spans become "X" complete
+//    events on one track per worker, flight-recorder events become
+//    instants (stalls keep their duration), timeline windows become
+//    async begin/end pairs. Loads in Perfetto / chrome://tracing as-is.
+//
+// Both only read atomics and take the registry map lock briefly for
+// name enumeration — safe against a live, loaded proxy, same contract
+// as renderStatsJson.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "metrics/metrics.h"
+
+namespace zdr::fr {
+
+struct TraceCaptureOptions {
+  // Instance answering the capture (informational).
+  std::string instance;
+  // Caps on entries emitted per sink/ring — most recent kept, exact
+  // recorded/dropped counters always included. SIZE_MAX ⇒ all (the
+  // ?events=all query). The defaults bound the /__trace response size
+  // on a long-running proxy.
+  size_t maxSpansPerSink = 2048;
+  size_t maxEventsPerRing = 2048;
+};
+
+[[nodiscard]] std::string renderTraceCapture(MetricsRegistry& reg,
+                                             const TraceCaptureOptions& opts);
+
+[[nodiscard]] std::string renderChromeTrace(MetricsRegistry& reg,
+                                            const TraceCaptureOptions& opts);
+
+}  // namespace zdr::fr

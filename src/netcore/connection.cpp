@@ -56,7 +56,8 @@ void Connection::start() {
   auto self = shared_from_this();
   interest_ = EPOLLIN;
   loop_.addFd(sock_.fd(), EPOLLIN,
-              [self](uint32_t events) { self->handleEvents(events); });
+              [self](uint32_t events) { self->handleEvents(events); },
+              "conn");
   registered_ = true;
 }
 
@@ -368,10 +369,12 @@ void Connection::send(std::span<const std::byte> bytes) {
     auto plan = fault::FaultRegistry::instance().planFor(sock_.fd());
     if (plan) {
       if (plan->dropSend()) {
+        fault::FaultRegistry::instance().noteInjectionOn(sock_.fd());
         return;  // the whole message vanishes on the wire
       }
       std::chrono::milliseconds d{0};
       if (plan->delaySend(d)) {
+        fault::FaultRegistry::instance().noteInjectionOn(sock_.fd());
         // Buffer WITHOUT registering write interest: only the timer
         // flushes, so delivery is deferred but byte order preserved.
         appendOut(bytes);
@@ -506,6 +509,11 @@ void Connection::close(std::error_code reason) {
     registered_ = false;
   }
   if (fault::active() && sock_.valid()) {
+    // Snapshot the injection ledger before it is wiped with the fd:
+    // close callbacks attribute the failure (disruption cause) after
+    // the registry entry is gone.
+    faultInjections_ =
+        fault::FaultRegistry::instance().injectionsOn(sock_.fd());
     // The fd number is about to be recycled; stale plans must not
     // follow it onto an unrelated socket.
     fault::FaultRegistry::instance().onFdClosed(sock_.fd());
@@ -528,6 +536,13 @@ void Connection::close(std::error_code reason) {
     closeCb_ = nullptr;
     cb(reason);
   }
+}
+
+uint64_t Connection::faultInjections() const noexcept {
+  if (!closed_ && sock_.valid() && fault::active()) {
+    return fault::FaultRegistry::instance().injectionsOn(sock_.fd());
+  }
+  return faultInjections_;
 }
 
 void Connection::closeAfterFlush() {
@@ -749,7 +764,7 @@ void Connection::pumpCopy(Connection& sink) {
 Acceptor::Acceptor(EventLoop& loop, TcpListener listener, AcceptCallback cb)
     : loop_(loop), listener_(std::move(listener)), cb_(std::move(cb)) {
   loop_.addFd(listener_.fd(), EPOLLIN,
-              [this](uint32_t) { handleReadable(); });
+              [this](uint32_t) { handleReadable(); }, "listener");
 }
 
 Acceptor::~Acceptor() {
@@ -789,7 +804,7 @@ void Acceptor::resume() {
   paused_ = false;
   if (listener_.valid()) {
     loop_.addFd(listener_.fd(), EPOLLIN,
-                [this](uint32_t) { handleReadable(); });
+                [this](uint32_t) { handleReadable(); }, "listener");
   }
 }
 
@@ -859,7 +874,7 @@ void Connector::connect(EventLoop& loop, const SocketAddr& peer,
       return;
     }
     pending->finish(pending->sock.connectError());
-  });
+  }, "connect");
   pending->timer = loop.runAfter(timeout, [pending] {
     pending->finish(std::make_error_code(std::errc::timed_out));
   });

@@ -101,6 +101,11 @@ class Connection : public std::enable_shared_from_this<Connection> {
   [[nodiscard]] int fd() const noexcept { return sock_.fd(); }
   [[nodiscard]] EventLoop& loop() noexcept { return loop_; }
   [[nodiscard]] TcpSocket& socket() noexcept { return sock_; }
+  // Injected-fault count for this connection's fd (disruption
+  // attribution: sabotaged vs natural death). Live registry lookup
+  // while open; after close() it returns the count snapshotted just
+  // before the registry entry was wiped with the fd.
+  [[nodiscard]] uint64_t faultInjections() const noexcept;
 
  private:
   Connection(EventLoop& loop, TcpSocket sock);
@@ -149,6 +154,7 @@ class Connection : public std::enable_shared_from_this<Connection> {
   bool closeOnDrain_ = false;
   bool closed_ = false;
   bool delayArmed_ = false;  // fault injection: a delayed flush is pending
+  uint64_t faultInjections_ = 0;  // snapshotted at close(); see accessor
   bool flushScheduled_ = false;
 
   // Relay state. relaySink_ is where bytes read here go; relaySource_

@@ -33,14 +33,15 @@ EventLoop::EventLoop() {
 
 EventLoop::~EventLoop() = default;
 
-void EventLoop::addFd(int fd, uint32_t events, IoCallback cb) {
+void EventLoop::addFd(int fd, uint32_t events, IoCallback cb,
+                      const char* tag) {
   epoll_event ev{};
   ev.events = events;
   ev.data.fd = fd;
   if (::epoll_ctl(epollFd_.get(), EPOLL_CTL_ADD, fd, &ev) < 0) {
     throwErrno("epoll_ctl(ADD)");
   }
-  handlers_[fd] = std::make_shared<IoCallback>(std::move(cb));
+  handlers_[fd] = Handler{std::make_shared<IoCallback>(std::move(cb)), tag};
 }
 
 void EventLoop::modifyFd(int fd, uint32_t events) {
@@ -58,16 +59,20 @@ void EventLoop::removeFd(int fd) {
   }
 }
 
-EventLoop::TimerId EventLoop::runAfter(Duration delay, Callback cb) {
+EventLoop::TimerId EventLoop::runAfter(Duration delay, Callback cb,
+                                       const char* tag) {
   TimerId id = nextTimerId_++;
-  timers_.push(Timer{Clock::now() + delay, Duration{0}, id, std::move(cb)});
+  timers_.push(
+      Timer{Clock::now() + delay, Duration{0}, id, std::move(cb), tag});
   timerAlive_.insert(id);
   return id;
 }
 
-EventLoop::TimerId EventLoop::runEvery(Duration period, Callback cb) {
+EventLoop::TimerId EventLoop::runEvery(Duration period, Callback cb,
+                                       const char* tag) {
   TimerId id = nextTimerId_++;
-  timers_.push(Timer{Clock::now() + period, period, id, std::move(cb)});
+  timers_.push(
+      Timer{Clock::now() + period, period, id, std::move(cb), tag});
   timerAlive_.insert(id);
   return id;
 }
@@ -99,18 +104,27 @@ void EventLoop::compactTimers() {
       TimerOrder{}, std::move(alive));
 }
 
-void EventLoop::runAtEnd(Callback cb) {
+void EventLoop::runAtEnd(Callback cb, const char* tag) {
   assert(isInLoopThread() || loopThreadId_.load() == std::thread::id{});
-  atEnd_.push_back(std::move(cb));
+  atEnd_.push_back(Task{std::move(cb), tag});
 }
 
-void EventLoop::runInLoop(Callback cb) {
+void EventLoop::runInLoop(Callback cb, const char* tag) {
   {
     std::lock_guard<std::mutex> lock(postedMutex_);
-    posted_.push_back(std::move(cb));
+    posted_.push_back(Task{std::move(cb), tag});
   }
   uint64_t one = 1;
   [[maybe_unused]] ssize_t n = ::write(wakeFd_.get(), &one, sizeof(one));
+}
+
+void EventLoop::setObserver(LoopObserver* obs, Duration stallThreshold) {
+  stallNs_.store(
+      static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(stallThreshold)
+              .count()),
+      std::memory_order_relaxed);
+  observer_.store(obs, std::memory_order_release);
 }
 
 void EventLoop::stop() {
@@ -149,11 +163,20 @@ void EventLoop::poll(Duration maxWait) {
 }
 
 void EventLoop::iterate(int timeoutMs) {
+  LoopObserver* obs = observer_.load(std::memory_order_acquire);
+  TimePoint t0;
+  if (obs != nullptr) {
+    t0 = Clock::now();
+  }
   std::array<epoll_event, 128> events;
   int n = ::epoll_wait(epollFd_.get(), events.data(),
                        static_cast<int>(events.size()), timeoutMs);
   if (n < 0 && errno != EINTR) {
     throwErrno("epoll_wait");
+  }
+  TimePoint t1;
+  if (obs != nullptr) {
+    t1 = Clock::now();
   }
   for (int i = 0; i < n; ++i) {
     int fd = events[static_cast<size_t>(i)].data.fd;
@@ -168,12 +191,25 @@ void EventLoop::iterate(int timeoutMs) {
     if (it == handlers_.end()) {
       continue;  // removed by an earlier callback this iteration
     }
-    auto cb = it->second;  // keep alive across possible removeFd()
-    (*cb)(mask);
+    auto cb = it->second.cb;  // keep alive across possible removeFd()
+    dispatch(LoopObserver::DispatchKind::kIo, it->second.tag,
+             [&] { (*cb)(mask); });
   }
   drainPosted();
   fireTimers();
   drainAtEnd();
+  // Re-load: a callback this iteration may have uninstalled the
+  // observer (same teardown-inside-a-dispatch case as dispatch()).
+  obs = obs != nullptr ? observer_.load(std::memory_order_acquire) : nullptr;
+  if (obs != nullptr) {
+    const TimePoint t2 = Clock::now();
+    auto ns = [](TimePoint a, TimePoint b) {
+      return static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(b - a)
+              .count());
+    };
+    obs->onIteration(ns(t0, t1), ns(t1, t2));
+  }
 }
 
 void EventLoop::drainAtEnd() {
@@ -182,22 +218,22 @@ void EventLoop::drainAtEnd() {
   // legitimately defer once more); bound the passes so a buggy
   // self-requeueing task cannot wedge the loop.
   for (int pass = 0; pass < 8 && !atEnd_.empty(); ++pass) {
-    std::vector<Callback> batch;
+    std::vector<Task> batch;
     batch.swap(atEnd_);
-    for (auto& cb : batch) {
-      cb();
+    for (auto& t : batch) {
+      dispatch(LoopObserver::DispatchKind::kAtEnd, t.tag, t.cb);
     }
   }
 }
 
 void EventLoop::drainPosted() {
-  std::vector<Callback> batch;
+  std::vector<Task> batch;
   {
     std::lock_guard<std::mutex> lock(postedMutex_);
     batch.swap(posted_);
   }
-  for (auto& cb : batch) {
-    cb();
+  for (auto& t : batch) {
+    dispatch(LoopObserver::DispatchKind::kPosted, t.tag, t.cb);
   }
 }
 
@@ -213,10 +249,10 @@ void EventLoop::fireTimers() {
       Timer next = t;
       next.deadline = now + t.period;
       timers_.push(next);
-      t.cb();
+      dispatch(LoopObserver::DispatchKind::kTimer, t.tag, t.cb);
     } else {
       timerAlive_.erase(t.id);
-      t.cb();
+      dispatch(LoopObserver::DispatchKind::kTimer, t.tag, t.cb);
     }
   }
 }

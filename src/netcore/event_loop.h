@@ -28,6 +28,42 @@ using Clock = std::chrono::steady_clock;
 using TimePoint = Clock::time_point;
 using Duration = std::chrono::milliseconds;
 
+// Loop self-profiling hook. netcore stays metrics-free: the metrics
+// side implements this interface (LoopRecorder in
+// metrics/loop_recorder.h) and the loop calls it blind. With no
+// observer installed the loop takes zero extra clock reads.
+//
+// Threading contract: install from any thread (the pointer is
+// published release/acquire, so a fully-constructed observer may be
+// handed to a running loop); uninstall from the loop thread itself or
+// once the loop has stopped, and only destroy the observer after the
+// uninstall. Every callback runs on the loop thread. `tag` arguments
+// always have static storage duration (string literals at the call
+// sites).
+class LoopObserver {
+ public:
+  enum class DispatchKind : uint8_t {
+    kIo = 0,      // fd readiness callback
+    kPosted = 1,  // cross-thread runInLoop callback
+    kTimer = 2,   // runAfter/runEvery callback
+    kAtEnd = 3,   // end-of-iteration batch callback
+  };
+
+  virtual ~LoopObserver() = default;
+
+  // One loop iteration finished: time blocked in the poller vs time
+  // spent dispatching callbacks.
+  virtual void onIteration(uint64_t pollNs, uint64_t workNs) noexcept = 0;
+  // One callback dispatch completed.
+  virtual void onDispatch(DispatchKind kind, const char* tag,
+                          uint64_t durNs) noexcept = 0;
+  // A single dispatch exceeded the loop's stall threshold: the event
+  // loop was blocked — every other fd, timer and post on this worker
+  // waited `durNs` behind `tag`.
+  virtual void onStall(DispatchKind kind, const char* tag,
+                       uint64_t durNs) noexcept = 0;
+};
+
 class EventLoop {
  public:
   using Callback = std::function<void()>;
@@ -41,14 +77,17 @@ class EventLoop {
   EventLoop& operator=(const EventLoop&) = delete;
 
   // --- fd interest (loop thread only) ---
-  void addFd(int fd, uint32_t events, IoCallback cb);
+  // `tag` labels the callback for loop self-profiling (per-tag time,
+  // stall blame); must be a string literal / static storage.
+  void addFd(int fd, uint32_t events, IoCallback cb,
+             const char* tag = "io");
   void modifyFd(int fd, uint32_t events);
   void removeFd(int fd);
   [[nodiscard]] bool watching(int fd) const { return handlers_.count(fd) > 0; }
 
   // --- timers (loop thread only) ---
-  TimerId runAfter(Duration delay, Callback cb);
-  TimerId runEvery(Duration period, Callback cb);
+  TimerId runAfter(Duration delay, Callback cb, const char* tag = "timer");
+  TimerId runEvery(Duration period, Callback cb, const char* tag = "timer");
   void cancelTimer(TimerId id);
   // Timers armed and neither fired (one-shots) nor cancelled. Loop
   // thread only; test introspection for timer-leak regressions.
@@ -67,12 +106,26 @@ class EventLoop {
   // the batching point for per-iteration work such as Connection's
   // gather-write flush: everything queued while handling this
   // iteration's events runs once, before the next epoll_wait.
-  void runAtEnd(Callback cb);
+  void runAtEnd(Callback cb, const char* tag = "at_end");
 
   // --- cross-thread ---
   // Enqueues `cb` to run on the loop thread; safe from any thread.
-  void runInLoop(Callback cb);
+  void runInLoop(Callback cb, const char* tag = "posted");
   void stop();  // safe from any thread
+
+  // --- self-profiling ---
+  // Installs (or clears, with nullptr) the profiling observer. Safe
+  // from any thread: the observer is published with release/acquire,
+  // so a fully-constructed recorder may be installed onto a running
+  // loop. Clearing while the loop runs must happen on the loop thread
+  // (see LoopObserver); the in-flight dispatch then goes unreported.
+  // A dispatch running longer than `stallThreshold` is reported via
+  // onStall (default 25 ms).
+  void setObserver(LoopObserver* obs,
+                   Duration stallThreshold = Duration{25});
+  [[nodiscard]] LoopObserver* observer() const noexcept {
+    return observer_.load(std::memory_order_acquire);
+  }
 
   // Runs until stop(); dispatches io, timers and posted callbacks.
   void run();
@@ -90,6 +143,7 @@ class EventLoop {
     Duration period{0};  // zero ⇒ one-shot
     TimerId id;
     Callback cb;
+    const char* tag = "timer";
   };
   struct TimerOrder {
     bool operator()(const Timer& a, const Timer& b) const {
@@ -104,10 +158,44 @@ class EventLoop {
   void drainAtEnd();
   [[nodiscard]] int msUntilNextTimer() const;
 
+  // Runs `fn` under the observer's clock when one is installed; plain
+  // call (no clock reads) otherwise.
+  template <typename F>
+  void dispatch(LoopObserver::DispatchKind kind, const char* tag, F&& fn) {
+    LoopObserver* obs = observer_.load(std::memory_order_acquire);
+    if (obs == nullptr) {
+      fn();
+      return;
+    }
+    const TimePoint t0 = Clock::now();
+    fn();
+    // Re-load: `fn` may have uninstalled the observer from this very
+    // thread (teardown paths destroy the proxy — and its recorders —
+    // inside a dispatch). The in-flight dispatch then simply goes
+    // unreported instead of calling through a dead observer.
+    obs = observer_.load(std::memory_order_acquire);
+    if (obs == nullptr) {
+      return;
+    }
+    const auto durNs = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             t0)
+            .count());
+    obs->onDispatch(kind, tag, durNs);
+    if (durNs >= stallNs_.load(std::memory_order_relaxed)) {
+      obs->onStall(kind, tag, durNs);
+    }
+  }
+
   FdGuard epollFd_;
   FdGuard wakeFd_;  // eventfd for cross-thread wakeups
-  // shared_ptr so a handler erased mid-dispatch stays alive for the call.
-  std::map<int, std::shared_ptr<IoCallback>> handlers_;
+  struct Handler {
+    // shared_ptr so a handler erased mid-dispatch stays alive for the
+    // call.
+    std::shared_ptr<IoCallback> cb;
+    const char* tag = "io";
+  };
+  std::map<int, Handler> handlers_;
 
   std::priority_queue<Timer, std::vector<Timer>, TimerOrder> timers_;
   // Membership ⇒ alive. Erased on cancel and on one-shot fire, so the
@@ -116,11 +204,21 @@ class EventLoop {
   std::unordered_set<TimerId> timerAlive_;
   TimerId nextTimerId_ = 1;
 
+  struct Task {
+    Callback cb;
+    const char* tag;
+  };
   std::mutex postedMutex_;
-  std::vector<Callback> posted_;
+  std::vector<Task> posted_;
 
   // End-of-iteration tasks; loop-thread-only, no lock (see runAtEnd).
-  std::vector<Callback> atEnd_;
+  std::vector<Task> atEnd_;
+
+  // Self-profiling; see setObserver for the install/uninstall
+  // contract. stallNs_ is written before the observer publish and only
+  // read once an observer is visible, so relaxed suffices for it.
+  std::atomic<LoopObserver*> observer_{nullptr};
+  std::atomic<uint64_t> stallNs_{25'000'000};  // 25 ms default budget
 
   std::atomic<bool> stopped_{false};
   // Identity of the thread running run()/poll(). Deliberately NOT the

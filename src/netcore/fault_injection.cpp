@@ -257,8 +257,11 @@ void FaultRegistry::reset() {
   fdPlans_.clear();
   tagPlans_.clear();
   fdTags_.clear();
+  fdInjections_.clear();
   wildcard_.reset();
   metrics_ = nullptr;
+  events_ = nullptr;
+  eventInstance_ = 0;
   stats_.sendsDropped.store(0, std::memory_order_relaxed);
   stats_.sendsDelayed.store(0, std::memory_order_relaxed);
   stats_.writesTruncated.store(0, std::memory_order_relaxed);
@@ -284,6 +287,21 @@ void FaultRegistry::onFdClosed(int fd) {
   std::lock_guard<std::mutex> lock(mutex_);
   fdTags_.erase(fd);
   fdPlans_.erase(fd);
+  fdInjections_.erase(fd);
+}
+
+void FaultRegistry::noteInjectionOn(int fd) {
+  if (fd < 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++fdInjections_[fd];
+}
+
+uint64_t FaultRegistry::injectionsOn(int fd) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = fdInjections_.find(fd);
+  return it != fdInjections_.end() ? it->second : 0;
 }
 
 FaultPlanPtr FaultRegistry::planFor(int fd) const {
@@ -320,18 +338,28 @@ FaultStats FaultRegistry::stats() const {
 void FaultRegistry::mirrorTo(MetricsRegistry* m) {
   std::lock_guard<std::mutex> lock(mutex_);
   metrics_ = m;
+  events_ = m != nullptr ? &m->eventRing("fault") : nullptr;
+  eventInstance_ = m != nullptr ? trace::internInstance("fault") : 0;
 }
 
 void FaultRegistry::note(const char* kind, std::atomic<uint64_t>& slot) {
   slot.fetch_add(1, std::memory_order_relaxed);
   MetricsRegistry* m = nullptr;
+  fr::EventRing* ring = nullptr;
+  uint32_t instance = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     m = metrics_;
+    ring = events_;
+    instance = eventInstance_;
   }
   if (m != nullptr) {
     m->counter(std::string("fault.") + kind).add(1);
   }
+  // Injections are rare (scripted chaos), so interning the kind per
+  // event is fine; the decoded trace shows which fault fired when.
+  fr::recordEvent(ring, fr::EventKind::kFaultInjected, instance, 0, 0,
+                  trace::internInstance(kind));
 }
 
 }  // namespace zdr::fault

@@ -43,6 +43,9 @@
 namespace zdr {
 class MetricsRegistry;
 }
+namespace zdr::fr {
+class EventRing;
+}
 
 namespace zdr::fault {
 
@@ -206,6 +209,15 @@ class FaultRegistry {
   // recycled descriptor never inherits stale faults).
   void onFdClosed(int fd);
 
+  // Per-fd injection ledger, for disruption attribution: hook sites
+  // record which descriptor each injected fault landed on, and failure
+  // sites ask whether the connection they are about to blame was
+  // sabotaged (kFaultInjected) or died of natural causes. Cleared with
+  // the fd's tags in onFdClosed — Connection snapshots the count into
+  // its own state before closing (see Connection::faultInjections).
+  void noteInjectionOn(int fd);
+  [[nodiscard]] uint64_t injectionsOn(int fd) const;
+
   // Resolution order: fd-specific plan, then the plans of the fd's
   // bound tags (in binding order), then the wildcard. Null when
   // nothing matches.
@@ -213,7 +225,9 @@ class FaultRegistry {
 
   [[nodiscard]] FaultStats stats() const;
   // Also bump "fault.<kind>" counters in `m` on every injection
-  // (nullptr detaches).
+  // (nullptr detaches), and record each injection as a kFaultInjected
+  // event into the registry's "fault" ring — the flight-recorder
+  // track that lets a capture show exactly when the chaos fired.
   void mirrorTo(MetricsRegistry* m);
 
   // Internal: called by FaultPlan decision helpers.
@@ -226,8 +240,11 @@ class FaultRegistry {
   std::map<int, FaultPlanPtr> fdPlans_;
   std::map<std::string, FaultPlanPtr> tagPlans_;
   std::map<int, std::vector<std::string>> fdTags_;
+  std::map<int, uint64_t> fdInjections_;
   FaultPlanPtr wildcard_;
   MetricsRegistry* metrics_ = nullptr;
+  fr::EventRing* events_ = nullptr;     // registry-owned "fault" ring
+  uint32_t eventInstance_ = 0;          // interned "fault" track id
 
   struct {
     std::atomic<uint64_t> sendsDropped{0};

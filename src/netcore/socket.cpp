@@ -99,6 +99,7 @@ bool faultErr(int fd, fault::Op op, std::error_code& ec) {
   auto plan = fault::FaultRegistry::instance().planFor(fd);
   int err = 0;
   if (plan && plan->injectErr(op, err)) {
+    fault::FaultRegistry::instance().noteInjectionOn(fd);
     ec = {err, std::generic_category()};
     return true;
   }
@@ -117,10 +118,12 @@ bool faultWriteFate(int fd, size_t& len, std::error_code& ec) {
   }
   auto fate = plan->writeFate(len);
   if (fate.kind == fault::FaultPlan::WriteFate::kKill) {
+    fault::FaultRegistry::instance().noteInjectionOn(fd);
     ec = {fate.err, std::generic_category()};
     return true;
   }
   if (fate.kind == fault::FaultPlan::WriteFate::kShort) {
+    fault::FaultRegistry::instance().noteInjectionOn(fd);
     len = std::min(len, fate.allow);
   }
   return false;

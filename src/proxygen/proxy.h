@@ -29,6 +29,7 @@
 #include "http/codec.h"
 #include "l4lb/consistent_hash.h"
 #include "l4lb/health.h"
+#include "metrics/loop_recorder.h"
 #include "metrics/metrics.h"
 #include "mqtt/codec.h"
 #include "netcore/connection.h"
@@ -134,6 +135,18 @@ class Proxy {
     // on complete span sets raise this so a long load phase cannot
     // wrap the ring.
     size_t spanSinkCapacity = 8192;
+    // --- flight recorder (always-on observability) ---
+    // Per-worker event-ring capacity: loop stalls, release edges and
+    // disruption-attribution events (fixed memory budget; the ring
+    // wraps, /__trace reports exact drop accounting).
+    size_t eventRingCapacity = 4096;
+    // Installs a LoopRecorder on every shard loop: per-iteration
+    // poll/work histograms, per-callback-tag cumulative time, and
+    // kLoopStall events blaming the offending tag whenever one
+    // dispatch exceeds loopStallThreshold. Off ⇒ the loops take zero
+    // extra clock reads (the bench's recorder-off cell).
+    bool loopProfiling = true;
+    Duration loopStallThreshold = Duration{25};
 
     // --- reduced-copy relay fast path ---
     // Upstream responses whose body is at least this large stream
@@ -241,6 +254,23 @@ class Proxy {
   void tlPoint(const std::string& phase, const std::string& detail = {});
   void tlBegin(const std::string& phase, const std::string& detail = {});
   void tlEnd(const std::string& phase, const std::string& detail = {});
+  // Release phase this instance is currently in, for disruption
+  // attribution; derived from the drain/terminate flags, callable from
+  // any thread.
+  [[nodiscard]] fr::ReleasePhase currentReleasePhase() const noexcept;
+  // Attributes one client-visible disruption: bumps the exact
+  // "<name>.disruption.<cause>" counter and records a kDisruption
+  // event carrying the request's trace id plus (cause, phase) packed
+  // into the detail word. `sh` may be null (primary-loop state such as
+  // MQTT tunnels) — the event then lands in shard 0's ring.
+  void noteDisruption(Shard* sh, fr::DisruptionCause cause,
+                      uint64_t traceId = 0);
+  // Once-per-request attribution for user HTTP requests: the first
+  // error site to fire wins. (A terminate-forced reset synchronously
+  // re-enters the connection's close callback — without the guard the
+  // same failed request would attribute twice.)
+  void edgeNoteDisruption(const std::shared_ptr<UserHttpConn>& uc,
+                          fr::DisruptionCause cause);
   // Retry budget (see Config): called on the shard's own thread.
   void noteShardRequest(Shard& sh);
   [[nodiscard]] bool trySpendRetryToken(Shard& sh);
@@ -316,8 +346,13 @@ class Proxy {
                                const http::Response& res379);
   void originFinishRequest(const std::shared_ptr<OriginRequest>& req,
                            const http::Response& res);
+  // Fails the request back to the edge with `status` and attributes
+  // the disruption: `cause` names the mechanism that gave up, but an
+  // injected fault on the app leg trumps it (the chaos E2E demands
+  // sabotage is blamed on the fault, not on the symptom).
   void originFailRequest(const std::shared_ptr<OriginRequest>& req,
-                         int status, const std::string& why);
+                         int status, const std::string& why,
+                         fr::DisruptionCause cause);
   void originOpenBrokerTunnel(const std::shared_ptr<TrunkServerConn>& tc,
                               uint32_t streamId, const std::string& userId,
                               bool resume, uint64_t traceId = 0,
@@ -354,6 +389,11 @@ class Proxy {
   };
   HotCounters hot_;
 
+  // Loop self-profiling observers, one per shard loop. Declared before
+  // workers_ so they are destroyed after the worker loops have joined;
+  // terminate() uninstalls them from the primary loop (which outlives
+  // this proxy) before they die.
+  std::vector<std::unique_ptr<fr::LoopRecorder>> loopRecorders_;
   // Worker threads + per-worker state. Declared before the listener
   // groups (which hold Acceptors living on worker loops) so listeners
   // are destroyed first; terminate() clears each shard's connection
@@ -393,6 +433,10 @@ class Proxy {
   EventLoop::TimerId drainWatchTimer_ = 0;
   TimePoint drainStart_{};
   int solicitRetriesLeft_ = 0;
+  // The drain deadline fired with work still in flight: terminate's
+  // forced closes are then drain-deadline casualties, not ordinary
+  // end-of-restart resets. Primary-thread only.
+  bool drainDeadlineHit_ = false;
 
   // Hop tracing. traceInstance_ names this proxy in recorded spans;
   // the drain trace is minted at enterDrain() and rides every

@@ -51,6 +51,32 @@ void Proxy::tlEnd(const std::string& phase, const std::string& detail) {
   }
 }
 
+fr::ReleasePhase Proxy::currentReleasePhase() const noexcept {
+  if (terminated_.load(std::memory_order_acquire)) {
+    return fr::ReleasePhase::kShutdown;
+  }
+  if (hardDraining_.load(std::memory_order_acquire)) {
+    return fr::ReleasePhase::kHardDrain;
+  }
+  if (draining_.load(std::memory_order_acquire)) {
+    return fr::ReleasePhase::kDrain;
+  }
+  return fr::ReleasePhase::kSteady;
+}
+
+void Proxy::noteDisruption(Shard* sh, fr::DisruptionCause cause,
+                           uint64_t traceId) {
+  const fr::ReleasePhase phase = currentReleasePhase();
+  // The counter is the exact tally (E2E equality assertions); the ring
+  // event carries the trace id and phase for offline attribution.
+  bump(config_.name + ".disruption." + fr::disruptionCauseName(cause));
+  fr::EventRing* ring = sh != nullptr ? sh->events
+                        : shards_.empty() ? nullptr
+                                          : shards_.front()->events;
+  fr::recordEvent(ring, fr::EventKind::kDisruption, traceInstance_, 0,
+                  traceId, fr::packCausePhase(cause, phase));
+}
+
 UpstreamPool* Proxy::upstreamPool() noexcept {
   return shards_.empty() ? nullptr : shards_.front()->appPool.get();
 }
@@ -120,9 +146,20 @@ void Proxy::initCommon() {
       // further synchronization.
       std::string wname = config_.name + ".w" + std::to_string(i);
       sh->spans = &metrics_->spanSink(wname, config_.spanSinkCapacity);
+      sh->events = &metrics_->eventRing(wname, config_.eventRingCapacity);
       sh->requestUs = &metrics_->hdr(wname + ".request_us");
       sh->inflightPeak = &metrics_->maxGauge(wname + ".inflight_peak");
       sh->copyBytesPerReq = &metrics_->hdr(wname + ".copy_bytes_per_req");
+      if (config_.loopProfiling) {
+        // Always-on loop self-profiling: install is safe against the
+        // already-running loop (release/acquire publish); terminate()
+        // uninstalls on each shard's own thread before the recorders
+        // die with this proxy.
+        loopRecorders_.push_back(std::make_unique<fr::LoopRecorder>(
+            *metrics_, wname, config_.eventRingCapacity));
+        sh->recorder = loopRecorders_.back().get();
+        sh->loop->setObserver(sh->recorder, config_.loopStallThreshold);
+      }
     }
     shards_.push_back(std::move(sh));
   }
@@ -309,6 +346,9 @@ void Proxy::startFromHandoff(takeover::TakeoverClient::Result handoff) {
   }
   bump(config_.name + ".takeover_adopted");
   tlPoint("ring_adopted", std::to_string(handoff.sockets.size()));
+  fr::recordEvent(shards_.empty() ? nullptr : shards_.front()->events,
+                  fr::EventKind::kTakeoverEdge, traceInstance_, 0, 0,
+                  handoff.sockets.size());
 }
 
 takeover::Inventory Proxy::buildInventory(std::vector<int>& fds) {
@@ -364,6 +404,8 @@ void Proxy::armTakeoverServer() {
       [this](std::vector<int>& fds) { return buildInventory(fds); },
       [this] { enterDrain(); });
   tlPoint("takeover_armed");
+  fr::recordEvent(shards_.empty() ? nullptr : shards_.front()->events,
+                  fr::EventKind::kTakeoverEdge, traceInstance_, 0, 0, 0);
 }
 
 SocketAddr Proxy::httpVip() const {
@@ -392,6 +434,10 @@ void Proxy::startHardDrain() {
   draining_.store(true, std::memory_order_release);
   bump(config_.name + ".hard_drain_started");
   tlBegin("hard_drain");
+  fr::recordEvent(shards_.empty() ? nullptr : shards_.front()->events,
+                  fr::EventKind::kDrainEdge, traceInstance_, 0, 0,
+                  fr::packCausePhase(fr::DisruptionCause::kNone,
+                                     fr::ReleasePhase::kHardDrain));
   if (config_.role == Role::kOrigin) {
     // Edge↔Origin trunks are HTTP/2: graceful GOAWAY is available even
     // in the traditional flow (§2.2).
@@ -408,15 +454,19 @@ void Proxy::startHardDrain() {
                           ? config_.drainDeadline
                           : config_.drainPeriod;
   drainStart_ = Clock::now();
-  drainTimer_ = loop_.runAfter(deadline, [this] {
-    if (userConnCount() + trunkSessionCount() + mqttTunnels_.size() +
-            directTunnelCount() > 0) {
-      bump(config_.name + ".drain_deadline_exceeded");
-      bump("release.drain_deadline_exceeded");
-      tlPoint("drain_deadline_exceeded");
-    }
-    terminate();
-  });
+  drainTimer_ = loop_.runAfter(
+      deadline,
+      [this] {
+        if (userConnCount() + trunkSessionCount() + mqttTunnels_.size() +
+                directTunnelCount() > 0) {
+          drainDeadlineHit_ = true;
+          bump(config_.name + ".drain_deadline_exceeded");
+          bump("release.drain_deadline_exceeded");
+          tlPoint("drain_deadline_exceeded");
+        }
+        terminate();
+      },
+      "timer.drain_deadline");
 }
 
 void Proxy::enterDrain() {
@@ -435,6 +485,11 @@ void Proxy::enterDrain() {
   drainSpanId_ = trace::newId();
   tlBegin("zdr_drain",
           trace::formatTraceHeader(drainTraceId_, drainSpanId_));
+  fr::recordEvent(shards_.empty() ? nullptr : shards_.front()->events,
+                  fr::EventKind::kDrainEdge, traceInstance_, 0,
+                  drainTraceId_,
+                  fr::packCausePhase(fr::DisruptionCause::kNone,
+                                     fr::ReleasePhase::kDrain));
 
   // Stop accepting: close our dup of the listening fds (the updated
   // instance keeps the sockets alive).
@@ -477,28 +532,31 @@ void Proxy::enterDrain() {
       Duration interval =
           std::max(Duration{10}, config_.drainPeriod /
                                      (config_.dcrSolicitRetries + 1));
-      solicitTimer_ = loop_.runEvery(interval, [this] {
-        if (terminated() || solicitRetriesLeft_ <= 0) {
-          loop_.cancelTimer(solicitTimer_);
-          solicitTimer_ = 0;
-          return;
-        }
-        --solicitRetriesLeft_;
-        for (auto& shPtr : shards_) {
-          Shard* sh = shPtr.get();
-          sh->loop->runInLoop([this, sh] {
-            if (terminated()) {
+      solicitTimer_ = loop_.runEvery(
+          interval,
+          [this] {
+            if (terminated() || solicitRetriesLeft_ <= 0) {
+              loop_.cancelTimer(solicitTimer_);
+              solicitTimer_ = 0;
               return;
             }
-            for (const auto& tc : sh->trunkServerSessions) {
-              tc->session->sendControl(
-                  h2::FrameType::kReconnectSolicitation,
-                  trace::formatTraceHeader(drainTraceId_, drainSpanId_));
-              bump(config_.name + ".dcr_solicitations_resent");
+            --solicitRetriesLeft_;
+            for (auto& shPtr : shards_) {
+              Shard* sh = shPtr.get();
+              sh->loop->runInLoop([this, sh] {
+                if (terminated()) {
+                  return;
+                }
+                for (const auto& tc : sh->trunkServerSessions) {
+                  tc->session->sendControl(
+                      h2::FrameType::kReconnectSolicitation,
+                      trace::formatTraceHeader(drainTraceId_, drainSpanId_));
+                  bump(config_.name + ".dcr_solicitations_resent");
+                }
+              });
             }
-          });
-        }
-      });
+          },
+          "timer.dcr_solicit");
     }
   }
 
@@ -510,18 +568,23 @@ void Proxy::enterDrain() {
                           ? config_.drainDeadline
                           : config_.drainPeriod;
   drainStart_ = Clock::now();
-  drainTimer_ = loop_.runAfter(deadline, [this] {
-    if (userConnCount() + trunkSessionCount() + mqttTunnels_.size() +
-            directTunnelCount() > 0) {
-      bump(config_.name + ".drain_deadline_exceeded");
-      bump("release.drain_deadline_exceeded");
-      tlPoint("drain_deadline_exceeded");
-    }
-    terminate();
-  });
+  drainTimer_ = loop_.runAfter(
+      deadline,
+      [this] {
+        if (userConnCount() + trunkSessionCount() + mqttTunnels_.size() +
+                directTunnelCount() > 0) {
+          drainDeadlineHit_ = true;
+          bump(config_.name + ".drain_deadline_exceeded");
+          bump("release.drain_deadline_exceeded");
+          tlPoint("drain_deadline_exceeded");
+        }
+        terminate();
+      },
+      "timer.drain_deadline");
   if (config_.drainEarlyExit) {
-    drainWatchTimer_ = loop_.runEvery(config_.drainWatchInterval,
-                                      [this] { drainWatchTick(); });
+    drainWatchTimer_ =
+        loop_.runEvery(config_.drainWatchInterval,
+                       [this] { drainWatchTick(); }, "timer.drain_watch");
   }
 }
 
@@ -560,6 +623,17 @@ void Proxy::terminate() {
                                                         : "zdr_drain");
   }
   tlPoint("terminated");
+  fr::recordEvent(shards_.empty() ? nullptr : shards_.front()->events,
+                  fr::EventKind::kDrainEdge, traceInstance_, 0,
+                  drainTraceId_,
+                  fr::packCausePhase(fr::DisruptionCause::kNone,
+                                     fr::ReleasePhase::kShutdown));
+  // Forced closes past a missed drain deadline are deadline
+  // casualties; everything else reset here is the ordinary
+  // end-of-restart cut.
+  const fr::DisruptionCause rstCause =
+      drainDeadlineHit_ ? fr::DisruptionCause::kDrainDeadline
+                        : fr::DisruptionCause::kResetOnRestart;
   // Connections that did not drain in time and are reset below. Only
   // meaningful after a drain — destructor teardown at test end is not
   // a forced close.
@@ -574,18 +648,26 @@ void Proxy::terminate() {
   for (const auto& tun :
        std::set<std::shared_ptr<MqttTunnel>>(mqttTunnels_)) {
     bump("edge.mqtt_tunnel_reset");
+    if (!tun->disruptionNoted) {
+      tun->disruptionNoted = true;
+      noteDisruption(nullptr, rstCause, tun->resumeTraceId);
+    }
     tun->userConn->close(std::make_error_code(std::errc::connection_reset));
   }
   mqttTunnels_.clear();
 
   // Shard-owned connections must die on their own loop threads: a
   // Connection's destructor unregisters from the loop that owns it.
-  forEachShard([this, &forcedCloses](Shard& sh) {
+  forEachShard([this, rstCause, &forcedCloses](Shard& sh) {
     forcedCloses += sh.userConns.size() + sh.trunkServerSessions.size();
     for (const auto& uc :
          std::set<std::shared_ptr<UserHttpConn>>(sh.userConns)) {
       if (uc->requestActive) {
         bump("edge.err.conn_rst");
+        // Sets the per-request guard: close() below synchronously
+        // re-enters the connection's close callback, whose own
+        // attribution must then stay silent.
+        edgeNoteDisruption(uc, rstCause);
       }
       uc->conn->close(std::make_error_code(std::errc::connection_reset));
     }
@@ -628,6 +710,15 @@ void Proxy::terminate() {
       // armed on this loop.
       sh.appPool.reset();
     }
+
+    // Uninstall our loop observer on the shard's own thread (no
+    // dispatch can be concurrently inside it — we are the dispatch).
+    // Guarded: during a ZDR overlap the takeover peer has already
+    // installed its recorder on the shared primary loop.
+    if (sh.recorder != nullptr && sh.loop->observer() == sh.recorder) {
+      sh.loop->setObserver(nullptr);
+    }
+    sh.recorder = nullptr;
   });
   userConnCount_.store(0, std::memory_order_release);
   trunkSessionCount_.store(0, std::memory_order_release);

@@ -43,6 +43,14 @@ struct Proxy::Shard {
   // Observability handles, resolved once at init (registry lookups are
   // off the data path). Null without a registry.
   trace::SpanSink* spans = nullptr;      // "<name>.w<idx>" span ring
+  // Flight-recorder event ring (same "<name>.w<idx>" key as spans):
+  // accept/drain/takeover edges, loop stalls, disruption attribution.
+  fr::EventRing* events = nullptr;
+  // This proxy's loop observer for the shard (owned by
+  // loopRecorders_). Shard 0's loop is shared with the takeover peer
+  // during a ZDR overlap, so terminate() only uninstalls when the
+  // installed observer is still ours.
+  fr::LoopRecorder* recorder = nullptr;
   HdrHistogram* requestUs = nullptr;     // "<name>.w<idx>.request_us"
   MaxGauge* inflightPeak = nullptr;      // "<name>.w<idx>.inflight_peak"
   // Userspace payload copies per request at this hop (see
@@ -87,6 +95,11 @@ struct Proxy::UserHttpConn
   // This request holds a slot in the shard's in-flight count
   // (admission control); released exactly once at finish/close.
   bool countedInFlight = false;
+  // Disruption attribution fired for this request. A failed request
+  // can cross several error sites (terminate's forced reset re-enters
+  // the connection's close callback synchronously); the first cause
+  // wins and the rest stay silent.
+  bool disruptionNoted = false;
 
   // Hop tracing: the root span for this request plus child-span
   // bookkeeping. The trace id is adopted from the client's
@@ -113,6 +126,7 @@ struct Proxy::UserHttpConn
     cacheKey.clear();
     bodyPending.clear();
     trunkWaitRetries = 0;
+    disruptionNoted = false;
     trace = trace::TraceContext{};
     reqStartNs = 0;
     dispatchStartNs = 0;
@@ -138,6 +152,10 @@ struct Proxy::MqttTunnel : std::enable_shared_from_this<Proxy::MqttTunnel> {
   // that origin's trunk link can find the tunnels to move.
   ConnectionPtr directConn;
   std::string originName;
+
+  // Disruption attribution fired for this tunnel (first cause wins;
+  // terminate's forced close and the drop path both pass through here).
+  bool disruptionNoted = false;
 
   // DCR resume in progress (§4.2).
   bool resuming = false;

@@ -3,6 +3,7 @@
 #include <cstdint>
 
 #include "metrics/stats_json.h"
+#include "metrics/trace_export.h"
 #include "proxygen/proxy_detail.h"
 
 namespace zdr::proxygen {
@@ -32,6 +33,11 @@ void Proxy::edgeOnHttpAccept(Shard& sh, TcpSocket sock) {
   }
   bumpHot(hot_.httpConnAccepted);
   fault::tagFd(sock.fd(), "edge.user");
+  // Interned once: accepts are per-connection hot path, the intern
+  // mutex must not be.
+  static const uint32_t kAcceptTag = trace::internInstance("accept.http");
+  fr::recordEvent(sh.events, fr::EventKind::kAccept, traceInstance_, 0, 0,
+                  kAcceptTag);
   auto uc = std::make_shared<UserHttpConn>();
   uc->shard = &sh;
   uc->conn = Connection::make(*sh.loop, std::move(sock));
@@ -95,13 +101,23 @@ void Proxy::edgeOnHttpAccept(Shard& sh, TcpSocket sock) {
   uc->parser.setBodyCallback(
       [raw](std::string_view frag) { raw->bodyPending.append(frag); });
   uc->conn->setCloseCallback([this, uc](std::error_code ec) {
+    // Attribution: a scripted fault on this connection trumps the
+    // generic causes (the E2E injects faults and demands they are
+    // blamed on the fault, not on the restart).
+    const bool sabotaged = uc->conn->faultInjections() > 0;
     if (uc->requestActive) {
       if (ec && uc->responseStarted && uc->conn->pendingOutput() > 0) {
         // The response could not be written out: the user experiences
         // a write timeout (Fig 12's worst disruption class).
         bump("edge.err.write_timeout");
+        edgeNoteDisruption(uc, sabotaged
+                                   ? fr::DisruptionCause::kFaultInjected
+                                   : fr::DisruptionCause::kTimeout);
       } else if (ec) {
         bump("edge.err.conn_rst");
+        edgeNoteDisruption(uc, sabotaged
+                                   ? fr::DisruptionCause::kFaultInjected
+                                   : fr::DisruptionCause::kResetOnRestart);
       }
       if (uc->link != nullptr) {
         if (uc->link->session) {
@@ -110,6 +126,14 @@ void Proxy::edgeOnHttpAccept(Shard& sh, TcpSocket sock) {
         uc->link->httpStreams.erase(uc->streamId);
       }
       uc->shard->loop->cancelTimer(uc->timeoutTimer);
+    } else if (ec && sabotaged && uc->conn->pendingOutput() > 0) {
+      // The request ledger already closed (responses flush at loop
+      // end, after edgeFinishUserRequest), but a scripted fault killed
+      // the connection with response bytes still queued — the client
+      // never got the answer, so this is just as client-visible as a
+      // mid-request reset and must not escape attribution.
+      bump("edge.err.write_timeout");
+      edgeNoteDisruption(uc, fr::DisruptionCause::kFaultInjected);
     }
     if (uc->countedInFlight) {
       uc->countedInFlight = false;
@@ -174,6 +198,35 @@ void Proxy::edgeOnHttpRequestHeaders(const std::shared_ptr<UserHttpConn>& uc) {
     return;
   }
 
+  // Flight-recorder capture: spans + event rings + release timeline in
+  // one doc (?events=all / ?spans=all lift the per-ring caps,
+  // ?format=chrome serves Chrome/Perfetto trace-event JSON directly).
+  // Health-check-exempt like /__stats — captures are most valuable
+  // exactly when the proxy is drowning or draining.
+  if (req.path == "/__trace" || req.path.rfind("/__trace?", 0) == 0) {
+    bump("edge.recorder.scrapes");
+    http::Response res;
+    res.status = 200;
+    res.headers.set("Content-Type", "application/json");
+    if (metrics_ != nullptr) {
+      fr::TraceCaptureOptions to;
+      to.instance = config_.name;
+      if (req.path.find("spans=all") != std::string::npos) {
+        to.maxSpansPerSink = SIZE_MAX;
+      }
+      if (req.path.find("events=all") != std::string::npos) {
+        to.maxEventsPerRing = SIZE_MAX;
+      }
+      res.body = req.path.find("format=chrome") != std::string::npos
+                     ? fr::renderChromeTrace(*metrics_, to)
+                     : fr::renderTraceCapture(*metrics_, to);
+    } else {
+      res.body = "{}";
+    }
+    edgeServeLocal(uc, res);
+    return;
+  }
+
   // Edge cache (Direct-Server-Return model for cacheable content §2.2).
   if (config_.edgeCacheEnabled && req.method == "GET" &&
       isCacheablePath(req.path)) {
@@ -198,6 +251,15 @@ void Proxy::edgeOnHttpRequestHeaders(const std::shared_ptr<UserHttpConn>& uc) {
   edgeDispatchUpstream(uc);
 }
 
+void Proxy::edgeNoteDisruption(const std::shared_ptr<UserHttpConn>& uc,
+                               fr::DisruptionCause cause) {
+  if (uc->disruptionNoted) {
+    return;
+  }
+  uc->disruptionNoted = true;
+  noteDisruption(uc->shard, cause, uc->trace.traceId);
+}
+
 bool Proxy::edgeMaybeShed(const std::shared_ptr<UserHttpConn>& uc) {
   Shard& sh = *uc->shard;
   const size_t cap = config_.shedMaxInFlightPerShard;
@@ -209,6 +271,7 @@ bool Proxy::edgeMaybeShed(const std::shared_ptr<UserHttpConn>& uc) {
     // request timeout, and Retry-After steers well-behaved clients to
     // back off rather than hammer an overloaded shard.
     bump("edge.err.shed");
+    edgeNoteDisruption(uc, fr::DisruptionCause::kShed);
     http::Response res;
     res.status = 503;
     res.reason = std::string(http::defaultReason(503));
@@ -284,21 +347,26 @@ void Proxy::edgeDispatchUpstream(const std::shared_ptr<UserHttpConn>& uc) {
         uc->trunkWaitStartNs = trace::nowNs();
       }
       ++uc->trunkWaitRetries;
-      uc->shard->loop->runAfter(Duration{20}, [this, uc] {
-        if (uc->requestActive && uc->link == nullptr && uc->conn->open() &&
-            !terminated_) {
-          edgeDispatchUpstream(uc);
-        }
-      });
+      uc->shard->loop->runAfter(
+          Duration{20},
+          [this, uc] {
+            if (uc->requestActive && uc->link == nullptr &&
+                uc->conn->open() && !terminated_) {
+              edgeDispatchUpstream(uc);
+            }
+          },
+          "timer.trunk_wait");
       return;
     }
     bump("edge.err.no_origin");
+    edgeNoteDisruption(uc, fr::DisruptionCause::kTrunkAbort);
     edgeFailUserRequest(uc, 502, "no healthy origin");
     return;
   }
   uint32_t sid = link->session->openStream();
   if (sid == 0) {
     bump("edge.err.no_origin");
+    edgeNoteDisruption(uc, fr::DisruptionCause::kTrunkAbort);
     edgeFailUserRequest(uc, 502, "trunk rejected stream");
     return;
   }
@@ -343,20 +411,23 @@ void Proxy::edgeDispatchUpstream(const std::shared_ptr<UserHttpConn>& uc) {
   uc->upstreamEnded = endNow;
   link->session->sendHeaders(sid, headers, endNow);
 
-  uc->timeoutTimer =
-      uc->shard->loop->runAfter(config_.requestTimeout, [this, uc] {
-    if (uc->requestActive && !uc->responseStarted && uc->conn->open()) {
-      bump("edge.err.timeout");
-      if (uc->link != nullptr) {
-        if (uc->link->session) {
-          uc->link->session->sendReset(uc->streamId);
+  uc->timeoutTimer = uc->shard->loop->runAfter(
+      config_.requestTimeout,
+      [this, uc] {
+        if (uc->requestActive && !uc->responseStarted && uc->conn->open()) {
+          bump("edge.err.timeout");
+          edgeNoteDisruption(uc, fr::DisruptionCause::kTimeout);
+          if (uc->link != nullptr) {
+            if (uc->link->session) {
+              uc->link->session->sendReset(uc->streamId);
+            }
+            uc->link->httpStreams.erase(uc->streamId);
+            uc->link = nullptr;
+          }
+          edgeFailUserRequest(uc, 504, "origin timeout");
         }
-        uc->link->httpStreams.erase(uc->streamId);
-        uc->link = nullptr;
-      }
-        edgeFailUserRequest(uc, 504, "origin timeout");
-      }
-    });
+      },
+      "timer.request_timeout");
 }
 
 void Proxy::edgeOnHttpBody(const std::shared_ptr<UserHttpConn>& uc,
@@ -545,11 +616,13 @@ void Proxy::edgeEnsureTrunk(Shard& sh, size_t idx) {
         if (ec) {
           bump("edge.trunk_connect_failed");
           if (!draining_ && link->reconnectTimer == 0) {
-            link->reconnectTimer =
-                shp->loop->runAfter(Duration{200}, [this, shp, idx] {
+            link->reconnectTimer = shp->loop->runAfter(
+                Duration{200},
+                [this, shp, idx] {
                   shp->trunkLinks[idx]->reconnectTimer = 0;
                   edgeEnsureTrunk(*shp, idx);
-                });
+                },
+                "timer.trunk_reconnect");
           }
           return;
         }
@@ -716,6 +789,7 @@ void Proxy::edgeEnsureTrunk(Shard& sh, size_t idx) {
                 // Content-Length it can never complete; the only honest
                 // signal left is a reset.
                 bump("edge.err.stream_abort");
+                edgeNoteDisruption(uc, fr::DisruptionCause::kTrunkAbort);
                 uc->conn->close(
                     std::make_error_code(std::errc::connection_reset));
                 return;
@@ -724,6 +798,7 @@ void Proxy::edgeEnsureTrunk(Shard& sh, size_t idx) {
                 return;
               }
               bump("edge.err.stream_abort");
+              edgeNoteDisruption(uc, fr::DisruptionCause::kTrunkAbort);
               edgeFailUserRequest(uc, 502, "origin stream reset");
             }
             return;
@@ -788,6 +863,7 @@ void Proxy::edgeOnTrunkClosed(TrunkLink* link) {
       uc->link = nullptr;
       if (uc->relayActive) {
         bump("edge.err.stream_abort");
+        edgeNoteDisruption(uc, fr::DisruptionCause::kTrunkAbort);
         uc->conn->close(std::make_error_code(std::errc::connection_reset));
         continue;  // partial streamed body; see onReset
       }
@@ -795,6 +871,7 @@ void Proxy::edgeOnTrunkClosed(TrunkLink* link) {
         continue;
       }
       bump("edge.err.stream_abort");
+      edgeNoteDisruption(uc, fr::DisruptionCause::kTrunkAbort);
       edgeFailUserRequest(uc, 502, "trunk closed");
     }
   }
@@ -822,10 +899,13 @@ void Proxy::edgeOnTrunkClosed(TrunkLink* link) {
   if (!draining_ && !terminated_ && link->reconnectTimer == 0) {
     size_t idx = link->idx;
     Shard* shp = link->shard;
-    link->reconnectTimer = shp->loop->runAfter(Duration{200}, [this, shp, idx] {
-      shp->trunkLinks[idx]->reconnectTimer = 0;
-      edgeEnsureTrunk(*shp, idx);
-    });
+    link->reconnectTimer = shp->loop->runAfter(
+        Duration{200},
+        [this, shp, idx] {
+          shp->trunkLinks[idx]->reconnectTimer = 0;
+          edgeEnsureTrunk(*shp, idx);
+        },
+        "timer.trunk_reconnect");
   }
 }
 
@@ -837,6 +917,9 @@ void Proxy::edgeOnMqttAccept(TcpSocket sock) {
   }
   bump(config_.name + ".mqtt_conn_accepted");
   fault::tagFd(sock.fd(), "edge.mqtt");
+  static const uint32_t kAcceptTag = trace::internInstance("accept.mqtt");
+  fr::recordEvent(shards_.empty() ? nullptr : shards_.front()->events,
+                  fr::EventKind::kAccept, traceInstance_, 0, 0, kAcceptTag);
   auto tun = std::make_shared<MqttTunnel>();
   tun->userConn = Connection::make(loop_, std::move(sock));
   mqttTunnels_.insert(tun);
@@ -1219,6 +1302,20 @@ void Proxy::edgeOpenDirectTunnel(const std::shared_ptr<MqttTunnel>& tun,
 
 void Proxy::edgeDropMqttTunnel(const std::shared_ptr<MqttTunnel>& tun,
                                std::error_code why) {
+  // An errored drop severs a live subscriber: attribute it. Protocol
+  // errors are the client's own malformed CONNECT, not a disruption
+  // we inflicted.
+  if (why && why != std::make_error_code(std::errc::protocol_error) &&
+      !tun->disruptionNoted) {
+    tun->disruptionNoted = true;
+    const bool sabotaged =
+        (tun->userConn && tun->userConn->faultInjections() > 0) ||
+        (tun->directConn && tun->directConn->faultInjections() > 0);
+    noteDisruption(nullptr,
+                   sabotaged ? fr::DisruptionCause::kFaultInjected
+                             : fr::DisruptionCause::kTrunkAbort,
+                   tun->resumeTraceId);
+  }
   if (tun->link != nullptr) {
     tun->link->mqttStreams.erase(tun->streamId);
     if (tun->link->session) {  // null once the trunk itself died

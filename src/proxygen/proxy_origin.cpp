@@ -17,6 +17,9 @@ void Proxy::originOnTrunkAccept(Shard& sh, TcpSocket sock) {
     return;
   }
   fault::tagFd(sock.fd(), "trunk.origin");
+  static const uint32_t kAcceptTag = trace::internInstance("accept.trunk");
+  fr::recordEvent(sh.events, fr::EventKind::kAccept, traceInstance_, 0, 0,
+                  kAcceptTag);
   auto conn = Connection::make(*sh.loop, std::move(sock));
 
   // Sniff the first bytes before committing to a protocol: an edge in
@@ -289,7 +292,8 @@ void Proxy::originStartAppRequest(const std::shared_ptr<OriginRequest>& req) {
   ++req->attempts;
   if (req->attempts > config_.pprMaxRetries + 1) {
     bump(config_.name + ".ppr_retries_exhausted");
-    originFailRequest(req, 500, "replay retries exhausted");
+    originFailRequest(req, 500, "replay retries exhausted",
+                      fr::DisruptionCause::kBreaker);
     return;
   }
   // Every attempt after the first is a retry and must fit in the
@@ -297,7 +301,8 @@ void Proxy::originStartAppRequest(const std::shared_ptr<OriginRequest>& req) {
   // unbounded retries would multiply the tier-wide load exactly when
   // the tier is least able to absorb it.
   if (req->attempts > 1 && !trySpendRetryToken(*req->shard)) {
-    originFailRequest(req, 503, "retry budget exhausted");
+    originFailRequest(req, 503, "retry budget exhausted",
+                      fr::DisruptionCause::kBreaker);
     return;
   }
   bump(config_.name + ".app_attempts");
@@ -335,7 +340,8 @@ void Proxy::originConnectApp(const std::shared_ptr<OriginRequest>& req,
     }
   }
   if (target == nullptr) {
-    originFailRequest(req, 503, "no app server available");
+    originFailRequest(req, 503, "no app server available",
+                      fr::DisruptionCause::kBreaker);
     return;
   }
   req->appName = target->name;
@@ -384,7 +390,8 @@ void Proxy::originConnectApp(const std::shared_ptr<OriginRequest>& req,
             auto st = req->resParser.feed(in);
             if (st == http::ParseStatus::kError) {
               req->shard->appPool->recordFailure(req->appName);
-              originFailRequest(req, 502, "bad app response");
+              originFailRequest(req, 502, "bad app response",
+                                fr::DisruptionCause::kTrunkAbort);
               return;
             }
             if (req->resParser.messageComplete()) {
@@ -418,7 +425,8 @@ void Proxy::originConnectApp(const std::shared_ptr<OriginRequest>& req,
               originStartAppRequest(req);
               return;
             }
-            originFailRequest(req, 502, "app connection lost");
+            originFailRequest(req, 502, "app connection lost",
+                              fr::DisruptionCause::kTrunkAbort);
           }
         });
         if (!req->appConn->started()) {
@@ -479,7 +487,8 @@ void Proxy::originOnAppResponse(const std::shared_ptr<OriginRequest>& req) {
       // this upstream. An unexpected 379 is treated as a server
       // failure — and it must never reach the end user as-is.
       bump(config_.name + ".ppr_gate_rejected");
-      originFailRequest(req, 500, "unexpected 379 from upstream");
+      originFailRequest(req, 500, "unexpected 379 from upstream",
+                        fr::DisruptionCause::kBreaker);
       return;
     }
     // §4.3: the app server is restarting and handed the partial
@@ -501,7 +510,8 @@ void Proxy::originReplayPartialPost(const std::shared_ptr<OriginRequest>& req,
                                     const http::Response& res379) {
   auto rebuilt = appserver::reconstructRequestFrom379(res379);
   if (!rebuilt) {
-    originFailRequest(req, 500, "malformed 379");
+    originFailRequest(req, 500, "malformed 379",
+                      fr::DisruptionCause::kBreaker);
     return;
   }
   // The server that bounced us is restarting: exclude it and carry the
@@ -526,7 +536,8 @@ void Proxy::originReplayPartialPost(const std::shared_ptr<OriginRequest>& req,
     if (missing > req->sentTail.size()) {
       // Tail window exceeded (pathologically slow echo): unrecoverable.
       bump(config_.name + ".ppr_tail_exhausted");
-      originFailRequest(req, 500, "in-flight bytes unrecoverable");
+      originFailRequest(req, 500, "in-flight bytes unrecoverable",
+                        fr::DisruptionCause::kBreaker);
       return;
     }
     bump(config_.name + ".ppr_inflight_recovered");
@@ -628,7 +639,15 @@ void Proxy::originFinishRequest(const std::shared_ptr<OriginRequest>& req,
 }
 
 void Proxy::originFailRequest(const std::shared_ptr<OriginRequest>& req,
-                              int status, const std::string& why) {
+                              int status, const std::string& why,
+                              fr::DisruptionCause cause) {
+  if (req->finished) {
+    return;
+  }
+  if (req->appConn && req->appConn->faultInjections() > 0) {
+    cause = fr::DisruptionCause::kFaultInjected;
+  }
+  noteDisruption(req->shard, cause, req->trace.traceId);
   http::Response res;
   res.status = status;
   res.reason = std::string(http::defaultReason(status));

@@ -1,0 +1,318 @@
+// Flight recorder unit tests: the event taxonomy round-trips through
+// its name tables and the (cause, phase) detail packing; EventRing
+// keeps oldest-first order, survives wraparound keeping the newest
+// window, and under concurrent writers accounts for every record
+// attempt EXACTLY (recorded == attempts, dropped == attempts −
+// capacity) with no torn slots in any snapshot; the same exactness
+// holds for SpanSink, whose dropped counter the /__stats and /__trace
+// documents surface; the global recorder gate turns recordEvent into a
+// no-op; and the registry-level capture renderers emit parseable
+// documents with decoded cause/phase/tag fields.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "metrics/flight_recorder.h"
+#include "metrics/json_lite.h"
+#include "metrics/metrics.h"
+#include "metrics/trace.h"
+#include "metrics/trace_export.h"
+
+namespace zdr::fr {
+namespace {
+
+TEST(FlightRecorderTest, EventKindNamesAreStable) {
+  EXPECT_STREQ(eventKindName(EventKind::kLoopIteration), "loop.iteration");
+  EXPECT_STREQ(eventKindName(EventKind::kLoopStall), "loop.stall");
+  EXPECT_STREQ(eventKindName(EventKind::kTimerFire), "loop.timer_fire");
+  EXPECT_STREQ(eventKindName(EventKind::kAccept), "accept");
+  EXPECT_STREQ(eventKindName(EventKind::kDrainEdge), "drain.edge");
+  EXPECT_STREQ(eventKindName(EventKind::kTakeoverEdge), "takeover.edge");
+  EXPECT_STREQ(eventKindName(EventKind::kFaultInjected), "fault.injected");
+  EXPECT_STREQ(eventKindName(EventKind::kDisruption), "disruption");
+}
+
+TEST(FlightRecorderTest, DisruptionCauseNamesAreStable) {
+  // kNone decodes as "unattributed" — the name the attribution checker
+  // (scripts/attribute_disruptions.py) greps for and fails on.
+  EXPECT_STREQ(disruptionCauseName(DisruptionCause::kNone), "unattributed");
+  EXPECT_STREQ(disruptionCauseName(DisruptionCause::kResetOnRestart),
+               "reset_on_restart");
+  EXPECT_STREQ(disruptionCauseName(DisruptionCause::kTrunkAbort),
+               "trunk_abort");
+  EXPECT_STREQ(disruptionCauseName(DisruptionCause::kDrainDeadline),
+               "drain_deadline");
+  EXPECT_STREQ(disruptionCauseName(DisruptionCause::kShed), "shed");
+  EXPECT_STREQ(disruptionCauseName(DisruptionCause::kBreaker), "breaker");
+  EXPECT_STREQ(disruptionCauseName(DisruptionCause::kTimeout), "timeout");
+  EXPECT_STREQ(disruptionCauseName(DisruptionCause::kFaultInjected),
+               "fault_injected");
+}
+
+TEST(FlightRecorderTest, ReleasePhaseNamesAreStable) {
+  EXPECT_STREQ(releasePhaseName(ReleasePhase::kSteady), "steady");
+  EXPECT_STREQ(releasePhaseName(ReleasePhase::kDrain), "drain");
+  EXPECT_STREQ(releasePhaseName(ReleasePhase::kHardDrain), "hard_drain");
+  EXPECT_STREQ(releasePhaseName(ReleasePhase::kShutdown), "shutdown");
+}
+
+TEST(FlightRecorderTest, CausePhasePackingRoundTrips) {
+  for (uint8_t c = 0; c <= 7; ++c) {
+    for (uint8_t p = 0; p <= 3; ++p) {
+      auto cause = static_cast<DisruptionCause>(c);
+      auto phase = static_cast<ReleasePhase>(p);
+      uint64_t detail = packCausePhase(cause, phase);
+      EXPECT_EQ(causeOf(detail), cause);
+      EXPECT_EQ(phaseOf(detail), phase);
+    }
+  }
+}
+
+Event makeEvent(uint64_t i) {
+  Event e;
+  e.tNs = 1000 + i;
+  e.kind = static_cast<uint32_t>(EventKind::kAccept);
+  e.instance = 7;
+  e.durNs = i;
+  e.traceId = i;  // durNs == traceId is the torn-slot invariant below
+  e.detail = i * 3;
+  return e;
+}
+
+TEST(FlightRecorderTest, SnapshotIsOldestFirst) {
+  EventRing ring(64);
+  for (uint64_t i = 0; i < 10; ++i) {
+    ring.record(makeEvent(i));
+  }
+  std::vector<Event> out;
+  EXPECT_EQ(ring.snapshot(out), 10u);
+  ASSERT_EQ(out.size(), 10u);
+  for (uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(out[i].tNs, 1000 + i);
+    EXPECT_EQ(out[i].detail, i * 3);
+  }
+  EXPECT_EQ(ring.recorded(), 10u);
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(FlightRecorderTest, WraparoundKeepsTheNewestWindow) {
+  EventRing ring(8);
+  ASSERT_EQ(ring.capacity(), 8u);
+  for (uint64_t i = 0; i < 20; ++i) {
+    ring.record(makeEvent(i));
+  }
+  std::vector<Event> out;
+  ring.snapshot(out);
+  ASSERT_EQ(out.size(), 8u);
+  // Events 12..19 survive, still oldest-first.
+  for (uint64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(out[i].tNs, 1000 + 12 + i);
+  }
+  EXPECT_EQ(ring.recorded(), 20u);
+  EXPECT_EQ(ring.dropped(), 12u);
+}
+
+TEST(FlightRecorderTest, CapacityRoundsUpToPowerOfTwo) {
+  EventRing ring(100);
+  EXPECT_EQ(ring.capacity(), 128u);
+}
+
+TEST(FlightRecorderTest, ConcurrentWritersAccountExactly) {
+  // The accounting contract is exact, not approximate: next_ is one
+  // fetch_add per record, so N threads × M records into capacity C
+  // must leave recorded == N*M and dropped == N*M − C, whatever the
+  // interleaving. Snapshot must only surface fully published slots —
+  // each event carries durNs == traceId, so a torn slot (fields from
+  // two different writers) is detectable.
+  constexpr size_t kThreads = 8;
+  constexpr uint64_t kPerThread = 4096;
+  constexpr size_t kCapacity = 1024;
+  EventRing ring(kCapacity);
+
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&ring, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        uint64_t v = t * kPerThread + i;
+        Event e;
+        e.tNs = v;
+        e.kind = static_cast<uint32_t>(EventKind::kLoopIteration);
+        e.instance = static_cast<uint32_t>(t);
+        e.durNs = v;
+        e.traceId = v;
+        e.detail = v;
+        ring.record(e);
+      }
+    });
+  }
+  // Snapshot concurrently with the writers: must never block them and
+  // never observe a half-written slot.
+  std::vector<Event> mid;
+  for (int i = 0; i < 50; ++i) {
+    mid.clear();
+    ring.snapshot(mid);
+    for (const auto& e : mid) {
+      ASSERT_EQ(e.durNs, e.traceId) << "torn slot surfaced mid-write";
+      ASSERT_EQ(e.detail, e.traceId);
+    }
+  }
+  for (auto& w : writers) {
+    w.join();
+  }
+
+  EXPECT_EQ(ring.recorded(), kThreads * kPerThread);
+  EXPECT_EQ(ring.dropped(), kThreads * kPerThread - kCapacity);
+
+  std::vector<Event> out;
+  ring.snapshot(out);
+  EXPECT_LE(out.size(), kCapacity);
+  EXPECT_GT(out.size(), 0u);
+  std::set<uint64_t> seen;
+  for (const auto& e : out) {
+    EXPECT_EQ(e.durNs, e.traceId);
+    EXPECT_EQ(e.detail, e.traceId);
+    EXPECT_LT(e.traceId, kThreads * kPerThread);
+    EXPECT_TRUE(seen.insert(e.traceId).second)
+        << "value " << e.traceId << " snapshotted twice";
+  }
+}
+
+TEST(FlightRecorderTest, SpanSinkConcurrentWraparoundAccountsExactly) {
+  // Same contract on the span side: the dropped counter the /__stats
+  // and /__trace documents expose is exact under concurrent wraparound,
+  // not a lossy estimate. Spans carry spanId == traceId as the torn-
+  // slot invariant.
+  constexpr size_t kThreads = 8;
+  constexpr uint64_t kPerThread = 4096;
+  constexpr size_t kCapacity = 1024;
+  trace::SpanSink sink(kCapacity);
+  ASSERT_EQ(sink.capacity(), kCapacity);
+
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&sink, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        uint64_t v = t * kPerThread + i;
+        trace::Span s;
+        s.traceId = v;
+        s.spanId = v;
+        s.parentId = v;
+        s.kind = 1;
+        s.instance = static_cast<uint32_t>(t);
+        s.startNs = v;
+        s.endNs = v + 1;
+        s.detail = v;
+        sink.record(s);
+      }
+    });
+  }
+  std::vector<trace::Span> mid;
+  for (int i = 0; i < 50; ++i) {
+    mid.clear();
+    sink.snapshot(mid);
+    for (const auto& s : mid) {
+      ASSERT_EQ(s.spanId, s.traceId) << "torn span slot surfaced mid-write";
+      ASSERT_EQ(s.endNs, s.startNs + 1);
+    }
+  }
+  for (auto& w : writers) {
+    w.join();
+  }
+
+  EXPECT_EQ(sink.recorded(), kThreads * kPerThread);
+  EXPECT_EQ(sink.dropped(), kThreads * kPerThread - kCapacity);
+
+  std::vector<trace::Span> out;
+  sink.snapshot(out);
+  EXPECT_LE(out.size(), kCapacity);
+  EXPECT_GT(out.size(), 0u);
+  std::set<uint64_t> seen;
+  for (const auto& s : out) {
+    EXPECT_EQ(s.spanId, s.traceId);
+    EXPECT_EQ(s.detail, s.traceId);
+    EXPECT_TRUE(seen.insert(s.spanId).second)
+        << "span " << s.spanId << " snapshotted twice";
+  }
+}
+
+TEST(FlightRecorderTest, RecorderGateAndNullRingAreNoOps) {
+  // A null ring handle must be safe on the hot path.
+  recordEvent(nullptr, EventKind::kAccept, 1, 0, 0, 0);
+
+  EventRing ring(16);
+  ASSERT_TRUE(recorderEnabled()) << "recorder must default to ON";
+  setRecorderEnabled(false);
+  recordEvent(&ring, EventKind::kAccept, 1, 0, 0, 0);
+  EXPECT_EQ(ring.recorded(), 0u);
+  setRecorderEnabled(true);
+  recordEvent(&ring, EventKind::kAccept, 1, 0, 0, 0);
+  EXPECT_EQ(ring.recorded(), 1u);
+}
+
+TEST(FlightRecorderTest, RegistryCaptureRendersDecodedEvents) {
+  MetricsRegistry reg;
+  uint32_t worker = trace::internInstance("w0");
+  uint32_t tag = trace::internInstance("slow.handler");
+  EventRing& ring = reg.eventRing("w0", 256);
+  recordEvent(&ring, EventKind::kLoopStall, worker, 30'000'000, 0, tag);
+  recordEvent(&ring, EventKind::kDisruption, worker, 0, 42,
+              packCausePhase(DisruptionCause::kDrainDeadline,
+                             ReleasePhase::kHardDrain));
+
+  auto names = reg.eventRingNames();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "w0");
+  EXPECT_EQ(reg.collectEvents().size(), 2u);
+
+  TraceCaptureOptions opts;
+  opts.instance = "edge0";
+  testjson::Value cap = testjson::Parser::parse(renderTraceCapture(reg, opts));
+  EXPECT_EQ(cap.at("schema").str, "zdr.trace_capture.v1");
+  EXPECT_EQ(cap.at("instance").str, "edge0");
+  const auto& w0 = cap.at("events").at("w0");
+  EXPECT_EQ(w0.at("recorded").asU64(), 2u);
+  EXPECT_EQ(w0.at("dropped").asU64(), 0u);
+  ASSERT_EQ(w0.at("events").size(), 2u);
+  const auto& stall = w0.at("events").at(0);
+  EXPECT_EQ(stall.at("kind").str, "loop.stall");
+  EXPECT_EQ(stall.at("tag").str, "slow.handler");
+  EXPECT_EQ(stall.at("dur_ns").asU64(), 30'000'000u);
+  const auto& disruption = w0.at("events").at(1);
+  EXPECT_EQ(disruption.at("kind").str, "disruption");
+  EXPECT_EQ(disruption.at("cause").str, "drain_deadline");
+  EXPECT_EQ(disruption.at("phase").str, "hard_drain");
+  EXPECT_EQ(disruption.at("trace_id").asU64(), 42u);
+
+  // The Chrome renderer emits the same data as a loadable trace.
+  testjson::Value chrome =
+      testjson::Parser::parse(renderChromeTrace(reg, opts));
+  EXPECT_GE(chrome.at("traceEvents").size(), 2u);
+}
+
+// Capped capture: only the most recent maxEventsPerRing events appear,
+// but recorded/dropped stay exact — the bounded /__trace default.
+TEST(FlightRecorderTest, CaptureCapsKeepNewestAndExactCounters) {
+  MetricsRegistry reg;
+  uint32_t worker = trace::internInstance("w1");
+  EventRing& ring = reg.eventRing("w1", 256);
+  for (uint64_t i = 0; i < 100; ++i) {
+    recordEvent(&ring, EventKind::kAccept, worker, 0, 0, i);
+  }
+  TraceCaptureOptions opts;
+  opts.instance = "edge0";
+  opts.maxEventsPerRing = 10;
+  testjson::Value cap = testjson::Parser::parse(renderTraceCapture(reg, opts));
+  const auto& w1 = cap.at("events").at("w1");
+  EXPECT_EQ(w1.at("recorded").asU64(), 100u);
+  ASSERT_EQ(w1.at("events").size(), 10u);
+  // The newest ten survive the cap.
+  EXPECT_EQ(w1.at("events").at(0).at("detail").asU64(), 90u);
+  EXPECT_EQ(w1.at("events").at(9).at("detail").asU64(), 99u);
+}
+
+}  // namespace
+}  // namespace zdr::fr

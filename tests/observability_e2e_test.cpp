@@ -3,19 +3,29 @@
 // /__stats scrape alone — no in-process peeking — must tell the whole
 // story: complete edge→origin→app span trees for served requests, and
 // every PPR bounce/replay span overlapping a recorded release window.
-// The scrape and timeline are also written out as JSON artifacts
-// (STATS_release_scrape.json, RELEASE_timeline.json) for CI archiving.
+// The flight recorder rides along: the restarting edge archives a
+// trace capture (ZDR_TRACE_ARCHIVE_DIR), a scripted post-release fault
+// window on the user-facing sockets must attribute every one of its
+// client-visible disruptions to fault_injected — never unattributed —
+// and the /__trace capture through the released edge shows the fault
+// ring and per-cause disruption events. The raw documents are written
+// out as JSON artifacts (STATS_release_scrape.json,
+// RELEASE_timeline.json, TRACE_release_capture.json, edge0_trace.json)
+// for CI archiving and the offline attribution join
+// (scripts/attribute_disruptions.py).
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <map>
 #include <set>
 
 #include "core/testbed.h"
 #include "core/workload.h"
 #include "http/client.h"
-#include "json_lite.h"
+#include "metrics/json_lite.h"
 #include "netcore/fault_injection.h"
 
 namespace zdr::core {
@@ -95,6 +105,8 @@ bool overlapsReleaseWindow(const ScrapedSpan& s,
 
 TEST(ObservabilityE2eTest, RollingReleaseUnderFaultsIsFullyIntrospectable) {
   fault::ScopedChaosMode chaos;
+  // Restarting hosts archive their flight-recorder capture here.
+  ::setenv("ZDR_TRACE_ARCHIVE_DIR", ".", 1);
 
   TestbedOptions opts;
   opts.edges = 1;
@@ -118,6 +130,10 @@ TEST(ObservabilityE2eTest, RollingReleaseUnderFaultsIsFullyIntrospectable) {
   appSpec.truncateProb = 0.2;
   appSpec.truncateBytes = 256;
   fault::FaultRegistry::instance().armTag("origin.app", appSpec);
+  // Mirror every injection into the registry: "fault.*" counters plus
+  // kFaultInjected events on the "fault" ring, so the capture can show
+  // exactly when the chaos fired.
+  fault::FaultRegistry::instance().mirrorTo(&bed.metrics());
 
   HttpLoadGen::Options lo;
   lo.concurrency = 8;
@@ -163,6 +179,25 @@ TEST(ObservabilityE2eTest, RollingReleaseUnderFaultsIsFullyIntrospectable) {
 
   uint64_t mark = load.completed();
   waitFor([&] { return load.completed() >= mark + 50; });
+
+  // Scripted post-release fault window: errno injection on the user-
+  // facing sockets is deterministically client-visible (the response
+  // write itself fails), so every disruption it causes must come out
+  // of the capture attributed to fault_injected — the acceptance drill
+  // for scripts/attribute_disruptions.py.
+  fault::FaultSpec userSpec;
+  userSpec.seed = 0xfa117;
+  userSpec.errProb = 1.0;
+  userSpec.errOp = fault::Op::kWrite;
+  userSpec.errErrno = ECONNRESET;
+  userSpec.errBudget = 4;
+  fault::FaultRegistry::instance().armTag("edge.user", userSpec);
+  waitFor([&] {
+    return bed.metrics().counter("edge0.disruption.fault_injected").value() >=
+           1;
+  });
+  fault::FaultRegistry::instance().disarmTag("edge.user");
+
   load.stop();
   uploads.stop();
   ASSERT_GE(bed.metrics().counter("origin0.ppr_replays").value(), 1u);
@@ -283,6 +318,85 @@ TEST(ObservabilityE2eTest, RollingReleaseUnderFaultsIsFullyIntrospectable) {
   EXPECT_TRUE(seen.count({"origin0", "zdr_drain"}) != 0);
   EXPECT_TRUE(seen.count({"edge0", "restart"}) != 0);
   EXPECT_TRUE(seen.count({"edge0", "zdr_drain"}) != 0);
+
+  // (d) The restarting edge archived its own flight-recorder capture
+  // on the way out (ZDR_TRACE_ARCHIVE_DIR), and metered it.
+  EXPECT_GE(bed.metrics().counter("edge0.recorder.archived").value(), 1u);
+  {
+    std::ifstream in("edge0_trace.json");
+    ASSERT_TRUE(in.good()) << "edge restart left no archived capture";
+    std::string body((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    testjson::Value archived = testjson::Parser::parse(body);
+    EXPECT_EQ(archived.at("schema").str, "zdr.trace_capture.v1");
+    EXPECT_EQ(archived.at("instance").str, "edge0");
+  }
+
+  // (e) Full flight-recorder capture through the released edge. Every
+  // client-visible disruption in it carries a cause — never
+  // unattributed — and the scripted fault window shows up both as
+  // fault.injected events on the "fault" ring and as fault_injected
+  // disruptions. This document is what CI feeds to export_trace.py and
+  // attribute_disruptions.py.
+  done.store(false);
+  clientLoop.runSync([&] {
+    client = http::Client::make(clientLoop.loop(), bed.httpEntry());
+    http::Request req;
+    req.method = "GET";
+    req.path = "/__trace?events=all&spans=all";
+    client->request(std::move(req),
+                    [&](http::Client::Result r) {
+                      result = r;
+                      done.store(true);
+                    },
+                    Duration{10000});
+  });
+  waitFor([&] { return done.load(); });
+  clientLoop.runSync([&] { client->close(); });
+  ASSERT_EQ(result.response.status, 200);
+  {
+    std::ofstream out("TRACE_release_capture.json");
+    out << result.response.body;
+  }
+
+  testjson::Value cap = testjson::Parser::parse(result.response.body);
+  EXPECT_EQ(cap.at("schema").str, "zdr.trace_capture.v1");
+  for (int w = 0; w < 4; ++w) {
+    EXPECT_TRUE(cap.at("events").has("edge0.w" + std::to_string(w)))
+        << "worker ring edge0.w" << w << " missing from capture";
+  }
+
+  ASSERT_TRUE(cap.at("events").has("fault")) << "fault ring never mirrored";
+  size_t faultEvents = 0;
+  for (const auto& ev : cap.at("events").at("fault").at("events").items) {
+    if (ev->at("kind").str == "fault.injected") {
+      ++faultEvents;
+    }
+  }
+  EXPECT_GE(faultEvents, 1u);
+
+  size_t disruptions = 0;
+  size_t faultAttributed = 0;
+  for (const auto& [ringName, ring] : cap.at("events").fields) {
+    for (const auto& ev : ring->at("events").items) {
+      if (ev->at("kind").str != "disruption") {
+        continue;
+      }
+      ++disruptions;
+      EXPECT_NE(ev->at("cause").str, "unattributed")
+          << "unattributed disruption on ring " << ringName;
+      if (ev->at("cause").str == "fault_injected") {
+        ++faultAttributed;
+      }
+    }
+  }
+  EXPECT_GE(disruptions, 1u);
+  EXPECT_GE(faultAttributed, 1u);
+
+  // Detach the metrics mirror before the testbed goes away (the chaos
+  // guard's reset would only run after bed's destructor).
+  fault::FaultRegistry::instance().mirrorTo(nullptr);
+  ::unsetenv("ZDR_TRACE_ARCHIVE_DIR");
 }
 
 }  // namespace

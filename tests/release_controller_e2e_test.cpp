@@ -24,6 +24,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -32,6 +33,7 @@
 #include "core/scenario.h"
 #include "core/testbed.h"
 #include "metrics/json_lite.h"
+#include "metrics/trace_export.h"
 #include "netcore/fault_injection.h"
 #include "release/release_controller.h"
 
@@ -248,6 +250,19 @@ TEST(ReleaseControllerE2E, CleanStagedRolloutCompletes) {
   // The CI-gated artifact — written before the assertions so a failing
   // run still archives the decision stream that explains it.
   ASSERT_TRUE(report.writeJson("RELEASE_report.json"));
+
+  // Companion flight-recorder capture from the first PoP (the same
+  // document its edges serve on /__trace): CI joins it with the report
+  // via scripts/attribute_disruptions.py --report, proving the clean
+  // rollout produced zero unattributed disruptions.
+  {
+    fr::TraceCaptureOptions copts;
+    copts.instance = fleet[0].bed->edgeHosts().empty()
+                         ? "pop0"
+                         : fleet[0].bed->edgeHosts().front()->hostName();
+    std::ofstream out("TRACE_controller_capture.json");
+    out << fr::renderTraceCapture(fleet[0].bed->metrics(), copts);
+  }
 
   EXPECT_EQ(report.outcome, RolloutOutcome::kCompleted);
   EXPECT_EQ(report.hostsReleased, totalHosts);

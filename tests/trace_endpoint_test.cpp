@@ -1,0 +1,192 @@
+// /__trace endpoint coverage: the capture a live, loaded edge serves is
+// parseable zdr.trace_capture.v1 with per-worker span sinks and event
+// rings; the default per-ring caps bound the response while keeping the
+// recorded/dropped counters exact (?events=all lifts them);
+// ?format=chrome serves Chrome trace-event JSON directly; and the
+// endpoint is health-check-exempt — it answers while the edge is
+// draining through a ZDR restart, which is exactly when a capture is
+// worth having.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+
+#include "core/testbed.h"
+#include "core/workload.h"
+#include "http/client.h"
+#include "metrics/flight_recorder.h"
+#include "metrics/json_lite.h"
+#include "metrics/trace.h"
+
+namespace zdr::core {
+namespace {
+
+void waitFor(const std::function<bool()>& pred, int ms = 20000) {
+  for (int i = 0; i < ms && !pred(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(pred());
+}
+
+http::Client::Result scrape(const SocketAddr& addr, const std::string& path) {
+  EventLoopThread clientLoop("scraper");
+  std::atomic<bool> done{false};
+  http::Client::Result result;
+  std::shared_ptr<http::Client> client;
+  clientLoop.runSync([&] {
+    client = http::Client::make(clientLoop.loop(), addr);
+    http::Request req;
+    req.method = "GET";
+    req.path = path;
+    client->request(std::move(req),
+                    [&](http::Client::Result r) {
+                      result = r;
+                      done.store(true);
+                    },
+                    Duration{10000});
+  });
+  for (int i = 0; i < 15000 && !done.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  clientLoop.runSync([&] { client->close(); });
+  EXPECT_TRUE(done.load()) << "scrape of " << path << " never completed";
+  return result;
+}
+
+TEST(TraceEndpointTest, CaptureIsParseableUnderLoad) {
+  TestbedOptions opts;
+  opts.edges = 1;
+  opts.origins = 1;
+  opts.appServers = 1;
+  opts.httpWorkers = 2;
+  opts.enableMqtt = false;
+  Testbed bed(opts);
+
+  HttpLoadGen::Options lo;
+  lo.concurrency = 4;
+  lo.thinkTime = Duration{1};
+  HttpLoadGen load(bed.httpEntry(), lo, bed.metrics(), "load");
+  load.start();
+  waitFor([&] { return load.completed() >= 100; });
+  load.stop();
+
+  auto result = scrape(bed.httpEntry(), "/__trace");
+  ASSERT_EQ(result.response.status, 200);
+  ASSERT_EQ(result.response.headers.get("Content-Type").value_or(""),
+            "application/json");
+
+  testjson::Value cap = testjson::Parser::parse(result.response.body);
+  EXPECT_EQ(cap.at("schema").str, "zdr.trace_capture.v1");
+  EXPECT_EQ(cap.at("instance").str, "edge0");
+  EXPECT_GT(cap.at("t_ns").number, 0.0);
+
+  // Both workers expose a span sink and an event ring, and the load
+  // left accept events behind in at least one ring.
+  size_t eventsSeen = 0;
+  for (int w = 0; w < 2; ++w) {
+    std::string name = "edge0.w" + std::to_string(w);
+    ASSERT_TRUE(cap.at("spans").has(name)) << name;
+    ASSERT_TRUE(cap.at("events").has(name)) << name;
+    eventsSeen += cap.at("events").at(name).at("events").size();
+  }
+  EXPECT_GT(eventsSeen, 0u);
+  EXPECT_TRUE(cap.at("timeline").has("windows"));
+
+  // The scrape itself is metered under the recorder.* family.
+  EXPECT_GE(bed.metrics().counter("edge.recorder.scrapes").value(), 1u);
+}
+
+TEST(TraceEndpointTest, DefaultCapsBoundTheResponseExactCountersRemain) {
+  TestbedOptions opts;
+  opts.edges = 1;
+  opts.origins = 1;
+  opts.appServers = 1;
+  opts.httpWorkers = 2;
+  opts.enableMqtt = false;
+  Testbed bed(opts);
+
+  // Stuff a side ring well past the default 2048-events-per-ring cap.
+  uint32_t inst = trace::internInstance("capper");
+  fr::EventRing& ring = bed.metrics().eventRing("capper", 1 << 13);
+  for (uint64_t i = 0; i < 5000; ++i) {
+    fr::recordEvent(&ring, fr::EventKind::kLoopIteration, inst, i, 0, i);
+  }
+
+  auto capped = scrape(bed.httpEntry(), "/__trace");
+  ASSERT_EQ(capped.response.status, 200);
+  testjson::Value doc = testjson::Parser::parse(capped.response.body);
+  const auto& ringDoc = doc.at("events").at("capper");
+  EXPECT_EQ(ringDoc.at("events").size(), 2048u);
+  // The caps bound the payload, never the accounting.
+  EXPECT_EQ(ringDoc.at("recorded").asU64(), 5000u);
+  EXPECT_EQ(ringDoc.at("dropped").asU64(), 0u);
+  // The cap keeps the newest window.
+  EXPECT_EQ(ringDoc.at("events").at(2047).at("detail").asU64(), 4999u);
+
+  auto full = scrape(bed.httpEntry(), "/__trace?events=all");
+  ASSERT_EQ(full.response.status, 200);
+  testjson::Value fullDoc = testjson::Parser::parse(full.response.body);
+  EXPECT_EQ(fullDoc.at("events").at("capper").at("events").size(), 5000u);
+  EXPECT_GT(full.response.body.size(), capped.response.body.size());
+}
+
+TEST(TraceEndpointTest, ChromeFormatServesTraceEventJson) {
+  TestbedOptions opts;
+  opts.edges = 1;
+  opts.origins = 1;
+  opts.appServers = 1;
+  opts.httpWorkers = 2;
+  opts.enableMqtt = false;
+  Testbed bed(opts);
+
+  HttpLoadGen::Options lo;
+  lo.concurrency = 2;
+  lo.thinkTime = Duration{1};
+  HttpLoadGen load(bed.httpEntry(), lo, bed.metrics(), "load");
+  load.start();
+  waitFor([&] { return load.completed() >= 20; });
+  load.stop();
+
+  auto result = scrape(bed.httpEntry(), "/__trace?format=chrome&events=all");
+  ASSERT_EQ(result.response.status, 200);
+  testjson::Value doc = testjson::Parser::parse(result.response.body);
+  ASSERT_TRUE(doc.has("traceEvents"));
+  const auto& events = doc.at("traceEvents");
+  ASSERT_GT(events.size(), 0u);
+  for (const auto& ev : events.items) {
+    ASSERT_TRUE(ev->has("ph"));
+    ASSERT_TRUE(ev->has("pid"));
+  }
+}
+
+TEST(TraceEndpointTest, ServedWhileDraining) {
+  TestbedOptions opts;
+  opts.edges = 1;
+  opts.origins = 1;
+  opts.appServers = 1;
+  opts.httpWorkers = 2;
+  opts.enableMqtt = false;
+  opts.proxyDrainPeriod = Duration{400};
+  Testbed bed(opts);
+
+  HttpLoadGen::Options lo;
+  lo.concurrency = 2;
+  lo.thinkTime = Duration{1};
+  HttpLoadGen load(bed.httpEntry(), lo, bed.metrics(), "load");
+  load.start();
+  waitFor([&] { return load.completed() >= 20; });
+
+  // Health-check exemption: the capture must be served while the edge
+  // drains through a ZDR restart — the moment it matters most.
+  bed.edge(0).beginRestart(release::Strategy::kZeroDowntime);
+  auto result = scrape(bed.httpEntry(), "/__trace");
+  EXPECT_EQ(result.response.status, 200);
+  testjson::Value cap = testjson::Parser::parse(result.response.body);
+  EXPECT_EQ(cap.at("schema").str, "zdr.trace_capture.v1");
+
+  bed.edge(0).waitRestart();
+  load.stop();
+}
+
+}  // namespace
+}  // namespace zdr::core
