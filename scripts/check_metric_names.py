@@ -80,6 +80,17 @@ ALLOW_UNRESOLVED = {
 # loop-stat suffix silently reads zero forever, so the whole family is
 # enumerated here and any literal inside it must match the schema.
 LOOP_STATS = {"iter_us", "poll_us", "dispatch_us", "stalls"}
+# Engine families (event-loop backend refactor): loop.backend.* carries
+# the IoBackend syscall/SQE economics plus the which-backend gauge;
+# timer.wheel.* carries TimerQueue churn (the heap fallback reports
+# through the same names — compactions is its counter, cascades the
+# wheel's).
+LOOP_BACKEND_STATS = {
+    "io_uring", "wait_syscalls", "op_syscalls", "sqes", "cqes",
+    "poll_rearms",
+}
+TIMER_WHEEL_STATS = {"armed", "cancelled", "fired", "cascades",
+                     "compactions"}
 DISRUPTION_CAUSES = {
     "unattributed", "reset_on_restart", "trunk_abort", "drain_deadline",
     "shed", "breaker", "timeout", "fault_injected",
@@ -98,10 +109,16 @@ def family_violation(lit: str):
                     "bare 'loop' (want loop.<stat>)"
             if rest[0] == "tag_us":
                 return None  # loop.tag_us.<tag> — tag is free-form
+            if rest[0] == "backend":
+                if len(rest) == 2 and rest[1] in LOOP_BACKEND_STATS:
+                    return None
+                return (f"unknown loop backend stat {'.'.join(rest[1:])!r} "
+                        f"(want one of {sorted(LOOP_BACKEND_STATS)})")
             if len(rest) == 1 and rest[0] in LOOP_STATS:
                 return None
             return (f"unknown loop stat {'.'.join(rest)!r} "
-                    f"(want one of {sorted(LOOP_STATS)} or tag_us.<tag>)")
+                    f"(want one of {sorted(LOOP_STATS)}, "
+                    f"backend.<stat>, or tag_us.<tag>)")
         if seg == "disruption":
             if not rest:
                 # The bare fragment ".disruption." has the cause name
@@ -112,6 +129,17 @@ def family_violation(lit: str):
                 return None
             return (f"unknown disruption cause {'.'.join(rest)!r} "
                     f"(want one of {sorted(DISRUPTION_CAUSES)})")
+        if seg == "timer":
+            if not rest:
+                return None if lit.endswith(".") else \
+                    "bare 'timer' (want timer.wheel.<stat>)"
+            if rest[0] != "wheel":
+                return (f"unknown timer family {rest[0]!r} "
+                        "(want timer.wheel.<stat>)")
+            if len(rest) == 2 and rest[1] in TIMER_WHEEL_STATS:
+                return None
+            return (f"unknown timer wheel stat {'.'.join(rest[1:])!r} "
+                    f"(want one of {sorted(TIMER_WHEEL_STATS)})")
         if seg == "recorder":
             if not rest:
                 return None if lit.endswith(".") else \

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""CI runner capability probe: is io_uring usable on this kernel?
+
+The backend matrix re-runs the netcore/takeover/chaos suites under
+ZDR_IO_BACKEND=io_uring, but shared CI runners vary: older kernels lack
+the syscalls entirely, and some container seccomp profiles return
+EPERM. The C++ side already degrades gracefully (ioUringSupported()
+probes once and EventLoop falls back to epoll), so a job that *thinks*
+it tested io_uring but silently ran epoll twice would be a coverage
+hole. This probe makes the runner's answer explicit: it performs the
+same io_uring_setup(2) handshake the backend does, records the verdict
+in GITHUB_OUTPUT (`io_uring=true|false`) for later steps to gate on,
+and writes a human-readable line to GITHUB_STEP_SUMMARY so the job
+page says which backends were actually exercised.
+
+No liburing, no compiled helper: raw syscall(2) via ctypes, mirroring
+src/netcore/io_uring_backend.cpp which also speaks to the kernel
+directly.
+
+Usage:
+  scripts/probe_io_uring.py             # probe, write outputs, exit 0
+  scripts/probe_io_uring.py --selftest  # exercise plumbing, no kernel
+"""
+
+import ctypes
+import os
+import platform
+import struct
+import sys
+
+# __NR_io_uring_setup. The number is per-arch; everything below is a
+# best-effort probe, so an unknown arch just reports unsupported.
+SETUP_NR = {
+    "x86_64": 425,
+    "aarch64": 425,  # asm-generic table
+    "arm64": 425,
+    "riscv64": 425,
+}
+
+# struct io_uring_params is 120 bytes; `features` sits at offset 20
+# (after sq_entries, cq_entries, flags, sq_thread_cpu, sq_thread_idle).
+PARAMS_SIZE = 120
+FEATURES_OFFSET = 20
+
+# Feature bits the backend cares about (linux/io_uring.h).
+FEATURE_NAMES = {
+    1 << 0: "single_mmap",
+    1 << 5: "fast_poll",
+    1 << 8: "ext_arg",
+}
+
+
+def probe():
+    """Returns (supported: bool, detail: str)."""
+    nr = SETUP_NR.get(platform.machine())
+    if nr is None:
+        return False, f"unknown arch {platform.machine()!r}"
+    libc = ctypes.CDLL(None, use_errno=True)
+    params = ctypes.create_string_buffer(PARAMS_SIZE)
+    fd = libc.syscall(nr, 4, params)
+    if fd < 0:
+        err = ctypes.get_errno()
+        return False, f"io_uring_setup failed: {os.strerror(err)} (errno {err})"
+    os.close(fd)
+    (features,) = struct.unpack_from("<I", params.raw, FEATURES_OFFSET)
+    named = [name for bit, name in sorted(FEATURE_NAMES.items())
+             if features & bit]
+    return True, (f"io_uring_setup ok, features=0x{features:x}"
+                  + (f" [{', '.join(named)}]" if named else ""))
+
+
+def write_outputs(supported, detail, output_path, summary_path):
+    verdict = "true" if supported else "false"
+    if output_path:
+        with open(output_path, "a", encoding="utf-8") as f:
+            f.write(f"io_uring={verdict}\n")
+    if summary_path:
+        kernel = platform.release()
+        icon = ":white_check_mark:" if supported else ":warning:"
+        with open(summary_path, "a", encoding="utf-8") as f:
+            f.write(
+                f"{icon} io_uring on kernel `{kernel}`: "
+                f"**{'available' if supported else 'unavailable'}** "
+                f"— {detail}\n\n"
+            )
+            if not supported:
+                f.write(
+                    "> io_uring backend steps were skipped on this "
+                    "runner; the epoll legs still ran.\n\n"
+                )
+    return verdict
+
+
+def selftest():
+    """Plumbing check for the lint job: no kernel dependence, so it
+    passes identically on runners with and without io_uring."""
+    import tempfile
+
+    failures = 0
+
+    def check(cond, msg):
+        nonlocal failures
+        if not cond:
+            print(f"selftest FAIL: {msg}")
+            failures += 1
+
+    with tempfile.TemporaryDirectory() as d:
+        out = os.path.join(d, "out")
+        summ = os.path.join(d, "summary")
+        v = write_outputs(True, "detail-text", out, summ)
+        check(v == "true", "verdict for supported should be 'true'")
+        with open(out, encoding="utf-8") as f:
+            check(f.read() == "io_uring=true\n", "GITHUB_OUTPUT line")
+        with open(summ, encoding="utf-8") as f:
+            s = f.read()
+        check("available" in s and "detail-text" in s, "summary content")
+        check("skipped" not in s, "no skip notice when supported")
+
+        v = write_outputs(False, "ENOSYS", out, summ)
+        check(v == "false", "verdict for unsupported should be 'false'")
+        with open(out, encoding="utf-8") as f:
+            check(f.read().endswith("io_uring=false\n"), "output appends")
+        with open(summ, encoding="utf-8") as f:
+            check("skipped" in f.read(), "skip notice when unsupported")
+
+    # The probe itself must never throw, whatever the kernel says.
+    supported, detail = probe()
+    check(isinstance(supported, bool) and detail, "probe returns verdict")
+    print(f"selftest: probe says supported={supported} ({detail})")
+
+    if failures:
+        print(f"probe_io_uring selftest: {failures} failure(s)")
+        return 1
+    print("probe_io_uring selftest: OK")
+    return 0
+
+
+def main():
+    if "--selftest" in sys.argv[1:]:
+        return selftest()
+    supported, detail = probe()
+    verdict = write_outputs(
+        supported,
+        detail,
+        os.environ.get("GITHUB_OUTPUT"),
+        os.environ.get("GITHUB_STEP_SUMMARY"),
+    )
+    print(f"io_uring={verdict} ({detail})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -51,7 +51,26 @@ L4Balancer::L4Balancer(EventLoop& loop, const SocketAddr& vip,
                                   [this] { router_.maintain(Clock::now()); });
 }
 
-L4Balancer::~L4Balancer() { loop_.cancelTimer(maintainTimer_); }
+L4Balancer::~L4Balancer() {
+  loop_.cancelTimer(maintainTimer_);
+  // Flows capture `this` in their close callbacks and can outlive the
+  // balancer: the Flow⇄Connection shared_ptr cycle only breaks when a
+  // connection closes, so a flow whose FIN hasn't been dispatched yet
+  // would still be registered with the loop after this destructor —
+  // and its close callback would touch a dead balancer. Tear every
+  // survivor down now, callbacks detached first.
+  auto flows = std::move(flows_);
+  for (const auto& f : flows) {
+    if (f->client) {
+      f->client->setCloseCallback(nullptr);
+      f->client->close();
+    }
+    if (f->backend) {
+      f->backend->setCloseCallback(nullptr);
+      f->backend->close();
+    }
+  }
+}
 
 void L4Balancer::bump(const std::string& name) {
   if (metrics_) {

@@ -1,6 +1,5 @@
 #include "l4lb/udp_forwarder.h"
 
-#include <sys/epoll.h>
 
 #include "l4lb/hashing.h"
 
@@ -37,7 +36,7 @@ UdpForwarder::UdpForwarder(EventLoop& loop, const SocketAddr& vip,
     names.push_back(b.name);
   }
   router_.setBackends(names, Clock::now());
-  loop_.addFd(vipSock_.fd(), EPOLLIN, [this](uint32_t) { onVipReadable(); });
+  loop_.addFd(vipSock_.fd(), kEvRead, [this](uint32_t) { onVipReadable(); });
   reapTimer_ = loop_.runEvery(Duration{1000}, [this] { reapIdle(); });
 }
 
@@ -100,7 +99,7 @@ UdpForwarder::Flow* UdpForwarder::flowFor(const SocketAddr& client) {
   flow->backendId = *id;
   flow->natSock = UdpSocket(SocketAddr::loopback(0));
   flow->lastActive = Clock::now();
-  loop_.addFd(flow->natSock.fd(), EPOLLIN,
+  loop_.addFd(flow->natSock.fd(), kEvRead,
               [this, key](uint32_t) { onNatReadable(key); });
   Flow* raw = flow.get();
   flows_[key] = std::move(flow);

@@ -12,7 +12,36 @@ LoopRecorder::LoopRecorder(MetricsRegistry& reg,
       iterUs_(&reg.hdr(prefix_ + "loop.iter_us")),
       pollUs_(&reg.hdr(prefix_ + "loop.poll_us")),
       dispatchUs_(&reg.hdr(prefix_ + "loop.dispatch_us")),
-      stalls_(&reg.counter(prefix_ + "loop.stalls")) {}
+      stalls_(&reg.counter(prefix_ + "loop.stalls")),
+      backendIoUring_(&reg.gauge(prefix_ + "loop.backend.io_uring")),
+      backendWaitSyscalls_(
+          &reg.counter(prefix_ + "loop.backend.wait_syscalls")),
+      backendOpSyscalls_(&reg.counter(prefix_ + "loop.backend.op_syscalls")),
+      backendSqes_(&reg.counter(prefix_ + "loop.backend.sqes")),
+      backendCqes_(&reg.counter(prefix_ + "loop.backend.cqes")),
+      backendPollRearms_(&reg.counter(prefix_ + "loop.backend.poll_rearms")),
+      wheelArmed_(&reg.counter(prefix_ + "timer.wheel.armed")),
+      wheelCancelled_(&reg.counter(prefix_ + "timer.wheel.cancelled")),
+      wheelFired_(&reg.counter(prefix_ + "timer.wheel.fired")),
+      wheelCascades_(&reg.counter(prefix_ + "timer.wheel.cascades")),
+      wheelCompactions_(&reg.counter(prefix_ + "timer.wheel.compactions")) {}
+
+void LoopRecorder::onEngineSample(const EngineSample& sample) noexcept {
+  backendIoUring_->set(sample.backend[0] == 'i' ? 1.0 : 0.0);
+  backendWaitSyscalls_->add(sample.io.waitSyscalls - lastIo_.waitSyscalls);
+  backendOpSyscalls_->add(sample.io.opSyscalls - lastIo_.opSyscalls);
+  backendSqes_->add(sample.io.sqesSubmitted - lastIo_.sqesSubmitted);
+  backendCqes_->add(sample.io.cqesReaped - lastIo_.cqesReaped);
+  backendPollRearms_->add(sample.io.pollRearms - lastIo_.pollRearms);
+  lastIo_ = sample.io;
+  wheelArmed_->add(sample.timers.armed - lastTimers_.armed);
+  wheelCancelled_->add(sample.timers.cancelled - lastTimers_.cancelled);
+  wheelFired_->add(sample.timers.fired - lastTimers_.fired);
+  wheelCascades_->add(sample.timers.cascades - lastTimers_.cascades);
+  wheelCompactions_->add(sample.timers.compactions -
+                         lastTimers_.compactions);
+  lastTimers_ = sample.timers;
+}
 
 void LoopRecorder::onIteration(uint64_t pollNs, uint64_t workNs) noexcept {
   iterUs_->record(static_cast<double>(pollNs + workNs) / 1000.0);

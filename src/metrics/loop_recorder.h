@@ -10,7 +10,11 @@
 //    counters, the "who is eating this core" breakdown;
 //  * flight-recorder events — kLoopStall whenever one dispatch blows
 //    the stall budget (blaming the callback's tag), kLoopIteration /
-//    kTimerFire for notably slow iterations and timer fires.
+//    kTimerFire for notably slow iterations and timer fires;
+//  * engine counters — <worker>.loop.backend.* (which IoBackend runs
+//    this loop and its syscall/SQE economics) and
+//    <worker>.timer.wheel.* (timer-queue churn), published as deltas
+//    from the per-iteration EngineSample.
 //
 // All callbacks run on the owning loop's thread, so the tag caches are
 // plain maps; the ring write is the only cross-thread-visible effect.
@@ -41,6 +45,7 @@ class LoopRecorder final : public LoopObserver {
                   uint64_t durNs) noexcept override;
   void onStall(DispatchKind kind, const char* tag,
                uint64_t durNs) noexcept override;
+  void onEngineSample(const EngineSample& sample) noexcept override;
 
   [[nodiscard]] EventRing* ring() noexcept { return ring_; }
   [[nodiscard]] uint32_t instance() const noexcept { return instance_; }
@@ -57,6 +62,22 @@ class LoopRecorder final : public LoopObserver {
   HdrHistogram* pollUs_;
   HdrHistogram* dispatchUs_;
   Counter* stalls_;
+  // Engine families. Backend/timer stats arrive as monotonic totals in
+  // every EngineSample; the last_* copies turn them into counter
+  // deltas (loop-thread-only state, like the tag caches).
+  Gauge* backendIoUring_;
+  Counter* backendWaitSyscalls_;
+  Counter* backendOpSyscalls_;
+  Counter* backendSqes_;
+  Counter* backendCqes_;
+  Counter* backendPollRearms_;
+  Counter* wheelArmed_;
+  Counter* wheelCancelled_;
+  Counter* wheelFired_;
+  Counter* wheelCascades_;
+  Counter* wheelCompactions_;
+  IoBackendStats lastIo_;
+  TimerQueueStats lastTimers_;
   // Loop-thread-only caches; tags are string literals, keyed by
   // address (two spellings of the same text just intern twice).
   std::unordered_map<const char*, uint32_t> tagIds_;

@@ -1,6 +1,5 @@
 #include "netcore/connection.h"
 
-#include <sys/epoll.h>
 
 #include <array>
 
@@ -54,16 +53,16 @@ void Connection::start() {
   // every other cost in the serving path.
   sock_.setNoDelay(true);
   auto self = shared_from_this();
-  interest_ = EPOLLIN;
-  loop_.addFd(sock_.fd(), EPOLLIN,
+  interest_ = kEvRead;
+  loop_.addFd(sock_.fd(), kEvRead,
               [self](uint32_t events) { self->handleEvents(events); },
               "conn");
   registered_ = true;
 }
 
 void Connection::handleEvents(uint32_t events) {
-  if ((events & EPOLLERR) && !closed_ && sock_.valid()) {
-    // MSG_ZEROCOPY completions arrive on the error queue: EPOLLERR
+  if ((events & kEvError) && !closed_ && sock_.valid()) {
+    // MSG_ZEROCOPY completions arrive on the error queue: kEvError
     // fires with SO_ERROR still 0. Reap before deciding the event is
     // fatal, and only treat it as a real error when the queue held a
     // non-zerocopy entry or SO_ERROR is set.
@@ -76,16 +75,16 @@ void Connection::handleEvents(uint32_t events) {
       zcAnyDone_ = true;
       releaseCompletedZcSends(zcCompletedThrough_);
     }
-    bool fatal = reap.fatal || (events & EPOLLHUP) != 0 ||
+    bool fatal = reap.fatal || (events & kEvHup) != 0 ||
                  detail::getSoError(sock_.fd()) != 0;
     if (!fatal) {
-      events &= ~static_cast<uint32_t>(EPOLLERR);
+      events &= ~static_cast<uint32_t>(kEvError);
       if (events == 0) {
         return;
       }
     }
   }
-  if (events & (EPOLLERR | EPOLLHUP)) {
+  if (events & (kEvError | kEvHup)) {
     // Pull any final bytes first so data racing a reset is not lost.
     handleReadable();
     if (!closed_) {
@@ -93,13 +92,13 @@ void Connection::handleEvents(uint32_t events) {
     }
     return;
   }
-  if (events & EPOLLIN) {
+  if (events & kEvRead) {
     handleReadable();
   }
   if (closed_) {
     return;
   }
-  if (events & EPOLLOUT) {
+  if (events & kEvWrite) {
     handleWritable();
   }
 }
@@ -244,7 +243,7 @@ bool Connection::flushZcRemainder() {
       zcPending_.pop_back();
     }
     if (n < rest.size()) {
-      return false;  // kernel buffer full: wait for EPOLLOUT
+      return false;  // kernel buffer full: wait for kEvWrite
     }
   }
   return zcUnsent_ == 0;
@@ -316,7 +315,7 @@ void Connection::flushOut() {
     }
     consumeOut(n);
     if (n < attempted) {
-      break;  // kernel buffer full (or injected short write): wait for EPOLLOUT
+      break;  // kernel buffer full (or injected short write): wait for kEvWrite
     }
   }
   if (pendingOutput() == 0) {
@@ -433,12 +432,12 @@ void Connection::updateInterest() {
     return;
   }
   // Read interest is masked while a relay pump waits on its sink
-  // (level-triggered EPOLLIN would busy-loop otherwise); write interest
+  // (level-triggered kEvRead would busy-loop otherwise); write interest
   // covers queued bytes, a pinned zerocopy remainder, and a relay
   // source waiting for this socket to become writable again.
   uint32_t ev =
-      (readPaused_ ? 0u : static_cast<uint32_t>(EPOLLIN)) |
-      ((pendingOutput() > 0 || relayKick_) ? static_cast<uint32_t>(EPOLLOUT)
+      (readPaused_ ? 0u : static_cast<uint32_t>(kEvRead)) |
+      ((pendingOutput() > 0 || relayKick_) ? static_cast<uint32_t>(kEvWrite)
                                            : 0u);
   if (ev != interest_) {
     interest_ = ev;
@@ -704,7 +703,7 @@ void Connection::pumpSplice(Connection& sink) {
     if (ec) {
       if (wouldBlock(ec)) {
         // The pipe is empty (just drained), so EAGAIN means the socket
-        // has nothing to read: wait for EPOLLIN.
+        // has nothing to read: wait for kEvRead.
         resumeRead();
         return;
       }
@@ -763,7 +762,7 @@ void Connection::pumpCopy(Connection& sink) {
 
 Acceptor::Acceptor(EventLoop& loop, TcpListener listener, AcceptCallback cb)
     : loop_(loop), listener_(std::move(listener)), cb_(std::move(cb)) {
-  loop_.addFd(listener_.fd(), EPOLLIN,
+  loop_.addFd(listener_.fd(), kEvRead,
               [this](uint32_t) { handleReadable(); }, "listener");
 }
 
@@ -803,7 +802,7 @@ void Acceptor::resume() {
   }
   paused_ = false;
   if (listener_.valid()) {
-    loop_.addFd(listener_.fd(), EPOLLIN,
+    loop_.addFd(listener_.fd(), kEvRead,
                 [this](uint32_t) { handleReadable(); }, "listener");
   }
 }
@@ -865,8 +864,8 @@ void Connector::connect(EventLoop& loop, const SocketAddr& peer,
   }
   auto pending =
       std::make_shared<PendingConnect>(loop, std::move(sock), std::move(cb));
-  loop.addFd(pending->sock.fd(), EPOLLOUT, [pending](uint32_t events) {
-    if (events & (EPOLLERR | EPOLLHUP)) {
+  loop.addFd(pending->sock.fd(), kEvWrite, [pending](uint32_t events) {
+    if (events & (kEvError | kEvHup)) {
       std::error_code soErr = pending->sock.connectError();
       pending->finish(soErr ? soErr
                             : std::make_error_code(

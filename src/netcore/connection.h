@@ -165,7 +165,7 @@ class Connection : public std::enable_shared_from_this<Connection> {
   std::weak_ptr<Connection> relaySource_;
   RelayPipe relayPipe_;
   uint64_t relayedBytes_ = 0;
-  bool readPaused_ = false;   // EPOLLIN masked while the sink is blocked
+  bool readPaused_ = false;   // kEvRead masked while the sink is blocked
   bool relayKick_ = false;    // sink side: wake the source when writable
   bool relayEof_ = false;     // source hit EOF; pipe residue still due
 

@@ -1,0 +1,199 @@
+#include "netcore/epoll_backend.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+
+#include "netcore/result.h"
+
+namespace zdr {
+
+// The backend-neutral masks must be bit-identical to epoll's so
+// consumer masks pass straight through.
+static_assert(kEvRead == EPOLLIN);
+static_assert(kEvWrite == EPOLLOUT);
+static_assert(kEvError == EPOLLERR);
+static_assert(kEvHup == EPOLLHUP);
+
+EpollBackend::EpollBackend() {
+  epollFd_.reset(::epoll_create1(EPOLL_CLOEXEC));
+  if (!epollFd_) {
+    throwErrno("epoll_create1");
+  }
+  wakeFd_.reset(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC));
+  if (!wakeFd_) {
+    throwErrno("eventfd");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wakeFd_.get();
+  if (::epoll_ctl(epollFd_.get(), EPOLL_CTL_ADD, wakeFd_.get(), &ev) < 0) {
+    throwErrno("epoll_ctl(wakeFd)");
+  }
+}
+
+EpollBackend::~EpollBackend() = default;
+
+void EpollBackend::addFd(int fd, uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epollFd_.get(), EPOLL_CTL_ADD, fd, &ev) < 0) {
+    throwErrno("epoll_ctl(ADD)");
+  }
+  interest_[fd] = events;
+}
+
+void EpollBackend::modifyFd(int fd, uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epollFd_.get(), EPOLL_CTL_MOD, fd, &ev) < 0) {
+    throwErrno("epoll_ctl(MOD)");
+  }
+  interest_[fd] = events;
+}
+
+void EpollBackend::removeFd(int fd) {
+  if (interest_.erase(fd) > 0) {
+    ::epoll_ctl(epollFd_.get(), EPOLL_CTL_DEL, fd, nullptr);
+  }
+}
+
+void EpollBackend::submitOp(const IoOp& op) {
+  OpQueue& q = opFds_[op.fd];
+  q.ops.push_back(op);
+  syncOpInterest(op.fd, q);
+}
+
+void EpollBackend::cancelOp(uint64_t token) {
+  for (auto it = opFds_.begin(); it != opFds_.end();) {
+    auto& ops = it->second.ops;
+    for (auto op = ops.begin(); op != ops.end();) {
+      op = op->token == token ? ops.erase(op) : op + 1;
+    }
+    if (ops.empty()) {
+      ::epoll_ctl(epollFd_.get(), EPOLL_CTL_DEL, it->first, nullptr);
+      it = opFds_.erase(it);
+    } else {
+      syncOpInterest(it->first, it->second);
+      ++it;
+    }
+  }
+}
+
+// Keeps the fd's epoll registration in step with what its queued ops
+// need. Op fds are owned by the emulation: readiness consumers must
+// not register them concurrently (see IoBackend::submitOp contract).
+void EpollBackend::syncOpInterest(int fd, OpQueue& q) {
+  uint32_t mask = 0;
+  for (const IoOp& op : q.ops) {
+    mask |= op.kind == IoOpKind::kSend ? kEvWrite : kEvRead;
+  }
+  epoll_event ev{};
+  ev.events = mask;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epollFd_.get(), EPOLL_CTL_MOD, fd, &ev) < 0 &&
+      errno == ENOENT) {
+    if (::epoll_ctl(epollFd_.get(), EPOLL_CTL_ADD, fd, &ev) < 0) {
+      throwErrno("epoll_ctl(op ADD)");
+    }
+  }
+}
+
+bool EpollBackend::runOps(int fd, OpQueue& q, uint32_t ready,
+                          std::vector<IoCompletion>& completions) {
+  for (auto it = q.ops.begin(); it != q.ops.end();) {
+    IoOp& op = *it;
+    bool needsWrite = op.kind == IoOpKind::kSend;
+    if ((ready & (needsWrite ? kEvWrite : kEvRead)) == 0 &&
+        (ready & (kEvError | kEvHup)) == 0) {
+      ++it;
+      continue;
+    }
+    int32_t res = 0;
+    ++stats_.opSyscalls;
+    switch (op.kind) {
+      case IoOpKind::kRecv:
+        res = static_cast<int32_t>(::recv(fd, op.buf, op.len, 0));
+        break;
+      case IoOpKind::kSend:
+        res = static_cast<int32_t>(
+            ::send(fd, op.buf, op.len, MSG_NOSIGNAL));
+        break;
+      case IoOpKind::kAccept:
+        res = ::accept4(fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+        break;
+    }
+    if (res < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Spurious wakeup (another op on this fd consumed the
+        // readiness); keep waiting.
+        ++it;
+        continue;
+      }
+      res = -errno;
+    }
+    completions.push_back(IoCompletion{op.token, res, false});
+    // Accept ops behave multishot on both backends: they stay armed
+    // and keep yielding fds until cancelled (or they fail hard).
+    if (op.kind == IoOpKind::kAccept && res >= 0) {
+      completions.back().more = true;
+      ++it;
+    } else {
+      it = q.ops.erase(it);
+    }
+  }
+  return q.ops.empty();
+}
+
+int EpollBackend::wait(int timeoutMs, std::vector<IoEvent>& events,
+                       std::vector<IoCompletion>& completions) {
+  std::array<epoll_event, 128> evs;
+  ++stats_.waitSyscalls;
+  int n = ::epoll_wait(epollFd_.get(), evs.data(),
+                       static_cast<int>(evs.size()), timeoutMs);
+  if (n < 0) {
+    if (errno == EINTR) {
+      return 0;
+    }
+    throwErrno("epoll_wait");
+  }
+  int appended = 0;
+  for (int i = 0; i < n; ++i) {
+    int fd = evs[static_cast<size_t>(i)].data.fd;
+    uint32_t mask = evs[static_cast<size_t>(i)].events;
+    if (fd == wakeFd_.get()) {
+      uint64_t drained = 0;
+      [[maybe_unused]] ssize_t r =
+          ::read(wakeFd_.get(), &drained, sizeof(drained));
+      continue;
+    }
+    auto op = opFds_.find(fd);
+    if (op != opFds_.end()) {
+      size_t before = completions.size();
+      if (runOps(fd, op->second, mask, completions)) {
+        ::epoll_ctl(epollFd_.get(), EPOLL_CTL_DEL, fd, nullptr);
+        opFds_.erase(op);
+      } else {
+        syncOpInterest(fd, op->second);
+      }
+      appended += static_cast<int>(completions.size() - before);
+      continue;
+    }
+    events.push_back(IoEvent{fd, mask});
+    ++appended;
+  }
+  return appended;
+}
+
+void EpollBackend::wakeup() noexcept {
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wakeFd_.get(), &one, sizeof(one));
+}
+
+}  // namespace zdr

@@ -1,108 +1,139 @@
 #include "netcore/event_loop.h"
 
-#include <sys/epoll.h>
-#include <sys/eventfd.h>
-#include <unistd.h>
-
-#include <array>
-#include <atomic>
 #include <cassert>
 #include <condition_variable>
+#include <cstdio>
 
-#include "netcore/result.h"
+#include "netcore/epoll_backend.h"
+#include "netcore/io_stats.h"
+#include "netcore/io_uring_backend.h"
 
 namespace zdr {
 
-EventLoop::EventLoop() {
-  epollFd_.reset(::epoll_create1(EPOLL_CLOEXEC));
-  if (!epollFd_) {
-    throwErrno("epoll_create1");
+namespace {
+
+// Backend selection with graceful fallback: an io_uring request on a
+// kernel that can't run the ring (ENOSYS, seccomp, pre-5.11) degrades
+// to epoll with one stderr note for the whole process — the same idiom
+// as the other ZDR_* kill switches.
+std::unique_ptr<IoBackend> makeIoBackend() {
+  if (ioBackendChoice() == IoBackendChoice::kIoUring) {
+    static const bool supported = [] {
+      if (ioUringSupported()) {
+        return true;
+      }
+      std::fprintf(stderr,
+                   "zdr: ZDR_IO_BACKEND=io_uring requested but the kernel "
+                   "can't run it; falling back to epoll\n");
+      return false;
+    }();
+    if (supported) {
+      try {
+        return std::make_unique<IoUringBackend>();
+      } catch (const std::exception& e) {
+        // Probe passed but this ring failed (fd/memlock limits…):
+        // per-loop fallback, still noisy enough to spot.
+        std::fprintf(stderr,
+                     "zdr: io_uring setup failed (%s); this loop falls "
+                     "back to epoll\n",
+                     e.what());
+      }
+    }
   }
-  wakeFd_.reset(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC));
-  if (!wakeFd_) {
-    throwErrno("eventfd");
-  }
-  epoll_event ev{};
-  ev.events = EPOLLIN;
-  ev.data.fd = wakeFd_.get();
-  if (::epoll_ctl(epollFd_.get(), EPOLL_CTL_ADD, wakeFd_.get(), &ev) < 0) {
-    throwErrno("epoll_ctl(wakeFd)");
-  }
+  return std::make_unique<EpollBackend>();
+}
+
+}  // namespace
+
+EventLoop::EventLoop()
+    : backend_(makeIoBackend()), timers_(makeTimerQueue()) {
+  timerFire_ = [this](const char* tag, const Callback& cb) {
+    dispatch(LoopObserver::DispatchKind::kTimer, tag, cb);
+  };
   // loopThreadId_ stays unset until run()/poll(): see the header note.
 }
 
 EventLoop::~EventLoop() = default;
 
+const char* EventLoop::backendName() const noexcept {
+  return backend_->name();
+}
+
+uint32_t EventLoop::backendCapabilities() const noexcept {
+  return backend_->capabilities();
+}
+
+const char* EventLoop::timerImplName() const noexcept {
+  return timers_->name();
+}
+
+EngineSample EventLoop::engineSample() const noexcept {
+  EngineSample s;
+  s.backend = backend_->name();
+  s.timerImpl = timers_->name();
+  s.capabilities = backend_->capabilities();
+  s.io = backend_->stats();
+  s.timers = timers_->stats();
+  return s;
+}
+
 void EventLoop::addFd(int fd, uint32_t events, IoCallback cb,
                       const char* tag) {
-  epoll_event ev{};
-  ev.events = events;
-  ev.data.fd = fd;
-  if (::epoll_ctl(epollFd_.get(), EPOLL_CTL_ADD, fd, &ev) < 0) {
-    throwErrno("epoll_ctl(ADD)");
-  }
+  backend_->addFd(fd, events);
   handlers_[fd] = Handler{std::make_shared<IoCallback>(std::move(cb)), tag};
 }
 
 void EventLoop::modifyFd(int fd, uint32_t events) {
-  epoll_event ev{};
-  ev.events = events;
-  ev.data.fd = fd;
-  if (::epoll_ctl(epollFd_.get(), EPOLL_CTL_MOD, fd, &ev) < 0) {
-    throwErrno("epoll_ctl(MOD)");
-  }
+  backend_->modifyFd(fd, events);
 }
 
 void EventLoop::removeFd(int fd) {
   if (handlers_.erase(fd) > 0) {
-    ::epoll_ctl(epollFd_.get(), EPOLL_CTL_DEL, fd, nullptr);
+    backend_->removeFd(fd);
+  }
+}
+
+uint64_t EventLoop::submitOp(IoOpKind kind, int fd, void* buf, uint32_t len,
+                             OpCallback cb, const char* tag) {
+  uint64_t token = nextOpToken_++;
+  ops_[token] = OpHandler{std::make_shared<OpCallback>(std::move(cb)), tag};
+  backend_->submitOp(IoOp{kind, fd, buf, len, token});
+  return token;
+}
+
+uint64_t EventLoop::submitRecv(int fd, void* buf, uint32_t len,
+                               OpCallback cb, const char* tag) {
+  return submitOp(IoOpKind::kRecv, fd, buf, len, std::move(cb), tag);
+}
+
+uint64_t EventLoop::submitSend(int fd, const void* buf, uint32_t len,
+                               OpCallback cb, const char* tag) {
+  return submitOp(IoOpKind::kSend, fd, const_cast<void*>(buf), len,
+                  std::move(cb), tag);
+}
+
+uint64_t EventLoop::submitAccept(int fd, OpCallback cb, const char* tag) {
+  return submitOp(IoOpKind::kAccept, fd, nullptr, 0, std::move(cb), tag);
+}
+
+void EventLoop::cancelOp(uint64_t token) {
+  if (ops_.erase(token) > 0) {
+    backend_->cancelOp(token);
   }
 }
 
 EventLoop::TimerId EventLoop::runAfter(Duration delay, Callback cb,
                                        const char* tag) {
-  TimerId id = nextTimerId_++;
-  timers_.push(
-      Timer{Clock::now() + delay, Duration{0}, id, std::move(cb), tag});
-  timerAlive_.insert(id);
-  return id;
+  return timers_->arm(Clock::now() + delay, Duration{0}, std::move(cb),
+                      tag);
 }
 
 EventLoop::TimerId EventLoop::runEvery(Duration period, Callback cb,
                                        const char* tag) {
-  TimerId id = nextTimerId_++;
-  timers_.push(
-      Timer{Clock::now() + period, period, id, std::move(cb), tag});
-  timerAlive_.insert(id);
-  return id;
+  return timers_->arm(Clock::now() + period, period, std::move(cb), tag);
 }
 
-void EventLoop::cancelTimer(TimerId id) {
-  if (timerAlive_.erase(id) > 0) {
-    compactTimers();
-  }
-}
-
-// Lazy heap sweep: a heavy cancel workload (retry timers armed and
-// cancelled per request) leaves dead entries in the heap until their
-// deadlines pass. When they outnumber the live ones 2:1, rebuild the
-// heap from the survivors — amortized O(1) per cancel.
-void EventLoop::compactTimers() {
-  if (timers_.size() <= 64 || timers_.size() < timerAlive_.size() * 2) {
-    return;
-  }
-  std::vector<Timer> alive;
-  alive.reserve(timerAlive_.size());
-  while (!timers_.empty()) {
-    Timer& t = const_cast<Timer&>(timers_.top());
-    if (timerAlive_.count(t.id) > 0) {
-      alive.push_back(std::move(t));
-    }
-    timers_.pop();
-  }
-  timers_ = std::priority_queue<Timer, std::vector<Timer>, TimerOrder>(
-      TimerOrder{}, std::move(alive));
-}
+void EventLoop::cancelTimer(TimerId id) { timers_->cancel(id); }
 
 void EventLoop::runAtEnd(Callback cb, const char* tag) {
   assert(isInLoopThread() || loopThreadId_.load() == std::thread::id{});
@@ -114,8 +145,7 @@ void EventLoop::runInLoop(Callback cb, const char* tag) {
     std::lock_guard<std::mutex> lock(postedMutex_);
     posted_.push_back(Task{std::move(cb), tag});
   }
-  uint64_t one = 1;
-  [[maybe_unused]] ssize_t n = ::write(wakeFd_.get(), &one, sizeof(one));
+  backend_->wakeup();
 }
 
 void EventLoop::setObserver(LoopObserver* obs, Duration stallThreshold) {
@@ -129,20 +159,11 @@ void EventLoop::setObserver(LoopObserver* obs, Duration stallThreshold) {
 
 void EventLoop::stop() {
   stopped_.store(true, std::memory_order_release);
-  uint64_t one = 1;
-  [[maybe_unused]] ssize_t n = ::write(wakeFd_.get(), &one, sizeof(one));
+  backend_->wakeup();
 }
 
 int EventLoop::msUntilNextTimer() const {
-  if (timers_.empty()) {
-    return 100;  // idle tick: bounded so stop() latency stays low
-  }
-  auto dt = timers_.top().deadline - Clock::now();
-  auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(dt).count();
-  if (ms < 0) {
-    return 0;
-  }
-  return static_cast<int>(std::min<long long>(ms, 100));
+  return timers_->msUntilNext(Clock::now());
 }
 
 void EventLoop::run() {
@@ -168,32 +189,35 @@ void EventLoop::iterate(int timeoutMs) {
   if (obs != nullptr) {
     t0 = Clock::now();
   }
-  std::array<epoll_event, 128> events;
-  int n = ::epoll_wait(epollFd_.get(), events.data(),
-                       static_cast<int>(events.size()), timeoutMs);
-  if (n < 0 && errno != EINTR) {
-    throwErrno("epoll_wait");
-  }
+  ioEvents_.clear();
+  ioCompletions_.clear();
+  backend_->wait(timeoutMs, ioEvents_, ioCompletions_);
   TimePoint t1;
   if (obs != nullptr) {
     t1 = Clock::now();
   }
-  for (int i = 0; i < n; ++i) {
-    int fd = events[static_cast<size_t>(i)].data.fd;
-    uint32_t mask = events[static_cast<size_t>(i)].events;
-    if (fd == wakeFd_.get()) {
-      uint64_t drained = 0;
-      [[maybe_unused]] ssize_t r =
-          ::read(wakeFd_.get(), &drained, sizeof(drained));
-      continue;
-    }
-    auto it = handlers_.find(fd);
+  for (const IoEvent& ev : ioEvents_) {
+    auto it = handlers_.find(ev.fd);
     if (it == handlers_.end()) {
       continue;  // removed by an earlier callback this iteration
     }
     auto cb = it->second.cb;  // keep alive across possible removeFd()
+    uint32_t mask = ev.events;
     dispatch(LoopObserver::DispatchKind::kIo, it->second.tag,
              [&] { (*cb)(mask); });
+  }
+  for (const IoCompletion& c : ioCompletions_) {
+    auto it = ops_.find(c.token);
+    if (it == ops_.end()) {
+      continue;  // cancelled after the completion was already in flight
+    }
+    auto cb = it->second.cb;  // keep alive across possible cancelOp()
+    const char* tag = it->second.tag;
+    if (!c.more) {
+      ops_.erase(it);  // done before dispatch, like one-shot timers
+    }
+    dispatch(LoopObserver::DispatchKind::kIo, tag,
+             [&] { (*cb)(c.result, c.more); });
   }
   drainPosted();
   fireTimers();
@@ -209,14 +233,15 @@ void EventLoop::iterate(int timeoutMs) {
               .count());
     };
     obs->onIteration(ns(t0, t1), ns(t1, t2));
+    obs->onEngineSample(engineSample());
   }
 }
 
 void EventLoop::drainAtEnd() {
   // A task may enqueue follow-up work (a flush that re-arms after a
-  // partial write goes through epoll instead, but a callback chain may
-  // legitimately defer once more); bound the passes so a buggy
-  // self-requeueing task cannot wedge the loop.
+  // partial write goes through the poller instead, but a callback
+  // chain may legitimately defer once more); bound the passes so a
+  // buggy self-requeueing task cannot wedge the loop.
   for (int pass = 0; pass < 8 && !atEnd_.empty(); ++pass) {
     std::vector<Task> batch;
     batch.swap(atEnd_);
@@ -237,25 +262,7 @@ void EventLoop::drainPosted() {
   }
 }
 
-void EventLoop::fireTimers() {
-  TimePoint now = Clock::now();
-  while (!timers_.empty() && timers_.top().deadline <= now) {
-    Timer t = timers_.top();
-    timers_.pop();
-    if (timerAlive_.count(t.id) == 0) {
-      continue;  // cancelled; its set entry is already gone
-    }
-    if (t.period.count() > 0) {
-      Timer next = t;
-      next.deadline = now + t.period;
-      timers_.push(next);
-      dispatch(LoopObserver::DispatchKind::kTimer, t.tag, t.cb);
-    } else {
-      timerAlive_.erase(t.id);
-      dispatch(LoopObserver::DispatchKind::kTimer, t.tag, t.cb);
-    }
-  }
-}
+void EventLoop::fireTimers() { timers_->advance(Clock::now(), timerFire_); }
 
 // ------------------------------------------------------------ loop thread
 

@@ -1,12 +1,17 @@
-// Single-threaded epoll event loop with timers and cross-thread posts.
+// Single-threaded event loop with timers and cross-thread posts.
 //
 // Each simulated tier instance (Proxygen, app server, broker, L4LB…)
 // owns one EventLoop running on its own thread; all of its sockets and
 // state are confined to that thread (Core Guidelines CP: avoid data
 // races by confinement).
+//
+// The kernel interface is pluggable (io_backend.h): level-triggered
+// epoll by default, io_uring under ZDR_IO_BACKEND=io_uring (with
+// auto-probe fallback to epoll). Timers run on a hierarchical timing
+// wheel by default, the legacy binary heap under ZDR_NO_TIMER_WHEEL=1
+// (timer_queue.h). Dispatch order, observer instrumentation and all
+// callback semantics are backend-independent.
 #pragma once
-
-#include <sys/epoll.h>
 
 #include <atomic>
 #include <chrono>
@@ -15,18 +20,24 @@
 #include <map>
 #include <memory>
 #include <mutex>
-#include <queue>
 #include <thread>
-#include <unordered_set>
 #include <vector>
 
-#include "netcore/fd_guard.h"
+#include "netcore/io_backend.h"
+#include "netcore/timer_queue.h"
 
 namespace zdr {
 
-using Clock = std::chrono::steady_clock;
-using TimePoint = Clock::time_point;
-using Duration = std::chrono::milliseconds;
+// One per-iteration snapshot of the engine's internals, published to
+// the observer so the metrics side can export the loop.backend.* and
+// timer.wheel.* families without netcore depending on metrics.
+struct EngineSample {
+  const char* backend = "epoll";   // IoBackend::name()
+  const char* timerImpl = "heap";  // TimerQueue::name()
+  uint32_t capabilities = 0;       // IoBackend kCap* bits
+  IoBackendStats io;
+  TimerQueueStats timers;
+};
 
 // Loop self-profiling hook. netcore stays metrics-free: the metrics
 // side implements this interface (LoopRecorder in
@@ -43,7 +54,7 @@ using Duration = std::chrono::milliseconds;
 class LoopObserver {
  public:
   enum class DispatchKind : uint8_t {
-    kIo = 0,      // fd readiness callback
+    kIo = 0,      // fd readiness callback or op completion
     kPosted = 1,  // cross-thread runInLoop callback
     kTimer = 2,   // runAfter/runEvery callback
     kAtEnd = 3,   // end-of-iteration batch callback
@@ -62,19 +73,32 @@ class LoopObserver {
   // waited `durNs` behind `tag`.
   virtual void onStall(DispatchKind kind, const char* tag,
                        uint64_t durNs) noexcept = 0;
+  // Engine internals snapshot, once per iteration. Default no-op so
+  // observers predating the pluggable backend keep compiling.
+  virtual void onEngineSample(const EngineSample& /*sample*/) noexcept {}
 };
 
 class EventLoop {
  public:
   using Callback = std::function<void()>;
-  // `events` is the epoll event mask (EPOLLIN / EPOLLOUT / EPOLLERR…).
+  // `events` is the backend-neutral readiness mask (kEvRead/kEvWrite/
+  // kEvError/kEvHup — numerically identical to EPOLLIN/EPOLLOUT/…).
   using IoCallback = std::function<void(uint32_t events)>;
+  // Completion-op result: syscall convention (bytes / accepted fd /
+  // -errno). `more` is set while a multishot op stays armed.
+  using OpCallback = std::function<void(int32_t result, bool more)>;
   using TimerId = uint64_t;
 
   EventLoop();
   ~EventLoop();
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
+
+  // --- engine introspection ---
+  [[nodiscard]] const char* backendName() const noexcept;
+  [[nodiscard]] uint32_t backendCapabilities() const noexcept;
+  [[nodiscard]] const char* timerImplName() const noexcept;
+  [[nodiscard]] EngineSample engineSample() const noexcept;
 
   // --- fd interest (loop thread only) ---
   // `tag` labels the callback for loop self-profiling (per-tag time,
@@ -85,6 +109,21 @@ class EventLoop {
   void removeFd(int fd);
   [[nodiscard]] bool watching(int fd) const { return handlers_.count(fd) > 0; }
 
+  // --- batched completion ops (loop thread only) ---
+  // The submit-side facade over IoBackend ops: the callback fires on
+  // the loop thread when the op completes. Under io_uring the ops ride
+  // the ring (batched SQEs, no per-op syscall); under epoll they are
+  // emulated with readiness + one syscall per op. An fd must not carry
+  // ops and addFd() interest at the same time. Buffers must outlive
+  // the completion. Returns the op token (for cancelOp).
+  uint64_t submitRecv(int fd, void* buf, uint32_t len, OpCallback cb,
+                      const char* tag = "op");
+  uint64_t submitSend(int fd, const void* buf, uint32_t len, OpCallback cb,
+                      const char* tag = "op");
+  // Multishot: keeps yielding accepted fds until cancelled.
+  uint64_t submitAccept(int fd, OpCallback cb, const char* tag = "op");
+  void cancelOp(uint64_t token);
+
   // --- timers (loop thread only) ---
   TimerId runAfter(Duration delay, Callback cb, const char* tag = "timer");
   TimerId runEvery(Duration period, Callback cb, const char* tag = "timer");
@@ -92,20 +131,21 @@ class EventLoop {
   // Timers armed and neither fired (one-shots) nor cancelled. Loop
   // thread only; test introspection for timer-leak regressions.
   [[nodiscard]] size_t activeTimerCount() const noexcept {
-    return timerAlive_.size();
+    return timers_->activeCount();
   }
-  // Heap entries, including cancelled-but-not-yet-popped ones. Loop
-  // thread only; lets tests assert that cancellation doesn't let the
-  // heap grow without bound.
+  // Queue entries, including cancelled-but-not-yet-reclaimed ones
+  // (heap only; == activeTimerCount() on the wheel). Loop thread only;
+  // lets tests assert that cancellation doesn't let the queue grow
+  // without bound.
   [[nodiscard]] size_t pendingTimerEntries() const noexcept {
-    return timers_.size();
+    return timers_->pendingEntries();
   }
 
   // Defers `cb` to the end of the current loop iteration (after io
   // dispatch, posted callbacks and timers). Loop thread only. This is
   // the batching point for per-iteration work such as Connection's
   // gather-write flush: everything queued while handling this
-  // iteration's events runs once, before the next epoll_wait.
+  // iteration's events runs once, before the next poller wait.
   void runAtEnd(Callback cb, const char* tag = "at_end");
 
   // --- cross-thread ---
@@ -138,25 +178,13 @@ class EventLoop {
   }
 
  private:
-  struct Timer {
-    TimePoint deadline;
-    Duration period{0};  // zero ⇒ one-shot
-    TimerId id;
-    Callback cb;
-    const char* tag = "timer";
-  };
-  struct TimerOrder {
-    bool operator()(const Timer& a, const Timer& b) const {
-      return a.deadline > b.deadline;  // min-heap
-    }
-  };
-
   void iterate(int timeoutMs);
   void drainPosted();
   void fireTimers();
-  void compactTimers();
   void drainAtEnd();
   [[nodiscard]] int msUntilNextTimer() const;
+  uint64_t submitOp(IoOpKind kind, int fd, void* buf, uint32_t len,
+                    OpCallback cb, const char* tag);
 
   // Runs `fn` under the observer's clock when one is installed; plain
   // call (no clock reads) otherwise.
@@ -187,8 +215,12 @@ class EventLoop {
     }
   }
 
-  FdGuard epollFd_;
-  FdGuard wakeFd_;  // eventfd for cross-thread wakeups
+  std::unique_ptr<IoBackend> backend_;
+  std::unique_ptr<TimerQueue> timers_;
+  // Cached dispatch thunk handed to TimerQueue::advance (avoids a
+  // std::function allocation per iteration).
+  TimerQueue::FireFn timerFire_;
+
   struct Handler {
     // shared_ptr so a handler erased mid-dispatch stays alive for the
     // call.
@@ -197,12 +229,12 @@ class EventLoop {
   };
   std::map<int, Handler> handlers_;
 
-  std::priority_queue<Timer, std::vector<Timer>, TimerOrder> timers_;
-  // Membership ⇒ alive. Erased on cancel and on one-shot fire, so the
-  // set never outgrows the armed-timer count; stale heap entries are
-  // skipped on pop and swept by compactTimers() when they dominate.
-  std::unordered_set<TimerId> timerAlive_;
-  TimerId nextTimerId_ = 1;
+  struct OpHandler {
+    std::shared_ptr<OpCallback> cb;
+    const char* tag = "op";
+  };
+  std::map<uint64_t, OpHandler> ops_;
+  uint64_t nextOpToken_ = 1;
 
   struct Task {
     Callback cb;
@@ -213,6 +245,10 @@ class EventLoop {
 
   // End-of-iteration tasks; loop-thread-only, no lock (see runAtEnd).
   std::vector<Task> atEnd_;
+
+  // Reused per-iteration result buffers for IoBackend::wait.
+  std::vector<IoEvent> ioEvents_;
+  std::vector<IoCompletion> ioCompletions_;
 
   // Self-profiling; see setObserver for the install/uninstall
   // contract. stallNs_ is written before the observer publish and only

@@ -123,6 +123,23 @@ inline std::atomic<bool>& zeroCopyFlag() noexcept {
   static std::atomic<bool> enabled{std::getenv("ZDR_NO_ZEROCOPY") == nullptr};
   return enabled;
 }
+inline std::atomic<bool>& timerWheelFlag() noexcept {
+  static std::atomic<bool> enabled{std::getenv("ZDR_NO_TIMER_WHEEL") ==
+                                   nullptr};
+  return enabled;
+}
+inline std::atomic<int>& ioBackendFlag() noexcept {
+  // 0 = epoll, 1 = io_uring (requested; may still fall back at loop
+  // construction if the kernel can't run it).
+  static std::atomic<int> choice{[] {
+    const char* v = std::getenv("ZDR_IO_BACKEND");
+    if (v != nullptr && (v[0] == 'i' || v[0] == 'u')) {  // io_uring/uring
+      return 1;
+    }
+    return 0;
+  }()};
+  return choice;
+}
 }  // namespace detail
 
 // When false (ZDR_NO_VECTORED_IO=1, or setVectoredIoEnabled(false)),
@@ -174,5 +191,32 @@ inline void setZeroCopyEnabled(bool on) noexcept {
 // SO_ZEROCOPY on a TCP socket. Logs once to stderr when missing so
 // bench runs can tell which mode actually ran. Defined in socket.cpp.
 [[nodiscard]] bool zeroCopySupported() noexcept;
+
+// When false (ZDR_NO_TIMER_WHEEL=1, or setTimerWheelEnabled(false)),
+// new EventLoops use the legacy binary-heap timer queue instead of the
+// hierarchical wheel. Read at loop construction only: flipping it does
+// not migrate running loops.
+inline bool timerWheelEnabled() noexcept {
+  return detail::timerWheelFlag().load(std::memory_order_relaxed);
+}
+inline void setTimerWheelEnabled(bool on) noexcept {
+  detail::timerWheelFlag().store(on, std::memory_order_relaxed);
+}
+
+// Requested EventLoop I/O backend (ZDR_IO_BACKEND=epoll|io_uring).
+// epoll is the default; an io_uring request degrades to epoll with one
+// stderr note when the kernel can't run the ring (ENOSYS, seccomp,
+// missing EXT_ARG) — same graceful-fallback idiom as the other kill
+// switches. Read at loop construction only.
+enum class IoBackendChoice : uint8_t { kEpoll = 0, kIoUring = 1 };
+inline IoBackendChoice ioBackendChoice() noexcept {
+  return detail::ioBackendFlag().load(std::memory_order_relaxed) == 1
+             ? IoBackendChoice::kIoUring
+             : IoBackendChoice::kEpoll;
+}
+inline void setIoBackendChoice(IoBackendChoice c) noexcept {
+  detail::ioBackendFlag().store(c == IoBackendChoice::kIoUring ? 1 : 0,
+                                std::memory_order_relaxed);
+}
 
 }  // namespace zdr

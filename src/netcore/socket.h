@@ -50,7 +50,7 @@ class TcpSocket {
   TcpSocket() = default;
   // Adopts an already-open connected/accepted socket fd.
   static TcpSocket fromFd(FdGuard fd);
-  // Starts a non-blocking connect; completion is signalled by EPOLLOUT,
+  // Starts a non-blocking connect; completion is signalled by kEvWrite,
   // after which `connectError()` reports SO_ERROR.
   static TcpSocket connect(const SocketAddr& peer, std::error_code& ec);
 
@@ -112,7 +112,7 @@ struct ZeroCopyReap {
   bool fatal = false;       // errqueue held a non-zerocopy error
 };
 
-// Drains MSG_ERRQUEUE on `fd`. Must run on EPOLLERR *before* treating
+// Drains MSG_ERRQUEUE on `fd`. Must run on kEvError *before* treating
 // the event as fatal: zerocopy completions arrive via the error queue
 // with SO_ERROR still 0. Bumps zcCompletions / zcCopiedCompletions.
 ZeroCopyReap reapZeroCopyCompletions(int fd) noexcept;

@@ -1,6 +1,5 @@
 #include "quicish/client.h"
 
-#include <sys/epoll.h>
 
 namespace zdr::quicish {
 
@@ -10,7 +9,7 @@ ClientFlow::ClientFlow(EventLoop& loop, const SocketAddr& serverVip,
       server_(serverVip),
       connId_(connId),
       sock_(SocketAddr::loopback(0)) {
-  loop_.addFd(sock_.fd(), EPOLLIN, [this](uint32_t) { onReadable(); });
+  loop_.addFd(sock_.fd(), kEvRead, [this](uint32_t) { onReadable(); });
 }
 
 ClientFlow::~ClientFlow() {

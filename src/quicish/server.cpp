@@ -1,6 +1,5 @@
 #include "quicish/server.h"
 
-#include <sys/epoll.h>
 
 #include "netcore/listener_group.h"
 
@@ -39,12 +38,12 @@ Server::~Server() { shutdown(); }
 
 void Server::setupForwardSocket() {
   forwardSock_ = UdpSocket(SocketAddr::loopback(0));
-  loop_.addFd(forwardSock_.fd(), EPOLLIN,
+  loop_.addFd(forwardSock_.fd(), kEvRead,
               [this](uint32_t) { onForwardReadable(); });
 }
 
 void Server::registerVipSocket(size_t idx) {
-  loop_.addFd(vipSocks_[idx].fd(), EPOLLIN,
+  loop_.addFd(vipSocks_[idx].fd(), kEvRead,
               [this, idx](uint32_t) { onVipReadable(idx); });
 }
 

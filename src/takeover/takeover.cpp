@@ -1,6 +1,5 @@
 #include "takeover/takeover.h"
 
-#include <sys/epoll.h>
 
 #include "netcore/fault_injection.h"
 #include "netcore/fd_passing.h"
@@ -16,7 +15,7 @@ TakeoverServer::TakeoverServer(EventLoop& loop, std::string path,
       onDrain_(std::move(onDrain)),
       opts_(opts),
       listener_(path_) {
-  loop_.addFd(listener_.fd(), EPOLLIN, [this](uint32_t) {
+  loop_.addFd(listener_.fd(), kEvRead, [this](uint32_t) {
     std::error_code ec;
     auto peer = listener_.accept(ec);
     if (peer) {
@@ -49,7 +48,7 @@ void TakeoverServer::onAccept(UnixSocket peer) {
     peer.setNonBlocking(true);
     rejected_.push_back(std::move(peer));
     UnixSocket& stored = rejected_.back();
-    loop_.addFd(stored.fd(), EPOLLIN | EPOLLHUP, [this, fd = stored.fd()](
+    loop_.addFd(stored.fd(), kEvRead | kEvHup, [this, fd = stored.fd()](
                                                      uint32_t) {
       // Any activity (data or hangup): drain and drop.
       for (auto it = rejected_.begin(); it != rejected_.end(); ++it) {
@@ -71,7 +70,7 @@ void TakeoverServer::onAccept(UnixSocket peer) {
   peer_ = std::move(peer);
   peer_.setNonBlocking(true);
   fault::tagFd(peer_.fd(), "takeover.server");
-  loop_.addFd(peer_.fd(), EPOLLIN, [this](uint32_t) { onPeerMessage(); });
+  loop_.addFd(peer_.fd(), kEvRead, [this](uint32_t) { onPeerMessage(); });
 }
 
 void TakeoverServer::onPeerMessage() {

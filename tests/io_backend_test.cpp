@@ -1,0 +1,321 @@
+// IoBackend conformance tests, parameterized over both backends. Every
+// behaviour here is part of the backend contract EventLoop relies on,
+// so epoll and io_uring must pass the identical suite — that is the
+// "byte-identical fallback" guarantee: a kill-switched process sees the
+// same readiness semantics, just different syscall economics. The
+// io_uring instantiation self-skips on kernels that cannot run a ring.
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "netcore/epoll_backend.h"
+#include "netcore/io_uring_backend.h"
+
+namespace zdr {
+namespace {
+
+struct BackendCase {
+  const char* name;
+  std::function<std::unique_ptr<IoBackend>()> make;
+};
+
+class IoBackendTest : public ::testing::TestWithParam<BackendCase> {
+ protected:
+  void SetUp() override {
+    if (std::string(GetParam().name) == "io_uring" && !ioUringSupported()) {
+      GTEST_SKIP() << "kernel cannot run io_uring; backend self-skips";
+    }
+    backend_ = GetParam().make();
+  }
+
+  // Harvests until `pred` is satisfied or ~2 s pass; keeps everything
+  // reaped so multi-CQE batches are not lost between calls.
+  void waitUntil(const std::function<bool()>& pred) {
+    for (int i = 0; i < 200 && !pred(); ++i) {
+      backend_->wait(10, events_, completions_);
+    }
+  }
+
+  static void makePipe(int fds[2]) {
+    ASSERT_EQ(::pipe2(fds, O_NONBLOCK | O_CLOEXEC), 0);
+  }
+
+  std::unique_ptr<IoBackend> backend_;
+  std::vector<IoEvent> events_;
+  std::vector<IoCompletion> completions_;
+};
+
+TEST_P(IoBackendTest, ReportsReadReadiness) {
+  int fds[2];
+  makePipe(fds);
+  backend_->addFd(fds[0], kEvRead);
+  ASSERT_EQ(::write(fds[1], "x", 1), 1);
+  waitUntil([&] {
+    for (const auto& ev : events_) {
+      if (ev.fd == fds[0] && (ev.events & kEvRead)) {
+        return true;
+      }
+    }
+    return false;
+  });
+  ASSERT_FALSE(events_.empty());
+  EXPECT_EQ(events_.back().fd, fds[0]);
+  backend_->removeFd(fds[0]);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST_P(IoBackendTest, LevelTriggeredPartialDrainRenotifies) {
+  // The core level-trigger contract: leave bytes unread and the next
+  // wait must report the fd again. io_uring's oneshot POLL_ADD re-arm
+  // exists exactly to preserve this.
+  int fds[2];
+  makePipe(fds);
+  backend_->addFd(fds[0], kEvRead);
+  ASSERT_EQ(::write(fds[1], "abcd", 4), 4);
+  int notified = 0;
+  for (int round = 0; round < 3; ++round) {
+    events_.clear();
+    waitUntil([&] {
+      for (const auto& ev : events_) {
+        if (ev.fd == fds[0] && (ev.events & kEvRead)) {
+          return true;
+        }
+      }
+      return false;
+    });
+    bool seen = false;
+    for (const auto& ev : events_) {
+      seen = seen || (ev.fd == fds[0] && (ev.events & kEvRead));
+    }
+    ASSERT_TRUE(seen) << "round " << round;
+    ++notified;
+    char c;
+    ASSERT_EQ(::read(fds[0], &c, 1), 1);  // partial drain: 3, 2, 1 left
+  }
+  EXPECT_EQ(notified, 3);
+  backend_->removeFd(fds[0]);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST_P(IoBackendTest, ModifyFdSwitchesInterest) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0, sv), 0);
+  backend_->addFd(sv[0], kEvRead);
+  ASSERT_EQ(::send(sv[1], "x", 1, 0), 1);
+  waitUntil([&] { return !events_.empty(); });
+  ASSERT_FALSE(events_.empty());
+
+  // Drop read interest; pending readable bytes must go quiet.
+  backend_->modifyFd(sv[0], kEvWrite);
+  events_.clear();
+  backend_->wait(20, events_, completions_);
+  bool sawWrite = false;
+  for (const auto& ev : events_) {
+    EXPECT_EQ(ev.fd, sv[0]);
+    sawWrite = sawWrite || (ev.events & kEvWrite) != 0;
+    EXPECT_EQ(ev.events & kEvRead, 0u) << "read interest was dropped";
+  }
+  EXPECT_TRUE(sawWrite) << "idle socket is writable";
+  backend_->removeFd(sv[0]);
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
+TEST_P(IoBackendTest, RemovedFdGoesSilentEvenWithPendingData) {
+  int fds[2];
+  makePipe(fds);
+  backend_->addFd(fds[0], kEvRead);
+  ASSERT_EQ(::write(fds[1], "x", 1), 1);
+  backend_->removeFd(fds[0]);  // before any wait: arm+cancel race path
+  events_.clear();
+  backend_->wait(20, events_, completions_);
+  for (const auto& ev : events_) {
+    EXPECT_NE(ev.fd, fds[0]) << "stale event for removed fd";
+  }
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST_P(IoBackendTest, FdReuseAfterRemoveDoesNotLeakStaleEvents) {
+  // close+reopen typically recycles the same fd number: the generation
+  // tag (uring) / interest map (epoll) must attribute events to the
+  // NEW registration only.
+  int fds[2];
+  makePipe(fds);
+  backend_->addFd(fds[0], kEvRead);
+  ASSERT_EQ(::write(fds[1], "x", 1), 1);
+  waitUntil([&] { return !events_.empty(); });
+  backend_->removeFd(fds[0]);
+  int oldFd = fds[0];
+  ::close(fds[0]);
+  ::close(fds[1]);
+
+  int fresh[2];
+  makePipe(fresh);
+  // Steer the recycled number at the old slot if the kernel didn't
+  // already hand it back.
+  if (fresh[0] != oldFd) {
+    ASSERT_GE(::dup2(fresh[0], oldFd), 0);
+    ::close(fresh[0]);
+    fresh[0] = oldFd;
+  }
+  backend_->addFd(fresh[0], kEvRead);
+  events_.clear();
+  backend_->wait(20, events_, completions_);
+  EXPECT_TRUE(events_.empty()) << "fresh empty pipe reported ready";
+  ASSERT_EQ(::write(fresh[1], "y", 1), 1);
+  waitUntil([&] { return !events_.empty(); });
+  EXPECT_FALSE(events_.empty());
+  backend_->removeFd(fresh[0]);
+  ::close(fresh[0]);
+  ::close(fresh[1]);
+}
+
+TEST_P(IoBackendTest, WakeupUnblocksConcurrentWait) {
+  std::thread waker([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    backend_->wakeup();
+  });
+  auto t0 = std::chrono::steady_clock::now();
+  backend_->wait(2'000, events_, completions_);
+  auto waited = std::chrono::steady_clock::now() - t0;
+  waker.join();
+  EXPECT_LT(waited, std::chrono::milliseconds(1'500));
+  // The wake plumbing (eventfd) is internal: no IoEvent leaks out.
+  for (const auto& ev : events_) {
+    ADD_FAILURE() << "unexpected event fd " << ev.fd;
+  }
+}
+
+TEST_P(IoBackendTest, RecvOpCompletesWithData) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0, sv), 0);
+  char buf[16] = {};
+  backend_->submitOp(IoOp{IoOpKind::kRecv, sv[0], buf, sizeof(buf), 42});
+  ASSERT_EQ(::send(sv[1], "hello", 5, 0), 5);
+  waitUntil([&] { return !completions_.empty(); });
+  ASSERT_FALSE(completions_.empty());
+  EXPECT_EQ(completions_[0].token, 42u);
+  EXPECT_EQ(completions_[0].result, 5);
+  EXPECT_FALSE(completions_[0].more);
+  EXPECT_EQ(std::memcmp(buf, "hello", 5), 0);
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
+TEST_P(IoBackendTest, SendOpCompletesAndDelivers) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0, sv), 0);
+  const char* msg = "ping";
+  backend_->submitOp(
+      IoOp{IoOpKind::kSend, sv[0],
+           const_cast<void*>(static_cast<const void*>(msg)), 4, 7});
+  waitUntil([&] { return !completions_.empty(); });
+  ASSERT_FALSE(completions_.empty());
+  EXPECT_EQ(completions_[0].token, 7u);
+  EXPECT_EQ(completions_[0].result, 4);
+  char buf[8] = {};
+  EXPECT_EQ(::recv(sv[1], buf, sizeof(buf), 0), 4);
+  EXPECT_EQ(std::memcmp(buf, "ping", 4), 0);
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
+TEST_P(IoBackendTest, AcceptOpDeliversMultipleConnections) {
+  // One submitted accept must keep delivering connections — multishot
+  // on a capable ring, re-armed oneshot otherwise, looped accept4 on
+  // epoll; the contract is the same either way.
+  int lfd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  socklen_t alen = sizeof(addr);
+  ASSERT_EQ(::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &alen), 0);
+  ASSERT_EQ(::listen(lfd, 16), 0);
+
+  backend_->submitOp(IoOp{IoOpKind::kAccept, lfd, nullptr, 0, 9});
+
+  std::vector<int> clients;
+  std::vector<int> accepted;
+  for (int i = 0; i < 3; ++i) {
+    int c = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(c, 0);
+    ASSERT_EQ(
+        ::connect(c, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    clients.push_back(c);
+  }
+  waitUntil([&] {
+    for (const auto& c : completions_) {
+      if (c.token == 9 && c.result >= 0) {
+        accepted.push_back(c.result);
+      }
+    }
+    completions_.clear();
+    return accepted.size() >= 3;
+  });
+  EXPECT_EQ(accepted.size(), 3u);
+  backend_->cancelOp(9);
+  for (int fd : accepted) {
+    ::close(fd);
+  }
+  for (int fd : clients) {
+    ::close(fd);
+  }
+  ::close(lfd);
+}
+
+TEST_P(IoBackendTest, StatsCountTheWork) {
+  int fds[2];
+  makePipe(fds);
+  backend_->addFd(fds[0], kEvRead);
+  ASSERT_EQ(::write(fds[1], "x", 1), 1);
+  waitUntil([&] { return !events_.empty(); });
+  IoBackendStats s = backend_->stats();
+  EXPECT_GT(s.waitSyscalls, 0u);
+  if (std::string(backend_->name()) == "io_uring") {
+    EXPECT_GT(s.sqesSubmitted, 0u);
+    EXPECT_GT(s.cqesReaped, 0u);
+    EXPECT_EQ(s.opSyscalls, 0u);
+    EXPECT_TRUE(backend_->capabilities() & kCapSqeBatching);
+  } else {
+    EXPECT_EQ(s.sqesSubmitted, 0u);
+    EXPECT_EQ(backend_->capabilities(), 0u);
+  }
+  backend_->removeFd(fds[0]);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, IoBackendTest,
+    ::testing::Values(
+        BackendCase{"epoll",
+                    []() -> std::unique_ptr<IoBackend> {
+                      return std::make_unique<EpollBackend>();
+                    }},
+        BackendCase{"io_uring",
+                    []() -> std::unique_ptr<IoBackend> {
+                      if (ioUringSupported()) {
+                        return std::make_unique<IoUringBackend>();
+                      }
+                      return std::make_unique<EpollBackend>();  // skipped
+                    }}),
+    [](const ::testing::TestParamInfo<BackendCase>& info) {
+      return std::string(info.param.name);
+    });
+
+}  // namespace
+}  // namespace zdr

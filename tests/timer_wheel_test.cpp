@@ -1,0 +1,278 @@
+// TimerWheel unit tests on synthetic time (armAtMs/advanceToMs): level
+// cascading, mass-cancel during a drain, arming from inside a firing
+// callback, and wheel↔heap bookkeeping parity. The wall-clock timer
+// contract itself (periodic re-arm before dispatch, one-shot
+// self-cancel no-op, …) is pinned by event_loop_test over the live
+// loop; these tests reach the wheel mechanism directly so cascade
+// boundaries land on exact ticks instead of whenever the scheduler
+// wakes us.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "netcore/timer_queue.h"
+
+namespace zdr {
+namespace {
+
+// Plain dispatch: what EventLoop's FireFn does minus the observer.
+const TimerQueue::FireFn kFire = [](const char*,
+                                    const TimerQueue::Callback& cb) { cb(); };
+
+TEST(TimerWheelTest, OneShotFiresOnItsTickAndNeverEarly) {
+  TimerWheel w;
+  int fired = 0;
+  w.armAtMs(50, Duration{0}, [&] { ++fired; }, "t");
+  w.advanceToMs(49, kFire);
+  EXPECT_EQ(fired, 0);
+  w.advanceToMs(50, kFire);
+  EXPECT_EQ(fired, 1);
+  w.advanceToMs(500, kFire);
+  EXPECT_EQ(fired, 1);  // one-shot
+  EXPECT_EQ(w.activeCount(), 0u);
+}
+
+TEST(TimerWheelTest, DeadlineRoundingNeverFiresBeforeTheWallClock) {
+  // The never-early invariant lives in the toMs/floorMs pairing:
+  // deadlines round up, the cursor rounds down. A deadline 0.2 ms into
+  // tick 10 becomes expireMs=11, and real time 10.9 ms is still cursor
+  // tick 10 — the wheel must not fire until the clock passes 11 ms.
+  TimePoint epoch = Clock::now();
+  TimerWheel w(epoch);
+  EXPECT_EQ(w.toMs(epoch + std::chrono::microseconds(10'200)), 11u);
+  EXPECT_EQ(w.floorMs(epoch + std::chrono::microseconds(10'900)), 10u);
+  EXPECT_EQ(w.toMs(epoch + Duration{10}), 10u);    // exact tick stays put
+  EXPECT_EQ(w.floorMs(epoch + Duration{10}), 10u);
+}
+
+TEST(TimerWheelTest, FarFutureTimersCascadeDownTheLevels) {
+  TimerWheel w;
+  int fired = 0;
+  // One timer per level: L0 (<256 ms), L1 (<65 536 ms), L2 (<2^24 ms),
+  // L3 (anything longer).
+  const uint64_t deadlines[] = {200, 70'000, 2'000'000, 500'000'000};
+  for (uint64_t d : deadlines) {
+    w.armAtMs(d, Duration{0}, [&] { ++fired; }, "t");
+  }
+  EXPECT_EQ(w.activeCount(), 4u);
+
+  w.advanceToMs(199, kFire);
+  EXPECT_EQ(fired, 0);
+  w.advanceToMs(200, kFire);
+  EXPECT_EQ(fired, 1);  // L0 entry, no cascade involved
+
+  // The L1 entry must re-file into level 0 at the 256-boundary before
+  // tick 70 000 and fire exactly on its tick.
+  w.advanceToMs(69'999, kFire);
+  EXPECT_EQ(fired, 1);
+  w.advanceToMs(70'000, kFire);
+  EXPECT_EQ(fired, 2);
+  EXPECT_GE(w.stats().cascades, 1u);
+
+  w.advanceToMs(1'999'999, kFire);
+  EXPECT_EQ(fired, 2);
+  w.advanceToMs(2'000'000, kFire);
+  EXPECT_EQ(fired, 3);
+
+  // The L3 one is genuinely far future; it must survive every cascade
+  // crossed so far without firing.
+  EXPECT_EQ(w.activeCount(), 1u);
+  EXPECT_EQ(w.stats().fired, 3u);
+}
+
+TEST(TimerWheelTest, EntryExpiringExactlyOnCascadeBoundaryFiresOnTime) {
+  TimerWheel w;
+  int fired = 0;
+  // 512 is a level-1 delta from tick 0 AND a cascade boundary: the
+  // cascade runs before that tick's level-0 drain, so the entry must
+  // fire at 512, not 256 ms later on the next lap.
+  w.armAtMs(512, Duration{0}, [&] { ++fired; }, "t");
+  w.advanceToMs(511, kFire);
+  EXPECT_EQ(fired, 0);
+  w.advanceToMs(512, kFire);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerWheelTest, MassCancelDuringDrainSkipsTheCancelled) {
+  // One firing callback cancels every other timer due on the SAME
+  // tick: the pop-front drain must notice each unlink and fire none of
+  // the cancelled ones.
+  TimerWheel w;
+  std::vector<TimerQueue::TimerId> ids;
+  int fired = 0;
+  TimerWheel* wheel = &w;
+  std::vector<TimerQueue::TimerId>* idsp = &ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(w.armAtMs(10, Duration{0},
+                            [&fired, wheel, idsp] {
+                              ++fired;
+                              if (fired == 1) {
+                                for (auto id : *idsp) {
+                                  wheel->cancel(id);  // self-cancel no-ops
+                                }
+                              }
+                            },
+                            "t"));
+  }
+  w.advanceToMs(10, kFire);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(w.activeCount(), 0u);
+  EXPECT_EQ(w.stats().fired, 1u);
+  EXPECT_EQ(w.stats().cancelled, 99u);  // the firing one was already out
+  // Long after: nothing left to fire.
+  w.advanceToMs(1'000, kFire);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerWheelTest, TimerArmedFromFiringCallbackFiresAtItsOwnDeadline) {
+  TimerWheel w;
+  int first = 0;
+  int second = 0;
+  TimerWheel* wheel = &w;
+  w.armAtMs(10, Duration{0},
+            [&first, &second, wheel] {
+              ++first;
+              // Due-now deadline: must land at the NEXT tick, never in
+              // the slot currently being drained.
+              wheel->armAtMs(wheel->nowMs(), Duration{0},
+                             [&second] { ++second; }, "inner");
+            },
+            "outer");
+  w.advanceToMs(10, kFire);
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 0);
+  w.advanceToMs(11, kFire);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(TimerWheelTest, PeriodicRearmFromItsOwnCallbackChainsAcrossTicks) {
+  TimerWheel w;
+  int fired = 0;
+  w.armAtMs(5, Duration{3}, [&] { ++fired; }, "p");
+  w.advanceToMs(5, kFire);
+  EXPECT_EQ(fired, 1);
+  w.advanceToMs(8, kFire);
+  EXPECT_EQ(fired, 2);
+  w.advanceToMs(14, kFire);
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(w.activeCount(), 1u);  // still armed
+}
+
+TEST(TimerWheelTest, HorizonClampStillFires) {
+  TimerWheel w;
+  int fired = 0;
+  // Past the 2^32 ms horizon: clamped, re-clamped at each level-3
+  // cascade, and must still be pending (not dropped, not early).
+  w.armAtMs(1ull << 40, Duration{0}, [&] { ++fired; }, "t");
+  w.advanceToMs(1'000'000, kFire);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(w.activeCount(), 1u);
+}
+
+TEST(TimerWheelTest, CancelReturnsFalseForUnknownOrSpentIds) {
+  TimerWheel w;
+  int fired = 0;
+  auto id = w.armAtMs(5, Duration{0}, [&] { ++fired; }, "t");
+  EXPECT_FALSE(w.cancel(id + 1000));
+  w.advanceToMs(5, kFire);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(w.cancel(id));  // already fired
+  EXPECT_TRUE(w.armAtMs(10, Duration{0}, [] {}, "t") != id);  // ids unique
+}
+
+// Bookkeeping parity: ISSUE'd as activeTimerCount/pendingTimerEntries
+// agreement between the wheel and the heap under identical arm/cancel/
+// fire traffic. The wheel reclaims cancelled entries eagerly, so for it
+// the two counts are always equal; the heap may hold dead entries
+// (pending ≥ active) but must agree on the ACTIVE count.
+TEST(TimerWheelTest, ActiveCountMatchesHeapUnderChurn) {
+  TimerWheel wheel;
+  TimerHeap heap;
+  TimePoint epoch = Clock::now();
+
+  std::vector<TimerQueue::TimerId> wheelIds;
+  std::vector<TimerQueue::TimerId> heapIds;
+  int wheelFired = 0;
+  int heapFired = 0;
+  // Deterministic churn: arm 300 one-shots across 60 ms, cancel every
+  // third, let time pass half-way.
+  for (int i = 0; i < 300; ++i) {
+    uint64_t due = 1 + static_cast<uint64_t>(i % 60);
+    wheelIds.push_back(wheel.armAtMs(due, Duration{0},
+                                     [&] { ++wheelFired; }, "t"));
+    heapIds.push_back(heap.arm(epoch + Duration{static_cast<long>(due)},
+                               Duration{0}, [&] { ++heapFired; }, "t"));
+  }
+  for (size_t i = 0; i < wheelIds.size(); i += 3) {
+    wheel.cancel(wheelIds[i]);
+    heap.cancel(heapIds[i]);
+  }
+  EXPECT_EQ(wheel.activeCount(), heap.activeCount());
+  EXPECT_EQ(wheel.pendingEntries(), wheel.activeCount());
+  EXPECT_GE(heap.pendingEntries(), heap.activeCount());
+
+  wheel.advanceToMs(30, kFire);
+  heap.advance(epoch + Duration{30}, kFire);
+  EXPECT_EQ(wheelFired, heapFired);
+  EXPECT_EQ(wheel.activeCount(), heap.activeCount());
+
+  wheel.advanceToMs(60, kFire);
+  heap.advance(epoch + Duration{60}, kFire);
+  EXPECT_EQ(wheelFired, heapFired);
+  EXPECT_EQ(wheel.activeCount(), 0u);
+  EXPECT_EQ(heap.activeCount(), 0u);
+}
+
+TEST(TimerWheelTest, MsUntilNextSeesNearTimersAndCascadeHorizon) {
+  TimerWheel w;
+  TimePoint epoch = Clock::now();
+  TimerWheel probe(epoch);  // epoch-pinned so msUntilNext(now=epoch) is exact
+  EXPECT_EQ(probe.msUntilNext(epoch), 100);  // idle tick
+  probe.armAtMs(7, Duration{0}, [] {}, "t");
+  EXPECT_EQ(probe.msUntilNext(epoch), 7);
+  // A level-1 timer alone: the wake must not overshoot the next
+  // cascade boundary (256-tick lap) or it could fire ~100 ms late.
+  TimerWheel far(epoch);
+  far.armAtMs(400, Duration{0}, [] {}, "t");
+  int ms = far.msUntilNext(epoch);
+  EXPECT_GT(ms, 0);
+  EXPECT_LE(ms, 100);
+  (void)w;
+}
+
+// Regression: the heap's lazy compaction keyed off TOTAL size vs the
+// alive count, so a standing population of periodic timers (always
+// alive, never popping) dragged the trigger with it — cancel-heavy
+// churn could pile up dead entries proportional to the periodic
+// population before any sweep, and each sweep rebuilt the periodic
+// entries too for a tiny reclaim. The dead-count threshold
+// (dead > 64 && dead ≥ alive) keeps pending entries bounded and every
+// rebuild reclaiming at least half the heap.
+TEST(TimerHeapTest, CompactionStaysBoundedUnderPeriodicDominatedChurn) {
+  TimerHeap heap;
+  TimePoint epoch = Clock::now();
+  // Standing periodics, far enough out that advance() never pops them.
+  for (int i = 0; i < 100; ++i) {
+    heap.arm(epoch + std::chrono::hours(1), Duration{1000}, [] {}, "p");
+  }
+  // Retry-timer style churn: armed and cancelled before ever firing.
+  for (int i = 0; i < 10'000; ++i) {
+    auto id = heap.arm(epoch + std::chrono::hours(2), Duration{0}, [] {},
+                       "retry");
+    heap.cancel(id);
+    // Dead entries may accumulate, but never past max(64, alive):
+    // the compaction threshold is exact, not amortized-eventual.
+    ASSERT_LE(heap.pendingEntries(),
+              heap.activeCount() + std::max<size_t>(65, heap.activeCount()))
+        << "dead backlog escaped the compaction threshold at churn " << i;
+  }
+  EXPECT_EQ(heap.activeCount(), 100u);
+  EXPECT_GT(heap.stats().compactions, 0u);
+  // Each sweep reclaims ≥half the heap, so 10k cancels cannot possibly
+  // need more than 10k/64 sweeps (it is far fewer in practice).
+  EXPECT_LT(heap.stats().compactions, 10'000u / 64u + 1);
+}
+
+}  // namespace
+}  // namespace zdr
